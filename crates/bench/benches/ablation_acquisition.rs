@@ -1,0 +1,32 @@
+//! Criterion bench for ablation X1: the cost of batched acquisition
+//! (multiple runs) vs multiplexed acquisition (one run) for a full-catalog
+//! measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use np_bench::dl580_sim;
+use np_counters::acquisition::{measure_batched, measure_multiplexed};
+use np_counters::catalog::EventCatalog;
+use np_counters::pmu::PmuModel;
+use np_workloads::cache_miss::CacheMissKernel;
+use np_workloads::Workload;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sim = dl580_sim();
+    let program = CacheMissKernel::row_major(96).build(sim.config());
+    let events = EventCatalog::builtin().ids();
+    let pmu = PmuModel::default();
+
+    let mut g = c.benchmark_group("ablation_acquisition");
+    g.sample_size(10);
+    g.bench_function("batched_full_catalog", |b| {
+        b.iter(|| black_box(measure_batched(&sim, &program, &events, 1, 3, &pmu)))
+    });
+    g.bench_function("multiplexed_full_catalog", |b| {
+        b.iter(|| black_box(measure_multiplexed(&sim, &program, &events, 1, 3, &pmu)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

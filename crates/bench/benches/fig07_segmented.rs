@@ -1,0 +1,40 @@
+//! Criterion bench for the Fig. 7 mechanism: segmented-regression pivot
+//! search over footprint traces of increasing length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use np_stats::segmented::{segmented_fit, segmented_fit_k};
+use std::hint::black_box;
+
+fn trace(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let pivot = n / 3;
+    let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| {
+            if i < pivot {
+                10.0 * i as f64
+            } else {
+                10.0 * pivot as f64 + 0.1 * (i - pivot) as f64
+            }
+        })
+        .collect();
+    (x, y)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_segmented");
+    g.sample_size(20);
+    for n in [100usize, 400, 1000] {
+        let (x, y) = trace(n);
+        g.bench_with_input(BenchmarkId::new("two_phase_pivot_search", n), &n, |b, _| {
+            b.iter(|| black_box(segmented_fit(&x, &y)))
+        });
+    }
+    let (x, y) = trace(300);
+    g.bench_function("k_phase_dp_k4_n300", |b| {
+        b.iter(|| black_box(segmented_fit_k(&x, &y, 4)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for the Fig. 8 scenario: simulating and comparing the
+//! row-major and column-major kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use np_bench::dl580_sim;
+use np_workloads::cache_miss::CacheMissKernel;
+use np_workloads::Workload;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sim = dl580_sim();
+    let mut g = c.benchmark_group("fig08_cache_miss");
+    g.sample_size(10);
+    for size in [128usize, 256] {
+        let row = CacheMissKernel::row_major(size).build(sim.config());
+        let col = CacheMissKernel::column_major(size).build(sim.config());
+        g.bench_with_input(BenchmarkId::new("simulate_row_major", size), &size, |b, _| {
+            b.iter(|| black_box(sim.run(&row, 1)))
+        });
+        g.bench_with_input(BenchmarkId::new("simulate_column_major", size), &size, |b, _| {
+            b.iter(|| black_box(sim.run(&col, 1)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for the Fig. 9 scenario: the parallel-sort workload at
+//! varying thread counts, plus the correlation analysis itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use np_bench::dl580_sim;
+use np_workloads::parallel_sort::ParallelSortKernel;
+use np_workloads::Workload;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sim = dl580_sim();
+    let mut g = c.benchmark_group("fig09_parallel_sort");
+    g.sample_size(10);
+    for threads in [1usize, 4, 16] {
+        let p = ParallelSortKernel::new(16 * 1024, threads).build(sim.config());
+        g.bench_with_input(BenchmarkId::new("simulate", threads), &threads, |b, _| {
+            b.iter(|| black_box(sim.run(&p, 7)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for the Fig. 10 scenario: Memhist threshold-cycled
+//! measurement vs exact measurement on the latency-checker workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use np_bench::dl580_sim;
+use np_core::memhist::Memhist;
+use np_workloads::mlc::LatencyChecker;
+use np_workloads::Workload;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sim = dl580_sim();
+    let program = LatencyChecker::new(0, 1, 4 << 20, 2000).build(sim.config());
+    let memhist = Memhist::with_defaults();
+    let mut g = c.benchmark_group("fig10_memhist");
+    g.sample_size(10);
+    g.bench_function("threshold_cycled", |b| {
+        b.iter(|| black_box(memhist.measure(&sim, &program, 5)))
+    });
+    g.bench_function("exact_all_loads", |b| {
+        b.iter(|| black_box(memhist.measure_exact(&sim, &program, 5)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

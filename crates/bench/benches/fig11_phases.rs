@@ -1,0 +1,39 @@
+//! Criterion bench for the Fig. 11 scenario: phase detection and counter
+//! attribution on a start-up trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use np_bench::dl580_sim;
+use np_core::phasen::Phasenpruefer;
+use np_simulator::HwEvent;
+use np_workloads::phases::PhaseTraceKernel;
+use np_workloads::Workload;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sim = dl580_sim();
+    let trace = PhaseTraceKernel {
+        ramp_pages: 300,
+        compute_accesses: 20_000,
+        rounds: 1,
+        compute_trickle_pages: 4,
+        release_at_end: false,
+    }
+    .build(sim.config());
+    let run = sim.run(&trace, 1);
+    let pp = Phasenpruefer::default();
+
+    let mut g = c.benchmark_group("fig11_phases");
+    g.sample_size(10);
+    g.bench_function("detect_from_footprint", |b| {
+        b.iter(|| black_box(pp.detect(&run.footprint)))
+    });
+    g.bench_function("measure_and_attribute", |b| {
+        b.iter(|| {
+            black_box(pp.measure(&sim, &trace, 1, &[HwEvent::Instructions, HwEvent::LoadRetired]))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

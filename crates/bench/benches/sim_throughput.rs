@@ -1,0 +1,42 @@
+//! Simulator throughput: ops simulated per second for the major access
+//! patterns — the practical cost of every experiment in this repository.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use np_bench::dl580_sim;
+use np_simulator::{AllocPolicy, ProgramBuilder};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sim = dl580_sim();
+    let topo = sim.config().topology.clone();
+    let ops = 100_000u64;
+
+    let sequential = {
+        let mut b = ProgramBuilder::new(&topo, 4096);
+        let buf = b.alloc(8 << 20, AllocPolicy::Bind(0));
+        let t = b.add_thread(0);
+        for i in 0..ops {
+            b.load(t, buf + (i * 8) % (8 << 20));
+        }
+        b.build()
+    };
+    let strided = {
+        let mut b = ProgramBuilder::new(&topo, 4096);
+        let buf = b.alloc(32 << 20, AllocPolicy::Bind(0));
+        let t = b.add_thread(0);
+        for i in 0..ops {
+            b.load(t, buf + (i * 4096) % (32 << 20));
+        }
+        b.build()
+    };
+
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ops));
+    g.bench_function("sequential_loads", |b| b.iter(|| black_box(sim.run(&sequential, 1))));
+    g.bench_function("page_strided_loads", |b| b.iter(|| black_box(sim.run(&strided, 1))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

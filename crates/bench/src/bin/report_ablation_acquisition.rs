@@ -1,0 +1,4 @@
+//! X1: batched repeated runs vs multiplexing.
+fn main() {
+    print!("{}", np_bench::reports::ablations::acquisition());
+}

@@ -1,0 +1,4 @@
+//! X3: the multiple-comparisons problem and Bonferroni correction.
+fn main() {
+    print!("{}", np_bench::reports::ablations::bonferroni());
+}

@@ -1,0 +1,4 @@
+//! X2: threshold-cycling frequency vs histogram quality.
+fn main() {
+    print!("{}", np_bench::reports::ablations::cycling());
+}

@@ -1,0 +1,4 @@
+//! X7: the normality assumption of EvSel's t-test.
+fn main() {
+    print!("{}", np_bench::reports::ablations::normality());
+}

@@ -1,0 +1,4 @@
+//! X8: the prefetcher's contribution to the Fig. 8 shape.
+fn main() {
+    print!("{}", np_bench::reports::ablations::prefetch());
+}

@@ -1,0 +1,5 @@
+//! Regenerates every table, figure and ablation in experiment-index order
+//! — the data recorded in EXPERIMENTS.md.
+fn main() {
+    print!("{}", np_bench::reports::all());
+}

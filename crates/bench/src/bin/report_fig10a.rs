@@ -1,0 +1,4 @@
+//! Regenerates the Fig. 10a Memhist histogram (SIFT, occurrences).
+fn main() {
+    print!("{}", np_bench::reports::figures::fig10a());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Fig. 10b Memhist histogram (mlc remote, costs).
+fn main() {
+    print!("{}", np_bench::reports::figures::fig10b());
+}

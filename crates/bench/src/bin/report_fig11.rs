@@ -1,0 +1,4 @@
+//! Regenerates the Fig. 11 Phasenprüfer analysis.
+fn main() {
+    print!("{}", np_bench::reports::figures::fig11());
+}

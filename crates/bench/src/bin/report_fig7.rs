@@ -1,0 +1,4 @@
+//! Regenerates the Fig. 7 segmented-regression demonstration.
+fn main() {
+    print!("{}", np_bench::reports::figures::fig7());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Fig. 8 cache-miss comparison.
+fn main() {
+    print!("{}", np_bench::reports::figures::fig8());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Fig. 9 parallel-sort correlations.
+fn main() {
+    print!("{}", np_bench::reports::figures::fig9());
+}

@@ -1,0 +1,4 @@
+//! X6: classical cost models vs the simulator.
+fn main() {
+    print!("{}", np_bench::reports::models::report());
+}

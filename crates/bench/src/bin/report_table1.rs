@@ -1,0 +1,4 @@
+//! Regenerates Table I.
+fn main() {
+    print!("{}", np_bench::reports::table1::report());
+}

@@ -1,0 +1,4 @@
+//! X5: cross-machine indicator transfer.
+fn main() {
+    print!("{}", np_bench::reports::ablations::transfer());
+}

@@ -1,0 +1,4 @@
+//! X4: Memhist peaks vs the mlc latency matrix.
+fn main() {
+    print!("{}", np_bench::reports::ablations::verify_memhist());
+}

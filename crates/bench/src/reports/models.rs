@@ -1,0 +1,106 @@
+//! X6: the classical cost models (§II) made computable and checked
+//! against the simulator.
+
+use crate::{dl580_sim, paper_vs_measured};
+use np_models::calibrate::{calibrate, speedup_inputs_from_run};
+use np_models::{CounterSpeedupModel, KNumaMachine};
+use np_simulator::MachineSim;
+use np_workloads::matmul::TiledMatmul;
+use np_workloads::stream::StreamTriad;
+use np_workloads::Workload;
+
+/// Runs the model-validation suite.
+pub fn report() -> String {
+    let sim = dl580_sim();
+    let mut out = String::new();
+
+    // --- Calibration (Braithwaite-style machine measurement) ---
+    let cal = calibrate(&sim, 21);
+    out.push_str("Calibration probes on the simulated DL580:\n");
+    out.push_str(&format!("  local latency:   {:>8.1} cy\n", cal.local_latency));
+    out.push_str(&format!("  remote latency:  {:>8.1} cy\n", cal.remote_latency));
+    out.push_str(&format!("  gap:             {:>8.3} cy/byte\n", cal.gap_per_byte));
+    out.push_str(&format!("  barrier:         {:>8.1} cy\n\n", cal.barrier_cost));
+
+    // --- BSP predicted vs simulated: parallel matmul ---
+    out.push_str("BSP (Valiant) predicted vs simulated, tiled matmul:\n");
+    out.push_str(&format!("  {:>8} {:>14} {:>14} {:>9}\n", "threads", "BSP predicted", "simulated", "ratio"));
+    let n = 96usize;
+    let serial = sim.run(&TiledMatmul::new(n, 1).build(sim.config()), 5);
+    for p in [2u64, 4, 8] {
+        let bsp = cal.bsp(p);
+        // One superstep: the compute splits evenly; each thread reads the
+        // shared operand (communication volume ~ matrix bytes / p words).
+        let work = serial.cycles;
+        let words = (n * n) as u64 / 8;
+        let predicted = bsp.block_parallel_cost(work, words, 1);
+        let simulated = sim.run(&TiledMatmul::new(n, p as usize).build(sim.config()), 5).cycles;
+        out.push_str(&format!(
+            "  {p:>8} {predicted:>14.0} {simulated:>14} {:>9.2}\n",
+            predicted / simulated as f64
+        ));
+    }
+    out.push('\n');
+
+    // --- κNUMA vs flat BSP: locality-aware cost ordering ---
+    let knuma = KNumaMachine::dl580_like();
+    let local_heavy = [4000u64, 100];
+    let remote_heavy = [100u64, 4000];
+    out.push_str("κNUMA vs flat BSP superstep costs (work 10000 cy):\n");
+    for (h, label) in [(local_heavy, "socket-local traffic"), (remote_heavy, "cross-socket traffic")] {
+        out.push_str(&format!(
+            "  {label:<24} κNUMA {:>10.0}  flat BSP {:>10.0}\n",
+            knuma.superstep_cost(10_000.0, &h),
+            knuma.flat_bsp_cost(10_000.0, &h)
+        ));
+    }
+    out.push('\n');
+
+    // --- Counter-driven speedup model (Tudor-style) vs simulator ---
+    out.push_str("Counter-driven speedup model vs simulated STREAM triad (node-bound):\n");
+    out.push_str(&format!("  {:>8} {:>12} {:>12}\n", "threads", "predicted", "simulated"));
+    let elements = 96 * 1024usize;
+    let single = sim.run(&StreamTriad::bound(elements, 1, 0).build(sim.config()), 9);
+    let inputs = speedup_inputs_from_run(&single);
+    let model = CounterSpeedupModel {
+        imc_service: sim.config().latency.imc_service as f64,
+        remote_penalty: 1.45,
+        nodes_used: 1.0,
+    };
+    let mut max_err: f64 = 0.0;
+    for p in [2usize, 4, 8, 16] {
+        let predicted = model.predict_speedup(&inputs, p as u64);
+        let cycles = sim.run(&StreamTriad::bound(elements, p, 0).build(sim.config()), 9).cycles;
+        let simulated = single.cycles as f64 / cycles as f64;
+        max_err = max_err.max((predicted - simulated).abs() / simulated);
+        out.push_str(&format!("  {p:>8} {predicted:>12.2} {simulated:>12.2}\n"));
+    }
+    out.push('\n');
+    out.push_str(&paper_vs_measured(
+        "counter-driven speedup prediction [25]",
+        "\"accurately predicts\"",
+        &format!("max error {:.0} % over 2..16 threads", max_err * 100.0),
+        if max_err < 0.5 { "reasonable" } else { "rough" },
+    ));
+    out.push('\n');
+    out
+}
+
+/// A quick self-check used by the test suite: calibration must work on a
+/// small machine too.
+pub fn calibration_sane_on(sim: &MachineSim) -> bool {
+    let cal = calibrate(sim, 1);
+    cal.local_latency > 100.0 && cal.remote_latency > cal.local_latency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::MachineConfig;
+
+    #[test]
+    fn calibration_sane_on_small_machine() {
+        let sim = MachineSim::new(MachineConfig::two_socket_small());
+        assert!(calibration_sane_on(&sim));
+    }
+}

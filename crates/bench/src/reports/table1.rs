@@ -1,0 +1,46 @@
+//! T1: the test-system specification (Table I), as configured in the
+//! simulator, plus the substitution note DESIGN.md documents.
+
+use crate::dl580;
+
+/// Renders Table I for the simulated machine.
+pub fn report() -> String {
+    let machine = dl580();
+    let mut out = String::from("TABLE I: Specifications of the test systems.\n\n");
+    for (k, v) in machine.table_i_rows() {
+        out.push_str(&format!("  {k:<18} {v}\n"));
+    }
+    out.push_str(&format!(
+        "\n  caches: L1d {} KiB/{}-way, L2 {} KiB/{}-way, L3 {} MiB/{}-way (per node)\n",
+        machine.l1d.size_bytes >> 10,
+        machine.l1d.ways,
+        machine.l2.size_bytes >> 10,
+        machine.l2.ways,
+        machine.l3.size_bytes >> 20,
+        machine.l3.ways,
+    ));
+    out.push_str(&format!(
+        "  latencies: L1 {} cy, L2 {} cy, L3 {} cy, local DRAM {} cy, +{} cy/hop remote\n",
+        machine.latency.l1_hit,
+        machine.latency.l2_hit,
+        machine.latency.l3_hit,
+        machine.latency.local_dram,
+        machine.latency.per_hop,
+    ));
+    out.push_str(
+        "\n  substitution: the paper's physical DL580 Gen9 is replaced by the\n  \
+         deterministic np-simulator machine above (see DESIGN.md, section 2).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_contains_paper_rows() {
+        let r = super::report();
+        assert!(r.contains("DL580"));
+        assert!(r.contains("4 x 32 GiB"));
+        assert!(r.contains("Fully interconnected"));
+    }
+}

@@ -1,0 +1,154 @@
+//! NUMA balance analysis.
+//!
+//! §II-F: "With these facilities at hands, perf enables detecting
+//! imbalanced workloads among NUMA nodes." This module is that facility
+//! for the simulated machine: it reads the per-node uncore counters
+//! (memory-controller reads/writes) and the remote-access events out of a
+//! run and summarises how evenly memory traffic spreads across nodes.
+
+use crate::report::{fmt_count, render_table};
+use np_simulator::{HwEvent, MachineConfig, RunResult};
+
+/// Per-node memory traffic extracted from the uncore counters.
+#[derive(Debug, Clone)]
+pub struct NodeTraffic {
+    /// The node.
+    pub node: usize,
+    /// Memory-controller read transactions at this node.
+    pub imc_reads: u64,
+    /// Memory-controller write-backs at this node.
+    pub imc_writes: u64,
+}
+
+/// A NUMA balance summary for one run.
+#[derive(Debug, Clone)]
+pub struct BalanceReport {
+    /// Per-node traffic.
+    pub nodes: Vec<NodeTraffic>,
+    /// Fraction of demand DRAM accesses that were remote.
+    pub remote_fraction: f64,
+    /// Imbalance index: max node read share × node count (1.0 = perfectly
+    /// even, `nodes` = everything on one node).
+    pub imbalance: f64,
+}
+
+impl BalanceReport {
+    /// Extracts the balance view from a run on `machine`.
+    pub fn from_run(machine: &MachineConfig, run: &RunResult) -> BalanceReport {
+        let nodes: Vec<NodeTraffic> = (0..machine.topology.nodes)
+            .map(|n| {
+                // Uncore counters are accounted at the node's first core.
+                let c0 = machine.topology.first_core_of_node(n);
+                NodeTraffic {
+                    node: n,
+                    imc_reads: run.counters.get(c0, HwEvent::ImcRead),
+                    imc_writes: run.counters.get(c0, HwEvent::ImcWrite),
+                }
+            })
+            .collect();
+        let total_reads: u64 = nodes.iter().map(|n| n.imc_reads).sum();
+        let max_reads = nodes.iter().map(|n| n.imc_reads).max().unwrap_or(0);
+        let imbalance = if total_reads == 0 {
+            1.0
+        } else {
+            (max_reads as f64 / total_reads as f64) * nodes.len() as f64
+        };
+        let local = run.total(HwEvent::LocalDramAccess) as f64;
+        let remote = run.total(HwEvent::RemoteDramAccess) as f64;
+        let remote_fraction = if local + remote > 0.0 { remote / (local + remote) } else { 0.0 };
+        BalanceReport { nodes, remote_fraction, imbalance }
+    }
+
+    /// True when one node serves disproportionally much traffic.
+    pub fn is_imbalanced(&self, threshold: f64) -> bool {
+        self.imbalance > threshold
+    }
+
+    /// Renders the per-node table plus the summary line.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                vec![
+                    format!("node {}", n.node),
+                    fmt_count(n.imc_reads as f64),
+                    fmt_count(n.imc_writes as f64),
+                ]
+            })
+            .collect();
+        let mut out = render_table(&["node", "IMC reads", "IMC writes"], &rows);
+        out.push_str(&format!(
+            "\nimbalance index: {:.2} (1.00 = even)   remote accesses: {:.1} %\n",
+            self.imbalance,
+            self.remote_fraction * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::{MachineConfig, MachineSim};
+    use np_workloads::stream::StreamTriad;
+    use np_workloads::Workload;
+
+    fn sim() -> MachineSim {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        MachineSim::new(cfg)
+    }
+
+    #[test]
+    fn bound_workload_is_flagged_imbalanced() {
+        let sim = sim();
+        let run = sim.run(&StreamTriad::bound(64 * 1024, 4, 0).build(sim.config()), 1);
+        let b = BalanceReport::from_run(sim.config(), &run);
+        assert!(b.is_imbalanced(1.5), "imbalance {}", b.imbalance);
+        assert!((b.imbalance - 2.0).abs() < 0.05, "all traffic on node 0 of 2");
+        // Half the threads sit on node 1 and reach across.
+        assert!(b.remote_fraction > 0.3);
+    }
+
+    #[test]
+    fn interleaved_workload_is_balanced() {
+        let sim = sim();
+        let run = sim.run(&StreamTriad::interleaved(64 * 1024, 4).build(sim.config()), 1);
+        let b = BalanceReport::from_run(sim.config(), &run);
+        assert!(!b.is_imbalanced(1.5), "imbalance {}", b.imbalance);
+        assert!(b.imbalance < 1.2);
+    }
+
+    #[test]
+    fn first_touch_local_workload_is_balanced_and_local() {
+        let sim = sim();
+        let run = sim.run(&StreamTriad::local(64 * 1024, 4).build(sim.config()), 1);
+        let b = BalanceReport::from_run(sim.config(), &run);
+        assert!(b.remote_fraction < 0.05, "remote {}", b.remote_fraction);
+        assert!(b.imbalance < 1.3, "imbalance {}", b.imbalance);
+    }
+
+    #[test]
+    fn render_lists_every_node() {
+        let sim = sim();
+        let run = sim.run(&StreamTriad::bound(16 * 1024, 2, 0).build(sim.config()), 1);
+        let text = BalanceReport::from_run(sim.config(), &run).render();
+        assert!(text.contains("node 0"));
+        assert!(text.contains("node 1"));
+        assert!(text.contains("imbalance index"));
+    }
+
+    #[test]
+    fn empty_run_reports_even() {
+        let sim = sim();
+        let mut b = np_simulator::ProgramBuilder::new(&sim.config().topology, 4096);
+        let t = b.add_thread(0);
+        b.exec(t, 10);
+        let run = sim.run(&b.build(), 1);
+        let rep = BalanceReport::from_run(sim.config(), &run);
+        assert_eq!(rep.imbalance, 1.0);
+        assert_eq!(rep.remote_fraction, 0.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Cache-to-cache contention analysis (a `perf c2c` analogue).
+//!
+//! §II-F presents perf as the toolbox the paper builds on; its canonical
+//! NUMA-contention facility is `perf c2c`, which samples HITM transfers
+//! (loads served from another core's *modified* line) and groups them by
+//! cache line to expose write sharing. This module implements that
+//! analysis on the simulator's load samples:
+//!
+//! * per-line HITM and load statistics,
+//! * the set of cores touching each contended line,
+//! * the distinct byte offsets touched — multiple offsets on one HITM-hot
+//!   line is the classic **false sharing** signature, one offset is a
+//!   genuinely shared (true-sharing) word.
+
+use crate::report::{fmt_count, render_table};
+use np_simulator::{LoadSample, MachineSim, Program, ServedBy, SimObserver};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Statistics for one cache line.
+#[derive(Debug, Clone, Default)]
+pub struct LineStats {
+    /// Loads that hit this line.
+    pub loads: u64,
+    /// Loads served cache-to-cache from a modified copy (HITM).
+    pub hitm: u64,
+    /// HITMs served from a remote node.
+    pub hitm_remote: u64,
+    /// Cores that issued loads to the line.
+    pub cores: BTreeSet<usize>,
+    /// Distinct byte offsets (within the line) loaded.
+    pub offsets: BTreeSet<u8>,
+}
+
+impl LineStats {
+    /// The false-sharing heuristic: HITM-hot line touched by multiple
+    /// cores at multiple distinct offsets.
+    pub fn looks_false_shared(&self) -> bool {
+        self.hitm > 0 && self.cores.len() > 1 && self.offsets.len() > 1
+    }
+}
+
+/// The collector: groups load samples by cache line.
+pub struct CacheToCache {
+    line_bytes: u64,
+    lines: BTreeMap<u64, LineStats>,
+}
+
+impl CacheToCache {
+    /// Creates a collector for 64-byte lines.
+    pub fn new() -> Self {
+        CacheToCache { line_bytes: 64, lines: BTreeMap::new() }
+    }
+
+    /// Lines ranked by HITM count, hottest first.
+    pub fn ranked(&self) -> Vec<(u64, &LineStats)> {
+        let mut v: Vec<(u64, &LineStats)> =
+            self.lines.iter().filter(|(_, s)| s.hitm > 0).map(|(&l, s)| (l, s)).collect();
+        v.sort_by_key(|&(_, s)| std::cmp::Reverse(s.hitm));
+        v
+    }
+
+    /// Total HITM transfers observed.
+    pub fn total_hitm(&self) -> u64 {
+        self.lines.values().map(|s| s.hitm).sum()
+    }
+
+    /// Stats for the line containing `addr`.
+    pub fn line_of(&self, addr: u64) -> Option<&LineStats> {
+        self.lines.get(&(addr / self.line_bytes))
+    }
+
+    /// Renders the `perf c2c`-style report: the top `limit` contended
+    /// lines.
+    pub fn render(&self, limit: usize) -> String {
+        let rows: Vec<Vec<String>> = self
+            .ranked()
+            .into_iter()
+            .take(limit)
+            .map(|(line, s)| {
+                vec![
+                    format!("{:#014x}", line * self.line_bytes),
+                    fmt_count(s.hitm as f64),
+                    fmt_count(s.hitm_remote as f64),
+                    fmt_count(s.loads as f64),
+                    s.cores.len().to_string(),
+                    s.offsets.len().to_string(),
+                    if s.looks_false_shared() { "FALSE-SHARING?" } else { "shared" }.to_string(),
+                ]
+            })
+            .collect();
+        let mut out = render_table(
+            &["line", "hitm", "remote hitm", "loads", "cores", "offsets", "verdict"],
+            &rows,
+        );
+        out.push_str(&format!("\ntotal HITM transfers: {}\n", self.total_hitm()));
+        out
+    }
+}
+
+impl Default for CacheToCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimObserver for CacheToCache {
+    fn on_load_sample(&mut self, s: &LoadSample) {
+        let entry = self.lines.entry(s.addr / self.line_bytes).or_default();
+        entry.loads += 1;
+        entry.cores.insert(s.core);
+        entry.offsets.insert((s.addr % self.line_bytes) as u8);
+        if let ServedBy::Hitm { remote } = s.served {
+            entry.hitm += 1;
+            if remote {
+                entry.hitm_remote += 1;
+            }
+        }
+    }
+}
+
+/// Convenience: analyse one program end to end.
+pub fn analyse(sim: &MachineSim, program: &Program, seed: u64) -> CacheToCache {
+    let mut c = CacheToCache::new();
+    sim.run_observed(program, seed, &mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::{AllocPolicy, MachineConfig, ProgramBuilder};
+
+    fn sim() -> MachineSim {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        MachineSim::new(cfg)
+    }
+
+    /// Two cores ping-pong one line; one core streams privately.
+    fn contended_program(offsets: &[u64]) -> Program {
+        let sim = sim();
+        let mut b = ProgramBuilder::new(&sim.config().topology, 4096);
+        let shared = b.alloc(4096, AllocPolicy::Bind(0));
+        let private = b.alloc(1 << 20, AllocPolicy::Bind(0));
+        let t0 = b.add_thread(0);
+        let t1 = b.add_thread(1);
+        for round in 0..200u32 {
+            // Writer dirties the line; reader pulls it HITM.
+            b.store(t0, shared + offsets[0]);
+            b.barrier(t0, round * 2);
+            b.barrier(t1, round * 2);
+            b.load_dependent(t1, shared + offsets[round as usize % offsets.len()]);
+            b.barrier(t0, round * 2 + 1);
+            b.barrier(t1, round * 2 + 1);
+        }
+        for i in 0..512u64 {
+            b.load(t0, private + i * 64);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn finds_the_contended_line() {
+        let sim = sim();
+        let p = contended_program(&[0]);
+        let c = analyse(&sim, &p, 1);
+        let ranked = c.ranked();
+        assert!(!ranked.is_empty());
+        let (_, hot) = ranked[0];
+        assert!(hot.hitm > 150, "hitm {}", hot.hitm);
+        assert_eq!(hot.cores.len(), 1); // only the reader LOADS it
+        assert!(c.total_hitm() >= hot.hitm);
+    }
+
+    #[test]
+    fn single_offset_is_true_sharing() {
+        let sim = sim();
+        let c = analyse(&sim, &contended_program(&[0]), 1);
+        let (_, hot) = c.ranked()[0];
+        assert_eq!(hot.offsets.len(), 1);
+        assert!(!hot.looks_false_shared());
+    }
+
+    #[test]
+    fn multiple_offsets_flag_false_sharing() {
+        let sim = sim();
+        // The reader touches two different words of the same line, and a
+        // second reader core joins.
+        let mut b = ProgramBuilder::new(&sim.config().topology, 4096);
+        let shared = b.alloc(4096, AllocPolicy::Bind(0));
+        let t0 = b.add_thread(0);
+        let t1 = b.add_thread(1);
+        let t2 = b.add_thread(2);
+        for round in 0..100u32 {
+            b.store(t0, shared);
+            b.barrier(t0, round * 2);
+            b.barrier(t1, round * 2);
+            b.barrier(t2, round * 2);
+            b.load_dependent(t1, shared + 8);
+            b.load_dependent(t2, shared + 16);
+            b.barrier(t0, round * 2 + 1);
+            b.barrier(t1, round * 2 + 1);
+            b.barrier(t2, round * 2 + 1);
+        }
+        let c = analyse(&sim, &b.build(), 1);
+        let (_, hot) = c.ranked()[0];
+        assert!(hot.looks_false_shared(), "{hot:?}");
+    }
+
+    #[test]
+    fn private_streams_are_not_reported() {
+        let sim = sim();
+        let mut b = ProgramBuilder::new(&sim.config().topology, 4096);
+        let buf = b.alloc(1 << 20, AllocPolicy::Bind(0));
+        let t = b.add_thread(0);
+        for i in 0..1000u64 {
+            b.load(t, buf + i * 64);
+        }
+        let c = analyse(&sim, &b.build(), 1);
+        assert!(c.ranked().is_empty());
+        assert_eq!(c.total_hitm(), 0);
+    }
+
+    #[test]
+    fn render_shows_verdicts() {
+        let sim = sim();
+        let c = analyse(&sim, &contended_program(&[0]), 1);
+        let text = c.render(5);
+        assert!(text.contains("hitm"));
+        assert!(text.contains("total HITM"));
+        assert!(text.contains("0x"));
+    }
+}

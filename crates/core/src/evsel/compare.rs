@@ -1,0 +1,254 @@
+//! Run-set comparison: "When selecting 2 measurements, a comparison,
+//! including t-test is presented" (Fig. 5).
+//!
+//! Per event: the means of both run sets, the relative change, and a Welch
+//! t-test with Bessel-corrected standard deviations. Events that stayed
+//! zero everywhere are greyed out ("If a value remains zero for all
+//! measurements, it is grayed out"); with Bonferroni enabled, the per-test
+//! threshold is `α / #events`.
+
+use super::EvSel;
+use crate::report::{fmt_change, fmt_count, fmt_significance, render_table};
+use np_counters::catalog::EventId;
+use np_counters::measurement::RunSet;
+use np_stats::correlate::bonferroni_threshold;
+use np_stats::ttest::{welch_t_test, TTestResult};
+
+/// One event's row in the comparison.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// The event.
+    pub event: EventId,
+    /// Mean over run set A.
+    pub mean_a: f64,
+    /// Mean over run set B.
+    pub mean_b: f64,
+    /// `(mean_b - mean_a) / mean_a`; infinite when A is zero and B is not.
+    pub relative_change: f64,
+    /// Welch t-test, when both samples admit one.
+    pub ttest: Option<TTestResult>,
+    /// Significant at the (possibly Bonferroni-corrected) level.
+    pub significant: bool,
+    /// Zero in every run of both sets — EvSel greys these out.
+    pub grayed: bool,
+}
+
+/// The full comparison.
+#[derive(Debug, Clone)]
+pub struct ComparisonReport {
+    /// Label of run set A.
+    pub label_a: String,
+    /// Label of run set B.
+    pub label_b: String,
+    /// Per-event rows, sorted by |relative change| descending (grayed rows
+    /// last).
+    pub rows: Vec<ComparisonRow>,
+    /// The per-test significance threshold actually applied.
+    pub effective_alpha: f64,
+}
+
+impl ComparisonReport {
+    /// Row for one event.
+    pub fn row(&self, event: EventId) -> Option<&ComparisonRow> {
+        self.rows.iter().find(|r| r.event == event)
+    }
+
+    /// Only the significant rows (EvSel's icons: "this counter has changed
+    /// significantly").
+    pub fn significant_rows(&self) -> Vec<&ComparisonRow> {
+        self.rows.iter().filter(|r| r.significant).collect()
+    }
+
+    /// Renders the Fig. 8-style table.
+    pub fn render(&self) -> String {
+        let mut out = format!("EvSel comparison: {} vs {}\n", self.label_a, self.label_b);
+        out.push_str(&format!("(per-test alpha = {:.2e})\n\n", self.effective_alpha));
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.event.name().to_string(),
+                    fmt_count(r.mean_a),
+                    fmt_count(r.mean_b),
+                    fmt_change(r.relative_change),
+                    match &r.ttest {
+                        Some(t) => fmt_significance(t.significance),
+                        None => "-".to_string(),
+                    },
+                    if r.grayed {
+                        "(zero)".to_string()
+                    } else if r.significant {
+                        "*".to_string()
+                    } else {
+                        String::new()
+                    },
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(
+            &["event", "mean A", "mean B", "change", "confidence", ""],
+            &rows,
+        ));
+        out
+    }
+}
+
+/// Performs the comparison for [`EvSel::compare`].
+pub fn compare(evsel: &EvSel, a: &RunSet, b: &RunSet) -> ComparisonReport {
+    // The union of events either set measured.
+    let mut events = a.events();
+    for e in b.events() {
+        if !events.contains(&e) {
+            events.push(e);
+        }
+    }
+    let effective_alpha = if evsel.bonferroni {
+        bonferroni_threshold(evsel.alpha, events.len())
+    } else {
+        evsel.alpha
+    };
+
+    let mut rows: Vec<ComparisonRow> = events
+        .into_iter()
+        .map(|event| {
+            let sa = a.samples(event);
+            let sb = b.samples(event);
+            let mean = |s: &[f64]| {
+                if s.is_empty() {
+                    f64::NAN
+                } else {
+                    s.iter().sum::<f64>() / s.len() as f64
+                }
+            };
+            let mean_a = mean(&sa);
+            let mean_b = mean(&sb);
+            let grayed = sa.iter().all(|&v| v == 0.0) && sb.iter().all(|&v| v == 0.0);
+            let ttest = if grayed { None } else { welch_t_test(&sa, &sb) };
+            let significant =
+                ttest.as_ref().is_some_and(|t| t.p_two_sided < effective_alpha);
+            let relative_change = if mean_a == 0.0 {
+                if mean_b == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                (mean_b - mean_a) / mean_a
+            };
+            ComparisonRow { event, mean_a, mean_b, relative_change, ttest, significant, grayed }
+        })
+        .collect();
+
+    rows.sort_by(|x, y| {
+        let key = |r: &ComparisonRow| {
+            let c = r.relative_change.abs();
+            (r.grayed, if c.is_finite() { -c } else { f64::NEG_INFINITY })
+        };
+        key(x).partial_cmp(&key(y)).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    ComparisonReport {
+        label_a: a.label.clone(),
+        label_b: b.label.clone(),
+        rows,
+        effective_alpha,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_counters::measurement::Measurement;
+    use np_simulator::HwEvent;
+
+    fn runset(label: &str, event: EventId, values: &[f64]) -> RunSet {
+        let mut rs = RunSet::new(label);
+        for (i, &v) in values.iter().enumerate() {
+            let mut m = Measurement::new(i as u64);
+            m.values.insert(event, v);
+            m.values.insert(HwEvent::HitmTransfer, 0.0);
+            rs.runs.push(m);
+        }
+        rs
+    }
+
+    #[test]
+    fn detects_large_significant_change() {
+        let e = HwEvent::L1dMiss;
+        let a = runset("A", e, &[100.0, 101.0, 99.0, 100.5, 99.5]);
+        let b = runset("B", e, &[1100.0, 1101.0, 1099.0, 1100.5, 1099.5]);
+        let evsel = EvSel { bonferroni: false, ..EvSel::default() };
+        let rep = evsel.compare(&a, &b);
+        let row = rep.row(e).unwrap();
+        assert!(row.significant);
+        assert!((row.relative_change - 10.0).abs() < 0.05);
+        assert!(row.ttest.as_ref().unwrap().significance > 0.999);
+    }
+
+    #[test]
+    fn zero_events_are_grayed_and_insignificant() {
+        let a = runset("A", HwEvent::L1dMiss, &[1.0, 2.0, 3.0]);
+        let b = runset("B", HwEvent::L1dMiss, &[1.0, 2.0, 3.0]);
+        let rep = EvSel::default().compare(&a, &b);
+        let row = rep.row(HwEvent::HitmTransfer).unwrap();
+        assert!(row.grayed);
+        assert!(!row.significant);
+        // Grayed rows sort last.
+        assert_eq!(rep.rows.last().unwrap().event, HwEvent::HitmTransfer);
+    }
+
+    #[test]
+    fn bonferroni_tightens_threshold() {
+        let e = HwEvent::L2Miss;
+        // Borderline difference: place alpha between p and p·m so the
+        // event passes only without the correction (two events are in the
+        // union, so the corrected threshold is alpha/2).
+        let a = runset("A", e, &[10.0, 11.0, 12.0, 10.5, 11.5]);
+        let b = runset("B", e, &[12.0, 13.0, 14.0, 12.5, 13.5]);
+        let p = np_stats::ttest::welch_t_test(&a.samples(e), &b.samples(e))
+            .unwrap()
+            .p_two_sided;
+        let alpha = 1.5 * p;
+        let loose = EvSel { alpha, bonferroni: false, ..EvSel::default() };
+        let strict = EvSel { alpha, bonferroni: true, ..EvSel::default() };
+        let r_loose = loose.compare(&a, &b);
+        let r_strict = strict.compare(&a, &b);
+        assert!(r_strict.effective_alpha < r_loose.effective_alpha);
+        // The borderline event passes only without correction.
+        assert!(r_loose.row(e).unwrap().significant);
+        assert!(!r_strict.row(e).unwrap().significant);
+    }
+
+    #[test]
+    fn render_contains_key_fields() {
+        let e = HwEvent::FillBufferReject;
+        let a = runset("cache-hit", e, &[26.0, 27.0, 25.0]);
+        let b = runset("cache-miss", e, &[3_000_000.0, 3_000_100.0, 2_999_900.0]);
+        let evsel = EvSel { bonferroni: false, ..EvSel::default() };
+        let text = evsel.compare(&a, &b).render();
+        assert!(text.contains("fill-buffer-rejects"));
+        assert!(text.contains("3,000,000"));
+        assert!(text.contains('x'), "large factors rendered as xN:\n{text}");
+        assert!(text.contains("cache-hit") && text.contains("cache-miss"));
+    }
+
+    #[test]
+    fn new_event_reports_infinite_change() {
+        let e = HwEvent::HitmTransfer;
+        let mut a = RunSet::new("A");
+        let mut b = RunSet::new("B");
+        for i in 0..3 {
+            let mut ma = Measurement::new(i);
+            ma.values.insert(e, 0.0);
+            a.runs.push(ma);
+            let mut mb = Measurement::new(i);
+            mb.values.insert(e, 50.0 + i as f64);
+            b.runs.push(mb);
+        }
+        let rep = EvSel::default().compare(&a, &b);
+        let row = rep.row(e).unwrap();
+        assert!(row.relative_change.is_infinite());
+        assert!(!row.grayed);
+    }
+}

@@ -1,0 +1,239 @@
+//! The Memhist remote probe (Fig. 6).
+//!
+//! "Server platforms do not always provide all options for a rich
+//! graphical interface. Because of this, an additional headless probe was
+//! developed, which transfers the measured data via TCP to the GUI
+//! application." The probe lives next to the testee (here: next to the
+//! simulator), performs the threshold-cycled measurement on request, and
+//! ships the per-threshold counts back; the front-end assembles the
+//! histogram locally — exactly the split of the paper's
+//! `Probe.Measure(...)` / `Backend.EventFor(Interval)` architecture.
+//!
+//! Wire format: newline-delimited JSON over TCP.
+
+use super::{MemhistConfig, MemhistResult};
+use np_simulator::{MachineSim, Program};
+use np_stats::histogram::LatencyHistogram;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+/// A measurement request from the front-end.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbeRequest {
+    /// Seed for the simulated run.
+    pub seed: u64,
+    /// Threshold ladder to cycle.
+    pub thresholds: Vec<u64>,
+    /// Timeslices per threshold step.
+    pub slices_per_step: u32,
+}
+
+/// The probe's answer: raw per-threshold exceedance estimates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbeResponse {
+    /// Echo of the thresholds measured.
+    pub thresholds: Vec<u64>,
+    /// Scaled exceedance counts, one per threshold.
+    pub counts: Vec<i64>,
+    /// Slices each threshold was active.
+    pub coverage: Vec<u64>,
+    /// Total slices observed.
+    pub total_slices: u64,
+}
+
+/// The headless probe: owns the simulator and testee program.
+pub struct ProbeServer {
+    sim: MachineSim,
+    program: Program,
+}
+
+impl ProbeServer {
+    /// Creates a probe for one testee.
+    pub fn new(sim: MachineSim, program: Program) -> Self {
+        ProbeServer { sim, program }
+    }
+
+    /// Binds an ephemeral localhost port; returns the listener so the
+    /// caller learns the address before serving.
+    pub fn bind() -> std::io::Result<TcpListener> {
+        TcpListener::bind("127.0.0.1:0")
+    }
+
+    /// Serves exactly `n` requests on `listener`, then returns.
+    pub fn serve(&self, listener: &TcpListener, n: usize) -> std::io::Result<()> {
+        for _ in 0..n {
+            let (stream, _) = listener.accept()?;
+            self.handle(stream)?;
+        }
+        Ok(())
+    }
+
+    fn handle(&self, stream: TcpStream) -> std::io::Result<()> {
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let req: ProbeRequest = serde_json::from_str(line.trim())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+
+        let mut pebs =
+            np_counters::pebs::CyclingPebs::new(req.thresholds.clone(), req.slices_per_step);
+        self.sim.run_observed(&self.program, req.seed, &mut pebs);
+
+        let resp = ProbeResponse {
+            thresholds: req.thresholds,
+            counts: pebs.estimated_exceed_counts(),
+            coverage: pebs.coverage().to_vec(),
+            total_slices: pebs.total_slices(),
+        };
+        let mut out = serde_json::to_string(&resp)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        out.push('\n');
+        let mut stream = stream;
+        stream.write_all(out.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Front-end client: requests a measurement and assembles the histogram.
+pub struct RemoteMemhist;
+
+impl RemoteMemhist {
+    /// Fetches one measurement from the probe at `addr`.
+    pub fn fetch(
+        addr: impl ToSocketAddrs,
+        config: &MemhistConfig,
+        seed: u64,
+    ) -> std::io::Result<MemhistResult> {
+        let stream = TcpStream::connect(addr)?;
+        let req = ProbeRequest {
+            seed,
+            thresholds: config.thresholds.clone(),
+            slices_per_step: config.slices_per_step,
+        };
+        let mut out = serde_json::to_string(&req)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        out.push('\n');
+        let mut writer = stream.try_clone()?;
+        writer.write_all(out.as_bytes())?;
+        writer.flush()?;
+
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let resp: ProbeResponse = serde_json::from_str(line.trim())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+
+        let histogram = LatencyHistogram::from_threshold_counts(&resp.thresholds, &resp.counts)
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad threshold response")
+            })?;
+        Ok(MemhistResult {
+            histogram,
+            coverage: resp.coverage,
+            total_slices: resp.total_slices,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memhist::Memhist;
+    use np_simulator::MachineConfig;
+    use np_workloads::mlc::LatencyChecker;
+    use np_workloads::Workload;
+
+    fn quiet_sim() -> MachineSim {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        cfg.timeslice_cycles = 5_000;
+        MachineSim::new(cfg)
+    }
+
+    #[test]
+    fn remote_measurement_matches_local() {
+        let sim = quiet_sim();
+        let program = LatencyChecker::new(0, 0, 4 << 20, 1500).build(sim.config());
+        let config = MemhistConfig::default();
+
+        // Local reference.
+        let local = Memhist::new(config.clone()).measure(&sim, &program, 5);
+
+        // Remote probe in a background thread.
+        let listener = ProbeServer::bind().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = ProbeServer::new(quiet_sim(), program);
+        let handle = std::thread::spawn(move || server.serve(&listener, 1));
+
+        let remote = RemoteMemhist::fetch(addr, &config, 5).unwrap();
+        handle.join().unwrap().unwrap();
+
+        // Same deterministic run ⇒ identical bins.
+        assert_eq!(remote.histogram.bins.len(), local.histogram.bins.len());
+        for (r, l) in remote.histogram.bins.iter().zip(&local.histogram.bins) {
+            assert_eq!(r.count, l.count, "bin [{}, {})", r.lo, r.hi);
+        }
+        assert_eq!(remote.total_slices, local.total_slices);
+    }
+
+    #[test]
+    fn serves_multiple_sequential_requests() {
+        let sim = quiet_sim();
+        let program = LatencyChecker::new(0, 0, 2 << 20, 400).build(sim.config());
+        let config = MemhistConfig::default();
+
+        let listener = ProbeServer::bind().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = ProbeServer::new(quiet_sim(), program);
+        let handle = std::thread::spawn(move || server.serve(&listener, 2));
+
+        let a = RemoteMemhist::fetch(addr, &config, 1).unwrap();
+        let b = RemoteMemhist::fetch(addr, &config, 2).unwrap();
+        handle.join().unwrap().unwrap();
+        // Different seeds may differ, but both are well-formed.
+        assert_eq!(a.histogram.bins.len(), config.thresholds.len());
+        assert_eq!(b.histogram.bins.len(), config.thresholds.len());
+    }
+
+    #[test]
+    fn client_reports_connection_failure() {
+        // Bind-then-drop guarantees a port with no listener.
+        let addr = {
+            let l = ProbeServer::bind().unwrap();
+            l.local_addr().unwrap()
+        };
+        let err = RemoteMemhist::fetch(addr, &MemhistConfig::default(), 1);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn server_rejects_malformed_requests() {
+        use std::io::{Read, Write};
+        let sim = quiet_sim();
+        let program = LatencyChecker::new(0, 0, 1 << 20, 50).build(sim.config());
+        let listener = ProbeServer::bind().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = ProbeServer::new(quiet_sim(), program);
+        let handle = std::thread::spawn(move || server.serve(&listener, 1));
+
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.write_all(b"this is not json\n").unwrap();
+        stream.flush().unwrap();
+        // Server hangs up without a response; the serve() call errors.
+        let mut buf = String::new();
+        let _ = stream.read_to_string(&mut buf);
+        assert!(buf.is_empty());
+        assert!(handle.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn request_roundtrips_as_json() {
+        let req = ProbeRequest { seed: 7, thresholds: vec![4, 64], slices_per_step: 2 };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: ProbeRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.seed, 7);
+        assert_eq!(back.thresholds, vec![4, 64]);
+    }
+}

@@ -1,0 +1,361 @@
+//! Phasenprüfer — program run phases (§IV-C).
+//!
+//! "The tool Phasenprüfer was developed to gain insights about the ramp-up
+//! and the computation phase of an application. … the memory footprint
+//! (reserved memory, obtained through procfs) is used to determine the
+//! phases. … With the help of segmented regression, Phasenprüfer models
+//! the phases as functions and finds the phase transition" (Fig. 7).
+//!
+//! Two detectors are provided:
+//! * the paper's **footprint detector** (segmented linear regression by
+//!   exhaustive pivot search), including the k-phase extension it
+//!   sketches for BSP supersteps, and
+//! * a **counter-based detector**, which the authors tried and rejected
+//!   ("Attempts at using performance counters for phase detection failed
+//!   due to strong statistical fluctuations") — kept so the failure can be
+//!   reproduced as an ablation.
+//!
+//! After detection, counter records are attributed per phase: "In order to
+//! attribute perf event measurements to different phases, Phasenprüfer
+//! records and analyzes performance counters for the two phases
+//! separately."
+
+use crate::report::{fmt_count, render_table};
+use np_counters::catalog::EventId;
+use np_counters::procfs::{sample_footprint, to_regression_inputs};
+use np_simulator::{Counters, HwEvent, MachineSim, Program, SimObserver};
+use np_stats::segmented::{segmented_fit, segmented_fit_k, SegmentedFit};
+use std::collections::BTreeMap;
+
+/// Which signal drives phase detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseDetector {
+    /// The paper's choice: the procfs memory footprint.
+    Footprint,
+    /// The rejected alternative: a hardware counter's per-slice rate.
+    Counter(HwEvent),
+}
+
+/// A detected phase split.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Resampled signal `(cycles, value)` the detection ran on.
+    pub samples: Vec<(u64, u64)>,
+    /// Sample index of the first point of phase 2.
+    pub pivot_index: usize,
+    /// Simulated time of the phase transition, cycles.
+    pub pivot_time: u64,
+    /// The two-segment fit.
+    pub fit: SegmentedFit,
+}
+
+impl PhaseReport {
+    /// Slope of the ramp-up fit (signal units per sample).
+    pub fn ramp_slope(&self) -> f64 {
+        self.fit.before.coefficients[1]
+    }
+
+    /// Slope of the computation-phase fit.
+    pub fn compute_slope(&self) -> f64 {
+        self.fit.after.coefficients[1]
+    }
+}
+
+/// Counters attributed to each detected phase.
+#[derive(Debug, Clone)]
+pub struct PhaseAttribution {
+    /// Phase boundaries in cycles: `[0, pivot, end]` for two phases.
+    pub boundaries: Vec<u64>,
+    /// One `event -> count` map per phase.
+    pub per_phase: Vec<BTreeMap<EventId, f64>>,
+}
+
+impl PhaseAttribution {
+    /// Renders the per-phase table (the Fig. 11c view, as text).
+    pub fn render(&self, events: &[EventId]) -> String {
+        let mut headers: Vec<String> = vec!["event".into()];
+        for i in 0..self.per_phase.len() {
+            headers.push(format!("phase {}", i + 1));
+        }
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let rows: Vec<Vec<String>> = events
+            .iter()
+            .map(|e| {
+                let mut row = vec![e.name().to_string()];
+                for phase in &self.per_phase {
+                    row.push(fmt_count(phase.get(e).copied().unwrap_or(0.0)));
+                }
+                row
+            })
+            .collect();
+        render_table(&headers_ref, &rows)
+    }
+}
+
+/// The Phasenprüfer tool.
+///
+/// ```
+/// use np_core::phasen::Phasenpruefer;
+/// use np_simulator::{HwEvent, MachineConfig, MachineSim};
+/// use np_workloads::phases::PhaseTraceKernel;
+/// use np_workloads::Workload;
+///
+/// let sim = MachineSim::new(MachineConfig::two_socket_small());
+/// let trace = PhaseTraceKernel::chrome_startup().build(sim.config());
+///
+/// let (report, phases) = Phasenpruefer::default()
+///     .measure(&sim, &trace, 1, &[HwEvent::LoadRetired])
+///     .unwrap();
+/// // Ramp-up allocates fast; computation keeps a flat footprint.
+/// assert!(report.ramp_slope() > report.compute_slope().abs());
+/// assert_eq!(phases.per_phase.len(), 2);
+/// ```
+pub struct Phasenpruefer {
+    /// Resampling interval for the footprint signal, in cycles.
+    pub sample_interval: u64,
+    /// Detection signal.
+    pub detector: PhaseDetector,
+}
+
+impl Default for Phasenpruefer {
+    fn default() -> Self {
+        Phasenpruefer { sample_interval: 50_000, detector: PhaseDetector::Footprint }
+    }
+}
+
+/// Observer recording per-timeslice counter totals and footprints.
+struct SliceRecorder {
+    times: Vec<u64>,
+    totals: Vec<[u64; HwEvent::COUNT]>,
+    footprints: Vec<u64>,
+}
+
+impl SimObserver for SliceRecorder {
+    fn on_timeslice(&mut self, now: u64, counters: &Counters, footprint: u64) {
+        self.times.push(now);
+        self.totals.push(counters.totals());
+        self.footprints.push(footprint);
+    }
+}
+
+impl Phasenpruefer {
+    /// Detects phases in an already-recorded footprint series.
+    pub fn detect(&self, footprint: &[(u64, u64)]) -> Option<PhaseReport> {
+        let samples = sample_footprint(footprint, self.sample_interval);
+        let (x, y) = to_regression_inputs(&samples);
+        let fit = segmented_fit(&x, &y)?;
+        let pivot_index = fit.pivot;
+        let pivot_time = samples.get(pivot_index).map(|&(t, _)| t)?;
+        Some(PhaseReport { samples, pivot_index, pivot_time, fit })
+    }
+
+    /// Detects `k` phases (the BSP-superstep extension): returns the
+    /// boundary times.
+    pub fn detect_k(&self, footprint: &[(u64, u64)], k: usize) -> Option<Vec<u64>> {
+        let samples = sample_footprint(footprint, self.sample_interval);
+        let (x, y) = to_regression_inputs(&samples);
+        let fit = segmented_fit_k(&x, &y, k)?;
+        Some(fit.boundaries.iter().map(|&i| samples[i].0).collect())
+    }
+
+    /// Runs `program`, detects the phase split, and attributes counters to
+    /// the phases. Returns the report and the attribution.
+    pub fn measure(
+        &self,
+        sim: &MachineSim,
+        program: &Program,
+        seed: u64,
+        events: &[EventId],
+    ) -> Option<(PhaseReport, PhaseAttribution)> {
+        let mut rec = SliceRecorder { times: Vec::new(), totals: Vec::new(), footprints: Vec::new() };
+        let result = sim.run_observed(program, seed, &mut rec);
+        // Final state as the last slice.
+        rec.times.push(result.cycles);
+        rec.totals.push(result.counters.totals());
+        rec.footprints.push(result.footprint.last().map(|&(_, f)| f).unwrap_or(0));
+
+        let report = match self.detector {
+            PhaseDetector::Footprint => self.detect(&result.footprint)?,
+            PhaseDetector::Counter(event) => {
+                // Per-slice deltas of one counter as the signal.
+                let series: Vec<(u64, u64)> = rec
+                    .times
+                    .iter()
+                    .zip(rec.totals.windows(2))
+                    .map(|(&t, w)| (t, w[1][event.index()].saturating_sub(w[0][event.index()])))
+                    .collect();
+                self.detect(&series)?
+            }
+        };
+
+        let boundaries = vec![0, report.pivot_time, result.cycles];
+        let attribution = attribute(&rec, &boundaries, events);
+        Some((report, attribution))
+    }
+}
+
+/// Splits recorded counter totals at the given time boundaries.
+fn attribute(rec: &SliceRecorder, boundaries: &[u64], events: &[EventId]) -> PhaseAttribution {
+    let totals_at = |t: u64| -> [u64; HwEvent::COUNT] {
+        // Last recorded slice at or before t (zero before the first).
+        let mut last = [0u64; HwEvent::COUNT];
+        for (time, tot) in rec.times.iter().zip(&rec.totals) {
+            if *time <= t {
+                last = *tot;
+            } else {
+                break;
+            }
+        }
+        last
+    };
+    let mut per_phase = Vec::new();
+    for w in boundaries.windows(2) {
+        let start = totals_at(w[0]);
+        let end = totals_at(w[1]);
+        let mut map = BTreeMap::new();
+        for &e in events {
+            map.insert(e, end[e.index()].saturating_sub(start[e.index()]) as f64);
+        }
+        per_phase.push(map);
+    }
+    PhaseAttribution { boundaries: boundaries.to_vec(), per_phase }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::{MachineConfig, MachineSim};
+    use np_workloads::phases::PhaseTraceKernel;
+    use np_workloads::Workload;
+
+    fn quiet() -> MachineSim {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        cfg.timeslice_cycles = 10_000;
+        MachineSim::new(cfg)
+    }
+
+    fn chrome_like() -> PhaseTraceKernel {
+        PhaseTraceKernel {
+            ramp_pages: 400,
+            compute_accesses: 30_000,
+            rounds: 1,
+            compute_trickle_pages: 4,
+            release_at_end: false,
+        }
+    }
+
+    #[test]
+    fn detects_ramp_then_compute_split() {
+        let sim = quiet();
+        let r = sim.run(&chrome_like().build(sim.config()), 1);
+        let pp = Phasenpruefer::default();
+        let report = pp.detect(&r.footprint).expect("phases detected");
+        // Ramp slope steep, compute slope nearly flat.
+        assert!(
+            report.ramp_slope() > 20.0 * report.compute_slope().abs().max(1e-6),
+            "ramp {} vs compute {}",
+            report.ramp_slope(),
+            report.compute_slope()
+        );
+        // The pivot falls in the first half of the run (allocation is
+        // fast, computation long).
+        assert!(report.pivot_time < r.cycles / 2, "pivot {} of {}", report.pivot_time, r.cycles);
+    }
+
+    #[test]
+    fn attribution_splits_counters_sensibly() {
+        let sim = quiet();
+        let pp = Phasenpruefer::default();
+        let events = [HwEvent::Instructions, HwEvent::LoadRetired, HwEvent::StoreRetired];
+        let (report, attr) = pp
+            .measure(&sim, &chrome_like().build(sim.config()), 1, &events)
+            .expect("measured");
+        assert_eq!(attr.per_phase.len(), 2);
+        let ramp = &attr.per_phase[0];
+        let compute = &attr.per_phase[1];
+        // Loads dominate the compute phase; the ramp-up is store/alloc
+        // heavy relative to its loads.
+        let ramp_loads = ramp[&HwEvent::LoadRetired];
+        let compute_loads = compute[&HwEvent::LoadRetired];
+        assert!(compute_loads > 10.0 * ramp_loads.max(1.0), "{ramp_loads} vs {compute_loads}");
+        // Sanity: attribution sums to the totals.
+        let total: f64 = attr.per_phase.iter().map(|p| p[&HwEvent::Instructions]).sum();
+        assert!(total > 0.0);
+        let _ = report;
+    }
+
+    #[test]
+    fn k_phase_extension_finds_supersteps() {
+        let sim = quiet();
+        let k = PhaseTraceKernel::bsp_supersteps(3);
+        let r = sim.run(&k.build(sim.config()), 1);
+        let pp = Phasenpruefer::default();
+        // 3 ramp+compute rounds = 6 linear segments; boundaries returned.
+        let bounds = pp.detect_k(&r.footprint, 6).expect("k-phase fit");
+        assert_eq!(bounds.len(), 6);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{bounds:?}");
+    }
+
+    #[test]
+    fn counter_based_detection_is_unstable() {
+        // Reproduces the authors' observation: the footprint detector
+        // finds the allocation/compute pivot; a counter-rate detector
+        // lands somewhere else (fluctuating signal), on a machine with
+        // realistic noise.
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 5_000;
+        cfg.noise.dram_jitter = 0.08;
+        cfg.timeslice_cycles = 10_000;
+        let sim = MachineSim::new(cfg);
+        let program = chrome_like().build(sim.config());
+
+        let fp = Phasenpruefer::default();
+        let (fp_report, _) = fp
+            .measure(&sim, &program, 3, &[HwEvent::Instructions])
+            .expect("footprint detection");
+
+        let ctr = Phasenpruefer {
+            detector: PhaseDetector::Counter(HwEvent::L1dMiss),
+            ..Phasenpruefer::default()
+        };
+        let ctr_result = ctr.measure(&sim, &program, 3, &[HwEvent::Instructions]);
+        match ctr_result {
+            None => {} // no usable fit at all — also a failure mode
+            Some((ctr_report, _)) => {
+                let diff = (ctr_report.pivot_time as i64 - fp_report.pivot_time as i64).abs();
+                // The counter pivot disagrees noticeably with the footprint
+                // pivot (or the fit explains little variance).
+                let unstable = diff > (fp_report.pivot_time as i64) / 2
+                    || ctr_report.fit.before.r_squared < 0.5
+                    || ctr_report.fit.after.r_squared < 0.5;
+                assert!(
+                    unstable,
+                    "counter detection unexpectedly matched: diff {diff}, R² {} / {}",
+                    ctr_report.fit.before.r_squared, ctr_report.fit.after.r_squared
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_produces_per_phase_table() {
+        let sim = quiet();
+        let pp = Phasenpruefer::default();
+        let events = [HwEvent::Instructions, HwEvent::LoadRetired];
+        let (_, attr) = pp
+            .measure(&sim, &chrome_like().build(sim.config()), 1, &events)
+            .expect("measured");
+        let text = attr.render(&events);
+        assert!(text.contains("phase 1") && text.contains("phase 2"));
+        assert!(text.contains("instructions"));
+    }
+
+    #[test]
+    fn detect_requires_enough_samples() {
+        let pp = Phasenpruefer { sample_interval: 1_000_000_000, ..Default::default() };
+        let series = vec![(0u64, 0u64), (100, 10)];
+        assert!(pp.detect(&series).is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! Plain-text table rendering shared by the tools' reports.
+//!
+//! The original tools are GUIs (Figs. 5, 8, 9, 10, 11 are screenshots);
+//! this reproduction renders the same content as aligned text tables so
+//! that reports work over SSH and diff cleanly in EXPERIMENTS.md.
+
+/// Renders an aligned text table with a header row and a separator.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a count with thousands separators (`1234567` → `1,234,567`).
+pub fn fmt_count(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let neg = v < 0.0;
+    let i = v.abs().round() as u64;
+    let s = i.to_string();
+    let mut out = String::new();
+    for (k, c) in s.chars().enumerate() {
+        if k > 0 && (s.len() - k) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    if neg {
+        format!("-{out}")
+    } else {
+        out
+    }
+}
+
+/// Formats a relative change as a signed percentage (`0.5` → `+50.0 %`,
+/// factors above 10× as `×N`).
+pub fn fmt_change(rel: f64) -> String {
+    if !rel.is_finite() {
+        return "new".to_string();
+    }
+    if rel > 10.0 {
+        format!("x{:.0}", rel + 1.0)
+    } else {
+        format!("{:+.1} %", rel * 100.0)
+    }
+}
+
+/// Formats a significance level like EvSel's confidence display
+/// (`0.9995` → `99.95 %`).
+pub fn fmt_significance(sig: f64) -> String {
+    format!("{:.2} %", sig * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["event", "count"],
+            &[
+                vec!["cycles".into(), "123".into()],
+                vec!["L1-dcache-load-misses".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("event"));
+        assert!(lines[1].starts_with("---"));
+        // The count column starts at the same offset in both data rows.
+        let off2 = lines[2].find("123").unwrap();
+        let off3 = lines[3].find('4').unwrap();
+        assert_eq!(off2, off3);
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(0.0), "0");
+        assert_eq!(fmt_count(999.0), "999");
+        assert_eq!(fmt_count(1_000.0), "1,000");
+        assert_eq!(fmt_count(3_000_000.0), "3,000,000");
+        assert_eq!(fmt_count(-1234.0), "-1,234");
+    }
+
+    #[test]
+    fn change_formatting() {
+        assert_eq!(fmt_change(0.5), "+50.0 %");
+        assert_eq!(fmt_change(-0.9), "-90.0 %");
+        assert_eq!(fmt_change(99.0), "x100");
+        assert_eq!(fmt_change(f64::INFINITY), "new");
+    }
+
+    #[test]
+    fn significance_formatting() {
+        assert_eq!(fmt_significance(0.9995), "99.95 %");
+    }
+}

@@ -1,0 +1,226 @@
+//! Run orchestration: workloads × measurement plans → run sets.
+//!
+//! EvSel "was designed to measure all performance counters during the
+//! whole program run and does not perform event cycling thus. Since only a
+//! limited number of registers is available for measuring, program runs
+//! are repeated" (§IV-A-1). A [`MeasurementPlan`] captures those choices
+//! (which events, how many repetitions, batched vs multiplexed); the
+//! [`Runner`] executes the plan, fanning independent simulated runs across
+//! host cores with rayon.
+
+use np_counters::acquisition::{measure_batched, measure_multiplexed, AcquisitionMode};
+use np_counters::catalog::{EventCatalog, EventId};
+use np_counters::measurement::{Measurement, RunSet};
+use np_counters::pmu::PmuModel;
+use np_simulator::{MachineConfig, MachineSim, Program};
+use np_workloads::Workload;
+use rayon::prelude::*;
+
+/// What to measure and how.
+#[derive(Debug, Clone)]
+pub struct MeasurementPlan {
+    /// Events to cover.
+    pub events: Vec<EventId>,
+    /// Identically-configured repetitions (the sample size for t-tests;
+    /// the paper's EvSel takes "a number of repetitions").
+    pub repetitions: usize,
+    /// Register acquisition mode.
+    pub mode: AcquisitionMode,
+    /// Seed of the first repetition; repetition `r` uses `base_seed + r`.
+    pub base_seed: u64,
+    /// The PMU register model.
+    pub pmu: PmuModel,
+}
+
+impl MeasurementPlan {
+    /// Measures *every* catalog event with batched runs — EvSel's default
+    /// posture ("EvSel can measure all counters").
+    pub fn all_events(repetitions: usize, base_seed: u64) -> Self {
+        MeasurementPlan {
+            events: EventCatalog::builtin().ids(),
+            repetitions: repetitions.max(2),
+            mode: AcquisitionMode::BatchedRuns,
+            base_seed,
+            pmu: PmuModel::default(),
+        }
+    }
+
+    /// Measures a specific event list.
+    pub fn events(events: Vec<EventId>, repetitions: usize, base_seed: u64) -> Self {
+        MeasurementPlan {
+            events,
+            repetitions: repetitions.max(2),
+            mode: AcquisitionMode::BatchedRuns,
+            base_seed,
+            pmu: PmuModel::default(),
+        }
+    }
+
+    /// Switches to multiplexed acquisition (for the ablation).
+    pub fn multiplexed(mut self) -> Self {
+        self.mode = AcquisitionMode::Multiplexed;
+        self
+    }
+
+    /// Total simulated runs this plan will execute.
+    pub fn total_runs(&self) -> usize {
+        match self.mode {
+            AcquisitionMode::BatchedRuns => {
+                self.repetitions * self.pmu.runs_needed(&self.events)
+            }
+            AcquisitionMode::Multiplexed => self.repetitions,
+        }
+    }
+}
+
+/// Executes measurement plans against one simulated machine.
+pub struct Runner {
+    sim: MachineSim,
+}
+
+impl Runner {
+    /// Creates a runner for `machine`.
+    pub fn new(machine: MachineConfig) -> Self {
+        Runner { sim: MachineSim::new(machine) }
+    }
+
+    /// Wraps an existing simulator.
+    pub fn from_sim(sim: MachineSim) -> Self {
+        Runner { sim }
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &MachineSim {
+        &self.sim
+    }
+
+    /// Measures a workload under `plan`. Returns an error for empty plans.
+    pub fn measure(&self, workload: &dyn Workload, plan: &MeasurementPlan) -> Result<RunSet, String> {
+        let program = workload.build(self.sim.config());
+        let mut set = self.measure_program(&program, plan)?;
+        set.label = workload.name();
+        Ok(set)
+    }
+
+    /// Measures an already-built program under `plan`.
+    pub fn measure_program(&self, program: &Program, plan: &MeasurementPlan) -> Result<RunSet, String> {
+        if plan.events.is_empty() {
+            return Err("measurement plan has no events".into());
+        }
+        if plan.repetitions == 0 {
+            return Err("measurement plan has no repetitions".into());
+        }
+        let set = match plan.mode {
+            AcquisitionMode::BatchedRuns => self.measure_batched_parallel(program, plan),
+            AcquisitionMode::Multiplexed => measure_multiplexed(
+                &self.sim,
+                program,
+                &plan.events,
+                plan.repetitions,
+                plan.base_seed,
+                &plan.pmu,
+            ),
+        };
+        Ok(set)
+    }
+
+    /// Batched acquisition with repetitions fanned across host cores.
+    /// Results are bit-identical to the serial path: each repetition is an
+    /// independent `(program, seed)` simulation.
+    fn measure_batched_parallel(&self, program: &Program, plan: &MeasurementPlan) -> RunSet {
+        let runs: Vec<Measurement> = (0..plan.repetitions)
+            .into_par_iter()
+            .map(|rep| {
+                let one = measure_batched(
+                    &self.sim,
+                    program,
+                    &plan.events,
+                    1,
+                    plan.base_seed + rep as u64,
+                    &plan.pmu,
+                );
+                one.runs.into_iter().next().expect("one repetition measured")
+            })
+            .collect();
+        RunSet { runs, label: "batched".into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::HwEvent;
+    use np_workloads::cache_miss::CacheMissKernel;
+
+    fn machine() -> MachineConfig {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 5_000;
+        cfg.noise.dram_jitter = 0.05;
+        cfg
+    }
+
+    #[test]
+    fn plan_accounting() {
+        let plan = MeasurementPlan::all_events(3, 1);
+        // 33 programmable events at 4 slots → 9 runs per repetition.
+        assert_eq!(plan.total_runs(), 3 * 9);
+        let mux = MeasurementPlan::all_events(3, 1).multiplexed();
+        assert_eq!(mux.total_runs(), 3);
+    }
+
+    #[test]
+    fn measure_produces_labelled_runs() {
+        let runner = Runner::new(machine());
+        let plan = MeasurementPlan::events(
+            vec![HwEvent::Cycles, HwEvent::Instructions, HwEvent::L1dMiss],
+            3,
+            42,
+        );
+        let rs = runner.measure(&CacheMissKernel::row_major(48), &plan).unwrap();
+        assert_eq!(rs.len(), 3);
+        assert!(rs.label.contains("row-major"));
+        assert!(rs.mean(HwEvent::Instructions).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn parallel_batched_matches_serial() {
+        let runner = Runner::new(machine());
+        let w = CacheMissKernel::column_major(32);
+        let program = w.build(runner.sim().config());
+        let plan = MeasurementPlan::events(
+            vec![HwEvent::Cycles, HwEvent::L1dMiss, HwEvent::L2Miss],
+            4,
+            7,
+        );
+        let par = runner.measure_program(&program, &plan).unwrap();
+        let ser = np_counters::acquisition::measure_batched(
+            runner.sim(),
+            &program,
+            &plan.events,
+            4,
+            7,
+            &plan.pmu,
+        );
+        for (a, b) in par.runs.iter().zip(&ser.runs) {
+            assert_eq!(a.values, b.values);
+        }
+    }
+
+    #[test]
+    fn empty_plans_rejected() {
+        let runner = Runner::new(machine());
+        let w = CacheMissKernel::row_major(16);
+        let p = w.build(runner.sim().config());
+        let empty = MeasurementPlan { events: vec![], ..MeasurementPlan::all_events(2, 1) };
+        assert!(runner.measure_program(&p, &empty).is_err());
+    }
+
+    #[test]
+    fn repetitions_vary_under_noise() {
+        let runner = Runner::new(machine());
+        let plan = MeasurementPlan::events(vec![HwEvent::Cycles], 5, 9);
+        let rs = runner.measure(&CacheMissKernel::column_major(48), &plan).unwrap();
+        let cycles = rs.samples(HwEvent::Cycles);
+        assert!(cycles.windows(2).any(|w| w[0] != w[1]), "{cycles:?}");
+    }
+}

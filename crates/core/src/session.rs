@@ -1,0 +1,178 @@
+//! Measurement archives: record now, analyse later.
+//!
+//! EvSel's workflow is interactive: "All retrieved values are recorded
+//! together with their event identifiers for a single measurement run"
+//! (§IV-A-1), and the user later *selects* recorded measurements to
+//! compare (Fig. 5: "When selecting 2 measurements, a comparison,
+//! including t-test is presented"). A [`Session`] is that recording layer:
+//! run sets are saved as JSON files in a directory, listed, reloaded, and
+//! fed into the same comparison/correlation analyses — so expensive
+//! measurement campaigns and their analysis can be separated, including
+//! across machines (ship the archive, not the testee).
+
+use np_counters::measurement::RunSet;
+use std::path::{Path, PathBuf};
+
+/// A directory of recorded run sets.
+pub struct Session {
+    dir: PathBuf,
+}
+
+impl Session {
+    /// Opens (creating if needed) a session directory.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Session> {
+        std::fs::create_dir_all(&dir)?;
+        Ok(Session { dir: dir.as_ref().to_path_buf() })
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.json"))
+    }
+
+    /// Validates an archive name (a path component, not a path).
+    fn check_name(name: &str) -> std::io::Result<()> {
+        if name.is_empty()
+            || name.contains(['/', '\\'])
+            || name == "."
+            || name == ".."
+            || name.ends_with(".json")
+        {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("invalid archive name '{name}'"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Saves a run set under `name` (overwrites).
+    pub fn save(&self, name: &str, runs: &RunSet) -> std::io::Result<()> {
+        Self::check_name(name)?;
+        let json = serde_json::to_string_pretty(runs)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(self.path_of(name), json)
+    }
+
+    /// Loads the run set recorded under `name`.
+    pub fn load(&self, name: &str) -> std::io::Result<RunSet> {
+        Self::check_name(name)?;
+        let json = std::fs::read_to_string(self.path_of(name))?;
+        serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Lists recorded names, sorted.
+    pub fn list(&self) -> std::io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(".json") {
+                names.push(stem.to_string());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Deletes one recording.
+    pub fn delete(&self, name: &str) -> std::io::Result<()> {
+        Self::check_name(name)?;
+        std::fs::remove_file(self.path_of(name))
+    }
+
+    /// Loads two recordings and compares them with EvSel — the Fig. 5
+    /// "select 2 measurements" interaction.
+    pub fn compare(
+        &self,
+        evsel: &crate::evsel::EvSel,
+        a: &str,
+        b: &str,
+    ) -> std::io::Result<crate::evsel::ComparisonReport> {
+        let ra = self.load(a)?;
+        let rb = self.load(b)?;
+        Ok(evsel.compare(&ra, &rb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_counters::measurement::Measurement;
+    use np_simulator::HwEvent;
+
+    fn runset(label: &str, v: f64) -> RunSet {
+        let mut rs = RunSet::new(label);
+        for i in 0..3 {
+            let mut m = Measurement::new(i);
+            m.values.insert(HwEvent::L1dMiss, v + i as f64);
+            m.cycles = 1000 + i;
+            rs.runs.push(m);
+        }
+        rs
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("np-session-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = tempdir("roundtrip");
+        let s = Session::open(&dir).unwrap();
+        let rs = runset("baseline", 100.0);
+        s.save("baseline", &rs).unwrap();
+        let back = s.load("baseline").unwrap();
+        assert_eq!(back.label, "baseline");
+        assert_eq!(back.samples(HwEvent::L1dMiss), rs.samples(HwEvent::L1dMiss));
+        assert_eq!(back.runs[0].cycles, 1000);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn list_and_delete() {
+        let dir = tempdir("list");
+        let s = Session::open(&dir).unwrap();
+        s.save("v1", &runset("v1", 1.0)).unwrap();
+        s.save("v2", &runset("v2", 2.0)).unwrap();
+        assert_eq!(s.list().unwrap(), vec!["v1", "v2"]);
+        s.delete("v1").unwrap();
+        assert_eq!(s.list().unwrap(), vec!["v2"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compare_recorded_measurements() {
+        let dir = tempdir("compare");
+        let s = Session::open(&dir).unwrap();
+        s.save("before", &runset("before", 100.0)).unwrap();
+        s.save("after", &runset("after", 1000.0)).unwrap();
+        let evsel = crate::evsel::EvSel { bonferroni: false, ..Default::default() };
+        let report = s.compare(&evsel, "before", "after").unwrap();
+        let row = report.row(HwEvent::L1dMiss).unwrap();
+        assert!(row.relative_change > 8.0);
+        assert!(row.significant);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        let dir = tempdir("names");
+        let s = Session::open(&dir).unwrap();
+        for bad in ["", "a/b", "..", "x.json"] {
+            assert!(s.save(bad, &runset("x", 1.0)).is_err(), "accepted '{bad}'");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loading_missing_archive_errors() {
+        let dir = tempdir("missing");
+        let s = Session::open(&dir).unwrap();
+        assert!(s.load("nope").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,210 @@
+//! Step 2: indicator-to-cost analysis.
+//!
+//! "The second step consists of an indicator-to-cost analysis, which can
+//! be considered less complex compared to the first step since hardware
+//! performance indicators relate to costs much more directly" (§III-B).
+//!
+//! The model is linear least squares: `cost ≈ β₀ + Σ βᵢ · indicatorᵢ`,
+//! fitted over measured (indicator vector, cycles) pairs with the QR
+//! solver. Linearity is the physically-motivated choice — cycle counts
+//! decompose additively into per-event penalty contributions (misses ×
+//! latency etc.), which is why indicators relate to cost "much more
+//! directly" than code does.
+
+use super::IndicatorVector;
+use np_counters::catalog::EventId;
+use np_linalg::{lstsq, Matrix};
+
+/// A fitted linear indicator→cost model.
+pub struct CostModel {
+    /// The indicator events used as features, in column order.
+    pub features: Vec<EventId>,
+    /// Coefficients: `[β₀, β₁, …]` (intercept first).
+    pub beta: Vec<f64>,
+    /// Coefficient of determination on the training data.
+    pub r_squared: f64,
+}
+
+impl CostModel {
+    /// Fits the model from training pairs. Uses the intersection of events
+    /// present in every indicator vector as features. Requires more
+    /// observations than features; returns `None` otherwise or when the
+    /// design is degenerate.
+    pub fn fit(pairs: &[(IndicatorVector, f64)]) -> Option<CostModel> {
+        if pairs.len() < 3 {
+            return None;
+        }
+        // Features: events present in every observation.
+        let mut features: Vec<EventId> = pairs[0].0.keys().copied().collect();
+        for (v, _) in pairs.iter().skip(1) {
+            features.retain(|e| v.contains_key(e));
+        }
+        // Drop constant features (no identifiable coefficient).
+        features.retain(|e| {
+            let first = pairs[0].0[e];
+            pairs.iter().any(|(v, _)| (v[e] - first).abs() > 1e-9)
+        });
+        if features.is_empty() {
+            return None;
+        }
+
+        let n = pairs.len();
+        let build = |feats: &[EventId], scales: &[f64]| -> (Matrix, Matrix) {
+            let mut x = Matrix::zeros(n, feats.len() + 1);
+            let mut y = Matrix::zeros(n, 1);
+            for (i, (v, cost)) in pairs.iter().enumerate() {
+                x[(i, 0)] = 1.0;
+                for (j, e) in feats.iter().enumerate() {
+                    x[(i, j + 1)] = v[e] / scales[j];
+                }
+                y[(i, 0)] = *cost;
+            }
+            (x, y)
+        };
+        let scale_of = |e: &EventId| -> f64 {
+            let m = pairs.iter().map(|(v, _)| v[e].abs()).fold(0.0f64, f64::max);
+            if m > 0.0 {
+                m
+            } else {
+                1.0
+            }
+        };
+
+        // Greedy forward selection: indicators are often collinear (many
+        // events scale identically with workload size — the redundancy
+        // §III-B-1 notes). Keep a feature only while the design stays
+        // solvable and enough observations remain.
+        let max_cost = pairs.iter().map(|(_, c)| c.abs()).fold(0.0f64, f64::max).max(1.0);
+        let mut kept: Vec<EventId> = Vec::new();
+        let mut kept_scales: Vec<f64> = Vec::new();
+        for e in features {
+            if pairs.len() < kept.len() + 3 {
+                break;
+            }
+            let mut trial = kept.clone();
+            let mut trial_scales = kept_scales.clone();
+            trial.push(e);
+            trial_scales.push(scale_of(&e));
+            let (x, y) = build(&trial, &trial_scales);
+            match lstsq(&x, &y) {
+                // Near-collinear designs pass QR with exploding
+                // coefficients; with unit-scaled columns a well-conditioned
+                // fit keeps |β| within a few orders of the cost scale.
+                Ok(sol) if (0..sol.beta.rows()).all(|i| sol.beta[(i, 0)].abs() < 1e3 * max_cost) => {
+                    kept = trial;
+                    kept_scales = trial_scales;
+                }
+                _ => {}
+            }
+        }
+        if kept.is_empty() || pairs.len() < kept.len() + 2 {
+            return None;
+        }
+        let features = kept;
+        let scales = kept_scales;
+        let k = features.len();
+        let (x, y) = build(&features, &scales);
+        let sol = lstsq(&x, &y).ok()?;
+        let mut beta = vec![sol.beta[(0, 0)]];
+        for (j, scale) in scales.iter().enumerate().take(k) {
+            beta.push(sol.beta[(j + 1, 0)] / scale);
+        }
+
+        // R² on the training data.
+        let mean_y: f64 = pairs.iter().map(|(_, c)| c).sum::<f64>() / n as f64;
+        let tss: f64 = pairs.iter().map(|(_, c)| (c - mean_y) * (c - mean_y)).sum();
+        let r_squared = if tss == 0.0 { 1.0 } else { 1.0 - sol.rss / tss };
+
+        Some(CostModel { features, beta, r_squared })
+    }
+
+    /// Predicts the cost for an indicator vector; `None` when a feature is
+    /// missing.
+    pub fn predict(&self, indicators: &IndicatorVector) -> Option<f64> {
+        let mut cost = self.beta[0];
+        for (j, e) in self.features.iter().enumerate() {
+            cost += self.beta[j + 1] * indicators.get(e)?;
+        }
+        Some(cost)
+    }
+
+    /// Relative prediction error against a known cost.
+    pub fn relative_error(&self, indicators: &IndicatorVector, actual: f64) -> Option<f64> {
+        let predicted = self.predict(indicators)?;
+        Some((predicted - actual).abs() / actual.abs().max(1e-12))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::HwEvent;
+    use std::collections::BTreeMap;
+
+    fn vec_of(pairs: &[(EventId, f64)]) -> IndicatorVector {
+        pairs.iter().copied().collect::<BTreeMap<_, _>>()
+    }
+
+    /// Synthetic machine: cost = 1000 + 4·hits + 230·misses, with hits and
+    /// misses varied independently so the design has full rank.
+    fn training_data() -> Vec<(IndicatorVector, f64)> {
+        let mut out = Vec::new();
+        for i in 1..6 {
+            for j in 1..5 {
+                let hits = 1000.0 * i as f64;
+                let misses = 40.0 * j as f64;
+                let cost = 1000.0 + 4.0 * hits + 230.0 * misses;
+                out.push((
+                    vec_of(&[(HwEvent::L1dHit, hits), (HwEvent::L1dMiss, misses)]),
+                    cost,
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_linear_cost_structure() {
+        let m = CostModel::fit(&training_data()).unwrap();
+        assert!(m.r_squared > 0.999, "R² {}", m.r_squared);
+        // Predict an unseen combination exactly (the model is exact).
+        let probe = vec_of(&[(HwEvent::L1dHit, 12_345.0), (HwEvent::L1dMiss, 77.0)]);
+        let expected = 1000.0 + 4.0 * 12_345.0 + 230.0 * 77.0;
+        let got = m.predict(&probe).unwrap();
+        assert!((got - expected).abs() / expected < 1e-6, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn missing_feature_fails_prediction() {
+        let m = CostModel::fit(&training_data()).unwrap();
+        let probe = vec_of(&[(HwEvent::L1dHit, 10.0)]);
+        assert!(m.predict(&probe).is_none());
+    }
+
+    #[test]
+    fn constant_features_dropped() {
+        let mut data = training_data();
+        for (v, _) in &mut data {
+            v.insert(HwEvent::TimerInterrupt, 42.0);
+        }
+        let m = CostModel::fit(&data).unwrap();
+        assert!(!m.features.contains(&HwEvent::TimerInterrupt));
+    }
+
+    #[test]
+    fn too_little_data_rejected() {
+        let data = training_data().into_iter().take(2).collect::<Vec<_>>();
+        assert!(CostModel::fit(&data).is_none());
+    }
+
+    #[test]
+    fn relative_error_reports_accuracy() {
+        let m = CostModel::fit(&training_data()).unwrap();
+        let probe = vec_of(&[(HwEvent::L1dHit, 5000.0), (HwEvent::L1dMiss, 100.0)]);
+        let actual = 1000.0 + 4.0 * 5000.0 + 230.0 * 100.0;
+        let err = m.relative_error(&probe, actual).unwrap();
+        assert!(err < 1e-6);
+        let err_off = m.relative_error(&probe, actual * 2.0).unwrap();
+        assert!((err_off - 0.5).abs() < 1e-6);
+    }
+}

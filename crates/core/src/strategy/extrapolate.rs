@@ -1,0 +1,129 @@
+//! Step 1: code-to-indicator analysis by extrapolation.
+//!
+//! "For many programs, measurements with common workloads can be performed
+//! offline. For example, programmers would start by measuring small yet
+//! typical workloads. Based on these measurements, programmers could
+//! extrapolate performance indicators by continuously increasing the
+//! workload sizes or measuring varying workloads. In this way, the
+//! infeasible direct code-to-cost deduction can be circumvented" (§III-B).
+//!
+//! Implementation: per event, fit the best of the linear/quadratic/
+//! exponential families over the measured sizes (the same machinery EvSel
+//! uses) and evaluate the winner at the target size. Events whose best fit
+//! explains too little variance are dropped — the "selection" the paper
+//! demands, since "not all performance indicators are equally important,
+//! and some might even be redundant".
+
+use super::IndicatorVector;
+use crate::evsel::ParameterSweep;
+use np_counters::catalog::EventId;
+use np_stats::regression::{best_fit, RegressionFit};
+use std::collections::BTreeMap;
+
+/// Per-event extrapolation models fitted over a workload-size sweep.
+pub struct IndicatorExtrapolator {
+    /// Event → winning fit.
+    pub fits: BTreeMap<EventId, RegressionFit>,
+    /// Minimum R² for an event to be considered extrapolatable.
+    pub min_r_squared: f64,
+}
+
+impl IndicatorExtrapolator {
+    /// Fits extrapolation models from a size sweep (the x-axis is the
+    /// workload-size parameter).
+    pub fn fit(sweep: &ParameterSweep, min_r_squared: f64) -> Self {
+        let mut fits = BTreeMap::new();
+        for event in sweep.events() {
+            let (x, y) = sweep.series(event);
+            if x.len() < 4 {
+                continue;
+            }
+            if let Some((best, _)) = best_fit(&x, &y) {
+                if best.r_squared >= min_r_squared {
+                    fits.insert(event, best);
+                }
+            }
+        }
+        IndicatorExtrapolator { fits, min_r_squared }
+    }
+
+    /// Events that survived selection.
+    pub fn events(&self) -> Vec<EventId> {
+        self.fits.keys().copied().collect()
+    }
+
+    /// Predicts the full indicator vector at `size`; `None` when no event
+    /// is extrapolatable.
+    pub fn predict(&self, size: f64) -> Option<IndicatorVector> {
+        if self.fits.is_empty() {
+            return None;
+        }
+        Some(self.fits.iter().map(|(&e, f)| (e, f.predict(size).max(0.0))).collect())
+    }
+
+    /// Predicts one event at `size`.
+    pub fn predict_event(&self, event: EventId, size: f64) -> Option<f64> {
+        self.fits.get(&event).map(|f| f.predict(size).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_counters::measurement::{Measurement, RunSet};
+    use np_simulator::HwEvent;
+
+    fn sweep() -> ParameterSweep {
+        let mut s = ParameterSweep::new("size");
+        // Zig-zag values no monotone family can explain (R² « 0.95).
+        let noise = [50.0, 5.0, 95.0, 20.0, 60.0];
+        for (k, &size) in [64.0, 128.0, 256.0, 512.0, 1024.0].iter().enumerate() {
+            let mut rs = RunSet::new(format!("n{size}"));
+            for rep in 0..3 {
+                let mut m = Measurement::new(rep);
+                // Loads scale linearly, misses quadratically, and one
+                // event is pure noise.
+                m.values.insert(HwEvent::LoadRetired, 2.0 * size + rep as f64);
+                m.values.insert(HwEvent::L1dMiss, 0.01 * size * size + rep as f64);
+                m.values.insert(HwEvent::TimerInterrupt, noise[k] + rep as f64);
+                rs.runs.push(m);
+            }
+            s.push(size, rs);
+        }
+        s
+    }
+
+    #[test]
+    fn extrapolates_clean_scalings() {
+        let ex = IndicatorExtrapolator::fit(&sweep(), 0.95);
+        // Linear event predicted at 4096.
+        let loads = ex.predict_event(HwEvent::LoadRetired, 4096.0).unwrap();
+        assert!((loads - 8193.0).abs() < 50.0, "loads {loads}");
+        // Quadratic event.
+        let misses = ex.predict_event(HwEvent::L1dMiss, 4096.0).unwrap();
+        assert!((misses - 0.01 * 4096.0 * 4096.0).abs() / misses < 0.05, "misses {misses}");
+    }
+
+    #[test]
+    fn noise_events_filtered_out() {
+        let ex = IndicatorExtrapolator::fit(&sweep(), 0.95);
+        assert!(ex.predict_event(HwEvent::TimerInterrupt, 2048.0).is_none());
+        assert!(ex.events().contains(&HwEvent::LoadRetired));
+    }
+
+    #[test]
+    fn predict_vector_covers_surviving_events() {
+        let ex = IndicatorExtrapolator::fit(&sweep(), 0.9);
+        let v = ex.predict(2048.0).unwrap();
+        assert!(v.contains_key(&HwEvent::LoadRetired));
+        assert!(v.contains_key(&HwEvent::L1dMiss));
+        assert!(v.values().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn empty_extrapolator_predicts_none() {
+        let s = ParameterSweep::new("size");
+        let ex = IndicatorExtrapolator::fit(&s, 0.9);
+        assert!(ex.predict(100.0).is_none());
+    }
+}

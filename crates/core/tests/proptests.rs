@@ -1,0 +1,90 @@
+//! Property-based tests for the tool layer's invariants.
+
+use np_core::evsel::{EvSel, ParameterSweep};
+use np_counters::measurement::{Measurement, RunSet};
+use np_simulator::HwEvent;
+use proptest::prelude::*;
+
+fn runset(label: &str, values: &[f64]) -> RunSet {
+    let mut rs = RunSet::new(label);
+    for (i, &v) in values.iter().enumerate() {
+        let mut m = Measurement::new(i as u64);
+        m.values.insert(HwEvent::Cycles, v);
+        m.values.insert(HwEvent::L1dMiss, v / 2.0 + i as f64);
+        rs.runs.push(m);
+    }
+    rs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn comparison_is_antisymmetric(
+        a in proptest::collection::vec(1.0f64..1e6, 3..10),
+        b in proptest::collection::vec(1.0f64..1e6, 3..10),
+    ) {
+        let evsel = EvSel { bonferroni: false, ..EvSel::default() };
+        let ra = runset("A", &a);
+        let rb = runset("B", &b);
+        let ab = evsel.compare(&ra, &rb);
+        let ba = evsel.compare(&rb, &ra);
+        for e in [HwEvent::Cycles, HwEvent::L1dMiss] {
+            let x = ab.row(e).unwrap();
+            let y = ba.row(e).unwrap();
+            prop_assert_eq!(x.significant, y.significant, "significance must be symmetric");
+            prop_assert!(((x.mean_b - x.mean_a) + (y.mean_b - y.mean_a)).abs() < 1e-6);
+            if let (Some(tx), Some(ty)) = (&x.ttest, &y.ttest) {
+                if tx.t.is_finite() {
+                    prop_assert!((tx.p_two_sided - ty.p_two_sided).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_of_a_set_with_itself_finds_nothing(
+        a in proptest::collection::vec(1.0f64..1e6, 3..10),
+    ) {
+        let evsel = EvSel::default();
+        let ra = runset("A", &a);
+        let report = evsel.compare(&ra, &ra);
+        prop_assert!(report.significant_rows().is_empty());
+        for row in &report.rows {
+            prop_assert!(row.relative_change.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bonferroni_report_is_subset_of_naive(
+        a in proptest::collection::vec(1.0f64..1e4, 4..8),
+        shift in 0.0f64..500.0,
+    ) {
+        let b: Vec<f64> = a.iter().map(|v| v + shift).collect();
+        let naive = EvSel { alpha: 0.05, bonferroni: false, ..EvSel::default() };
+        let strict = EvSel { alpha: 0.05, bonferroni: true, ..EvSel::default() };
+        let ra = runset("A", &a);
+        let rb = runset("B", &b);
+        let naive_sig: Vec<_> =
+            naive.compare(&ra, &rb).significant_rows().iter().map(|r| r.event).collect();
+        let strict_sig: Vec<_> =
+            strict.compare(&ra, &rb).significant_rows().iter().map(|r| r.event).collect();
+        for e in &strict_sig {
+            prop_assert!(naive_sig.contains(e), "corrected finding {e:?} missing from naive set");
+        }
+    }
+
+    #[test]
+    fn sweep_correlation_sign_matches_slope(slope in -100.0f64..100.0) {
+        prop_assume!(slope.abs() > 1.0);
+        let mut sweep = ParameterSweep::new("x");
+        for x in [1.0, 2.0, 4.0, 8.0, 16.0] {
+            let base = 1e5 + slope * x;
+            sweep.push(x, runset(&format!("x{x}"), &[base, base * 1.0001, base * 0.9999]));
+        }
+        let report = EvSel::default().correlate(&sweep);
+        let row = report.row(HwEvent::Cycles).unwrap();
+        prop_assert_eq!(row.pearson.signum(), slope.signum());
+        prop_assert!(row.pearson.abs() > 0.99);
+    }
+}

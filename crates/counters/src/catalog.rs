@@ -1,0 +1,230 @@
+//! The event catalog: codes, unit masks and descriptions for every event.
+//!
+//! EvSel "presents event codes with all possible unit masks alongside the
+//! resulting semantic description. Additionally, a detailed description of
+//! the events is shown, which can later be used for identifying the
+//! corresponding performance problem" (§IV-A-1), reading them from a JSON
+//! file. [`EventCatalog`] is that list; [`EventCatalog::to_json`] /
+//! [`EventCatalog::from_json`] round-trip the same format.
+
+use np_simulator::HwEvent;
+use serde::{Deserialize, Serialize};
+
+/// The identifier tools use to name an event — the simulator's event enum,
+/// re-exported so higher layers never import `np_simulator` directly.
+pub type EventId = HwEvent;
+
+/// Catalog entry for one event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventDesc {
+    /// The event this entry describes.
+    pub id: EventId,
+    /// PMU event-select code (fabricated systematically for the simulated
+    /// PMU; the *structure* — code plus unit mask — mirrors Intel's).
+    pub code: u16,
+    /// Unit mask.
+    pub umask: u8,
+    /// perf-style symbolic name.
+    pub name: String,
+    /// Detailed description shown to the engineer.
+    pub description: String,
+    /// Whether the uncore PMU counts this event (EvSel "can measure both,
+    /// Core and uncore events").
+    pub uncore: bool,
+}
+
+/// The machine's event list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCatalog {
+    /// All events, in stable order.
+    pub events: Vec<EventDesc>,
+}
+
+impl EventCatalog {
+    /// The catalog of the simulated machine, one entry per
+    /// [`HwEvent`] variant.
+    pub fn builtin() -> Self {
+        let describe = |e: HwEvent| -> &'static str {
+            match e {
+                HwEvent::Cycles => "Core clock cycles while the thread was running.",
+                HwEvent::Instructions => "Instructions retired by the core.",
+                HwEvent::StallCycles => {
+                    "Cycles in which the core could not issue any instruction; \
+                     the difference in cycles between two runs is typically \
+                     explained by this event."
+                }
+                HwEvent::MemStallCycles => {
+                    "Stall cycles attributable to outstanding memory requests."
+                }
+                HwEvent::L1dHit => "Demand loads served by the L1 data cache.",
+                HwEvent::L1dMiss => "Demand loads that missed the L1 data cache.",
+                HwEvent::L1dEvict => "Lines evicted from the L1 data cache.",
+                HwEvent::L1dLocked => {
+                    "L1 data cache locked: the uncore page walker holds the L1d \
+                     during a TLB page walk. Correlates with thread count when \
+                     shared data forces translation traffic."
+                }
+                HwEvent::L2Hit => "Demand requests served by the private L2 cache.",
+                HwEvent::L2Miss => "Demand requests that missed the private L2 cache.",
+                HwEvent::L2PrefetchReq => {
+                    "Prefetch requests issued into the L2 by the streaming \
+                     prefetcher. Drops sharply when strides cross page \
+                     boundaries, which the prefetcher will not follow."
+                }
+                HwEvent::L2PrefetchHit => "Demand hits on lines the prefetcher staged into L2.",
+                HwEvent::L3Access => "Demand accesses reaching the shared last-level cache.",
+                HwEvent::L3Hit => "Demand accesses served by the last-level cache.",
+                HwEvent::L3Miss => "Fills from DRAM after missing the last-level cache.",
+                HwEvent::FillBufferAlloc => "Line-fill buffer (MSHR) allocations for misses.",
+                HwEvent::FillBufferReject => {
+                    "Rejected fill-buffer registration attempts: a miss found \
+                     all line-fill buffers busy and the core stalled. Near zero \
+                     for cache-friendly code; explodes for strided misses."
+                }
+                HwEvent::DtlbHit => "Data-TLB lookups that hit.",
+                HwEvent::DtlbMiss => "Data-TLB lookups that required a page walk.",
+                HwEvent::PageWalkCycles => "Cycles spent in hardware page walks.",
+                HwEvent::BranchRetired => "Retired branch instructions.",
+                HwEvent::BranchMiss => "Mispredicted branch instructions.",
+                HwEvent::SpecJumpsRetired => {
+                    "Speculatively issued jumps that retired. Falls when stalls \
+                     starve the speculation window — a high negative correlation \
+                     with thread count indicates contention."
+                }
+                HwEvent::PipelineFlush => "Pipeline flushes from branch misprediction.",
+                HwEvent::LoadRetired => "Retired load instructions.",
+                HwEvent::StoreRetired => "Retired store instructions.",
+                HwEvent::LocalDramAccess => "Demand accesses served by DRAM on the local node.",
+                HwEvent::RemoteDramAccess => {
+                    "Demand accesses served by DRAM on a remote node; each one \
+                     crosses the interconnect and costs one or more hops."
+                }
+                HwEvent::HitmTransfer => {
+                    "Loads served by a modified line in another core's cache \
+                     (HITM): the classic write-sharing/NUMA-contention signal."
+                }
+                HwEvent::CoherenceInvalidation => {
+                    "Invalidations sent to other cores' private caches on writes \
+                     to shared lines."
+                }
+                HwEvent::SnoopRequest => "Snoop requests observed by this core.",
+                HwEvent::ImcRead => "Uncore: memory-controller read transactions at this node.",
+                HwEvent::ImcWrite => "Uncore: memory-controller write-backs at this node.",
+                HwEvent::QpiTransfer => "Uncore: interconnect transfers initiated by this core.",
+                HwEvent::TimerInterrupt => "Timer interrupts delivered to this core.",
+            }
+        };
+        let events = HwEvent::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| EventDesc {
+                id: e,
+                // Systematic fabricated encoding: code page 0xA0, umask
+                // separates uncore events into their own space.
+                code: 0xA0 + i as u16,
+                umask: if e.is_uncore() { 0x10 } else { 0x01 },
+                name: e.name().to_string(),
+                description: describe(e).to_string(),
+                uncore: e.is_uncore(),
+            })
+            .collect();
+        EventCatalog { events }
+    }
+
+    /// Looks an event up by id.
+    pub fn get(&self, id: EventId) -> Option<&EventDesc> {
+        self.events.iter().find(|e| e.id == id)
+    }
+
+    /// Looks an event up by symbolic name.
+    pub fn by_name(&self, name: &str) -> Option<&EventDesc> {
+        self.events.iter().find(|e| e.name == name)
+    }
+
+    /// All event ids in catalog order.
+    pub fn ids(&self) -> Vec<EventId> {
+        self.events.iter().map(|e| e.id).collect()
+    }
+
+    /// Only core-PMU events.
+    pub fn core_events(&self) -> Vec<EventId> {
+        self.events.iter().filter(|e| !e.uncore).map(|e| e.id).collect()
+    }
+
+    /// Only uncore events.
+    pub fn uncore_events(&self) -> Vec<EventId> {
+        self.events.iter().filter(|e| e.uncore).map(|e| e.id).collect()
+    }
+
+    /// Serialises the catalog to the JSON file format EvSel reads.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("catalog serialisation cannot fail")
+    }
+
+    /// Parses a catalog from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl Default for EventCatalog {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_covers_every_event() {
+        let c = EventCatalog::builtin();
+        assert_eq!(c.events.len(), HwEvent::COUNT);
+        for e in HwEvent::ALL {
+            let d = c.get(e).unwrap();
+            assert_eq!(d.name, e.name());
+            assert!(!d.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let c = EventCatalog::builtin();
+        let mut seen = std::collections::HashSet::new();
+        for e in &c.events {
+            assert!(seen.insert((e.code, e.umask)), "duplicate code {:#x}/{:#x}", e.code, e.umask);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let c = EventCatalog::builtin();
+        assert_eq!(c.by_name("fill-buffer-rejects").unwrap().id, HwEvent::FillBufferReject);
+        assert!(c.by_name("no-such-event").is_none());
+    }
+
+    #[test]
+    fn core_uncore_partition() {
+        let c = EventCatalog::builtin();
+        let core = c.core_events();
+        let uncore = c.uncore_events();
+        assert_eq!(core.len() + uncore.len(), HwEvent::COUNT);
+        assert!(uncore.contains(&HwEvent::ImcRead));
+        assert!(core.contains(&HwEvent::L1dMiss));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = EventCatalog::builtin();
+        let json = c.to_json();
+        assert!(json.contains("fill-buffer-rejects"));
+        let back = EventCatalog::from_json(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(EventCatalog::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # np-counters — a perf-like hardware-event-counter layer
+//!
+//! The paper's tools are "built upon Linux `perf`", which abstracts raw PMU
+//! registers into named events (§II-F). This crate is that layer for the
+//! simulated machine:
+//!
+//! * an [`catalog::EventCatalog`] with codes, unit masks and human-readable
+//!   descriptions, loadable from JSON exactly like EvSel's event list
+//!   ("the event codes available on the platform are read from a JSON file
+//!   that provides descriptions for the events", §IV-A-1),
+//! * a [`pmu::PmuModel`] with *scarce registers* — a few fixed counters plus
+//!   four programmable slots per core — which forces the acquisition
+//!   trade-off the paper's EvSel design hinges on,
+//! * two acquisition strategies ([`acquisition`]): **batched repeated
+//!   runs** (EvSel's choice: "program runs are repeated to circumvent this
+//!   limitation … instead of performing event cycling") and **time
+//!   multiplexing** (the alternative EvSel avoids), so the claim can be
+//!   tested as an ablation,
+//! * a PEBS-style [`pebs`] load-latency facility: one event at a time,
+//!   threshold-qualified, period-sampled, with time-cycled thresholds — the
+//!   raw material for Memhist,
+//! * [`procfs`]-style footprint sampling for Phasenprüfer.
+
+pub mod acquisition;
+pub mod catalog;
+pub mod measurement;
+pub mod pebs;
+pub mod pmu;
+pub mod procfs;
+
+pub use acquisition::{measure_batched, measure_multiplexed, AcquisitionMode};
+pub use catalog::{EventCatalog, EventDesc, EventId};
+pub use measurement::{Measurement, RunSet};
+pub use pebs::{CyclingPebs, PebsCollector};
+pub use pmu::PmuModel;

@@ -1,0 +1,156 @@
+//! Measurement records: one run's counter values and sets of repeated runs.
+//!
+//! "All retrieved values are recorded together with their event identifiers
+//! for a single measurement run" (§IV-A-1). A [`Measurement`] is that
+//! record; a [`RunSet`] is a collection of repetitions of the same
+//! configuration, which is what EvSel's t-tests and regressions consume.
+
+use crate::catalog::EventId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The counter values of a single measurement run.
+///
+/// Values are `f64` because multiplexed acquisition produces scaled
+/// estimates; batched acquisition stores exact integer counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// `event -> machine-wide count` for all measured events.
+    pub values: BTreeMap<EventId, f64>,
+    /// Run duration in cycles.
+    pub cycles: u64,
+    /// Seed that produced the run (for reproduction).
+    pub seed: u64,
+}
+
+impl Measurement {
+    /// Creates an empty measurement.
+    pub fn new(seed: u64) -> Self {
+        Measurement { values: BTreeMap::new(), cycles: 0, seed }
+    }
+
+    /// Value of one event, if measured.
+    pub fn get(&self, event: EventId) -> Option<f64> {
+        self.values.get(&event).copied()
+    }
+
+    /// Events covered by this measurement.
+    pub fn events(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.values.keys().copied()
+    }
+}
+
+/// Repeated measurements of one identically-configured program.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunSet {
+    /// The repetitions.
+    pub runs: Vec<Measurement>,
+    /// Free-form label ("version A", "threads=8", …) shown in reports.
+    pub label: String,
+}
+
+impl RunSet {
+    /// Creates an empty run set with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        RunSet { runs: Vec::new(), label: label.into() }
+    }
+
+    /// Number of repetitions.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True when no runs were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Per-repetition samples of one event (skipping runs that did not
+    /// measure it).
+    pub fn samples(&self, event: EventId) -> Vec<f64> {
+        self.runs.iter().filter_map(|m| m.get(event)).collect()
+    }
+
+    /// Mean of one event across repetitions; `None` when unmeasured.
+    pub fn mean(&self, event: EventId) -> Option<f64> {
+        let s = self.samples(event);
+        if s.is_empty() {
+            None
+        } else {
+            Some(s.iter().sum::<f64>() / s.len() as f64)
+        }
+    }
+
+    /// The union of events measured across all runs.
+    pub fn events(&self) -> Vec<EventId> {
+        let mut set = std::collections::BTreeSet::new();
+        for m in &self.runs {
+            set.extend(m.events());
+        }
+        set.into_iter().collect()
+    }
+
+    /// Events whose value stayed exactly zero in every run — EvSel greys
+    /// these out ("If a value remains zero for all measurements, it is
+    /// grayed out").
+    pub fn all_zero_events(&self) -> Vec<EventId> {
+        self.events()
+            .into_iter()
+            .filter(|&e| self.samples(e).iter().all(|&v| v == 0.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::HwEvent;
+
+    fn m(seed: u64, pairs: &[(EventId, f64)]) -> Measurement {
+        let mut meas = Measurement::new(seed);
+        for (e, v) in pairs {
+            meas.values.insert(*e, *v);
+        }
+        meas
+    }
+
+    #[test]
+    fn samples_and_mean() {
+        let mut rs = RunSet::new("test");
+        rs.runs.push(m(1, &[(HwEvent::L1dMiss, 100.0), (HwEvent::L2Miss, 10.0)]));
+        rs.runs.push(m(2, &[(HwEvent::L1dMiss, 110.0), (HwEvent::L2Miss, 12.0)]));
+        rs.runs.push(m(3, &[(HwEvent::L1dMiss, 90.0)]));
+        assert_eq!(rs.samples(HwEvent::L1dMiss), vec![100.0, 110.0, 90.0]);
+        assert_eq!(rs.samples(HwEvent::L2Miss).len(), 2);
+        assert_eq!(rs.mean(HwEvent::L1dMiss), Some(100.0));
+        assert_eq!(rs.mean(HwEvent::L3Miss), None);
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn events_union() {
+        let mut rs = RunSet::new("u");
+        rs.runs.push(m(1, &[(HwEvent::L1dMiss, 1.0)]));
+        rs.runs.push(m(2, &[(HwEvent::L2Miss, 2.0)]));
+        let ev = rs.events();
+        assert!(ev.contains(&HwEvent::L1dMiss) && ev.contains(&HwEvent::L2Miss));
+    }
+
+    #[test]
+    fn all_zero_detection() {
+        let mut rs = RunSet::new("z");
+        rs.runs.push(m(1, &[(HwEvent::HitmTransfer, 0.0), (HwEvent::L1dMiss, 5.0)]));
+        rs.runs.push(m(2, &[(HwEvent::HitmTransfer, 0.0), (HwEvent::L1dMiss, 0.0)]));
+        let zero = rs.all_zero_events();
+        assert!(zero.contains(&HwEvent::HitmTransfer));
+        assert!(!zero.contains(&HwEvent::L1dMiss));
+    }
+
+    #[test]
+    fn empty_runset() {
+        let rs = RunSet::new("e");
+        assert!(rs.is_empty());
+        assert!(rs.events().is_empty());
+        assert_eq!(rs.mean(HwEvent::Cycles), None);
+    }
+}

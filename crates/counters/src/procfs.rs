@@ -1,0 +1,90 @@
+//! procfs-style memory-footprint sampling.
+//!
+//! Phasenprüfer uses "the memory footprint (reserved memory, obtained
+//! through procfs)" as its phase-detection input (§IV-C). The simulator
+//! records an exact footprint series; this module resamples it the way a
+//! polling reader of `/proc/<pid>/status` would see it — at a fixed
+//! interval, observing the most recent value at each tick.
+
+/// Resamples an event-driven footprint series at a fixed interval.
+///
+/// `series` must be time-ordered `(cycles, bytes)` points (as produced by
+/// the engine); the result holds one point per `interval` tick from 0 to
+/// the last event, each carrying the latest value at or before the tick.
+pub fn sample_footprint(series: &[(u64, u64)], interval: u64) -> Vec<(u64, u64)> {
+    assert!(interval > 0, "sampling interval must be positive");
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let end = series.last().unwrap().0;
+    let mut out = Vec::with_capacity((end / interval + 2) as usize);
+    let mut idx = 0usize;
+    let mut current = 0u64;
+    let mut t = 0u64;
+    loop {
+        while idx < series.len() && series[idx].0 <= t {
+            current = series[idx].1;
+            idx += 1;
+        }
+        out.push((t, current));
+        if t >= end {
+            break;
+        }
+        t += interval;
+    }
+    out
+}
+
+/// Converts a sampled series into the `(x, y)` slices segmented regression
+/// consumes: x in sample index units, y in MiB.
+pub fn to_regression_inputs(samples: &[(u64, u64)]) -> (Vec<f64>, Vec<f64>) {
+    let x: Vec<f64> = (0..samples.len()).map(|i| i as f64).collect();
+    let y: Vec<f64> = samples.iter().map(|&(_, b)| b as f64 / (1024.0 * 1024.0)).collect();
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resamples_step_function() {
+        let series = vec![(0, 0), (100, 10), (250, 20), (400, 30)];
+        let s = sample_footprint(&series, 100);
+        assert_eq!(s, vec![(0, 0), (100, 10), (200, 10), (300, 20), (400, 30)]);
+    }
+
+    #[test]
+    fn holds_last_value_between_events() {
+        let series = vec![(0, 0), (50, 100)];
+        let s = sample_footprint(&series, 20);
+        assert_eq!(s.last().unwrap().1, 100);
+        assert_eq!(s[1], (20, 0));
+        assert_eq!(s[3], (60, 100));
+    }
+
+    #[test]
+    fn empty_series_yields_empty() {
+        assert!(sample_footprint(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let s = sample_footprint(&[(0, 42)], 10);
+        assert_eq!(s, vec![(0, 42)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_rejected() {
+        sample_footprint(&[(0, 1)], 0);
+    }
+
+    #[test]
+    fn regression_inputs_units() {
+        let samples = vec![(0u64, 0u64), (10, 1 << 20), (20, 2 << 20)];
+        let (x, y) = to_regression_inputs(&samples);
+        assert_eq!(x, vec![0.0, 1.0, 2.0]);
+        assert_eq!(y, vec![0.0, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the measurement layer.
+
+use np_counters::catalog::{EventCatalog, EventId};
+use np_counters::measurement::{Measurement, RunSet};
+use np_counters::pebs::CyclingPebs;
+use np_counters::pmu::PmuModel;
+use np_counters::procfs::sample_footprint;
+use np_simulator::{HwEvent, SimObserver};
+use proptest::prelude::*;
+
+fn arbitrary_events(max: usize) -> impl Strategy<Value = Vec<EventId>> {
+    proptest::collection::vec(0usize..HwEvent::COUNT, 1..max)
+        .prop_map(|idxs| idxs.into_iter().map(|i| HwEvent::ALL[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pmu_batches_cover_every_requested_event_exactly_once(
+        events in arbitrary_events(40),
+        slots in 1usize..8,
+    ) {
+        let pmu = PmuModel { fixed: vec![HwEvent::Cycles, HwEvent::Instructions], programmable_slots: slots };
+        let batches = pmu.batches(&events);
+        // Every batch fits the registers.
+        for b in &batches {
+            prop_assert!(b.len() <= slots);
+        }
+        // Every non-fixed requested event appears exactly once.
+        let mut want: std::collections::BTreeSet<EventId> = events
+            .iter()
+            .copied()
+            .filter(|e| !pmu.fixed.contains(e))
+            .collect();
+        for b in &batches {
+            for e in b {
+                prop_assert!(want.remove(e), "event {e:?} duplicated or unrequested");
+            }
+        }
+        prop_assert!(want.is_empty(), "events not covered: {want:?}");
+    }
+
+    #[test]
+    fn runs_needed_consistent_with_batches(events in arbitrary_events(40)) {
+        let pmu = PmuModel::default();
+        prop_assert_eq!(pmu.runs_needed(&events), pmu.batches(&events).len().max(1));
+    }
+
+    #[test]
+    fn runset_mean_lies_within_sample_range(values in proptest::collection::vec(0.0f64..1e9, 2..20)) {
+        let mut rs = RunSet::new("p");
+        for (i, v) in values.iter().enumerate() {
+            let mut m = Measurement::new(i as u64);
+            m.values.insert(HwEvent::Cycles, *v);
+            rs.runs.push(m);
+        }
+        let mean = rs.mean(HwEvent::Cycles).unwrap();
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+    }
+
+    #[test]
+    fn footprint_sampling_preserves_final_value(
+        deltas in proptest::collection::vec(1u64..1000, 1..30),
+        interval in 1u64..500,
+    ) {
+        // Build a monotone series.
+        let mut t = 0;
+        let mut v = 0;
+        let mut series = Vec::new();
+        for d in deltas {
+            t += d;
+            v += d;
+            series.push((t, v));
+        }
+        let sampled = sample_footprint(&series, interval);
+        prop_assert_eq!(sampled.last().unwrap().1, v);
+        // Sampled values are a subset progression: monotone for monotone input.
+        for w in sampled.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+            prop_assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn cycling_pebs_coverage_sums_to_total(
+        n_thresholds in 1usize..8,
+        slices in 1u64..100,
+        per_step in 1u32..5,
+    ) {
+        let thresholds: Vec<u64> = (0..n_thresholds as u64).map(|i| 4 << i).collect();
+        let mut cy = CyclingPebs::new(thresholds, per_step);
+        let counters = np_simulator::Counters::new(1);
+        for s in 0..slices {
+            cy.on_timeslice(s, &counters, 0);
+        }
+        let total: u64 = cy.coverage().iter().sum();
+        prop_assert_eq!(total, slices);
+        prop_assert_eq!(cy.total_slices(), slices);
+        // Coverage is balanced to within one rotation step.
+        let min = cy.coverage().iter().min().copied().unwrap_or(0);
+        let max = cy.coverage().iter().max().copied().unwrap_or(0);
+        prop_assert!(max - min <= per_step as u64);
+    }
+
+    #[test]
+    fn catalog_json_roundtrip_is_lossless(drop in 0usize..10) {
+        // Serialise a (possibly truncated) catalog and reload it.
+        let mut cat = EventCatalog::builtin();
+        cat.events.truncate(cat.events.len().saturating_sub(drop));
+        let back = EventCatalog::from_json(&cat.to_json()).unwrap();
+        prop_assert_eq!(cat, back);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for np-linalg: algebraic identities that must hold
+//! for arbitrary well-conditioned inputs.
+
+use np_linalg::{cholesky, lstsq, qr, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a matrix of the given shape with entries in [-10, 10].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+}
+
+/// Strategy: a symmetric positive-definite matrix built as AᵀA + εI.
+fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix(n, n).prop_map(move |a| {
+        let ata = a.transpose().matmul(&a).unwrap();
+        ata.add(&Matrix::identity(n).scale(0.5)).unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in matrix(4, 3)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in matrix(3, 4), b in matrix(4, 2), c in matrix(4, 2)) {
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.sub(&rhs).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in matrix(3, 4), b in matrix(4, 2)) {
+        // (AB)ᵀ = Bᵀ Aᵀ
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(lhs.sub(&rhs).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_is_neutral(a in matrix(4, 4)) {
+        let i = Matrix::identity(4);
+        prop_assert!(a.matmul(&i).unwrap().sub(&a).unwrap().max_abs() < 1e-12);
+        prop_assert!(i.matmul(&a).unwrap().sub(&a).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn qr_reconstructs(a in matrix(6, 3)) {
+        // Skip (rare) rank-deficient random draws, which QR rejects.
+        if let Ok(dec) = qr(&a) {
+            let recon = dec.q.matmul(&dec.r).unwrap();
+            prop_assert!(recon.sub(&a).unwrap().max_abs() < 1e-8);
+            let qtq = dec.q.transpose().matmul(&dec.q).unwrap();
+            prop_assert!(qtq.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs(a in spd(4)) {
+        let l = cholesky(&a).unwrap();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        prop_assert!(recon.sub(&a).unwrap().max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn lstsq_residual_orthogonal_to_design(x in matrix(8, 3), y in matrix(8, 1)) {
+        if let Ok(sol) = lstsq(&x, &y) {
+            let resid = y.sub(&sol.fitted).unwrap();
+            let xtr = x.transpose().matmul(&resid).unwrap();
+            // Scale tolerance with the problem's magnitude.
+            let scale = 1.0 + x.max_abs() * y.max_abs();
+            prop_assert!(xtr.max_abs() < 1e-7 * scale, "Xᵀr = {}", xtr.max_abs());
+        }
+    }
+
+    #[test]
+    fn lstsq_rss_is_minimal_under_perturbation(x in matrix(8, 2), y in matrix(8, 1), d0 in -0.5f64..0.5, d1 in -0.5f64..0.5) {
+        if let Ok(sol) = lstsq(&x, &y) {
+            let mut perturbed = sol.beta.clone();
+            perturbed[(0, 0)] += d0;
+            perturbed[(1, 0)] += d1;
+            let fitted = x.matmul(&perturbed).unwrap();
+            let r = y.sub(&fitted).unwrap();
+            let rss_p = r.dot(&r).unwrap();
+            prop_assert!(rss_p + 1e-9 >= sol.rss);
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_triangle_inequality(a in matrix(3, 3), b in matrix(3, 3)) {
+        let sum = a.add(&b).unwrap();
+        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
+    }
+}

@@ -1,0 +1,124 @@
+//! Bulk-synchronous parallel cost model (§II-B).
+//!
+//! "In BSP, a concurrent section is executed by multiple processors. The
+//! processors then wait at a global barrier to resynchronize for
+//! communication. … These three steps form a so-called superstep of
+//! computation. Performance hereby depends on the slowest processor in
+//! terms of execution and the communication phases."
+//!
+//! The standard cost of a superstep is `max_i w_i + g·h + l`, where `w_i`
+//! is processor `i`'s local work, `h` the maximal number of words any
+//! processor sends or receives, `g` the gap (inverse bandwidth) and `l`
+//! the barrier latency.
+
+/// One BSP superstep description.
+#[derive(Debug, Clone)]
+pub struct Superstep {
+    /// Local work per processor, in cycles.
+    pub work: Vec<u64>,
+    /// Maximal words sent or received by any processor (the `h` in an
+    /// `h`-relation).
+    pub h: u64,
+}
+
+impl Superstep {
+    /// A superstep with uniform work across `p` processors.
+    pub fn uniform(p: usize, work: u64, h: u64) -> Self {
+        Superstep { work: vec![work; p], h }
+    }
+
+    /// The waiting (load-imbalance) loss of this superstep: the summed gap
+    /// to the slowest processor — the paper's "loss of parallelization
+    /// potential can be determined by summing up the waiting time".
+    pub fn imbalance_loss(&self) -> u64 {
+        let max = self.work.iter().copied().max().unwrap_or(0);
+        self.work.iter().map(|&w| max - w).sum()
+    }
+}
+
+/// A BSP machine `(p, g, l)`.
+///
+/// ```
+/// use np_models::bsp::{BspMachine, Superstep};
+///
+/// let m = BspMachine { p: 4, g: 2.0, l: 100.0 };
+/// let step = Superstep::uniform(4, 1000, 32);
+/// // max work + g·h + l
+/// assert_eq!(m.superstep_cost(&step), 1000.0 + 64.0 + 100.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BspMachine {
+    /// Processors.
+    pub p: u64,
+    /// Gap: cycles per transferred word.
+    pub g: f64,
+    /// Barrier synchronisation latency in cycles.
+    pub l: f64,
+}
+
+impl BspMachine {
+    /// Cost of one superstep: `max w + g·h + l`.
+    pub fn superstep_cost(&self, s: &Superstep) -> f64 {
+        let max_w = s.work.iter().copied().max().unwrap_or(0) as f64;
+        max_w + self.g * s.h as f64 + self.l
+    }
+
+    /// Total cost of a program: the sum over its supersteps.
+    pub fn program_cost(&self, steps: &[Superstep]) -> f64 {
+        steps.iter().map(|s| self.superstep_cost(s)).sum()
+    }
+
+    /// Predicted cost of a block-parallel workload with `work` total
+    /// cycles of compute and `words` communicated per superstep boundary,
+    /// split into `steps` supersteps.
+    pub fn block_parallel_cost(&self, work: u64, words: u64, steps: u64) -> f64 {
+        let per_step = Superstep::uniform(
+            self.p as usize,
+            work / self.p / steps.max(1),
+            words / steps.max(1),
+        );
+        self.superstep_cost(&per_step) * steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superstep_cost_formula() {
+        let m = BspMachine { p: 4, g: 2.0, l: 100.0 };
+        let s = Superstep { work: vec![10, 20, 30, 40], h: 5 };
+        assert_eq!(m.superstep_cost(&s), 40.0 + 10.0 + 100.0);
+    }
+
+    #[test]
+    fn slowest_processor_dominates() {
+        let m = BspMachine { p: 2, g: 0.0, l: 0.0 };
+        let balanced = Superstep { work: vec![50, 50], h: 0 };
+        let skewed = Superstep { work: vec![1, 99], h: 0 };
+        assert!(m.superstep_cost(&skewed) > m.superstep_cost(&balanced));
+        assert_eq!(skewed.imbalance_loss(), 98);
+        assert_eq!(balanced.imbalance_loss(), 0);
+    }
+
+    #[test]
+    fn program_cost_sums_supersteps() {
+        let m = BspMachine { p: 2, g: 1.0, l: 10.0 };
+        let steps = vec![Superstep::uniform(2, 100, 4), Superstep::uniform(2, 50, 2)];
+        assert_eq!(m.program_cost(&steps), (100.0 + 4.0 + 10.0) + (50.0 + 2.0 + 10.0));
+    }
+
+    #[test]
+    fn more_processors_reduce_block_cost_until_overheads_dominate() {
+        let small = BspMachine { p: 2, g: 1.0, l: 500.0 };
+        let large = BspMachine { p: 16, g: 1.0, l: 500.0 };
+        let c2 = small.block_parallel_cost(1_000_000, 1000, 4);
+        let c16 = large.block_parallel_cost(1_000_000, 1000, 4);
+        assert!(c16 < c2);
+        // With tiny work, barriers dominate and parallelism stops paying.
+        let t2 = small.block_parallel_cost(100, 1000, 4);
+        let t16 = large.block_parallel_cost(100, 1000, 4);
+        assert!((t16 - t2).abs() < 600.0);
+    }
+}

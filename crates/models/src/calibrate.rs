@@ -1,0 +1,189 @@
+//! Parameter calibration against the simulated machine.
+//!
+//! Machine-based NUMA models are "built upon prior measurements on the
+//! hardware, which determine bandwidth and latencies of the NUMA
+//! interconnect" (Braithwaite et al. [22], §II-D). This module runs those
+//! prior measurements as micro-probes on the simulator and returns the
+//! parameter sets the other modules consume — closing the loop from
+//! machine to model without any hand-typed constants.
+
+use crate::bsp::BspMachine;
+use crate::knuma::{KNumaMachine, Level};
+use crate::logp::LogPMachine;
+use np_simulator::{AllocPolicy, HwEvent, MachineSim, ProgramBuilder};
+
+/// Calibrated machine parameters.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Median local DRAM latency, cycles.
+    pub local_latency: f64,
+    /// Median one-hop remote DRAM latency, cycles.
+    pub remote_latency: f64,
+    /// Gap: cycles per byte of streaming DRAM traffic (single thread).
+    pub gap_per_byte: f64,
+    /// Barrier cost, cycles.
+    pub barrier_cost: f64,
+}
+
+/// Runs the calibration probes.
+pub fn calibrate(sim: &MachineSim, seed: u64) -> Calibration {
+    let topo = sim.config().topology.clone();
+    let page = sim.config().page_bytes;
+
+    // Latency probes: dependent page-strided chases, local and remote.
+    let latency_probe = |to_node: usize| -> f64 {
+        let mut b = ProgramBuilder::new(&topo, page);
+        let buf = b.alloc(8 << 20, AllocPolicy::Bind(to_node));
+        let t = b.add_thread(0);
+        let pages = (8 << 20) / page;
+        for i in 0..600u64 {
+            b.load_dependent(t, buf + ((i * 769) % pages) * page);
+        }
+        let r = sim.run(&b.build(), seed);
+        // Per-chase latency: cycles dominated by the dependent chain.
+        r.cycles as f64 / 600.0
+    };
+    let local_latency = latency_probe(0);
+    let remote_latency = if topo.nodes > 1 { latency_probe(1) } else { local_latency };
+
+    // Bandwidth probe: one thread streams a large buffer; gap =
+    // cycles / bytes.
+    let gap_per_byte = {
+        let mut b = ProgramBuilder::new(&topo, page);
+        let bytes: u64 = 4 << 20;
+        let buf = b.alloc(bytes, AllocPolicy::Bind(0));
+        let t = b.add_thread(0);
+        for i in 0..(bytes / 64) {
+            b.load(t, buf + i * 64);
+        }
+        let r = sim.run(&b.build(), seed);
+        r.cycles as f64 / bytes as f64
+    };
+
+    // Barrier probe: many empty barriers between two threads.
+    let barrier_cost = {
+        let mut b = ProgramBuilder::new(&topo, page);
+        let t0 = b.add_thread(0);
+        let t1 = b.add_thread(1);
+        for i in 0..200u32 {
+            b.barrier(t0, i);
+            b.barrier(t1, i);
+        }
+        let r = sim.run(&b.build(), seed);
+        r.cycles as f64 / 200.0
+    };
+
+    Calibration { local_latency, remote_latency, gap_per_byte, barrier_cost }
+}
+
+impl Calibration {
+    /// A flat BSP machine from the calibration (word = 8 bytes).
+    pub fn bsp(&self, p: u64) -> BspMachine {
+        BspMachine { p, g: self.gap_per_byte * 8.0, l: self.barrier_cost }
+    }
+
+    /// A LogP machine from the calibration.
+    pub fn logp(&self, p: u64) -> LogPMachine {
+        LogPMachine {
+            l: self.remote_latency,
+            o: 10.0,
+            g: self.gap_per_byte * 64.0, // per cache line
+            p,
+        }
+    }
+
+    /// A two-level κNUMA machine from the calibration.
+    pub fn knuma(&self, cores_per_node: u64, nodes: u64) -> KNumaMachine {
+        KNumaMachine {
+            levels: vec![
+                Level {
+                    fanout: cores_per_node,
+                    g: self.gap_per_byte * 8.0,
+                    l: self.barrier_cost,
+                },
+                Level {
+                    fanout: nodes,
+                    g: self.gap_per_byte * 8.0 * (self.remote_latency / self.local_latency),
+                    l: self.barrier_cost * 3.0,
+                },
+            ],
+        }
+    }
+}
+
+/// Extracts [`crate::speedup::CounterInputs`] from a measured run — the
+/// counter-to-model bridge.
+pub fn speedup_inputs_from_run(r: &np_simulator::RunResult) -> crate::speedup::CounterInputs {
+    let local = r.total(HwEvent::LocalDramAccess) as f64;
+    let remote = r.total(HwEvent::RemoteDramAccess) as f64;
+    crate::speedup::CounterInputs {
+        cycles: r.cycles as f64,
+        mem_stall_cycles: r.total(HwEvent::MemStallCycles) as f64,
+        dram_lines: r.total(HwEvent::ImcRead) as f64,
+        remote_fraction: if local + remote > 0.0 { remote / (local + remote) } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::MachineConfig;
+
+    fn quiet() -> MachineSim {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        MachineSim::new(cfg)
+    }
+
+    #[test]
+    fn calibration_recovers_machine_structure() {
+        let sim = quiet();
+        let c = calibrate(&sim, 1);
+        // Dependent chases include the TLB walk (~35 cy) on top of DRAM.
+        assert!(
+            (230.0..320.0).contains(&c.local_latency),
+            "local {}",
+            c.local_latency
+        );
+        assert!(
+            c.remote_latency > c.local_latency + 80.0,
+            "remote {} local {}",
+            c.remote_latency,
+            c.local_latency
+        );
+        assert!(c.gap_per_byte > 0.0 && c.gap_per_byte < 2.0, "gap {}", c.gap_per_byte);
+        assert!(c.barrier_cost > 0.0 && c.barrier_cost < 10_000.0);
+    }
+
+    #[test]
+    fn calibrated_models_are_consistent() {
+        let sim = quiet();
+        let c = calibrate(&sim, 2);
+        let bsp = c.bsp(8);
+        assert_eq!(bsp.p, 8);
+        assert!(bsp.g > 0.0);
+        let knuma = c.knuma(4, 2);
+        assert_eq!(knuma.processors(), 8);
+        // Crossing sockets must be the more expensive level.
+        assert!(knuma.levels[1].g > knuma.levels[0].g);
+        let logp = c.logp(8);
+        assert!(logp.l > 200.0);
+    }
+
+    #[test]
+    fn speedup_inputs_extracted_from_run() {
+        let sim = quiet();
+        let mut b = ProgramBuilder::new(&sim.config().topology, 4096);
+        let buf = b.alloc(4 << 20, AllocPolicy::Bind(1));
+        let t = b.add_thread(0);
+        for i in 0..1000u64 {
+            b.load(t, buf + i * 4096);
+        }
+        let r = sim.run(&b.build(), 1);
+        let inputs = speedup_inputs_from_run(&r);
+        assert!(inputs.cycles > 0.0);
+        assert!(inputs.remote_fraction > 0.99, "all-remote workload");
+        assert!(inputs.dram_lines >= 1000.0);
+    }
+}

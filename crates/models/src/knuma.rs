@@ -1,0 +1,131 @@
+//! κNUMA: a κ-deep tree of BSP machines (§II-D, Fig. 3).
+//!
+//! "Schmollinger and Kaufman propose a model named κNUMA, which is aimed
+//! at clusters and SMP machines. The model builds on top of the concept of
+//! communication in BSP, extending it through submachine functionality.
+//! κNUMA can be thought of as a κ-deep tree hierarchy of processors. The
+//! authors present a cost function that integrates sub-processor
+//! communication costs into global superstep costs."
+//!
+//! Level 0 is the innermost machine (cores sharing a cache/socket); each
+//! outer level wraps `fanout` copies of the previous one with its own
+//! (g, l) parameters. A κNUMA superstep at level `k` costs the inner
+//! superstep plus the communication and synchronisation terms of every
+//! level up to `k` — inner-node communication is cheap, inter-node
+//! communication pays the outer gaps.
+
+/// Per-level BSP parameters of the tree.
+#[derive(Debug, Clone, Copy)]
+pub struct Level {
+    /// Submachines (or cores, at level 0) grouped at this level.
+    pub fanout: u64,
+    /// Gap (cycles/word) for communication crossing this level.
+    pub g: f64,
+    /// Barrier latency for synchronising this level.
+    pub l: f64,
+}
+
+/// A κNUMA machine: `levels.len()` = κ.
+#[derive(Debug, Clone)]
+pub struct KNumaMachine {
+    /// Tree levels, innermost first.
+    pub levels: Vec<Level>,
+}
+
+impl KNumaMachine {
+    /// Total processor count: the product of fanouts.
+    pub fn processors(&self) -> u64 {
+        self.levels.iter().map(|l| l.fanout).product()
+    }
+
+    /// Tree depth κ.
+    pub fn kappa(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Cost of a superstep with `work` max local work and `h[k]` words
+    /// crossing level `k` per processor. Communication confined to inner
+    /// levels never pays outer gaps — the submachine locality that
+    /// distinguishes κNUMA from flat BSP.
+    pub fn superstep_cost(&self, work: f64, h: &[u64]) -> f64 {
+        assert_eq!(h.len(), self.levels.len(), "one h-relation per level");
+        work + self
+            .levels
+            .iter()
+            .zip(h)
+            .map(|(lvl, &hk)| if hk > 0 { lvl.g * hk as f64 + lvl.l } else { 0.0 })
+            .sum::<f64>()
+    }
+
+    /// Cost of the same communication volume on a *flat* BSP machine that
+    /// charges everything at the outermost level — the baseline κNUMA
+    /// improves on.
+    pub fn flat_bsp_cost(&self, work: f64, h: &[u64]) -> f64 {
+        let outer = self.levels.last().expect("at least one level");
+        let total_h: u64 = h.iter().sum();
+        let sync: f64 = if total_h > 0 { outer.l } else { 0.0 };
+        work + outer.g * total_h as f64 + sync
+    }
+
+    /// A κ=2 machine matching the simulator's DL580 preset: 18 cores per
+    /// socket sharing an L3, four fully-interconnected sockets.
+    pub fn dl580_like() -> Self {
+        KNumaMachine {
+            levels: vec![
+                Level { fanout: 18, g: 0.3, l: 120.0 },  // within a socket
+                Level { fanout: 4, g: 1.8, l: 900.0 },   // across sockets
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processor_count_is_fanout_product() {
+        let m = KNumaMachine::dl580_like();
+        assert_eq!(m.processors(), 72);
+        assert_eq!(m.kappa(), 2);
+    }
+
+    #[test]
+    fn inner_communication_cheaper_than_outer() {
+        let m = KNumaMachine::dl580_like();
+        let inner = m.superstep_cost(1000.0, &[64, 0]);
+        let outer = m.superstep_cost(1000.0, &[0, 64]);
+        assert!(inner < outer, "inner {inner} vs outer {outer}");
+    }
+
+    #[test]
+    fn hierarchy_beats_flat_bsp_for_local_traffic() {
+        let m = KNumaMachine::dl580_like();
+        // Mostly socket-local traffic.
+        let h = [1000, 10];
+        let knuma = m.superstep_cost(500.0, &h);
+        let flat = m.flat_bsp_cost(500.0, &h);
+        assert!(knuma < flat, "knuma {knuma} vs flat {flat}");
+    }
+
+    #[test]
+    fn all_remote_traffic_converges_to_flat() {
+        let m = KNumaMachine::dl580_like();
+        let h = [0, 500];
+        let knuma = m.superstep_cost(100.0, &h);
+        let flat = m.flat_bsp_cost(100.0, &h);
+        assert!((knuma - flat).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_communication_costs_no_sync() {
+        let m = KNumaMachine::dl580_like();
+        assert_eq!(m.superstep_cost(42.0, &[0, 0]), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one h-relation per level")]
+    fn mismatched_h_rejected() {
+        KNumaMachine::dl580_like().superstep_cost(1.0, &[1]);
+    }
+}

@@ -1,0 +1,44 @@
+//! # np-models — computable classical cost models
+//!
+//! §II-E of the paper laments that "most cost models are based on
+//! theoretical considerations and often are only available in textual
+//! form. This makes it impossible for computers to automatically determine
+//! costs based on these cost models." This crate answers that complaint
+//! directly: the models the survey discusses are implemented as *callable
+//! cost functions*, parameterised either by hand or by calibration probes
+//! run against the simulator ([`calibrate`]).
+//!
+//! * [`pram`] — the first era: PRAM work/depth costs with EREW/CREW/CRCW
+//!   access semantics (§II-A).
+//! * [`bsp`] — the second era: Valiant's bulk-synchronous supersteps
+//!   `w + g·h + l` (§II-B).
+//! * [`logp`] — LogP and its LogGP long-message extension (§II-B).
+//! * [`memory_logp`] — Memory LogP: hierarchical point-to-point costs
+//!   across cache levels (§II-C).
+//! * [`knuma`] — Schmollinger & Kaufmann's κNUMA: a κ-deep tree of BSP
+//!   machines with inner-node and inter-node communication terms (§II-D,
+//!   Fig. 3).
+//! * [`speedup`] — a counter-driven speedup predictor in the spirit of
+//!   Tudor & Teo [25]: it consumes *hardware event counters* (the paper's
+//!   performance indicators) instead of code analysis.
+//! * [`online`] — the online variant in the spirit of Cho et al. [26]: a
+//!   prefix of a running execution predicts the scalability curve, so a
+//!   runtime can pick its thread count mid-flight.
+//! * [`calibrate`] — extracts model parameters (latency, gap, barrier
+//!   cost) from the simulated machine with micro-probes, the way
+//!   machine-based models (Braithwaite et al. [22]) measure theirs.
+
+pub mod bsp;
+pub mod calibrate;
+pub mod knuma;
+pub mod logp;
+pub mod memory_logp;
+pub mod online;
+pub mod pram;
+pub mod speedup;
+
+pub use bsp::{BspMachine, Superstep};
+pub use knuma::KNumaMachine;
+pub use logp::{LogGpMachine, LogPMachine};
+pub use pram::{PramMachine, PramVariant};
+pub use speedup::CounterSpeedupModel;

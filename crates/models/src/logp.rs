@@ -1,0 +1,151 @@
+//! LogP and LogGP cost models (§II-B).
+//!
+//! "LogP can be seen as the asynchronous counterpart of BSP. Four
+//! parameters describe computation among processors: latency L, overhead
+//! o, the minimum gap between messages g, and the number of processors P."
+//! LogGP adds a per-byte gap `G` for long messages.
+
+/// A LogP machine `(L, o, g, P)`; all times in cycles.
+#[derive(Debug, Clone, Copy)]
+pub struct LogPMachine {
+    /// Network latency.
+    pub l: f64,
+    /// Send/receive processor overhead.
+    pub o: f64,
+    /// Minimum gap between consecutive messages of one processor.
+    pub g: f64,
+    /// Processors.
+    pub p: u64,
+}
+
+impl LogPMachine {
+    /// End-to-end cost of one small message: `o + L + o`.
+    pub fn point_to_point(&self) -> f64 {
+        2.0 * self.o + self.l
+    }
+
+    /// Cost for one processor to send `n` back-to-back messages: the
+    /// sender is gated by the gap, the last message still needs `L + o`
+    /// to land: `o + (n-1)·max(g, o) + L + o`.
+    pub fn send_sequence(&self, n: u64) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.o + (n - 1) as f64 * self.g.max(self.o) + self.l + self.o
+    }
+
+    /// Cost of an optimal broadcast tree to all `P` processors: each
+    /// informed processor keeps forwarding; the recurrence is evaluated
+    /// numerically (the classic LogP broadcast schedule).
+    pub fn broadcast(&self) -> f64 {
+        // t(k): earliest time k processors are informed. Greedy schedule:
+        // every informed processor sends every max(g,o) cycles; a message
+        // sent at time s informs its target at s + 2o + L... simulated
+        // directly on a small event list.
+        let step = self.g.max(self.o);
+        let deliver = 2.0 * self.o + self.l;
+        // `ready[i]`: when informed processor i can start its next send.
+        // Greedy: always dispatch the send that lands earliest.
+        let mut ready = vec![0.0f64];
+        let mut finish = 0.0f64;
+        let mut informed = 1u64;
+        while informed < self.p {
+            let (best_sender, send_at) = ready
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("at least the root is informed");
+            let arrives = send_at + step + deliver;
+            ready[best_sender] = send_at + step;
+            ready.push(arrives);
+            finish = finish.max(arrives);
+            informed += 1;
+        }
+        finish
+    }
+}
+
+/// A LogGP machine: LogP plus per-byte gap `G` for long messages.
+#[derive(Debug, Clone, Copy)]
+pub struct LogGpMachine {
+    /// The short-message parameters.
+    pub logp: LogPMachine,
+    /// Gap per byte for long messages.
+    pub g_big: f64,
+}
+
+impl LogGpMachine {
+    /// Cost of one `k`-byte message: `o + (k-1)·G + L + o`.
+    pub fn long_message(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        2.0 * self.logp.o + (k - 1) as f64 * self.g_big + self.logp.l
+    }
+
+    /// Crossover size where one long message beats `k` short ones.
+    pub fn batching_crossover(&self) -> u64 {
+        // Solve o + (k-1)·max(g,o) + L + o == 2o + (k-1)G + L for k:
+        // equal at every k if G == max(g,o); otherwise the long message
+        // wins for all k > 1 when G < max(g,o).
+        if self.g_big < self.logp.g.max(self.logp.o) {
+            2
+        } else {
+            u64::MAX
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> LogPMachine {
+        LogPMachine { l: 100.0, o: 10.0, g: 20.0, p: 16 }
+    }
+
+    #[test]
+    fn point_to_point_is_two_overheads_plus_latency() {
+        assert_eq!(machine().point_to_point(), 120.0);
+    }
+
+    #[test]
+    fn send_sequence_gated_by_gap() {
+        let m = machine();
+        assert_eq!(m.send_sequence(0), 0.0);
+        assert_eq!(m.send_sequence(1), 120.0);
+        // 5 messages: o + 4g + L + o
+        assert_eq!(m.send_sequence(5), 10.0 + 80.0 + 100.0 + 10.0);
+    }
+
+    #[test]
+    fn broadcast_grows_logarithmically() {
+        let m2 = LogPMachine { p: 2, ..machine() };
+        let m4 = LogPMachine { p: 4, ..machine() };
+        let m16 = LogPMachine { p: 16, ..machine() };
+        let b2 = m2.broadcast();
+        let b4 = m4.broadcast();
+        let b16 = m16.broadcast();
+        assert!(b2 < b4 && b4 < b16);
+        // Doubling rounds: 16 processors within ~4 rounds, far below the
+        // serial bound of 15 sequential sends.
+        assert!(b16 < m16.send_sequence(15) + 200.0);
+        assert!(b16 < 4.0 * (b2 + 1.0));
+    }
+
+    #[test]
+    fn long_messages_amortise_overhead() {
+        let m = LogGpMachine { logp: machine(), g_big: 0.5 };
+        let one_big = m.long_message(1000);
+        let many_small = m.logp.send_sequence(1000);
+        assert!(one_big < many_small);
+        assert_eq!(m.batching_crossover(), 2);
+    }
+
+    #[test]
+    fn expensive_per_byte_gap_never_amortises() {
+        let m = LogGpMachine { logp: machine(), g_big: 50.0 };
+        assert_eq!(m.batching_crossover(), u64::MAX);
+    }
+}

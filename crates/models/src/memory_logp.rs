@@ -1,0 +1,122 @@
+//! Memory LogP: caching modelled as message passing between hierarchy
+//! levels (§II-C).
+//!
+//! "There are LogP representations of caching hierarchies, for instance,
+//! Memory LogP, where caching is modeled using message passing between the
+//! hierarchical cache layers. However, neither access patterns nor cache
+//! affinity is considered with Memory LogP." — each level transition is a
+//! (l, o, g) channel; the cost of moving `n` bytes from level `k` to the
+//! core is the sum of the per-level transfer costs. The *limitation* the
+//! paper quotes is deliberately preserved: the model does not look at the
+//! access pattern, which is precisely why indicator-driven approaches beat
+//! it on strided workloads (see the `models_validation` bench).
+
+/// One hierarchy-level channel (e.g. L2→L1).
+#[derive(Debug, Clone, Copy)]
+pub struct LevelChannel {
+    /// Fixed latency of a transfer on this channel, cycles.
+    pub l: f64,
+    /// Per-transfer processor overhead, cycles.
+    pub o: f64,
+    /// Per-byte gap (inverse bandwidth), cycles/byte.
+    pub g: f64,
+}
+
+/// A memory hierarchy as a stack of channels, innermost first
+/// (L1→core, L2→L1, L3→L2, DRAM→L3, remote-DRAM→DRAM…).
+#[derive(Debug, Clone)]
+pub struct MemoryLogP {
+    /// The channels, innermost first.
+    pub levels: Vec<LevelChannel>,
+}
+
+impl MemoryLogP {
+    /// Cost of fetching `bytes` that reside at hierarchy depth `level`
+    /// (0 = innermost): the data crosses every channel up to and
+    /// including `level`.
+    pub fn transfer_cost(&self, level: usize, bytes: u64) -> f64 {
+        assert!(level < self.levels.len(), "level {level} out of range");
+        self.levels[..=level]
+            .iter()
+            .map(|c| c.l + c.o + c.g * bytes as f64)
+            .sum()
+    }
+
+    /// Cost of a workload summarised by per-level hit counts: element `k`
+    /// of `hits` is the number of accesses served at depth `k`, each
+    /// moving `line_bytes`.
+    pub fn workload_cost(&self, hits: &[u64], line_bytes: u64) -> f64 {
+        hits.iter()
+            .enumerate()
+            .map(|(lvl, &n)| n as f64 * self.transfer_cost(lvl, line_bytes))
+            .sum()
+    }
+
+    /// The default hierarchy matching the simulator's latency preset.
+    pub fn simulator_default() -> Self {
+        MemoryLogP {
+            levels: vec![
+                LevelChannel { l: 4.0, o: 0.5, g: 0.05 },   // L1 -> core
+                LevelChannel { l: 8.0, o: 0.5, g: 0.1 },    // L2 -> L1
+                LevelChannel { l: 30.0, o: 1.0, g: 0.2 },   // L3 -> L2
+                LevelChannel { l: 185.0, o: 2.0, g: 0.4 },  // DRAM -> L3
+                LevelChannel { l: 110.0, o: 2.0, g: 0.6 },  // remote hop
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deeper_levels_cost_more() {
+        let m = MemoryLogP::simulator_default();
+        let mut last = 0.0;
+        for lvl in 0..m.levels.len() {
+            let c = m.transfer_cost(lvl, 64);
+            assert!(c > last, "level {lvl}: {c} <= {last}");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn costs_accumulate_across_levels() {
+        let m = MemoryLogP {
+            levels: vec![
+                LevelChannel { l: 1.0, o: 1.0, g: 0.0 },
+                LevelChannel { l: 10.0, o: 1.0, g: 0.0 },
+            ],
+        };
+        assert_eq!(m.transfer_cost(0, 64), 2.0);
+        assert_eq!(m.transfer_cost(1, 64), 2.0 + 11.0);
+    }
+
+    #[test]
+    fn workload_cost_weights_by_hits() {
+        let m = MemoryLogP::simulator_default();
+        // All-L1 workload far cheaper than all-DRAM.
+        let l1 = m.workload_cost(&[1000, 0, 0, 0, 0], 64);
+        let dram = m.workload_cost(&[0, 0, 0, 1000, 0], 64);
+        assert!(dram > 10.0 * l1);
+    }
+
+    #[test]
+    fn simulator_default_tracks_simulator_latencies() {
+        let m = MemoryLogP::simulator_default();
+        // DRAM line fetch should land near the simulator's 230-cycle
+        // local-DRAM latency.
+        let dram = m.transfer_cost(3, 64);
+        assert!((180.0..320.0).contains(&dram), "dram {dram}");
+        // Remote adds roughly one hop (~110 cy).
+        let remote = m.transfer_cost(4, 64);
+        assert!(remote - dram > 80.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_level_panics() {
+        MemoryLogP::simulator_default().transfer_cost(99, 64);
+    }
+}

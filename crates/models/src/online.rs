@@ -1,0 +1,208 @@
+//! Online scalability prediction.
+//!
+//! §II-D cites Cho et al., who "provide an online scalability prediction
+//! model for applications on NUMA systems … a prototypical integration of
+//! the model into OpenMP and OpenCL runtimes is used to validate the
+//! model." The online twist: the prediction must come from a *prefix* of
+//! a running execution, so a runtime can pick its thread count without
+//! finishing the job first.
+//!
+//! This module implements that loop on the simulator: a [`PrefixProbe`]
+//! snapshots the counters after a configurable number of cycles; the
+//! snapshot feeds the same counter-driven model as [`crate::speedup`]
+//! (ratios of compute to memory-stall to DRAM traffic are what matter, so
+//! a representative prefix predicts the whole run); and
+//! [`OnlineScalability::recommend`] returns the thread count a runtime
+//! should choose.
+
+use crate::speedup::{CounterInputs, CounterSpeedupModel};
+use np_simulator::{Counters, HwEvent, SimObserver};
+
+/// Observer that snapshots cumulative counters at the first timeslice at
+/// or beyond `until_cycles` — the "online" measurement window.
+pub struct PrefixProbe {
+    /// Observation window length, cycles.
+    pub until_cycles: u64,
+    snapshot: Option<(u64, [u64; HwEvent::COUNT])>,
+}
+
+impl PrefixProbe {
+    /// Creates a probe with the given window.
+    pub fn new(until_cycles: u64) -> Self {
+        PrefixProbe { until_cycles, snapshot: None }
+    }
+
+    /// The captured prefix, if a slice boundary was reached.
+    pub fn prefix_inputs(&self) -> Option<CounterInputs> {
+        let (cycles, totals) = self.snapshot?;
+        let local = totals[HwEvent::LocalDramAccess.index()] as f64;
+        let remote = totals[HwEvent::RemoteDramAccess.index()] as f64;
+        Some(CounterInputs {
+            cycles: cycles as f64,
+            mem_stall_cycles: totals[HwEvent::MemStallCycles.index()] as f64,
+            dram_lines: totals[HwEvent::ImcRead.index()] as f64,
+            remote_fraction: if local + remote > 0.0 { remote / (local + remote) } else { 0.0 },
+        })
+    }
+}
+
+impl SimObserver for PrefixProbe {
+    fn on_timeslice(&mut self, now: u64, counters: &Counters, _footprint: u64) {
+        if self.snapshot.is_none() && now >= self.until_cycles {
+            self.snapshot = Some((now, counters.totals()));
+        }
+    }
+}
+
+/// The online predictor.
+pub struct OnlineScalability {
+    /// The underlying counter-driven model.
+    pub model: CounterSpeedupModel,
+}
+
+impl OnlineScalability {
+    /// Predicted speedups (relative to one thread) for each candidate
+    /// thread count, from a prefix measured at thread count `p0`.
+    ///
+    /// The prefix inputs describe `p0` threads' worth of execution; they
+    /// are renormalised to the single-thread equivalent the model expects:
+    /// compute and stalls scale by `p0`, DRAM lines are already totals.
+    pub fn predict_curve(
+        &self,
+        prefix: &CounterInputs,
+        p0: u64,
+        candidates: &[u64],
+    ) -> Vec<(u64, f64)> {
+        let p0 = p0.max(1) as f64;
+        let single = CounterInputs {
+            cycles: prefix.cycles * p0,
+            mem_stall_cycles: prefix.mem_stall_cycles, // per-core stall time aggregated below
+            dram_lines: prefix.dram_lines,
+            remote_fraction: prefix.remote_fraction,
+        };
+        candidates
+            .iter()
+            .map(|&p| (p, self.model.predict_speedup(&single, p)))
+            .collect()
+    }
+
+    /// The smallest thread count achieving at least `efficiency_floor`
+    /// (e.g. 0.9) of the best predicted speedup — what a runtime should
+    /// configure.
+    pub fn recommend(
+        &self,
+        prefix: &CounterInputs,
+        p0: u64,
+        candidates: &[u64],
+        efficiency_floor: f64,
+    ) -> u64 {
+        let curve = self.predict_curve(prefix, p0, candidates);
+        let best = curve.iter().map(|&(_, s)| s).fold(0.0f64, f64::max);
+        curve
+            .iter()
+            .find(|&&(_, s)| s >= efficiency_floor * best)
+            .map(|&(p, _)| p)
+            .unwrap_or_else(|| candidates.first().copied().unwrap_or(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::{MachineConfig, MachineSim};
+    use np_workloads::stream::StreamTriad;
+    use np_workloads::Workload;
+
+    fn sim() -> MachineSim {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        MachineSim::new(cfg)
+    }
+
+    fn predictor(sim: &MachineSim) -> OnlineScalability {
+        OnlineScalability {
+            model: CounterSpeedupModel {
+                imc_service: sim.config().latency.imc_service as f64,
+                remote_penalty: 1.45,
+                nodes_used: 1.0,
+            },
+        }
+    }
+
+    #[test]
+    fn prefix_probe_captures_a_window() {
+        let sim = sim();
+        let w = StreamTriad::bound(64 * 1024, 1, 0).build(sim.config());
+        let mut probe = PrefixProbe::new(50_000);
+        sim.run_observed(&w, 1, &mut probe);
+        let inputs = probe.prefix_inputs().expect("prefix captured");
+        assert!(inputs.cycles >= 50_000.0);
+        assert!(inputs.dram_lines > 0.0);
+    }
+
+    #[test]
+    fn prefix_prediction_matches_full_run_prediction() {
+        // A steady workload: the prefix is representative.
+        let sim = sim();
+        let w = StreamTriad::bound(96 * 1024, 1, 0).build(sim.config());
+        let mut probe = PrefixProbe::new(80_000);
+        let full = sim.run_observed(&w, 1, &mut probe);
+        let prefix = probe.prefix_inputs().unwrap();
+        let full_inputs = crate::calibrate::speedup_inputs_from_run(&full);
+
+        let pred = predictor(&sim);
+        let from_prefix = pred.predict_curve(&prefix, 1, &[8]);
+        let from_full = pred.predict_curve(&full_inputs, 1, &[8]);
+        let (a, b) = (from_prefix[0].1, from_full[0].1);
+        assert!(
+            (a - b).abs() / b < 0.3,
+            "prefix {a:.2} vs full {b:.2} predicted speedup"
+        );
+    }
+
+    #[test]
+    fn recommends_few_threads_for_bandwidth_bound_work() {
+        let sim = sim();
+        let w = StreamTriad::bound(96 * 1024, 1, 0).build(sim.config());
+        let mut probe = PrefixProbe::new(80_000);
+        sim.run_observed(&w, 1, &mut probe);
+        let prefix = probe.prefix_inputs().unwrap();
+        let pred = predictor(&sim);
+        let rec = pred.recommend(&prefix, 1, &[1, 2, 4, 8, 16, 32], 0.9);
+        assert!(rec < 32, "bandwidth-bound triad saturates before 32 threads, got {rec}");
+        // The curve must saturate: speedup(32) barely above speedup(8).
+        let curve = pred.predict_curve(&prefix, 1, &[8, 32]);
+        assert!(
+            curve[1].1 < 1.3 * curve[0].1,
+            "s(8) = {:.2}, s(32) = {:.2}",
+            curve[0].1,
+            curve[1].1
+        );
+    }
+
+    #[test]
+    fn recommends_many_threads_for_compute_bound_work() {
+        let prefix = CounterInputs {
+            cycles: 1_000_000.0,
+            mem_stall_cycles: 1_000.0,
+            dram_lines: 10.0,
+            remote_fraction: 0.0,
+        };
+        let sim = sim();
+        let pred = predictor(&sim);
+        let rec = pred.recommend(&prefix, 1, &[1, 2, 4, 8, 16], 0.9);
+        assert_eq!(rec, 16, "compute-bound work scales to the largest candidate");
+    }
+
+    #[test]
+    fn short_runs_yield_no_prefix() {
+        let sim = sim();
+        let mut b = np_simulator::ProgramBuilder::new(&sim.config().topology, 4096);
+        let t = b.add_thread(0);
+        b.exec(t, 10);
+        let mut probe = PrefixProbe::new(1_000_000);
+        sim.run_observed(&b.build(), 1, &mut probe);
+        assert!(probe.prefix_inputs().is_none());
+    }
+}

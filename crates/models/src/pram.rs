@@ -1,0 +1,143 @@
+//! PRAM cost functions with access-semantics variants (§II-A).
+//!
+//! "PRAM, the most popular model of this era, was later enhanced by
+//! modeling its memory read (R) and write (W) properties. The concurrent
+//! read/concurrent write (CRCW) PRAM model, for instance, allows all
+//! processors to simultaneously access a certain memory cell." The
+//! variants differ in how concurrent access to one cell is charged: EREW
+//! must serialise it, CREW serialises only writes, CRCW resolves in unit
+//! time, and the queued variants (QRQW-style) charge the queue length.
+
+/// PRAM access-semantics variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PramVariant {
+    /// Exclusive read, exclusive write: concurrent access serialises.
+    Erew,
+    /// Concurrent read, exclusive write.
+    Crew,
+    /// Concurrent read, concurrent write (unit-cost resolution).
+    Crcw,
+    /// Queued read, queued write: cost equals the access queue length.
+    Qrqw,
+}
+
+/// A PRAM with `p` processors executing unit-cost instructions in
+/// lockstep.
+#[derive(Debug, Clone)]
+pub struct PramMachine {
+    /// Processor count.
+    pub p: u64,
+    /// Access semantics.
+    pub variant: PramVariant,
+}
+
+impl PramMachine {
+    /// Creates a PRAM.
+    pub fn new(p: u64, variant: PramVariant) -> Self {
+        assert!(p > 0);
+        PramMachine { p, variant }
+    }
+
+    /// Cost (time steps) of a computation with `work` total unit
+    /// operations and critical-path `depth` — Brent's bound
+    /// `depth + (work - depth) / p`, rounded up.
+    pub fn brent_cost(&self, work: u64, depth: u64) -> u64 {
+        let depth = depth.min(work);
+        depth + (work - depth).div_ceil(self.p)
+    }
+
+    /// Cost of one *step* in which `accessors` processors touch the same
+    /// memory cell (`write` distinguishes read from write semantics).
+    pub fn concurrent_access_cost(&self, accessors: u64, write: bool) -> u64 {
+        if accessors <= 1 {
+            return 1;
+        }
+        match self.variant {
+            PramVariant::Erew => accessors,
+            PramVariant::Crew => {
+                if write {
+                    accessors
+                } else {
+                    1
+                }
+            }
+            PramVariant::Crcw => 1,
+            PramVariant::Qrqw => accessors, // queue length
+        }
+    }
+
+    /// Cost of a parallel reduction over `n` elements: `ceil(n/p)` local
+    /// work plus a `log2` combining tree whose root cell is concurrently
+    /// accessed pairwise (exclusive at every step, so all variants agree).
+    pub fn reduction_cost(&self, n: u64) -> u64 {
+        if n <= 1 {
+            return 1;
+        }
+        n.div_ceil(self.p) + (64 - n.min(self.p).leading_zeros() as u64)
+    }
+
+    /// Cost of broadcasting one value to all processors.
+    pub fn broadcast_cost(&self) -> u64 {
+        match self.variant {
+            // Concurrent read: everyone reads the cell in one step.
+            PramVariant::Crew | PramVariant::Crcw => 1,
+            // Exclusive/queued read: doubling tree or queue drain.
+            PramVariant::Erew => (64 - self.p.leading_zeros() as u64).max(1),
+            PramVariant::Qrqw => self.p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brent_bound_limits() {
+        let m = PramMachine::new(4, PramVariant::Crcw);
+        // Fully parallel work, depth 1.
+        assert_eq!(m.brent_cost(100, 1), 1 + 25);
+        // Serial chain: depth == work.
+        assert_eq!(m.brent_cost(100, 100), 100);
+        // One processor degenerates to work.
+        let s = PramMachine::new(1, PramVariant::Crcw);
+        assert_eq!(s.brent_cost(100, 10), 100);
+    }
+
+    #[test]
+    fn access_semantics_ordering() {
+        let acc = 8;
+        let erew = PramMachine::new(16, PramVariant::Erew).concurrent_access_cost(acc, false);
+        let crew = PramMachine::new(16, PramVariant::Crew).concurrent_access_cost(acc, false);
+        let crcw = PramMachine::new(16, PramVariant::Crcw).concurrent_access_cost(acc, true);
+        assert_eq!(erew, 8);
+        assert_eq!(crew, 1);
+        assert_eq!(crcw, 1);
+        // CREW writes still serialise.
+        assert_eq!(
+            PramMachine::new(16, PramVariant::Crew).concurrent_access_cost(acc, true),
+            8
+        );
+    }
+
+    #[test]
+    fn single_accessor_is_unit_cost_everywhere() {
+        for v in [PramVariant::Erew, PramVariant::Crew, PramVariant::Crcw, PramVariant::Qrqw] {
+            assert_eq!(PramMachine::new(8, v).concurrent_access_cost(1, true), 1);
+        }
+    }
+
+    #[test]
+    fn reduction_scales_with_p() {
+        let small = PramMachine::new(2, PramVariant::Erew).reduction_cost(1024);
+        let large = PramMachine::new(64, PramVariant::Erew).reduction_cost(1024);
+        assert!(large < small);
+    }
+
+    #[test]
+    fn broadcast_depends_on_read_semantics() {
+        assert_eq!(PramMachine::new(16, PramVariant::Crcw).broadcast_cost(), 1);
+        assert!(PramMachine::new(16, PramVariant::Erew).broadcast_cost() >= 4);
+        assert_eq!(PramMachine::new(16, PramVariant::Qrqw).broadcast_cost(), 16);
+    }
+}

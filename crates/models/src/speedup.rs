@@ -1,0 +1,150 @@
+//! A counter-driven speedup predictor (Tudor & Teo [25], §II-D).
+//!
+//! "Tudor et al. propose an analytical model for estimating the speedup of
+//! programs on UMA and NUMA multicore systems. The model uses hardware
+//! event counters to predict the performance impact of data access
+//! policies and thread placement." — this module is that idea on our
+//! substrate: it takes a *single-threaded* measurement (cycles split into
+//! compute and memory-stall components, plus the remote-access fraction)
+//! and predicts multi-threaded runtime, accounting for memory-bandwidth
+//! contention at the home node.
+//!
+//! It is also the bridge between the paper's two themes: the predictor's
+//! inputs are exactly the indicators EvSel measures.
+
+/// Inputs extracted from one single-threaded measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterInputs {
+    /// Total cycles of the 1-thread run.
+    pub cycles: f64,
+    /// Memory-stall cycles within it.
+    pub mem_stall_cycles: f64,
+    /// DRAM line transfers (demand + prefetch; `ImcRead`).
+    pub dram_lines: f64,
+    /// Fraction of DRAM accesses that were remote.
+    pub remote_fraction: f64,
+}
+
+/// The speedup model.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterSpeedupModel {
+    /// Memory-controller service time per line, cycles (the machine's
+    /// bandwidth ceiling: `lines/cycle = 1/imc_service` per node).
+    pub imc_service: f64,
+    /// Remote-access latency multiplier (remote / local latency).
+    pub remote_penalty: f64,
+    /// Number of memory controllers the workload's pages spread over.
+    pub nodes_used: f64,
+}
+
+impl CounterSpeedupModel {
+    /// Predicted runtime (cycles) with `p` threads.
+    ///
+    /// Compute scales as `1/p`; memory stalls scale as `1/p` *until* the
+    /// aggregate line rate hits the controllers' service ceiling, after
+    /// which the memory phase is bandwidth-bound and flat.
+    pub fn predict_cycles(&self, inputs: &CounterInputs, p: u64) -> f64 {
+        let p = p.max(1) as f64;
+        let compute = (inputs.cycles - inputs.mem_stall_cycles).max(0.0) / p;
+        // Remote accesses stretch the effective stall time.
+        let stall = inputs.mem_stall_cycles
+            * (1.0 + inputs.remote_fraction * (self.remote_penalty - 1.0));
+        // Bandwidth floor: moving `dram_lines` through `nodes_used`
+        // controllers cannot take less than this many cycles.
+        let bandwidth_floor = inputs.dram_lines * self.imc_service / self.nodes_used.max(1.0);
+        compute + (stall / p).max(bandwidth_floor)
+    }
+
+    /// Predicted speedup over the single-threaded run.
+    pub fn predict_speedup(&self, inputs: &CounterInputs, p: u64) -> f64 {
+        inputs.cycles / self.predict_cycles(inputs, p)
+    }
+
+    /// The thread count beyond which the model says bandwidth, not
+    /// parallelism, bounds the program.
+    pub fn saturation_threads(&self, inputs: &CounterInputs) -> u64 {
+        let bandwidth_floor = inputs.dram_lines * self.imc_service / self.nodes_used.max(1.0);
+        if bandwidth_floor <= 0.0 {
+            return u64::MAX;
+        }
+        let stall = inputs.mem_stall_cycles
+            * (1.0 + inputs.remote_fraction * (self.remote_penalty - 1.0));
+        (stall / bandwidth_floor).ceil().max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CounterSpeedupModel {
+        CounterSpeedupModel { imc_service: 6.0, remote_penalty: 1.45, nodes_used: 1.0 }
+    }
+
+    fn cpu_bound() -> CounterInputs {
+        CounterInputs {
+            cycles: 1_000_000.0,
+            mem_stall_cycles: 10_000.0,
+            dram_lines: 100.0,
+            remote_fraction: 0.0,
+        }
+    }
+
+    fn memory_bound() -> CounterInputs {
+        CounterInputs {
+            cycles: 1_000_000.0,
+            mem_stall_cycles: 800_000.0,
+            dram_lines: 80_000.0,
+            remote_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn cpu_bound_scales_nearly_linearly() {
+        let m = model();
+        let s8 = m.predict_speedup(&cpu_bound(), 8);
+        assert!(s8 > 7.0, "speedup {s8}");
+    }
+
+    #[test]
+    fn memory_bound_saturates() {
+        let m = model();
+        let s2 = m.predict_speedup(&memory_bound(), 2);
+        let s16 = m.predict_speedup(&memory_bound(), 16);
+        // Grows at first, then flattens at the bandwidth ceiling.
+        assert!(s2 > 1.4);
+        let s32 = m.predict_speedup(&memory_bound(), 32);
+        assert!((s32 - s16).abs() / s16 < 0.15, "s16 {s16} s32 {s32}");
+        let sat = m.saturation_threads(&memory_bound());
+        assert!(sat < 16, "saturation at {sat}");
+    }
+
+    #[test]
+    fn remote_fraction_hurts_predicted_runtime() {
+        let m = model();
+        let local = memory_bound();
+        let remote = CounterInputs { remote_fraction: 1.0, ..local };
+        // Compare below the bandwidth floor (p small), where the latency
+        // penalty is visible; at saturation both are ceiling-bound.
+        assert!(m.predict_cycles(&remote, 1) > m.predict_cycles(&local, 1));
+    }
+
+    #[test]
+    fn more_nodes_raise_the_ceiling() {
+        let one = CounterSpeedupModel { nodes_used: 1.0, ..model() };
+        let four = CounterSpeedupModel { nodes_used: 4.0, ..model() };
+        let s_one = one.predict_speedup(&memory_bound(), 32);
+        let s_four = four.predict_speedup(&memory_bound(), 32);
+        assert!(
+            s_four > 1.5 * s_one,
+            "interleaving across nodes must raise the ceiling: {s_one} vs {s_four}"
+        );
+    }
+
+    #[test]
+    fn speedup_at_one_thread_is_one() {
+        let m = model();
+        let s = m.predict_speedup(&memory_bound(), 1);
+        assert!((s - 1.0).abs() < 0.05, "s(1) = {s}");
+    }
+}

@@ -1,0 +1,313 @@
+//! Set-associative cache with LRU replacement.
+//!
+//! One implementation serves L1d, L2 and L3; the engine wires geometry and
+//! latencies. Lines are identified by their line address (`vaddr /
+//! line_bytes`); the model is virtually indexed throughout, which is sound
+//! because the simulator gives every program run its own address space.
+
+use crate::config::CacheGeometry;
+
+/// Outcome of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Line present.
+    Hit {
+        /// The line was installed by a prefetch and this is its first
+        /// demand hit (used for `L2PrefetchHit` accounting).
+        first_prefetch_hit: bool,
+    },
+    /// Line absent.
+    Miss,
+}
+
+/// A line resident in the cache.
+#[derive(Debug, Clone, Copy)]
+struct LineEntry {
+    tag: u64,
+    /// LRU stamp; larger = more recently used.
+    stamp: u64,
+    /// Set by prefetch installs, cleared on first demand hit.
+    prefetched: bool,
+    /// Dirty (modified) state for writeback accounting.
+    dirty: bool,
+}
+
+/// A set-associative, write-allocate, writeback cache with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    line_bytes: u64,
+    /// `sets × ways` entries; `tag == u64::MAX` marks an empty way.
+    entries: Vec<LineEntry>,
+    clock: u64,
+}
+
+/// Result of installing a line: the evicted victim, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Line address of the evicted line.
+    pub line_addr: u64,
+    /// Whether the victim was dirty (needs writeback).
+    pub dirty: bool,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl SetAssocCache {
+    /// Builds a cache from its geometry. Arbitrary set counts are allowed
+    /// (the DL580's 45 MiB 20-way L3 has 36864 sets).
+    pub fn new(geo: CacheGeometry) -> Self {
+        let sets = geo.sets() as usize;
+        assert!(sets > 0, "cache must have at least one set");
+        assert!(geo.ways > 0);
+        SetAssocCache {
+            sets,
+            ways: geo.ways as usize,
+            line_bytes: geo.line_bytes as u64,
+            entries: vec![
+                LineEntry { tag: EMPTY, stamp: 0, prefetched: false, dirty: false };
+                sets * geo.ways as usize
+            ],
+            clock: 0,
+        }
+    }
+
+    /// Line address for a byte address.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.line_bytes
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.sets as u64) as usize
+    }
+
+    /// Probes for the line containing `addr`, updating LRU on hit and
+    /// marking dirty when `write` is set.
+    pub fn access(&mut self, addr: u64, write: bool) -> Probe {
+        let line = self.line_of(addr);
+        let set = self.set_of(line);
+        self.clock += 1;
+        let base = set * self.ways;
+        for e in &mut self.entries[base..base + self.ways] {
+            if e.tag == line {
+                e.stamp = self.clock;
+                let first_prefetch_hit = e.prefetched;
+                e.prefetched = false;
+                if write {
+                    e.dirty = true;
+                }
+                return Probe::Hit { first_prefetch_hit };
+            }
+        }
+        Probe::Miss
+    }
+
+    /// Checks residency without updating any state.
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        self.entries[base..base + self.ways].iter().any(|e| e.tag == line)
+    }
+
+    /// Installs the line containing `addr`, returning the eviction (if the
+    /// victim way held a valid line). `prefetched` tags prefetch installs,
+    /// `dirty` marks write-allocated lines.
+    pub fn install(&mut self, addr: u64, prefetched: bool, dirty: bool) -> Option<Eviction> {
+        let line = self.line_of(addr);
+        let set = self.set_of(line);
+        self.clock += 1;
+        let base = set * self.ways;
+
+        // Already present (e.g. racing prefetch): refresh in place.
+        for e in &mut self.entries[base..base + self.ways] {
+            if e.tag == line {
+                e.stamp = self.clock;
+                e.dirty |= dirty;
+                e.prefetched &= prefetched;
+                return None;
+            }
+        }
+
+        // Choose victim: any empty way, else LRU.
+        let mut victim = base;
+        let mut best = u64::MAX;
+        for (i, e) in self.entries[base..base + self.ways].iter().enumerate() {
+            if e.tag == EMPTY {
+                victim = base + i;
+                break;
+            }
+            if e.stamp < best {
+                best = e.stamp;
+                victim = base + i;
+            }
+        }
+        let evicted = {
+            let v = &self.entries[victim];
+            if v.tag == EMPTY {
+                None
+            } else {
+                Some(Eviction { line_addr: v.tag, dirty: v.dirty })
+            }
+        };
+        self.entries[victim] =
+            LineEntry { tag: line, stamp: self.clock, prefetched, dirty };
+        evicted
+    }
+
+    /// Invalidates the line containing `addr` (coherence), returning whether
+    /// it was present and dirty.
+    pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
+        let line = self.line_of(addr);
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        for e in &mut self.entries[base..base + self.ways] {
+            if e.tag == line {
+                let dirty = e.dirty;
+                e.tag = EMPTY;
+                e.dirty = false;
+                e.prefetched = false;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Evicts one pseudo-random valid line (used to model interrupt cache
+    /// pollution). `salt` seeds the choice deterministically.
+    pub fn evict_random(&mut self, salt: u64) {
+        let set = (salt % self.sets as u64) as usize;
+        let base = set * self.ways;
+        let way = (salt >> 32) as usize % self.ways;
+        let e = &mut self.entries[base + way];
+        e.tag = EMPTY;
+        e.dirty = false;
+        e.prefetched = false;
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.tag != EMPTY).count()
+    }
+
+    /// Total line capacity.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheGeometry;
+
+    fn small() -> SetAssocCache {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        SetAssocCache::new(CacheGeometry { size_bytes: 512, ways: 2, line_bytes: 64 })
+    }
+
+    #[test]
+    fn miss_then_hit_after_install() {
+        let mut c = small();
+        assert_eq!(c.access(0x100, false), Probe::Miss);
+        assert!(c.install(0x100, false, false).is_none());
+        assert!(matches!(c.access(0x100, false), Probe::Hit { .. }));
+        // Same line, different byte.
+        assert!(matches!(c.access(0x13F, false), Probe::Hit { .. }));
+        // Next line misses.
+        assert_eq!(c.access(0x140, false), Probe::Miss);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Three lines mapping to the same set (set = line & 3):
+        // lines 0, 4, 8 (addresses 0, 0x100, 0x200).
+        c.install(0x000, false, false);
+        c.install(0x100, false, false);
+        // Touch line 0 so line 4 (0x100) is LRU.
+        c.access(0x000, false);
+        let ev = c.install(0x200, false, false).expect("must evict");
+        assert_eq!(ev.line_addr, c.line_of(0x100));
+        assert!(c.contains(0x000));
+        assert!(!c.contains(0x100));
+        assert!(c.contains(0x200));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = small();
+        c.install(0x000, false, false);
+        c.access(0x000, true); // dirty it
+        c.install(0x100, false, false);
+        let ev = c.install(0x200, false, false).unwrap();
+        assert_eq!(ev.line_addr, 0);
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn prefetch_flag_cleared_on_first_hit() {
+        let mut c = small();
+        c.install(0x100, true, false);
+        match c.access(0x100, false) {
+            Probe::Hit { first_prefetch_hit } => assert!(first_prefetch_hit),
+            other => panic!("{other:?}"),
+        }
+        match c.access(0x100, false) {
+            Probe::Hit { first_prefetch_hit } => assert!(!first_prefetch_hit),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small();
+        c.install(0x100, false, false);
+        c.access(0x100, true);
+        assert_eq!(c.invalidate(0x100), Some(true));
+        assert_eq!(c.invalidate(0x100), None);
+        assert!(!c.contains(0x100));
+    }
+
+    #[test]
+    fn occupancy_and_capacity() {
+        let mut c = small();
+        assert_eq!(c.capacity_lines(), 8);
+        assert_eq!(c.occupancy(), 0);
+        c.install(0x000, false, false);
+        c.install(0x040, false, false);
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn reinstall_does_not_evict() {
+        let mut c = small();
+        c.install(0x100, false, false);
+        assert!(c.install(0x100, false, true).is_none());
+        // Dirty flag merged.
+        assert_eq!(c.invalidate(0x100), Some(true));
+    }
+
+    #[test]
+    fn evict_random_removes_at_most_one() {
+        let mut c = small();
+        c.install(0x000, false, false);
+        c.install(0x040, false, false);
+        let before = c.occupancy();
+        c.evict_random(0xDEAD_BEEF_0000_0001);
+        assert!(c.occupancy() >= before - 1);
+    }
+
+    #[test]
+    fn capacity_eviction_working_set_larger_than_cache() {
+        let mut c = small();
+        // 16 distinct lines into an 8-line cache: at most 8 survive.
+        for i in 0..16u64 {
+            c.install(i * 64, false, false);
+        }
+        assert_eq!(c.occupancy(), 8);
+    }
+}

@@ -1,0 +1,215 @@
+//! MESI-style coherence directory.
+//!
+//! Tracks, per cache line, which cores may hold the line in their private
+//! (L1+L2) caches and whether one of them holds it modified. The engine
+//! consults the directory on every private-cache miss and on every write to
+//! a potentially-shared line, producing the coherence events the paper's
+//! NUMA analysis needs: `HitmTransfer` (modified line served
+//! cache-to-cache, perf c2c's headline event), `CoherenceInvalidation` and
+//! `SnoopRequest`.
+//!
+//! The directory is a superset tracker: entries are cleaned when dirty
+//! lines are written back on eviction, and spurious sharers (lines silently
+//! evicted clean) only cost extra snoops, never correctness — the same
+//! trade real directory caches make.
+
+use std::collections::HashMap;
+
+/// Sharing state of one line.
+#[derive(Debug, Clone, Default)]
+pub struct DirEntry {
+    /// Bitmask of cores that may hold the line (up to 128 cores).
+    pub sharers: u128,
+    /// Core holding the line modified, if any.
+    pub dirty_owner: Option<u32>,
+}
+
+/// What the directory found when a core requested a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirLookup {
+    /// No other private cache holds the line.
+    Uncached,
+    /// Other cores hold it clean; `sharer_count` of them.
+    Shared {
+        /// Number of other sharers.
+        sharer_count: u32,
+    },
+    /// Another core holds it modified — a HITM transfer is required.
+    Modified {
+        /// The owning core.
+        owner: u32,
+    },
+}
+
+/// The machine-wide coherence directory.
+#[derive(Debug, Default)]
+pub struct Directory {
+    lines: HashMap<u64, DirEntry>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Directory { lines: HashMap::new() }
+    }
+
+    /// Records that `core` now holds `line` (read access). Returns what the
+    /// requester found, *before* its own registration.
+    pub fn record_read(&mut self, line: u64, core: u32) -> DirLookup {
+        let e = self.lines.entry(line).or_default();
+        let result = match e.dirty_owner {
+            Some(owner) if owner != core => DirLookup::Modified { owner },
+            _ => {
+                let others = e.sharers & !(1u128 << core);
+                if others == 0 {
+                    DirLookup::Uncached
+                } else {
+                    DirLookup::Shared { sharer_count: others.count_ones() }
+                }
+            }
+        };
+        // A read downgrades a foreign dirty owner to sharer.
+        if let Some(owner) = e.dirty_owner {
+            if owner != core {
+                e.dirty_owner = None;
+            }
+        }
+        e.sharers |= 1u128 << core;
+        result
+    }
+
+    /// Records that `core` writes `line`: all other sharers are
+    /// invalidated. Returns `(lookup_before, invalidated_cores)`.
+    pub fn record_write(&mut self, line: u64, core: u32) -> (DirLookup, Vec<u32>) {
+        let e = self.lines.entry(line).or_default();
+        let before = match e.dirty_owner {
+            Some(owner) if owner != core => DirLookup::Modified { owner },
+            _ => {
+                let others = e.sharers & !(1u128 << core);
+                if others == 0 {
+                    DirLookup::Uncached
+                } else {
+                    DirLookup::Shared { sharer_count: others.count_ones() }
+                }
+            }
+        };
+        let mut invalidated = Vec::new();
+        let others = e.sharers & !(1u128 << core);
+        let mut bits = others;
+        while bits != 0 {
+            let c = bits.trailing_zeros();
+            invalidated.push(c);
+            bits &= bits - 1;
+        }
+        e.sharers = 1u128 << core;
+        e.dirty_owner = Some(core);
+        (before, invalidated)
+    }
+
+    /// Records that `core` dropped `line` from its private caches
+    /// (eviction/writeback). Cleans the entry when nobody holds it.
+    pub fn record_evict(&mut self, line: u64, core: u32) {
+        if let Some(e) = self.lines.get_mut(&line) {
+            e.sharers &= !(1u128 << core);
+            if e.dirty_owner == Some(core) {
+                e.dirty_owner = None;
+            }
+            if e.sharers == 0 {
+                self.lines.remove(&line);
+            }
+        }
+    }
+
+    /// Number of tracked lines (for memory/diagnostic purposes).
+    pub fn tracked_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Clears all state (between runs).
+    pub fn clear(&mut self) {
+        self.lines.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_reader_finds_uncached() {
+        let mut d = Directory::new();
+        assert_eq!(d.record_read(10, 0), DirLookup::Uncached);
+        assert_eq!(d.record_read(10, 1), DirLookup::Shared { sharer_count: 1 });
+        assert_eq!(d.record_read(10, 2), DirLookup::Shared { sharer_count: 2 });
+    }
+
+    #[test]
+    fn re_read_by_same_core_is_uncached_view() {
+        let mut d = Directory::new();
+        d.record_read(10, 0);
+        // Core 0 reading again sees no *other* sharers.
+        assert_eq!(d.record_read(10, 0), DirLookup::Uncached);
+    }
+
+    #[test]
+    fn write_invalidates_other_sharers() {
+        let mut d = Directory::new();
+        d.record_read(10, 0);
+        d.record_read(10, 1);
+        d.record_read(10, 2);
+        let (before, inv) = d.record_write(10, 0);
+        assert_eq!(before, DirLookup::Shared { sharer_count: 2 });
+        assert_eq!(inv, vec![1, 2]);
+        // Subsequent read by core 1 sees a modified line at core 0.
+        assert_eq!(d.record_read(10, 1), DirLookup::Modified { owner: 0 });
+    }
+
+    #[test]
+    fn read_downgrades_dirty_owner() {
+        let mut d = Directory::new();
+        d.record_write(10, 0);
+        assert_eq!(d.record_read(10, 1), DirLookup::Modified { owner: 0 });
+        // After the downgrade the line is shared, not modified.
+        assert_eq!(d.record_read(10, 2), DirLookup::Shared { sharer_count: 2 });
+    }
+
+    #[test]
+    fn write_after_write_transfers_ownership() {
+        let mut d = Directory::new();
+        d.record_write(10, 0);
+        let (before, inv) = d.record_write(10, 1);
+        assert_eq!(before, DirLookup::Modified { owner: 0 });
+        assert_eq!(inv, vec![0]);
+        let (before2, _) = d.record_write(10, 1);
+        assert_eq!(before2, DirLookup::Uncached); // sole owner rewrites
+    }
+
+    #[test]
+    fn eviction_cleans_entries() {
+        let mut d = Directory::new();
+        d.record_read(10, 0);
+        d.record_read(10, 1);
+        assert_eq!(d.tracked_lines(), 1);
+        d.record_evict(10, 0);
+        assert_eq!(d.tracked_lines(), 1);
+        d.record_evict(10, 1);
+        assert_eq!(d.tracked_lines(), 0);
+        // Fresh read is uncached again.
+        assert_eq!(d.record_read(10, 2), DirLookup::Uncached);
+    }
+
+    #[test]
+    fn evicting_dirty_owner_clears_dirty_state() {
+        let mut d = Directory::new();
+        d.record_write(10, 3);
+        d.record_evict(10, 3);
+        assert_eq!(d.record_read(10, 0), DirLookup::Uncached);
+    }
+
+    #[test]
+    fn high_core_ids_supported() {
+        let mut d = Directory::new();
+        d.record_read(10, 127);
+        assert_eq!(d.record_read(10, 0), DirLookup::Shared { sharer_count: 1 });
+    }
+}

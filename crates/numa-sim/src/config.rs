@@ -1,0 +1,277 @@
+//! Machine configuration: cache geometry, latencies, core microarchitecture
+//! parameters, and the presets used throughout the experiments.
+
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Cache line size in bytes (64 on all presets).
+    pub line_bytes: u32,
+}
+
+impl CacheGeometry {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.ways as u64 * self.line_bytes as u64)
+    }
+}
+
+/// Access latencies in core cycles.
+///
+/// Values follow published Haswell-EX figures: L1 ≈ 4 cy, L2 ≈ 12 cy,
+/// L3 ≈ 40–45 cy, local DRAM ≈ 230 cy, plus ≈ 110 cy per interconnect hop
+/// for remote DRAM (≈ 340 cy one hop — the "around 300 cycles and more" the
+/// paper attributes to NUMA-realm latencies, §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyConfig {
+    /// L1d hit latency.
+    pub l1_hit: u64,
+    /// L2 hit latency.
+    pub l2_hit: u64,
+    /// L3 hit latency.
+    pub l3_hit: u64,
+    /// DRAM access at the local node.
+    pub local_dram: u64,
+    /// Additional latency per interconnect hop for remote DRAM.
+    pub per_hop: u64,
+    /// Cache-to-cache (HITM) transfer from a core on the same node.
+    pub hitm_local: u64,
+    /// Cache-to-cache (HITM) transfer from a core on a remote node.
+    pub hitm_remote: u64,
+    /// Hardware page-walk duration on a dTLB miss.
+    pub page_walk: u64,
+    /// Branch misprediction penalty.
+    pub branch_miss_penalty: u64,
+    /// Memory-controller service time per cache line. Concurrent requests
+    /// to one node's DRAM queue behind each other, so co-located threads
+    /// see growing latencies — the bandwidth-contention effect NUMA cost
+    /// models (Braithwaite et al. [22]) parameterise.
+    pub imc_service: u64,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            l1_hit: 4,
+            l2_hit: 12,
+            l3_hit: 42,
+            local_dram: 230,
+            per_hop: 110,
+            hitm_local: 60,
+            hitm_remote: 250,
+            page_walk: 35,
+            branch_miss_penalty: 14,
+            imc_service: 6,
+        }
+    }
+}
+
+/// Core microarchitecture parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Line-fill buffers (MSHRs) per core; Intel cores have 10. Misses
+    /// overlap while a buffer is free; exhaustion stalls the core and
+    /// counts a `FillBufferReject`.
+    pub fill_buffers: u32,
+    /// Issue cost in cycles charged to every instruction.
+    pub issue_cost: u64,
+    /// Speculative jumps retired per unstalled branch (speculation window).
+    pub spec_window: u64,
+    /// dTLB entries (direct-mapped in the model; real parts are 4-way).
+    pub dtlb_entries: u32,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig { fill_buffers: 10, issue_cost: 1, spec_window: 4, dtlb_entries: 64 }
+    }
+}
+
+/// Measurement-noise parameters; see [`crate::noise`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Period (cycles) between simulated timer interrupts; 0 disables them.
+    pub timer_interval: u64,
+    /// Instructions charged per timer interrupt.
+    pub interrupt_instructions: u64,
+    /// Cycles charged per timer interrupt.
+    pub interrupt_cycles: u64,
+    /// Relative jitter applied to DRAM latencies (0.0–1.0).
+    pub dram_jitter: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            timer_interval: 100_000,
+            interrupt_instructions: 400,
+            interrupt_cycles: 900,
+            dram_jitter: 0.06,
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Marketing name for reports (Table I's "Server Model").
+    pub model_name: String,
+    /// Processor description (Table I's "Processor").
+    pub processor_name: String,
+    /// Nominal clock in MHz (2400 for the paper's Xeon E7-8890v3).
+    pub clock_mhz: u64,
+    /// NUMA topology.
+    pub topology: Topology,
+    /// L1 data cache per core.
+    pub l1d: CacheGeometry,
+    /// L2 cache per core.
+    pub l2: CacheGeometry,
+    /// Shared L3 per node.
+    pub l3: CacheGeometry,
+    /// Access latencies.
+    pub latency: LatencyConfig,
+    /// Core parameters.
+    pub core: CoreConfig,
+    /// Noise model.
+    pub noise: NoiseConfig,
+    /// Enables the L1/L2 stride prefetcher.
+    pub prefetch_enabled: bool,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Virtual-time interval between observer timeslice callbacks, in
+    /// cycles. Drives PMU multiplexing, Memhist threshold cycling and
+    /// procfs footprint sampling.
+    pub timeslice_cycles: u64,
+}
+
+impl MachineConfig {
+    /// The paper's test system (Table I): HPE ProLiant DL580 Gen9,
+    /// 4 × Xeon E7-8890v3 @ 2.4 GHz, fully interconnected, 4 × 32 GiB.
+    pub fn dl580_gen9() -> Self {
+        MachineConfig {
+            model_name: "HPE ProLiant DL580 Gen9 Server (simulated)".into(),
+            processor_name: "4x Intel Xeon E7-8890v3 @2.4 GHz (simulated)".into(),
+            clock_mhz: 2400,
+            topology: {
+                let mut t = Topology::fully_interconnected(4, 18, 32 << 30);
+                t.description = "Fully interconnected".into();
+                t
+            },
+            l1d: CacheGeometry { size_bytes: 32 << 10, ways: 8, line_bytes: 64 },
+            l2: CacheGeometry { size_bytes: 256 << 10, ways: 8, line_bytes: 64 },
+            l3: CacheGeometry { size_bytes: 45 << 20, ways: 20, line_bytes: 64 },
+            latency: LatencyConfig::default(),
+            core: CoreConfig::default(),
+            noise: NoiseConfig::default(),
+            prefetch_enabled: true,
+            page_bytes: 4096,
+            timeslice_cycles: 24_000, // 10 µs at 2.4 GHz
+        }
+    }
+
+    /// A small two-socket machine for fast tests.
+    pub fn two_socket_small() -> Self {
+        let mut c = Self::dl580_gen9();
+        c.model_name = "Two-socket test machine (simulated)".into();
+        c.processor_name = "2x 4-core test CPU (simulated)".into();
+        c.topology = Topology::fully_interconnected(2, 4, 4 << 30);
+        c.l3 = CacheGeometry { size_bytes: 4 << 20, ways: 16, line_bytes: 64 };
+        c
+    }
+
+    /// An eight-socket glueless ring — the "different topologies" of the
+    /// §VI outlook, where remote latency depends on hop count.
+    pub fn eight_socket_ring() -> Self {
+        let mut c = Self::dl580_gen9();
+        c.model_name = "Eight-socket glueless ring (simulated)".into();
+        c.processor_name = "8x 8-core ring CPU (simulated)".into();
+        c.topology = Topology::ring(8, 8, 16 << 30);
+        c
+    }
+
+    /// Renders the configuration as the rows of the paper's Table I.
+    pub fn table_i_rows(&self) -> Vec<(String, String)> {
+        vec![
+            ("Server Model".into(), self.model_name.clone()),
+            ("Processor".into(), self.processor_name.clone()),
+            ("NUMA Topology".into(), self.topology.description.clone()),
+            (
+                "Memory".into(),
+                format!(
+                    "{} x {} GiB RAM",
+                    self.topology.nodes,
+                    self.topology.dram_per_node >> 30
+                ),
+            ),
+            ("Operating System".into(), "np-simulator deterministic runtime".into()),
+            ("Kernel Version".into(), format!("np-simulator {}", env!("CARGO_PKG_VERSION"))),
+        ]
+    }
+
+    /// Derived: remote DRAM latency for a given hop distance.
+    pub fn dram_latency(&self, hops: u8) -> u64 {
+        self.latency.local_dram + self.latency.per_hop * hops as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dl580_matches_table_i() {
+        let c = MachineConfig::dl580_gen9();
+        assert_eq!(c.topology.nodes, 4);
+        assert_eq!(c.topology.cores_per_node, 18);
+        assert_eq!(c.clock_mhz, 2400);
+        assert_eq!(c.topology.dram_per_node, 32 << 30);
+        c.topology.validate().unwrap();
+        let rows = c.table_i_rows();
+        assert!(rows.iter().any(|(k, v)| k == "Memory" && v.contains("4 x 32 GiB")));
+        assert!(rows.iter().any(|(k, _)| k == "NUMA Topology"));
+    }
+
+    #[test]
+    fn cache_geometry_sets() {
+        let c = MachineConfig::dl580_gen9();
+        assert_eq!(c.l1d.sets(), 64); // 32 KiB / (8 × 64 B)
+        assert_eq!(c.l2.sets(), 512);
+    }
+
+    #[test]
+    fn remote_latency_exceeds_local_and_scales_with_hops() {
+        let c = MachineConfig::dl580_gen9();
+        let local = c.dram_latency(0);
+        let one = c.dram_latency(1);
+        let two = c.dram_latency(2);
+        assert!(local < one && one < two);
+        assert!(one >= 300, "one-hop remote should be in the NUMA realm (~300+ cy)");
+    }
+
+    #[test]
+    fn presets_validate() {
+        for c in [
+            MachineConfig::dl580_gen9(),
+            MachineConfig::two_socket_small(),
+            MachineConfig::eight_socket_ring(),
+        ] {
+            c.topology.validate().unwrap();
+            assert!(c.page_bytes.is_power_of_two());
+            assert!(c.l1d.sets().is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn config_serializes_roundtrip() {
+        let c = MachineConfig::two_socket_small();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: MachineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

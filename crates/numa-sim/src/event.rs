@@ -1,0 +1,356 @@
+//! The hardware event taxonomy and the raw counter store.
+//!
+//! These are the "low-level hardware counters" the whole paper revolves
+//! around. The simulator counts *every* event unconditionally; the
+//! `np-counters` crate then models PMU register scarcity on top (only
+//! programmed events are visible to tools — "only a limited number of
+//! registers is available for measuring", §IV-A-1).
+
+use serde::{Deserialize, Serialize};
+
+/// Every hardware event the simulated machine can produce.
+///
+/// The selection mirrors the events the paper names: cache misses per level
+/// (Fig. 8), L2 prefetch requests, L3 accesses, "rejected fill buffer
+/// requests", branch misses, instructions, execution stalls, "L1D cache
+/// locked due to TLB page walks by the uncore" and "retired speculative
+/// jumps" (Fig. 9), plus the NUMA events (local/remote DRAM access,
+/// cache-to-cache HITM transfers, QPI traffic) that motivate the work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum HwEvent {
+    /// Core clock cycles.
+    Cycles,
+    /// Retired instructions.
+    Instructions,
+    /// Cycles in which the core could not issue (memory or resource stall).
+    StallCycles,
+    /// Cycles stalled specifically on memory (subset of `StallCycles`).
+    MemStallCycles,
+
+    /// L1 data cache hits.
+    L1dHit,
+    /// L1 data cache misses.
+    L1dMiss,
+    /// L1 data cache line evictions.
+    L1dEvict,
+    /// L1d locked events (page walks by the uncore lock the L1d — Fig. 9).
+    L1dLocked,
+
+    /// L2 hits (demand).
+    L2Hit,
+    /// L2 misses (demand).
+    L2Miss,
+    /// Prefetch requests issued into L2 by the stride prefetcher.
+    L2PrefetchReq,
+    /// Demand accesses served by previously prefetched L2 lines.
+    L2PrefetchHit,
+
+    /// L3 (uncore) accesses.
+    L3Access,
+    /// L3 hits.
+    L3Hit,
+    /// L3 misses.
+    L3Miss,
+
+    /// Line-fill-buffer (MSHR) allocations.
+    FillBufferAlloc,
+    /// Rejected fill-buffer registration attempts (all MSHRs busy) — the
+    /// most discriminative event of the paper's Fig. 8.
+    FillBufferReject,
+
+    /// Data TLB hits.
+    DtlbHit,
+    /// Data TLB misses.
+    DtlbMiss,
+    /// Cycles spent in hardware page walks.
+    PageWalkCycles,
+
+    /// Retired branch instructions.
+    BranchRetired,
+    /// Mispredicted branches.
+    BranchMiss,
+    /// Retired speculative jumps (speculatively issued and not squashed);
+    /// drops when stalls starve the speculation window — Fig. 9.
+    SpecJumpsRetired,
+    /// Pipeline flushes due to misprediction.
+    PipelineFlush,
+
+    /// Retired load instructions.
+    LoadRetired,
+    /// Retired store instructions.
+    StoreRetired,
+
+    /// Loads/stores served by DRAM on the local node.
+    LocalDramAccess,
+    /// Loads/stores served by DRAM on a remote node.
+    RemoteDramAccess,
+    /// Cache-to-cache transfers of modified lines (HITM).
+    HitmTransfer,
+    /// Invalidations sent to other cores' private caches.
+    CoherenceInvalidation,
+    /// Snoop requests observed by this core.
+    SnoopRequest,
+
+    /// Uncore: memory-controller reads at this core's home node.
+    ImcRead,
+    /// Uncore: memory-controller writes (writebacks) at this core's node.
+    ImcWrite,
+    /// Uncore: interconnect (QPI-like) transfers initiated by this core.
+    QpiTransfer,
+
+    /// OS/timer interrupts delivered (source of run-to-run noise).
+    TimerInterrupt,
+}
+
+impl HwEvent {
+    /// Total number of distinct events.
+    pub const COUNT: usize = 35;
+
+    /// Every event, in declaration order.
+    pub const ALL: [HwEvent; HwEvent::COUNT] = [
+        HwEvent::Cycles,
+        HwEvent::Instructions,
+        HwEvent::StallCycles,
+        HwEvent::MemStallCycles,
+        HwEvent::L1dHit,
+        HwEvent::L1dMiss,
+        HwEvent::L1dEvict,
+        HwEvent::L1dLocked,
+        HwEvent::L2Hit,
+        HwEvent::L2Miss,
+        HwEvent::L2PrefetchReq,
+        HwEvent::L2PrefetchHit,
+        HwEvent::L3Access,
+        HwEvent::L3Hit,
+        HwEvent::L3Miss,
+        HwEvent::FillBufferAlloc,
+        HwEvent::FillBufferReject,
+        HwEvent::DtlbHit,
+        HwEvent::DtlbMiss,
+        HwEvent::PageWalkCycles,
+        HwEvent::BranchRetired,
+        HwEvent::BranchMiss,
+        HwEvent::SpecJumpsRetired,
+        HwEvent::PipelineFlush,
+        HwEvent::LoadRetired,
+        HwEvent::StoreRetired,
+        HwEvent::LocalDramAccess,
+        HwEvent::RemoteDramAccess,
+        HwEvent::HitmTransfer,
+        HwEvent::CoherenceInvalidation,
+        HwEvent::SnoopRequest,
+        HwEvent::ImcRead,
+        HwEvent::ImcWrite,
+        HwEvent::QpiTransfer,
+        HwEvent::TimerInterrupt,
+    ];
+
+    /// Stable symbolic name, styled after perf event names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HwEvent::Cycles => "cycles",
+            HwEvent::Instructions => "instructions",
+            HwEvent::StallCycles => "stall-cycles",
+            HwEvent::MemStallCycles => "mem-stall-cycles",
+            HwEvent::L1dHit => "L1-dcache-hits",
+            HwEvent::L1dMiss => "L1-dcache-load-misses",
+            HwEvent::L1dEvict => "L1-dcache-evictions",
+            HwEvent::L1dLocked => "L1-dcache-locked",
+            HwEvent::L2Hit => "L2-hits",
+            HwEvent::L2Miss => "L2-misses",
+            HwEvent::L2PrefetchReq => "L2-prefetch-requests",
+            HwEvent::L2PrefetchHit => "L2-prefetch-hits",
+            HwEvent::L3Access => "LLC-accesses",
+            HwEvent::L3Hit => "LLC-hits",
+            HwEvent::L3Miss => "LLC-misses",
+            HwEvent::FillBufferAlloc => "fill-buffer-allocations",
+            HwEvent::FillBufferReject => "fill-buffer-rejects",
+            HwEvent::DtlbHit => "dTLB-hits",
+            HwEvent::DtlbMiss => "dTLB-misses",
+            HwEvent::PageWalkCycles => "page-walk-cycles",
+            HwEvent::BranchRetired => "branches",
+            HwEvent::BranchMiss => "branch-misses",
+            HwEvent::SpecJumpsRetired => "speculative-jumps-retired",
+            HwEvent::PipelineFlush => "pipeline-flushes",
+            HwEvent::LoadRetired => "loads-retired",
+            HwEvent::StoreRetired => "stores-retired",
+            HwEvent::LocalDramAccess => "node-local-dram-accesses",
+            HwEvent::RemoteDramAccess => "node-remote-dram-accesses",
+            HwEvent::HitmTransfer => "hitm-transfers",
+            HwEvent::CoherenceInvalidation => "coherence-invalidations",
+            HwEvent::SnoopRequest => "snoop-requests",
+            HwEvent::ImcRead => "uncore-imc-reads",
+            HwEvent::ImcWrite => "uncore-imc-writes",
+            HwEvent::QpiTransfer => "uncore-qpi-transfers",
+            HwEvent::TimerInterrupt => "timer-interrupts",
+        }
+    }
+
+    /// True for events counted by the uncore (node-level PMU) rather than a
+    /// core PMU register; EvSel "can measure both, Core and uncore events".
+    pub fn is_uncore(&self) -> bool {
+        matches!(
+            self,
+            HwEvent::ImcRead
+                | HwEvent::ImcWrite
+                | HwEvent::QpiTransfer
+                | HwEvent::L3Access
+                | HwEvent::L3Hit
+                | HwEvent::L3Miss
+        )
+    }
+
+    /// Index into counter arrays.
+    #[inline]
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+}
+
+/// Raw event counters: one `u64` per event per core, plus machine totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counters {
+    per_core: Vec<[u64; HwEvent::COUNT]>,
+}
+
+impl Counters {
+    /// Creates zeroed counters for `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        Counters { per_core: vec![[0; HwEvent::COUNT]; cores] }
+    }
+
+    /// Number of cores covered.
+    pub fn cores(&self) -> usize {
+        self.per_core.len()
+    }
+
+    /// Increments `event` on `core` by 1.
+    #[inline]
+    pub fn bump(&mut self, core: usize, event: HwEvent) {
+        self.per_core[core][event.index()] += 1;
+    }
+
+    /// Increments `event` on `core` by `n`.
+    #[inline]
+    pub fn add(&mut self, core: usize, event: HwEvent, n: u64) {
+        self.per_core[core][event.index()] += n;
+    }
+
+    /// Reads one core's count for `event`.
+    #[inline]
+    pub fn get(&self, core: usize, event: HwEvent) -> u64 {
+        self.per_core[core][event.index()]
+    }
+
+    /// Overwrites one core's count (used by the engine for cycle totals).
+    #[inline]
+    pub fn set(&mut self, core: usize, event: HwEvent, v: u64) {
+        self.per_core[core][event.index()] = v;
+    }
+
+    /// One core's full counter array (snapshot for region attribution).
+    #[inline]
+    pub fn core_array(&self, core: usize) -> [u64; HwEvent::COUNT] {
+        self.per_core[core]
+    }
+
+    /// Machine-wide total for `event`.
+    pub fn total(&self, event: HwEvent) -> u64 {
+        self.per_core.iter().map(|c| c[event.index()]).sum()
+    }
+
+    /// All machine-wide totals in `HwEvent::ALL` order.
+    pub fn totals(&self) -> [u64; HwEvent::COUNT] {
+        let mut out = [0u64; HwEvent::COUNT];
+        for core in &self.per_core {
+            for (o, v) in out.iter_mut().zip(core) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Element-wise difference `self - earlier`, for timeslice snapshots.
+    /// Panics if core counts differ (programming error).
+    pub fn delta_since(&self, earlier: &Counters) -> Counters {
+        assert_eq!(self.cores(), earlier.cores());
+        let per_core = self
+            .per_core
+            .iter()
+            .zip(&earlier.per_core)
+            .map(|(now, then)| {
+                let mut d = [0u64; HwEvent::COUNT];
+                for i in 0..HwEvent::COUNT {
+                    d[i] = now[i].saturating_sub(then[i]);
+                }
+                d
+            })
+            .collect();
+        Counters { per_core }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_every_variant_once() {
+        assert_eq!(HwEvent::ALL.len(), HwEvent::COUNT);
+        let mut seen = std::collections::HashSet::new();
+        for e in HwEvent::ALL {
+            assert!(seen.insert(e.index()), "duplicate index {}", e.index());
+            assert!(e.index() < HwEvent::COUNT);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut seen = std::collections::HashSet::new();
+        for e in HwEvent::ALL {
+            assert!(!e.name().is_empty());
+            assert!(seen.insert(e.name()), "duplicate name {}", e.name());
+        }
+    }
+
+    #[test]
+    fn uncore_classification() {
+        assert!(HwEvent::ImcRead.is_uncore());
+        assert!(HwEvent::L3Miss.is_uncore());
+        assert!(!HwEvent::L1dMiss.is_uncore());
+        assert!(!HwEvent::Cycles.is_uncore());
+    }
+
+    #[test]
+    fn counters_bump_get_total() {
+        let mut c = Counters::new(2);
+        c.bump(0, HwEvent::L1dMiss);
+        c.add(1, HwEvent::L1dMiss, 5);
+        assert_eq!(c.get(0, HwEvent::L1dMiss), 1);
+        assert_eq!(c.get(1, HwEvent::L1dMiss), 5);
+        assert_eq!(c.total(HwEvent::L1dMiss), 6);
+        assert_eq!(c.total(HwEvent::L2Miss), 0);
+    }
+
+    #[test]
+    fn totals_match_individual_sums() {
+        let mut c = Counters::new(3);
+        c.add(0, HwEvent::Cycles, 10);
+        c.add(1, HwEvent::Cycles, 20);
+        c.add(2, HwEvent::Instructions, 7);
+        let t = c.totals();
+        assert_eq!(t[HwEvent::Cycles.index()], 30);
+        assert_eq!(t[HwEvent::Instructions.index()], 7);
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let mut a = Counters::new(1);
+        a.add(0, HwEvent::L2Miss, 10);
+        let snapshot = a.clone();
+        a.add(0, HwEvent::L2Miss, 7);
+        let d = a.delta_since(&snapshot);
+        assert_eq!(d.get(0, HwEvent::L2Miss), 7);
+    }
+}

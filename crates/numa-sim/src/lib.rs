@@ -1,0 +1,47 @@
+//! # np-simulator — a deterministic cycle-cost NUMA machine simulator
+//!
+//! The paper evaluates its tools on an HPE ProLiant DL580 Gen9 with four
+//! Xeon E7-8890v3 sockets (Table I) using the CPUs' hardware event counters.
+//! This crate is the substitution for that machine: a deterministic
+//! simulator that executes abstract instruction streams ([`program::Op`])
+//! against a configurable NUMA topology and produces the same *classes* of
+//! hardware events with the same causal structure —
+//!
+//! * set-associative L1d/L2 per core and a shared L3 per node ([`cache`]),
+//! * a MESI-style coherence directory with cache-to-cache (HITM) transfers
+//!   and invalidation/snoop events ([`coherence`]),
+//! * line-fill buffers / MSHRs whose exhaustion stalls the core and counts
+//!   "rejected fill buffer requests" ([`engine`]) — the event the paper's
+//!   Fig. 8 found most discriminative,
+//! * a dTLB with page walks that lock the L1d ([`tlb`]) — the mechanism
+//!   behind the paper's Fig. 9 correlation,
+//! * per-page NUMA placement with first-touch / bind / interleave policies
+//!   ([`mem`]) and per-hop remote-access latencies ([`topology`]),
+//! * stride prefetchers that stop at page boundaries ([`prefetch`]), which
+//!   is what makes column-major strides defeat them,
+//! * a branch predictor with speculative-retirement accounting
+//!   ([`branch`]),
+//! * seeded, reproducible measurement noise ([`noise`]) so that repeated
+//!   runs form genuine statistical samples for EvSel's t-tests.
+//!
+//! Everything is deterministic given `(MachineConfig, Program, seed)`.
+
+pub mod branch;
+pub mod cache;
+pub mod coherence;
+pub mod config;
+pub mod engine;
+pub mod event;
+pub mod mem;
+pub mod noise;
+pub mod prefetch;
+pub mod program;
+pub mod tlb;
+pub mod topology;
+
+pub use config::MachineConfig;
+pub use engine::{LoadSample, MachineSim, RunResult, ServedBy, SimObserver};
+pub use event::{Counters, HwEvent};
+pub use mem::{AddressSpace, AllocPolicy};
+pub use program::{Op, Program, ProgramBuilder, ThreadProgram};
+pub use topology::{CoreId, NodeId, Topology};

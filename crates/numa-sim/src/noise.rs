@@ -1,0 +1,121 @@
+//! Deterministic measurement noise.
+//!
+//! Real counters differ between identically-configured runs (OS activity,
+//! interrupt timing, DRAM scheduling). EvSel's whole statistical apparatus
+//! — repeated runs, Welch t-tests, "confidence" icons — only makes sense if
+//! runs form a distribution, so the simulator injects two seeded noise
+//! sources:
+//!
+//! * **timer interrupts** every `NoiseConfig::timer_interval` cycles, which
+//!   burn cycles/instructions and pollute a few cache lines, and
+//! * **DRAM latency jitter**, a ±`dram_jitter` multiplicative wobble.
+//!
+//! Both derive from a [`SplitMix64`] stream seeded by the run seed, so a
+//! `(config, program, seed)` triple is exactly reproducible while distinct
+//! seeds give independent samples. The jitter is asymmetric-by-clamping —
+//! latencies never drop below the configured floor — which is exactly the
+//! lower-bounded, right-skewed process the paper concedes a normal
+//! assumption only approximates (§IV-A-2).
+
+/// SplitMix64: tiny, high-quality, splittable PRNG for noise streams.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Applies multiplicative jitter of relative width `rel` to `base`,
+    /// clamped so the result never falls below `base` by more than half the
+    /// width (memory latency has a hard floor, costs above it have a tail).
+    #[inline]
+    pub fn jitter_latency(&mut self, base: u64, rel: f64) -> u64 {
+        if rel <= 0.0 || base == 0 {
+            return base;
+        }
+        // Right-skewed: uniform in [-0.5 rel, +1.0 rel].
+        let u = self.next_f64();
+        let factor = 1.0 + rel * (1.5 * u - 0.5);
+        ((base as f64 * factor).round() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn jitter_bounds_and_skew() {
+        let mut r = SplitMix64::new(9);
+        let base = 230u64;
+        let rel = 0.06;
+        let mut sum = 0.0;
+        let mut below = 0;
+        for _ in 0..10_000 {
+            let v = r.jitter_latency(base, rel);
+            assert!(v >= (base as f64 * (1.0 - rel)).floor() as u64 - 1);
+            assert!(v <= (base as f64 * (1.0 + rel)).ceil() as u64 + 1);
+            if v < base {
+                below += 1;
+            }
+            sum += v as f64;
+        }
+        // Right-skew: the mean sits above the base and fewer than half of
+        // the draws fall below it.
+        assert!(sum / 10_000.0 > base as f64);
+        assert!(below < 5_000);
+    }
+
+    #[test]
+    fn jitter_disabled_is_identity() {
+        let mut r = SplitMix64::new(3);
+        assert_eq!(r.jitter_latency(100, 0.0), 100);
+        assert_eq!(r.jitter_latency(0, 0.5), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Stride prefetcher.
+//!
+//! Models the L2 streaming prefetcher of Intel cores with its two
+//! load-bearing properties for the paper's Fig. 8:
+//!
+//! 1. It detects *constant strides between successive misses within one
+//!    4 KiB page* and prefetches ahead within that page.
+//! 2. It **never crosses a page boundary** — so a column-major walk with a
+//!    4 KiB stride (every access in a new page) generates *zero* prefetch
+//!    requests, reproducing "L2 prefetch requests dropped by 90 %".
+
+/// A detected miss-stream tracking entry.
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    page: u64,
+    last_line: u64,
+    stride: i64,
+    confirmed: bool,
+}
+
+/// Per-core stride prefetcher watching demand misses.
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    streams: Vec<Option<Stream>>,
+    line_bytes: u64,
+    page_bytes: u64,
+    /// Lines prefetched ahead once a stream is confirmed.
+    degree: u32,
+}
+
+impl StridePrefetcher {
+    /// Creates a prefetcher tracking up to `streams` concurrent miss
+    /// streams.
+    pub fn new(streams: usize, line_bytes: u64, page_bytes: u64, degree: u32) -> Self {
+        StridePrefetcher {
+            streams: vec![None; streams.max(1)],
+            line_bytes,
+            page_bytes,
+            degree: degree.max(1),
+        }
+    }
+
+    /// Observes a demand miss at byte address `addr`; returns line
+    /// addresses to prefetch (possibly empty). Prefetches never leave the
+    /// page of the triggering miss.
+    pub fn on_demand_miss(&mut self, addr: u64) -> Vec<u64> {
+        let line = addr / self.line_bytes;
+        let page = addr / self.page_bytes;
+        let lines_per_page = (self.page_bytes / self.line_bytes) as i64;
+        let page_first_line = page * lines_per_page as u64;
+
+        // Find the stream for this page.
+        let slot = (page as usize) % self.streams.len();
+        let mut out = Vec::new();
+        match self.streams[slot] {
+            Some(ref mut s) if s.page == page => {
+                let stride = line as i64 - s.last_line as i64;
+                if stride != 0 && stride == s.stride {
+                    // Stride confirmed: prefetch ahead within the page.
+                    s.confirmed = true;
+                    for k in 1..=self.degree as i64 {
+                        let target = line as i64 + stride * k;
+                        let in_page = target >= page_first_line as i64
+                            && target < page_first_line as i64 + lines_per_page;
+                        if in_page {
+                            out.push(target as u64);
+                        }
+                    }
+                } else if stride != 0 {
+                    s.stride = stride;
+                    s.confirmed = false;
+                }
+                s.last_line = line;
+            }
+            _ => {
+                self.streams[slot] =
+                    Some(Stream { page, last_line: line, stride: 0, confirmed: false });
+            }
+        }
+        out
+    }
+
+    /// Converts prefetch line addresses back to byte addresses.
+    pub fn line_to_addr(&self, line: u64) -> u64 {
+        line * self.line_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pf() -> StridePrefetcher {
+        StridePrefetcher::new(16, 64, 4096, 2)
+    }
+
+    #[test]
+    fn sequential_line_misses_trigger_prefetch() {
+        let mut p = pf();
+        assert!(p.on_demand_miss(0x0000).is_empty()); // first miss: learn
+        assert!(p.on_demand_miss(0x0040).is_empty()); // stride candidate
+        let pre = p.on_demand_miss(0x0080); // stride confirmed
+        assert!(!pre.is_empty());
+        assert_eq!(pre[0], 3); // next line (line addr, 64-B units)
+    }
+
+    #[test]
+    fn prefetch_never_crosses_page_boundary() {
+        let mut p = pf();
+        // Misses at the last lines of page 0.
+        p.on_demand_miss(4096 - 3 * 64);
+        p.on_demand_miss(4096 - 2 * 64);
+        let pre = p.on_demand_miss(4096 - 64);
+        // Targets would be lines in page 1 — must be suppressed.
+        assert!(pre.is_empty(), "prefetch crossed page: {pre:?}");
+    }
+
+    #[test]
+    fn page_stride_generates_no_prefetches() {
+        // The column-major pathology: stride of exactly one page.
+        let mut p = pf();
+        let mut total = 0;
+        for i in 0..64u64 {
+            total += p.on_demand_miss(i * 4096).len();
+        }
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn changing_stride_resets_confirmation() {
+        // A stride change invalidates the candidate: no prefetch until the
+        // new stride repeats.
+        let mut p = pf();
+        p.on_demand_miss(0x0000);
+        p.on_demand_miss(0x0040); // stride 1 candidate
+        let out = p.on_demand_miss(0x0100); // stride 3: reset
+        assert!(out.is_empty());
+        let out = p.on_demand_miss(0x01C0); // stride 3 again: confirmed
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn backward_strides_supported() {
+        let mut p = pf();
+        p.on_demand_miss(0x0FC0);
+        p.on_demand_miss(0x0F80);
+        let pre = p.on_demand_miss(0x0F40);
+        assert!(!pre.is_empty());
+        assert_eq!(pre[0], (0x0F00 / 64) as u64);
+    }
+
+    #[test]
+    fn degree_limits_prefetch_count() {
+        let mut p = StridePrefetcher::new(4, 64, 4096, 4);
+        p.on_demand_miss(0);
+        p.on_demand_miss(64);
+        let pre = p.on_demand_miss(128);
+        assert!(pre.len() <= 4);
+        assert!(pre.len() >= 2);
+    }
+}

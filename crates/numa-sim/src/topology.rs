@@ -1,0 +1,174 @@
+//! NUMA topology: nodes, cores, and the interconnect hop matrix.
+//!
+//! The paper's test system (Table I) is a *fully interconnected* 4-socket
+//! machine — every remote access is exactly one hop. The outlook (§VI) asks
+//! for "simulating and incorporating different topologies … when dealing
+//! with large-scale systems", so the topology is a general hop matrix and
+//! presets include glueless 8-socket rings where some accesses take two
+//! hops.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a NUMA node (socket).
+pub type NodeId = usize;
+
+/// Identifier of a logical core, global across the machine.
+pub type CoreId = usize;
+
+/// A NUMA topology: `nodes` sockets with `cores_per_node` cores each and a
+/// symmetric hop matrix describing the interconnect.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of NUMA nodes (sockets).
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores_per_node: usize,
+    /// `nodes × nodes` row-major matrix of interconnect hops;
+    /// `hops[a][b] == 0` iff `a == b`.
+    pub hops: Vec<u8>,
+    /// Bytes of DRAM attached to each node.
+    pub dram_per_node: u64,
+    /// Human-readable description for reports (Table I's "NUMA Topology").
+    pub description: String,
+}
+
+impl Topology {
+    /// Builds a fully-interconnected topology (all remote distances 1 hop),
+    /// like the paper's DL580.
+    pub fn fully_interconnected(nodes: usize, cores_per_node: usize, dram_per_node: u64) -> Self {
+        let mut hops = vec![1u8; nodes * nodes];
+        for n in 0..nodes {
+            hops[n * nodes + n] = 0;
+        }
+        Topology {
+            nodes,
+            cores_per_node,
+            hops,
+            dram_per_node,
+            description: "Fully interconnected".to_string(),
+        }
+    }
+
+    /// Builds a ring topology where hop count is the ring distance —
+    /// a stand-in for glueless large-scale systems (§VI outlook).
+    pub fn ring(nodes: usize, cores_per_node: usize, dram_per_node: u64) -> Self {
+        let mut hops = vec![0u8; nodes * nodes];
+        for a in 0..nodes {
+            for b in 0..nodes {
+                let d = (a as i64 - b as i64).unsigned_abs() as usize;
+                hops[a * nodes + b] = d.min(nodes - d) as u8;
+            }
+        }
+        Topology { nodes, cores_per_node, hops, dram_per_node, description: "Ring".to_string() }
+    }
+
+    /// Total number of cores.
+    #[inline]
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// The node a core belongs to.
+    #[inline]
+    pub fn node_of_core(&self, core: CoreId) -> NodeId {
+        core / self.cores_per_node
+    }
+
+    /// First core of a node (cores of a node are contiguous).
+    #[inline]
+    pub fn first_core_of_node(&self, node: NodeId) -> CoreId {
+        node * self.cores_per_node
+    }
+
+    /// Interconnect distance in hops between two nodes.
+    #[inline]
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> u8 {
+        self.hops[a * self.nodes + b]
+    }
+
+    /// Maximum hop distance in the machine.
+    pub fn diameter(&self) -> u8 {
+        self.hops.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Validates internal consistency (square matrix, zero diagonal,
+    /// symmetry). Presets always validate; hand-built topologies should be
+    /// checked before use.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 || self.cores_per_node == 0 {
+            return Err("topology must have at least one node and core".into());
+        }
+        if self.hops.len() != self.nodes * self.nodes {
+            return Err(format!(
+                "hop matrix has {} entries, expected {}",
+                self.hops.len(),
+                self.nodes * self.nodes
+            ));
+        }
+        for a in 0..self.nodes {
+            if self.hop_distance(a, a) != 0 {
+                return Err(format!("node {a} has nonzero self-distance"));
+            }
+            for b in 0..self.nodes {
+                if self.hop_distance(a, b) != self.hop_distance(b, a) {
+                    return Err(format!("hop matrix asymmetric between {a} and {b}"));
+                }
+                if a != b && self.hop_distance(a, b) == 0 {
+                    return Err(format!("distinct nodes {a},{b} at distance 0"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_interconnected_has_unit_distances() {
+        let t = Topology::fully_interconnected(4, 18, 32 << 30);
+        t.validate().unwrap();
+        assert_eq!(t.total_cores(), 72);
+        assert_eq!(t.hop_distance(0, 0), 0);
+        assert_eq!(t.hop_distance(0, 3), 1);
+        assert_eq!(t.diameter(), 1);
+    }
+
+    #[test]
+    fn ring_distances() {
+        let t = Topology::ring(8, 4, 16 << 30);
+        t.validate().unwrap();
+        assert_eq!(t.hop_distance(0, 1), 1);
+        assert_eq!(t.hop_distance(0, 4), 4);
+        assert_eq!(t.hop_distance(0, 7), 1); // wrap-around
+        assert_eq!(t.diameter(), 4);
+    }
+
+    #[test]
+    fn core_to_node_mapping() {
+        let t = Topology::fully_interconnected(4, 18, 32 << 30);
+        assert_eq!(t.node_of_core(0), 0);
+        assert_eq!(t.node_of_core(17), 0);
+        assert_eq!(t.node_of_core(18), 1);
+        assert_eq!(t.node_of_core(71), 3);
+        assert_eq!(t.first_core_of_node(2), 36);
+    }
+
+    #[test]
+    fn validation_catches_asymmetry() {
+        let mut t = Topology::fully_interconnected(2, 2, 1 << 30);
+        t.hops[1] = 2; // (0,1) = 2 but (1,0) = 1
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_shapes() {
+        let mut t = Topology::fully_interconnected(2, 2, 1 << 30);
+        t.hops.pop();
+        assert!(t.validate().is_err());
+        let t0 = Topology { nodes: 0, cores_per_node: 1, hops: vec![], dram_per_node: 0, description: String::new() };
+        assert!(t0.validate().is_err());
+    }
+}

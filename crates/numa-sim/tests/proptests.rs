@@ -1,0 +1,158 @@
+//! Property-based tests for the simulator's structural invariants.
+
+use np_simulator::cache::SetAssocCache;
+use np_simulator::config::{CacheGeometry, MachineConfig};
+use np_simulator::event::HwEvent;
+use np_simulator::mem::{AddressSpace, AllocPolicy};
+use np_simulator::program::ProgramBuilder;
+use np_simulator::topology::Topology;
+use np_simulator::MachineSim;
+use proptest::prelude::*;
+
+fn quiet_machine() -> MachineSim {
+    let mut cfg = MachineConfig::two_socket_small();
+    cfg.noise.timer_interval = 0;
+    cfg.noise.dram_jitter = 0.0;
+    MachineSim::new(cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(addrs in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut c = SetAssocCache::new(CacheGeometry { size_bytes: 4096, ways: 4, line_bytes: 64 });
+        for a in &addrs {
+            c.install(*a, false, false);
+        }
+        prop_assert!(c.occupancy() <= c.capacity_lines());
+    }
+
+    #[test]
+    fn installed_line_is_resident_until_evicted(addr in 0u64..1_000_000) {
+        let mut c = SetAssocCache::new(CacheGeometry { size_bytes: 4096, ways: 4, line_bytes: 64 });
+        c.install(addr, false, false);
+        prop_assert!(c.contains(addr));
+    }
+
+    #[test]
+    fn page_policies_place_every_touched_page(
+        policy_pick in 0usize..3,
+        touch_node in 0usize..2,
+        pages in 1u64..32,
+    ) {
+        let topo = Topology::fully_interconnected(2, 4, 1 << 30);
+        let mut s = AddressSpace::new(&topo, 4096);
+        let policy = match policy_pick {
+            0 => AllocPolicy::FirstTouch,
+            1 => AllocPolicy::Bind(1),
+            _ => AllocPolicy::Interleave,
+        };
+        let base = s.alloc(pages * 4096, policy);
+        for p in 0..pages {
+            let node = s.node_of_access(base + p * 4096, touch_node);
+            match policy {
+                AllocPolicy::FirstTouch => prop_assert_eq!(node, touch_node),
+                AllocPolicy::Bind(n) => prop_assert_eq!(node, n),
+                AllocPolicy::Interleave => prop_assert_eq!(node, (p % 2) as usize),
+            }
+            // Placement is sticky.
+            prop_assert_eq!(s.node_of_access(base + p * 4096, 1 - touch_node), node);
+        }
+    }
+
+    #[test]
+    fn event_conservation_laws_hold(
+        stride in prop_oneof![Just(8u64), Just(64), Just(256), Just(4096)],
+        count in 100usize..800,
+        seed in 0u64..50,
+    ) {
+        let sim = quiet_machine();
+        let mut b = ProgramBuilder::new(&sim.config().topology, 4096);
+        let buf = b.alloc(8 << 20, AllocPolicy::FirstTouch);
+        let t = b.add_thread(0);
+        for i in 0..count as u64 {
+            b.load(t, buf + (i * stride) % (8 << 20));
+        }
+        let r = sim.run(&b.build(), seed);
+
+        // Load accounting: every retired load hit or missed L1.
+        prop_assert_eq!(
+            r.total(HwEvent::L1dHit) + r.total(HwEvent::L1dMiss),
+            r.total(HwEvent::LoadRetired)
+        );
+        // L1 misses split into L2 hits and misses.
+        prop_assert_eq!(
+            r.total(HwEvent::L2Hit) + r.total(HwEvent::L2Miss),
+            r.total(HwEvent::L1dMiss)
+        );
+        // Demand L3 traffic equals demand L2 misses.
+        prop_assert_eq!(r.total(HwEvent::L3Access), r.total(HwEvent::L2Miss));
+        // Every demand DRAM access is local or remote and was an L3 miss.
+        prop_assert!(
+            r.total(HwEvent::LocalDramAccess) + r.total(HwEvent::RemoteDramAccess)
+                <= r.total(HwEvent::L3Miss)
+        );
+        // TLB: every load consults the TLB exactly once.
+        prop_assert_eq!(
+            r.total(HwEvent::DtlbHit) + r.total(HwEvent::DtlbMiss),
+            r.total(HwEvent::LoadRetired)
+        );
+        // Walk cycles are walk-latency times misses.
+        prop_assert_eq!(
+            r.total(HwEvent::PageWalkCycles),
+            r.total(HwEvent::DtlbMiss) * sim.config().latency.page_walk
+        );
+        // Cycles dominate instructions at IPC <= 1 for pure-load programs.
+        prop_assert!(r.cycles >= r.total(HwEvent::LoadRetired));
+    }
+
+    #[test]
+    fn determinism_across_identical_runs(
+        seed in 0u64..1000,
+        count in 50usize..300,
+    ) {
+        let sim = quiet_machine();
+        let mut b = ProgramBuilder::new(&sim.config().topology, 4096);
+        let buf = b.alloc(1 << 20, AllocPolicy::FirstTouch);
+        let t0 = b.add_thread(0);
+        let t1 = b.add_thread(4);
+        for i in 0..count as u64 {
+            b.load(t0, buf + (i * 2654435761) % (1 << 20));
+            b.store(t1, buf + (i * 40503) % (1 << 20));
+        }
+        b.barrier(t0, 1);
+        b.barrier(t1, 1);
+        let p = b.build();
+        let r1 = sim.run(&p, seed);
+        let r2 = sim.run(&p, seed);
+        prop_assert_eq!(r1.counters, r2.counters);
+        prop_assert_eq!(r1.cycles, r2.cycles);
+    }
+
+    #[test]
+    fn footprint_never_negative_and_matches_reserves(
+        chunks in proptest::collection::vec(1u64..64, 1..20),
+    ) {
+        let sim = quiet_machine();
+        let mut b = ProgramBuilder::new(&sim.config().topology, 4096);
+        let t = b.add_thread(0);
+        let mut expected: u64 = 0;
+        for (i, c) in chunks.iter().enumerate() {
+            let bytes = c * 4096;
+            if i % 3 == 2 {
+                b.release(t, bytes);
+                expected = expected.saturating_sub(bytes);
+            } else {
+                b.reserve(t, bytes);
+                expected += bytes;
+            }
+        }
+        let r = sim.run(&b.build(), 0);
+        prop_assert_eq!(r.footprint.last().unwrap().1, expected);
+        // Monotone time stamps.
+        for w in r.footprint.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+    }
+}

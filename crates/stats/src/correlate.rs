@@ -1,0 +1,196 @@
+//! Correlation utilities and multiple-comparisons handling.
+//!
+//! §III-B-1 warns that "when correlating a lot of input parameters to end
+//! costs, the sheer amount of parameters might reveal some seemingly
+//! well-fitting correlations … known as the multiple comparisons problem"
+//! and points at Bonferroni correction as the remedy. EvSel tests hundreds
+//! of events per comparison, so this module provides Pearson correlation, a
+//! correlation matrix over many series, and the Bonferroni-adjusted
+//! significance threshold.
+
+use crate::descriptive::mean;
+
+/// Pearson product-moment correlation coefficient of two equal-length
+/// samples; `None` for mismatched lengths, fewer than two points, or zero
+/// variance on either side.
+pub fn pearson_r(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..x.len() {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Bonferroni-corrected per-test significance threshold: testing `m`
+/// hypotheses at family-wise error rate `alpha` requires each test to pass
+/// `alpha / m`.
+///
+/// Returns `alpha` unchanged for `m <= 1`.
+pub fn bonferroni_threshold(alpha: f64, m: usize) -> f64 {
+    if m <= 1 {
+        alpha
+    } else {
+        alpha / m as f64
+    }
+}
+
+/// A symmetric correlation matrix over a set of named series.
+///
+/// EvSel's event table colour-codes correlations "for a quick overview";
+/// this type is the data behind such a view.
+#[derive(Debug, Clone)]
+pub struct CorrelationMatrix {
+    /// Names of the series, in matrix order.
+    pub names: Vec<String>,
+    /// Row-major `names.len()²` matrix of Pearson r values (`NaN` where
+    /// undefined).
+    pub values: Vec<f64>,
+}
+
+impl CorrelationMatrix {
+    /// Builds the matrix from `(name, series)` pairs. Series of differing
+    /// lengths correlate as `NaN`.
+    pub fn from_series(series: &[(String, Vec<f64>)]) -> CorrelationMatrix {
+        let n = series.len();
+        let mut values = vec![f64::NAN; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let r = if i == j {
+                    1.0
+                } else {
+                    pearson_r(&series[i].1, &series[j].1).unwrap_or(f64::NAN)
+                };
+                values[i * n + j] = r;
+                values[j * n + i] = r;
+            }
+        }
+        CorrelationMatrix { names: series.iter().map(|(n, _)| n.clone()).collect(), values }
+    }
+
+    /// Correlation between series `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.names.len() + j]
+    }
+
+    /// All pairs `(i, j)` with `i < j` whose |r| meets `threshold`,
+    /// strongest first.
+    pub fn strong_pairs(&self, threshold: f64) -> Vec<(usize, usize, f64)> {
+        let n = self.names.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let r = self.get(i, j);
+                if r.is_finite() && r.abs() >= threshold {
+                    out.push((i, j, r));
+                }
+            }
+        }
+        out.sort_by(|a, b| b.2.abs().partial_cmp(&a.2.abs()).unwrap());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        assert!((pearson_r(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z: Vec<f64> = x.iter().map(|v| -3.0 * v).collect();
+        assert!((pearson_r(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_orthogonal_series() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, -1.0, -1.0, 1.0]; // symmetric around the x midpoint
+        assert!(pearson_r(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_rejects_degenerate_inputs() {
+        assert!(pearson_r(&[1.0], &[1.0]).is_none());
+        assert!(pearson_r(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(pearson_r(&[1.0, 1.0], &[1.0, 2.0]).is_none()); // zero variance
+    }
+
+    #[test]
+    fn pearson_is_scale_invariant() {
+        let x = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let y = [2.0, 6.0, 5.0, 9.0, 7.0];
+        let r1 = pearson_r(&x, &y).unwrap();
+        let xs: Vec<f64> = x.iter().map(|v| 100.0 * v - 7.0).collect();
+        let ys: Vec<f64> = y.iter().map(|v| 0.01 * v + 3.0).collect();
+        let r2 = pearson_r(&xs, &ys).unwrap();
+        assert!((r1 - r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bonferroni_scales_threshold() {
+        assert_eq!(bonferroni_threshold(0.05, 1), 0.05);
+        assert_eq!(bonferroni_threshold(0.05, 0), 0.05);
+        assert!((bonferroni_threshold(0.05, 100) - 0.0005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_matrix_symmetry_and_diagonal() {
+        let series = vec![
+            ("a".to_string(), vec![1.0, 2.0, 3.0, 4.0]),
+            ("b".to_string(), vec![2.0, 4.0, 6.0, 8.0]),
+            ("c".to_string(), vec![4.0, 3.0, 2.0, 1.0]),
+        ];
+        let m = CorrelationMatrix::from_series(&series);
+        for i in 0..3 {
+            assert_eq!(m.get(i, i), 1.0);
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+        assert!((m.get(0, 1) - 1.0).abs() < 1e-12);
+        assert!((m.get(0, 2) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strong_pairs_sorted_by_strength() {
+        let series = vec![
+            ("a".to_string(), vec![1.0, 2.0, 3.0, 4.0, 5.0]),
+            ("b".to_string(), vec![1.1, 2.2, 2.9, 4.2, 5.1]), // strongly +
+            ("c".to_string(), vec![3.0, 1.0, 4.0, 1.0, 5.0]), // weak
+        ];
+        let m = CorrelationMatrix::from_series(&series);
+        let pairs = m.strong_pairs(0.9);
+        assert!(!pairs.is_empty());
+        assert_eq!((pairs[0].0, pairs[0].1), (0, 1));
+        for w in pairs.windows(2) {
+            assert!(w[0].2.abs() >= w[1].2.abs());
+        }
+    }
+
+    #[test]
+    fn mismatched_series_produce_nan_not_panic() {
+        let series = vec![
+            ("a".to_string(), vec![1.0, 2.0, 3.0]),
+            ("b".to_string(), vec![1.0, 2.0]),
+        ];
+        let m = CorrelationMatrix::from_series(&series);
+        assert!(m.get(0, 1).is_nan());
+        assert!(m.strong_pairs(0.5).is_empty());
+    }
+}

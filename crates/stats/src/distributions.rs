@@ -1,0 +1,295 @@
+//! Special functions and distribution CDFs implemented from scratch.
+//!
+//! Provides the Student-t CDF (for Welch's t-test p-values), the standard
+//! normal CDF, the log-gamma function, and a gamma density. The paper's
+//! §IV-A-2 discusses replacing the normality assumption with "a gamma
+//! distribution starting at this minimum point" — the gamma helpers exist so
+//! that ablation X5/`normality` experiments can model exactly that
+//! lower-bounded noise process.
+
+use std::f64::consts::PI;
+
+/// Natural log of the gamma function via the Lanczos approximation
+/// (g = 7, n = 9 coefficients; |relative error| < 1e-13 for x > 0).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps precision for small x.
+        return (PI / (PI * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularised incomplete beta function `I_x(a, b)` via the continued
+/// fraction expansion (Numerical-Recipes-style `betacf`).
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta function (modified Lentz).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Cumulative distribution function of Student's t with `df` degrees of
+/// freedom, evaluated at `t`.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return if t > 0.0 { 1.0 } else { 0.0 };
+    }
+    let x = df / (df + t * t);
+    let p = 0.5 * incomplete_beta(0.5 * df, 0.5, x);
+    if t > 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Two-sided p-value for a t statistic with `df` degrees of freedom.
+pub fn student_t_two_sided_p(t: f64, df: f64) -> f64 {
+    let x = df / (df + t * t);
+    incomplete_beta(0.5 * df, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Error function via the Abramowitz & Stegun 7.1.26 rational approximation
+/// (|error| < 1.5e-7, sufficient for significance reporting).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Survival function of the F distribution: `P(F(d1, d2) > f)`, via the
+/// regularised incomplete beta function. Used for the overall-significance
+/// test of a regression (does the model beat the intercept-only model?).
+pub fn f_sf(f: f64, d1: f64, d2: f64) -> f64 {
+    if f <= 0.0 {
+        return 1.0;
+    }
+    if !f.is_finite() {
+        return 0.0;
+    }
+    incomplete_beta(0.5 * d2, 0.5 * d1, d2 / (d2 + d1 * f)).clamp(0.0, 1.0)
+}
+
+/// Probability density of the gamma distribution with shape `k` and scale
+/// `theta`, shifted so its support starts at `shift` — the "gamma
+/// distribution starting at this minimum point" of §IV-A-2.
+pub fn shifted_gamma_pdf(x: f64, k: f64, theta: f64, shift: f64) -> f64 {
+    let z = x - shift;
+    if z <= 0.0 || k <= 0.0 || theta <= 0.0 {
+        return 0.0;
+    }
+    ((k - 1.0) * z.ln() - z / theta - ln_gamma(k) - k * theta.ln()).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        for (n, fact) in [(1.0, 1.0), (2.0, 1.0), (3.0, 2.0), (5.0, 24.0), (7.0, 720.0)] {
+            assert!(
+                (ln_gamma(n) - f64::ln(fact)).abs() < 1e-10,
+                "ln_gamma({n}) = {}, expected ln({fact})",
+                ln_gamma(n)
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(pi)
+        assert!((ln_gamma(0.5) - 0.5 * PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetric_case() {
+        // I_{0.5}(a, a) = 0.5 by symmetry.
+        for a in [0.5, 1.0, 2.0, 5.0] {
+            assert!((incomplete_beta(a, a, 0.5) - 0.5).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_case() {
+        // I_x(1, 1) = x.
+        for x in [0.1, 0.25, 0.5, 0.9] {
+            assert!((incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn student_t_cdf_center_and_symmetry() {
+        for df in [1.0, 3.0, 10.0, 100.0] {
+            assert!((student_t_cdf(0.0, df) - 0.5).abs() < 1e-12);
+            let p = student_t_cdf(1.3, df);
+            let q = student_t_cdf(-1.3, df);
+            assert!((p + q - 1.0).abs() < 1e-10, "asymmetric at df={df}");
+        }
+    }
+
+    #[test]
+    fn student_t_cdf_known_value() {
+        // t = 2.0, df = 10: CDF ≈ 0.96331 (standard tables).
+        assert!((student_t_cdf(2.0, 10.0) - 0.96331).abs() < 1e-4);
+        // t = 1.0, df = 1 (Cauchy): CDF = 3/4.
+        assert!((student_t_cdf(1.0, 1.0) - 0.75).abs() < 1e-10);
+    }
+
+    #[test]
+    fn student_t_approaches_normal_for_large_df() {
+        for t in [-2.0, -0.5, 0.7, 1.96] {
+            let tp = student_t_cdf(t, 1e6);
+            let np = normal_cdf(t);
+            assert!((tp - np).abs() < 1e-4, "t={t}: {tp} vs {np}");
+        }
+    }
+
+    #[test]
+    fn two_sided_p_consistency() {
+        let t = 2.3;
+        let df = 14.0;
+        let p = student_t_two_sided_p(t, df);
+        let tail = 1.0 - student_t_cdf(t, df);
+        assert!((p - 2.0 * tail).abs() < 1e-10);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        // The A&S 7.1.26 approximation has absolute error < 1.5e-7; erf(0)
+        // is not exactly zero under it.
+        assert!(erf(0.0).abs() < 1.5e-7);
+        assert!((erf(1.0) - 0.8427008).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427008).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_standard_quantiles() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1.5e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 2e-4);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 2e-4);
+    }
+
+    #[test]
+    fn f_sf_known_values() {
+        // F(1, d2) = t(d2)²: P(F > t²) = two-sided t p-value.
+        let t: f64 = 2.0;
+        let df = 10.0;
+        let via_f = f_sf(t * t, 1.0, df);
+        let via_t = student_t_two_sided_p(t, df);
+        assert!((via_f - via_t).abs() < 1e-10, "{via_f} vs {via_t}");
+        // Boundaries.
+        assert_eq!(f_sf(0.0, 2.0, 10.0), 1.0);
+        assert_eq!(f_sf(f64::INFINITY, 2.0, 10.0), 0.0);
+        // Monotone decreasing in f.
+        assert!(f_sf(1.0, 3.0, 12.0) > f_sf(5.0, 3.0, 12.0));
+    }
+
+    #[test]
+    fn shifted_gamma_pdf_support() {
+        assert_eq!(shifted_gamma_pdf(0.9, 2.0, 1.0, 1.0), 0.0);
+        assert!(shifted_gamma_pdf(2.0, 2.0, 1.0, 1.0) > 0.0);
+        // k=1, theta=1 is Exp(1): pdf(shift + z) = e^{-z}.
+        let z: f64 = 0.7;
+        assert!((shifted_gamma_pdf(1.0 + z, 1.0, 1.0, 1.0) - (-z).exp()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,255 @@
+//! Latency histograms built from threshold measurements.
+//!
+//! Memhist cannot read a latency histogram directly from the PMU: "the load
+//! latency events denote all the loads that surpass a threshold value. To
+//! retrieve event information for a specific latency interval, two
+//! measurements (lower and upper bound) have to be performed and subtracted.
+//! … negative event occurrences might be observed if the measurements for
+//! both bounds vary excessively" (§IV-B). This module owns that subtraction
+//! logic and keeps its artefacts (negative counts, sub-3-cycle unreliability)
+//! explicit in the data model.
+
+/// Minimum latency (cycles) Intel guarantees to measure correctly; Memhist
+/// marks bins below this "uncertain sampling" and renders them grey.
+pub const RELIABLE_LATENCY_FLOOR: u64 = 3;
+
+/// Count (and derived cost) for one latency interval `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalCount {
+    /// Inclusive lower latency bound in cycles.
+    pub lo: u64,
+    /// Exclusive upper latency bound in cycles (`u64::MAX` for the last bin).
+    pub hi: u64,
+    /// Occurrences attributed to the interval. Negative values are real
+    /// artefacts of the two-threshold subtraction and are preserved.
+    pub count: i64,
+    /// `count × representative latency` — Memhist's "event costs" mode,
+    /// "to gain insights on the number of cycles spent in a certain latency
+    /// interval". Zero when `count` is negative.
+    pub cost_cycles: i64,
+    /// True when the interval lies (partly) below the reliable measurement
+    /// floor — rendered grey in the paper's screenshots.
+    pub uncertain: bool,
+}
+
+impl IntervalCount {
+    /// Representative latency for cost accounting: the geometric middle of
+    /// the interval (arithmetic middle for the open-ended last bin's lower
+    /// bound).
+    pub fn representative_latency(lo: u64, hi: u64) -> u64 {
+        if hi == u64::MAX {
+            lo
+        } else {
+            // Geometric mean suits the exponentially growing bin widths.
+            (((lo.max(1) as f64) * (hi as f64)).sqrt()) as u64
+        }
+    }
+}
+
+/// Rendering / accumulation mode, mirroring Memhist's toggle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramMode {
+    /// Plain event occurrences per interval (Fig. 10a).
+    Occurrences,
+    /// Occurrences multiplied by representative latency (Fig. 10b).
+    Costs,
+}
+
+/// A latency histogram assembled from per-threshold exceedance counts.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// The interval bins, ordered by `lo`.
+    pub bins: Vec<IntervalCount>,
+}
+
+impl LatencyHistogram {
+    /// Builds a histogram from `(threshold, exceedance count)` pairs:
+    /// `counts[i]` is the number of loads whose latency was `>=
+    /// thresholds[i]`. Bin `i` covers `[thresholds[i], thresholds[i+1])`
+    /// with count `counts[i] - counts[i+1]`; the final bin is open-ended.
+    ///
+    /// Thresholds must be strictly increasing; returns `None` otherwise or
+    /// when the slices mismatch / are empty.
+    pub fn from_threshold_counts(thresholds: &[u64], counts: &[i64]) -> Option<LatencyHistogram> {
+        if thresholds.len() != counts.len() || thresholds.is_empty() {
+            return None;
+        }
+        if thresholds.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        let mut bins = Vec::with_capacity(thresholds.len());
+        for i in 0..thresholds.len() {
+            let lo = thresholds[i];
+            let hi = if i + 1 < thresholds.len() { thresholds[i + 1] } else { u64::MAX };
+            // The subtraction of §IV-B: may go negative under jitter.
+            let count = if i + 1 < counts.len() { counts[i] - counts[i + 1] } else { counts[i] };
+            let rep = IntervalCount::representative_latency(lo, hi) as i64;
+            bins.push(IntervalCount {
+                lo,
+                hi,
+                count,
+                cost_cycles: if count > 0 { count * rep } else { 0 },
+                uncertain: lo < RELIABLE_LATENCY_FLOOR,
+            });
+        }
+        Some(LatencyHistogram { bins })
+    }
+
+    /// Total (non-negative) occurrences across bins.
+    pub fn total_count(&self) -> i64 {
+        self.bins.iter().map(|b| b.count.max(0)).sum()
+    }
+
+    /// Total cost in cycles across bins.
+    pub fn total_cost(&self) -> i64 {
+        self.bins.iter().map(|b| b.cost_cycles).sum()
+    }
+
+    /// Number of bins whose subtraction went negative — the measurement
+    /// error §IV-B says "cannot be avoided".
+    pub fn negative_bins(&self) -> usize {
+        self.bins.iter().filter(|b| b.count < 0).count()
+    }
+
+    /// Indices of local maxima by the chosen mode, ignoring uncertain bins —
+    /// these are the "annotated peaks" of Fig. 10 (L2, L3, local memory,
+    /// remote memory).
+    pub fn peaks(&self, mode: HistogramMode) -> Vec<usize> {
+        let val = |b: &IntervalCount| match mode {
+            HistogramMode::Occurrences => b.count.max(0),
+            HistogramMode::Costs => b.cost_cycles,
+        };
+        let mut peaks = Vec::new();
+        for i in 0..self.bins.len() {
+            if self.bins[i].uncertain || val(&self.bins[i]) == 0 {
+                continue;
+            }
+            let left = i.checked_sub(1).map_or(0, |j| val(&self.bins[j]));
+            let right = self.bins.get(i + 1).map_or(0, val);
+            if val(&self.bins[i]) >= left && val(&self.bins[i]) > right
+                || (val(&self.bins[i]) > left && val(&self.bins[i]) >= right)
+            {
+                peaks.push(i);
+            }
+        }
+        peaks
+    }
+
+    /// Renders an ASCII bar chart of the histogram — the textual stand-in
+    /// for Memhist's QML view. Bars for uncertain bins are drawn with `░`
+    /// (the paper renders them grey); `truncate_at` caps bar length like
+    /// the paper truncates the dominant L2 bar "to approximately half their
+    /// height for readability".
+    pub fn render_ascii(&self, mode: HistogramMode, width: usize, truncate_at: Option<i64>) -> String {
+        let val = |b: &IntervalCount| match mode {
+            HistogramMode::Occurrences => b.count,
+            HistogramMode::Costs => b.cost_cycles,
+        };
+        let max = self.bins.iter().map(|b| val(b).max(0)).max().unwrap_or(0).max(1);
+        let cap = truncate_at.unwrap_or(i64::MAX);
+        let mut out = String::new();
+        for b in &self.bins {
+            let v = val(b);
+            let shown = v.clamp(0, cap);
+            let bar_len = ((shown as f64 / max.min(cap) as f64) * width as f64).round() as usize;
+            let glyph = if b.uncertain { '░' } else { '█' };
+            let bar: String = std::iter::repeat_n(glyph, bar_len.min(width)).collect();
+            let hi = if b.hi == u64::MAX { "inf".to_string() } else { b.hi.to_string() };
+            let marker = if v > cap { "+" } else if v < 0 { "!" } else { " " };
+            out.push_str(&format!("{:>6}-{:<6} |{bar:<width$}|{marker} {v}\n", b.lo, hi));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subtraction_produces_interval_counts() {
+        // 100 loads >= 4 cycles, 60 >= 16, 10 >= 64.
+        let h = LatencyHistogram::from_threshold_counts(&[4, 16, 64], &[100, 60, 10]).unwrap();
+        assert_eq!(h.bins.len(), 3);
+        assert_eq!(h.bins[0].count, 40); // [4, 16)
+        assert_eq!(h.bins[1].count, 50); // [16, 64)
+        assert_eq!(h.bins[2].count, 10); // [64, inf)
+        assert_eq!(h.total_count(), 100);
+    }
+
+    #[test]
+    fn negative_counts_preserved_not_clamped() {
+        // Jitter: the >=16 measurement saw *more* events than the >=4 one.
+        let h = LatencyHistogram::from_threshold_counts(&[4, 16], &[50, 55]).unwrap();
+        assert_eq!(h.bins[0].count, -5);
+        assert_eq!(h.negative_bins(), 1);
+        assert_eq!(h.bins[0].cost_cycles, 0); // negative bins carry no cost
+        assert_eq!(h.total_count(), 55); // clamped only in the aggregate
+    }
+
+    #[test]
+    fn uncertainty_floor_marks_low_bins() {
+        let h = LatencyHistogram::from_threshold_counts(&[1, 3, 8], &[10, 8, 2]).unwrap();
+        assert!(h.bins[0].uncertain); // [1, 3) below the floor
+        assert!(!h.bins[1].uncertain);
+        assert!(!h.bins[2].uncertain);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(LatencyHistogram::from_threshold_counts(&[], &[]).is_none());
+        assert!(LatencyHistogram::from_threshold_counts(&[4, 4], &[1, 1]).is_none());
+        assert!(LatencyHistogram::from_threshold_counts(&[8, 4], &[1, 1]).is_none());
+        assert!(LatencyHistogram::from_threshold_counts(&[4], &[1, 2]).is_none());
+    }
+
+    #[test]
+    fn cost_mode_weights_by_latency() {
+        let h = LatencyHistogram::from_threshold_counts(&[4, 16, 256], &[100, 50, 10]).unwrap();
+        // Bin [16, 256): representative = sqrt(16*256) = 64.
+        assert_eq!(h.bins[1].count, 40);
+        assert_eq!(h.bins[1].cost_cycles, 40 * 64);
+        // Open-ended bin uses its lower bound.
+        assert_eq!(h.bins[2].cost_cycles, 10 * 256);
+        assert!(h.total_cost() > 0);
+    }
+
+    #[test]
+    fn peaks_found_at_local_maxima() {
+        // Shape: small, PEAK, small, PEAK, tiny — like L3 + local-DRAM humps.
+        let h = LatencyHistogram::from_threshold_counts(
+            &[4, 8, 16, 32, 64, 128],
+            &[200, 190, 100, 90, 10, 2],
+        )
+        .unwrap();
+        // counts: [10, 90, 10, 80, 8, 2]
+        let peaks = h.peaks(HistogramMode::Occurrences);
+        assert!(peaks.contains(&1), "peaks {:?}", peaks);
+        assert!(peaks.contains(&3), "peaks {:?}", peaks);
+        assert!(!peaks.contains(&0));
+    }
+
+    #[test]
+    fn peaks_ignore_uncertain_bins() {
+        let h = LatencyHistogram::from_threshold_counts(&[1, 4, 8], &[100, 10, 2]).unwrap();
+        // Bin [1,4) has count 90 but is uncertain; must not be a peak.
+        let peaks = h.peaks(HistogramMode::Occurrences);
+        assert!(!peaks.contains(&0));
+    }
+
+    #[test]
+    fn ascii_rendering_marks_truncation_and_negatives() {
+        let h = LatencyHistogram::from_threshold_counts(&[4, 16, 64], &[1000, 30, 35]).unwrap();
+        // counts: [970, -5, 35]
+        let s = h.render_ascii(HistogramMode::Occurrences, 20, Some(100));
+        assert!(s.contains('+'), "truncation marker missing:\n{s}");
+        assert!(s.contains('!'), "negative marker missing:\n{s}");
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn representative_latency_geometric() {
+        assert_eq!(IntervalCount::representative_latency(4, 16), 8);
+        assert_eq!(IntervalCount::representative_latency(300, u64::MAX), 300);
+    }
+}

@@ -1,0 +1,326 @@
+//! Parameter regressions with coefficients of determination.
+//!
+//! EvSel "uses regressions to correlate parameters with event counters. To
+//! find interdependencies, linear, quadratic, and exponential regressions
+//! are created and evaluated" (§IV-A-2). This module implements those three
+//! function families on top of the QR least-squares solver and reports R²
+//! so the tool can display "the regressions' coefficients of determination"
+//! (§VI).
+
+use crate::descriptive::mean;
+use np_linalg::{lstsq, Matrix};
+
+/// The regression function families EvSel evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegressionKind {
+    /// `y = a + b·x`
+    Linear,
+    /// `y = a + b·x + c·x²`
+    Quadratic,
+    /// `y = a · e^(b·x)`, fitted as `ln y = ln a + b·x` (requires `y > 0`).
+    Exponential,
+}
+
+impl RegressionKind {
+    /// All families, in the order EvSel evaluates them.
+    pub const ALL: [RegressionKind; 3] =
+        [RegressionKind::Linear, RegressionKind::Quadratic, RegressionKind::Exponential];
+
+    /// Human-readable name as shown in regression reports (Fig. 9).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RegressionKind::Linear => "linear",
+            RegressionKind::Quadratic => "quadratic",
+            RegressionKind::Exponential => "exponential",
+        }
+    }
+}
+
+/// A fitted regression of one function family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionFit {
+    /// Which function family was fitted.
+    pub kind: RegressionKind,
+    /// Coefficients in family order: `[a, b]` (linear, exponential) or
+    /// `[a, b, c]` (quadratic). For exponential fits `a` is already
+    /// back-transformed (`a = e^intercept`).
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination in the *original* y-space.
+    pub r_squared: f64,
+    /// Residual sum of squares in the original y-space.
+    pub rss: f64,
+    /// Number of data points used.
+    pub n: usize,
+    /// Two-sided p-value of the hypothesis "the dependence on x is zero"
+    /// (t-test on the x coefficient in the fitted space) — the
+    /// "statistical confidence value … for correlations" EvSel reports.
+    /// `NaN` when not computable (saturated fit).
+    pub slope_p_value: f64,
+}
+
+impl RegressionFit {
+    /// Confidence (`1 - p`) that the dependence on x is real; 0 when the
+    /// p-value is unavailable.
+    pub fn slope_confidence(&self) -> f64 {
+        if self.slope_p_value.is_nan() {
+            0.0
+        } else {
+            1.0 - self.slope_p_value
+        }
+    }
+}
+
+impl RegressionFit {
+    /// Evaluates the fitted function at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        match self.kind {
+            RegressionKind::Linear => self.coefficients[0] + self.coefficients[1] * x,
+            RegressionKind::Quadratic => {
+                self.coefficients[0] + self.coefficients[1] * x + self.coefficients[2] * x * x
+            }
+            RegressionKind::Exponential => {
+                self.coefficients[0] * (self.coefficients[1] * x).exp()
+            }
+        }
+    }
+
+    /// Formats the fitted function like EvSel's correlation view, e.g.
+    /// `y = 3.1 + 0.52·x` or `y = 12 · e^(0.30·x)`.
+    pub fn formula(&self) -> String {
+        match self.kind {
+            RegressionKind::Linear => {
+                format!("y = {:.4} + {:.4}·x", self.coefficients[0], self.coefficients[1])
+            }
+            RegressionKind::Quadratic => format!(
+                "y = {:.4} + {:.4}·x + {:.4}·x²",
+                self.coefficients[0], self.coefficients[1], self.coefficients[2]
+            ),
+            RegressionKind::Exponential => {
+                format!("y = {:.4} · e^({:.4}·x)", self.coefficients[0], self.coefficients[1])
+            }
+        }
+    }
+}
+
+/// Fits one regression family to the points `(x[i], y[i])`.
+///
+/// Returns `None` when the fit is impossible: fewer points than parameters,
+/// degenerate x values (all equal), or non-positive y values for the
+/// exponential family.
+pub fn fit(kind: RegressionKind, x: &[f64], y: &[f64]) -> Option<RegressionFit> {
+    if x.len() != y.len() {
+        return None;
+    }
+    let n = x.len();
+    let params = match kind {
+        RegressionKind::Quadratic => 3,
+        _ => 2,
+    };
+    if n < params + 1 {
+        return None;
+    }
+    // Degenerate designs (all x equal) cannot identify a slope.
+    if x.iter().all(|&v| v == x[0]) {
+        return None;
+    }
+
+    let (design, target): (Matrix, Vec<f64>) = match kind {
+        RegressionKind::Linear => {
+            let mut d = Matrix::zeros(n, 2);
+            for i in 0..n {
+                d[(i, 0)] = 1.0;
+                d[(i, 1)] = x[i];
+            }
+            (d, y.to_vec())
+        }
+        RegressionKind::Quadratic => {
+            let mut d = Matrix::zeros(n, 3);
+            for i in 0..n {
+                d[(i, 0)] = 1.0;
+                d[(i, 1)] = x[i];
+                d[(i, 2)] = x[i] * x[i];
+            }
+            (d, y.to_vec())
+        }
+        RegressionKind::Exponential => {
+            if y.iter().any(|&v| v <= 0.0) {
+                return None;
+            }
+            let mut d = Matrix::zeros(n, 2);
+            for i in 0..n {
+                d[(i, 0)] = 1.0;
+                d[(i, 1)] = x[i];
+            }
+            (d, y.iter().map(|v| v.ln()).collect())
+        }
+    };
+
+    let sol = lstsq(&design, &Matrix::column(&target)).ok()?;
+
+    // Overall significance in the *fitted* space: F-test of the model
+    // against the intercept-only model.
+    let slope_p_value = {
+        let k = params as f64;
+        let nf = n as f64;
+        let mean_t = target.iter().sum::<f64>() / nf;
+        let tss: f64 = target.iter().map(|v| (v - mean_t) * (v - mean_t)).sum();
+        if tss <= 0.0 {
+            f64::NAN
+        } else if sol.rss <= 1e-12 * tss {
+            0.0 // (near-)perfect fit
+        } else {
+            let f = ((tss - sol.rss) / (k - 1.0)) / (sol.rss / (nf - k));
+            crate::distributions::f_sf(f, k - 1.0, nf - k)
+        }
+    };
+
+    let coefficients: Vec<f64> = match kind {
+        RegressionKind::Linear => vec![sol.beta[(0, 0)], sol.beta[(1, 0)]],
+        RegressionKind::Quadratic => {
+            vec![sol.beta[(0, 0)], sol.beta[(1, 0)], sol.beta[(2, 0)]]
+        }
+        RegressionKind::Exponential => vec![sol.beta[(0, 0)].exp(), sol.beta[(1, 0)]],
+    };
+
+    // R² and RSS computed in the original y-space so families are
+    // comparable (an exponential fit judged in log-space would look
+    // artificially good).
+    let fit = RegressionFit { kind, coefficients, r_squared: 0.0, rss: 0.0, n, slope_p_value };
+    let y_mean = mean(y);
+    let mut rss = 0.0;
+    let mut tss = 0.0;
+    for i in 0..n {
+        let e = y[i] - fit.predict(x[i]);
+        rss += e * e;
+        let d = y[i] - y_mean;
+        tss += d * d;
+    }
+    let r_squared = if tss == 0.0 { if rss == 0.0 { 1.0 } else { 0.0 } } else { 1.0 - rss / tss };
+    Some(RegressionFit { r_squared, rss, ..fit })
+}
+
+/// Fits all three families and returns the best by R², together with the
+/// other candidates (sorted best-first) for display.
+pub fn best_fit(x: &[f64], y: &[f64]) -> Option<(RegressionFit, Vec<RegressionFit>)> {
+    let mut fits: Vec<RegressionFit> =
+        RegressionKind::ALL.iter().filter_map(|&k| fit(k, x, y)).collect();
+    if fits.is_empty() {
+        return None;
+    }
+    fits.sort_by(|a, b| b.r_squared.partial_cmp(&a.r_squared).unwrap_or(std::cmp::Ordering::Equal));
+    let best = fits[0].clone();
+    Some((best, fits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 2.0 + 3.0 * v).collect();
+        let f = fit(RegressionKind::Linear, &x, &y).unwrap();
+        assert!((f.coefficients[0] - 2.0).abs() < 1e-10);
+        assert!((f.coefficients[1] - 3.0).abs() < 1e-10);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_fit_recovers_parabola() {
+        let x = [-2.0, -1.0, 0.0, 1.0, 2.0, 3.0];
+        let y: Vec<f64> = x.iter().map(|v| 1.0 - 2.0 * v + 0.5 * v * v).collect();
+        let f = fit(RegressionKind::Quadratic, &x, &y).unwrap();
+        assert!((f.coefficients[0] - 1.0).abs() < 1e-9);
+        assert!((f.coefficients[1] + 2.0).abs() < 1e-9);
+        assert!((f.coefficients[2] - 0.5).abs() < 1e-9);
+        assert!(f.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn exponential_fit_recovers_growth() {
+        let x: [f64; 5] = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 5.0 * (0.4 * v).exp()).collect();
+        let f = fit(RegressionKind::Exponential, &x, &y).unwrap();
+        assert!((f.coefficients[0] - 5.0).abs() < 1e-6);
+        assert!((f.coefficients[1] - 0.4).abs() < 1e-8);
+        assert!(f.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn exponential_rejects_nonpositive_y() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 0.0, 2.0, 3.0];
+        assert!(fit(RegressionKind::Exponential, &x, &y).is_none());
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(fit(RegressionKind::Linear, &[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(fit(RegressionKind::Linear, &[1.0, 2.0], &[1.0, 2.0]).is_none()); // too few
+        assert!(fit(RegressionKind::Linear, &[1.0, 2.0, 3.0], &[1.0, 2.0]).is_none()); // len mismatch
+    }
+
+    #[test]
+    fn best_fit_picks_correct_family() {
+        let x: Vec<f64> = (1..=12).map(|i| i as f64).collect();
+
+        let y_lin: Vec<f64> = x.iter().map(|v| 10.0 + 2.0 * v).collect();
+        let (best, _) = best_fit(&x, &y_lin).unwrap();
+        // A quadratic can also fit a line perfectly; the winner must fit
+        // (R² ≈ 1) and linear must be among the perfect fits.
+        assert!(best.r_squared > 0.999999);
+
+        let y_exp: Vec<f64> = x.iter().map(|v| 3.0 * (0.5 * v).exp()).collect();
+        let (best, all) = best_fit(&x, &y_exp).unwrap();
+        assert_eq!(best.kind, RegressionKind::Exponential);
+        assert_eq!(all.len(), 3);
+        assert!(all.windows(2).all(|w| w[0].r_squared >= w[1].r_squared));
+    }
+
+    #[test]
+    fn r_squared_decreases_with_noise() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let clean: Vec<f64> = x.iter().map(|v| 1.0 + v).collect();
+        // Deterministic "noise": alternating offsets.
+        let noisy: Vec<f64> =
+            clean.iter().enumerate().map(|(i, v)| v + if i % 2 == 0 { 3.0 } else { -3.0 }).collect();
+        let f_clean = fit(RegressionKind::Linear, &x, &clean).unwrap();
+        let f_noisy = fit(RegressionKind::Linear, &x, &noisy).unwrap();
+        assert!(f_clean.r_squared > f_noisy.r_squared);
+        assert!(f_noisy.r_squared > 0.5); // trend still dominates
+    }
+
+    #[test]
+    fn formula_rendering() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let f = fit(RegressionKind::Linear, &x, &y).unwrap();
+        assert!(f.formula().starts_with("y = "));
+        assert!(f.formula().contains("·x"));
+    }
+
+    #[test]
+    fn slope_confidence_tracks_signal_strength() {
+        let x: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        // Strong signal.
+        let strong: Vec<f64> = x.iter().map(|v| 5.0 + 10.0 * v).collect();
+        let f = fit(RegressionKind::Linear, &x, &strong).unwrap();
+        assert!(f.slope_confidence() > 0.999, "p = {}", f.slope_p_value);
+        // Pure noise around a constant: low confidence.
+        let noise: Vec<f64> =
+            (0..12).map(|i| 100.0 + ((i * 37) % 11) as f64 - 5.0).collect();
+        let f = fit(RegressionKind::Linear, &x, &noise).unwrap();
+        assert!(f.slope_p_value > 0.05, "p = {}", f.slope_p_value);
+    }
+
+    #[test]
+    fn constant_y_has_full_r_squared_for_flat_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [5.0, 5.0, 5.0, 5.0];
+        let f = fit(RegressionKind::Linear, &x, &y).unwrap();
+        assert!((f.coefficients[1]).abs() < 1e-12);
+        assert_eq!(f.r_squared, 1.0);
+    }
+}

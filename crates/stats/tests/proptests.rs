@@ -1,0 +1,147 @@
+//! Property-based tests for np-stats invariants.
+
+use np_stats::distributions::{normal_cdf, student_t_cdf, student_t_two_sided_p};
+use np_stats::histogram::LatencyHistogram;
+use np_stats::regression::{fit, RegressionKind};
+use np_stats::segmented::segmented_fit;
+use np_stats::ttest::welch_t_test;
+use np_stats::{bonferroni_threshold, pearson_r};
+use proptest::prelude::*;
+
+fn sample(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e3f64..1e3, len)
+}
+
+proptest! {
+    #[test]
+    fn t_cdf_is_monotone(t1 in -5.0f64..5.0, dt in 0.01f64..5.0, df in 1.0f64..200.0) {
+        let lo = student_t_cdf(t1, df);
+        let hi = student_t_cdf(t1 + dt, df);
+        prop_assert!(hi >= lo - 1e-12, "CDF not monotone: {lo} > {hi}");
+    }
+
+    #[test]
+    fn t_cdf_bounded(t in -50.0f64..50.0, df in 0.5f64..500.0) {
+        let p = student_t_cdf(t, df);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn two_sided_p_symmetric_in_t(t in 0.0f64..20.0, df in 1.0f64..100.0) {
+        let p1 = student_t_two_sided_p(t, df);
+        let p2 = student_t_two_sided_p(-t, df);
+        prop_assert!((p1 - p2).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&p1));
+    }
+
+    #[test]
+    fn normal_cdf_monotone_bounded(x in -8.0f64..8.0, dx in 0.001f64..4.0) {
+        let a = normal_cdf(x);
+        let b = normal_cdf(x + dx);
+        prop_assert!(b >= a - 1e-9);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn welch_t_antisymmetric(a in sample(6), b in sample(6)) {
+        if let (Some(r1), Some(r2)) = (welch_t_test(&a, &b), welch_t_test(&b, &a)) {
+            if r1.t.is_finite() {
+                prop_assert!((r1.t + r2.t).abs() < 1e-9);
+                prop_assert!((r1.p_two_sided - r2.p_two_sided).abs() < 1e-9);
+                prop_assert!((r1.mean_diff + r2.mean_diff).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn welch_shift_invariance(a in sample(5), b in sample(5), shift in -100.0f64..100.0) {
+        let a2: Vec<f64> = a.iter().map(|v| v + shift).collect();
+        let b2: Vec<f64> = b.iter().map(|v| v + shift).collect();
+        if let (Some(r1), Some(r2)) = (welch_t_test(&a, &b), welch_t_test(&a2, &b2)) {
+            if r1.t.is_finite() && r2.t.is_finite() {
+                prop_assert!((r1.t - r2.t).abs() < 1e-6, "{} vs {}", r1.t, r2.t);
+            }
+        }
+    }
+
+    #[test]
+    fn pearson_in_unit_interval(x in sample(8), y in sample(8)) {
+        if let Some(r) = pearson_r(&x, &y) {
+            prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r));
+        }
+    }
+
+    #[test]
+    fn pearson_self_correlation_is_one(x in sample(8)) {
+        if let Some(r) = pearson_r(&x, &x) {
+            prop_assert!((r - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bonferroni_never_raises_threshold(alpha in 1e-6f64..0.2, m in 1usize..10_000) {
+        let t = bonferroni_threshold(alpha, m);
+        prop_assert!(t <= alpha);
+        prop_assert!(t > 0.0);
+    }
+
+    #[test]
+    fn linear_fit_r2_at_most_one(x_base in sample(10), y in sample(10)) {
+        // Ensure distinct x values by adding the index.
+        let x: Vec<f64> = x_base.iter().enumerate().map(|(i, v)| v + 1e4 * i as f64).collect();
+        if let Some(f) = fit(RegressionKind::Linear, &x, &y) {
+            prop_assert!(f.r_squared <= 1.0 + 1e-9);
+            prop_assert!(f.rss >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn quadratic_never_fits_worse_than_linear(x_base in sample(10), y in sample(10)) {
+        let x: Vec<f64> = x_base.iter().enumerate().map(|(i, v)| v + 1e4 * i as f64).collect();
+        if let (Some(l), Some(q)) = (
+            fit(RegressionKind::Linear, &x, &y),
+            fit(RegressionKind::Quadratic, &x, &y),
+        ) {
+            // The linear model is nested in the quadratic one.
+            prop_assert!(q.rss <= l.rss + 1e-6 * (1.0 + l.rss), "q {} > l {}", q.rss, l.rss);
+        }
+    }
+
+    #[test]
+    fn segmented_fit_recovers_planted_pivot(
+        pivot in 5usize..25,
+        slope1 in 2.0f64..20.0,
+        noise_scale in 0.0f64..0.05,
+    ) {
+        let n = 30usize;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                let base = if i < pivot {
+                    slope1 * i as f64
+                } else {
+                    slope1 * pivot as f64 + 0.01 * (i - pivot) as f64
+                };
+                // Deterministic pseudo-noise derived from the index.
+                base + noise_scale * ((i * 2654435761) % 97) as f64 / 97.0
+            })
+            .collect();
+        if let Some(f) = segmented_fit(&x, &y) {
+            // Pivot search is clamped to [3, n-3]; allow the clamp margin.
+            let expected = pivot.clamp(3, n - 3) as i64;
+            prop_assert!((f.pivot as i64 - expected).abs() <= 2, "pivot {} vs {}", f.pivot, expected);
+        }
+    }
+
+    #[test]
+    fn histogram_subtraction_conserves_total(counts in proptest::collection::vec(0i64..10_000, 3..10)) {
+        // Monotone thresholds 4, 8, 16, ... and monotone counts ensure
+        // non-negative bins; total must equal the first exceedance count.
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let thresholds: Vec<u64> = (0..sorted.len() as u32).map(|i| 4u64 << i).collect();
+        let h = LatencyHistogram::from_threshold_counts(&thresholds, &sorted).unwrap();
+        prop_assert_eq!(h.negative_bins(), 0);
+        prop_assert_eq!(h.total_count(), sorted[0]);
+    }
+}

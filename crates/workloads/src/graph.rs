@@ -1,0 +1,203 @@
+//! An irregular graph traversal (level-synchronous BFS over a CSR graph).
+//!
+//! The NUMA models the paper surveys are motivated by irregular,
+//! memory-bound applications (Ma et al. validate TMM "against four
+//! shortest-path algorithms", §II-D). This workload is the simulator's
+//! irregular citizen: a random graph in compressed-sparse-row form,
+//! traversed breadth-first with level barriers. Its access pattern —
+//! sequential offsets, random neighbour gathers, scattered visited-bit
+//! updates — is the opposite of the streaming kernels, and placement
+//! policy changes its behaviour dramatically, which makes it the right
+//! stress test for the balance/objprof/c2c tooling.
+
+use crate::lcg::BsdLcg;
+use crate::{spread_cores, Workload};
+use np_simulator::{AllocPolicy, MachineConfig, Program, ProgramBuilder};
+
+/// Level-synchronous parallel BFS on a uniform random graph.
+#[derive(Debug, Clone)]
+pub struct BfsKernel {
+    /// Vertex count.
+    pub vertices: usize,
+    /// Average out-degree.
+    pub degree: usize,
+    /// Worker threads (frontier is block-partitioned).
+    pub threads: usize,
+    /// Placement for the graph arrays.
+    pub policy: AllocPolicy,
+    /// Traversed levels (the frontier model visits every vertex once per
+    /// level window, so a few levels suffice to expose the pattern).
+    pub levels: usize,
+}
+
+impl BfsKernel {
+    /// A BFS with first-touch placement.
+    pub fn new(vertices: usize, degree: usize, threads: usize) -> Self {
+        BfsKernel {
+            vertices,
+            degree: degree.max(1),
+            threads: threads.max(1),
+            policy: AllocPolicy::FirstTouch,
+            levels: 3,
+        }
+    }
+
+    /// The same graph with every array on one node.
+    pub fn bound(mut self, node: usize) -> Self {
+        self.policy = AllocPolicy::Bind(node);
+        self
+    }
+
+    /// The same graph interleaved across nodes.
+    pub fn interleaved(mut self) -> Self {
+        self.policy = AllocPolicy::Interleave;
+        self
+    }
+}
+
+impl Workload for BfsKernel {
+    fn name(&self) -> String {
+        format!("bfs/{}v/{}deg/{}thr/{:?}", self.vertices, self.degree, self.threads, self.policy)
+    }
+
+    #[allow(clippy::explicit_counter_loop)] // `barrier` ids advance with the level loop
+    fn build(&self, machine: &MachineConfig) -> Program {
+        let p = self.threads;
+        let cores = spread_cores(machine, p);
+        let mut b = ProgramBuilder::new(&machine.topology, machine.page_bytes);
+
+        let n = self.vertices as u64;
+        // CSR arrays: offsets (8 B/vertex), edges (8 B/edge), visited bits
+        // (1 B/vertex, padded), distances (4 B/vertex).
+        let offsets = b.alloc(8 * (n + 1), self.policy);
+        let edges = b.alloc(8 * n * self.degree as u64, self.policy);
+        let visited = b.alloc(n, self.policy);
+        let dist = b.alloc(4 * n, self.policy);
+
+        let threads: Vec<usize> = cores.iter().map(|&c| b.add_thread(c)).collect();
+
+        // First-touch initialisation by the block owners (or by the bind /
+        // interleave policy at allocation).
+        let chunk = self.vertices / p;
+        for (t, &th) in threads.iter().enumerate() {
+            let lo = (t * chunk) as u64;
+            let hi = (((t + 1) * chunk).min(self.vertices)) as u64;
+            let mut v = lo;
+            while v < hi {
+                b.store(th, offsets + v * 8);
+                b.store(th, visited + v);
+                b.store(th, dist + v * 4);
+                v += machine.page_bytes / 8; // one touch per page
+            }
+            let mut e = lo * self.degree as u64;
+            let e_hi = hi * self.degree as u64;
+            while e < e_hi {
+                b.store(th, edges + e * 8);
+                e += machine.page_bytes / 8;
+            }
+            b.barrier(th, 1);
+        }
+
+        // Level-synchronous traversal: per level, each thread scans its
+        // frontier block, gathers the edge list (sequential within the
+        // vertex, random target vertices), and updates visited/dist of the
+        // targets (scattered, cross-block — the coherence traffic source).
+        let mut barrier = 2u32;
+        for level in 0..self.levels {
+            for (t, &th) in threads.iter().enumerate() {
+                let mut lcg = BsdLcg::with_seed(0xB5F + (level * p + t) as u32);
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(self.vertices);
+                for v in lo..hi {
+                    let vu = v as u64;
+                    // Read the offset pair and my visited bit.
+                    b.load(th, offsets + vu * 8);
+                    b.branch(th, 600 + level as u32, lcg.next_bool());
+                    // Gather the neighbours of v.
+                    for e in 0..self.degree as u64 {
+                        b.load(th, edges + (vu * self.degree as u64 + e) * 8);
+                        // Random target: check visited, maybe write dist.
+                        let target = lcg.next_bounded(self.vertices as u32) as u64;
+                        b.load(th, visited + target);
+                        if lcg.next_bounded(4) == 0 {
+                            b.store(th, visited + target);
+                            b.store(th, dist + target * 4);
+                        }
+                        b.exec(th, 1);
+                    }
+                }
+                b.barrier(th, barrier);
+            }
+            barrier += 1;
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::{HwEvent, MachineSim};
+
+    fn quiet() -> MachineSim {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        MachineSim::new(cfg)
+    }
+
+    #[test]
+    fn bfs_is_memory_hostile() {
+        let sim = quiet();
+        let bfs = BfsKernel::new(16 * 1024, 4, 2);
+        let r = sim.run(&bfs.build(sim.config()), 1);
+        // The random visited-gather defeats the caches far more often than
+        // a streaming kernel of the same volume would.
+        let loads = r.total(HwEvent::LoadRetired) as f64;
+        let misses = r.total(HwEvent::L1dMiss) as f64;
+        assert!(misses / loads > 0.2, "miss rate {}", misses / loads);
+        // The CSR arrays span a couple of hundred pages; scans and
+        // scattered updates keep the TLB turning over.
+        assert!(r.total(HwEvent::DtlbMiss) > 100, "{}", r.total(HwEvent::DtlbMiss));
+    }
+
+    #[test]
+    fn scattered_updates_cause_coherence_traffic() {
+        let sim = quiet();
+        let bfs = BfsKernel::new(16 * 1024, 4, 4);
+        let r = sim.run(&bfs.build(sim.config()), 1);
+        assert!(
+            r.total(HwEvent::CoherenceInvalidation) > 100,
+            "invalidations {}",
+            r.total(HwEvent::CoherenceInvalidation)
+        );
+    }
+
+    #[test]
+    fn placement_policy_changes_remote_traffic() {
+        let sim = quiet();
+        let local = sim.run(&BfsKernel::new(16 * 1024, 4, 2).build(sim.config()), 1);
+        let bound_far = sim.run(
+            &BfsKernel::new(16 * 1024, 4, 2).bound(1).build(sim.config()),
+            1,
+        );
+        // Thread 0 (node 0) reaches across when everything lives on node 1.
+        assert!(
+            bound_far.total(HwEvent::RemoteDramAccess)
+                > 2 * local.total(HwEvent::RemoteDramAccess).max(1),
+            "local {} vs bound {}",
+            local.total(HwEvent::RemoteDramAccess),
+            bound_far.total(HwEvent::RemoteDramAccess)
+        );
+    }
+
+    #[test]
+    fn interleave_spreads_controllers() {
+        let sim = quiet();
+        let r = sim.run(&BfsKernel::new(16 * 1024, 4, 2).interleaved().build(sim.config()), 1);
+        for nd in 0..2 {
+            let c0 = sim.config().topology.first_core_of_node(nd);
+            assert!(r.counters.get(c0, HwEvent::ImcRead) > 0, "node {nd} idle");
+        }
+    }
+}

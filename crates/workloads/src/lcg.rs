@@ -1,0 +1,93 @@
+//! The BSD linear congruential engine of Listing 3.
+//!
+//! "a 4 MiB array of `uint` is filled with pseudo-random numbers using a
+//! linear congruential engine (LCE), which is essentially a multiply–add
+//! ignoring overflows" (§V-A-2). Constants and seed match the listing:
+//! `a = 1103515245`, `c = 12345`, `seed = 1337`.
+
+/// The BSD LCG from Listing 3.
+#[derive(Debug, Clone)]
+pub struct BsdLcg {
+    state: u32,
+}
+
+/// Multiplier from Listing 3.
+pub const LCG_A: u32 = 1_103_515_245;
+/// Increment from Listing 3.
+pub const LCG_C: u32 = 12_345;
+/// Seed from Listing 3.
+pub const LCG_SEED: u32 = 1337;
+
+impl BsdLcg {
+    /// Creates the generator with Listing 3's seed.
+    pub fn listing3() -> Self {
+        BsdLcg { state: LCG_SEED }
+    }
+
+    /// Creates the generator with an arbitrary seed.
+    pub fn with_seed(seed: u32) -> Self {
+        BsdLcg { state: seed }
+    }
+
+    /// Advances the generator: `lcg = lcg * a + c`, ignoring overflow.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        self.state = self.state.wrapping_mul(LCG_A).wrapping_add(LCG_C);
+        self.state
+    }
+
+    /// A pseudo-random boolean (top bit, which is well-mixed in an LCG).
+    #[inline]
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u32() & 0x8000_0000 != 0
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    #[inline]
+    pub fn next_bounded(&mut self, bound: u32) -> u32 {
+        // Use the high bits: LCG low bits have short periods.
+        ((self.next_u32() as u64 * bound as u64) >> 32) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_values_match_listing_semantics() {
+        let mut lcg = BsdLcg::listing3();
+        // lcg = 1337 * 1103515245 + 12345 mod 2^32
+        let expected = 1337u32.wrapping_mul(LCG_A).wrapping_add(LCG_C);
+        assert_eq!(lcg.next_u32(), expected);
+    }
+
+    #[test]
+    fn deterministic_sequence() {
+        let mut a = BsdLcg::listing3();
+        let mut b = BsdLcg::listing3();
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_balanced() {
+        let mut lcg = BsdLcg::listing3();
+        let trues = (0..10_000).filter(|_| lcg.next_bool()).count();
+        assert!((4_000..6_000).contains(&trues), "trues = {trues}");
+    }
+
+    #[test]
+    fn bounded_stays_in_range_and_spreads() {
+        let mut lcg = BsdLcg::with_seed(7);
+        let mut seen = [0u32; 8];
+        for _ in 0..8000 {
+            let v = lcg.next_bounded(8);
+            assert!(v < 8);
+            seen[v as usize] += 1;
+        }
+        // Every bucket populated.
+        assert!(seen.iter().all(|&c| c > 500), "{seen:?}");
+    }
+}

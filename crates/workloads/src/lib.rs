@@ -1,0 +1,81 @@
+//! # np-workloads — the paper's benchmark programs for the simulator
+//!
+//! Every workload the evaluation section (§V) runs, compiled into
+//! simulator op streams:
+//!
+//! * [`cache_miss`] — Listings 1 & 2: the row-major vs column-major
+//!   alternating-sum kernels of the EvSel cache-miss comparison (Fig. 8).
+//! * [`parallel_sort`] — Listing 3: LCG-filled buffer plus a model of GNU
+//!   libstdc++ parallel-mode sort with a thread-count parameter (Fig. 9).
+//! * [`sift`] — a NUMA-aware tiled scale-space pyramid standing in for the
+//!   NUMA-optimised SIFT implementation [42] Memhist profiles (Fig. 10a).
+//! * [`mlc`] — an Intel Memory Latency Checker analogue: dependent pointer
+//!   chases per node pair, both as ground truth for Memhist verification
+//!   and as the remote-access injector of Fig. 10b.
+//! * [`phases`] — ramp-up/compute traces with procfs-visible footprints for
+//!   Phasenprüfer (Fig. 11), including multi-phase (BSP superstep) shapes.
+//! * [`stream`] — a STREAM-triad bandwidth kernel for contention studies.
+//! * [`matmul`] — a tiled matrix multiplication used to validate the
+//!   classical cost models of `np-models` against the simulator.
+//! * [`graph`] — a level-synchronous BFS over a CSR graph: the irregular,
+//!   gather/scatter-heavy pattern the surveyed NUMA models were built for.
+//! * [`lcg`] — the BSD linear congruential engine of Listing 3.
+
+pub mod cache_miss;
+pub mod graph;
+pub mod lcg;
+pub mod matmul;
+pub mod mlc;
+pub mod parallel_sort;
+pub mod phases;
+pub mod sift;
+pub mod stream;
+
+use np_simulator::{MachineConfig, Program};
+
+/// A workload: builds a [`Program`] for a given machine.
+///
+/// Workloads are parameterised value types; EvSel's parameter sweeps work
+/// by constructing a series of workloads with one varying parameter and
+/// measuring each.
+pub trait Workload {
+    /// Short name for reports (e.g. `"cache-miss/column-major"`).
+    fn name(&self) -> String;
+    /// Compiles the workload into an op-stream program for `machine`.
+    fn build(&self, machine: &MachineConfig) -> Program;
+}
+
+/// Pins `threads` threads round-robin across nodes (OpenMP
+/// `OMP_PROC_BIND=spread`): thread `t` lands on node `t % nodes`.
+pub fn spread_cores(machine: &MachineConfig, threads: usize) -> Vec<usize> {
+    let topo = &machine.topology;
+    (0..threads)
+        .map(|t| {
+            let node = t % topo.nodes;
+            let slot = t / topo.nodes;
+            topo.first_core_of_node(node) + (slot % topo.cores_per_node)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_pins_round_robin() {
+        let m = MachineConfig::dl580_gen9(); // 4 nodes x 18 cores
+        let cores = spread_cores(&m, 6);
+        assert_eq!(cores, vec![0, 18, 36, 54, 1, 19]);
+    }
+
+    #[test]
+    fn spread_wraps_within_node() {
+        let m = MachineConfig::two_socket_small(); // 2 nodes x 4 cores
+        let cores = spread_cores(&m, 8);
+        assert_eq!(cores, vec![0, 4, 1, 5, 2, 6, 3, 7]);
+        // All distinct while threads <= total cores.
+        let set: std::collections::HashSet<_> = cores.iter().collect();
+        assert_eq!(set.len(), 8);
+    }
+}

@@ -1,0 +1,174 @@
+//! An Intel Memory Latency Checker (`mlc`) analogue.
+//!
+//! The paper uses `mlc` twice: to *verify* Memhist's measured latencies
+//! ("The correctness of the latencies measured with Memhist was verified
+//! using the Intel Memory Latency Checker tool mlc", §IV-B) and to *induce*
+//! remote memory accesses for Fig. 10b. Both uses are covered:
+//!
+//! * [`LatencyChecker`] is a single (from-core, to-node) dependent pointer
+//!   chase — the canonical latency measurement; [`measure_matrix`] sweeps
+//!   all node pairs and reports the median observed DRAM latency, i.e. the
+//!   machine's latency matrix.
+//! * The same kernel bound to a remote node is the remote-traffic injector.
+
+use crate::lcg::BsdLcg;
+use crate::Workload;
+use np_simulator::{
+    AllocPolicy, LoadSample, MachineConfig, MachineSim, Program, ProgramBuilder, ServedBy,
+    SimObserver,
+};
+
+/// A pointer-chase latency kernel: dependent loads over a buffer bound to
+/// one node, issued from a core on another (or the same) node.
+#[derive(Debug, Clone)]
+pub struct LatencyChecker {
+    /// Node whose first core issues the loads.
+    pub from_node: usize,
+    /// Node the buffer is bound to.
+    pub to_node: usize,
+    /// Buffer size in bytes (should exceed the L3 to expose DRAM).
+    pub buffer_bytes: u64,
+    /// Number of dependent loads in the chase.
+    pub chases: usize,
+}
+
+impl LatencyChecker {
+    /// A checker between two nodes with a buffer that defeats the caches.
+    pub fn new(from_node: usize, to_node: usize, buffer_bytes: u64, chases: usize) -> Self {
+        LatencyChecker { from_node, to_node, buffer_bytes, chases }
+    }
+
+    /// The Fig. 10b injector: chase remote memory from node 0 to node 1.
+    pub fn remote_injector(buffer_bytes: u64, chases: usize) -> Self {
+        Self::new(0, 1, buffer_bytes, chases)
+    }
+}
+
+impl Workload for LatencyChecker {
+    fn name(&self) -> String {
+        format!("mlc/{}->{}", self.from_node, self.to_node)
+    }
+
+    fn build(&self, machine: &MachineConfig) -> Program {
+        let mut b = ProgramBuilder::new(&machine.topology, machine.page_bytes);
+        let buf = b.alloc(self.buffer_bytes, AllocPolicy::Bind(self.to_node));
+        let core = machine.topology.first_core_of_node(self.from_node);
+        let t = b.add_thread(core);
+
+        // Pseudo-random page-granular chase: every hop lands on a fresh
+        // page so caches and the TLB cannot help — pure latency.
+        let pages = (self.buffer_bytes / machine.page_bytes).max(1);
+        let mut lcg = BsdLcg::with_seed(0xC0FFEE);
+        for _ in 0..self.chases {
+            let page = lcg.next_bounded(pages as u32) as u64;
+            let line = lcg.next_bounded((machine.page_bytes / 64) as u32) as u64;
+            b.load_dependent(t, buf + page * machine.page_bytes + line * 64);
+        }
+        b.build()
+    }
+}
+
+/// Collected DRAM-latency samples from one run.
+struct DramLatencies {
+    samples: Vec<u64>,
+}
+
+impl SimObserver for DramLatencies {
+    fn on_load_sample(&mut self, s: &LoadSample) {
+        if matches!(
+            s.served,
+            ServedBy::LocalDram | ServedBy::RemoteDram { .. } | ServedBy::Hitm { .. }
+        ) {
+            self.samples.push(s.latency);
+        }
+    }
+}
+
+/// Runs the full node×node chase sweep and returns the median observed
+/// DRAM latency per pair — the `mlc`-style latency matrix used as ground
+/// truth for Memhist verification (X4) and for topology reports.
+pub fn measure_matrix(sim: &MachineSim, buffer_bytes: u64, chases: usize, seed: u64) -> Vec<Vec<f64>> {
+    let nodes = sim.config().topology.nodes;
+    let mut matrix = vec![vec![0.0; nodes]; nodes];
+    #[allow(clippy::needless_range_loop)] // from/to are NUMA node ids, not just indices
+    for from in 0..nodes {
+        for to in 0..nodes {
+            let k = LatencyChecker::new(from, to, buffer_bytes, chases);
+            let mut obs = DramLatencies { samples: Vec::new() };
+            sim.run_observed(&k.build(sim.config()), seed, &mut obs);
+            obs.samples.sort_unstable();
+            matrix[from][to] = if obs.samples.is_empty() {
+                f64::NAN
+            } else {
+                obs.samples[obs.samples.len() / 2] as f64
+            };
+        }
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::MachineConfig;
+
+    fn quiet() -> MachineSim {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        MachineSim::new(cfg)
+    }
+
+    #[test]
+    fn matrix_shows_numa_structure() {
+        let sim = quiet();
+        let m = measure_matrix(&sim, 8 << 20, 400, 1);
+        // Diagonal (local) below off-diagonal (remote).
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..2 {
+            for j in 0..2 {
+                if i == j {
+                    assert!(
+                        (m[i][j] - 265.0).abs() < 40.0,
+                        "local latency {} should be ~local_dram + walk",
+                        m[i][j]
+                    );
+                } else {
+                    assert!(
+                        m[i][j] > m[i][i] + 80.0,
+                        "remote {} should exceed local {}",
+                        m[i][j],
+                        m[i][i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_symmetric_for_symmetric_topology() {
+        let sim = quiet();
+        let m = measure_matrix(&sim, 4 << 20, 300, 2);
+        assert!((m[0][1] - m[1][0]).abs() < 30.0, "{} vs {}", m[0][1], m[1][0]);
+    }
+
+    #[test]
+    fn ring_topology_latency_scales_with_hops() {
+        let mut cfg = MachineConfig::eight_socket_ring();
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        let sim = MachineSim::new(cfg);
+        let m = measure_matrix(&sim, 4 << 20, 200, 3);
+        // 0 -> 4 is four hops on the ring; 0 -> 1 is one.
+        assert!(m[0][4] > m[0][1] + 200.0, "4-hop {} vs 1-hop {}", m[0][4], m[0][1]);
+    }
+
+    #[test]
+    fn injector_generates_remote_traffic() {
+        let sim = quiet();
+        let k = LatencyChecker::remote_injector(4 << 20, 500);
+        let r = sim.run(&k.build(sim.config()), 1);
+        assert!(r.total(np_simulator::HwEvent::RemoteDramAccess) > 400);
+        assert_eq!(r.total(np_simulator::HwEvent::LocalDramAccess), 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Ramp-up / computation phase traces for Phasenprüfer (Fig. 11).
+//!
+//! §IV-C: "For many workloads, nodes are accumulating large amounts of data
+//! during the ramp-up phase. Afterwards, the data is processed during the
+//! computation phase. … programs allocate memory with the maximum possible
+//! rate during the ramp-up phase (linearly increasing memory footprint) and
+//! commonly keep a relatively flat slope during the computation phase."
+//!
+//! [`PhaseTraceKernel`] generates exactly that shape (the Chrome-start-up
+//! preset mirrors Fig. 11's demo), and the multi-phase variant produces the
+//! BSP-superstep shape the paper names as the extension target for
+//! recognising more than two phases.
+
+use crate::lcg::BsdLcg;
+use crate::Workload;
+use np_simulator::{AllocPolicy, MachineConfig, Program, ProgramBuilder};
+
+/// A synthetic application trace with distinct allocation/compute phases.
+#[derive(Debug, Clone)]
+pub struct PhaseTraceKernel {
+    /// Pages allocated during each ramp-up phase.
+    pub ramp_pages: usize,
+    /// Accesses performed during each computation phase.
+    pub compute_accesses: usize,
+    /// Number of (ramp-up, compute) rounds; 1 = the paper's two-phase case.
+    pub rounds: usize,
+    /// Small allocations sprinkled into compute phases ("relatively flat
+    /// slope", not perfectly flat).
+    pub compute_trickle_pages: usize,
+    /// Release the working set at the end (Fig. 11b: "after program
+    /// termination").
+    pub release_at_end: bool,
+}
+
+impl PhaseTraceKernel {
+    /// The Fig. 11 demo shape: one ramp-up, one computation phase — "the
+    /// start-up behavior of the Google Chrome webbrowser".
+    pub fn chrome_startup() -> Self {
+        PhaseTraceKernel {
+            ramp_pages: 1500,
+            compute_accesses: 120_000,
+            rounds: 1,
+            compute_trickle_pages: 12,
+            release_at_end: true,
+        }
+    }
+
+    /// A BSP-like trace with `k` supersteps (ramp/compute pairs) — the
+    /// multi-phase extension target.
+    pub fn bsp_supersteps(k: usize) -> Self {
+        PhaseTraceKernel {
+            ramp_pages: 400,
+            compute_accesses: 40_000,
+            rounds: k.max(1),
+            compute_trickle_pages: 4,
+            release_at_end: false,
+        }
+    }
+}
+
+impl Workload for PhaseTraceKernel {
+    fn name(&self) -> String {
+        format!("phase-trace/{}rounds", self.rounds)
+    }
+
+    fn build(&self, machine: &MachineConfig) -> Program {
+        let mut b = ProgramBuilder::new(&machine.topology, machine.page_bytes);
+        let page = machine.page_bytes;
+        let total_pages = (self.ramp_pages + self.compute_trickle_pages) * self.rounds + 1;
+        let heap = b.alloc(total_pages as u64 * page, AllocPolicy::FirstTouch);
+        let t = b.add_thread(0);
+        let mut lcg = BsdLcg::with_seed(0xFEED);
+        let mut next_page = 0u64;
+        let mut total_reserved = 0u64;
+
+        for _round in 0..self.rounds {
+            // --- Ramp-up: allocate at the maximum possible rate, with the
+            // I/O-ish touch work start-up phases do. ---
+            for _ in 0..self.ramp_pages {
+                b.reserve(t, page);
+                total_reserved += page;
+                b.store(t, heap + next_page * page);
+                b.exec(t, 40); // parsing/deserialising the loaded data
+                next_page += 1;
+            }
+
+            // --- Computation: process the accumulated data; footprint
+            // nearly flat. ---
+            let trickle_every = (self.compute_accesses / self.compute_trickle_pages.max(1)).max(1);
+            for i in 0..self.compute_accesses {
+                let pg = lcg.next_bounded(next_page.max(1) as u32) as u64;
+                let line = lcg.next_bounded((page / 64) as u32) as u64;
+                b.load(t, heap + pg * page + line * 64);
+                b.exec(t, 6);
+                b.branch(t, 500, lcg.next_bool());
+                if i % trickle_every == trickle_every - 1 {
+                    b.reserve(t, page);
+                    total_reserved += page;
+                    next_page += 1;
+                }
+            }
+        }
+
+        if self.release_at_end {
+            b.release(t, total_reserved);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::MachineSim;
+
+    fn quiet() -> MachineSim {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        MachineSim::new(cfg)
+    }
+
+    #[test]
+    fn footprint_shape_is_ramp_then_flat() {
+        let sim = quiet();
+        let k = PhaseTraceKernel {
+            ramp_pages: 300,
+            compute_accesses: 20_000,
+            rounds: 1,
+            compute_trickle_pages: 4,
+            release_at_end: false,
+        };
+        let r = sim.run(&k.build(sim.config()), 1);
+        let fp = &r.footprint;
+        let peak = fp.iter().map(|&(_, b)| b).max().unwrap();
+        let end_time = fp.last().unwrap().0;
+
+        // The footprint reaches ~95% of its peak well before half the
+        // runtime (allocation at max rate, then flat).
+        let at_half = fp
+            .iter()
+            .take_while(|&&(t, _)| t <= end_time / 2)
+            .map(|&(_, b)| b)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            at_half as f64 > 0.9 * peak as f64,
+            "footprint at half-time {at_half} should be near peak {peak}"
+        );
+    }
+
+    #[test]
+    fn chrome_startup_releases_at_end() {
+        let sim = quiet();
+        let r = sim.run(&PhaseTraceKernel::chrome_startup().build(sim.config()), 1);
+        let peak = r.footprint.iter().map(|&(_, b)| b).max().unwrap();
+        let last = r.footprint.last().unwrap().1;
+        assert!(peak > 1000 * 4096);
+        assert_eq!(last, 0, "termination must return the footprint to zero");
+    }
+
+    #[test]
+    fn bsp_trace_has_staircase_footprint() {
+        let sim = quiet();
+        let r = sim.run(&PhaseTraceKernel::bsp_supersteps(3).build(sim.config()), 1);
+        let peak = r.footprint.iter().map(|&(_, b)| b).max().unwrap();
+        // Three ramp phases of ~400 pages each (plus trickle).
+        assert!(peak >= 3 * 400 * 4096, "peak {peak}");
+    }
+
+    #[test]
+    fn compute_phase_dominates_runtime() {
+        let sim = quiet();
+        let k = PhaseTraceKernel::chrome_startup();
+        let r = sim.run(&k.build(sim.config()), 1);
+        // Find the time at which the footprint reaches 95% of peak: the
+        // ramp. The rest is computation and must be the longer part.
+        let peak = r.footprint.iter().map(|&(_, b)| b).max().unwrap();
+        let ramp_end = r
+            .footprint
+            .iter()
+            .find(|&&(_, b)| b as f64 >= 0.95 * peak as f64)
+            .unwrap()
+            .0;
+        let total = r.footprint.last().unwrap().0;
+        assert!(total > 2 * ramp_end, "ramp {ramp_end} vs total {total}");
+    }
+}

@@ -1,0 +1,227 @@
+//! A NUMA-aware tiled scale-space pyramid — the stand-in for the
+//! NUMA-optimised SIFT implementation [42] of §V-B.
+//!
+//! Memhist's Fig. 10a needs a workload that "acts almost entirely on local
+//! memory" with visible L2 / L3 / local-DRAM latency peaks. The pyramid
+//! reproduces the memory structure of the reference implementation's hot
+//! loops:
+//!
+//! * the image is split into horizontal tile bands, one per worker thread;
+//!   in the **optimised** variant each worker first-touches its own band
+//!   (all pages node-local), in the **naive** variant the main thread
+//!   touches everything (remote for most workers);
+//! * per octave, a separable blur reads a vertical neighbourhood per pixel
+//!   (L1/L2 reuse), a difference-of-Gaussians pass re-reads the blurred
+//!   band written earlier (band-sized working set → L3/DRAM), and the
+//!   image is downsampled for the next octave.
+
+use crate::{spread_cores, Workload};
+use np_simulator::{AllocPolicy, MachineConfig, Program, ProgramBuilder};
+
+/// The SIFT-like pyramid workload.
+#[derive(Debug, Clone)]
+pub struct SiftKernel {
+    /// Image edge length in pixels (4 bytes per pixel).
+    pub dim: usize,
+    /// Worker threads (one tile band each).
+    pub threads: usize,
+    /// Pyramid octaves (each halves the image).
+    pub octaves: usize,
+    /// NUMA-optimised placement (first-touch by the owning worker) vs
+    /// naive placement (everything on the main thread's node).
+    pub optimized: bool,
+}
+
+impl SiftKernel {
+    /// The NUMA-optimised variant of §V-B.
+    pub fn optimized(dim: usize, threads: usize) -> Self {
+        SiftKernel { dim, threads: threads.max(1), octaves: 2, optimized: true }
+    }
+
+    /// The naive variant (for contrast: remote-heavy).
+    pub fn naive(dim: usize, threads: usize) -> Self {
+        SiftKernel { dim, threads: threads.max(1), octaves: 2, optimized: false }
+    }
+}
+
+impl Workload for SiftKernel {
+    fn name(&self) -> String {
+        format!(
+            "sift/{}px/{}thr/{}",
+            self.dim,
+            self.threads,
+            if self.optimized { "numa-opt" } else { "naive" }
+        )
+    }
+
+    fn build(&self, machine: &MachineConfig) -> Program {
+        let p = self.threads;
+        let cores = spread_cores(machine, p);
+        let mut b = ProgramBuilder::new(&machine.topology, machine.page_bytes);
+        let px = 4u64; // bytes per pixel
+
+        let threads: Vec<usize> = cores.iter().map(|&c| b.add_thread(c)).collect();
+        let main = threads[0];
+
+        // Per-octave planes. Every plane is first-touched by whichever
+        // thread writes it, so in the optimised variant all pyramid levels
+        // are band-local automatically — the property the reference
+        // implementation engineers explicitly.
+        let mut dim = self.dim;
+        let mut prev_src: Option<(u64, usize)> = None;
+        let mut barrier = 1u32;
+
+        for octave in 0..self.octaves {
+            if dim < p * 4 {
+                break;
+            }
+            let img_bytes = (dim * dim) as u64 * px;
+            let src = b.alloc(img_bytes, AllocPolicy::FirstTouch);
+            let blur = b.alloc(img_bytes, AllocPolicy::FirstTouch);
+            let dog = b.alloc(img_bytes, AllocPolicy::FirstTouch);
+            b.reserve(main, 3 * img_bytes);
+
+            let row_bytes = dim as u64 * px;
+            let addr =
+                move |base: u64, y: usize, x: usize| base + y as u64 * row_bytes + x as u64 * px;
+            let band = dim / p;
+            let step = 16; // one access per 64-byte line
+
+            // --- Produce src: initial image load (octave 0) or
+            // downsampling of the previous octave. ---
+            if let Some((prev, prev_dim)) = prev_src {
+                let prev_row = prev_dim as u64 * px;
+                for (t, &th) in threads.iter().enumerate() {
+                    for y in (t * band)..((t + 1) * band).min(dim) {
+                        for x in (0..dim).step_by(step) {
+                            b.load(th, prev + 2 * y as u64 * prev_row + 2 * x as u64 * px);
+                            b.exec(th, 1);
+                            b.store(th, addr(src, y, x));
+                        }
+                    }
+                }
+            } else if self.optimized {
+                // Each worker decodes/copies its own band: local pages.
+                for (t, &th) in threads.iter().enumerate() {
+                    for y in (t * band)..((t + 1) * band).min(dim) {
+                        for x in (0..dim).step_by(step) {
+                            b.exec(th, 1);
+                            b.store(th, addr(src, y, x));
+                        }
+                    }
+                }
+            } else {
+                // Naive: the main thread loads the whole image.
+                for y in 0..dim {
+                    for x in (0..dim).step_by(step) {
+                        b.exec(main, 1);
+                        b.store(main, addr(src, y, x));
+                    }
+                }
+            }
+            for &th in &threads {
+                b.barrier(th, barrier);
+            }
+            barrier += 1;
+
+            for (t, &th) in threads.iter().enumerate() {
+                let y0 = t * band;
+                let y1 = ((t + 1) * band).min(dim);
+                // Separable blur: read current + vertical neighbour rows,
+                // write the blur plane (L1/L2 reuse on the row window).
+                for y in y0..y1 {
+                    for x in (0..dim).step_by(step) {
+                        b.load(th, addr(src, y, x));
+                        if y > y0 {
+                            b.load(th, addr(src, y - 1, x));
+                        }
+                        b.exec(th, 3);
+                        b.store(th, addr(blur, y, x));
+                    }
+                }
+                // Difference of Gaussians: re-read both planes — a
+                // band-sized working set that spills to L3/local DRAM.
+                for y in y0..y1 {
+                    for x in (0..dim).step_by(step) {
+                        b.load(th, addr(blur, y, x));
+                        b.load(th, addr(src, y, x));
+                        b.exec(th, 2);
+                        b.store(th, addr(dog, y, x));
+                        // Extremum check branch.
+                        b.branch(th, 400 + octave as u32, (x / step + y) % 3 == 0);
+                    }
+                }
+            }
+            for &th in &threads {
+                b.barrier(th, barrier);
+            }
+            barrier += 1;
+
+            prev_src = Some((src, dim));
+            dim /= 2;
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::{HwEvent, MachineSim};
+
+    fn quiet() -> MachineSim {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        MachineSim::new(cfg)
+    }
+
+    #[test]
+    fn optimized_variant_is_mostly_local() {
+        let sim = quiet();
+        let k = SiftKernel::optimized(256, 4);
+        let r = sim.run(&k.build(sim.config()), 1);
+        let local = r.total(HwEvent::LocalDramAccess);
+        let remote = r.total(HwEvent::RemoteDramAccess);
+        assert!(
+            local > 10 * remote.max(1),
+            "optimized SIFT must act almost entirely on local memory: local {local}, remote {remote}"
+        );
+    }
+
+    #[test]
+    fn naive_variant_reaches_across_nodes() {
+        let sim = quiet();
+        let r_opt = sim.run(&SiftKernel::optimized(256, 4).build(sim.config()), 1);
+        let r_naive = sim.run(&SiftKernel::naive(256, 4).build(sim.config()), 1);
+        assert!(
+            r_naive.total(HwEvent::RemoteDramAccess)
+                > 5 * r_opt.total(HwEvent::RemoteDramAccess).max(1),
+            "naive {} vs optimized {}",
+            r_naive.total(HwEvent::RemoteDramAccess),
+            r_opt.total(HwEvent::RemoteDramAccess)
+        );
+    }
+
+    #[test]
+    fn workload_exercises_multiple_levels() {
+        let sim = quiet();
+        let r = sim.run(&SiftKernel::optimized(256, 2).build(sim.config()), 1);
+        // The latency histogram needs mass at several levels.
+        assert!(r.total(HwEvent::L1dHit) > 0);
+        assert!(r.total(HwEvent::L2Hit) > 0);
+        assert!(r.total(HwEvent::LocalDramAccess) > 0);
+    }
+
+    #[test]
+    fn octaves_shrink_work() {
+        let sim = quiet();
+        let one = SiftKernel { octaves: 1, ..SiftKernel::optimized(256, 2) };
+        let two = SiftKernel { octaves: 2, ..SiftKernel::optimized(256, 2) };
+        let p1 = one.build(sim.config()).total_ops();
+        let p2 = two.build(sim.config()).total_ops();
+        // The second octave adds ~25% (quarter of the pixels).
+        assert!(p2 > p1);
+        assert!((p2 - p1) < p1 / 2);
+    }
+}

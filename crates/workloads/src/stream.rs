@@ -1,0 +1,132 @@
+//! A STREAM-triad bandwidth kernel: `a[i] = b[i] + s * c[i]`.
+//!
+//! Used by the bandwidth-contention and topology-transfer experiments
+//! (§VI outlook: "a method for simulating latency and bandwidth
+//! characteristics of various systems has to be developed").
+
+use crate::{spread_cores, Workload};
+use np_simulator::{AllocPolicy, MachineConfig, Program, ProgramBuilder};
+
+/// The triad kernel.
+#[derive(Debug, Clone)]
+pub struct StreamTriad {
+    /// Elements per array (8 bytes each).
+    pub elements: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Page placement for the three arrays.
+    pub policy: AllocPolicy,
+}
+
+impl StreamTriad {
+    /// A triad with first-touch (thread-local) placement.
+    pub fn local(elements: usize, threads: usize) -> Self {
+        StreamTriad { elements, threads: threads.max(1), policy: AllocPolicy::FirstTouch }
+    }
+
+    /// A triad with all arrays bound to one node (contention magnet).
+    pub fn bound(elements: usize, threads: usize, node: usize) -> Self {
+        StreamTriad { elements, threads: threads.max(1), policy: AllocPolicy::Bind(node) }
+    }
+
+    /// A triad with interleaved placement.
+    pub fn interleaved(elements: usize, threads: usize) -> Self {
+        StreamTriad { elements, threads: threads.max(1), policy: AllocPolicy::Interleave }
+    }
+}
+
+impl Workload for StreamTriad {
+    fn name(&self) -> String {
+        format!("stream-triad/{}el/{}thr/{:?}", self.elements, self.threads, self.policy)
+    }
+
+    fn build(&self, machine: &MachineConfig) -> Program {
+        let p = self.threads;
+        let cores = spread_cores(machine, p);
+        let mut b = ProgramBuilder::new(&machine.topology, machine.page_bytes);
+        let bytes = (self.elements * 8) as u64;
+        let a = b.alloc(bytes, self.policy);
+        let bb = b.alloc(bytes, self.policy);
+        let c = b.alloc(bytes, self.policy);
+        let threads: Vec<usize> = cores.iter().map(|&cc| b.add_thread(cc)).collect();
+
+        let chunk = self.elements / p;
+        // First-touch initialisation by the owning worker.
+        if self.policy == AllocPolicy::FirstTouch {
+            for (t, &th) in threads.iter().enumerate() {
+                for i in ((t * chunk)..((t + 1) * chunk)).step_by(512) {
+                    for base in [a, bb, c] {
+                        b.store(th, base + (i * 8) as u64);
+                    }
+                }
+                b.barrier(th, 1);
+            }
+        }
+
+        for (t, &th) in threads.iter().enumerate() {
+            for i in (t * chunk)..((t + 1) * chunk) {
+                let off = (i * 8) as u64;
+                b.load(th, bb + off);
+                b.load(th, c + off);
+                b.exec(th, 1);
+                b.store(th, a + off);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::{HwEvent, MachineSim};
+
+    fn quiet() -> MachineSim {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        MachineSim::new(cfg)
+    }
+
+    /// Bandwidth proxy: bytes moved per cycle.
+    fn bandwidth(sim: &MachineSim, w: &StreamTriad) -> f64 {
+        let r = sim.run(&w.build(sim.config()), 1);
+        (w.elements * 24) as f64 / r.cycles as f64
+    }
+
+    #[test]
+    fn local_placement_beats_single_node_binding() {
+        let sim = quiet();
+        let n = 64 * 1024;
+        let local = bandwidth(&sim, &StreamTriad::local(n, 4));
+        let bound = bandwidth(&sim, &StreamTriad::bound(n, 4, 0));
+        assert!(
+            local > bound * 1.2,
+            "local {local:.3} B/cy should beat node-0-bound {bound:.3} B/cy"
+        );
+    }
+
+    #[test]
+    fn triad_counts_expected_loads_stores() {
+        let sim = quiet();
+        let w = StreamTriad::bound(8192, 2, 0);
+        let r = sim.run(&w.build(sim.config()), 1);
+        assert_eq!(r.total(HwEvent::LoadRetired), 2 * 8192);
+        assert_eq!(r.total(HwEvent::StoreRetired), 8192);
+    }
+
+    #[test]
+    fn interleave_spreads_imc_traffic() {
+        let sim = quiet();
+        let w = StreamTriad::interleaved(64 * 1024, 2);
+        let r = sim.run(&w.build(sim.config()), 1);
+        // Both nodes' controllers see reads.
+        let per_node: Vec<u64> = (0..2)
+            .map(|n| {
+                let c0 = sim.config().topology.first_core_of_node(n);
+                r.counters.get(c0, HwEvent::ImcRead)
+            })
+            .collect();
+        assert!(per_node.iter().all(|&v| v > 0), "{per_node:?}");
+    }
+}

@@ -1,0 +1,58 @@
+//! The parallel-sort parameter sweep of §V-A-2 / Fig. 9: EvSel correlates
+//! the thread count with every counter and reports regression families,
+//! formulas and R².
+//!
+//! ```text
+//! cargo run --release --example parallel_sort_correlations [elements]
+//! ```
+
+use np_core::evsel::ParameterSweep;
+use numa_perf_tools::prelude::*;
+
+fn main() {
+    let elements: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64 * 1024);
+
+    let machine = MachineConfig::dl580_gen9();
+    let runner = Runner::new(machine);
+    let plan = MeasurementPlan::all_events(3, 7);
+
+    let mut sweep = ParameterSweep::new("threads");
+    for threads in [1usize, 2, 3, 4, 6, 8, 12, 16] {
+        println!("Measuring parallel sort with {threads} threads ...");
+        let w = ParallelSortKernel::new(elements, threads);
+        let runs = runner.measure(&w, &plan).expect("sweep point");
+        sweep.push(threads as f64, runs);
+    }
+
+    let evsel = EvSel::default();
+    let report = evsel.correlate(&sweep);
+
+    // Highlight the two correlations the paper calls out.
+    println!();
+    for event in [EventId::L1dLocked, EventId::SpecJumpsRetired, EventId::HitmTransfer] {
+        if let Some(row) = report.row(event) {
+            println!(
+                "{:<28} r = {:+.4}   best fit: {} ({}), R^2 = {:.4}",
+                event.name(),
+                row.pearson,
+                row.best.kind.name(),
+                row.best.formula(),
+                row.best.r_squared
+            );
+        }
+    }
+
+    println!("\nAll correlations with |r| >= 0.95:\n");
+    let strong = report.strong(0.95);
+    for row in &strong {
+        println!(
+            "  {:<28} r = {:+.4}  {} (R^2 {:.3})",
+            row.event.name(),
+            row.pearson,
+            row.best.formula(),
+            row.best.r_squared
+        );
+    }
+    println!("\n({} of {} events strongly correlated)", strong.len(), report.rows.len());
+}

@@ -1,0 +1,75 @@
+//! Phasenprüfer (§V-C / Fig. 11): detect the ramp-up/computation split of
+//! an application-start-up trace and attribute counters to the phases;
+//! then the k-phase extension on a BSP-superstep trace.
+//!
+//! ```text
+//! cargo run --release --example phase_detection
+//! ```
+
+use numa_perf_tools::prelude::*;
+
+fn main() {
+    let machine = MachineConfig::dl580_gen9();
+    let sim = MachineSim::new(machine.clone());
+    let pp = Phasenpruefer::default();
+
+    // --- Fig. 11: a Chrome-start-up-like trace ---
+    println!("Phasenprüfer on an application start-up trace (Fig. 11)");
+    println!("=======================================================");
+    let trace = PhaseTraceKernel::chrome_startup().build(&machine);
+    let events = [
+        EventId::Instructions,
+        EventId::LoadRetired,
+        EventId::StoreRetired,
+        EventId::L1dMiss,
+        EventId::L3Miss,
+        EventId::LocalDramAccess,
+    ];
+    let (report, attribution) =
+        pp.measure(&sim, &trace, 7, &events).expect("phase detection");
+
+    println!(
+        "phase transition at cycle {} (sample {} of {})",
+        report.pivot_time,
+        report.pivot_index,
+        report.samples.len()
+    );
+    println!(
+        "ramp-up slope:      {:+.3} MiB/sample (R^2 {:.4})",
+        report.ramp_slope(),
+        report.fit.before.r_squared
+    );
+    println!(
+        "computation slope:  {:+.3} MiB/sample (R^2 {:.4})",
+        report.compute_slope(),
+        report.fit.after.r_squared
+    );
+
+    // A crude footprint sparkline (the Fig. 11 curve).
+    let peak = report.samples.iter().map(|&(_, b)| b).max().unwrap_or(1).max(1);
+    let spark: String = report
+        .samples
+        .iter()
+        .step_by((report.samples.len() / 60).max(1))
+        .map(|&(_, b)| {
+            const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+            LEVELS[((b * 7) / peak) as usize]
+        })
+        .collect();
+    println!("footprint: {spark}");
+
+    println!("\nCounters attributed per phase (Fig. 11c):");
+    println!("{}", attribution.render(&events));
+
+    // --- The k-phase extension the paper sketches for BSP supersteps ---
+    println!("k-phase extension: BSP trace with 3 supersteps");
+    println!("==============================================");
+    let bsp = PhaseTraceKernel::bsp_supersteps(3).build(&machine);
+    let run = sim.run(&bsp, 9);
+    match pp.detect_k(&run.footprint, 6) {
+        Some(bounds) => {
+            println!("detected 6 segments starting at cycles: {bounds:?}");
+        }
+        None => println!("k-phase fit failed"),
+    }
+}

@@ -1,0 +1,118 @@
+//! The two-step strategy end to end (§III / Fig. 4b), including the
+//! cross-machine transfer the paper motivates: indicators measured and
+//! extrapolated on machine A predict costs on machine B via B's
+//! indicator-to-cost model — without ever running the large workload on B.
+//!
+//! Workload: an interleaved STREAM triad. Its pages stripe across all
+//! nodes, so the cost structure genuinely differs between the
+//! fully-interconnected DL580 (every remote page is one hop) and the
+//! eight-socket ring (up to four hops) — exactly the topology dependence
+//! the strategy's transfer step must absorb.
+//!
+//! ```text
+//! cargo run --release --example transfer_cost_model
+//! ```
+
+use np_core::evsel::ParameterSweep;
+use np_core::strategy::indicators_of;
+use np_workloads::stream::StreamTriad;
+use numa_perf_tools::prelude::*;
+
+/// Measures a size sweep of the interleaved triad on one machine,
+/// returning the sweep and per-size mean cycle costs.
+fn sweep_on(machine: &MachineConfig, sizes: &[usize], seed: u64) -> (ParameterSweep, Vec<f64>) {
+    let runner = Runner::new(machine.clone());
+    // Compact indicator set: work volume, local and remote memory traffic.
+    let events = vec![
+        EventId::Cycles,
+        EventId::LoadRetired,
+        EventId::LocalDramAccess,
+        EventId::RemoteDramAccess,
+    ];
+    let mut sweep = ParameterSweep::new("elements");
+    let mut costs = Vec::new();
+    for &size in sizes {
+        let plan = MeasurementPlan::events(events.clone(), 4, seed);
+        let runs = runner.measure(&StreamTriad::interleaved(size, 4), &plan).expect("point");
+        costs.push(runs.mean(EventId::Cycles).unwrap());
+        sweep.push(size as f64, runs);
+    }
+    (sweep, costs)
+}
+
+fn main() {
+    let machine_a = MachineConfig::dl580_gen9();
+    let machine_b = MachineConfig::eight_socket_ring();
+
+    let small_sizes = [16 * 1024usize, 24 * 1024, 32 * 1024, 48 * 1024, 64 * 1024, 96 * 1024];
+    let target_size = 384 * 1024usize;
+
+    // --- Step 1 on machine A: code-to-indicator, extrapolated ---
+    println!("Step 1 (code-to-indicator) on: {}", machine_a.model_name);
+    let (sweep_a, _) = sweep_on(&machine_a, &small_sizes, 1);
+    let extrapolator = IndicatorExtrapolator::fit(&sweep_a, 0.9);
+    println!(
+        "  extrapolatable indicators (R^2 >= 0.9): {:?}",
+        extrapolator.events().iter().map(|e| e.name()).collect::<Vec<_>>()
+    );
+    let predicted_indicators =
+        extrapolator.predict(target_size as f64).expect("extrapolation");
+
+    // --- Step 2 on machine B: indicator-to-cost, fitted on small runs ---
+    println!("\nStep 2 (indicator-to-cost) on: {}", machine_b.model_name);
+    let (sweep_b, costs_b) = sweep_on(&machine_b, &small_sizes, 2);
+    let pairs: Vec<_> = sweep_b
+        .points
+        .iter()
+        .zip(&costs_b)
+        .map(|((_, rs), &c)| {
+            let mut ind = indicators_of(rs);
+            ind.remove(&EventId::Cycles); // cost must not leak into features
+            (ind, c)
+        })
+        .collect();
+    let cost_model = CostModel::fit(&pairs).expect("cost model");
+    println!(
+        "  linear model over {} indicators, training R^2 = {:.4}",
+        cost_model.features.len(),
+        cost_model.r_squared
+    );
+
+    // --- Transfer: predict the target size on B from A's indicators ---
+    let mut transferred = predicted_indicators.clone();
+    transferred.remove(&EventId::Cycles);
+    let predicted = cost_model.predict(&transferred).expect("prediction");
+
+    // Ground truth: actually run it on B.
+    println!("\nValidating: running {target_size} elements on machine B ...");
+    let runner_b = Runner::new(machine_b);
+    let truth = runner_b
+        .measure(
+            &StreamTriad::interleaved(target_size, 4),
+            &MeasurementPlan::events(vec![EventId::Cycles], 3, 5),
+        )
+        .expect("ground truth");
+    let actual = truth.mean(EventId::Cycles).unwrap();
+
+    let err = (predicted - actual).abs() / actual;
+    println!("\npredicted cost: {predicted:>14.0} cycles");
+    println!("actual cost:    {actual:>14.0} cycles");
+    println!("relative error: {:.1} %", err * 100.0);
+
+    // For contrast: how wrong would naively transferring machine A's
+    // *cost* be? (The monolithic model the paper's Fig. 4a criticises.)
+    let runner_a = Runner::new(machine_a);
+    let cost_on_a = runner_a
+        .measure(
+            &StreamTriad::interleaved(target_size, 4),
+            &MeasurementPlan::events(vec![EventId::Cycles], 3, 5),
+        )
+        .expect("A ground truth")
+        .mean(EventId::Cycles)
+        .unwrap();
+    let naive_err = (cost_on_a - actual).abs() / actual;
+    println!(
+        "\nnaive cost transfer (A's cycles as B's estimate): {:.1} % error",
+        naive_err * 100.0
+    );
+}

@@ -1,0 +1,238 @@
+//! Argument parsing for the CLI.
+
+use np_simulator::MachineConfig;
+
+/// The subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Print Table I.
+    Table1,
+    /// Print the event catalog.
+    Catalog,
+    /// Measure one workload, print all counters.
+    Stat,
+    /// Compare two workloads.
+    Compare,
+    /// Thread-count sweep with regressions.
+    Sweep,
+    /// Latency histogram.
+    Memhist,
+    /// Phase detection.
+    Phasen,
+    /// Per-region attribution.
+    Annotate,
+    /// Object-relative profile.
+    Objprof,
+    /// NUMA balance.
+    Balance,
+    /// Latency matrix.
+    Mlc,
+    /// Compare two recorded measurement archives.
+    Diff,
+    /// List recorded measurement archives.
+    Archives,
+    /// Cacheline contention analysis (perf c2c analogue).
+    C2c,
+}
+
+impl Command {
+    fn parse(s: &str) -> Option<Command> {
+        Some(match s {
+            "table1" => Command::Table1,
+            "catalog" => Command::Catalog,
+            "stat" => Command::Stat,
+            "compare" => Command::Compare,
+            "sweep" => Command::Sweep,
+            "memhist" => Command::Memhist,
+            "phasen" => Command::Phasen,
+            "annotate" => Command::Annotate,
+            "objprof" => Command::Objprof,
+            "balance" => Command::Balance,
+            "mlc" => Command::Mlc,
+            "diff" => Command::Diff,
+            "archives" => Command::Archives,
+            "c2c" => Command::C2c,
+            _ => return None,
+        })
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// The subcommand.
+    pub command: Command,
+    /// Machine preset name.
+    pub machine: String,
+    /// Workload name (`--workload`).
+    pub workload: Option<String>,
+    /// `compare`'s first workload.
+    pub workload_a: Option<String>,
+    /// `compare`'s second workload.
+    pub workload_b: Option<String>,
+    /// Size parameter.
+    pub size: Option<usize>,
+    /// Thread count.
+    pub threads: usize,
+    /// Repetitions.
+    pub reps: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Memhist cost mode.
+    pub costs: bool,
+    /// Multiplexed acquisition.
+    pub multiplexed: bool,
+    /// JSON output where supported.
+    pub json: bool,
+    /// Session directory for measurement archives.
+    pub session: String,
+    /// Save the measurement under this archive name (`stat`).
+    pub save: Option<String>,
+}
+
+impl Cli {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Cli, String> {
+        let mut it = argv.iter();
+        let cmd = it.next().ok_or_else(|| "missing command".to_string())?;
+        let command = Command::parse(cmd).ok_or_else(|| format!("unknown command '{cmd}'"))?;
+
+        let mut cli = Cli {
+            command,
+            machine: "dl580".into(),
+            workload: None,
+            workload_a: None,
+            workload_b: None,
+            size: None,
+            threads: 4,
+            reps: 3,
+            seed: 1,
+            costs: false,
+            multiplexed: false,
+            json: false,
+            session: ".np-session".into(),
+            save: None,
+        };
+
+        let take_value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--machine" => cli.machine = take_value("--machine", &mut it)?,
+                "--workload" | "-w" => cli.workload = Some(take_value("--workload", &mut it)?),
+                "-a" => cli.workload_a = Some(take_value("-a", &mut it)?),
+                "-b" => cli.workload_b = Some(take_value("-b", &mut it)?),
+                "--size" => {
+                    cli.size = Some(
+                        take_value("--size", &mut it)?
+                            .parse()
+                            .map_err(|_| "--size must be an integer".to_string())?,
+                    )
+                }
+                "--threads" => {
+                    cli.threads = take_value("--threads", &mut it)?
+                        .parse()
+                        .map_err(|_| "--threads must be an integer".to_string())?
+                }
+                "--reps" => {
+                    cli.reps = take_value("--reps", &mut it)?
+                        .parse()
+                        .map_err(|_| "--reps must be an integer".to_string())?
+                }
+                "--seed" => {
+                    cli.seed = take_value("--seed", &mut it)?
+                        .parse()
+                        .map_err(|_| "--seed must be an integer".to_string())?
+                }
+                "--costs" => cli.costs = true,
+                "--multiplexed" => cli.multiplexed = true,
+                "--json" => cli.json = true,
+                "--session" => cli.session = take_value("--session", &mut it)?,
+                "--save" => cli.save = Some(take_value("--save", &mut it)?),
+                other => return Err(format!("unknown option '{other}'")),
+            }
+        }
+        Ok(cli)
+    }
+
+    /// Resolves the machine preset, or loads a config from a `.json` file
+    /// (the §VI outlook: "simulating and incorporating different
+    /// topologies should be investigated further").
+    pub fn machine_config(&self) -> Result<MachineConfig, String> {
+        match self.machine.as_str() {
+            "dl580" => Ok(MachineConfig::dl580_gen9()),
+            "two-socket" => Ok(MachineConfig::two_socket_small()),
+            "ring" => Ok(MachineConfig::eight_socket_ring()),
+            path if path.ends_with(".json") => {
+                let json = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read machine file '{path}': {e}"))?;
+                let cfg: MachineConfig = serde_json::from_str(&json)
+                    .map_err(|e| format!("invalid machine file '{path}': {e}"))?;
+                cfg.topology.validate().map_err(|e| format!("machine file '{path}': {e}"))?;
+                Ok(cfg)
+            }
+            other => Err(format!(
+                "unknown machine '{other}' (dl580 | two-socket | ring | <file>.json)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Cli::parse(&v)
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let cli = parse(&[
+            "compare", "-a", "row-major", "-b", "column-major", "--size", "1024", "--reps", "5",
+            "--machine", "ring", "--seed", "9",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, Command::Compare);
+        assert_eq!(cli.workload_a.as_deref(), Some("row-major"));
+        assert_eq!(cli.workload_b.as_deref(), Some("column-major"));
+        assert_eq!(cli.size, Some(1024));
+        assert_eq!(cli.reps, 5);
+        assert_eq!(cli.seed, 9);
+        assert_eq!(cli.machine, "ring");
+        assert!(cli.machine_config().is_ok());
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let cli = parse(&["stat", "--workload", "sift"]).unwrap();
+        assert_eq!(cli.machine, "dl580");
+        assert_eq!(cli.threads, 4);
+        assert_eq!(cli.reps, 3);
+        assert!(!cli.costs && !cli.multiplexed && !cli.json);
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_flags() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["stat", "--bogus"]).is_err());
+        assert!(parse(&["stat", "--size"]).is_err());
+        assert!(parse(&["stat", "--size", "abc"]).is_err());
+    }
+
+    #[test]
+    fn flags_toggle() {
+        let cli = parse(&["memhist", "-w", "mlc-remote", "--costs", "--multiplexed"]).unwrap();
+        assert!(cli.costs && cli.multiplexed);
+    }
+
+    #[test]
+    fn unknown_machine_rejected_at_resolution() {
+        let cli = parse(&["table1", "--machine", "cray"]).unwrap();
+        assert!(cli.machine_config().is_err());
+    }
+}

@@ -1,0 +1,427 @@
+//! Command implementations for the CLI.
+
+use super::args::{Cli, Command};
+use super::workloads;
+use np_core::annotate::{annotate, RegionNames};
+use np_core::balance::BalanceReport;
+use np_core::evsel::{EvSel, ParameterSweep};
+use np_core::memhist::{HistogramMode, Memhist};
+use np_core::objprof;
+use np_core::phasen::Phasenpruefer;
+use np_core::runner::{MeasurementPlan, Runner};
+use np_counters::catalog::EventCatalog;
+use np_simulator::{HwEvent, MachineSim};
+use np_workloads::mlc;
+
+/// Executes a parsed command line.
+pub fn execute(cli: &Cli) -> Result<String, String> {
+    match cli.command {
+        Command::Table1 => table1(cli),
+        Command::Catalog => catalog(cli),
+        Command::Stat => stat(cli),
+        Command::Compare => compare(cli),
+        Command::Sweep => sweep(cli),
+        Command::Memhist => memhist(cli),
+        Command::Phasen => phasen(cli),
+        Command::Annotate => annotate_cmd(cli),
+        Command::Objprof => objprof_cmd(cli),
+        Command::Balance => balance(cli),
+        Command::Mlc => mlc_cmd(cli),
+        Command::Diff => diff(cli),
+        Command::Archives => archives(cli),
+        Command::C2c => c2c(cli),
+    }
+}
+
+fn c2c(cli: &Cli) -> Result<String, String> {
+    let machine = cli.machine_config()?;
+    let name = workload_name(cli)?;
+    let w = workloads::build(name, cli.size, cli.threads, &machine)?;
+    let program = w.build(&machine);
+    let sim = MachineSim::new(machine);
+    let analysis = np_core::c2c::analyse(&sim, &program, cli.seed);
+    Ok(analysis.render(10))
+}
+
+fn session(cli: &Cli) -> Result<np_core::session::Session, String> {
+    np_core::session::Session::open(&cli.session).map_err(|e| format!("session: {e}"))
+}
+
+fn diff(cli: &Cli) -> Result<String, String> {
+    let a = cli.workload_a.as_deref().ok_or("diff needs -a ARCHIVE")?;
+    let b = cli.workload_b.as_deref().ok_or("diff needs -b ARCHIVE")?;
+    let report = session(cli)?
+        .compare(&EvSel::default(), a, b)
+        .map_err(|e| format!("diff: {e}"))?;
+    Ok(report.render())
+}
+
+fn archives(cli: &Cli) -> Result<String, String> {
+    let names = session(cli)?.list().map_err(|e| format!("archives: {e}"))?;
+    if names.is_empty() {
+        return Ok(format!("no archives in {}\n", cli.session));
+    }
+    Ok(names.join("\n") + "\n")
+}
+
+fn workload_name(cli: &Cli) -> Result<&str, String> {
+    cli.workload
+        .as_deref()
+        .ok_or_else(|| "this command needs --workload NAME".to_string())
+}
+
+fn plan(cli: &Cli) -> MeasurementPlan {
+    let mut p = MeasurementPlan::all_events(cli.reps, cli.seed);
+    if cli.multiplexed {
+        p = p.multiplexed();
+    }
+    p
+}
+
+fn table1(cli: &Cli) -> Result<String, String> {
+    let machine = cli.machine_config()?;
+    if cli.json {
+        // Dump the full config: edit the JSON and pass it back with
+        // `--machine my-machine.json` to simulate a custom topology.
+        return serde_json::to_string_pretty(&machine)
+            .map(|mut s| {
+                s.push('\n');
+                s
+            })
+            .map_err(|e| e.to_string());
+    }
+    let mut out = String::from("Simulated test system\n");
+    for (k, v) in machine.table_i_rows() {
+        out.push_str(&format!("  {k:<18} {v}\n"));
+    }
+    Ok(out)
+}
+
+fn catalog(cli: &Cli) -> Result<String, String> {
+    let cat = EventCatalog::builtin();
+    if cli.json {
+        return Ok(cat.to_json());
+    }
+    let mut out = String::new();
+    for e in &cat.events {
+        out.push_str(&format!(
+            "{:#06x}/{:#04x}  {:<28} {}  — {}\n",
+            e.code,
+            e.umask,
+            e.name,
+            if e.uncore { "[uncore]" } else { "[core]  " },
+            e.description
+        ));
+    }
+    Ok(out)
+}
+
+fn stat(cli: &Cli) -> Result<String, String> {
+    let machine = cli.machine_config()?;
+    let name = workload_name(cli)?;
+    let w = workloads::build(name, cli.size, cli.threads, &machine)?;
+    let runner = Runner::new(machine);
+    let runs = runner.measure(w.as_ref(), &plan(cli))?;
+    if let Some(save) = &cli.save {
+        session(cli)?.save(save, &runs).map_err(|e| format!("save: {e}"))?;
+    }
+    let mut out = format!(
+        "counters for {} ({} repetitions, {}):\n\n",
+        runs.label,
+        runs.len(),
+        if cli.multiplexed { "multiplexed" } else { "batched runs" }
+    );
+    for event in runs.events() {
+        let mean = runs.mean(event).unwrap_or(0.0);
+        if mean == 0.0 {
+            continue;
+        }
+        out.push_str(&format!("  {:<28} {:>16.0}\n", event.name(), mean));
+    }
+    let zeroes = runs.all_zero_events().len();
+    out.push_str(&format!("\n  ({zeroes} events stayed zero and are not shown)\n"));
+    Ok(out)
+}
+
+fn compare(cli: &Cli) -> Result<String, String> {
+    let machine = cli.machine_config()?;
+    let a_name = cli.workload_a.as_deref().ok_or("compare needs -a NAME")?;
+    let b_name = cli.workload_b.as_deref().ok_or("compare needs -b NAME")?;
+    let a = workloads::build(a_name, cli.size, cli.threads, &machine)?;
+    let b = workloads::build(b_name, cli.size, cli.threads, &machine)?;
+    let runner = Runner::new(machine);
+    let runs_a = runner.measure(a.as_ref(), &plan(cli))?;
+    let runs_b = runner.measure(b.as_ref(), &plan(cli))?;
+    Ok(EvSel::default().compare(&runs_a, &runs_b).render())
+}
+
+fn sweep(cli: &Cli) -> Result<String, String> {
+    let machine = cli.machine_config()?;
+    let name = workload_name(cli)?;
+    let runner = Runner::new(machine.clone());
+    let mut sweep = ParameterSweep::new("threads");
+    for threads in [1usize, 2, 3, 4, 6, 8, 12, 16] {
+        if threads > machine.topology.total_cores() {
+            break;
+        }
+        let w = workloads::build(name, cli.size, threads, &machine)?;
+        let runs = runner.measure(w.as_ref(), &plan(cli))?;
+        sweep.push(threads as f64, runs);
+    }
+    Ok(EvSel::default().correlate(&sweep).render())
+}
+
+fn memhist(cli: &Cli) -> Result<String, String> {
+    let machine = cli.machine_config()?;
+    let name = workload_name(cli)?;
+    let w = workloads::build(name, cli.size, cli.threads, &machine)?;
+    let program = w.build(&machine);
+    let sim = MachineSim::new(machine);
+    let tool = Memhist::with_defaults();
+    let result = tool.measure(&sim, &program, cli.seed);
+    let mode = if cli.costs { HistogramMode::Costs } else { HistogramMode::Occurrences };
+    let mut out = format!(
+        "Memhist, {} ({} mode):\n\n",
+        w.name(),
+        if cli.costs { "event costs" } else { "event occurrences" }
+    );
+    out.push_str(&result.render(mode));
+    out.push_str(&format!("\nnegative bins: {}\n", result.negative_bins()));
+    Ok(out)
+}
+
+fn phasen(cli: &Cli) -> Result<String, String> {
+    let machine = cli.machine_config()?;
+    let name = workload_name(cli)?;
+    let w = workloads::build(name, cli.size, cli.threads, &machine)?;
+    let program = w.build(&machine);
+    let sim = MachineSim::new(machine);
+    let pp = Phasenpruefer::default();
+    let events = [
+        HwEvent::Instructions,
+        HwEvent::LoadRetired,
+        HwEvent::StoreRetired,
+        HwEvent::L1dMiss,
+        HwEvent::LocalDramAccess,
+    ];
+    let (report, attr) = pp
+        .measure(&sim, &program, cli.seed, &events)
+        .ok_or("phase detection failed (footprint too short?)")?;
+    let mut out = format!(
+        "phase transition at cycle {} (ramp slope {:+.3} MiB/sample, compute {:+.3})\n\n",
+        report.pivot_time,
+        report.ramp_slope(),
+        report.compute_slope()
+    );
+    out.push_str(&attr.render(&events));
+    Ok(out)
+}
+
+fn annotate_cmd(cli: &Cli) -> Result<String, String> {
+    let machine = cli.machine_config()?;
+    let name = workload_name(cli)?;
+    let regions = workloads::region_names(name);
+    if regions.is_empty() {
+        return Err(format!("workload '{name}' declares no source regions"));
+    }
+    let w = workloads::build(name, cli.size, cli.threads, &machine)?;
+    let program = w.build(&machine);
+    let sim = MachineSim::new(machine);
+    let run = sim.run(&program, cli.seed);
+    let names = RegionNames::new(&regions);
+    let events = [
+        HwEvent::Instructions,
+        HwEvent::L1dMiss,
+        HwEvent::FillBufferReject,
+        HwEvent::HitmTransfer,
+        HwEvent::StallCycles,
+    ];
+    Ok(annotate(&run, &names, &events))
+}
+
+fn objprof_cmd(cli: &Cli) -> Result<String, String> {
+    let machine = cli.machine_config()?;
+    let name = workload_name(cli)?;
+    let w = workloads::build(name, cli.size, cli.threads, &machine)?;
+    let program = w.build(&machine);
+    let sim = MachineSim::new(machine);
+    let prof = objprof::profile(&sim, &program, cli.seed);
+    Ok(prof.render(&workloads::object_names(name)))
+}
+
+fn balance(cli: &Cli) -> Result<String, String> {
+    let machine = cli.machine_config()?;
+    let name = workload_name(cli)?;
+    let w = workloads::build(name, cli.size, cli.threads, &machine)?;
+    let program = w.build(&machine);
+    let sim = MachineSim::new(machine.clone());
+    let run = sim.run(&program, cli.seed);
+    Ok(BalanceReport::from_run(&machine, &run).render())
+}
+
+fn mlc_cmd(cli: &Cli) -> Result<String, String> {
+    let machine = cli.machine_config()?;
+    let sim = MachineSim::new(machine.clone());
+    let matrix = mlc::measure_matrix(&sim, 8 << 20, 500, cli.seed);
+    let mut out = String::from("node-to-node load latency (cycles, median of a dependent chase):\n\n      ");
+    for to in 0..machine.topology.nodes {
+        out.push_str(&format!("{to:>8}"));
+    }
+    out.push('\n');
+    for (from, row) in matrix.iter().enumerate() {
+        out.push_str(&format!("  {from:>4}"));
+        for v in row {
+            out.push_str(&format!("{v:>8.0}"));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    fn run(args: &[&str]) -> Result<String, String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        super::super::run(&v)
+    }
+
+    #[test]
+    fn table1_prints_machine() {
+        let out = run(&["table1", "--machine", "two-socket"]).unwrap();
+        assert!(out.contains("Two-socket"));
+    }
+
+    #[test]
+    fn catalog_text_and_json() {
+        let text = run(&["catalog"]).unwrap();
+        assert!(text.contains("fill-buffer-rejects"));
+        let json = run(&["catalog", "--json"]).unwrap();
+        assert!(json.trim_start().starts_with('{'));
+    }
+
+    #[test]
+    fn stat_measures_a_small_workload() {
+        let out =
+            run(&["stat", "--workload", "row-major", "--size", "64", "--machine", "two-socket", "--reps", "2"])
+                .unwrap();
+        assert!(out.contains("instructions"));
+        assert!(out.contains("stayed zero"));
+    }
+
+    #[test]
+    fn compare_requires_both_workloads() {
+        let err = run(&["compare", "-a", "row-major"]).unwrap_err();
+        assert!(err.contains("-b"));
+    }
+
+    #[test]
+    fn compare_small_kernels() {
+        let out = run(&[
+            "compare", "-a", "row-major", "-b", "column-major", "--size", "96", "--machine",
+            "two-socket", "--reps", "2",
+        ])
+        .unwrap();
+        assert!(out.contains("EvSel comparison"));
+        assert!(out.contains("L1-dcache-load-misses"));
+    }
+
+    #[test]
+    fn memhist_renders_bins() {
+        let out = run(&[
+            "memhist", "--workload", "mlc-local", "--size", "2097152", "--machine", "two-socket",
+        ])
+        .unwrap();
+        assert!(out.contains("negative bins"));
+        assert!(out.contains("inf"));
+    }
+
+    #[test]
+    fn balance_flags_bound_traffic() {
+        let out = run(&[
+            "balance", "--workload", "stream-bound", "--size", "16384", "--machine", "two-socket",
+        ])
+        .unwrap();
+        assert!(out.contains("imbalance index"));
+    }
+
+    #[test]
+    fn annotate_requires_labelled_workload() {
+        let err = run(&["annotate", "--workload", "sift", "--machine", "two-socket"]).unwrap_err();
+        assert!(err.contains("regions"));
+    }
+
+    #[test]
+    fn objprof_names_objects() {
+        let out = run(&[
+            "objprof", "--workload", "stream-bound", "--size", "8192", "--machine", "two-socket",
+        ])
+        .unwrap();
+        assert!(out.contains("mean latency"));
+    }
+
+    #[test]
+    fn mlc_prints_matrix() {
+        let out = run(&["mlc", "--machine", "two-socket"]).unwrap();
+        assert!(out.lines().count() >= 4);
+    }
+
+    #[test]
+    fn missing_workload_is_a_clear_error() {
+        let err = run(&["stat"]).unwrap_err();
+        assert!(err.contains("--workload"));
+    }
+
+    #[test]
+    fn phasen_detects_the_chrome_trace() {
+        let out = run(&["phasen", "--workload", "chrome", "--machine", "two-socket"]).unwrap();
+        assert!(out.contains("phase transition at cycle"));
+        assert!(out.contains("phase 1") && out.contains("phase 2"));
+    }
+
+    #[test]
+    fn c2c_reports_sort_contention() {
+        let out = run(&[
+            "c2c", "--workload", "sort", "--size", "8192", "--machine", "two-socket",
+        ])
+        .unwrap();
+        assert!(out.contains("total HITM"));
+    }
+
+    #[test]
+    fn custom_machine_file_roundtrip() {
+        let json = run(&["table1", "--machine", "two-socket", "--json"]).unwrap();
+        let path = std::env::temp_dir().join(format!("np-machine-{}.json", std::process::id()));
+        std::fs::write(&path, &json).unwrap();
+        let p = path.to_string_lossy().to_string();
+        let out = run(&["table1", "--machine", &p]).unwrap();
+        assert!(out.contains("Two-socket"));
+        // And the custom machine actually drives a measurement.
+        let out = run(&["mlc", "--machine", &p]).unwrap();
+        assert!(out.lines().count() >= 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn record_then_diff_workflow() {
+        let dir = std::env::temp_dir().join(format!("np-cli-session-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = dir.to_string_lossy().to_string();
+        run(&[
+            "stat", "--workload", "row-major", "--size", "96", "--machine", "two-socket",
+            "--reps", "3", "--save", "rowA", "--session", &session,
+        ])
+        .unwrap();
+        run(&[
+            "stat", "--workload", "column-major", "--size", "96", "--machine", "two-socket",
+            "--reps", "3", "--save", "colB", "--session", &session,
+        ])
+        .unwrap();
+        let listed = run(&["archives", "--session", &session]).unwrap();
+        assert!(listed.contains("rowA") && listed.contains("colB"));
+        let out =
+            run(&["diff", "-a", "rowA", "-b", "colB", "--session", &session]).unwrap();
+        assert!(out.contains("EvSel comparison"));
+        assert!(out.contains("L1-dcache-load-misses"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,66 @@
+//! The `numa-perf-tools` command-line front-end.
+//!
+//! A perf-style driver over the tool suite: every analysis in the paper is
+//! one subcommand away. Argument parsing is hand-rolled (the CLI surface
+//! is small and the workspace keeps its dependency set tight).
+
+pub mod args;
+pub mod commands;
+pub mod workloads;
+
+pub use args::{Cli, Command};
+
+/// Runs the CLI with the given arguments (excluding the program name);
+/// returns the text to print or a usage error.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let cli = Cli::parse(argv)?;
+    commands::execute(&cli)
+}
+
+/// The usage text.
+pub fn usage() -> &'static str {
+    "numa-perf-tools — NUMA performance assessment on a simulated machine
+
+USAGE:
+    numa-perf-tools <COMMAND> [OPTIONS]
+
+COMMANDS:
+    table1      print the simulated test-system specification (Table I)
+    catalog     print the hardware event catalog (--json for EvSel's format)
+    stat        measure a workload and print all counters (EvSel single set)
+    compare     EvSel comparison of two workloads (-a NAME -b NAME)
+    sweep       EvSel thread-count sweep with regressions (Fig. 9 style)
+    memhist     load-latency histogram (Fig. 10; --costs for cost mode)
+    phasen      phase detection and per-phase counters (Fig. 11)
+    annotate    per-source-region event attribution (events-to-code)
+    objprof     object-relative memory profile (per-allocation stats)
+    balance     NUMA node balance report
+    mlc         node-to-node latency matrix (Intel-mlc analogue)
+    c2c         cacheline contention report (perf-c2c analogue)
+    diff        compare two recorded archives (-a NAME -b NAME)
+    archives    list recorded measurement archives
+
+OPTIONS:
+    --machine NAME     dl580 (default) | two-socket | ring
+    --workload NAME    row-major | column-major | sort | sift | sift-naive |
+                       mlc-local | mlc-remote | stream-local | stream-bound |
+                       stream-interleaved | chrome | bsp | matmul
+    -a NAME, -b NAME   workloads for `compare`
+    --size N           workload size parameter (elements / pixels / edge)
+    --threads N        worker threads (default 4)
+    --reps N           measurement repetitions (default 3)
+    --seed N           base seed (default 1)
+    --costs            memhist: weight bins by latency
+    --multiplexed      acquire via timeslice multiplexing instead of
+                       repeated batched runs
+    --json             catalog: emit JSON
+    --save NAME        stat: record the measurement as an archive
+    --session DIR      archive directory (default .np-session)
+
+EXAMPLES:
+    numa-perf-tools compare -a row-major -b column-major --size 1024
+    numa-perf-tools memhist --workload sift --machine dl580
+    numa-perf-tools sweep --workload sort --size 65536
+    numa-perf-tools balance --workload stream-bound
+"
+}

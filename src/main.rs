@@ -1,0 +1,17 @@
+//! The `numa-perf-tools` binary: a perf-style CLI over the tool suite.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help" {
+        print!("{}", numa_perf_tools::cli::usage());
+        return;
+    }
+    match numa_perf_tools::cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(err) => {
+            eprintln!("error: {err}\n");
+            eprint!("{}", numa_perf_tools::cli::usage());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Integration: workload → simulator → PMU acquisition → EvSel analyses.
+//!
+//! These tests drive the full §V-A pipeline end to end and assert the
+//! paper's qualitative findings hold on the simulated DL580.
+
+use np_core::evsel::ParameterSweep;
+use numa_perf_tools::prelude::*;
+
+fn runner() -> Runner {
+    Runner::new(MachineConfig::dl580_gen9())
+}
+
+#[test]
+fn fig8_cache_miss_comparison_headline_findings() {
+    let runner = runner();
+    // Targeted event list (2 register batches) to keep the test fast; the
+    // size must be large enough that the column stride defeats both the L2
+    // and the prefetcher (≥ 512).
+    let plan = MeasurementPlan::events(
+        vec![
+            EventId::Cycles,
+            EventId::Instructions,
+            EventId::StallCycles,
+            EventId::L1dMiss,
+            EventId::L2Miss,
+            EventId::FillBufferReject,
+            EventId::BranchMiss,
+        ],
+        4,
+        1,
+    );
+    let size = 512;
+    let a = runner.measure(&CacheMissKernel::row_major(size), &plan).unwrap();
+    let b = runner.measure(&CacheMissKernel::column_major(size), &plan).unwrap();
+    let report = EvSel::default().compare(&a, &b);
+
+    // "L1 … cache misses rose by over 1000%"
+    let l1 = report.row(EventId::L1dMiss).unwrap();
+    assert!(l1.relative_change > 3.0, "L1 misses {:+.1}%", l1.relative_change * 100.0);
+    assert!(l1.significant);
+
+    // "rejected fill buffer requests" explode from near zero.
+    let fb = report.row(EventId::FillBufferReject).unwrap();
+    assert!(
+        fb.mean_b > 100.0 * fb.mean_a.max(1.0),
+        "fill buffer rejects {} -> {}",
+        fb.mean_a,
+        fb.mean_b
+    );
+
+    // "branch misses … show very small changes"
+    let bm = report.row(EventId::BranchMiss).unwrap();
+    assert!(bm.relative_change.abs() < 0.1, "branch misses {:+.3}", bm.relative_change);
+
+    // "instruction-related values show very small changes"
+    let ins = report.row(EventId::Instructions).unwrap();
+    assert!(ins.relative_change.abs() < 0.02);
+
+    // "The difference in the numbers of cycles can be fully explained
+    // with execution stalls."
+    let cyc = report.row(EventId::Cycles).unwrap();
+    let stall = report.row(EventId::StallCycles).unwrap();
+    let cycle_diff = cyc.mean_b - cyc.mean_a;
+    let stall_diff = stall.mean_b - stall.mean_a;
+    assert!(
+        (stall_diff / cycle_diff) > 0.4 && cycle_diff > 0.0,
+        "stalls {stall_diff} vs cycle growth {cycle_diff}"
+    );
+
+    // Significance of the big movers exceeds 99.9 %.
+    for e in [EventId::L1dMiss, EventId::L2Miss, EventId::FillBufferReject] {
+        let row = report.row(e).unwrap();
+        assert!(
+            row.ttest.as_ref().unwrap().significance > 0.999,
+            "{:?} significance {}",
+            e,
+            row.ttest.as_ref().unwrap().significance
+        );
+    }
+}
+
+#[test]
+fn fig9_parallel_sort_correlations() {
+    let runner = runner();
+    let plan = MeasurementPlan::events(
+        vec![
+            EventId::L1dLocked,
+            EventId::SpecJumpsRetired,
+            EventId::HitmTransfer,
+            EventId::Cycles,
+            EventId::Instructions,
+        ],
+        3,
+        7,
+    );
+    let mut sweep = ParameterSweep::new("threads");
+    for threads in [1usize, 2, 4, 6, 8, 12, 16] {
+        let w = ParallelSortKernel::new(32 * 1024, threads);
+        sweep.push(threads as f64, runner.measure(&w, &plan).unwrap());
+    }
+    let report = EvSel::default().correlate(&sweep);
+
+    // Threads ↔ L1d-locked: strong positive (paper: R > 0.95).
+    let lock = report.row(EventId::L1dLocked).unwrap();
+    assert!(lock.pearson > 0.95, "L1dLocked r = {}", lock.pearson);
+
+    // Threads ↔ speculative jumps: negative and monotone.
+    let spec = report.row(EventId::SpecJumpsRetired).unwrap();
+    assert!(spec.pearson < -0.5, "spec r = {}", spec.pearson);
+    let (_, y) = sweep.series(EventId::SpecJumpsRetired);
+    assert!(y.windows(2).all(|w| w[0] > w[1]), "not monotone: {y:?}");
+
+    // Threads ↔ HITM transfers: strong positive.
+    let hitm = report.row(EventId::HitmTransfer).unwrap();
+    assert!(hitm.pearson > 0.95, "HITM r = {}", hitm.pearson);
+}
+
+#[test]
+fn acquisition_modes_agree_for_fixed_counters() {
+    let runner = runner();
+    let w = CacheMissKernel::row_major(128);
+    let events = vec![EventId::Cycles, EventId::Instructions];
+    let batched = runner
+        .measure(&w, &MeasurementPlan::events(events.clone(), 3, 5))
+        .unwrap();
+    let muxed = runner
+        .measure(&w, &MeasurementPlan::events(events, 3, 5).multiplexed())
+        .unwrap();
+    // Fixed-function counters are exact in both modes.
+    assert_eq!(
+        batched.mean(EventId::Instructions).unwrap(),
+        muxed.mean(EventId::Instructions).unwrap()
+    );
+}

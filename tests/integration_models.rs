@@ -1,0 +1,104 @@
+//! Integration: the computable cost models (§II) against the simulator —
+//! the X6 experiment as a regression test.
+
+use np_models::calibrate::{calibrate, speedup_inputs_from_run};
+use np_models::online::{OnlineScalability, PrefixProbe};
+use np_models::{CounterSpeedupModel, KNumaMachine};
+use np_simulator::{MachineConfig, MachineSim};
+use np_workloads::matmul::TiledMatmul;
+use np_workloads::stream::StreamTriad;
+use np_workloads::Workload;
+
+fn quiet_dl580() -> MachineSim {
+    let mut cfg = MachineConfig::dl580_gen9();
+    cfg.noise.timer_interval = 0;
+    cfg.noise.dram_jitter = 0.0;
+    MachineSim::new(cfg)
+}
+
+#[test]
+fn calibrated_bsp_predicts_parallel_matmul() {
+    let sim = quiet_dl580();
+    let cal = calibrate(&sim, 21);
+    let n = 96usize;
+    let serial = sim.run(&TiledMatmul::new(n, 1).build(sim.config()), 5);
+    for p in [2u64, 4, 8] {
+        let bsp = cal.bsp(p);
+        let predicted = bsp.block_parallel_cost(serial.cycles, (n * n) as u64 / 8, 1);
+        let simulated = sim.run(&TiledMatmul::new(n, p as usize).build(sim.config()), 5).cycles;
+        let ratio = predicted / simulated as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "p={p}: predicted {predicted:.0} vs simulated {simulated} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn knuma_cost_ordering_matches_machine_structure() {
+    let m = KNumaMachine::dl580_like();
+    // Socket-local supersteps must be cheaper than cross-socket ones of
+    // the same volume, and never worse than flat BSP.
+    let local = m.superstep_cost(5_000.0, &[2_000, 0]);
+    let cross = m.superstep_cost(5_000.0, &[0, 2_000]);
+    assert!(local < cross);
+    assert!(local <= m.flat_bsp_cost(5_000.0, &[2_000, 0]));
+}
+
+#[test]
+fn online_prefix_prediction_tracks_actual_scaling() {
+    let sim = quiet_dl580();
+    let elements = 96 * 1024usize;
+    let single_program = StreamTriad::bound(elements, 1, 0).build(sim.config());
+
+    // Observe only a prefix of the single-threaded run.
+    let mut probe = PrefixProbe::new(60_000);
+    let single = sim.run_observed(&single_program, 9, &mut probe);
+    let prefix = probe.prefix_inputs().expect("prefix captured");
+
+    let predictor = OnlineScalability {
+        model: CounterSpeedupModel {
+            imc_service: sim.config().latency.imc_service as f64,
+            remote_penalty: 1.45,
+            nodes_used: 1.0,
+        },
+    };
+    let curve = predictor.predict_curve(&prefix, 1, &[4, 16]);
+
+    // Ground truth: actually run 4 and 16 threads.
+    let actual: Vec<f64> = [4usize, 16]
+        .iter()
+        .map(|&p| {
+            let r = sim.run(&StreamTriad::bound(elements, p, 0).build(sim.config()), 9);
+            single.cycles as f64 / r.cycles as f64
+        })
+        .collect();
+
+    // Qualitative agreement: both saturate well below linear scaling on a
+    // node-bound triad, and the prediction is within 2x of reality.
+    for ((p, predicted), actual) in curve.iter().zip(&actual) {
+        assert!(*predicted < 0.75 * *p as f64, "p={p}: predicted {predicted:.2} ~ linear");
+        let ratio = predicted / actual;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "p={p}: predicted {predicted:.2} vs actual {actual:.2}"
+        );
+    }
+}
+
+#[test]
+fn full_run_speedup_inputs_match_prefix_inputs_for_steady_workloads() {
+    let sim = quiet_dl580();
+    let program = StreamTriad::bound(64 * 1024, 1, 0).build(sim.config());
+    let mut probe = PrefixProbe::new(50_000);
+    let full = sim.run_observed(&program, 3, &mut probe);
+    let prefix = probe.prefix_inputs().unwrap();
+    let whole = speedup_inputs_from_run(&full);
+    // Stall fractions agree within 30% between prefix and whole run.
+    let f_prefix = prefix.mem_stall_cycles / prefix.cycles;
+    let f_whole = whole.mem_stall_cycles / whole.cycles;
+    assert!(
+        (f_prefix - f_whole).abs() < 0.3 * f_whole.max(0.01),
+        "prefix {f_prefix:.3} vs whole {f_whole:.3}"
+    );
+}
