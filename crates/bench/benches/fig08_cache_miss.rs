@@ -14,12 +14,16 @@ fn bench(c: &mut Criterion) {
     for size in [128usize, 256] {
         let row = CacheMissKernel::row_major(size).build(sim.config());
         let col = CacheMissKernel::column_major(size).build(sim.config());
-        g.bench_with_input(BenchmarkId::new("simulate_row_major", size), &size, |b, _| {
-            b.iter(|| black_box(sim.run(&row, 1)))
-        });
-        g.bench_with_input(BenchmarkId::new("simulate_column_major", size), &size, |b, _| {
-            b.iter(|| black_box(sim.run(&col, 1)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("simulate_row_major", size),
+            &size,
+            |b, _| b.iter(|| black_box(sim.run(&row, 1))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("simulate_column_major", size),
+            &size,
+            |b, _| b.iter(|| black_box(sim.run(&col, 1))),
+        );
     }
     g.finish();
 }

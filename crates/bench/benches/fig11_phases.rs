@@ -29,7 +29,12 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("measure_and_attribute", |b| {
         b.iter(|| {
-            black_box(pp.measure(&sim, &trace, 1, &[HwEvent::Instructions, HwEvent::LoadRetired]))
+            black_box(pp.measure(
+                &sim,
+                &trace,
+                1,
+                &[HwEvent::Instructions, HwEvent::LoadRetired],
+            ))
         })
     });
     g.finish();

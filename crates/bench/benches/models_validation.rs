@@ -10,9 +10,18 @@ fn bench(c: &mut Criterion) {
     let sim = MachineSim::new(MachineConfig::two_socket_small());
     let mut g = c.benchmark_group("models_validation");
     g.sample_size(10);
-    g.bench_function("calibrate_machine", |b| b.iter(|| black_box(calibrate(&sim, 1))));
-    let logp = LogPMachine { l: 350.0, o: 10.0, g: 40.0, p: 64 };
-    g.bench_function("logp_broadcast_p64", |b| b.iter(|| black_box(logp.broadcast())));
+    g.bench_function("calibrate_machine", |b| {
+        b.iter(|| black_box(calibrate(&sim, 1)))
+    });
+    let logp = LogPMachine {
+        l: 350.0,
+        o: 10.0,
+        g: 40.0,
+        p: 64,
+    };
+    g.bench_function("logp_broadcast_p64", |b| {
+        b.iter(|| black_box(logp.broadcast()))
+    });
     let knuma = KNumaMachine::dl580_like();
     g.bench_function("knuma_superstep", |b| {
         b.iter(|| black_box(knuma.superstep_cost(10_000.0, &[4000, 100])))

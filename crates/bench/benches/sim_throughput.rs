@@ -33,8 +33,30 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_throughput");
     g.sample_size(10);
     g.throughput(Throughput::Elements(ops));
-    g.bench_function("sequential_loads", |b| b.iter(|| black_box(sim.run(&sequential, 1))));
-    g.bench_function("page_strided_loads", |b| b.iter(|| black_box(sim.run(&strided, 1))));
+    g.bench_function("sequential_loads", |b| {
+        b.iter(|| black_box(sim.run(&sequential, 1)))
+    });
+    g.bench_function("page_strided_loads", |b| {
+        b.iter(|| black_box(sim.run(&strided, 1)))
+    });
+    g.finish();
+
+    // The observability guard: the same workload with the np-telemetry
+    // layer off (the default — one relaxed load per site) and on. Any
+    // per-op cost creeping into the engine's hot loop shows up here as a
+    // gap between the two.
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ops));
+    g.bench_function("disabled", |b| {
+        np_telemetry::set_enabled(false);
+        b.iter(|| black_box(sim.run(&sequential, 1)))
+    });
+    g.bench_function("enabled", |b| {
+        np_telemetry::set_enabled(true);
+        b.iter(|| black_box(sim.run(&sequential, 1)));
+        np_telemetry::set_enabled(false);
+    });
     g.finish();
 }
 

@@ -49,7 +49,10 @@ pub fn acquisition() -> String {
         "Batched repeated runs vs multiplexing, bursty workload\n\
          (per-event relative error vs ground truth):\n\n",
     );
-    out.push_str(&format!("  {:<26} {:>12} {:>12}\n", "event", "batched", "multiplexed"));
+    out.push_str(&format!(
+        "  {:<26} {:>12} {:>12}\n",
+        "event", "batched", "multiplexed"
+    ));
     let mut worst_mux: f64 = 0.0;
     for &e in &events {
         let t = truth.total(e) as f64;
@@ -59,7 +62,12 @@ pub fn acquisition() -> String {
         let be = (batched.runs[0].get(e).unwrap() - t).abs() / t;
         let me = (muxed.runs[0].get(e).unwrap() - t).abs() / t;
         worst_mux = worst_mux.max(me);
-        out.push_str(&format!("  {:<26} {:>11.2} % {:>11.2} %\n", e.name(), be * 100.0, me * 100.0));
+        out.push_str(&format!(
+            "  {:<26} {:>11.2} % {:>11.2} %\n",
+            e.name(),
+            be * 100.0,
+            me * 100.0
+        ));
     }
     out.push('\n');
     out.push_str(&paper_vs_measured(
@@ -91,7 +99,10 @@ pub fn cycling() -> String {
         "slices/step", "total error", "negative bins", "coverage min"
     ));
     for slices in [1u32, 2, 4, 8, 32] {
-        let cfg = MemhistConfig { slices_per_step: slices, ..MemhistConfig::default() };
+        let cfg = MemhistConfig {
+            slices_per_step: slices,
+            ..MemhistConfig::default()
+        };
         let r = Memhist::new(cfg).measure(&sim, &program, 5);
         let err = (r.histogram.total_count() as f64 - exact_total).abs() / exact_total;
         out.push_str(&format!(
@@ -127,14 +138,34 @@ pub fn bonferroni() -> String {
     let pairs = 6;
     for p in 0..pairs {
         let a = runner
-            .measure(&w, &MeasurementPlan { base_seed: plan_a.base_seed + 1000 * p, ..plan_a.clone() })
+            .measure(
+                &w,
+                &MeasurementPlan {
+                    base_seed: plan_a.base_seed + 1000 * p,
+                    ..plan_a.clone()
+                },
+            )
             .unwrap();
         let b = runner
-            .measure(&w, &MeasurementPlan { base_seed: plan_b.base_seed + 1000 * p, ..plan_b.clone() })
+            .measure(
+                &w,
+                &MeasurementPlan {
+                    base_seed: plan_b.base_seed + 1000 * p,
+                    ..plan_b.clone()
+                },
+            )
             .unwrap();
         // alpha = 0.05: the textbook setting where naive testing drowns.
-        let naive = EvSel { alpha: 0.05, bonferroni: false, ..EvSel::default() };
-        let corrected = EvSel { alpha: 0.05, bonferroni: true, ..EvSel::default() };
+        let naive = EvSel {
+            alpha: 0.05,
+            bonferroni: false,
+            ..EvSel::default()
+        };
+        let corrected = EvSel {
+            alpha: 0.05,
+            bonferroni: true,
+            ..EvSel::default()
+        };
         naive_fp += naive.compare(&a, &b).significant_rows().len();
         corrected_fp += corrected.compare(&a, &b).significant_rows().len();
         tested += naive.compare(&a, &b).rows.len();
@@ -145,13 +176,21 @@ pub fn bonferroni() -> String {
          different seeds; any 'significant' event is spurious):\n\n",
     );
     out.push_str(&format!("  events tested:               {tested}\n"));
-    out.push_str(&format!("  naive alpha=0.05:            {naive_fp} spurious findings\n"));
-    out.push_str(&format!("  Bonferroni-corrected:        {corrected_fp} spurious findings\n\n"));
+    out.push_str(&format!(
+        "  naive alpha=0.05:            {naive_fp} spurious findings\n"
+    ));
+    out.push_str(&format!(
+        "  Bonferroni-corrected:        {corrected_fp} spurious findings\n\n"
+    ));
     out.push_str(&paper_vs_measured(
         "Bonferroni controls the §III-B-1 problem",
         "recommended",
         &format!("{naive_fp} -> {corrected_fp} false positives"),
-        if corrected_fp <= naive_fp { "confirmed" } else { "not observed" },
+        if corrected_fp <= naive_fp {
+            "confirmed"
+        } else {
+            "not observed"
+        },
     ));
     out.push('\n');
     out
@@ -183,14 +222,24 @@ pub fn normality() -> String {
     );
     out.push_str(&format!("  mean:            {mean:>14.0}\n"));
     out.push_str(&format!("  std:             {std:>14.0}\n"));
-    out.push_str(&format!("  min:             {min:>14.0}  ({:+.2} σ from mean)\n", (min - mean) / std));
+    out.push_str(&format!(
+        "  min:             {min:>14.0}  ({:+.2} σ from mean)\n",
+        (min - mean) / std
+    ));
     out.push_str(&format!("  skewness:        {skew:>14.3}\n"));
     out.push_str(&format!("  below mean:      {below:>11} / 40\n\n"));
     out.push_str(&paper_vs_measured(
         "lower-bounded, right-skewed counters",
         "hypothesised (§IV-A-2)",
-        &format!("skew {skew:+.2}, hard floor {:.1} σ below mean", (mean - min) / std),
-        if skew > 0.0 { "confirmed" } else { "not observed at this noise level" },
+        &format!(
+            "skew {skew:+.2}, hard floor {:.1} σ below mean",
+            (mean - min) / std
+        ),
+        if skew > 0.0 {
+            "confirmed"
+        } else {
+            "not observed at this noise level"
+        },
     ));
     out.push('\n');
     out.push_str(
@@ -222,7 +271,10 @@ pub fn prefetch() -> String {
     for (label, machine) in [("on", on), ("off", off)] {
         let sim = np_simulator::MachineSim::new(machine);
         let row = sim
-            .run(&np_workloads::cache_miss::CacheMissKernel::row_major(1024).build(sim.config()), 1)
+            .run(
+                &np_workloads::cache_miss::CacheMissKernel::row_major(1024).build(sim.config()),
+                1,
+            )
             .total(HwEvent::L3Access);
         let col = sim
             .run(
@@ -240,8 +292,15 @@ pub fn prefetch() -> String {
     out.push_str(&paper_vs_measured(
         "prefetcher creates the x100 L3-access gap",
         "L3 accesses x100 (Fig. 8)",
-        &format!("x{:.0} with prefetcher, x{:.1} without", factors[0], factors[1]),
-        if factors[0] > 10.0 * factors[1] { "confirmed" } else { "not observed" },
+        &format!(
+            "x{:.0} with prefetcher, x{:.1} without",
+            factors[0], factors[1]
+        ),
+        if factors[0] > 10.0 * factors[1] {
+            "confirmed"
+        } else {
+            "not observed"
+        },
     ));
     out.push('\n');
     out
@@ -256,7 +315,10 @@ pub fn verify_memhist() -> String {
     let memhist = Memhist::with_defaults();
 
     let mut out = String::from("Memhist peak positions vs mlc ground truth, all node pairs:\n\n");
-    out.push_str(&format!("  {:>10} {:>12} {:>20}\n", "pair", "mlc (cy)", "peak bin"));
+    out.push_str(&format!(
+        "  {:>10} {:>12} {:>20}\n",
+        "pair", "mlc (cy)", "peak bin"
+    ));
     let mut all_matched = true;
     #[allow(clippy::needless_range_loop)] // `to` is a NUMA node id
     for to in 0..machine.topology.nodes {
@@ -289,7 +351,11 @@ pub fn verify_memhist() -> String {
     out.push_str(&paper_vs_measured(
         "latencies verified with mlc (§IV-B/§V-B)",
         "verified",
-        if all_matched { "all pairs matched" } else { "some pairs missed" },
+        if all_matched {
+            "all pairs matched"
+        } else {
+            "some pairs missed"
+        },
         if all_matched { "holds" } else { "partial" },
     ));
     out.push('\n');
@@ -299,7 +365,14 @@ pub fn verify_memhist() -> String {
 /// X5: the cross-machine transfer of the two-step strategy (§III, Fig. 4b
 /// and the §VI topology outlook) across three topologies.
 pub fn transfer() -> String {
-    let sizes = [16 * 1024usize, 24 * 1024, 32 * 1024, 48 * 1024, 64 * 1024, 96 * 1024];
+    let sizes = [
+        16 * 1024usize,
+        24 * 1024,
+        32 * 1024,
+        48 * 1024,
+        64 * 1024,
+        96 * 1024,
+    ];
     let target = 256 * 1024usize;
     let events = vec![
         EventId::Cycles,
@@ -355,7 +428,10 @@ pub fn transfer() -> String {
             })
             .collect();
         let Some(model) = CostModel::fit(&pairs) else {
-            out.push_str(&format!("  {:<42} cost model failed\n", machine_b.model_name));
+            out.push_str(&format!(
+                "  {:<42} cost model failed\n",
+                machine_b.model_name
+            ));
             continue;
         };
         let predicted = model.predict(&indicators).unwrap_or(f64::NAN);

@@ -31,17 +31,17 @@ pub fn fig7() -> String {
                 } else {
                     8.0 * planted as f64 + 0.15 * (i - planted) as f64
                 };
-                base + noise * 8.0 * planted as f64 * (((i * 2654435761) % 100) as f64 / 100.0 - 0.5)
+                base + noise
+                    * 8.0
+                    * planted as f64
+                    * (((i * 2654435761) % 100) as f64 / 100.0 - 0.5)
             })
             .collect();
         match segmented_fit(&x, &y) {
             Some(fit) => out.push_str(&format!(
                 "  noise {label:>5}: planted pivot {planted}, detected {} \
                  (slopes {:+.2} / {:+.2}, combined RSS {:.1})\n",
-                fit.pivot,
-                fit.before.coefficients[1],
-                fit.after.coefficients[1],
-                fit.combined_rss
+                fit.pivot, fit.before.coefficients[1], fit.after.coefficients[1], fit.combined_rss
             )),
             None => out.push_str(&format!("  noise {label:>5}: no fit\n")),
         }
@@ -53,8 +53,12 @@ pub fn fig7() -> String {
 pub fn fig8() -> String {
     let runner = Runner::new(dl580());
     let plan = MeasurementPlan::all_events(5, 1);
-    let a = runner.measure(&CacheMissKernel::row_major(1024), &plan).expect("A");
-    let b = runner.measure(&CacheMissKernel::column_major(1024), &plan).expect("B");
+    let a = runner
+        .measure(&CacheMissKernel::row_major(1024), &plan)
+        .expect("A");
+    let b = runner
+        .measure(&CacheMissKernel::column_major(1024), &plan)
+        .expect("B");
     let report = EvSel::default().compare(&a, &b);
 
     let mut out = report.render();
@@ -68,13 +72,33 @@ pub fn fig8() -> String {
             format!("{:+.0} %", r * 100.0)
         }
     };
-    out.push_str(&paper_vs_measured("L1 miss increase", "> +1000 %", &chg(HwEvent::L1dMiss), "holds"));
+    out.push_str(&paper_vs_measured(
+        "L1 miss increase",
+        "> +1000 %",
+        &chg(HwEvent::L1dMiss),
+        "holds",
+    ));
     out.push('\n');
-    out.push_str(&paper_vs_measured("L2 miss increase", "+300 %", &chg(HwEvent::L2Miss), "larger, same direction"));
+    out.push_str(&paper_vs_measured(
+        "L2 miss increase",
+        "+300 %",
+        &chg(HwEvent::L2Miss),
+        "larger, same direction",
+    ));
     out.push('\n');
-    out.push_str(&paper_vs_measured("L3 miss increase", "+50 %", &chg(HwEvent::L3Miss), "flat (cold misses dominate)"));
+    out.push_str(&paper_vs_measured(
+        "L3 miss increase",
+        "+50 %",
+        &chg(HwEvent::L3Miss),
+        "flat (cold misses dominate)",
+    ));
     out.push('\n');
-    out.push_str(&paper_vs_measured("L2 prefetch requests", "-90 %", &chg(HwEvent::L2PrefetchReq), "large drop"));
+    out.push_str(&paper_vs_measured(
+        "L2 prefetch requests",
+        "-90 %",
+        &chg(HwEvent::L2PrefetchReq),
+        "large drop",
+    ));
     out.push('\n');
     out.push_str(&paper_vs_measured(
         "L3 accesses",
@@ -86,13 +110,27 @@ pub fn fig8() -> String {
     out.push_str(&paper_vs_measured(
         "fill buffer rejects",
         "26 -> 3,000,000",
-        &format!("{:.0} -> {:.0}", row(HwEvent::FillBufferReject).mean_a, row(HwEvent::FillBufferReject).mean_b),
+        &format!(
+            "{:.0} -> {:.0}",
+            row(HwEvent::FillBufferReject).mean_a,
+            row(HwEvent::FillBufferReject).mean_b
+        ),
         "holds (near-zero -> huge)",
     ));
     out.push('\n');
-    out.push_str(&paper_vs_measured("branch misses", "+3.2 %", &chg(HwEvent::BranchMiss), "small, holds"));
+    out.push_str(&paper_vs_measured(
+        "branch misses",
+        "+3.2 %",
+        &chg(HwEvent::BranchMiss),
+        "small, holds",
+    ));
     out.push('\n');
-    out.push_str(&paper_vs_measured("instructions", "+1.9 %", &chg(HwEvent::Instructions), "small, holds"));
+    out.push_str(&paper_vs_measured(
+        "instructions",
+        "+1.9 %",
+        &chg(HwEvent::Instructions),
+        "small, holds",
+    ));
     out.push('\n');
 
     // "The difference in the numbers of cycles can be fully explained with
@@ -120,16 +158,30 @@ pub fn fig9() -> String {
     out.push_str(&paper_vs_measured(
         "threads <-> L1D locked (positive)",
         "R > 0.95",
-        &format!("r = {:+.3}, best R^2 = {:.3}", lock.pearson, lock.best.r_squared),
-        if lock.pearson > 0.95 { "holds" } else { "weaker" },
+        &format!(
+            "r = {:+.3}, best R^2 = {:.3}",
+            lock.pearson, lock.best.r_squared
+        ),
+        if lock.pearson > 0.95 {
+            "holds"
+        } else {
+            "weaker"
+        },
     ));
     out.push('\n');
     let spec = report.row(HwEvent::SpecJumpsRetired).expect("spec row");
     out.push_str(&paper_vs_measured(
         "threads <-> spec. jumps (negative)",
         "R > 0.99",
-        &format!("r = {:+.3}, best R^2 = {:.3}", spec.pearson, spec.best.r_squared),
-        if spec.pearson < -0.9 { "holds" } else { "monotone, weaker R" },
+        &format!(
+            "r = {:+.3}, best R^2 = {:.3}",
+            spec.pearson, spec.best.r_squared
+        ),
+        if spec.pearson < -0.9 {
+            "holds"
+        } else {
+            "monotone, weaker R"
+        },
     ));
     out.push('\n');
     let hitm = report.row(HwEvent::HitmTransfer).expect("hitm row");
@@ -170,7 +222,11 @@ pub fn fig10a() -> String {
         "peaks at L2 / L3 / local memory",
         "annotated, mlc-verified",
         &format!("matched {:?}, unmatched {:?}", v.matched, v.unmatched),
-        if v.unmatched.is_empty() { "holds" } else { "partial" },
+        if v.unmatched.is_empty() {
+            "holds"
+        } else {
+            "partial"
+        },
     ));
     out.push('\n');
 
@@ -190,17 +246,25 @@ pub fn fig10b() -> String {
     let injector = LatencyChecker::remote_injector(16 << 20, 20_000).build(&machine);
     let result = memhist.measure(&sim, &injector, 5);
 
-    let mut out =
-        String::from("Memhist, induced remote accesses (Intel-mlc analogue), event costs (Fig. 10b):\n\n");
+    let mut out = String::from(
+        "Memhist, induced remote accesses (Intel-mlc analogue), event costs (Fig. 10b):\n\n",
+    );
     out.push_str(&result.render(HistogramMode::Costs));
     let matrix = mlc::measure_matrix(&sim, 8 << 20, 500, 11);
     let v = memhist.verify_peaks(&result, HistogramMode::Costs, &[matrix[0][1]]);
-    out.push_str(&format!("\nmlc ground truth remote latency (0 -> 1): {:.0} cycles\n", matrix[0][1]));
+    out.push_str(&format!(
+        "\nmlc ground truth remote latency (0 -> 1): {:.0} cycles\n",
+        matrix[0][1]
+    ));
     out.push_str(&paper_vs_measured(
         "remote-memory cost peak",
         "visible at remote latency",
         &format!("matched {:?}", v.matched),
-        if v.unmatched.is_empty() { "holds" } else { "partial" },
+        if v.unmatched.is_empty() {
+            "holds"
+        } else {
+            "partial"
+        },
     ));
     out.push('\n');
     out
@@ -245,7 +309,10 @@ pub fn fig11() -> String {
     out.push_str(&paper_vs_measured(
         "ramp-up/compute split",
         "clean split via footprint",
-        &format!("pivot at {:.0} % of runtime", 100.0 * report.pivot_time as f64 / report.samples.last().unwrap().0 as f64),
+        &format!(
+            "pivot at {:.0} % of runtime",
+            100.0 * report.pivot_time as f64 / report.samples.last().unwrap().0 as f64
+        ),
         "holds",
     ));
     out.push('\n');

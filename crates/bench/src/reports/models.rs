@@ -17,14 +17,29 @@ pub fn report() -> String {
     // --- Calibration (Braithwaite-style machine measurement) ---
     let cal = calibrate(&sim, 21);
     out.push_str("Calibration probes on the simulated DL580:\n");
-    out.push_str(&format!("  local latency:   {:>8.1} cy\n", cal.local_latency));
-    out.push_str(&format!("  remote latency:  {:>8.1} cy\n", cal.remote_latency));
-    out.push_str(&format!("  gap:             {:>8.3} cy/byte\n", cal.gap_per_byte));
-    out.push_str(&format!("  barrier:         {:>8.1} cy\n\n", cal.barrier_cost));
+    out.push_str(&format!(
+        "  local latency:   {:>8.1} cy\n",
+        cal.local_latency
+    ));
+    out.push_str(&format!(
+        "  remote latency:  {:>8.1} cy\n",
+        cal.remote_latency
+    ));
+    out.push_str(&format!(
+        "  gap:             {:>8.3} cy/byte\n",
+        cal.gap_per_byte
+    ));
+    out.push_str(&format!(
+        "  barrier:         {:>8.1} cy\n\n",
+        cal.barrier_cost
+    ));
 
     // --- BSP predicted vs simulated: parallel matmul ---
     out.push_str("BSP (Valiant) predicted vs simulated, tiled matmul:\n");
-    out.push_str(&format!("  {:>8} {:>14} {:>14} {:>9}\n", "threads", "BSP predicted", "simulated", "ratio"));
+    out.push_str(&format!(
+        "  {:>8} {:>14} {:>14} {:>9}\n",
+        "threads", "BSP predicted", "simulated", "ratio"
+    ));
     let n = 96usize;
     let serial = sim.run(&TiledMatmul::new(n, 1).build(sim.config()), 5);
     for p in [2u64, 4, 8] {
@@ -34,7 +49,9 @@ pub fn report() -> String {
         let work = serial.cycles;
         let words = (n * n) as u64 / 8;
         let predicted = bsp.block_parallel_cost(work, words, 1);
-        let simulated = sim.run(&TiledMatmul::new(n, p as usize).build(sim.config()), 5).cycles;
+        let simulated = sim
+            .run(&TiledMatmul::new(n, p as usize).build(sim.config()), 5)
+            .cycles;
         out.push_str(&format!(
             "  {p:>8} {predicted:>14.0} {simulated:>14} {:>9.2}\n",
             predicted / simulated as f64
@@ -47,7 +64,10 @@ pub fn report() -> String {
     let local_heavy = [4000u64, 100];
     let remote_heavy = [100u64, 4000];
     out.push_str("κNUMA vs flat BSP superstep costs (work 10000 cy):\n");
-    for (h, label) in [(local_heavy, "socket-local traffic"), (remote_heavy, "cross-socket traffic")] {
+    for (h, label) in [
+        (local_heavy, "socket-local traffic"),
+        (remote_heavy, "cross-socket traffic"),
+    ] {
         out.push_str(&format!(
             "  {label:<24} κNUMA {:>10.0}  flat BSP {:>10.0}\n",
             knuma.superstep_cost(10_000.0, &h),
@@ -58,7 +78,10 @@ pub fn report() -> String {
 
     // --- Counter-driven speedup model (Tudor-style) vs simulator ---
     out.push_str("Counter-driven speedup model vs simulated STREAM triad (node-bound):\n");
-    out.push_str(&format!("  {:>8} {:>12} {:>12}\n", "threads", "predicted", "simulated"));
+    out.push_str(&format!(
+        "  {:>8} {:>12} {:>12}\n",
+        "threads", "predicted", "simulated"
+    ));
     let elements = 96 * 1024usize;
     let single = sim.run(&StreamTriad::bound(elements, 1, 0).build(sim.config()), 9);
     let inputs = speedup_inputs_from_run(&single);
@@ -70,7 +93,9 @@ pub fn report() -> String {
     let mut max_err: f64 = 0.0;
     for p in [2usize, 4, 8, 16] {
         let predicted = model.predict_speedup(&inputs, p as u64);
-        let cycles = sim.run(&StreamTriad::bound(elements, p, 0).build(sim.config()), 9).cycles;
+        let cycles = sim
+            .run(&StreamTriad::bound(elements, p, 0).build(sim.config()), 9)
+            .cycles;
         let simulated = single.cycles as f64 / cycles as f64;
         max_err = max_err.max((predicted - simulated).abs() / simulated);
         out.push_str(&format!("  {p:>8} {predicted:>12.2} {simulated:>12.2}\n"));

@@ -1,0 +1,49 @@
+//! Guard: enabling np-telemetry must not meaningfully slow the simulator.
+//!
+//! The engine records telemetry once per *run* (batched at the end), so
+//! the per-op hot loop is identical either way. This test is the cheap
+//! tripwire for someone accidentally moving instrumentation into the
+//! loop: it compares wall time for identical runs with telemetry off and
+//! on. The threshold is deliberately loose (2.5×) so a loaded CI host
+//! never trips it — a real per-op regression is orders of magnitude
+//! bigger than scheduler noise on a 100k-op program.
+
+use np_bench::dl580_sim;
+use np_simulator::{AllocPolicy, ProgramBuilder};
+use std::hint::black_box;
+use std::time::Instant;
+
+#[test]
+fn enabled_telemetry_does_not_gut_sim_throughput() {
+    let sim = dl580_sim();
+    let topo = sim.config().topology.clone();
+    let ops = 100_000u64;
+    let mut b = ProgramBuilder::new(&topo, 4096);
+    let buf = b.alloc(8 << 20, AllocPolicy::Bind(0));
+    let t = b.add_thread(0);
+    for i in 0..ops {
+        b.load(t, buf + (i * 8) % (8 << 20));
+    }
+    let program = b.build();
+
+    let time = |runs: usize| {
+        let start = Instant::now();
+        for seed in 0..runs {
+            black_box(sim.run(&program, seed as u64));
+        }
+        start.elapsed()
+    };
+
+    // Warm up caches/allocator, then measure both configurations.
+    np_telemetry::set_enabled(false);
+    let _ = time(1);
+    let disabled = time(3);
+    np_telemetry::set_enabled(true);
+    let enabled = time(3);
+    np_telemetry::set_enabled(false);
+
+    assert!(
+        enabled < disabled * 5 / 2,
+        "telemetry-enabled sim run is >2.5x slower: disabled={disabled:?} enabled={enabled:?}"
+    );
+}

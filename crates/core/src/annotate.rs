@@ -27,7 +27,10 @@ impl RegionNames {
 
     /// Name for a region (falls back to `region <id>`).
     pub fn get(&self, id: u32) -> String {
-        self.names.get(&id).cloned().unwrap_or_else(|| format!("region {id}"))
+        self.names
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| format!("region {id}"))
     }
 }
 
@@ -51,7 +54,11 @@ pub fn hotspots(run: &RunResult, event: EventId) -> Vec<HotSpot> {
         .map(|(r, a)| HotSpot {
             region: *r,
             count: a[event.index()],
-            share: if total == 0 { 0.0 } else { a[event.index()] as f64 / total as f64 },
+            share: if total == 0 {
+                0.0
+            } else {
+                a[event.index()] as f64 / total as f64
+            },
         })
         .collect();
     out.sort_by_key(|s| std::cmp::Reverse(s.count));

@@ -55,8 +55,16 @@ impl BalanceReport {
         };
         let local = run.total(HwEvent::LocalDramAccess) as f64;
         let remote = run.total(HwEvent::RemoteDramAccess) as f64;
-        let remote_fraction = if local + remote > 0.0 { remote / (local + remote) } else { 0.0 };
-        BalanceReport { nodes, remote_fraction, imbalance }
+        let remote_fraction = if local + remote > 0.0 {
+            remote / (local + remote)
+        } else {
+            0.0
+        };
+        BalanceReport {
+            nodes,
+            remote_fraction,
+            imbalance,
+        }
     }
 
     /// True when one node serves disproportionally much traffic.
@@ -107,7 +115,10 @@ mod tests {
         let run = sim.run(&StreamTriad::bound(64 * 1024, 4, 0).build(sim.config()), 1);
         let b = BalanceReport::from_run(sim.config(), &run);
         assert!(b.is_imbalanced(1.5), "imbalance {}", b.imbalance);
-        assert!((b.imbalance - 2.0).abs() < 0.05, "all traffic on node 0 of 2");
+        assert!(
+            (b.imbalance - 2.0).abs() < 0.05,
+            "all traffic on node 0 of 2"
+        );
         // Half the threads sit on node 1 and reach across.
         assert!(b.remote_fraction > 0.3);
     }
@@ -115,7 +126,10 @@ mod tests {
     #[test]
     fn interleaved_workload_is_balanced() {
         let sim = sim();
-        let run = sim.run(&StreamTriad::interleaved(64 * 1024, 4).build(sim.config()), 1);
+        let run = sim.run(
+            &StreamTriad::interleaved(64 * 1024, 4).build(sim.config()),
+            1,
+        );
         let b = BalanceReport::from_run(sim.config(), &run);
         assert!(!b.is_imbalanced(1.5), "imbalance {}", b.imbalance);
         assert!(b.imbalance < 1.2);

@@ -48,13 +48,20 @@ pub struct CacheToCache {
 impl CacheToCache {
     /// Creates a collector for 64-byte lines.
     pub fn new() -> Self {
-        CacheToCache { line_bytes: 64, lines: BTreeMap::new() }
+        CacheToCache {
+            line_bytes: 64,
+            lines: BTreeMap::new(),
+        }
     }
 
     /// Lines ranked by HITM count, hottest first.
     pub fn ranked(&self) -> Vec<(u64, &LineStats)> {
-        let mut v: Vec<(u64, &LineStats)> =
-            self.lines.iter().filter(|(_, s)| s.hitm > 0).map(|(&l, s)| (l, s)).collect();
+        let mut v: Vec<(u64, &LineStats)> = self
+            .lines
+            .iter()
+            .filter(|(_, s)| s.hitm > 0)
+            .map(|(&l, s)| (l, s))
+            .collect();
         v.sort_by_key(|&(_, s)| std::cmp::Reverse(s.hitm));
         v
     }
@@ -84,12 +91,25 @@ impl CacheToCache {
                     fmt_count(s.loads as f64),
                     s.cores.len().to_string(),
                     s.offsets.len().to_string(),
-                    if s.looks_false_shared() { "FALSE-SHARING?" } else { "shared" }.to_string(),
+                    if s.looks_false_shared() {
+                        "FALSE-SHARING?"
+                    } else {
+                        "shared"
+                    }
+                    .to_string(),
                 ]
             })
             .collect();
         let mut out = render_table(
-            &["line", "hitm", "remote hitm", "loads", "cores", "offsets", "verdict"],
+            &[
+                "line",
+                "hitm",
+                "remote hitm",
+                "loads",
+                "cores",
+                "offsets",
+                "verdict",
+            ],
             &rows,
         );
         out.push_str(&format!("\ntotal HITM transfers: {}\n", self.total_hitm()));

@@ -62,7 +62,10 @@ impl ComparisonReport {
     /// Renders the Fig. 8-style table.
     pub fn render(&self) -> String {
         let mut out = format!("EvSel comparison: {} vs {}\n", self.label_a, self.label_b);
-        out.push_str(&format!("(per-test alpha = {:.2e})\n\n", self.effective_alpha));
+        out.push_str(&format!(
+            "(per-test alpha = {:.2e})\n\n",
+            self.effective_alpha
+        ));
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -125,8 +128,9 @@ pub fn compare(evsel: &EvSel, a: &RunSet, b: &RunSet) -> ComparisonReport {
             let mean_b = mean(&sb);
             let grayed = sa.iter().all(|&v| v == 0.0) && sb.iter().all(|&v| v == 0.0);
             let ttest = if grayed { None } else { welch_t_test(&sa, &sb) };
-            let significant =
-                ttest.as_ref().is_some_and(|t| t.p_two_sided < effective_alpha);
+            let significant = ttest
+                .as_ref()
+                .is_some_and(|t| t.p_two_sided < effective_alpha);
             let relative_change = if mean_a == 0.0 {
                 if mean_b == 0.0 {
                     0.0
@@ -136,7 +140,15 @@ pub fn compare(evsel: &EvSel, a: &RunSet, b: &RunSet) -> ComparisonReport {
             } else {
                 (mean_b - mean_a) / mean_a
             };
-            ComparisonRow { event, mean_a, mean_b, relative_change, ttest, significant, grayed }
+            ComparisonRow {
+                event,
+                mean_a,
+                mean_b,
+                relative_change,
+                ttest,
+                significant,
+                grayed,
+            }
         })
         .collect();
 
@@ -145,7 +157,9 @@ pub fn compare(evsel: &EvSel, a: &RunSet, b: &RunSet) -> ComparisonReport {
             let c = r.relative_change.abs();
             (r.grayed, if c.is_finite() { -c } else { f64::NEG_INFINITY })
         };
-        key(x).partial_cmp(&key(y)).unwrap_or(std::cmp::Ordering::Equal)
+        key(x)
+            .partial_cmp(&key(y))
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
 
     ComparisonReport {
@@ -178,7 +192,10 @@ mod tests {
         let e = HwEvent::L1dMiss;
         let a = runset("A", e, &[100.0, 101.0, 99.0, 100.5, 99.5]);
         let b = runset("B", e, &[1100.0, 1101.0, 1099.0, 1100.5, 1099.5]);
-        let evsel = EvSel { bonferroni: false, ..EvSel::default() };
+        let evsel = EvSel {
+            bonferroni: false,
+            ..EvSel::default()
+        };
         let rep = evsel.compare(&a, &b);
         let row = rep.row(e).unwrap();
         assert!(row.significant);
@@ -210,8 +227,16 @@ mod tests {
             .unwrap()
             .p_two_sided;
         let alpha = 1.5 * p;
-        let loose = EvSel { alpha, bonferroni: false, ..EvSel::default() };
-        let strict = EvSel { alpha, bonferroni: true, ..EvSel::default() };
+        let loose = EvSel {
+            alpha,
+            bonferroni: false,
+            ..EvSel::default()
+        };
+        let strict = EvSel {
+            alpha,
+            bonferroni: true,
+            ..EvSel::default()
+        };
         let r_loose = loose.compare(&a, &b);
         let r_strict = strict.compare(&a, &b);
         assert!(r_strict.effective_alpha < r_loose.effective_alpha);
@@ -225,7 +250,10 @@ mod tests {
         let e = HwEvent::FillBufferReject;
         let a = runset("cache-hit", e, &[26.0, 27.0, 25.0]);
         let b = runset("cache-miss", e, &[3_000_000.0, 3_000_100.0, 2_999_900.0]);
-        let evsel = EvSel { bonferroni: false, ..EvSel::default() };
+        let evsel = EvSel {
+            bonferroni: false,
+            ..EvSel::default()
+        };
         let text = evsel.compare(&a, &b).render();
         assert!(text.contains("fill-buffer-rejects"));
         assert!(text.contains("3,000,000"));

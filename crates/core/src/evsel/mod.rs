@@ -53,7 +53,11 @@ pub struct EvSel {
 
 impl Default for EvSel {
     fn default() -> Self {
-        EvSel { catalog: EventCatalog::builtin(), alpha: 0.001, bonferroni: true }
+        EvSel {
+            catalog: EventCatalog::builtin(),
+            alpha: 0.001,
+            bonferroni: true,
+        }
     }
 }
 

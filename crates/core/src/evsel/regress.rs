@@ -27,7 +27,10 @@ pub struct ParameterSweep {
 impl ParameterSweep {
     /// Creates an empty sweep.
     pub fn new(parameter: impl Into<String>) -> Self {
-        ParameterSweep { parameter: parameter.into(), points: Vec::new() }
+        ParameterSweep {
+            parameter: parameter.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Adds one measured point.
@@ -93,7 +96,10 @@ impl SweepReport {
     /// Rows whose |r| meets `threshold` — the strong correlations EvSel
     /// surfaces (the paper highlights R > 0.95 and R > 0.99).
     pub fn strong(&self, threshold: f64) -> Vec<&CorrelationRow> {
-        self.rows.iter().filter(|r| r.pearson.abs() >= threshold).collect()
+        self.rows
+            .iter()
+            .filter(|r| r.pearson.abs() >= threshold)
+            .collect()
     }
 
     /// Renders the Fig. 9-style table.
@@ -130,13 +136,26 @@ pub fn correlate(_evsel: &EvSel, sweep: &ParameterSweep) -> SweepReport {
             continue;
         }
         let Some(r) = pearson_r(&x, &y) else { continue };
-        let Some((best, fits)) = best_fit(&x, &y) else { continue };
-        rows.push(CorrelationRow { event, pearson: r, best, fits });
+        let Some((best, fits)) = best_fit(&x, &y) else {
+            continue;
+        };
+        rows.push(CorrelationRow {
+            event,
+            pearson: r,
+            best,
+            fits,
+        });
     }
     rows.sort_by(|a, b| {
-        b.pearson.abs().partial_cmp(&a.pearson.abs()).unwrap_or(std::cmp::Ordering::Equal)
+        b.pearson
+            .abs()
+            .partial_cmp(&a.pearson.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
-    SweepReport { parameter: sweep.parameter.clone(), rows }
+    SweepReport {
+        parameter: sweep.parameter.clone(),
+        rows,
+    }
 }
 
 #[cfg(test)]
@@ -158,10 +177,7 @@ mod tests {
         rs
     }
 
-    fn sweep_with(
-        f_lock: impl Fn(f64) -> f64,
-        f_spec: impl Fn(f64) -> f64,
-    ) -> ParameterSweep {
+    fn sweep_with(f_lock: impl Fn(f64) -> f64, f_spec: impl Fn(f64) -> f64) -> ParameterSweep {
         let mut s = ParameterSweep::new("threads");
         for t in [1.0, 2.0, 4.0, 8.0, 16.0] {
             s.push(
@@ -195,7 +211,10 @@ mod tests {
         let row = rep.row(HwEvent::SpecJumpsRetired).unwrap();
         assert!(row.pearson < -0.8, "r = {}", row.pearson);
         // The generating family wins.
-        assert_eq!(row.best.kind, np_stats::regression::RegressionKind::Exponential);
+        assert_eq!(
+            row.best.kind,
+            np_stats::regression::RegressionKind::Exponential
+        );
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub struct MemhistConfig {
 impl Default for MemhistConfig {
     fn default() -> Self {
         MemhistConfig {
-            thresholds: vec![1, 4, 8, 16, 32, 48, 64, 96, 128, 192, 256, 320, 420, 560, 760],
+            thresholds: vec![
+                1, 4, 8, 16, 32, 48, 64, 96, 128, 192, 256, 320, 420, 560, 760,
+            ],
             slices_per_step: 1,
         }
     }
@@ -85,7 +87,11 @@ impl MemhistResult {
             .filter(|&v| v < max)
             .max()
             .unwrap_or(max);
-        let cap = if max > 4 * second && second > 0 { Some(2 * second) } else { None };
+        let cap = if max > 4 * second && second > 0 {
+            Some(2 * second)
+        } else {
+            None
+        };
         self.histogram.render_ascii(mode, 48, cap)
     }
 }
@@ -164,7 +170,11 @@ impl Memhist {
         let histogram =
             LatencyHistogram::from_threshold_counts(&self.config.thresholds, &obs.exceed)
                 .expect("thresholds validated in constructor");
-        MemhistResult { histogram, coverage: vec![], total_slices: 0 }
+        MemhistResult {
+            histogram,
+            coverage: vec![],
+            total_slices: 0,
+        }
     }
 
     /// Measures with full visibility into *which level served each load*
@@ -222,7 +232,10 @@ impl Memhist {
         let histogram =
             LatencyHistogram::from_threshold_counts(&self.config.thresholds, &obs.exceed)
                 .expect("thresholds validated in constructor");
-        AnnotatedHistogram { histogram, levels: obs.levels }
+        AnnotatedHistogram {
+            histogram,
+            levels: obs.levels,
+        }
     }
 
     /// Verifies measured peak positions against an `mlc`-style latency
@@ -244,7 +257,11 @@ impl Memhist {
                 let b = &result.histogram.bins[i];
                 // Tolerate one-bin smearing: the queueing component of the
                 // use latency pushes samples into the neighbouring bin.
-                let lo = if i > 0 { result.histogram.bins[i - 1].lo } else { b.lo };
+                let lo = if i > 0 {
+                    result.histogram.bins[i - 1].lo
+                } else {
+                    b.lo
+                };
                 let hi = if i + 1 < result.histogram.bins.len() {
                     result.histogram.bins[i + 1].hi
                 } else {
@@ -258,7 +275,11 @@ impl Memhist {
                 unmatched.push(lat);
             }
         }
-        PeakVerification { peak_bins: peaks, matched, unmatched }
+        PeakVerification {
+            peak_bins: peaks,
+            matched,
+            unmatched,
+        }
     }
 }
 
@@ -273,8 +294,14 @@ pub struct AnnotatedHistogram {
 }
 
 impl AnnotatedHistogram {
-    const LABELS: [&'static str; 6] =
-        ["L1", "L2", "L3", "local memory", "remote memory", "cache-to-cache"];
+    const LABELS: [&'static str; 6] = [
+        "L1",
+        "L2",
+        "L3",
+        "local memory",
+        "remote memory",
+        "cache-to-cache",
+    ];
 
     /// The dominant serving level of a bin, if it holds any samples.
     pub fn dominant_level(&self, bin: usize) -> Option<&'static str> {
@@ -341,18 +368,35 @@ mod tests {
             .max_by_key(|&&i| r.histogram.bins[i].count)
             .unwrap();
         let b = &r.histogram.bins[dominant];
-        assert!(b.lo <= 265 && 265 < b.hi, "dominant peak [{}, {})", b.lo, b.hi);
+        assert!(
+            b.lo <= 265 && 265 < b.hi,
+            "dominant peak [{}, {})",
+            b.lo,
+            b.hi
+        );
     }
 
     #[test]
     fn remote_injection_adds_high_latency_mass() {
         let sim = quiet();
         let m = Memhist::with_defaults();
-        let local = m.measure(&sim, &LatencyChecker::new(0, 0, 8 << 20, 2000).build(sim.config()), 1);
-        let remote =
-            m.measure(&sim, &LatencyChecker::remote_injector(8 << 20, 2000).build(sim.config()), 1);
+        let local = m.measure(
+            &sim,
+            &LatencyChecker::new(0, 0, 8 << 20, 2000).build(sim.config()),
+            1,
+        );
+        let remote = m.measure(
+            &sim,
+            &LatencyChecker::remote_injector(8 << 20, 2000).build(sim.config()),
+            1,
+        );
         let mass_above = |r: &MemhistResult, cy: u64| -> i64 {
-            r.histogram.bins.iter().filter(|b| b.lo >= cy).map(|b| b.count.max(0)).sum()
+            r.histogram
+                .bins
+                .iter()
+                .filter(|b| b.lo >= cy)
+                .map(|b| b.count.max(0))
+                .sum()
         };
         // Remote ~375: far more mass above 320 in the remote measurement.
         assert!(
@@ -379,12 +423,24 @@ mod tests {
         let r = m.measure_exact(&sim, &b.build(), 1);
         let h = &r.histogram;
         // Find the cheapest and the most expensive populated bins.
-        let cheap = h.bins.iter().find(|b| b.count > 0 && b.lo < 16).expect("cache bin");
-        let costly = h.bins.iter().rev().find(|b| b.count > 0 && b.lo >= 128).expect("dram bin");
+        let cheap = h
+            .bins
+            .iter()
+            .find(|b| b.count > 0 && b.lo < 16)
+            .expect("cache bin");
+        let costly = h
+            .bins
+            .iter()
+            .rev()
+            .find(|b| b.count > 0 && b.lo >= 128)
+            .expect("dram bin");
         // Costs re-weight towards the expensive bin.
         let occ_ratio = costly.count as f64 / cheap.count as f64;
         let cost_ratio = costly.cost_cycles as f64 / cheap.cost_cycles.max(1) as f64;
-        assert!(cost_ratio > occ_ratio, "cost must amplify: {occ_ratio} -> {cost_ratio}");
+        assert!(
+            cost_ratio > occ_ratio,
+            "cost must amplify: {occ_ratio} -> {cost_ratio}"
+        );
     }
 
     #[test]
@@ -411,14 +467,21 @@ mod tests {
             (t_cycled - t_exact).abs() / t_exact < 0.35,
             "cycled {t_cycled} vs exact {t_exact}"
         );
-        assert!(cycled.coverage.iter().all(|&c| c > 0), "all thresholds visited");
+        assert!(
+            cycled.coverage.iter().all(|&c| c > 0),
+            "all thresholds visited"
+        );
     }
 
     #[test]
     fn verify_peaks_against_ground_truth() {
         let sim = quiet();
         let m = Memhist::with_defaults();
-        let r = m.measure(&sim, &LatencyChecker::new(0, 0, 8 << 20, 3000).build(sim.config()), 2);
+        let r = m.measure(
+            &sim,
+            &LatencyChecker::new(0, 0, 8 << 20, 3000).build(sim.config()),
+            2,
+        );
         let v = m.verify_peaks(&r, HistogramMode::Occurrences, &[265.0]);
         assert_eq!(v.matched, vec![265.0], "peaks {:?}", v.peak_bins);
         let miss = m.verify_peaks(&r, HistogramMode::Occurrences, &[5000.0]);
@@ -480,7 +543,11 @@ mod tests {
     fn uncertain_bins_flagged() {
         let m = Memhist::with_defaults();
         let sim = quiet();
-        let r = m.measure_exact(&sim, &LatencyChecker::new(0, 0, 1 << 20, 100).build(sim.config()), 1);
+        let r = m.measure_exact(
+            &sim,
+            &LatencyChecker::new(0, 0, 1 << 20, 100).build(sim.config()),
+            1,
+        );
         assert!(r.histogram.bins[0].uncertain); // the [1, 4) bin
         assert!(!r.histogram.bins[3].uncertain);
     }
@@ -489,7 +556,11 @@ mod tests {
     fn render_produces_labelled_bars() {
         let sim = quiet();
         let m = Memhist::with_defaults();
-        let r = m.measure(&sim, &LatencyChecker::new(0, 0, 4 << 20, 1500).build(sim.config()), 1);
+        let r = m.measure(
+            &sim,
+            &LatencyChecker::new(0, 0, 4 << 20, 1500).build(sim.config()),
+            1,
+        );
         let text = r.render(HistogramMode::Occurrences);
         assert!(text.lines().count() == m.config.thresholds.len());
         assert!(text.contains("inf"));

@@ -60,19 +60,28 @@ impl ProbeServer {
         TcpListener::bind("127.0.0.1:0")
     }
 
-    /// Serves exactly `n` requests on `listener`, then returns.
+    /// Serves exactly `n` connections on `listener`, then returns.
+    ///
+    /// Per-connection failures (malformed JSON, mid-request disconnects)
+    /// are recorded in the `probe.errors` counter and do **not** kill the
+    /// accept loop — a probe next to a long campaign must survive a
+    /// misbehaving client. Only listener-level failures propagate.
     pub fn serve(&self, listener: &TcpListener, n: usize) -> std::io::Result<()> {
         for _ in 0..n {
             let (stream, _) = listener.accept()?;
-            self.handle(stream)?;
+            if self.handle(stream).is_err() {
+                np_telemetry::counter!("probe.errors").inc();
+            }
         }
         Ok(())
     }
 
     fn handle(&self, stream: TcpStream) -> std::io::Result<()> {
+        let _span = np_telemetry::span!("probe.request", "probe");
         let mut reader = BufReader::new(stream.try_clone()?);
         let mut line = String::new();
         reader.read_line(&mut line)?;
+        np_telemetry::counter!("probe.rx_bytes").add(line.len() as u64);
         let req: ProbeRequest = serde_json::from_str(line.trim())
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
 
@@ -91,7 +100,10 @@ impl ProbeServer {
         out.push('\n');
         let mut stream = stream;
         stream.write_all(out.as_bytes())?;
-        stream.flush()
+        stream.flush()?;
+        np_telemetry::counter!("probe.tx_bytes").add(out.len() as u64);
+        np_telemetry::counter!("probe.requests").inc();
+        Ok(())
     }
 }
 
@@ -105,6 +117,7 @@ impl RemoteMemhist {
         config: &MemhistConfig,
         seed: u64,
     ) -> std::io::Result<MemhistResult> {
+        let _span = np_telemetry::span!("probe.fetch", "probe");
         let stream = TcpStream::connect(addr)?;
         let req = ProbeRequest {
             seed,
@@ -209,28 +222,45 @@ mod tests {
     }
 
     #[test]
-    fn server_rejects_malformed_requests() {
+    fn server_survives_malformed_requests() {
         use std::io::{Read, Write};
         let sim = quiet_sim();
         let program = LatencyChecker::new(0, 0, 1 << 20, 50).build(sim.config());
         let listener = ProbeServer::bind().unwrap();
         let addr = listener.local_addr().unwrap();
         let server = ProbeServer::new(quiet_sim(), program);
-        let handle = std::thread::spawn(move || server.serve(&listener, 1));
+        let errors = np_telemetry::global().counter("probe.errors");
+        let errors_before = errors.get();
+        np_telemetry::set_enabled(true);
+        // Two connections: garbage, then a real request.
+        let handle = std::thread::spawn(move || server.serve(&listener, 2));
 
         let mut stream = std::net::TcpStream::connect(addr).unwrap();
         stream.write_all(b"this is not json\n").unwrap();
         stream.flush().unwrap();
-        // Server hangs up without a response; the serve() call errors.
+        // Server hangs up on the bad connection without a response...
         let mut buf = String::new();
         let _ = stream.read_to_string(&mut buf);
         assert!(buf.is_empty());
-        assert!(handle.join().unwrap().is_err());
+        drop(stream);
+
+        // ...but the accept loop survives and serves the next client.
+        let good = RemoteMemhist::fetch(addr, &MemhistConfig::default(), 3).unwrap();
+        assert!(!good.histogram.bins.is_empty());
+        assert!(handle.join().unwrap().is_ok());
+        assert!(
+            errors.get() > errors_before,
+            "malformed request not counted"
+        );
     }
 
     #[test]
     fn request_roundtrips_as_json() {
-        let req = ProbeRequest { seed: 7, thresholds: vec![4, 64], slices_per_step: 2 };
+        let req = ProbeRequest {
+            seed: 7,
+            thresholds: vec![4, 64],
+            slices_per_step: 2,
+        };
         let json = serde_json::to_string(&req).unwrap();
         let back: ProbeRequest = serde_json::from_str(&json).unwrap();
         assert_eq!(back.seed, 7);

@@ -86,7 +86,11 @@ impl ObjectProfiler {
             });
         }
         ranges.sort_by_key(|&(b, _, _)| b);
-        ObjectProfiler { ranges, stats, unattributed: 0 }
+        ObjectProfiler {
+            ranges,
+            stats,
+            unattributed: 0,
+        }
     }
 
     fn object_of(&self, addr: u64) -> Option<usize> {
@@ -122,7 +126,9 @@ impl ObjectProfiler {
             .iter()
             .map(|s| {
                 vec![
-                    names.get(s.object).map_or_else(|| format!("object {}", s.object), |n| n.to_string()),
+                    names
+                        .get(s.object)
+                        .map_or_else(|| format!("object {}", s.object), |n| n.to_string()),
                     format!("{} KiB", s.bytes >> 10),
                     fmt_count(s.loads as f64),
                     format!("{:.1}", s.mean_latency()),
@@ -132,7 +138,14 @@ impl ObjectProfiler {
             })
             .collect();
         render_table(
-            &["object", "size", "loads", "mean latency", "beyond L2", "remote"],
+            &[
+                "object",
+                "size",
+                "loads",
+                "mean latency",
+                "beyond L2",
+                "remote",
+            ],
             &rows,
         )
     }
@@ -201,11 +214,23 @@ mod tests {
         assert_eq!(s0.loads, 500);
         assert_eq!(s1.loads, 100);
         // The small hot object is cache-resident and local.
-        assert!(s0.mean_latency() < 20.0, "hot latency {}", s0.mean_latency());
+        assert!(
+            s0.mean_latency() < 20.0,
+            "hot latency {}",
+            s0.mean_latency()
+        );
         assert!(s0.remote_fraction() < 0.01);
         // The big bound-remote object is expensive and remote.
-        assert!(s1.mean_latency() > 250.0, "cold latency {}", s1.mean_latency());
-        assert!(s1.remote_fraction() > 0.9, "remote {}", s1.remote_fraction());
+        assert!(
+            s1.mean_latency() > 250.0,
+            "cold latency {}",
+            s1.mean_latency()
+        );
+        assert!(
+            s1.remote_fraction() > 0.9,
+            "remote {}",
+            s1.remote_fraction()
+        );
     }
 
     #[test]
@@ -224,7 +249,10 @@ mod tests {
         let program = b.build();
         let prof = profile(&sim, &program, 1);
         let ranked = prof.ranked_by_cost();
-        assert_eq!(ranked[0].object, 1, "the chased remote object dominates cost");
+        assert_eq!(
+            ranked[0].object, 1,
+            "the chased remote object dominates cost"
+        );
     }
 
     #[test]

@@ -119,7 +119,10 @@ pub struct Phasenpruefer {
 
 impl Default for Phasenpruefer {
     fn default() -> Self {
-        Phasenpruefer { sample_interval: 50_000, detector: PhaseDetector::Footprint }
+        Phasenpruefer {
+            sample_interval: 50_000,
+            detector: PhaseDetector::Footprint,
+        }
     }
 }
 
@@ -146,7 +149,12 @@ impl Phasenpruefer {
         let fit = segmented_fit(&x, &y)?;
         let pivot_index = fit.pivot;
         let pivot_time = samples.get(pivot_index).map(|&(t, _)| t)?;
-        Some(PhaseReport { samples, pivot_index, pivot_time, fit })
+        Some(PhaseReport {
+            samples,
+            pivot_index,
+            pivot_time,
+            fit,
+        })
     }
 
     /// Detects `k` phases (the BSP-superstep extension): returns the
@@ -167,12 +175,17 @@ impl Phasenpruefer {
         seed: u64,
         events: &[EventId],
     ) -> Option<(PhaseReport, PhaseAttribution)> {
-        let mut rec = SliceRecorder { times: Vec::new(), totals: Vec::new(), footprints: Vec::new() };
+        let mut rec = SliceRecorder {
+            times: Vec::new(),
+            totals: Vec::new(),
+            footprints: Vec::new(),
+        };
         let result = sim.run_observed(program, seed, &mut rec);
         // Final state as the last slice.
         rec.times.push(result.cycles);
         rec.totals.push(result.counters.totals());
-        rec.footprints.push(result.footprint.last().map(|&(_, f)| f).unwrap_or(0));
+        rec.footprints
+            .push(result.footprint.last().map(|&(_, f)| f).unwrap_or(0));
 
         let report = match self.detector {
             PhaseDetector::Footprint => self.detect(&result.footprint)?,
@@ -218,7 +231,10 @@ fn attribute(rec: &SliceRecorder, boundaries: &[u64], events: &[EventId]) -> Pha
         }
         per_phase.push(map);
     }
-    PhaseAttribution { boundaries: boundaries.to_vec(), per_phase }
+    PhaseAttribution {
+        boundaries: boundaries.to_vec(),
+        per_phase,
+    }
 }
 
 #[cfg(test)]
@@ -261,14 +277,23 @@ mod tests {
         );
         // The pivot falls in the first half of the run (allocation is
         // fast, computation long).
-        assert!(report.pivot_time < r.cycles / 2, "pivot {} of {}", report.pivot_time, r.cycles);
+        assert!(
+            report.pivot_time < r.cycles / 2,
+            "pivot {} of {}",
+            report.pivot_time,
+            r.cycles
+        );
     }
 
     #[test]
     fn attribution_splits_counters_sensibly() {
         let sim = quiet();
         let pp = Phasenpruefer::default();
-        let events = [HwEvent::Instructions, HwEvent::LoadRetired, HwEvent::StoreRetired];
+        let events = [
+            HwEvent::Instructions,
+            HwEvent::LoadRetired,
+            HwEvent::StoreRetired,
+        ];
         let (report, attr) = pp
             .measure(&sim, &chrome_like().build(sim.config()), 1, &events)
             .expect("measured");
@@ -279,9 +304,16 @@ mod tests {
         // heavy relative to its loads.
         let ramp_loads = ramp[&HwEvent::LoadRetired];
         let compute_loads = compute[&HwEvent::LoadRetired];
-        assert!(compute_loads > 10.0 * ramp_loads.max(1.0), "{ramp_loads} vs {compute_loads}");
+        assert!(
+            compute_loads > 10.0 * ramp_loads.max(1.0),
+            "{ramp_loads} vs {compute_loads}"
+        );
         // Sanity: attribution sums to the totals.
-        let total: f64 = attr.per_phase.iter().map(|p| p[&HwEvent::Instructions]).sum();
+        let total: f64 = attr
+            .per_phase
+            .iter()
+            .map(|p| p[&HwEvent::Instructions])
+            .sum();
         assert!(total > 0.0);
         let _ = report;
     }
@@ -354,7 +386,10 @@ mod tests {
 
     #[test]
     fn detect_requires_enough_samples() {
-        let pp = Phasenpruefer { sample_interval: 1_000_000_000, ..Default::default() };
+        let pp = Phasenpruefer {
+            sample_interval: 1_000_000_000,
+            ..Default::default()
+        };
         let series = vec![(0u64, 0u64), (100, 10)];
         assert!(pp.detect(&series).is_none());
     }

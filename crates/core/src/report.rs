@@ -36,6 +36,24 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Renders the tool suite's own telemetry as a report appendix.
+///
+/// Returns `None` while telemetry is disabled or nothing has been
+/// recorded, so reports only grow the section when `--telemetry` (or a
+/// programmatic [`np_telemetry::set_enabled`]) asked for it.
+pub fn telemetry_section() -> Option<String> {
+    if !np_telemetry::enabled() {
+        return None;
+    }
+    let snap = np_telemetry::global().snapshot();
+    if snap.live_metrics() == 0 {
+        return None;
+    }
+    let mut out = String::from("\n== tool telemetry ==\n");
+    out.push_str(&snap.to_text());
+    Some(out)
+}
+
 /// Formats a count with thousands separators (`1234567` → `1,234,567`).
 pub fn fmt_count(v: f64) -> String {
     if !v.is_finite() {

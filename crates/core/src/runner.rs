@@ -65,9 +65,7 @@ impl MeasurementPlan {
     /// Total simulated runs this plan will execute.
     pub fn total_runs(&self) -> usize {
         match self.mode {
-            AcquisitionMode::BatchedRuns => {
-                self.repetitions * self.pmu.runs_needed(&self.events)
-            }
+            AcquisitionMode::BatchedRuns => self.repetitions * self.pmu.runs_needed(&self.events),
             AcquisitionMode::Multiplexed => self.repetitions,
         }
     }
@@ -81,7 +79,9 @@ pub struct Runner {
 impl Runner {
     /// Creates a runner for `machine`.
     pub fn new(machine: MachineConfig) -> Self {
-        Runner { sim: MachineSim::new(machine) }
+        Runner {
+            sim: MachineSim::new(machine),
+        }
     }
 
     /// Wraps an existing simulator.
@@ -95,7 +95,11 @@ impl Runner {
     }
 
     /// Measures a workload under `plan`. Returns an error for empty plans.
-    pub fn measure(&self, workload: &dyn Workload, plan: &MeasurementPlan) -> Result<RunSet, String> {
+    pub fn measure(
+        &self,
+        workload: &dyn Workload,
+        plan: &MeasurementPlan,
+    ) -> Result<RunSet, String> {
         let program = workload.build(self.sim.config());
         let mut set = self.measure_program(&program, plan)?;
         set.label = workload.name();
@@ -103,13 +107,20 @@ impl Runner {
     }
 
     /// Measures an already-built program under `plan`.
-    pub fn measure_program(&self, program: &Program, plan: &MeasurementPlan) -> Result<RunSet, String> {
+    pub fn measure_program(
+        &self,
+        program: &Program,
+        plan: &MeasurementPlan,
+    ) -> Result<RunSet, String> {
         if plan.events.is_empty() {
             return Err("measurement plan has no events".into());
         }
         if plan.repetitions == 0 {
             return Err("measurement plan has no repetitions".into());
         }
+        let _span = np_telemetry::span!("runner.measure", "runner");
+        np_telemetry::counter!("runner.campaigns").inc();
+        np_telemetry::counter!("runner.repetitions").add(plan.repetitions as u64);
         let set = match plan.mode {
             AcquisitionMode::BatchedRuns => self.measure_batched_parallel(program, plan),
             AcquisitionMode::Multiplexed => measure_multiplexed(
@@ -131,6 +142,10 @@ impl Runner {
         let runs: Vec<Measurement> = (0..plan.repetitions)
             .into_par_iter()
             .map(|rep| {
+                // Occupancy gauge brackets the repetition so a trace shows
+                // how many rayon workers the fan-out actually kept busy.
+                let _rep_span = np_telemetry::span!("runner.repetition", "runner");
+                np_telemetry::gauge!("runner.active_workers").add(1);
                 let one = measure_batched(
                     &self.sim,
                     program,
@@ -139,10 +154,18 @@ impl Runner {
                     plan.base_seed + rep as u64,
                     &plan.pmu,
                 );
-                one.runs.into_iter().next().expect("one repetition measured")
+                np_telemetry::gauge!("runner.active_workers").add(-1);
+                np_telemetry::counter!("runner.reps_done").inc();
+                one.runs
+                    .into_iter()
+                    .next()
+                    .expect("one repetition measured")
             })
             .collect();
-        RunSet { runs, label: "batched".into() }
+        RunSet {
+            runs,
+            label: "batched".into(),
+        }
     }
 }
 
@@ -176,7 +199,9 @@ mod tests {
             3,
             42,
         );
-        let rs = runner.measure(&CacheMissKernel::row_major(48), &plan).unwrap();
+        let rs = runner
+            .measure(&CacheMissKernel::row_major(48), &plan)
+            .unwrap();
         assert_eq!(rs.len(), 3);
         assert!(rs.label.contains("row-major"));
         assert!(rs.mean(HwEvent::Instructions).unwrap() > 0.0);
@@ -211,7 +236,10 @@ mod tests {
         let runner = Runner::new(machine());
         let w = CacheMissKernel::row_major(16);
         let p = w.build(runner.sim().config());
-        let empty = MeasurementPlan { events: vec![], ..MeasurementPlan::all_events(2, 1) };
+        let empty = MeasurementPlan {
+            events: vec![],
+            ..MeasurementPlan::all_events(2, 1)
+        };
         assert!(runner.measure_program(&p, &empty).is_err());
     }
 
@@ -219,7 +247,9 @@ mod tests {
     fn repetitions_vary_under_noise() {
         let runner = Runner::new(machine());
         let plan = MeasurementPlan::events(vec![HwEvent::Cycles], 5, 9);
-        let rs = runner.measure(&CacheMissKernel::column_major(48), &plan).unwrap();
+        let rs = runner
+            .measure(&CacheMissKernel::column_major(48), &plan)
+            .unwrap();
         let cycles = rs.samples(HwEvent::Cycles);
         assert!(cycles.windows(2).any(|w| w[0] != w[1]), "{cycles:?}");
     }

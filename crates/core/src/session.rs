@@ -22,7 +22,9 @@ impl Session {
     /// Opens (creating if needed) a session directory.
     pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Session> {
         std::fs::create_dir_all(&dir)?;
-        Ok(Session { dir: dir.as_ref().to_path_buf() })
+        Ok(Session {
+            dir: dir.as_ref().to_path_buf(),
+        })
     }
 
     fn path_of(&self, name: &str) -> PathBuf {
@@ -46,17 +48,35 @@ impl Session {
     }
 
     /// Saves a run set under `name` (overwrites).
+    ///
+    /// Crash-safe: the JSON is written to a temporary file in the session
+    /// directory and renamed into place, so a crash mid-save leaves either
+    /// the old archive or the new one — never a truncated file.
     pub fn save(&self, name: &str, runs: &RunSet) -> std::io::Result<()> {
         Self::check_name(name)?;
+        let _span = np_telemetry::span!("session.save", "session");
         let json = serde_json::to_string_pretty(runs)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        std::fs::write(self.path_of(name), json)
+        np_telemetry::counter!("session.saved_bytes").add(json.len() as u64);
+        np_telemetry::counter!("session.saves").inc();
+        // Same directory as the target so the rename cannot cross
+        // filesystems; pid-qualified so concurrent processes don't collide.
+        let tmp = self
+            .dir
+            .join(format!(".{name}.json.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, self.path_of(name)).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
     }
 
     /// Loads the run set recorded under `name`.
     pub fn load(&self, name: &str) -> std::io::Result<RunSet> {
         Self::check_name(name)?;
+        let _span = np_telemetry::span!("session.load", "session");
         let json = std::fs::read_to_string(self.path_of(name))?;
+        np_telemetry::counter!("session.loaded_bytes").add(json.len() as u64);
+        np_telemetry::counter!("session.loads").inc();
         serde_json::from_str(&json)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
@@ -150,7 +170,10 @@ mod tests {
         let s = Session::open(&dir).unwrap();
         s.save("before", &runset("before", 100.0)).unwrap();
         s.save("after", &runset("after", 1000.0)).unwrap();
-        let evsel = crate::evsel::EvSel { bonferroni: false, ..Default::default() };
+        let evsel = crate::evsel::EvSel {
+            bonferroni: false,
+            ..Default::default()
+        };
         let report = s.compare(&evsel, "before", "after").unwrap();
         let row = report.row(HwEvent::L1dMiss).unwrap();
         assert!(row.relative_change > 8.0);

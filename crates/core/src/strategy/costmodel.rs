@@ -74,7 +74,11 @@ impl CostModel {
         // events scale identically with workload size — the redundancy
         // §III-B-1 notes). Keep a feature only while the design stays
         // solvable and enough observations remain.
-        let max_cost = pairs.iter().map(|(_, c)| c.abs()).fold(0.0f64, f64::max).max(1.0);
+        let max_cost = pairs
+            .iter()
+            .map(|(_, c)| c.abs())
+            .fold(0.0f64, f64::max)
+            .max(1.0);
         let mut kept: Vec<EventId> = Vec::new();
         let mut kept_scales: Vec<f64> = Vec::new();
         for e in features {
@@ -90,7 +94,9 @@ impl CostModel {
                 // Near-collinear designs pass QR with exploding
                 // coefficients; with unit-scaled columns a well-conditioned
                 // fit keeps |β| within a few orders of the cost scale.
-                Ok(sol) if (0..sol.beta.rows()).all(|i| sol.beta[(i, 0)].abs() < 1e3 * max_cost) => {
+                Ok(sol)
+                    if (0..sol.beta.rows()).all(|i| sol.beta[(i, 0)].abs() < 1e3 * max_cost) =>
+                {
                     kept = trial;
                     kept_scales = trial_scales;
                 }
@@ -115,7 +121,11 @@ impl CostModel {
         let tss: f64 = pairs.iter().map(|(_, c)| (c - mean_y) * (c - mean_y)).sum();
         let r_squared = if tss == 0.0 { 1.0 } else { 1.0 - sol.rss / tss };
 
-        Some(CostModel { features, beta, r_squared })
+        Some(CostModel {
+            features,
+            beta,
+            r_squared,
+        })
     }
 
     /// Predicts the cost for an indicator vector; `None` when a feature is
@@ -171,7 +181,10 @@ mod tests {
         let probe = vec_of(&[(HwEvent::L1dHit, 12_345.0), (HwEvent::L1dMiss, 77.0)]);
         let expected = 1000.0 + 4.0 * 12_345.0 + 230.0 * 77.0;
         let got = m.predict(&probe).unwrap();
-        assert!((got - expected).abs() / expected < 1e-6, "{got} vs {expected}");
+        assert!(
+            (got - expected).abs() / expected < 1e-6,
+            "{got} vs {expected}"
+        );
     }
 
     #[test]

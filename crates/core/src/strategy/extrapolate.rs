@@ -44,7 +44,10 @@ impl IndicatorExtrapolator {
                 }
             }
         }
-        IndicatorExtrapolator { fits, min_r_squared }
+        IndicatorExtrapolator {
+            fits,
+            min_r_squared,
+        }
     }
 
     /// Events that survived selection.
@@ -58,7 +61,12 @@ impl IndicatorExtrapolator {
         if self.fits.is_empty() {
             return None;
         }
-        Some(self.fits.iter().map(|(&e, f)| (e, f.predict(size).max(0.0))).collect())
+        Some(
+            self.fits
+                .iter()
+                .map(|(&e, f)| (e, f.predict(size).max(0.0)))
+                .collect(),
+        )
     }
 
     /// Predicts one event at `size`.
@@ -83,9 +91,12 @@ mod tests {
                 let mut m = Measurement::new(rep);
                 // Loads scale linearly, misses quadratically, and one
                 // event is pure noise.
-                m.values.insert(HwEvent::LoadRetired, 2.0 * size + rep as f64);
-                m.values.insert(HwEvent::L1dMiss, 0.01 * size * size + rep as f64);
-                m.values.insert(HwEvent::TimerInterrupt, noise[k] + rep as f64);
+                m.values
+                    .insert(HwEvent::LoadRetired, 2.0 * size + rep as f64);
+                m.values
+                    .insert(HwEvent::L1dMiss, 0.01 * size * size + rep as f64);
+                m.values
+                    .insert(HwEvent::TimerInterrupt, noise[k] + rep as f64);
                 rs.runs.push(m);
             }
             s.push(size, rs);
@@ -101,7 +112,10 @@ mod tests {
         assert!((loads - 8193.0).abs() < 50.0, "loads {loads}");
         // Quadratic event.
         let misses = ex.predict_event(HwEvent::L1dMiss, 4096.0).unwrap();
-        assert!((misses - 0.01 * 4096.0 * 4096.0).abs() / misses < 0.05, "misses {misses}");
+        assert!(
+            (misses - 0.01 * 4096.0 * 4096.0).abs() / misses < 0.05,
+            "misses {misses}"
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub fn measure_batched(
     base_seed: u64,
     pmu: &PmuModel,
 ) -> RunSet {
+    let _span = np_telemetry::span!("acq.batched", "counters");
     let batches = pmu.batches(events);
     let mut set = RunSet::new("batched");
     for rep in 0..repetitions {
@@ -59,12 +60,15 @@ pub fn measure_batched(
             m.cycles = result.cycles;
         };
         if batches.is_empty() {
+            np_telemetry::counter!("acq.runs").inc();
             let result = sim.run(program, seed);
             record_fixed(&mut m, &result);
         }
         for (bi, batch) in batches.iter().enumerate() {
             // The PMU only exposes the programmed registers; the simulator
             // counts everything, so visibility filtering happens here.
+            np_telemetry::counter!("acq.runs").inc();
+            np_telemetry::counter!("acq.batched.batch_runs").inc();
             let result = sim.run(program, seed);
             if bi == 0 {
                 record_fixed(&mut m, &result);
@@ -115,6 +119,7 @@ impl MuxObserver {
             self.current = (self.current + 1) % self.groups.len();
         }
         self.total_slices += 1;
+        np_telemetry::counter!("acq.mux.slices").inc();
         self.last_snapshot = Some(counters.clone());
     }
 }
@@ -136,11 +141,13 @@ pub fn measure_multiplexed(
     base_seed: u64,
     pmu: &PmuModel,
 ) -> RunSet {
+    let _span = np_telemetry::span!("acq.multiplexed", "counters");
     let groups = pmu.batches(events);
     let mut set = RunSet::new("multiplexed");
     for rep in 0..repetitions {
         let seed = base_seed + rep as u64;
         let mut obs = MuxObserver::new(groups.clone());
+        np_telemetry::counter!("acq.runs").inc();
         let result = sim.run_observed(program, seed, &mut obs);
         // Attribute the tail past the last slice boundary to the current
         // group.
@@ -199,14 +206,25 @@ mod tests {
     fn batched_measures_exact_counts() {
         let sim = machine();
         let p = scan_program(&sim);
-        let events = [HwEvent::Cycles, HwEvent::Instructions, HwEvent::L1dMiss, HwEvent::L2Miss];
+        let events = [
+            HwEvent::Cycles,
+            HwEvent::Instructions,
+            HwEvent::L1dMiss,
+            HwEvent::L2Miss,
+        ];
         let rs = measure_batched(&sim, &p, &events, 3, 100, &PmuModel::default());
         assert_eq!(rs.len(), 3);
         // Exact match against a direct run with the same seed.
         let direct = sim.run(&p, 100);
         let m = &rs.runs[0];
-        assert_eq!(m.get(HwEvent::L1dMiss).unwrap(), direct.total(HwEvent::L1dMiss) as f64);
-        assert_eq!(m.get(HwEvent::Instructions).unwrap(), direct.total(HwEvent::Instructions) as f64);
+        assert_eq!(
+            m.get(HwEvent::L1dMiss).unwrap(),
+            direct.total(HwEvent::L1dMiss) as f64
+        );
+        assert_eq!(
+            m.get(HwEvent::Instructions).unwrap(),
+            direct.total(HwEvent::Instructions) as f64
+        );
     }
 
     #[test]
@@ -277,7 +295,10 @@ mod tests {
         assert!(truth > 0.0);
 
         let batched = measure_batched(&sim, &p, &events, 1, 3, &PmuModel::default());
-        assert_eq!(batched.runs[0].get(HwEvent::FillBufferReject).unwrap(), truth);
+        assert_eq!(
+            batched.runs[0].get(HwEvent::FillBufferReject).unwrap(),
+            truth
+        );
 
         let muxed = measure_multiplexed(&sim, &p, &events, 1, 3, &PmuModel::default());
         let est = muxed.runs[0].get(HwEvent::FillBufferReject).unwrap();
@@ -304,6 +325,9 @@ mod tests {
         );
         let cycles = rs.samples(HwEvent::Cycles);
         assert_eq!(cycles.len(), 4);
-        assert!(cycles.windows(2).any(|w| w[0] != w[1]), "no run-to-run variance: {cycles:?}");
+        assert!(
+            cycles.windows(2).any(|w| w[0] != w[1]),
+            "no run-to-run variance: {cycles:?}"
+        );
     }
 }

@@ -148,12 +148,20 @@ impl EventCatalog {
 
     /// Only core-PMU events.
     pub fn core_events(&self) -> Vec<EventId> {
-        self.events.iter().filter(|e| !e.uncore).map(|e| e.id).collect()
+        self.events
+            .iter()
+            .filter(|e| !e.uncore)
+            .map(|e| e.id)
+            .collect()
     }
 
     /// Only uncore events.
     pub fn uncore_events(&self) -> Vec<EventId> {
-        self.events.iter().filter(|e| e.uncore).map(|e| e.id).collect()
+        self.events
+            .iter()
+            .filter(|e| e.uncore)
+            .map(|e| e.id)
+            .collect()
     }
 
     /// Serialises the catalog to the JSON file format EvSel reads.
@@ -193,14 +201,22 @@ mod tests {
         let c = EventCatalog::builtin();
         let mut seen = std::collections::HashSet::new();
         for e in &c.events {
-            assert!(seen.insert((e.code, e.umask)), "duplicate code {:#x}/{:#x}", e.code, e.umask);
+            assert!(
+                seen.insert((e.code, e.umask)),
+                "duplicate code {:#x}/{:#x}",
+                e.code,
+                e.umask
+            );
         }
     }
 
     #[test]
     fn lookup_by_name() {
         let c = EventCatalog::builtin();
-        assert_eq!(c.by_name("fill-buffer-rejects").unwrap().id, HwEvent::FillBufferReject);
+        assert_eq!(
+            c.by_name("fill-buffer-rejects").unwrap().id,
+            HwEvent::FillBufferReject
+        );
         assert!(c.by_name("no-such-event").is_none());
     }
 

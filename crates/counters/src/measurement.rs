@@ -26,7 +26,11 @@ pub struct Measurement {
 impl Measurement {
     /// Creates an empty measurement.
     pub fn new(seed: u64) -> Self {
-        Measurement { values: BTreeMap::new(), cycles: 0, seed }
+        Measurement {
+            values: BTreeMap::new(),
+            cycles: 0,
+            seed,
+        }
     }
 
     /// Value of one event, if measured.
@@ -52,7 +56,10 @@ pub struct RunSet {
 impl RunSet {
     /// Creates an empty run set with a label.
     pub fn new(label: impl Into<String>) -> Self {
-        RunSet { runs: Vec::new(), label: label.into() }
+        RunSet {
+            runs: Vec::new(),
+            label: label.into(),
+        }
     }
 
     /// Number of repetitions.
@@ -117,8 +124,10 @@ mod tests {
     #[test]
     fn samples_and_mean() {
         let mut rs = RunSet::new("test");
-        rs.runs.push(m(1, &[(HwEvent::L1dMiss, 100.0), (HwEvent::L2Miss, 10.0)]));
-        rs.runs.push(m(2, &[(HwEvent::L1dMiss, 110.0), (HwEvent::L2Miss, 12.0)]));
+        rs.runs
+            .push(m(1, &[(HwEvent::L1dMiss, 100.0), (HwEvent::L2Miss, 10.0)]));
+        rs.runs
+            .push(m(2, &[(HwEvent::L1dMiss, 110.0), (HwEvent::L2Miss, 12.0)]));
         rs.runs.push(m(3, &[(HwEvent::L1dMiss, 90.0)]));
         assert_eq!(rs.samples(HwEvent::L1dMiss), vec![100.0, 110.0, 90.0]);
         assert_eq!(rs.samples(HwEvent::L2Miss).len(), 2);
@@ -139,8 +148,14 @@ mod tests {
     #[test]
     fn all_zero_detection() {
         let mut rs = RunSet::new("z");
-        rs.runs.push(m(1, &[(HwEvent::HitmTransfer, 0.0), (HwEvent::L1dMiss, 5.0)]));
-        rs.runs.push(m(2, &[(HwEvent::HitmTransfer, 0.0), (HwEvent::L1dMiss, 0.0)]));
+        rs.runs.push(m(
+            1,
+            &[(HwEvent::HitmTransfer, 0.0), (HwEvent::L1dMiss, 5.0)],
+        ));
+        rs.runs.push(m(
+            2,
+            &[(HwEvent::HitmTransfer, 0.0), (HwEvent::L1dMiss, 0.0)],
+        ));
         let zero = rs.all_zero_events();
         assert!(zero.contains(&HwEvent::HitmTransfer));
         assert!(!zero.contains(&HwEvent::L1dMiss));

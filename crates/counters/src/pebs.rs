@@ -69,7 +69,10 @@ impl PebsCollector {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().filter(|s| s.latency < RELIABLE_FLOOR).count() as f64
+        self.samples
+            .iter()
+            .filter(|s| s.latency < RELIABLE_FLOOR)
+            .count() as f64
             / self.samples.len() as f64
     }
 }
@@ -104,7 +107,10 @@ impl CyclingPebs {
     /// Creates a cycler over ascending `thresholds`.
     pub fn new(thresholds: Vec<u64>, slices_per_step: u32) -> Self {
         assert!(!thresholds.is_empty());
-        assert!(thresholds.windows(2).all(|w| w[0] < w[1]), "thresholds must ascend");
+        assert!(
+            thresholds.windows(2).all(|w| w[0] < w[1]),
+            "thresholds must ascend"
+        );
         let n = thresholds.len();
         CyclingPebs {
             thresholds,
@@ -162,6 +168,7 @@ impl SimObserver for CyclingPebs {
         if self.slice_in_step >= self.slices_per_step {
             self.slice_in_step = 0;
             self.current = (self.current + 1) % self.thresholds.len();
+            np_telemetry::counter!("acq.pebs.threshold_cycles").inc();
         }
     }
 }
@@ -172,7 +179,13 @@ mod tests {
     use np_simulator::ServedBy;
 
     fn sample(latency: u64, time: u64) -> LoadSample {
-        LoadSample { core: 0, addr: 0x1000, latency, served: ServedBy::L1, time }
+        LoadSample {
+            core: 0,
+            addr: 0x1000,
+            latency,
+            served: ServedBy::L1,
+            time,
+        }
     }
 
     #[test]

@@ -108,7 +108,10 @@ mod tests {
 
     #[test]
     fn degenerate_slot_count_is_safe() {
-        let pmu = PmuModel { fixed: vec![], programmable_slots: 0 };
+        let pmu = PmuModel {
+            fixed: vec![],
+            programmable_slots: 0,
+        };
         let b = pmu.batches(&[HwEvent::L1dMiss, HwEvent::L2Miss]);
         assert_eq!(b.len(), 2); // one event per run at minimum
     }

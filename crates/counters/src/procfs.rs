@@ -39,7 +39,10 @@ pub fn sample_footprint(series: &[(u64, u64)], interval: u64) -> Vec<(u64, u64)>
 /// consumes: x in sample index units, y in MiB.
 pub fn to_regression_inputs(samples: &[(u64, u64)]) -> (Vec<f64>, Vec<f64>) {
     let x: Vec<f64> = (0..samples.len()).map(|i| i as f64).collect();
-    let y: Vec<f64> = samples.iter().map(|&(_, b)| b as f64 / (1024.0 * 1024.0)).collect();
+    let y: Vec<f64> = samples
+        .iter()
+        .map(|&(_, b)| b as f64 / (1024.0 * 1024.0))
+        .collect();
     (x, y)
 }
 

@@ -153,12 +153,7 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_input() {
-        let a = Matrix::from_rows(&[
-            &[2.0, -1.0],
-            &[1.0, 3.0],
-            &[0.0, 1.0],
-            &[4.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, -1.0], &[1.0, 3.0], &[0.0, 1.0], &[4.0, 2.0]]);
         let Qr { q, r } = qr(&a).unwrap();
         assert_close(&q.matmul(&r).unwrap(), &a, 1e-10);
     }
@@ -173,7 +168,12 @@ mod tests {
 
     #[test]
     fn qr_r_is_upper_triangular() {
-        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[3.0, 4.0, 1.0], &[5.0, 7.0, 2.0], &[1.0, 1.0, 1.0]]);
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 0.5],
+            &[3.0, 4.0, 1.0],
+            &[5.0, 7.0, 2.0],
+            &[1.0, 1.0, 1.0],
+        ]);
         let Qr { r, .. } = qr(&a).unwrap();
         for i in 0..r.rows() {
             for j in 0..i {
@@ -185,7 +185,10 @@ mod tests {
     #[test]
     fn qr_rejects_wide_matrix() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(qr(&a), Err(LinalgError::Underdetermined { rows: 2, cols: 3 })));
+        assert!(matches!(
+            qr(&a),
+            Err(LinalgError::Underdetermined { rows: 2, cols: 3 })
+        ));
     }
 
     #[test]

@@ -51,10 +51,17 @@ impl fmt::Display for LinalgError {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             LinalgError::NotSquare { shape } => {
-                write!(f, "operation requires a square matrix, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "operation requires a square matrix, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             LinalgError::Singular { index } => {
-                write!(f, "matrix is singular or not positive definite (pivot {index})")
+                write!(
+                    f,
+                    "matrix is singular or not positive definite (pivot {index})"
+                )
             }
             LinalgError::Underdetermined { rows, cols } => write!(
                 f,
@@ -75,7 +82,11 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = LinalgError::ShapeMismatch { op: "matmul", lhs: (2, 3), rhs: (4, 5) };
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
         assert!(e.to_string().contains("matmul"));
         assert!(e.to_string().contains("2x3"));
 
@@ -88,7 +99,10 @@ mod tests {
         let e = LinalgError::Underdetermined { rows: 2, cols: 5 };
         assert!(e.to_string().contains("underdetermined"));
 
-        let e = LinalgError::BadLength { expected: 6, actual: 5 };
+        let e = LinalgError::BadLength {
+            expected: 6,
+            actual: 5,
+        };
         assert!(e.to_string().contains('5') && e.to_string().contains('6'));
     }
 

@@ -22,7 +22,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a matrix of the given shape filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n`-by-`n` identity matrix.
@@ -39,7 +43,10 @@ impl Matrix {
     /// Returns [`LinalgError::BadLength`] when `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
         if data.len() != rows * cols {
-            return Err(LinalgError::BadLength { expected: rows * cols, actual: data.len() });
+            return Err(LinalgError::BadLength {
+                expected: rows * cols,
+                actual: data.len(),
+            });
         }
         Ok(Matrix { rows, cols, data })
     }
@@ -56,12 +63,20 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a single-column matrix from a slice.
     pub fn column(values: &[f64]) -> Self {
-        Matrix { rows: values.len(), cols: 1, data: values.to_vec() }
+        Matrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -196,12 +211,21 @@ impl Matrix {
         f: impl Fn(f64, f64) -> f64,
     ) -> Result<Matrix> {
         if self.shape() != rhs.shape() {
-            return Err(LinalgError::ShapeMismatch { op, lhs: self.shape(), rhs: rhs.shape() });
+            return Err(LinalgError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
         }
         Ok(Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         })
     }
 }
@@ -259,7 +283,13 @@ mod tests {
     fn from_vec_checks_length() {
         assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
         let err = Matrix::from_vec(2, 2, vec![1.0; 5]).unwrap_err();
-        assert_eq!(err, LinalgError::BadLength { expected: 4, actual: 5 });
+        assert_eq!(
+            err,
+            LinalgError::BadLength {
+                expected: 4,
+                actual: 5
+            }
+        );
     }
 
     #[test]
@@ -274,7 +304,10 @@ mod tests {
     fn matmul_shape_mismatch() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(a.matmul(&b), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub fn solve_lower_triangular(l: &Matrix, b: &Matrix) -> Result<Matrix> {
         return Err(LinalgError::NotSquare { shape: l.shape() });
     }
     if b.rows() != l.rows() || b.cols() != 1 {
-        return Err(LinalgError::ShapeMismatch { op: "forward_sub", lhs: l.shape(), rhs: b.shape() });
+        return Err(LinalgError::ShapeMismatch {
+            op: "forward_sub",
+            lhs: l.shape(),
+            rhs: b.shape(),
+        });
     }
     let n = l.rows();
     let mut x = Matrix::zeros(n, 1);
@@ -44,7 +48,11 @@ pub fn solve_upper_triangular(u: &Matrix, b: &Matrix) -> Result<Matrix> {
         return Err(LinalgError::NotSquare { shape: u.shape() });
     }
     if b.rows() != u.rows() || b.cols() != 1 {
-        return Err(LinalgError::ShapeMismatch { op: "back_sub", lhs: u.shape(), rhs: b.shape() });
+        return Err(LinalgError::ShapeMismatch {
+            op: "back_sub",
+            lhs: u.shape(),
+            rhs: b.shape(),
+        });
     }
     let n = u.rows();
     let mut x = Matrix::zeros(n, 1);
@@ -72,7 +80,11 @@ pub fn solve_upper_triangular(u: &Matrix, b: &Matrix) -> Result<Matrix> {
 /// `x` must be `m x n` with `m >= n`; `y` must be `m x 1`.
 pub fn lstsq(x: &Matrix, y: &Matrix) -> Result<LstsqSolution> {
     if y.rows() != x.rows() || y.cols() != 1 {
-        return Err(LinalgError::ShapeMismatch { op: "lstsq", lhs: x.shape(), rhs: y.shape() });
+        return Err(LinalgError::ShapeMismatch {
+            op: "lstsq",
+            lhs: x.shape(),
+            rhs: y.shape(),
+        });
     }
     let dec = qr(x)?;
     let qty = dec.q.transpose().matmul(y)?;
@@ -109,9 +121,15 @@ mod tests {
     fn triangular_solvers_reject_zero_diagonal() {
         let l = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
         let b = Matrix::column(&[1.0, 1.0]);
-        assert!(matches!(solve_lower_triangular(&l, &b), Err(LinalgError::Singular { index: 0 })));
+        assert!(matches!(
+            solve_lower_triangular(&l, &b),
+            Err(LinalgError::Singular { index: 0 })
+        ));
         let u = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]]);
-        assert!(matches!(solve_upper_triangular(&u, &b), Err(LinalgError::Singular { index: 1 })));
+        assert!(matches!(
+            solve_upper_triangular(&u, &b),
+            Err(LinalgError::Singular { index: 1 })
+        ));
     }
 
     #[test]
@@ -161,8 +179,14 @@ mod tests {
     fn lstsq_shape_errors() {
         let x = Matrix::zeros(3, 2);
         let y = Matrix::zeros(4, 1);
-        assert!(matches!(lstsq(&x, &y), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(
+            lstsq(&x, &y),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
         let y2 = Matrix::zeros(3, 2);
-        assert!(matches!(lstsq(&x, &y2), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(
+            lstsq(&x, &y2),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 }

@@ -24,7 +24,10 @@ pub struct Superstep {
 impl Superstep {
     /// A superstep with uniform work across `p` processors.
     pub fn uniform(p: usize, work: u64, h: u64) -> Self {
-        Superstep { work: vec![work; p], h }
+        Superstep {
+            work: vec![work; p],
+            h,
+        }
     }
 
     /// The waiting (load-imbalance) loss of this superstep: the summed gap
@@ -87,16 +90,33 @@ mod tests {
 
     #[test]
     fn superstep_cost_formula() {
-        let m = BspMachine { p: 4, g: 2.0, l: 100.0 };
-        let s = Superstep { work: vec![10, 20, 30, 40], h: 5 };
+        let m = BspMachine {
+            p: 4,
+            g: 2.0,
+            l: 100.0,
+        };
+        let s = Superstep {
+            work: vec![10, 20, 30, 40],
+            h: 5,
+        };
         assert_eq!(m.superstep_cost(&s), 40.0 + 10.0 + 100.0);
     }
 
     #[test]
     fn slowest_processor_dominates() {
-        let m = BspMachine { p: 2, g: 0.0, l: 0.0 };
-        let balanced = Superstep { work: vec![50, 50], h: 0 };
-        let skewed = Superstep { work: vec![1, 99], h: 0 };
+        let m = BspMachine {
+            p: 2,
+            g: 0.0,
+            l: 0.0,
+        };
+        let balanced = Superstep {
+            work: vec![50, 50],
+            h: 0,
+        };
+        let skewed = Superstep {
+            work: vec![1, 99],
+            h: 0,
+        };
         assert!(m.superstep_cost(&skewed) > m.superstep_cost(&balanced));
         assert_eq!(skewed.imbalance_loss(), 98);
         assert_eq!(balanced.imbalance_loss(), 0);
@@ -104,15 +124,30 @@ mod tests {
 
     #[test]
     fn program_cost_sums_supersteps() {
-        let m = BspMachine { p: 2, g: 1.0, l: 10.0 };
+        let m = BspMachine {
+            p: 2,
+            g: 1.0,
+            l: 10.0,
+        };
         let steps = vec![Superstep::uniform(2, 100, 4), Superstep::uniform(2, 50, 2)];
-        assert_eq!(m.program_cost(&steps), (100.0 + 4.0 + 10.0) + (50.0 + 2.0 + 10.0));
+        assert_eq!(
+            m.program_cost(&steps),
+            (100.0 + 4.0 + 10.0) + (50.0 + 2.0 + 10.0)
+        );
     }
 
     #[test]
     fn more_processors_reduce_block_cost_until_overheads_dominate() {
-        let small = BspMachine { p: 2, g: 1.0, l: 500.0 };
-        let large = BspMachine { p: 16, g: 1.0, l: 500.0 };
+        let small = BspMachine {
+            p: 2,
+            g: 1.0,
+            l: 500.0,
+        };
+        let large = BspMachine {
+            p: 16,
+            g: 1.0,
+            l: 500.0,
+        };
         let c2 = small.block_parallel_cost(1_000_000, 1000, 4);
         let c16 = large.block_parallel_cost(1_000_000, 1000, 4);
         assert!(c16 < c2);

@@ -44,7 +44,11 @@ pub fn calibrate(sim: &MachineSim, seed: u64) -> Calibration {
         r.cycles as f64 / 600.0
     };
     let local_latency = latency_probe(0);
-    let remote_latency = if topo.nodes > 1 { latency_probe(1) } else { local_latency };
+    let remote_latency = if topo.nodes > 1 {
+        latency_probe(1)
+    } else {
+        local_latency
+    };
 
     // Bandwidth probe: one thread streams a large buffer; gap =
     // cycles / bytes.
@@ -73,13 +77,22 @@ pub fn calibrate(sim: &MachineSim, seed: u64) -> Calibration {
         r.cycles as f64 / 200.0
     };
 
-    Calibration { local_latency, remote_latency, gap_per_byte, barrier_cost }
+    Calibration {
+        local_latency,
+        remote_latency,
+        gap_per_byte,
+        barrier_cost,
+    }
 }
 
 impl Calibration {
     /// A flat BSP machine from the calibration (word = 8 bytes).
     pub fn bsp(&self, p: u64) -> BspMachine {
-        BspMachine { p, g: self.gap_per_byte * 8.0, l: self.barrier_cost }
+        BspMachine {
+            p,
+            g: self.gap_per_byte * 8.0,
+            l: self.barrier_cost,
+        }
     }
 
     /// A LogP machine from the calibration.
@@ -120,7 +133,11 @@ pub fn speedup_inputs_from_run(r: &np_simulator::RunResult) -> crate::speedup::C
         cycles: r.cycles as f64,
         mem_stall_cycles: r.total(HwEvent::MemStallCycles) as f64,
         dram_lines: r.total(HwEvent::ImcRead) as f64,
-        remote_fraction: if local + remote > 0.0 { remote / (local + remote) } else { 0.0 },
+        remote_fraction: if local + remote > 0.0 {
+            remote / (local + remote)
+        } else {
+            0.0
+        },
     }
 }
 
@@ -152,7 +169,11 @@ mod tests {
             c.remote_latency,
             c.local_latency
         );
-        assert!(c.gap_per_byte > 0.0 && c.gap_per_byte < 2.0, "gap {}", c.gap_per_byte);
+        assert!(
+            c.gap_per_byte > 0.0 && c.gap_per_byte < 2.0,
+            "gap {}",
+            c.gap_per_byte
+        );
         assert!(c.barrier_cost > 0.0 && c.barrier_cost < 10_000.0);
     }
 

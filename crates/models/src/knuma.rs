@@ -53,7 +53,13 @@ impl KNumaMachine {
             .levels
             .iter()
             .zip(h)
-            .map(|(lvl, &hk)| if hk > 0 { lvl.g * hk as f64 + lvl.l } else { 0.0 })
+            .map(|(lvl, &hk)| {
+                if hk > 0 {
+                    lvl.g * hk as f64 + lvl.l
+                } else {
+                    0.0
+                }
+            })
             .sum::<f64>()
     }
 
@@ -72,8 +78,16 @@ impl KNumaMachine {
     pub fn dl580_like() -> Self {
         KNumaMachine {
             levels: vec![
-                Level { fanout: 18, g: 0.3, l: 120.0 },  // within a socket
-                Level { fanout: 4, g: 1.8, l: 900.0 },   // across sockets
+                Level {
+                    fanout: 18,
+                    g: 0.3,
+                    l: 120.0,
+                }, // within a socket
+                Level {
+                    fanout: 4,
+                    g: 1.8,
+                    l: 900.0,
+                }, // across sockets
             ],
         }
     }

@@ -102,7 +102,12 @@ mod tests {
     use super::*;
 
     fn machine() -> LogPMachine {
-        LogPMachine { l: 100.0, o: 10.0, g: 20.0, p: 16 }
+        LogPMachine {
+            l: 100.0,
+            o: 10.0,
+            g: 20.0,
+            p: 16,
+        }
     }
 
     #[test]
@@ -136,7 +141,10 @@ mod tests {
 
     #[test]
     fn long_messages_amortise_overhead() {
-        let m = LogGpMachine { logp: machine(), g_big: 0.5 };
+        let m = LogGpMachine {
+            logp: machine(),
+            g_big: 0.5,
+        };
         let one_big = m.long_message(1000);
         let many_small = m.logp.send_sequence(1000);
         assert!(one_big < many_small);
@@ -145,7 +153,10 @@ mod tests {
 
     #[test]
     fn expensive_per_byte_gap_never_amortises() {
-        let m = LogGpMachine { logp: machine(), g_big: 50.0 };
+        let m = LogGpMachine {
+            logp: machine(),
+            g_big: 50.0,
+        };
         assert_eq!(m.batching_crossover(), u64::MAX);
     }
 }

@@ -56,11 +56,31 @@ impl MemoryLogP {
     pub fn simulator_default() -> Self {
         MemoryLogP {
             levels: vec![
-                LevelChannel { l: 4.0, o: 0.5, g: 0.05 },   // L1 -> core
-                LevelChannel { l: 8.0, o: 0.5, g: 0.1 },    // L2 -> L1
-                LevelChannel { l: 30.0, o: 1.0, g: 0.2 },   // L3 -> L2
-                LevelChannel { l: 185.0, o: 2.0, g: 0.4 },  // DRAM -> L3
-                LevelChannel { l: 110.0, o: 2.0, g: 0.6 },  // remote hop
+                LevelChannel {
+                    l: 4.0,
+                    o: 0.5,
+                    g: 0.05,
+                }, // L1 -> core
+                LevelChannel {
+                    l: 8.0,
+                    o: 0.5,
+                    g: 0.1,
+                }, // L2 -> L1
+                LevelChannel {
+                    l: 30.0,
+                    o: 1.0,
+                    g: 0.2,
+                }, // L3 -> L2
+                LevelChannel {
+                    l: 185.0,
+                    o: 2.0,
+                    g: 0.4,
+                }, // DRAM -> L3
+                LevelChannel {
+                    l: 110.0,
+                    o: 2.0,
+                    g: 0.6,
+                }, // remote hop
             ],
         }
     }
@@ -85,8 +105,16 @@ mod tests {
     fn costs_accumulate_across_levels() {
         let m = MemoryLogP {
             levels: vec![
-                LevelChannel { l: 1.0, o: 1.0, g: 0.0 },
-                LevelChannel { l: 10.0, o: 1.0, g: 0.0 },
+                LevelChannel {
+                    l: 1.0,
+                    o: 1.0,
+                    g: 0.0,
+                },
+                LevelChannel {
+                    l: 10.0,
+                    o: 1.0,
+                    g: 0.0,
+                },
             ],
         };
         assert_eq!(m.transfer_cost(0, 64), 2.0);

@@ -29,7 +29,10 @@ pub struct PrefixProbe {
 impl PrefixProbe {
     /// Creates a probe with the given window.
     pub fn new(until_cycles: u64) -> Self {
-        PrefixProbe { until_cycles, snapshot: None }
+        PrefixProbe {
+            until_cycles,
+            snapshot: None,
+        }
     }
 
     /// The captured prefix, if a slice boundary was reached.
@@ -41,7 +44,11 @@ impl PrefixProbe {
             cycles: cycles as f64,
             mem_stall_cycles: totals[HwEvent::MemStallCycles.index()] as f64,
             dram_lines: totals[HwEvent::ImcRead.index()] as f64,
-            remote_fraction: if local + remote > 0.0 { remote / (local + remote) } else { 0.0 },
+            remote_fraction: if local + remote > 0.0 {
+                remote / (local + remote)
+            } else {
+                0.0
+            },
         })
     }
 }
@@ -170,7 +177,10 @@ mod tests {
         let prefix = probe.prefix_inputs().unwrap();
         let pred = predictor(&sim);
         let rec = pred.recommend(&prefix, 1, &[1, 2, 4, 8, 16, 32], 0.9);
-        assert!(rec < 32, "bandwidth-bound triad saturates before 32 threads, got {rec}");
+        assert!(
+            rec < 32,
+            "bandwidth-bound triad saturates before 32 threads, got {rec}"
+        );
         // The curve must saturate: speedup(32) barely above speedup(8).
         let curve = pred.predict_curve(&prefix, 1, &[8, 32]);
         assert!(
@@ -192,7 +202,10 @@ mod tests {
         let sim = sim();
         let pred = predictor(&sim);
         let rec = pred.recommend(&prefix, 1, &[1, 2, 4, 8, 16], 0.9);
-        assert_eq!(rec, 16, "compute-bound work scales to the largest candidate");
+        assert_eq!(
+            rec, 16,
+            "compute-bound work scales to the largest candidate"
+        );
     }
 
     #[test]

@@ -122,7 +122,12 @@ mod tests {
 
     #[test]
     fn single_accessor_is_unit_cost_everywhere() {
-        for v in [PramVariant::Erew, PramVariant::Crew, PramVariant::Crcw, PramVariant::Qrqw] {
+        for v in [
+            PramVariant::Erew,
+            PramVariant::Crew,
+            PramVariant::Crcw,
+            PramVariant::Qrqw,
+        ] {
             assert_eq!(PramMachine::new(8, v).concurrent_access_cost(1, true), 1);
         }
     }

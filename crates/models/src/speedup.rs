@@ -47,8 +47,8 @@ impl CounterSpeedupModel {
         let p = p.max(1) as f64;
         let compute = (inputs.cycles - inputs.mem_stall_cycles).max(0.0) / p;
         // Remote accesses stretch the effective stall time.
-        let stall = inputs.mem_stall_cycles
-            * (1.0 + inputs.remote_fraction * (self.remote_penalty - 1.0));
+        let stall =
+            inputs.mem_stall_cycles * (1.0 + inputs.remote_fraction * (self.remote_penalty - 1.0));
         // Bandwidth floor: moving `dram_lines` through `nodes_used`
         // controllers cannot take less than this many cycles.
         let bandwidth_floor = inputs.dram_lines * self.imc_service / self.nodes_used.max(1.0);
@@ -67,8 +67,8 @@ impl CounterSpeedupModel {
         if bandwidth_floor <= 0.0 {
             return u64::MAX;
         }
-        let stall = inputs.mem_stall_cycles
-            * (1.0 + inputs.remote_fraction * (self.remote_penalty - 1.0));
+        let stall =
+            inputs.mem_stall_cycles * (1.0 + inputs.remote_fraction * (self.remote_penalty - 1.0));
         (stall / bandwidth_floor).ceil().max(1.0) as u64
     }
 }
@@ -78,7 +78,11 @@ mod tests {
     use super::*;
 
     fn model() -> CounterSpeedupModel {
-        CounterSpeedupModel { imc_service: 6.0, remote_penalty: 1.45, nodes_used: 1.0 }
+        CounterSpeedupModel {
+            imc_service: 6.0,
+            remote_penalty: 1.45,
+            nodes_used: 1.0,
+        }
     }
 
     fn cpu_bound() -> CounterInputs {
@@ -123,7 +127,10 @@ mod tests {
     fn remote_fraction_hurts_predicted_runtime() {
         let m = model();
         let local = memory_bound();
-        let remote = CounterInputs { remote_fraction: 1.0, ..local };
+        let remote = CounterInputs {
+            remote_fraction: 1.0,
+            ..local
+        };
         // Compare below the bandwidth floor (p small), where the latency
         // penalty is visible; at saturation both are ceiling-bound.
         assert!(m.predict_cycles(&remote, 1) > m.predict_cycles(&local, 1));
@@ -131,8 +138,14 @@ mod tests {
 
     #[test]
     fn more_nodes_raise_the_ceiling() {
-        let one = CounterSpeedupModel { nodes_used: 1.0, ..model() };
-        let four = CounterSpeedupModel { nodes_used: 4.0, ..model() };
+        let one = CounterSpeedupModel {
+            nodes_used: 1.0,
+            ..model()
+        };
+        let four = CounterSpeedupModel {
+            nodes_used: 4.0,
+            ..model()
+        };
         let s_one = one.predict_speedup(&memory_bound(), 32);
         let s_four = four.predict_speedup(&memory_bound(), 32);
         assert!(

@@ -26,7 +26,10 @@ impl BranchPredictor {
     /// two), initialised weakly taken.
     pub fn new(entries: usize) -> Self {
         let n = entries.max(1).next_power_of_two();
-        BranchPredictor { table: vec![WEAK_TAKEN; n], mask: n - 1 }
+        BranchPredictor {
+            table: vec![WEAK_TAKEN; n],
+            mask: n - 1,
+        }
     }
 
     /// Predicts and trains on the branch at `site` with actual outcome

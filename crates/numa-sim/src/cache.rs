@@ -66,7 +66,12 @@ impl SetAssocCache {
             ways: geo.ways as usize,
             line_bytes: geo.line_bytes as u64,
             entries: vec![
-                LineEntry { tag: EMPTY, stamp: 0, prefetched: false, dirty: false };
+                LineEntry {
+                    tag: EMPTY,
+                    stamp: 0,
+                    prefetched: false,
+                    dirty: false
+                };
                 sets * geo.ways as usize
             ],
             clock: 0,
@@ -110,7 +115,9 @@ impl SetAssocCache {
         let line = self.line_of(addr);
         let set = self.set_of(line);
         let base = set * self.ways;
-        self.entries[base..base + self.ways].iter().any(|e| e.tag == line)
+        self.entries[base..base + self.ways]
+            .iter()
+            .any(|e| e.tag == line)
     }
 
     /// Installs the line containing `addr`, returning the eviction (if the
@@ -150,11 +157,18 @@ impl SetAssocCache {
             if v.tag == EMPTY {
                 None
             } else {
-                Some(Eviction { line_addr: v.tag, dirty: v.dirty })
+                Some(Eviction {
+                    line_addr: v.tag,
+                    dirty: v.dirty,
+                })
             }
         };
-        self.entries[victim] =
-            LineEntry { tag: line, stamp: self.clock, prefetched, dirty };
+        self.entries[victim] = LineEntry {
+            tag: line,
+            stamp: self.clock,
+            prefetched,
+            dirty,
+        };
         evicted
     }
 
@@ -206,7 +220,11 @@ mod tests {
 
     fn small() -> SetAssocCache {
         // 4 sets × 2 ways × 64 B = 512 B.
-        SetAssocCache::new(CacheGeometry { size_bytes: 512, ways: 2, line_bytes: 64 })
+        SetAssocCache::new(CacheGeometry {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]

@@ -50,7 +50,9 @@ pub struct Directory {
 impl Directory {
     /// Creates an empty directory.
     pub fn new() -> Self {
-        Directory { lines: HashMap::new() }
+        Directory {
+            lines: HashMap::new(),
+        }
     }
 
     /// Records that `core` now holds `line` (read access). Returns what the
@@ -64,7 +66,9 @@ impl Directory {
                 if others == 0 {
                     DirLookup::Uncached
                 } else {
-                    DirLookup::Shared { sharer_count: others.count_ones() }
+                    DirLookup::Shared {
+                        sharer_count: others.count_ones(),
+                    }
                 }
             }
         };
@@ -89,7 +93,9 @@ impl Directory {
                 if others == 0 {
                     DirLookup::Uncached
                 } else {
-                    DirLookup::Shared { sharer_count: others.count_ones() }
+                    DirLookup::Shared {
+                        sharer_count: others.count_ones(),
+                    }
                 }
             }
         };

@@ -89,7 +89,12 @@ pub struct CoreConfig {
 
 impl Default for CoreConfig {
     fn default() -> Self {
-        CoreConfig { fill_buffers: 10, issue_cost: 1, spec_window: 4, dtlb_entries: 64 }
+        CoreConfig {
+            fill_buffers: 10,
+            issue_cost: 1,
+            spec_window: 4,
+            dtlb_entries: 64,
+        }
     }
 }
 
@@ -163,9 +168,21 @@ impl MachineConfig {
                 t.description = "Fully interconnected".into();
                 t
             },
-            l1d: CacheGeometry { size_bytes: 32 << 10, ways: 8, line_bytes: 64 },
-            l2: CacheGeometry { size_bytes: 256 << 10, ways: 8, line_bytes: 64 },
-            l3: CacheGeometry { size_bytes: 45 << 20, ways: 20, line_bytes: 64 },
+            l1d: CacheGeometry {
+                size_bytes: 32 << 10,
+                ways: 8,
+                line_bytes: 64,
+            },
+            l2: CacheGeometry {
+                size_bytes: 256 << 10,
+                ways: 8,
+                line_bytes: 64,
+            },
+            l3: CacheGeometry {
+                size_bytes: 45 << 20,
+                ways: 20,
+                line_bytes: 64,
+            },
             latency: LatencyConfig::default(),
             core: CoreConfig::default(),
             noise: NoiseConfig::default(),
@@ -181,7 +198,11 @@ impl MachineConfig {
         c.model_name = "Two-socket test machine (simulated)".into();
         c.processor_name = "2x 4-core test CPU (simulated)".into();
         c.topology = Topology::fully_interconnected(2, 4, 4 << 30);
-        c.l3 = CacheGeometry { size_bytes: 4 << 20, ways: 16, line_bytes: 64 };
+        c.l3 = CacheGeometry {
+            size_bytes: 4 << 20,
+            ways: 16,
+            line_bytes: 64,
+        };
         c
     }
 
@@ -209,8 +230,14 @@ impl MachineConfig {
                     self.topology.dram_per_node >> 30
                 ),
             ),
-            ("Operating System".into(), "np-simulator deterministic runtime".into()),
-            ("Kernel Version".into(), format!("np-simulator {}", env!("CARGO_PKG_VERSION"))),
+            (
+                "Operating System".into(),
+                "np-simulator deterministic runtime".into(),
+            ),
+            (
+                "Kernel Version".into(),
+                format!("np-simulator {}", env!("CARGO_PKG_VERSION")),
+            ),
         ]
     }
 
@@ -233,7 +260,9 @@ mod tests {
         assert_eq!(c.topology.dram_per_node, 32 << 30);
         c.topology.validate().unwrap();
         let rows = c.table_i_rows();
-        assert!(rows.iter().any(|(k, v)| k == "Memory" && v.contains("4 x 32 GiB")));
+        assert!(rows
+            .iter()
+            .any(|(k, v)| k == "Memory" && v.contains("4 x 32 GiB")));
         assert!(rows.iter().any(|(k, _)| k == "NUMA Topology"));
     }
 
@@ -251,7 +280,10 @@ mod tests {
         let one = c.dram_latency(1);
         let two = c.dram_latency(2);
         assert!(local < one && one < two);
-        assert!(one >= 300, "one-hop remote should be in the NUMA realm (~300+ cy)");
+        assert!(
+            one >= 300,
+            "one-hop remote should be in the NUMA realm (~300+ cy)"
+        );
     }
 
     #[test]

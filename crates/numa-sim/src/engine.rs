@@ -192,6 +192,7 @@ impl MachineSim {
         seed: u64,
         observer: &mut dyn SimObserver,
     ) -> RunResult {
+        let _span = np_telemetry::span!("sim.run", "sim");
         program
             .validate(&self.config.topology)
             .expect("invalid program for this machine");
@@ -201,8 +202,9 @@ impl MachineSim {
         let mut counters = Counters::new(n_cores);
         let mut directory = Directory::new();
         let mut space = program.space.clone();
-        let mut l3s: Vec<SetAssocCache> =
-            (0..cfg.topology.nodes).map(|_| SetAssocCache::new(cfg.l3)).collect();
+        let mut l3s: Vec<SetAssocCache> = (0..cfg.topology.nodes)
+            .map(|_| SetAssocCache::new(cfg.l3))
+            .collect();
 
         let mut cores: Vec<CoreState> = (0..n_cores)
             .map(|c| CoreState {
@@ -210,12 +212,7 @@ impl MachineSim {
                 l2: SetAssocCache::new(cfg.l2),
                 tlb: Tlb::new(cfg.core.dtlb_entries),
                 predictor: BranchPredictor::new(512),
-                prefetcher: StridePrefetcher::new(
-                    16,
-                    cfg.l1d.line_bytes as u64,
-                    cfg.page_bytes,
-                    2,
-                ),
+                prefetcher: StridePrefetcher::new(16, cfg.l1d.line_bytes as u64, cfg.page_bytes, 2),
                 mshrs: Vec::with_capacity(cfg.core.fill_buffers as usize),
                 stall_acc: 0,
                 last_branch: 0,
@@ -252,8 +249,7 @@ impl MachineSim {
         let mut imc_busy: Vec<u64> = vec![0; cfg.topology.nodes];
         // Source-region attribution: per-thread open region (id + counter
         // snapshot of its core), accumulated machine-wide per region id.
-        let mut open_region: Vec<Option<(u32, [u64; HwEvent::COUNT])>> =
-            vec![None; threads.len()];
+        let mut open_region: Vec<Option<(u32, [u64; HwEvent::COUNT])>> = vec![None; threads.len()];
         let mut region_acc: std::collections::BTreeMap<u32, [u64; HwEvent::COUNT]> =
             std::collections::BTreeMap::new();
         let close_region = |slot: &mut Option<(u32, [u64; HwEvent::COUNT])>,
@@ -312,7 +308,11 @@ impl MachineSim {
                 let core = &mut cores[core_id];
                 while now >= core.next_timer {
                     counters.bump(core_id, HwEvent::TimerInterrupt);
-                    counters.add(core_id, HwEvent::Instructions, cfg.noise.interrupt_instructions);
+                    counters.add(
+                        core_id,
+                        HwEvent::Instructions,
+                        cfg.noise.interrupt_instructions,
+                    );
                     now += cfg.noise.interrupt_cycles;
                     let salt = core.rng.next_u64();
                     core.l1.evict_random(salt);
@@ -424,7 +424,11 @@ impl MachineSim {
                     counters.bump(core_id, HwEvent::Instructions);
                     counters.bump(core_id, HwEvent::LoadRetired);
                     now = self.access_memory(
-                        if dependent { AccessKind::DependentLoad } else { AccessKind::Load },
+                        if dependent {
+                            AccessKind::DependentLoad
+                        } else {
+                            AccessKind::Load
+                        },
                         addr,
                         core_id,
                         node,
@@ -441,7 +445,11 @@ impl MachineSim {
             }
 
             threads[ti].now = now;
-            counters.set(core_id, HwEvent::Cycles, now.max(counters.get(core_id, HwEvent::Cycles)));
+            counters.set(
+                core_id,
+                HwEvent::Cycles,
+                now.max(counters.get(core_id, HwEvent::Cycles)),
+            );
 
             if now > frontier {
                 frontier = now;
@@ -458,7 +466,50 @@ impl MachineSim {
         // frontier) interleave; present the series in time order.
         footprint.sort_by_key(|&(t, _)| t);
         let regions = region_acc.into_iter().collect();
-        RunResult { counters, cycles, footprint, regions }
+        let result = RunResult {
+            counters,
+            cycles,
+            footprint,
+            regions,
+        };
+        self.record_run_telemetry(&result);
+        result
+    }
+
+    /// Feeds one finished run's totals into the global telemetry registry.
+    ///
+    /// Batched at end-of-run on purpose: the main loop stays untouched, so
+    /// simulated throughput is independent of whether telemetry is on.
+    fn record_run_telemetry(&self, result: &RunResult) {
+        if !np_telemetry::enabled() {
+            return;
+        }
+        np_telemetry::counter!("sim.runs").inc();
+        np_telemetry::counter!("sim.instructions").add(result.total(HwEvent::Instructions));
+        np_telemetry::counter!("sim.cycles").add(result.cycles);
+        np_telemetry::counter!("sim.l3_miss").add(result.total(HwEvent::L3Miss));
+        np_telemetry::counter!("sim.hitm_transfers").add(result.total(HwEvent::HitmTransfer));
+        np_telemetry::counter!("sim.coherence_invalidations")
+            .add(result.total(HwEvent::CoherenceInvalidation));
+        np_telemetry::counter!("sim.local_dram").add(result.total(HwEvent::LocalDramAccess));
+        np_telemetry::counter!("sim.remote_dram").add(result.total(HwEvent::RemoteDramAccess));
+        // Memory ops (retired loads + stores) attributed to the node of the
+        // core that issued them — the sim's own per-node throughput.
+        let topo = &self.config.topology;
+        for node in 0..topo.nodes {
+            let ops: u64 = (0..topo.cores_per_node)
+                .map(|i| {
+                    let core = topo.first_core_of_node(node) + i;
+                    result.counters.get(core, HwEvent::LoadRetired)
+                        + result.counters.get(core, HwEvent::StoreRetired)
+                })
+                .sum();
+            if ops > 0 {
+                np_telemetry::global()
+                    .counter(&format!("sim.mem_ops.node{node}"))
+                    .add(ops);
+            }
+        }
     }
 
     /// Charges one line fetch to the home node's memory controller,
@@ -544,7 +595,11 @@ impl MachineSim {
         if is_store {
             let (before, invalidated) = directory.record_write(line_addr, core_id as u32);
             if !invalidated.is_empty() {
-                counters.add(core_id, HwEvent::CoherenceInvalidation, invalidated.len() as u64);
+                counters.add(
+                    core_id,
+                    HwEvent::CoherenceInvalidation,
+                    invalidated.len() as u64,
+                );
                 for victim in &invalidated {
                     counters.bump(*victim as usize, HwEvent::SnoopRequest);
                     cores[*victim as usize].l1.invalidate(addr);
@@ -554,7 +609,11 @@ impl MachineSim {
             if let DirLookup::Modified { owner } = before {
                 counters.bump(core_id, HwEvent::HitmTransfer);
                 let remote = cfg.topology.node_of_core(owner as usize) != node;
-                let rfo = if remote { cfg.latency.hitm_remote } else { cfg.latency.hitm_local };
+                let rfo = if remote {
+                    cfg.latency.hitm_remote
+                } else {
+                    cfg.latency.hitm_local
+                };
                 // A read-for-ownership of a foreign-modified line serialises
                 // the store buffer: the core both waits and stalls.
                 now += rfo;
@@ -632,7 +691,11 @@ impl MachineSim {
                     counters.bump(core_id, HwEvent::HitmTransfer);
                     counters.bump(owner as usize, HwEvent::SnoopRequest);
                     let remote = cfg.topology.node_of_core(owner as usize) != node;
-                    latency = if remote { cfg.latency.hitm_remote } else { cfg.latency.hitm_local };
+                    latency = if remote {
+                        cfg.latency.hitm_remote
+                    } else {
+                        cfg.latency.hitm_local
+                    };
                     served = ServedBy::Hitm { remote };
                     if remote {
                         counters.bump(core_id, HwEvent::QpiTransfer);
@@ -641,34 +704,34 @@ impl MachineSim {
                     let home = space.node_of_access(addr, node);
                     counters.bump(cfg.topology.first_core_of_node(home), HwEvent::ImcWrite);
                 }
-                _ => {
-                    match l3s[node].access(addr, is_store) {
-                        Probe::Hit { .. } => {
-                            counters.bump(core_id, HwEvent::L3Hit);
-                            latency = cfg.latency.l3_hit;
-                            served = ServedBy::L3;
-                        }
-                        Probe::Miss => {
-                            counters.bump(core_id, HwEvent::L3Miss);
-                            let home = space.node_of_access(addr, node);
-                            let hops = cfg.topology.hop_distance(node, home);
-                            let base = cfg.dram_latency(hops);
-                            let queued = self.imc_fetch(home, now, imc_busy);
-                            latency = queued
-                                + cores[core_id].rng.jitter_latency(base, cfg.noise.dram_jitter);
-                            counters.bump(cfg.topology.first_core_of_node(home), HwEvent::ImcRead);
-                            if hops == 0 {
-                                counters.bump(core_id, HwEvent::LocalDramAccess);
-                                served = ServedBy::LocalDram;
-                            } else {
-                                counters.bump(core_id, HwEvent::RemoteDramAccess);
-                                counters.bump(core_id, HwEvent::QpiTransfer);
-                                served = ServedBy::RemoteDram { hops };
-                            }
-                            l3s[node].install(addr, false, is_store);
-                        }
+                _ => match l3s[node].access(addr, is_store) {
+                    Probe::Hit { .. } => {
+                        counters.bump(core_id, HwEvent::L3Hit);
+                        latency = cfg.latency.l3_hit;
+                        served = ServedBy::L3;
                     }
-                }
+                    Probe::Miss => {
+                        counters.bump(core_id, HwEvent::L3Miss);
+                        let home = space.node_of_access(addr, node);
+                        let hops = cfg.topology.hop_distance(node, home);
+                        let base = cfg.dram_latency(hops);
+                        let queued = self.imc_fetch(home, now, imc_busy);
+                        latency = queued
+                            + cores[core_id]
+                                .rng
+                                .jitter_latency(base, cfg.noise.dram_jitter);
+                        counters.bump(cfg.topology.first_core_of_node(home), HwEvent::ImcRead);
+                        if hops == 0 {
+                            counters.bump(core_id, HwEvent::LocalDramAccess);
+                            served = ServedBy::LocalDram;
+                        } else {
+                            counters.bump(core_id, HwEvent::RemoteDramAccess);
+                            counters.bump(core_id, HwEvent::QpiTransfer);
+                            served = ServedBy::RemoteDram { hops };
+                        }
+                        l3s[node].install(addr, false, is_store);
+                    }
+                },
             }
 
             // --- fill buffer (MSHR) allocation ---
@@ -696,7 +759,9 @@ impl MachineSim {
             if let Some(ev) = cores[core_id].l2.install(addr, false, is_store) {
                 directory.record_evict(ev.line_addr, core_id as u32);
                 // Inclusive L2: drop the L1 copy of the victim.
-                cores[core_id].l1.invalidate(ev.line_addr * cfg.l1d.line_bytes as u64);
+                cores[core_id]
+                    .l1
+                    .invalidate(ev.line_addr * cfg.l1d.line_bytes as u64);
                 if ev.dirty {
                     counters.bump(core_id, HwEvent::ImcWrite);
                 }
@@ -712,7 +777,14 @@ impl MachineSim {
                     );
                 }
             }
-        } else if cfg.prefetch_enabled && matches!(l2_probe, Probe::Hit { first_prefetch_hit: true }) {
+        } else if cfg.prefetch_enabled
+            && matches!(
+                l2_probe,
+                Probe::Hit {
+                    first_prefetch_hit: true
+                }
+            )
+        {
             // The L1 copy of a prefetched line was evicted but the L2 copy
             // survived: consuming it still continues the stream.
             let targets = cores[core_id].prefetcher.on_demand_miss(addr);
@@ -728,7 +800,9 @@ impl MachineSim {
             counters.bump(core_id, HwEvent::L1dEvict);
             // Writeback into L2 (still within the private domain).
             if ev.dirty {
-                cores[core_id].l2.install(ev.line_addr * cfg.l1d.line_bytes as u64, false, true);
+                cores[core_id]
+                    .l2
+                    .install(ev.line_addr * cfg.l1d.line_bytes as u64, false, true);
             }
         }
 
@@ -835,8 +909,10 @@ mod tests {
             b.load_dependent(t, local + i * 4096 % (1 << 20));
         }
         let samples = collect_samples(&sim, &b.build());
-        let local_dram: Vec<&LoadSample> =
-            samples.iter().filter(|s| s.served == ServedBy::LocalDram).collect();
+        let local_dram: Vec<&LoadSample> = samples
+            .iter()
+            .filter(|s| s.served == ServedBy::LocalDram)
+            .collect();
         assert!(!local_dram.is_empty());
 
         // Remote: bind to node 1, run on node 0.
@@ -853,9 +929,8 @@ mod tests {
             .collect();
         assert!(!remote_dram.is_empty());
 
-        let avg = |v: &[&LoadSample]| {
-            v.iter().map(|s| s.latency).sum::<u64>() as f64 / v.len() as f64
-        };
+        let avg =
+            |v: &[&LoadSample]| v.iter().map(|s| s.latency).sum::<u64>() as f64 / v.len() as f64;
         let la = avg(&local_dram);
         let ra = avg(&remote_dram);
         assert!(

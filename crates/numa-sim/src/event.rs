@@ -217,7 +217,9 @@ pub struct Counters {
 impl Counters {
     /// Creates zeroed counters for `cores` cores.
     pub fn new(cores: usize) -> Self {
-        Counters { per_core: vec![[0; HwEvent::COUNT]; cores] }
+        Counters {
+            per_core: vec![[0; HwEvent::COUNT]; cores],
+        }
     }
 
     /// Number of cores covered.

@@ -62,7 +62,11 @@ impl AddressSpace {
         let pages = bytes.div_ceil(self.page_bytes).max(1);
         let base = self.next_base;
         self.next_base += pages * self.page_bytes;
-        self.regions.push(Region { base, bytes: pages * self.page_bytes, policy });
+        self.regions.push(Region {
+            base,
+            bytes: pages * self.page_bytes,
+            policy,
+        });
         self.reserved_bytes += pages * self.page_bytes;
 
         // Non-lazy policies pin pages immediately.
@@ -75,7 +79,8 @@ impl AddressSpace {
             }
             AllocPolicy::Interleave => {
                 for p in 0..pages {
-                    self.page_nodes.insert(first_page + p, (p as usize) % self.nodes);
+                    self.page_nodes
+                        .insert(first_page + p, (p as usize) % self.nodes);
                 }
             }
             AllocPolicy::FirstTouch => {}

@@ -73,8 +73,12 @@ impl StridePrefetcher {
                 s.last_line = line;
             }
             _ => {
-                self.streams[slot] =
-                    Some(Stream { page, last_line: line, stride: 0, confirmed: false });
+                self.streams[slot] = Some(Stream {
+                    page,
+                    last_line: line,
+                    stride: 0,
+                    confirmed: false,
+                });
             }
         }
         out

@@ -108,7 +108,10 @@ impl ProgramBuilder {
     /// Starts a program for a machine with `topology` and `page_bytes`
     /// pages.
     pub fn new(topology: &Topology, page_bytes: u64) -> Self {
-        ProgramBuilder { space: AddressSpace::new(topology, page_bytes), threads: Vec::new() }
+        ProgramBuilder {
+            space: AddressSpace::new(topology, page_bytes),
+            threads: Vec::new(),
+        }
     }
 
     /// Reserves a region; see [`AddressSpace::alloc`].
@@ -118,7 +121,10 @@ impl ProgramBuilder {
 
     /// Adds a thread pinned to `core`; returns its index for [`Self::ops`].
     pub fn add_thread(&mut self, core: CoreId) -> usize {
-        self.threads.push(ThreadProgram { core, ops: Vec::new() });
+        self.threads.push(ThreadProgram {
+            core,
+            ops: Vec::new(),
+        });
         self.threads.len() - 1
     }
 
@@ -129,12 +135,18 @@ impl ProgramBuilder {
 
     /// Appends a load.
     pub fn load(&mut self, thread: usize, addr: u64) {
-        self.threads[thread].ops.push(Op::Load { addr, dependent: false });
+        self.threads[thread].ops.push(Op::Load {
+            addr,
+            dependent: false,
+        });
     }
 
     /// Appends a dependent (serialising) load.
     pub fn load_dependent(&mut self, thread: usize, addr: u64) {
-        self.threads[thread].ops.push(Op::Load { addr, dependent: true });
+        self.threads[thread].ops.push(Op::Load {
+            addr,
+            dependent: true,
+        });
     }
 
     /// Appends a store.
@@ -179,7 +191,10 @@ impl ProgramBuilder {
 
     /// Finishes the program.
     pub fn build(self) -> Program {
-        Program { space: self.space, threads: self.threads }
+        Program {
+            space: self.space,
+            threads: self.threads,
+        }
     }
 }
 
@@ -211,7 +226,13 @@ mod tests {
         assert_eq!(p.threads.len(), 2);
         assert_eq!(p.total_ops(), 8);
         p.validate(&t).unwrap();
-        assert_eq!(p.threads[0].ops[0], Op::Load { addr: buf, dependent: false });
+        assert_eq!(
+            p.threads[0].ops[0],
+            Op::Load {
+                addr: buf,
+                dependent: false
+            }
+        );
     }
 
     #[test]
@@ -246,6 +267,12 @@ mod tests {
         let th = b.add_thread(0);
         b.load_dependent(th, a);
         let p = b.build();
-        assert_eq!(p.threads[0].ops[0], Op::Load { addr: a, dependent: true });
+        assert_eq!(
+            p.threads[0].ops[0],
+            Op::Load {
+                addr: a,
+                dependent: true
+            }
+        );
     }
 }

@@ -36,9 +36,17 @@ impl Tlb {
     /// Creates a TLB with `entries` slots (rounded up so the set count is
     /// a power of two).
     pub fn new(entries: u32) -> Self {
-        let sets = (entries.max(1) as u64).div_ceil(WAYS as u64).next_power_of_two();
+        let sets = (entries.max(1) as u64)
+            .div_ceil(WAYS as u64)
+            .next_power_of_two();
         Tlb {
-            entries: vec![TlbEntry { page: INVALID, stamp: 0 }; (sets as usize) * WAYS],
+            entries: vec![
+                TlbEntry {
+                    page: INVALID,
+                    stamp: 0
+                };
+                (sets as usize) * WAYS
+            ],
             set_mask: sets - 1,
             clock: 0,
         }
@@ -63,7 +71,10 @@ impl Tlb {
                 victim = i;
             }
         }
-        set[victim] = TlbEntry { page, stamp: self.clock };
+        set[victim] = TlbEntry {
+            page,
+            stamp: self.clock,
+        };
         false
     }
 
@@ -121,7 +132,7 @@ mod tests {
     #[test]
     fn five_way_conflict_evicts_lru() {
         let mut t = Tlb::new(64); // 16 sets
-        // Five pages in one set: 0, 16, 32, 48, 64.
+                                  // Five pages in one set: 0, 16, 32, 48, 64.
         for p in [0u64, 16, 32, 48] {
             assert!(!t.lookup(p));
         }

@@ -59,7 +59,13 @@ impl Topology {
                 hops[a * nodes + b] = d.min(nodes - d) as u8;
             }
         }
-        Topology { nodes, cores_per_node, hops, dram_per_node, description: "Ring".to_string() }
+        Topology {
+            nodes,
+            cores_per_node,
+            hops,
+            dram_per_node,
+            description: "Ring".to_string(),
+        }
     }
 
     /// Total number of cores.
@@ -168,7 +174,13 @@ mod tests {
         let mut t = Topology::fully_interconnected(2, 2, 1 << 30);
         t.hops.pop();
         assert!(t.validate().is_err());
-        let t0 = Topology { nodes: 0, cores_per_node: 1, hops: vec![], dram_per_node: 0, description: String::new() };
+        let t0 = Topology {
+            nodes: 0,
+            cores_per_node: 1,
+            hops: vec![],
+            dram_per_node: 0,
+            description: String::new(),
+        };
         assert!(t0.validate().is_err());
     }
 }

@@ -1,0 +1,145 @@
+//! In-tree stand-in for `rayon`, vendored so the workspace builds offline.
+//!
+//! Covers the pattern the workspace uses — `(0..n).into_par_iter()
+//! .map(f).collect::<Vec<_>>()` — by splitting the index range into
+//! contiguous chunks and running them on `std::thread::scope` threads, one
+//! per available core. Results keep input order, so callers observe the
+//! same determinism guarantees real rayon gives for indexed collects.
+
+use std::ops::Range;
+
+/// Number of worker threads a fan-out will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+pub mod iter {
+    use super::*;
+
+    /// Conversion into a parallel iterator (the rayon entry point).
+    pub trait IntoParallelIterator {
+        /// The resulting parallel iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Element type.
+        type Item: Send;
+        /// Converts `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// A minimal parallel iterator: map + ordered collect.
+    pub trait ParallelIterator: Sized {
+        /// Element type.
+        type Item: Send;
+
+        /// Maps each element through `f` in parallel.
+        fn map<R, F>(self, f: F) -> ParMap<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            ParMap { inner: self, f }
+        }
+
+        /// Runs the pipeline and collects results in input order.
+        fn collect<C: FromIterator<Self::Item>>(self) -> C;
+
+        /// Splits this iterator into `(start, end)` index bounds plus a
+        /// producer for the element at one index (implementation detail;
+        /// only index ranges are supported as sources).
+        #[doc(hidden)]
+        fn bounds(&self) -> Range<usize>;
+        #[doc(hidden)]
+        fn produce(&self, index: usize) -> Self::Item;
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Iter = ParRange;
+        type Item = usize;
+
+        fn into_par_iter(self) -> ParRange {
+            ParRange { range: self }
+        }
+    }
+
+    /// Parallel iterator over an index range.
+    pub struct ParRange {
+        range: Range<usize>,
+    }
+
+    impl ParallelIterator for ParRange {
+        type Item = usize;
+
+        fn collect<C: FromIterator<usize>>(self) -> C {
+            run_ordered(self).into_iter().collect()
+        }
+
+        fn bounds(&self) -> Range<usize> {
+            self.range.clone()
+        }
+
+        fn produce(&self, index: usize) -> usize {
+            index
+        }
+    }
+
+    /// The result of [`ParallelIterator::map`].
+    pub struct ParMap<I, F> {
+        inner: I,
+        f: F,
+    }
+
+    impl<I, R, F> ParallelIterator for ParMap<I, F>
+    where
+        I: ParallelIterator + Sync,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync,
+    {
+        type Item = R;
+
+        fn collect<C: FromIterator<R>>(self) -> C {
+            run_ordered(self).into_iter().collect()
+        }
+
+        fn bounds(&self) -> Range<usize> {
+            self.inner.bounds()
+        }
+
+        fn produce(&self, index: usize) -> R {
+            (self.f)(self.inner.produce(index))
+        }
+    }
+
+    /// Evaluates every index of `it` across scoped worker threads,
+    /// returning results in index order.
+    fn run_ordered<I: ParallelIterator + Sync>(it: I) -> Vec<I::Item> {
+        let Range { start, end } = it.bounds();
+        let n = end.saturating_sub(start);
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = current_num_threads().min(n).max(1);
+        if workers == 1 {
+            return (start..end).map(|i| it.produce(i)).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let mut chunks: Vec<Vec<I::Item>> = Vec::with_capacity(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let it = &it;
+                    let lo = start + w * chunk;
+                    let hi = (lo + chunk).min(end);
+                    s.spawn(move || (lo..hi).map(|i| it.produce(i)).collect::<Vec<_>>())
+                })
+                .collect();
+            for h in handles {
+                chunks.push(h.join().expect("parallel worker panicked"));
+            }
+        });
+        chunks.into_iter().flatten().collect()
+    }
+}

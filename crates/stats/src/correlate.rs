@@ -78,7 +78,10 @@ impl CorrelationMatrix {
                 values[j * n + i] = r;
             }
         }
-        CorrelationMatrix { names: series.iter().map(|(n, _)| n.clone()).collect(), values }
+        CorrelationMatrix {
+            names: series.iter().map(|(n, _)| n.clone()).collect(),
+            values,
+        }
     }
 
     /// Correlation between series `i` and `j`.

@@ -80,9 +80,17 @@ impl LatencyHistogram {
         let mut bins = Vec::with_capacity(thresholds.len());
         for i in 0..thresholds.len() {
             let lo = thresholds[i];
-            let hi = if i + 1 < thresholds.len() { thresholds[i + 1] } else { u64::MAX };
+            let hi = if i + 1 < thresholds.len() {
+                thresholds[i + 1]
+            } else {
+                u64::MAX
+            };
             // The subtraction of §IV-B: may go negative under jitter.
-            let count = if i + 1 < counts.len() { counts[i] - counts[i + 1] } else { counts[i] };
+            let count = if i + 1 < counts.len() {
+                counts[i] - counts[i + 1]
+            } else {
+                counts[i]
+            };
             let rep = IntervalCount::representative_latency(lo, hi) as i64;
             bins.push(IntervalCount {
                 lo,
@@ -140,12 +148,23 @@ impl LatencyHistogram {
     /// (the paper renders them grey); `truncate_at` caps bar length like
     /// the paper truncates the dominant L2 bar "to approximately half their
     /// height for readability".
-    pub fn render_ascii(&self, mode: HistogramMode, width: usize, truncate_at: Option<i64>) -> String {
+    pub fn render_ascii(
+        &self,
+        mode: HistogramMode,
+        width: usize,
+        truncate_at: Option<i64>,
+    ) -> String {
         let val = |b: &IntervalCount| match mode {
             HistogramMode::Occurrences => b.count,
             HistogramMode::Costs => b.cost_cycles,
         };
-        let max = self.bins.iter().map(|b| val(b).max(0)).max().unwrap_or(0).max(1);
+        let max = self
+            .bins
+            .iter()
+            .map(|b| val(b).max(0))
+            .max()
+            .unwrap_or(0)
+            .max(1);
         let cap = truncate_at.unwrap_or(i64::MAX);
         let mut out = String::new();
         for b in &self.bins {
@@ -154,9 +173,22 @@ impl LatencyHistogram {
             let bar_len = ((shown as f64 / max.min(cap) as f64) * width as f64).round() as usize;
             let glyph = if b.uncertain { '░' } else { '█' };
             let bar: String = std::iter::repeat_n(glyph, bar_len.min(width)).collect();
-            let hi = if b.hi == u64::MAX { "inf".to_string() } else { b.hi.to_string() };
-            let marker = if v > cap { "+" } else if v < 0 { "!" } else { " " };
-            out.push_str(&format!("{:>6}-{:<6} |{bar:<width$}|{marker} {v}\n", b.lo, hi));
+            let hi = if b.hi == u64::MAX {
+                "inf".to_string()
+            } else {
+                b.hi.to_string()
+            };
+            let marker = if v > cap {
+                "+"
+            } else if v < 0 {
+                "!"
+            } else {
+                " "
+            };
+            out.push_str(&format!(
+                "{:>6}-{:<6} |{bar:<width$}|{marker} {v}\n",
+                b.lo, hi
+            ));
         }
         out
     }

@@ -23,8 +23,11 @@ pub enum RegressionKind {
 
 impl RegressionKind {
     /// All families, in the order EvSel evaluates them.
-    pub const ALL: [RegressionKind; 3] =
-        [RegressionKind::Linear, RegressionKind::Quadratic, RegressionKind::Exponential];
+    pub const ALL: [RegressionKind; 3] = [
+        RegressionKind::Linear,
+        RegressionKind::Quadratic,
+        RegressionKind::Exponential,
+    ];
 
     /// Human-readable name as shown in regression reports (Fig. 9).
     pub fn name(&self) -> &'static str {
@@ -78,9 +81,7 @@ impl RegressionFit {
             RegressionKind::Quadratic => {
                 self.coefficients[0] + self.coefficients[1] * x + self.coefficients[2] * x * x
             }
-            RegressionKind::Exponential => {
-                self.coefficients[0] * (self.coefficients[1] * x).exp()
-            }
+            RegressionKind::Exponential => self.coefficients[0] * (self.coefficients[1] * x).exp(),
         }
     }
 
@@ -89,14 +90,20 @@ impl RegressionFit {
     pub fn formula(&self) -> String {
         match self.kind {
             RegressionKind::Linear => {
-                format!("y = {:.4} + {:.4}·x", self.coefficients[0], self.coefficients[1])
+                format!(
+                    "y = {:.4} + {:.4}·x",
+                    self.coefficients[0], self.coefficients[1]
+                )
             }
             RegressionKind::Quadratic => format!(
                 "y = {:.4} + {:.4}·x + {:.4}·x²",
                 self.coefficients[0], self.coefficients[1], self.coefficients[2]
             ),
             RegressionKind::Exponential => {
-                format!("y = {:.4} · e^({:.4}·x)", self.coefficients[0], self.coefficients[1])
+                format!(
+                    "y = {:.4} · e^({:.4}·x)",
+                    self.coefficients[0], self.coefficients[1]
+                )
             }
         }
     }
@@ -185,7 +192,14 @@ pub fn fit(kind: RegressionKind, x: &[f64], y: &[f64]) -> Option<RegressionFit> 
     // R² and RSS computed in the original y-space so families are
     // comparable (an exponential fit judged in log-space would look
     // artificially good).
-    let fit = RegressionFit { kind, coefficients, r_squared: 0.0, rss: 0.0, n, slope_p_value };
+    let fit = RegressionFit {
+        kind,
+        coefficients,
+        r_squared: 0.0,
+        rss: 0.0,
+        n,
+        slope_p_value,
+    };
     let y_mean = mean(y);
     let mut rss = 0.0;
     let mut tss = 0.0;
@@ -195,19 +209,37 @@ pub fn fit(kind: RegressionKind, x: &[f64], y: &[f64]) -> Option<RegressionFit> 
         let d = y[i] - y_mean;
         tss += d * d;
     }
-    let r_squared = if tss == 0.0 { if rss == 0.0 { 1.0 } else { 0.0 } } else { 1.0 - rss / tss };
-    Some(RegressionFit { r_squared, rss, ..fit })
+    let r_squared = if tss == 0.0 {
+        if rss == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - rss / tss
+    };
+    Some(RegressionFit {
+        r_squared,
+        rss,
+        ..fit
+    })
 }
 
 /// Fits all three families and returns the best by R², together with the
 /// other candidates (sorted best-first) for display.
 pub fn best_fit(x: &[f64], y: &[f64]) -> Option<(RegressionFit, Vec<RegressionFit>)> {
-    let mut fits: Vec<RegressionFit> =
-        RegressionKind::ALL.iter().filter_map(|&k| fit(k, x, y)).collect();
+    let mut fits: Vec<RegressionFit> = RegressionKind::ALL
+        .iter()
+        .filter_map(|&k| fit(k, x, y))
+        .collect();
     if fits.is_empty() {
         return None;
     }
-    fits.sort_by(|a, b| b.r_squared.partial_cmp(&a.r_squared).unwrap_or(std::cmp::Ordering::Equal));
+    fits.sort_by(|a, b| {
+        b.r_squared
+            .partial_cmp(&a.r_squared)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let best = fits[0].clone();
     Some((best, fits))
 }
@@ -259,7 +291,8 @@ mod tests {
     fn degenerate_inputs_rejected() {
         assert!(fit(RegressionKind::Linear, &[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
         assert!(fit(RegressionKind::Linear, &[1.0, 2.0], &[1.0, 2.0]).is_none()); // too few
-        assert!(fit(RegressionKind::Linear, &[1.0, 2.0, 3.0], &[1.0, 2.0]).is_none()); // len mismatch
+        assert!(fit(RegressionKind::Linear, &[1.0, 2.0, 3.0], &[1.0, 2.0]).is_none());
+        // len mismatch
     }
 
     #[test]
@@ -284,8 +317,11 @@ mod tests {
         let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
         let clean: Vec<f64> = x.iter().map(|v| 1.0 + v).collect();
         // Deterministic "noise": alternating offsets.
-        let noisy: Vec<f64> =
-            clean.iter().enumerate().map(|(i, v)| v + if i % 2 == 0 { 3.0 } else { -3.0 }).collect();
+        let noisy: Vec<f64> = clean
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + if i % 2 == 0 { 3.0 } else { -3.0 })
+            .collect();
         let f_clean = fit(RegressionKind::Linear, &x, &clean).unwrap();
         let f_noisy = fit(RegressionKind::Linear, &x, &noisy).unwrap();
         assert!(f_clean.r_squared > f_noisy.r_squared);
@@ -309,8 +345,9 @@ mod tests {
         let f = fit(RegressionKind::Linear, &x, &strong).unwrap();
         assert!(f.slope_confidence() > 0.999, "p = {}", f.slope_p_value);
         // Pure noise around a constant: low confidence.
-        let noise: Vec<f64> =
-            (0..12).map(|i| 100.0 + ((i * 37) % 11) as f64 - 5.0).collect();
+        let noise: Vec<f64> = (0..12)
+            .map(|i| 100.0 + ((i * 37) % 11) as f64 - 5.0)
+            .collect();
         let f = fit(RegressionKind::Linear, &x, &noise).unwrap();
         assert!(f.slope_p_value > 0.05, "p = {}", f.slope_p_value);
     }

@@ -52,10 +52,17 @@ pub fn segmented_fit(x: &[f64], y: &[f64]) -> Option<SegmentedFit> {
     for pivot in MIN_SEGMENT..=(n - MIN_SEGMENT) {
         let f0 = fit(RegressionKind::Linear, &x[..pivot], &y[..pivot]);
         let f1 = fit(RegressionKind::Linear, &x[pivot..], &y[pivot..]);
-        let (Some(f0), Some(f1)) = (f0, f1) else { continue };
+        let (Some(f0), Some(f1)) = (f0, f1) else {
+            continue;
+        };
         let rss = f0.rss + f1.rss;
         if best.as_ref().is_none_or(|b| rss < b.combined_rss) {
-            best = Some(SegmentedFit { pivot, before: f0, after: f1, combined_rss: rss });
+            best = Some(SegmentedFit {
+                pivot,
+                before: f0,
+                after: f1,
+                combined_rss: rss,
+            });
         }
     }
     best
@@ -87,7 +94,11 @@ pub fn segmented_fit_k(x: &[f64], y: &[f64], k: usize) -> Option<MultiSegmentFit
     if k == 1 {
         let f = fit(RegressionKind::Linear, x, y)?;
         let rss = f.rss;
-        return Some(MultiSegmentFit { boundaries: vec![0], segments: vec![f], combined_rss: rss });
+        return Some(MultiSegmentFit {
+            boundaries: vec![0],
+            segments: vec![f],
+            combined_rss: rss,
+        });
     }
 
     // rss_of[i][j] = RSS of a single linear fit over points i..j (j exclusive).
@@ -117,7 +128,9 @@ pub fn segmented_fit_k(x: &[f64], y: &[f64], k: usize) -> Option<MultiSegmentFit
                 if dp[s - 1][i] == inf {
                     continue;
                 }
-                let Some(r) = seg_rss(i, j, &mut cache) else { continue };
+                let Some(r) = seg_rss(i, j, &mut cache) else {
+                    continue;
+                };
                 let cand = dp[s - 1][i] + r;
                 if cand < dp[s][j] {
                     dp[s][j] = cand;
@@ -145,7 +158,11 @@ pub fn segmented_fit_k(x: &[f64], y: &[f64], k: usize) -> Option<MultiSegmentFit
         let end = if s + 1 < k { bounds[s + 1] } else { n };
         segments.push(fit(RegressionKind::Linear, &x[start..end], &y[start..end])?);
     }
-    Some(MultiSegmentFit { boundaries: bounds, segments, combined_rss: dp[k][n] })
+    Some(MultiSegmentFit {
+        boundaries: bounds,
+        segments,
+        combined_rss: dp[k][n],
+    })
 }
 
 #[cfg(test)]
@@ -190,7 +207,11 @@ mod tests {
             *v += if i % 3 == 0 { 2.0 } else { -1.0 };
         }
         let f = segmented_fit(&x, &y).unwrap();
-        assert!((f.pivot as i64 - 25).unsigned_abs() <= 2, "pivot {}", f.pivot);
+        assert!(
+            (f.pivot as i64 - 25).unsigned_abs() <= 2,
+            "pivot {}",
+            f.pivot
+        );
     }
 
     #[test]
@@ -239,8 +260,16 @@ mod tests {
         let f = segmented_fit_k(&x, &y, 3).unwrap();
         assert_eq!(f.boundaries.len(), 3);
         assert_eq!(f.boundaries[0], 0);
-        assert!((f.boundaries[1] as i64 - 15).unsigned_abs() <= 1, "{:?}", f.boundaries);
-        assert!((f.boundaries[2] as i64 - 30).unsigned_abs() <= 1, "{:?}", f.boundaries);
+        assert!(
+            (f.boundaries[1] as i64 - 15).unsigned_abs() <= 1,
+            "{:?}",
+            f.boundaries
+        );
+        assert!(
+            (f.boundaries[2] as i64 - 30).unsigned_abs() <= 1,
+            "{:?}",
+            f.boundaries
+        );
         assert!(f.segments[0].coefficients[1] > 3.0);
         assert!(f.segments[1].coefficients[1] < 1.0);
         assert!(f.segments[2].coefficients[1] > 3.0);

@@ -85,8 +85,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
 
     let t = mean_diff / se2.sqrt();
     // Welch–Satterthwaite approximation for the degrees of freedom.
-    let df = se2 * se2
-        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
     let p = student_t_two_sided_p(t, df);
     Some(TTestResult {
         t,
@@ -147,7 +146,11 @@ mod tests {
         assert!((r.df - 1875.0 / 425.0).abs() < 1e-9, "df = {}", r.df);
         // For t ≈ 1.73 at df ≈ 4.4 the two-sided p sits between 0.1 and 0.2
         // (t-table: t₀.₉₅,₄ = 2.13, t₀.₉,₄ = 1.53).
-        assert!(r.p_two_sided > 0.1 && r.p_two_sided < 0.2, "p = {}", r.p_two_sided);
+        assert!(
+            r.p_two_sided > 0.1 && r.p_two_sided < 0.2,
+            "p = {}",
+            r.p_two_sided
+        );
     }
 
     #[test]

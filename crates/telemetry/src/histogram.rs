@@ -1,0 +1,176 @@
+//! Log-bucketed histograms over atomic counters.
+//!
+//! Latencies and sizes span orders of magnitude, so buckets double:
+//! bucket `i` counts values `v` with `floor(log2(v)) == i` (zero lands in
+//! bucket 0 alongside 1). 64 buckets cover the whole `u64` range; record
+//! is one atomic add on the bucket plus three bookkeeping atomics, all
+//! relaxed — concurrent recorders never contend on a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Number of buckets (`floor(log2(u64::MAX)) + 1`).
+pub const BUCKETS: usize = 64;
+
+/// A lock-free power-of-two-bucketed histogram.
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        // `[const { ... }; N]` inline-const array init keeps this `const`.
+        LogHistogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket a value lands in.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        63 - value.max(1).leading_zeros() as usize
+    }
+
+    /// Lower bound (inclusive) of bucket `i`.
+    pub fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Upper bound (exclusive) of bucket `i`; `None` for the last bucket.
+    pub fn bucket_hi(i: usize) -> Option<u64> {
+        if i + 1 >= BUCKETS {
+            None
+        } else {
+            Some(1u64 << (i + 1))
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Relaxed)
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// `(bucket index, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Relaxed);
+                (c > 0).then_some((i, c))
+            })
+            .collect()
+    }
+
+    /// Resets all buckets and aggregates to zero.
+    ///
+    /// Not atomic as a whole: observations recorded concurrently with a
+    /// reset may be partially counted. Resets are meant for test setup and
+    /// between-campaign boundaries, not for the hot path.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.max.store(0, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_double() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 0);
+        assert_eq!(LogHistogram::bucket_of(2), 1);
+        assert_eq!(LogHistogram::bucket_of(3), 1);
+        assert_eq!(LogHistogram::bucket_of(4), 2);
+        assert_eq!(LogHistogram::bucket_of(1023), 9);
+        assert_eq!(LogHistogram::bucket_of(1024), 10);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn bounds_are_consistent_with_bucketing() {
+        for i in 0..BUCKETS {
+            let lo = LogHistogram::bucket_lo(i);
+            assert_eq!(LogHistogram::bucket_of(lo.max(1)), i);
+            if let Some(hi) = LogHistogram::bucket_hi(i) {
+                assert_eq!(LogHistogram::bucket_of(hi - 1), i);
+                assert_eq!(LogHistogram::bucket_of(hi), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn aggregates_track_recorded_values() {
+        let h = LogHistogram::new();
+        for v in [3, 5, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1108);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 277.0).abs() < 1e-9);
+        let nz = h.nonzero_buckets();
+        // 3 and 5 land in buckets 1 and 2; 100 in 6; 1000 in 9.
+        assert_eq!(nz, vec![(1, 1), (2, 1), (6, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = LogHistogram::new();
+        h.record(42);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+}

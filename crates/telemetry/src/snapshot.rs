@@ -1,0 +1,149 @@
+//! Point-in-time metric snapshots and their JSON / plain-text rendering.
+//!
+//! The JSON writer is hand-rolled (this crate has no dependencies, not
+//! even the workspace serde shim) and deterministic: metrics appear
+//! sorted by name, so two snapshots of identical state are byte-identical
+//! — snapshots embedded in reports diff cleanly.
+
+use std::fmt::Write as _;
+
+/// Frozen view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Mean observed value.
+    pub mean: f64,
+    /// `(bucket index, count)` pairs, ascending, empty buckets omitted.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+/// Frozen view of the whole registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram states by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub(crate) fn json_escape(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl MetricsSnapshot {
+    /// Serializes the snapshot as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            json_escape(&mut out, name);
+            let _ = write!(out, ": {v}");
+        }
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
+        out.push_str("  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            json_escape(&mut out, name);
+            let _ = write!(out, ": {v}");
+        }
+        out.push_str(if self.gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            json_escape(&mut out, name);
+            let _ = write!(
+                out,
+                ": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {:.3}, \"buckets\": [",
+                h.count, h.sum, h.max, h.mean
+            );
+            for (j, (bucket, count)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let lo = crate::histogram::LogHistogram::bucket_lo(*bucket);
+                let _ = write!(out, "{{\"lo\": {lo}, \"count\": {count}}}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if self.histograms.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+        out.push('}');
+        out
+    }
+
+    /// Renders the snapshot as an indented plain-text block for reports.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<40} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<40} {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (ns unless named otherwise):\n");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<40} n={} mean={:.0} max={}",
+                    h.count, h.mean, h.max
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// Total number of metrics carrying any data.
+    pub fn live_metrics(&self) -> usize {
+        self.counters.iter().filter(|(_, v)| *v > 0).count()
+            + self.gauges.iter().filter(|(_, v)| *v != 0).count()
+            + self.histograms.iter().filter(|(_, h)| h.count > 0).count()
+    }
+}

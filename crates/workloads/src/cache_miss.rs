@@ -32,12 +32,18 @@ pub struct CacheMissKernel {
 impl CacheMissKernel {
     /// Listing 1 (example A).
     pub fn row_major(size: usize) -> Self {
-        CacheMissKernel { size, order: AccessOrder::RowMajor }
+        CacheMissKernel {
+            size,
+            order: AccessOrder::RowMajor,
+        }
     }
 
     /// Listing 2 (example B).
     pub fn column_major(size: usize) -> Self {
-        CacheMissKernel { size, order: AccessOrder::ColumnMajor }
+        CacheMissKernel {
+            size,
+            order: AccessOrder::ColumnMajor,
+        }
     }
 
     /// The paper's configuration: `const size_t size = 1024`.
@@ -205,6 +211,9 @@ mod tests {
         let a = ra.total(HwEvent::BranchMiss) as f64;
         let b = rb.total(HwEvent::BranchMiss) as f64;
         // Same branch pattern: flip once per outer iteration.
-        assert!((a - b).abs() <= 0.1 * a.max(10.0), "branch misses {a} vs {b}");
+        assert!(
+            (a - b).abs() <= 0.1 * a.max(10.0),
+            "branch misses {a} vs {b}"
+        );
     }
 }

@@ -57,7 +57,10 @@ impl BfsKernel {
 
 impl Workload for BfsKernel {
     fn name(&self) -> String {
-        format!("bfs/{}v/{}deg/{}thr/{:?}", self.vertices, self.degree, self.threads, self.policy)
+        format!(
+            "bfs/{}v/{}deg/{}thr/{:?}",
+            self.vertices, self.degree, self.threads, self.policy
+        )
     }
 
     #[allow(clippy::explicit_counter_loop)] // `barrier` ids advance with the level loop
@@ -158,7 +161,11 @@ mod tests {
         assert!(misses / loads > 0.2, "miss rate {}", misses / loads);
         // The CSR arrays span a couple of hundred pages; scans and
         // scattered updates keep the TLB turning over.
-        assert!(r.total(HwEvent::DtlbMiss) > 100, "{}", r.total(HwEvent::DtlbMiss));
+        assert!(
+            r.total(HwEvent::DtlbMiss) > 100,
+            "{}",
+            r.total(HwEvent::DtlbMiss)
+        );
     }
 
     #[test]
@@ -194,7 +201,12 @@ mod tests {
     #[test]
     fn interleave_spreads_controllers() {
         let sim = quiet();
-        let r = sim.run(&BfsKernel::new(16 * 1024, 4, 2).interleaved().build(sim.config()), 1);
+        let r = sim.run(
+            &BfsKernel::new(16 * 1024, 4, 2)
+                .interleaved()
+                .build(sim.config()),
+            1,
+        );
         for nd in 0..2 {
             let c0 = sim.config().topology.first_core_of_node(nd);
             assert!(r.counters.get(c0, HwEvent::ImcRead) > 0, "node {nd} idle");

@@ -25,7 +25,11 @@ pub struct TiledMatmul {
 impl TiledMatmul {
     /// A matmul kernel with line-granular accesses.
     pub fn new(n: usize, threads: usize) -> Self {
-        TiledMatmul { n, threads: threads.max(1), step: 8 }
+        TiledMatmul {
+            n,
+            threads: threads.max(1),
+            step: 8,
+        }
     }
 }
 

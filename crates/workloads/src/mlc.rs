@@ -35,7 +35,12 @@ pub struct LatencyChecker {
 impl LatencyChecker {
     /// A checker between two nodes with a buffer that defeats the caches.
     pub fn new(from_node: usize, to_node: usize, buffer_bytes: u64, chases: usize) -> Self {
-        LatencyChecker { from_node, to_node, buffer_bytes, chases }
+        LatencyChecker {
+            from_node,
+            to_node,
+            buffer_bytes,
+            chases,
+        }
     }
 
     /// The Fig. 10b injector: chase remote memory from node 0 to node 1.
@@ -87,14 +92,21 @@ impl SimObserver for DramLatencies {
 /// Runs the full node×node chase sweep and returns the median observed
 /// DRAM latency per pair — the `mlc`-style latency matrix used as ground
 /// truth for Memhist verification (X4) and for topology reports.
-pub fn measure_matrix(sim: &MachineSim, buffer_bytes: u64, chases: usize, seed: u64) -> Vec<Vec<f64>> {
+pub fn measure_matrix(
+    sim: &MachineSim,
+    buffer_bytes: u64,
+    chases: usize,
+    seed: u64,
+) -> Vec<Vec<f64>> {
     let nodes = sim.config().topology.nodes;
     let mut matrix = vec![vec![0.0; nodes]; nodes];
     #[allow(clippy::needless_range_loop)] // from/to are NUMA node ids, not just indices
     for from in 0..nodes {
         for to in 0..nodes {
             let k = LatencyChecker::new(from, to, buffer_bytes, chases);
-            let mut obs = DramLatencies { samples: Vec::new() };
+            let mut obs = DramLatencies {
+                samples: Vec::new(),
+            };
             sim.run_observed(&k.build(sim.config()), seed, &mut obs);
             obs.samples.sort_unstable();
             matrix[from][to] = if obs.samples.is_empty() {
@@ -149,7 +161,12 @@ mod tests {
     fn matrix_symmetric_for_symmetric_topology() {
         let sim = quiet();
         let m = measure_matrix(&sim, 4 << 20, 300, 2);
-        assert!((m[0][1] - m[1][0]).abs() < 30.0, "{} vs {}", m[0][1], m[1][0]);
+        assert!(
+            (m[0][1] - m[1][0]).abs() < 30.0,
+            "{} vs {}",
+            m[0][1],
+            m[1][0]
+        );
     }
 
     #[test]
@@ -160,7 +177,12 @@ mod tests {
         let sim = MachineSim::new(cfg);
         let m = measure_matrix(&sim, 4 << 20, 200, 3);
         // 0 -> 4 is four hops on the ring; 0 -> 1 is one.
-        assert!(m[0][4] > m[0][1] + 200.0, "4-hop {} vs 1-hop {}", m[0][4], m[0][1]);
+        assert!(
+            m[0][4] > m[0][1] + 200.0,
+            "4-hop {} vs 1-hop {}",
+            m[0][4],
+            m[0][1]
+        );
     }
 
     #[test]

@@ -93,7 +93,10 @@ impl Workload for ParallelSortKernel {
         // Shared runtime state: one cache line of progress per thread, plus
         // the bookkeeping region every thread walks after shootdowns.
         let progress = b.alloc((p * 64) as u64, AllocPolicy::FirstTouch);
-        let bookkeeping = b.alloc((self.bookkeeping_pages as u64) * machine.page_bytes, AllocPolicy::FirstTouch);
+        let bookkeeping = b.alloc(
+            (self.bookkeeping_pages as u64) * machine.page_bytes,
+            AllocPolicy::FirstTouch,
+        );
 
         let threads: Vec<usize> = cores.iter().map(|&c| b.add_thread(c)).collect();
         let main = threads[0];
@@ -108,8 +111,7 @@ impl Workload for ParallelSortKernel {
 
         let mut barrier_id = 1u32;
         let chunk = self.elements / p;
-        let mut rngs: Vec<BsdLcg> =
-            (0..p).map(|t| BsdLcg::with_seed(1337 + t as u32)).collect();
+        let mut rngs: Vec<BsdLcg> = (0..p).map(|t| BsdLcg::with_seed(1337 + t as u32)).collect();
 
         let superstep_boundary = |b: &mut ProgramBuilder, barrier_id: &mut u32| {
             for (t, &th) in threads.iter().enumerate() {
@@ -119,7 +121,10 @@ impl Workload for ParallelSortKernel {
                 b.tlb_flush(th);
                 // Re-walk the runtime bookkeeping working set.
                 for pg in 0..self.bookkeeping_pages {
-                    b.load(th, bookkeeping + (pg as u64) * machine.page_bytes + (t as u64 % 64) * 64);
+                    b.load(
+                        th,
+                        bookkeeping + (pg as u64) * machine.page_bytes + (t as u64 % 64) * 64,
+                    );
                 }
             }
             *barrier_id += 1;
@@ -223,8 +228,10 @@ mod tests {
 
     #[test]
     fn l1d_locked_grows_with_threads() {
-        let vals: Vec<u64> =
-            [1, 2, 4, 8].iter().map(|&t| run_events(t).total(HwEvent::L1dLocked)).collect();
+        let vals: Vec<u64> = [1, 2, 4, 8]
+            .iter()
+            .map(|&t| run_events(t).total(HwEvent::L1dLocked))
+            .collect();
         assert!(
             vals.windows(2).all(|w| w[0] < w[1]),
             "L1dLocked should grow monotonically with threads: {vals:?}"
@@ -270,7 +277,10 @@ mod tests {
         let b1 = run_events(1).total(HwEvent::BranchRetired) as f64;
         let b8 = run_events(8).total(HwEvent::BranchRetired) as f64;
         // Poll branches add a small P-dependent term; the bulk is constant.
-        assert!((b8 - b1).abs() / b1 < 0.25, "branches 1thr {b1} vs 8thr {b8}");
+        assert!(
+            (b8 - b1).abs() / b1 < 0.25,
+            "branches 1thr {b1} vs 8thr {b8}"
+        );
     }
 
     #[test]

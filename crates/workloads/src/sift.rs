@@ -35,12 +35,22 @@ pub struct SiftKernel {
 impl SiftKernel {
     /// The NUMA-optimised variant of §V-B.
     pub fn optimized(dim: usize, threads: usize) -> Self {
-        SiftKernel { dim, threads: threads.max(1), octaves: 2, optimized: true }
+        SiftKernel {
+            dim,
+            threads: threads.max(1),
+            octaves: 2,
+            optimized: true,
+        }
     }
 
     /// The naive variant (for contrast: remote-heavy).
     pub fn naive(dim: usize, threads: usize) -> Self {
-        SiftKernel { dim, threads: threads.max(1), octaves: 2, optimized: false }
+        SiftKernel {
+            dim,
+            threads: threads.max(1),
+            octaves: 2,
+            optimized: false,
+        }
     }
 }
 
@@ -216,8 +226,14 @@ mod tests {
     #[test]
     fn octaves_shrink_work() {
         let sim = quiet();
-        let one = SiftKernel { octaves: 1, ..SiftKernel::optimized(256, 2) };
-        let two = SiftKernel { octaves: 2, ..SiftKernel::optimized(256, 2) };
+        let one = SiftKernel {
+            octaves: 1,
+            ..SiftKernel::optimized(256, 2)
+        };
+        let two = SiftKernel {
+            octaves: 2,
+            ..SiftKernel::optimized(256, 2)
+        };
         let p1 = one.build(sim.config()).total_ops();
         let p2 = two.build(sim.config()).total_ops();
         // The second octave adds ~25% (quarter of the pixels).

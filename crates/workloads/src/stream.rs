@@ -21,23 +21,38 @@ pub struct StreamTriad {
 impl StreamTriad {
     /// A triad with first-touch (thread-local) placement.
     pub fn local(elements: usize, threads: usize) -> Self {
-        StreamTriad { elements, threads: threads.max(1), policy: AllocPolicy::FirstTouch }
+        StreamTriad {
+            elements,
+            threads: threads.max(1),
+            policy: AllocPolicy::FirstTouch,
+        }
     }
 
     /// A triad with all arrays bound to one node (contention magnet).
     pub fn bound(elements: usize, threads: usize, node: usize) -> Self {
-        StreamTriad { elements, threads: threads.max(1), policy: AllocPolicy::Bind(node) }
+        StreamTriad {
+            elements,
+            threads: threads.max(1),
+            policy: AllocPolicy::Bind(node),
+        }
     }
 
     /// A triad with interleaved placement.
     pub fn interleaved(elements: usize, threads: usize) -> Self {
-        StreamTriad { elements, threads: threads.max(1), policy: AllocPolicy::Interleave }
+        StreamTriad {
+            elements,
+            threads: threads.max(1),
+            policy: AllocPolicy::Interleave,
+        }
     }
 }
 
 impl Workload for StreamTriad {
     fn name(&self) -> String {
-        format!("stream-triad/{}el/{}thr/{:?}", self.elements, self.threads, self.policy)
+        format!(
+            "stream-triad/{}el/{}thr/{:?}",
+            self.elements, self.threads, self.policy
+        )
     }
 
     fn build(&self, machine: &MachineConfig) -> Program {

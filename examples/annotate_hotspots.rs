@@ -25,8 +25,13 @@ fn main() {
         (cache_miss::regions::FILL, "fill loop"),
         (cache_miss::regions::READ, "alternating-sum read"),
     ]);
-    let events =
-        [EventId::LoadRetired, EventId::StoreRetired, EventId::L1dMiss, EventId::FillBufferReject, EventId::StallCycles];
+    let events = [
+        EventId::LoadRetired,
+        EventId::StoreRetired,
+        EventId::L1dMiss,
+        EventId::FillBufferReject,
+        EventId::StallCycles,
+    ];
     println!("{}", annotate(&run, &names, &events));
 
     let spots = hotspots(&run, EventId::L1dMiss);

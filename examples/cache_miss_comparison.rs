@@ -10,16 +10,23 @@ use numa_perf_tools::prelude::*;
 
 fn main() {
     // The paper's configuration: `const size_t size = 1024` (4 MiB of f32).
-    let size: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let size: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
 
     let machine = MachineConfig::dl580_gen9();
     let runner = Runner::new(machine);
     let plan = MeasurementPlan::all_events(5, 1);
 
     println!("Measuring example A (row-major, Listing 1), size {size} ...");
-    let a = runner.measure(&CacheMissKernel::row_major(size), &plan).expect("A");
+    let a = runner
+        .measure(&CacheMissKernel::row_major(size), &plan)
+        .expect("A");
     println!("Measuring example B (column-major, Listing 2), size {size} ...");
-    let b = runner.measure(&CacheMissKernel::column_major(size), &plan).expect("B");
+    let b = runner
+        .measure(&CacheMissKernel::column_major(size), &plan)
+        .expect("B");
 
     let evsel = EvSel::default();
     let report = evsel.compare(&a, &b);

@@ -46,7 +46,10 @@ fn main() {
     println!("{}", remote.render(HistogramMode::Costs));
     let remote_latency = matrix[0][1];
     let v = memhist.verify_peaks(&remote, HistogramMode::Costs, &[remote_latency]);
-    println!("  expected remote peak: {remote_latency:.0} cycles; matched: {:?}", v.matched);
+    println!(
+        "  expected remote peak: {remote_latency:.0} cycles; matched: {:?}",
+        v.matched
+    );
 
     // --- The remote probe of Fig. 6 ---
     println!("\nRemote probing (Fig. 6): fetching the same histogram over TCP ...");

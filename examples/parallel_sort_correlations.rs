@@ -10,8 +10,10 @@ use np_core::evsel::ParameterSweep;
 use numa_perf_tools::prelude::*;
 
 fn main() {
-    let elements: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64 * 1024);
+    let elements: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64 * 1024);
 
     let machine = MachineConfig::dl580_gen9();
     let runner = Runner::new(machine);
@@ -30,7 +32,11 @@ fn main() {
 
     // Highlight the two correlations the paper calls out.
     println!();
-    for event in [EventId::L1dLocked, EventId::SpecJumpsRetired, EventId::HitmTransfer] {
+    for event in [
+        EventId::L1dLocked,
+        EventId::SpecJumpsRetired,
+        EventId::HitmTransfer,
+    ] {
         if let Some(row) = report.row(event) {
             println!(
                 "{:<28} r = {:+.4}   best fit: {} ({}), R^2 = {:.4}",
@@ -54,5 +60,9 @@ fn main() {
             row.best.r_squared
         );
     }
-    println!("\n({} of {} events strongly correlated)", strong.len(), report.rows.len());
+    println!(
+        "\n({} of {} events strongly correlated)",
+        strong.len(),
+        report.rows.len()
+    );
 }

@@ -25,8 +25,9 @@ fn main() {
         EventId::L3Miss,
         EventId::LocalDramAccess,
     ];
-    let (report, attribution) =
-        pp.measure(&sim, &trace, 7, &events).expect("phase detection");
+    let (report, attribution) = pp
+        .measure(&sim, &trace, 7, &events)
+        .expect("phase detection");
 
     println!(
         "phase transition at cycle {} (sample {} of {})",
@@ -46,7 +47,13 @@ fn main() {
     );
 
     // A crude footprint sparkline (the Fig. 11 curve).
-    let peak = report.samples.iter().map(|&(_, b)| b).max().unwrap_or(1).max(1);
+    let peak = report
+        .samples
+        .iter()
+        .map(|&(_, b)| b)
+        .max()
+        .unwrap_or(1)
+        .max(1);
     let spark: String = report
         .samples
         .iter()

@@ -33,7 +33,9 @@ fn sweep_on(machine: &MachineConfig, sizes: &[usize], seed: u64) -> (ParameterSw
     let mut costs = Vec::new();
     for &size in sizes {
         let plan = MeasurementPlan::events(events.clone(), 4, seed);
-        let runs = runner.measure(&StreamTriad::interleaved(size, 4), &plan).expect("point");
+        let runs = runner
+            .measure(&StreamTriad::interleaved(size, 4), &plan)
+            .expect("point");
         costs.push(runs.mean(EventId::Cycles).unwrap());
         sweep.push(size as f64, runs);
     }
@@ -44,7 +46,14 @@ fn main() {
     let machine_a = MachineConfig::dl580_gen9();
     let machine_b = MachineConfig::eight_socket_ring();
 
-    let small_sizes = [16 * 1024usize, 24 * 1024, 32 * 1024, 48 * 1024, 64 * 1024, 96 * 1024];
+    let small_sizes = [
+        16 * 1024usize,
+        24 * 1024,
+        32 * 1024,
+        48 * 1024,
+        64 * 1024,
+        96 * 1024,
+    ];
     let target_size = 384 * 1024usize;
 
     // --- Step 1 on machine A: code-to-indicator, extrapolated ---
@@ -53,10 +62,15 @@ fn main() {
     let extrapolator = IndicatorExtrapolator::fit(&sweep_a, 0.9);
     println!(
         "  extrapolatable indicators (R^2 >= 0.9): {:?}",
-        extrapolator.events().iter().map(|e| e.name()).collect::<Vec<_>>()
+        extrapolator
+            .events()
+            .iter()
+            .map(|e| e.name())
+            .collect::<Vec<_>>()
     );
-    let predicted_indicators =
-        extrapolator.predict(target_size as f64).expect("extrapolation");
+    let predicted_indicators = extrapolator
+        .predict(target_size as f64)
+        .expect("extrapolation");
 
     // --- Step 2 on machine B: indicator-to-cost, fitted on small runs ---
     println!("\nStep 2 (indicator-to-cost) on: {}", machine_b.model_name);

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: style, lints, release build, full test suite.
+#
+# Everything runs offline — external crates are replaced by the in-tree
+# shims under crates/shims/ (see Cargo.toml), so an empty registry cache
+# is fine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (workspace, all targets, -D warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --offline
+
+echo "== cargo test -q =="
+cargo test -q --offline
+
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace --offline
+
+echo "tier-1 verify: OK"

@@ -88,13 +88,32 @@ pub struct Cli {
     pub session: String,
     /// Save the measurement under this archive name (`stat`).
     pub save: Option<String>,
+    /// Write the tool suite's own metrics snapshot to this JSON file.
+    pub telemetry: Option<String>,
+    /// Write a Chrome-trace file of internal spans to this path.
+    pub trace: Option<String>,
 }
 
 impl Cli {
     /// Parses `argv` (without the program name).
     pub fn parse(argv: &[String]) -> Result<Cli, String> {
         let mut it = argv.iter();
-        let cmd = it.next().ok_or_else(|| "missing command".to_string())?;
+        // The observability flags are global: accept them before the
+        // subcommand (`--telemetry t.json stat ...`) as well as after.
+        let mut pre_telemetry = None;
+        let mut pre_trace = None;
+        let cmd = loop {
+            match it.next() {
+                None => return Err("missing command".to_string()),
+                Some(a) if a == "--telemetry" => {
+                    pre_telemetry = Some(it.next().cloned().ok_or("--telemetry needs a value")?)
+                }
+                Some(a) if a == "--trace" => {
+                    pre_trace = Some(it.next().cloned().ok_or("--trace needs a value")?)
+                }
+                Some(a) => break a,
+            }
+        };
         let command = Command::parse(cmd).ok_or_else(|| format!("unknown command '{cmd}'"))?;
 
         let mut cli = Cli {
@@ -112,11 +131,16 @@ impl Cli {
             json: false,
             session: ".np-session".into(),
             save: None,
+            telemetry: pre_telemetry,
+            trace: pre_trace,
         };
 
-        let take_value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
-            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
-        };
+        let take_value =
+            |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
 
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -151,6 +175,8 @@ impl Cli {
                 "--json" => cli.json = true,
                 "--session" => cli.session = take_value("--session", &mut it)?,
                 "--save" => cli.save = Some(take_value("--save", &mut it)?),
+                "--telemetry" => cli.telemetry = Some(take_value("--telemetry", &mut it)?),
+                "--trace" => cli.trace = Some(take_value("--trace", &mut it)?),
                 other => return Err(format!("unknown option '{other}'")),
             }
         }
@@ -170,7 +196,9 @@ impl Cli {
                     .map_err(|e| format!("cannot read machine file '{path}': {e}"))?;
                 let cfg: MachineConfig = serde_json::from_str(&json)
                     .map_err(|e| format!("invalid machine file '{path}': {e}"))?;
-                cfg.topology.validate().map_err(|e| format!("machine file '{path}': {e}"))?;
+                cfg.topology
+                    .validate()
+                    .map_err(|e| format!("machine file '{path}': {e}"))?;
                 Ok(cfg)
             }
             other => Err(format!(
@@ -192,8 +220,19 @@ mod tests {
     #[test]
     fn parses_a_full_command_line() {
         let cli = parse(&[
-            "compare", "-a", "row-major", "-b", "column-major", "--size", "1024", "--reps", "5",
-            "--machine", "ring", "--seed", "9",
+            "compare",
+            "-a",
+            "row-major",
+            "-b",
+            "column-major",
+            "--size",
+            "1024",
+            "--reps",
+            "5",
+            "--machine",
+            "ring",
+            "--seed",
+            "9",
         ])
         .unwrap();
         assert_eq!(cli.command, Command::Compare);
@@ -228,6 +267,39 @@ mod tests {
     fn flags_toggle() {
         let cli = parse(&["memhist", "-w", "mlc-remote", "--costs", "--multiplexed"]).unwrap();
         assert!(cli.costs && cli.multiplexed);
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let cli = parse(&[
+            "stat",
+            "-w",
+            "sift",
+            "--telemetry",
+            "m.json",
+            "--trace",
+            "t.trace.json",
+        ])
+        .unwrap();
+        assert_eq!(cli.telemetry.as_deref(), Some("m.json"));
+        assert_eq!(cli.trace.as_deref(), Some("t.trace.json"));
+        // Global flags also parse before the subcommand.
+        let pre = parse(&[
+            "--telemetry",
+            "m.json",
+            "--trace",
+            "t.trace.json",
+            "stat",
+            "-w",
+            "sift",
+        ])
+        .unwrap();
+        assert_eq!(pre.command, Command::Stat);
+        assert_eq!(pre.telemetry.as_deref(), Some("m.json"));
+        assert_eq!(pre.trace.as_deref(), Some("t.trace.json"));
+        // Off by default: parsing must not enable the global registry.
+        let plain = parse(&["stat", "-w", "sift"]).unwrap();
+        assert!(plain.telemetry.is_none() && plain.trace.is_none());
     }
 
     #[test]

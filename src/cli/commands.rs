@@ -123,13 +123,19 @@ fn stat(cli: &Cli) -> Result<String, String> {
     let runner = Runner::new(machine);
     let runs = runner.measure(w.as_ref(), &plan(cli))?;
     if let Some(save) = &cli.save {
-        session(cli)?.save(save, &runs).map_err(|e| format!("save: {e}"))?;
+        session(cli)?
+            .save(save, &runs)
+            .map_err(|e| format!("save: {e}"))?;
     }
     let mut out = format!(
         "counters for {} ({} repetitions, {}):\n\n",
         runs.label,
         runs.len(),
-        if cli.multiplexed { "multiplexed" } else { "batched runs" }
+        if cli.multiplexed {
+            "multiplexed"
+        } else {
+            "batched runs"
+        }
     );
     for event in runs.events() {
         let mean = runs.mean(event).unwrap_or(0.0);
@@ -139,7 +145,9 @@ fn stat(cli: &Cli) -> Result<String, String> {
         out.push_str(&format!("  {:<28} {:>16.0}\n", event.name(), mean));
     }
     let zeroes = runs.all_zero_events().len();
-    out.push_str(&format!("\n  ({zeroes} events stayed zero and are not shown)\n"));
+    out.push_str(&format!(
+        "\n  ({zeroes} events stayed zero and are not shown)\n"
+    ));
     Ok(out)
 }
 
@@ -179,11 +187,19 @@ fn memhist(cli: &Cli) -> Result<String, String> {
     let sim = MachineSim::new(machine);
     let tool = Memhist::with_defaults();
     let result = tool.measure(&sim, &program, cli.seed);
-    let mode = if cli.costs { HistogramMode::Costs } else { HistogramMode::Occurrences };
+    let mode = if cli.costs {
+        HistogramMode::Costs
+    } else {
+        HistogramMode::Occurrences
+    };
     let mut out = format!(
         "Memhist, {} ({} mode):\n\n",
         w.name(),
-        if cli.costs { "event costs" } else { "event occurrences" }
+        if cli.costs {
+            "event costs"
+        } else {
+            "event occurrences"
+        }
     );
     out.push_str(&result.render(mode));
     out.push_str(&format!("\nnegative bins: {}\n", result.negative_bins()));
@@ -263,7 +279,8 @@ fn mlc_cmd(cli: &Cli) -> Result<String, String> {
     let machine = cli.machine_config()?;
     let sim = MachineSim::new(machine.clone());
     let matrix = mlc::measure_matrix(&sim, 8 << 20, 500, cli.seed);
-    let mut out = String::from("node-to-node load latency (cycles, median of a dependent chase):\n\n      ");
+    let mut out =
+        String::from("node-to-node load latency (cycles, median of a dependent chase):\n\n      ");
     for to in 0..machine.topology.nodes {
         out.push_str(&format!("{to:>8}"));
     }
@@ -301,9 +318,18 @@ mod tests {
 
     #[test]
     fn stat_measures_a_small_workload() {
-        let out =
-            run(&["stat", "--workload", "row-major", "--size", "64", "--machine", "two-socket", "--reps", "2"])
-                .unwrap();
+        let out = run(&[
+            "stat",
+            "--workload",
+            "row-major",
+            "--size",
+            "64",
+            "--machine",
+            "two-socket",
+            "--reps",
+            "2",
+        ])
+        .unwrap();
         assert!(out.contains("instructions"));
         assert!(out.contains("stayed zero"));
     }
@@ -317,8 +343,17 @@ mod tests {
     #[test]
     fn compare_small_kernels() {
         let out = run(&[
-            "compare", "-a", "row-major", "-b", "column-major", "--size", "96", "--machine",
-            "two-socket", "--reps", "2",
+            "compare",
+            "-a",
+            "row-major",
+            "-b",
+            "column-major",
+            "--size",
+            "96",
+            "--machine",
+            "two-socket",
+            "--reps",
+            "2",
         ])
         .unwrap();
         assert!(out.contains("EvSel comparison"));
@@ -328,7 +363,13 @@ mod tests {
     #[test]
     fn memhist_renders_bins() {
         let out = run(&[
-            "memhist", "--workload", "mlc-local", "--size", "2097152", "--machine", "two-socket",
+            "memhist",
+            "--workload",
+            "mlc-local",
+            "--size",
+            "2097152",
+            "--machine",
+            "two-socket",
         ])
         .unwrap();
         assert!(out.contains("negative bins"));
@@ -338,7 +379,13 @@ mod tests {
     #[test]
     fn balance_flags_bound_traffic() {
         let out = run(&[
-            "balance", "--workload", "stream-bound", "--size", "16384", "--machine", "two-socket",
+            "balance",
+            "--workload",
+            "stream-bound",
+            "--size",
+            "16384",
+            "--machine",
+            "two-socket",
         ])
         .unwrap();
         assert!(out.contains("imbalance index"));
@@ -353,7 +400,13 @@ mod tests {
     #[test]
     fn objprof_names_objects() {
         let out = run(&[
-            "objprof", "--workload", "stream-bound", "--size", "8192", "--machine", "two-socket",
+            "objprof",
+            "--workload",
+            "stream-bound",
+            "--size",
+            "8192",
+            "--machine",
+            "two-socket",
         ])
         .unwrap();
         assert!(out.contains("mean latency"));
@@ -381,7 +434,13 @@ mod tests {
     #[test]
     fn c2c_reports_sort_contention() {
         let out = run(&[
-            "c2c", "--workload", "sort", "--size", "8192", "--machine", "two-socket",
+            "c2c",
+            "--workload",
+            "sort",
+            "--size",
+            "8192",
+            "--machine",
+            "two-socket",
         ])
         .unwrap();
         assert!(out.contains("total HITM"));
@@ -407,19 +466,40 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let session = dir.to_string_lossy().to_string();
         run(&[
-            "stat", "--workload", "row-major", "--size", "96", "--machine", "two-socket",
-            "--reps", "3", "--save", "rowA", "--session", &session,
+            "stat",
+            "--workload",
+            "row-major",
+            "--size",
+            "96",
+            "--machine",
+            "two-socket",
+            "--reps",
+            "3",
+            "--save",
+            "rowA",
+            "--session",
+            &session,
         ])
         .unwrap();
         run(&[
-            "stat", "--workload", "column-major", "--size", "96", "--machine", "two-socket",
-            "--reps", "3", "--save", "colB", "--session", &session,
+            "stat",
+            "--workload",
+            "column-major",
+            "--size",
+            "96",
+            "--machine",
+            "two-socket",
+            "--reps",
+            "3",
+            "--save",
+            "colB",
+            "--session",
+            &session,
         ])
         .unwrap();
         let listed = run(&["archives", "--session", &session]).unwrap();
         assert!(listed.contains("rowA") && listed.contains("colB"));
-        let out =
-            run(&["diff", "-a", "rowA", "-b", "colB", "--session", &session]).unwrap();
+        let out = run(&["diff", "-a", "rowA", "-b", "colB", "--session", &session]).unwrap();
         assert!(out.contains("EvSel comparison"));
         assert!(out.contains("L1-dcache-load-misses"));
         std::fs::remove_dir_all(&dir).unwrap();

@@ -14,7 +14,33 @@ pub use args::{Cli, Command};
 /// returns the text to print or a usage error.
 pub fn run(argv: &[String]) -> Result<String, String> {
     let cli = Cli::parse(argv)?;
-    commands::execute(&cli)
+    let observed = cli.telemetry.is_some() || cli.trace.is_some();
+    if observed {
+        np_telemetry::set_enabled(true);
+    }
+    if cli.trace.is_some() {
+        np_telemetry::set_tracing(true);
+    }
+    np_telemetry::counter!("cli.commands").inc();
+    let mut output = {
+        let _span = np_telemetry::span!("cli.execute", "cli");
+        commands::execute(&cli)?
+    };
+    if observed {
+        if let Some(section) = np_core::report::telemetry_section() {
+            output.push_str(&section);
+        }
+    }
+    if let Some(path) = &cli.telemetry {
+        let json = np_telemetry::global().snapshot().to_json();
+        std::fs::write(path, json + "\n")
+            .map_err(|e| format!("cannot write telemetry snapshot '{path}': {e}"))?;
+    }
+    if let Some(path) = &cli.trace {
+        std::fs::write(path, np_telemetry::export_chrome_trace())
+            .map_err(|e| format!("cannot write trace '{path}': {e}"))?;
+    }
+    Ok(output)
 }
 
 /// The usage text.
@@ -56,11 +82,53 @@ OPTIONS:
     --json             catalog: emit JSON
     --save NAME        stat: record the measurement as an archive
     --session DIR      archive directory (default .np-session)
+    --telemetry FILE   write the tools' own metrics snapshot as JSON
+                       (see `numa-perf-tools help telemetry`)
+    --trace FILE       write a Chrome-trace of internal spans
+                       (load in chrome://tracing or ui.perfetto.dev)
 
 EXAMPLES:
     numa-perf-tools compare -a row-major -b column-major --size 1024
     numa-perf-tools memhist --workload sift --machine dl580
     numa-perf-tools sweep --workload sort --size 65536
     numa-perf-tools balance --workload stream-bound
+
+HELP TOPICS:
+    numa-perf-tools help telemetry    observing the tools themselves
+"
+}
+
+/// The `help telemetry` topic: observing the tool suite itself.
+pub fn telemetry_help() -> &'static str {
+    "Observing the tools themselves
+==============================
+
+The suite carries its own zero-dependency metrics layer (np-telemetry).
+It is off by default and costs one relaxed atomic load per
+instrumentation site while off. Two global flags turn it on:
+
+    --telemetry FILE   enable metrics; after the command finishes, write
+                       a JSON snapshot of every counter, gauge and
+                       latency histogram to FILE, and append a
+                       `== tool telemetry ==` section to the report
+    --trace FILE       additionally buffer every internal span and write
+                       a Chrome-trace JSON array to FILE; open it in
+                       chrome://tracing or https://ui.perfetto.dev
+
+WHAT IS RECORDED:
+    sim.*       simulator throughput: runs, instructions, cycles,
+                per-NUMA-node memory ops, cache/coherence event totals
+    acq.*       acquisition: sim runs executed, batched register runs,
+                multiplexed timeslices, PEBS threshold rotations
+    runner.*    campaigns, repetitions, rayon fan-out occupancy
+    session.*   archive saves/loads and bytes written/read
+    probe.*     Memhist TCP probe: requests, bytes on wire, per-
+                connection errors, request latency
+    span.*      wall-time histograms (ns) for every traced region
+
+EXAMPLES:
+    numa-perf-tools stat -w sift --telemetry tele.json
+    numa-perf-tools compare -a row-major -b column-major \\
+        --telemetry tele.json --trace trace.json
 "
 }

@@ -30,13 +30,21 @@ fn fig8_cache_miss_comparison_headline_findings() {
         1,
     );
     let size = 512;
-    let a = runner.measure(&CacheMissKernel::row_major(size), &plan).unwrap();
-    let b = runner.measure(&CacheMissKernel::column_major(size), &plan).unwrap();
+    let a = runner
+        .measure(&CacheMissKernel::row_major(size), &plan)
+        .unwrap();
+    let b = runner
+        .measure(&CacheMissKernel::column_major(size), &plan)
+        .unwrap();
     let report = EvSel::default().compare(&a, &b);
 
     // "L1 … cache misses rose by over 1000%"
     let l1 = report.row(EventId::L1dMiss).unwrap();
-    assert!(l1.relative_change > 3.0, "L1 misses {:+.1}%", l1.relative_change * 100.0);
+    assert!(
+        l1.relative_change > 3.0,
+        "L1 misses {:+.1}%",
+        l1.relative_change * 100.0
+    );
     assert!(l1.significant);
 
     // "rejected fill buffer requests" explode from near zero.
@@ -50,7 +58,11 @@ fn fig8_cache_miss_comparison_headline_findings() {
 
     // "branch misses … show very small changes"
     let bm = report.row(EventId::BranchMiss).unwrap();
-    assert!(bm.relative_change.abs() < 0.1, "branch misses {:+.3}", bm.relative_change);
+    assert!(
+        bm.relative_change.abs() < 0.1,
+        "branch misses {:+.3}",
+        bm.relative_change
+    );
 
     // "instruction-related values show very small changes"
     let ins = report.row(EventId::Instructions).unwrap();

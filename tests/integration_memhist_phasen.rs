@@ -24,7 +24,11 @@ fn fig10a_sift_peaks_verified_against_mlc() {
         HistogramMode::Occurrences,
         &[machine.latency.l2_hit as f64, machine.latency.l3_hit as f64],
     );
-    assert!(v.unmatched.is_empty(), "unverified peaks: {:?}", v.unmatched);
+    assert!(
+        v.unmatched.is_empty(),
+        "unverified peaks: {:?}",
+        v.unmatched
+    );
 
     // "acts almost entirely on local memory": remote mass negligible.
     let remote_mass: i64 = result
@@ -52,7 +56,11 @@ fn fig10b_remote_injection_shifts_cost_mass() {
     // The remote peak sits where mlc says it should.
     let matrix = mlc::measure_matrix(&sim, 8 << 20, 400, 9);
     let v = memhist.verify_peaks(&result, HistogramMode::Costs, &[matrix[0][1]]);
-    assert!(v.unmatched.is_empty(), "remote peak missing at {}", matrix[0][1]);
+    assert!(
+        v.unmatched.is_empty(),
+        "remote peak missing at {}",
+        matrix[0][1]
+    );
 
     // In costs mode, the remote bins dominate the total cost.
     let remote_cost: i64 = result
@@ -77,13 +85,22 @@ fn mlc_matrix_reflects_topologies() {
     let m = mlc::measure_matrix(&flat, 4 << 20, 250, 3);
     let local = m[0][0];
     for n in 1..4 {
-        assert!(m[0][n] > local + 80.0, "remote {} vs local {local}", m[0][n]);
+        assert!(
+            m[0][n] > local + 80.0,
+            "remote {} vs local {local}",
+            m[0][n]
+        );
         assert!((m[0][n] - m[0][1]).abs() < 40.0, "flat remote tier");
     }
 
     let ring = MachineSim::new(MachineConfig::eight_socket_ring());
     let m = mlc::measure_matrix(&ring, 4 << 20, 250, 3);
-    assert!(m[0][4] > m[0][1] + 250.0, "4 hops {} vs 1 hop {}", m[0][4], m[0][1]);
+    assert!(
+        m[0][4] > m[0][1] + 250.0,
+        "4 hops {} vs 1 hop {}",
+        m[0][4],
+        m[0][1]
+    );
 }
 
 #[test]
@@ -101,7 +118,10 @@ fn remote_probe_roundtrip_over_tcp() {
     handle.join().unwrap().unwrap();
 
     let local = Memhist::new(config).measure(&MachineSim::new(machine), &program, 11);
-    assert_eq!(remote.histogram.total_count(), local.histogram.total_count());
+    assert_eq!(
+        remote.histogram.total_count(),
+        local.histogram.total_count()
+    );
 }
 
 #[test]
@@ -138,7 +158,14 @@ fn two_step_strategy_transfers_across_machines() {
 
     // All sizes in the DRAM-traffic regime (3 arrays × 8 B × elements well
     // beyond the private caches), same regime as the target.
-    let sizes = [16 * 1024usize, 24 * 1024, 32 * 1024, 48 * 1024, 64 * 1024, 96 * 1024];
+    let sizes = [
+        16 * 1024usize,
+        24 * 1024,
+        32 * 1024,
+        48 * 1024,
+        64 * 1024,
+        96 * 1024,
+    ];
     let target = 256 * 1024usize;
     let events = vec![
         EventId::Cycles,

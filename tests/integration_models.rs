@@ -25,7 +25,9 @@ fn calibrated_bsp_predicts_parallel_matmul() {
     for p in [2u64, 4, 8] {
         let bsp = cal.bsp(p);
         let predicted = bsp.block_parallel_cost(serial.cycles, (n * n) as u64 / 8, 1);
-        let simulated = sim.run(&TiledMatmul::new(n, p as usize).build(sim.config()), 5).cycles;
+        let simulated = sim
+            .run(&TiledMatmul::new(n, p as usize).build(sim.config()), 5)
+            .cycles;
         let ratio = predicted / simulated as f64;
         assert!(
             (0.8..1.25).contains(&ratio),
@@ -77,7 +79,10 @@ fn online_prefix_prediction_tracks_actual_scaling() {
     // Qualitative agreement: both saturate well below linear scaling on a
     // node-bound triad, and the prediction is within 2x of reality.
     for ((p, predicted), actual) in curve.iter().zip(&actual) {
-        assert!(*predicted < 0.75 * *p as f64, "p={p}: predicted {predicted:.2} ~ linear");
+        assert!(
+            *predicted < 0.75 * *p as f64,
+            "p={p}: predicted {predicted:.2} ~ linear"
+        );
         let ratio = predicted / actual;
         assert!(
             (0.5..2.0).contains(&ratio),
