@@ -54,9 +54,27 @@ pub struct MemhistResult {
     pub coverage: Vec<u64>,
     /// Total timeslices observed.
     pub total_slices: u64,
+    /// True when part of the threshold ladder was lost in acquisition
+    /// (e.g. a remote fetch dropped chunks past its retry budget) and the
+    /// histogram is assembled from the surviving thresholds only.
+    pub degraded: bool,
+    /// The `[lo, hi)` ladder intervals lost to degradation, in ascending
+    /// order; empty for a complete measurement.
+    pub missing_intervals: Vec<(u64, u64)>,
 }
 
 impl MemhistResult {
+    /// A complete (non-degraded) result.
+    pub fn complete(histogram: LatencyHistogram, coverage: Vec<u64>, total_slices: u64) -> Self {
+        MemhistResult {
+            histogram,
+            coverage,
+            total_slices,
+            degraded: false,
+            missing_intervals: Vec::new(),
+        }
+    }
+
     /// Bins whose subtraction went negative.
     pub fn negative_bins(&self) -> usize {
         self.histogram.negative_bins()
@@ -92,7 +110,26 @@ impl MemhistResult {
         } else {
             None
         };
-        self.histogram.render_ascii(mode, 48, cap)
+        let mut out = self.histogram.render_ascii(mode, 48, cap);
+        if self.degraded {
+            let lost: Vec<String> = self
+                .missing_intervals
+                .iter()
+                .map(|&(lo, hi)| {
+                    if hi == u64::MAX {
+                        format!("[{lo}, inf)")
+                    } else {
+                        format!("[{lo}, {hi})")
+                    }
+                })
+                .collect();
+            out.push_str(&format!(
+                "\nDEGRADED: {} interval(s) lost in acquisition: {}\n",
+                lost.len(),
+                lost.join(", ")
+            ));
+        }
+        out
     }
 }
 
@@ -138,11 +175,7 @@ impl Memhist {
         let counts = pebs.estimated_exceed_counts();
         let histogram = LatencyHistogram::from_threshold_counts(&self.config.thresholds, &counts)
             .expect("thresholds validated in constructor");
-        MemhistResult {
-            histogram,
-            coverage: pebs.coverage().to_vec(),
-            total_slices: pebs.total_slices(),
-        }
+        MemhistResult::complete(histogram, pebs.coverage().to_vec(), pebs.total_slices())
     }
 
     /// Ground-truth histogram: observes *every* load in one run (no
@@ -170,11 +203,7 @@ impl Memhist {
         let histogram =
             LatencyHistogram::from_threshold_counts(&self.config.thresholds, &obs.exceed)
                 .expect("thresholds validated in constructor");
-        MemhistResult {
-            histogram,
-            coverage: vec![],
-            total_slices: 0,
-        }
+        MemhistResult::complete(histogram, vec![], 0)
     }
 
     /// Measures with full visibility into *which level served each load*
@@ -550,6 +579,114 @@ mod tests {
         );
         assert!(r.histogram.bins[0].uncertain); // the [1, 4) bin
         assert!(!r.histogram.bins[3].uncertain);
+    }
+
+    /// A jittery machine for the negative-interval tests: timer noise and
+    /// DRAM jitter make threshold exceedance estimates non-monotonic, so
+    /// the §IV-B subtraction goes negative — "an error that cannot be
+    /// avoided".
+    fn jittery() -> MachineSim {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 3_000;
+        cfg.noise.dram_jitter = 0.25;
+        cfg.timeslice_cycles = 5_000;
+        MachineSim::new(cfg)
+    }
+
+    #[test]
+    fn negative_subtraction_is_costless_and_marked() {
+        // Hand-built exceedance counts where jitter made the 2-cycle
+        // threshold count *lower* than the 4-cycle one: the [2, 4) bin
+        // subtracts to -5.
+        let thresholds = [1, 2, 4, 8];
+        let counts = [100, 90, 95, 10];
+        let h = LatencyHistogram::from_threshold_counts(&thresholds, &counts).unwrap();
+        assert_eq!(h.bins[1].count, -5);
+        // Negative bins carry no cost (occurrences × latency is
+        // meaningless for a measurement artifact)...
+        assert_eq!(h.bins[1].cost_cycles, 0);
+        assert_eq!(h.negative_bins(), 1);
+        // ...and are clamped out of the total rather than subtracting
+        // real mass: 10 + 0 + 85 + 10.
+        assert_eq!(h.total_count(), 105);
+        // Sub-3-cycle bins are uncertain per the paper, independent of
+        // sign; bins at or above 3 cycles are not.
+        assert!(h.bins[0].uncertain && h.bins[1].uncertain);
+        assert!(!h.bins[2].uncertain && !h.bins[3].uncertain);
+        // Rendering: '!' marks the negative bin, whose bar clamps to zero
+        // length; uncertain bins use the grey glyph.
+        let r = MemhistResult::complete(h, vec![], 0);
+        let text = r.render(HistogramMode::Occurrences);
+        let neg_line = text.lines().nth(1).unwrap();
+        assert!(
+            neg_line.contains('!') && neg_line.contains("-5"),
+            "{neg_line}"
+        );
+        assert!(
+            !neg_line.contains('█') && !neg_line.contains('░'),
+            "{neg_line}"
+        );
+        assert!(text.lines().next().unwrap().contains('░'), "{text}");
+    }
+
+    #[test]
+    fn jittered_cycling_goes_negative_but_stays_renderable() {
+        let sim = jittery();
+        let m = Memhist::with_defaults();
+        let p = LatencyChecker::new(0, 0, 8 << 20, 3000).build(sim.config());
+        let r = m.measure(&sim, &p, 1);
+        assert!(r.negative_bins() > 0, "jitter should produce negatives");
+        for b in &r.histogram.bins {
+            if b.count <= 0 {
+                assert_eq!(b.cost_cycles, 0, "bin [{}, {})", b.lo, b.hi);
+            }
+            assert_eq!(b.uncertain, b.lo < 3);
+        }
+        // The rendering clamps rather than panics, and flags each
+        // negative bin.
+        let text = r.render(HistogramMode::Occurrences);
+        assert_eq!(text.matches('!').count(), r.negative_bins(), "{text}");
+    }
+
+    #[test]
+    fn negative_intervals_survive_a_delayed_probe_fetch() {
+        use np_resilience::{Fault, RetryPolicy, ScriptedFaults, StreamDeadlines};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let config = MemhistConfig::default();
+        let m = Memhist::new(config.clone());
+        let p = LatencyChecker::new(0, 0, 8 << 20, 3000).build(jittery().config());
+        let local = m.measure(&jittery(), &p, 1);
+        assert!(local.negative_bins() > 0);
+
+        // The same measurement through the probe, with the response
+        // delayed (within the read deadline) by a scripted fault.
+        let faults = Arc::new(
+            ScriptedFaults::new().inject("probe.response", Fault::Delay(Duration::from_millis(50))),
+        );
+        let listener = probe::ProbeServer::bind().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = probe::ProbeServer::new(jittery(), p).with_faults(faults);
+        let handle = std::thread::spawn(move || server.serve(&listener, 1));
+        let policy = probe::FetchPolicy {
+            retry: RetryPolicy::immediate(3),
+            io: StreamDeadlines::symmetric(Duration::from_secs(2)),
+            ..probe::FetchPolicy::default()
+        };
+        let remote = probe::RemoteMemhist::fetch_resilient(addr, &config, 1, &policy, None)
+            .expect("delayed fetch succeeds");
+        handle.join().unwrap().unwrap();
+
+        // Determinism: the delayed transport must not change the data —
+        // negative intervals, costs and uncertainty flags included.
+        assert!(!remote.degraded);
+        assert_eq!(remote.negative_bins(), local.negative_bins());
+        for (rb, lb) in remote.histogram.bins.iter().zip(&local.histogram.bins) {
+            assert_eq!(rb.count, lb.count, "bin [{}, {})", rb.lo, rb.hi);
+            assert_eq!(rb.cost_cycles, lb.cost_cycles);
+            assert_eq!(rb.uncertain, lb.uncertain);
+        }
     }
 
     #[test]

@@ -8,10 +8,13 @@
 //! [`Runner`] executes the plan, fanning independent simulated runs across
 //! host cores with rayon.
 
-use np_counters::acquisition::{measure_batched, measure_multiplexed, AcquisitionMode};
+use np_counters::acquisition::{
+    measure_batched, measure_batched_resilient, measure_multiplexed, AcquisitionMode,
+};
 use np_counters::catalog::{EventCatalog, EventId};
 use np_counters::measurement::{Measurement, RunSet};
 use np_counters::pmu::PmuModel;
+use np_resilience::{BreakerConfig, CircuitBreaker, FaultInjector, RetryPolicy};
 use np_simulator::{MachineConfig, MachineSim, Program};
 use np_workloads::Workload;
 use rayon::prelude::*;
@@ -67,6 +70,34 @@ impl MeasurementPlan {
         match self.mode {
             AcquisitionMode::BatchedRuns => self.repetitions * self.pmu.runs_needed(&self.events),
             AcquisitionMode::Multiplexed => self.repetitions,
+        }
+    }
+}
+
+/// Fault policy for a resilient measurement campaign.
+///
+/// A campaign is a sequence of repetitions; each repetition retries its
+/// simulated runs per [`RetryPolicy`], and a shared [`CircuitBreaker`]
+/// stops hammering an acquisition path that keeps failing. The campaign
+/// degrades gracefully: it succeeds with however many repetitions
+/// survived, as long as at least `min_repetitions` did.
+#[derive(Debug, Clone)]
+pub struct CampaignPolicy {
+    /// Per-repetition retry schedule for transient acquisition failures.
+    pub retry: RetryPolicy,
+    /// Breaker thresholds shared by every repetition of the campaign.
+    pub breaker: BreakerConfig,
+    /// Minimum surviving repetitions for the campaign to count. Fewer
+    /// than this (after retries and breaker skips) is a hard error.
+    pub min_repetitions: usize,
+}
+
+impl Default for CampaignPolicy {
+    fn default() -> Self {
+        CampaignPolicy {
+            retry: RetryPolicy::new(3),
+            breaker: BreakerConfig::default(),
+            min_repetitions: 1,
         }
     }
 }
@@ -133,6 +164,104 @@ impl Runner {
             ),
         };
         Ok(set)
+    }
+
+    /// Measures a workload under `plan` with fault tolerance: retries,
+    /// a circuit breaker, and graceful degradation to fewer repetitions.
+    pub fn measure_resilient(
+        &self,
+        workload: &dyn Workload,
+        plan: &MeasurementPlan,
+        policy: &CampaignPolicy,
+        faults: &dyn FaultInjector,
+    ) -> Result<RunSet, String> {
+        let program = workload.build(self.sim.config());
+        let mut set = self.measure_program_resilient(&program, plan, policy, faults)?;
+        set.label = workload.name();
+        Ok(set)
+    }
+
+    /// Resilient variant of [`Runner::measure_program`].
+    ///
+    /// Repetitions run serially so the breaker sees failures in order;
+    /// each repetition is still the same independent `(program, seed)`
+    /// simulation, so on a clean link the values are bit-identical to
+    /// the parallel path. Skipped and failed repetitions are visible in
+    /// telemetry (`runner.skipped_repetitions`, `runner.failed_repetitions`)
+    /// and the breaker exports its state under `runner.circuit.*`.
+    pub fn measure_program_resilient(
+        &self,
+        program: &Program,
+        plan: &MeasurementPlan,
+        policy: &CampaignPolicy,
+        faults: &dyn FaultInjector,
+    ) -> Result<RunSet, String> {
+        if plan.events.is_empty() {
+            return Err("measurement plan has no events".into());
+        }
+        if plan.repetitions == 0 {
+            return Err("measurement plan has no repetitions".into());
+        }
+        let _span = np_telemetry::span!("runner.measure_resilient", "runner");
+        np_telemetry::counter!("runner.campaigns").inc();
+        np_telemetry::counter!("runner.repetitions").add(plan.repetitions as u64);
+        let breaker = CircuitBreaker::new("runner.circuit", policy.breaker.clone());
+        let mut runs: Vec<Measurement> = Vec::with_capacity(plan.repetitions);
+        let mut last_err: Option<String> = None;
+        for rep in 0..plan.repetitions {
+            if !breaker.allow() {
+                np_telemetry::counter!("runner.skipped_repetitions").inc();
+                continue;
+            }
+            let seed = plan.base_seed + rep as u64;
+            let outcome = match plan.mode {
+                AcquisitionMode::BatchedRuns => measure_batched_resilient(
+                    &self.sim,
+                    program,
+                    &plan.events,
+                    1,
+                    seed,
+                    &plan.pmu,
+                    &policy.retry,
+                    faults,
+                ),
+                // Multiplexing measures everything in one run; there is no
+                // batch boundary to retry, so it runs unguarded.
+                AcquisitionMode::Multiplexed => Ok(measure_multiplexed(
+                    &self.sim,
+                    program,
+                    &plan.events,
+                    1,
+                    seed,
+                    &plan.pmu,
+                )),
+            };
+            match outcome {
+                Ok(one) => {
+                    breaker.record_success();
+                    np_telemetry::counter!("runner.reps_done").inc();
+                    runs.extend(one.runs);
+                }
+                Err(e) => {
+                    breaker.record_failure();
+                    np_telemetry::counter!("runner.failed_repetitions").inc();
+                    last_err = Some(e);
+                }
+            }
+        }
+        if runs.len() < policy.min_repetitions {
+            return Err(format!(
+                "campaign degraded below minimum: {}/{} repetitions survived (need {}): {}",
+                runs.len(),
+                plan.repetitions,
+                policy.min_repetitions,
+                last_err.unwrap_or_else(|| "no repetition attempted".into()),
+            ));
+        }
+        Ok(RunSet {
+            runs,
+            label: "batched".into(),
+        })
     }
 
     /// Batched acquisition with repetitions fanned across host cores.
@@ -241,6 +370,104 @@ mod tests {
             ..MeasurementPlan::all_events(2, 1)
         };
         assert!(runner.measure_program(&p, &empty).is_err());
+    }
+
+    #[test]
+    fn resilient_campaign_matches_plain_on_a_clean_link() {
+        let runner = Runner::new(machine());
+        let w = CacheMissKernel::row_major(32);
+        let program = w.build(runner.sim().config());
+        let plan = MeasurementPlan::events(vec![HwEvent::Cycles, HwEvent::L1dMiss], 3, 11);
+        let plain = runner.measure_program(&program, &plan).unwrap();
+        let resilient = runner
+            .measure_program_resilient(
+                &program,
+                &plan,
+                &CampaignPolicy::default(),
+                &np_resilience::NoFaults,
+            )
+            .unwrap();
+        assert_eq!(plain.len(), resilient.len());
+        for (a, b) in plain.runs.iter().zip(&resilient.runs) {
+            assert_eq!(a.values, b.values);
+        }
+    }
+
+    #[test]
+    fn resilient_campaign_retries_through_transient_faults() {
+        let runner = Runner::new(machine());
+        let w = CacheMissKernel::row_major(24);
+        let program = w.build(runner.sim().config());
+        let plan = MeasurementPlan::events(vec![HwEvent::Cycles], 3, 5);
+        // Two consecutive drops: repetition 1 burns both on attempts 1-2
+        // and succeeds on attempt 3; the rest run clean.
+        let faults = np_resilience::ScriptedFaults::new().inject_n(
+            "acq.batch_run",
+            np_resilience::Fault::DropConnection,
+            2,
+        );
+        let policy = CampaignPolicy {
+            retry: RetryPolicy::immediate(3),
+            ..CampaignPolicy::default()
+        };
+        let rs = runner
+            .measure_program_resilient(&program, &plan, &policy, &faults)
+            .unwrap();
+        assert_eq!(rs.len(), 3);
+        assert_eq!(faults.remaining(), 0);
+    }
+
+    #[test]
+    fn campaign_degrades_to_surviving_repetitions() {
+        let runner = Runner::new(machine());
+        let w = CacheMissKernel::row_major(24);
+        let program = w.build(runner.sim().config());
+        let plan = MeasurementPlan::events(vec![HwEvent::Cycles], 4, 5);
+        // Two consecutive drops exhaust repetition 1's retry budget; the
+        // other three repetitions survive untouched.
+        let faults = np_resilience::ScriptedFaults::new().inject_n(
+            "acq.batch_run",
+            np_resilience::Fault::DropConnection,
+            2,
+        );
+        let policy = CampaignPolicy {
+            retry: RetryPolicy::immediate(2),
+            min_repetitions: 2,
+            ..CampaignPolicy::default()
+        };
+        let rs = runner
+            .measure_program_resilient(&program, &plan, &policy, &faults)
+            .unwrap();
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn open_circuit_skips_remaining_repetitions() {
+        let runner = Runner::new(machine());
+        let w = CacheMissKernel::row_major(24);
+        let program = w.build(runner.sim().config());
+        let plan = MeasurementPlan::events(vec![HwEvent::Cycles], 6, 5);
+        // Every attempt faults: two repetitions fail, the breaker trips,
+        // and the remaining four are skipped without touching the script.
+        let faults = np_resilience::ScriptedFaults::new().inject_n(
+            "acq.batch_run",
+            np_resilience::Fault::DropConnection,
+            100,
+        );
+        let policy = CampaignPolicy {
+            retry: RetryPolicy::immediate(1),
+            breaker: np_resilience::BreakerConfig {
+                failure_threshold: 2,
+                cooldown: std::time::Duration::from_secs(60),
+            },
+            min_repetitions: 1,
+        };
+        let err = runner
+            .measure_program_resilient(&program, &plan, &policy, &faults)
+            .unwrap_err();
+        assert!(err.contains("0/6"), "{err}");
+        // Only the two pre-trip repetitions consumed faults.
+        assert_eq!(faults.remaining(), 98);
     }
 
     #[test]

@@ -71,14 +71,35 @@ impl Session {
     }
 
     /// Loads the run set recorded under `name`.
+    ///
+    /// A torn or corrupt archive (unparseable JSON) is *quarantined*: the
+    /// file is renamed to `<name>.json.corrupt` so it disappears from
+    /// [`Session::list`] and stops poisoning later loads, while the bytes
+    /// stay on disk for post-mortems. The returned error names the
+    /// quarantine file.
     pub fn load(&self, name: &str) -> std::io::Result<RunSet> {
         Self::check_name(name)?;
         let _span = np_telemetry::span!("session.load", "session");
-        let json = std::fs::read_to_string(self.path_of(name))?;
+        let path = self.path_of(name);
+        let json = std::fs::read_to_string(&path)?;
         np_telemetry::counter!("session.loaded_bytes").add(json.len() as u64);
         np_telemetry::counter!("session.loads").inc();
-        serde_json::from_str(&json)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        serde_json::from_str(&json).map_err(|e| {
+            let quarantine = self.dir.join(format!("{name}.json.corrupt"));
+            let moved = std::fs::rename(&path, &quarantine).is_ok();
+            np_telemetry::counter!("session.quarantined").inc();
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                if moved {
+                    format!(
+                        "archive '{name}' is corrupt ({e}); quarantined as {}",
+                        quarantine.display()
+                    )
+                } else {
+                    format!("archive '{name}' is corrupt ({e})")
+                },
+            )
+        })
     }
 
     /// Lists recorded names, sorted.
@@ -188,6 +209,25 @@ mod tests {
         for bad in ["", "a/b", "..", "x.json"] {
             assert!(s.save(bad, &runset("x", 1.0)).is_err(), "accepted '{bad}'");
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_archives_are_quarantined() {
+        let dir = tempdir("quarantine");
+        let s = Session::open(&dir).unwrap();
+        s.save("good", &runset("good", 5.0)).unwrap();
+        // Simulate a torn write: truncate the archive mid-JSON.
+        std::fs::write(dir.join("torn.json"), "{\"label\": \"torn\", \"ru").unwrap();
+        let err = s.load("torn").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("quarantined"), "{err}");
+        assert!(dir.join("torn.json.corrupt").exists());
+        assert!(!dir.join("torn.json").exists());
+        // The quarantined file no longer shows up or blocks the name.
+        assert_eq!(s.list().unwrap(), vec!["good"]);
+        s.save("torn", &runset("torn", 6.0)).unwrap();
+        assert_eq!(s.load("torn").unwrap().label, "torn");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -19,7 +19,8 @@
 use crate::catalog::EventId;
 use crate::measurement::{Measurement, RunSet};
 use crate::pmu::PmuModel;
-use np_simulator::{Counters, MachineSim, Program, SimObserver};
+use np_resilience::{Fault, FaultInjector, NoFaults, RetryPolicy};
+use np_simulator::{Counters, MachineSim, Program, RunResult, SimObserver};
 
 /// Which acquisition strategy to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,13 +46,44 @@ pub fn measure_batched(
     base_seed: u64,
     pmu: &PmuModel,
 ) -> RunSet {
+    measure_batched_resilient(
+        sim,
+        program,
+        events,
+        repetitions,
+        base_seed,
+        pmu,
+        &RetryPolicy::immediate(1),
+        &NoFaults,
+    )
+    .expect("acquisition cannot fail without fault injection")
+}
+
+/// [`measure_batched`] with a retry policy and fault injection at the
+/// `"acq.batch_run"` site: a scripted fault fails that simulated run (a
+/// crashed testee, a perf-fd that would not open) and the run is retried
+/// per `retry` — seeds are unchanged across retries, so a recovered run
+/// is bit-identical to an unfaulted one. Retries land in the
+/// `acq.retries` counter; a run that exhausts the policy fails the whole
+/// measurement with a description of where it gave up.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_batched_resilient(
+    sim: &MachineSim,
+    program: &Program,
+    events: &[EventId],
+    repetitions: usize,
+    base_seed: u64,
+    pmu: &PmuModel,
+    retry: &RetryPolicy,
+    faults: &dyn FaultInjector,
+) -> Result<RunSet, String> {
     let _span = np_telemetry::span!("acq.batched", "counters");
     let batches = pmu.batches(events);
     let mut set = RunSet::new("batched");
     for rep in 0..repetitions {
         let seed = base_seed + rep as u64;
         let mut m = Measurement::new(seed);
-        let record_fixed = |m: &mut Measurement, result: &np_simulator::RunResult| {
+        let record_fixed = |m: &mut Measurement, result: &RunResult| {
             for &f in &pmu.fixed {
                 if events.contains(&f) {
                     m.values.insert(f, result.total(f) as f64);
@@ -59,17 +91,37 @@ pub fn measure_batched(
             }
             m.cycles = result.cycles;
         };
+        let run_once = |label: String| -> Result<RunResult, String> {
+            retry
+                .run(
+                    |attempt| {
+                        if attempt.index > 1 {
+                            np_telemetry::counter!("acq.retries").inc();
+                        }
+                        match faults.next("acq.batch_run") {
+                            Some(Fault::Delay(d)) => std::thread::sleep(d),
+                            Some(f) => {
+                                np_telemetry::counter!("acq.faults").inc();
+                                return Err(format!("injected fault: {f:?}"));
+                            }
+                            None => {}
+                        }
+                        np_telemetry::counter!("acq.runs").inc();
+                        Ok(sim.run(program, seed))
+                    },
+                    |_| true,
+                )
+                .map_err(|e| format!("{label}: {e}"))
+        };
         if batches.is_empty() {
-            np_telemetry::counter!("acq.runs").inc();
-            let result = sim.run(program, seed);
+            let result = run_once(format!("repetition {rep} fixed-counter run"))?;
             record_fixed(&mut m, &result);
         }
         for (bi, batch) in batches.iter().enumerate() {
             // The PMU only exposes the programmed registers; the simulator
             // counts everything, so visibility filtering happens here.
-            np_telemetry::counter!("acq.runs").inc();
             np_telemetry::counter!("acq.batched.batch_runs").inc();
-            let result = sim.run(program, seed);
+            let result = run_once(format!("repetition {rep} batch {bi}"))?;
             if bi == 0 {
                 record_fixed(&mut m, &result);
             }
@@ -79,7 +131,7 @@ pub fn measure_batched(
         }
         set.runs.push(m);
     }
-    set
+    Ok(set)
 }
 
 /// Timeslice observer that rotates event groups and extrapolates.
@@ -306,6 +358,57 @@ mod tests {
         // overscales it. We only require that it is *not* exact, which is
         // the qualitative claim of §IV-A-1 (quantified in ablation X1).
         assert_ne!(est, truth);
+    }
+
+    #[test]
+    fn resilient_batched_recovers_bit_identically() {
+        use np_resilience::ScriptedFaults;
+        let sim = machine();
+        let p = scan_program(&sim);
+        let events = [HwEvent::Cycles, HwEvent::Instructions, HwEvent::L1dMiss];
+        let clean = measure_batched(&sim, &p, &events, 2, 50, &PmuModel::default());
+        // Two injected failures, each recovered on the retry: same seeds,
+        // so the recovered measurement is identical to the clean one.
+        let faults = ScriptedFaults::new().inject_n("acq.batch_run", Fault::DropConnection, 2);
+        let retried = measure_batched_resilient(
+            &sim,
+            &p,
+            &events,
+            2,
+            50,
+            &PmuModel::default(),
+            &RetryPolicy::immediate(3),
+            &faults,
+        )
+        .unwrap();
+        assert_eq!(faults.remaining(), 0, "script did not fire");
+        assert_eq!(clean.runs.len(), retried.runs.len());
+        for (a, b) in clean.runs.iter().zip(&retried.runs) {
+            assert_eq!(a.values, b.values);
+        }
+    }
+
+    #[test]
+    fn resilient_batched_exhausts_into_an_error() {
+        use np_resilience::ScriptedFaults;
+        let sim = machine();
+        let p = scan_program(&sim);
+        let events = [HwEvent::Cycles];
+        // More faults than the policy has attempts: the first run can
+        // never succeed.
+        let faults = ScriptedFaults::new().inject_n("acq.batch_run", Fault::DropConnection, 10);
+        let err = measure_batched_resilient(
+            &sim,
+            &p,
+            &events,
+            1,
+            50,
+            &PmuModel::default(),
+            &RetryPolicy::immediate(2),
+            &faults,
+        )
+        .unwrap_err();
+        assert!(err.contains("gave up after 2 attempts"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Circuit breaking: stop hammering a peer that is clearly down.
+//!
+//! Classic three-state breaker. **Closed** passes calls through and
+//! counts consecutive failures; at `failure_threshold` it trips **open**
+//! and fails fast. After `cooldown` the next caller is admitted as a
+//! **half-open** probe: success closes the circuit, failure re-opens it
+//! and restarts the cooldown.
+//!
+//! State is exported through np-telemetry so a campaign's snapshot shows
+//! whether its probe link was healthy: gauge `<name>.state` (0 = closed,
+//! 1 = half-open, 2 = open), counters `<name>.opens`, `<name>.rejected`.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the circuit.
+    pub failure_threshold: u32,
+    /// How long the circuit stays open before admitting a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+/// The observable state of a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitState {
+    /// Calls flow; failures are being counted.
+    Closed,
+    /// Failing fast; no calls admitted until the cooldown elapses.
+    Open,
+    /// One probe call admitted; its outcome decides the next state.
+    HalfOpen,
+}
+
+impl CircuitState {
+    fn gauge_value(self) -> i64 {
+        match self {
+            CircuitState::Closed => 0,
+            CircuitState::HalfOpen => 1,
+            CircuitState::Open => 2,
+        }
+    }
+}
+
+struct Inner {
+    state: CircuitState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+}
+
+/// A named three-state circuit breaker, safe to share across threads.
+pub struct CircuitBreaker {
+    name: String,
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker. `name` prefixes its telemetry metrics.
+    pub fn new(name: impl Into<String>, config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            name: name.into(),
+            config,
+            inner: Mutex::new(Inner {
+                state: CircuitState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+            }),
+        }
+    }
+
+    /// Current state (transitions open → half-open lazily on [`allow`]).
+    ///
+    /// [`allow`]: CircuitBreaker::allow
+    pub fn state(&self) -> CircuitState {
+        self.inner.lock().unwrap().state
+    }
+
+    /// Asks to make a call. `true` admits it; `false` means fail fast.
+    pub fn allow(&self) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.state {
+            CircuitState::Closed => true,
+            CircuitState::HalfOpen => {
+                // One probe at a time: further callers are rejected until
+                // the in-flight probe reports.
+                np_telemetry::global()
+                    .counter(&format!("{}.rejected", self.name))
+                    .inc();
+                false
+            }
+            CircuitState::Open => {
+                let cooled = inner
+                    .opened_at
+                    .map(|t| t.elapsed() >= self.config.cooldown)
+                    .unwrap_or(true);
+                if cooled {
+                    self.transition(&mut inner, CircuitState::HalfOpen);
+                    true
+                } else {
+                    np_telemetry::global()
+                        .counter(&format!("{}.rejected", self.name))
+                        .inc();
+                    false
+                }
+            }
+        }
+    }
+
+    /// Reports a successful call: closes the circuit.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.consecutive_failures = 0;
+        inner.opened_at = None;
+        if inner.state != CircuitState::Closed {
+            self.transition(&mut inner, CircuitState::Closed);
+        }
+    }
+
+    /// Reports a failed call: counts towards the threshold, or re-opens a
+    /// half-open circuit immediately.
+    pub fn record_failure(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.consecutive_failures += 1;
+        let trip = inner.state == CircuitState::HalfOpen
+            || (inner.state == CircuitState::Closed
+                && inner.consecutive_failures >= self.config.failure_threshold);
+        if trip {
+            inner.opened_at = Some(Instant::now());
+            self.transition(&mut inner, CircuitState::Open);
+            np_telemetry::global()
+                .counter(&format!("{}.opens", self.name))
+                .inc();
+        }
+    }
+
+    fn transition(&self, inner: &mut Inner, to: CircuitState) {
+        inner.state = to;
+        np_telemetry::global()
+            .gauge(&format!("{}.state", self.name))
+            .set(to.gauge_value());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(
+            format!("test.breaker.{threshold}.{cooldown_ms}"),
+            BreakerConfig {
+                failure_threshold: threshold,
+                cooldown: Duration::from_millis(cooldown_ms),
+            },
+        )
+    }
+
+    #[test]
+    fn closed_until_threshold() {
+        let b = breaker(3, 1000);
+        assert!(b.allow());
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), CircuitState::Closed);
+        b.record_failure();
+        assert_eq!(b.state(), CircuitState::Open);
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let b = breaker(2, 1000);
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        assert_eq!(b.state(), CircuitState::Closed);
+    }
+
+    #[test]
+    fn cooldown_admits_one_half_open_probe() {
+        let b = breaker(1, 0);
+        b.record_failure();
+        assert_eq!(b.state(), CircuitState::Open);
+        // Zero cooldown: the next allow() flips to half-open and admits.
+        assert!(b.allow());
+        assert_eq!(b.state(), CircuitState::HalfOpen);
+        // A second caller is rejected while the probe is in flight.
+        assert!(!b.allow());
+        b.record_success();
+        assert_eq!(b.state(), CircuitState::Closed);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = breaker(1, 0);
+        b.record_failure();
+        assert!(b.allow()); // half-open probe
+        b.record_failure();
+        assert_eq!(b.state(), CircuitState::Open);
+    }
+
+    #[test]
+    fn state_is_visible_in_telemetry() {
+        np_telemetry::set_enabled(true);
+        let b = CircuitBreaker::new(
+            "test.breaker.telemetry",
+            BreakerConfig {
+                failure_threshold: 1,
+                cooldown: Duration::from_secs(60),
+            },
+        );
+        b.record_failure();
+        let gauge = np_telemetry::global().gauge("test.breaker.telemetry.state");
+        let opens = np_telemetry::global().counter("test.breaker.telemetry.opens");
+        assert_eq!(gauge.get(), 2);
+        assert_eq!(opens.get(), 1);
+        assert!(!b.allow());
+        assert!(
+            np_telemetry::global()
+                .counter("test.breaker.telemetry.rejected")
+                .get()
+                >= 1
+        );
+        np_telemetry::set_enabled(false);
+    }
+}

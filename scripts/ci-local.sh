@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Reproduces the CI pipeline locally, offline — the same steps as
+# .github/workflows/ci.yml plus the nightly fault-matrix and telemetry
+# overhead jobs from nightly.yml. If this passes, CI passes (modulo
+# toolchain drift; CI also checks the pinned MSRV toolchain).
+#
+# Usage: scripts/ci-local.sh [--quick]
+#   --quick  skip the nightly-tier jobs (fault matrix re-run in release
+#            mode, overhead guard, telemetry snapshot)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (workspace, all targets, -D warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --offline
+
+echo "== cargo test -q =="
+cargo test -q --offline
+
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace --offline
+
+if [[ "$quick" -eq 0 ]]; then
+  echo "== nightly: fault-injection matrix (release) =="
+  cargo test --release --offline --test integration_resilience
+
+  echo "== nightly: telemetry overhead guard =="
+  cargo test --release --offline -p np-bench --test telemetry_overhead
+
+  echo "== nightly: telemetry snapshot =="
+  snapshot="$(mktemp -t np-telemetry-snapshot.XXXXXX.json)"
+  cargo run --release --offline --quiet -- stat \
+    --workload row-major --size 48 --reps 3 --machine two-socket \
+    --telemetry "$snapshot" >/dev/null
+  echo "telemetry snapshot written to $snapshot"
+fi
+
+echo "ci-local: OK"

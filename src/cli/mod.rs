@@ -94,7 +94,9 @@ EXAMPLES:
     numa-perf-tools balance --workload stream-bound
 
 HELP TOPICS:
-    numa-perf-tools help telemetry    observing the tools themselves
+    numa-perf-tools help telemetry     observing the tools themselves
+    numa-perf-tools help resilience    fault tolerance in the probe and
+                                       acquisition paths
 "
 }
 
@@ -131,4 +133,73 @@ EXAMPLES:
     numa-perf-tools compare -a row-major -b column-major \\
         --telemetry tele.json --trace trace.json
 "
+}
+
+/// The `help resilience` topic: fault tolerance across the tool suite.
+pub fn resilience_help() -> &'static str {
+    "Fault tolerance in the probe and acquisition paths
+==================================================
+
+Remote measurement (the Memhist TCP probe of Fig. 6) and long
+acquisition campaigns run against links and machines that fail. The
+np-resilience crate supplies the policy layer; the probe client/server,
+the acquisition batcher and the campaign runner are wired through it.
+
+RETRY:       exponential backoff with deterministic, seedable jitter
+             (a schedule is a pure function of its seed), a max-attempt
+             cap, and per-attempt + overall deadlines.
+TIMEOUTS:    every probe connection pins read/write deadlines on the
+             socket and bounds the request/response frame size, so a
+             hostile or wedged peer cannot hang or OOM either side.
+BREAKER:     a circuit breaker (closed -> open -> half-open) stops
+             hammering a failing endpoint; its state is exported as the
+             `<name>.state` gauge (0 closed, 1 half-open, 2 open) with
+             `<name>.opens` / `<name>.rejected` counters.
+DEGRADATION: a chunked remote fetch that loses part of the threshold
+             ladder past its retry budget returns a histogram assembled
+             from the surviving thresholds, flagged `degraded`, with
+             the lost `[lo, hi)` intervals enumerated — partial data
+             beats no data. Memhist renders a DEGRADED footer.
+QUARANTINE:  a torn archive file fails its load, is renamed to
+             `<name>.json.corrupt`, and stops shadowing the name.
+
+FAULT INJECTION (tests and drills):
+    Deterministic scripted faults — drop-connection, truncate-payload,
+    delay, garbage-bytes, refuse-accept — can be queued per site:
+        probe.accept        server accept loop
+        probe.response      server response path
+        acq.batch_run       one batched acquisition run
+        acq.pebs.rotation   one PEBS threshold rotation timeslice
+    The fault matrix in tests/integration_resilience.rs drives every
+    fault through a live probe round-trip nightly in CI.
+
+TELEMETRY (with --telemetry FILE):
+    resilience.retries        sleeps taken between retry attempts
+    faults.injected           scripted faults consumed
+    probe.fetch.*             chunks, chunks_lost, degraded fetches,
+                              deadline_exceeded
+    probe.faults.*            server-side injected fault outcomes
+    acq.retries / acq.faults  acquisition retry traffic
+    runner.failed_repetitions / runner.skipped_repetitions
+    runner.circuit.*          campaign breaker state
+    session.quarantined       corrupt archives quarantined
+
+CI:
+    .github/workflows/ci.yml runs fmt, clippy -D warnings, a release
+    build and the workspace tests offline on stable + the pinned MSRV;
+    nightly.yml adds the fault matrix, the telemetry-overhead guard and
+    uploads a telemetry snapshot artifact. scripts/ci-local.sh
+    reproduces both locally (`--quick` skips the nightly tier).
+"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn help_topics_cover_resilience() {
+        assert!(super::usage().contains("help resilience"));
+        assert!(super::usage().contains("help telemetry"));
+        assert!(super::resilience_help().contains("probe.accept"));
+        assert!(super::resilience_help().contains("degraded"));
+    }
 }

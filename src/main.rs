@@ -3,10 +3,10 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help" {
-        if args.get(1).map(String::as_str) == Some("telemetry") {
-            print!("{}", numa_perf_tools::cli::telemetry_help());
-        } else {
-            print!("{}", numa_perf_tools::cli::usage());
+        match args.get(1).map(String::as_str) {
+            Some("telemetry") => print!("{}", numa_perf_tools::cli::telemetry_help()),
+            Some("resilience") => print!("{}", numa_perf_tools::cli::resilience_help()),
+            _ => print!("{}", numa_perf_tools::cli::usage()),
         }
         return;
     }
