@@ -1,0 +1,132 @@
+//! Barrier-matching / deadlock analysis.
+//!
+//! The engine releases a barrier when every *unfinished* thread waits on
+//! the same id; a thread whose remaining ops contain no barrier eventually
+//! finishes and drops out of the condition. Because non-barrier ops always
+//! terminate, the engine's barrier behaviour is fully determined by each
+//! thread's *sequence of barrier ids* — so an abstract lockstep simulation
+//! over those sequences is both sound and complete: it reports a deadlock
+//! exactly when `MachineSim::run` would panic with
+//! "program deadlocked on a barrier".
+
+use crate::cfg::ProgramCfg;
+
+/// A statically detected barrier deadlock: the stuck frontier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// `(thread index, barrier id it waits on)` for every thread blocked
+    /// at the point of the mismatch.
+    pub stuck: Vec<(usize, u32)>,
+    /// Number of barrier releases that succeeded before the mismatch.
+    pub releases_before: usize,
+}
+
+impl std::fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "barrier deadlock after {} release(s): ",
+            self.releases_before
+        )?;
+        for (i, (thread, id)) in self.stuck.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "thread {thread} waits on barrier {id}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks barrier consistency. On success returns the global release
+/// sequence (the barrier ids, in the order every participating thread
+/// passes them); on mismatch returns the stuck frontier.
+pub fn check_barriers(cfg: &ProgramCfg) -> Result<Vec<u32>, DeadlockReport> {
+    let mut pos: Vec<usize> = vec![0; cfg.threads.len()];
+    let mut releases = Vec::new();
+    loop {
+        // Threads with barriers still ahead of them; others have finished
+        // (or will finish) and no longer gate releases.
+        let active: Vec<usize> = (0..cfg.threads.len())
+            .filter(|&t| pos[t] < cfg.threads[t].barrier_seq.len())
+            .collect();
+        if active.is_empty() {
+            return Ok(releases);
+        }
+        let first_id = cfg.threads[active[0]].barrier_seq[pos[active[0]]].1;
+        if active
+            .iter()
+            .all(|&t| cfg.threads[t].barrier_seq[pos[t]].1 == first_id)
+        {
+            releases.push(first_id);
+            for &t in &active {
+                pos[t] += 1;
+            }
+        } else {
+            return Err(DeadlockReport {
+                stuck: active
+                    .iter()
+                    .map(|&t| (t, cfg.threads[t].barrier_seq[pos[t]].1))
+                    .collect(),
+                releases_before: releases.len(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::program::ProgramBuilder;
+    use np_simulator::topology::Topology;
+
+    fn build(seqs: &[&[u32]]) -> ProgramCfg {
+        let t = Topology::fully_interconnected(2, 4, 1 << 30);
+        let mut b = ProgramBuilder::new(&t, 4096);
+        for (i, seq) in seqs.iter().enumerate() {
+            let th = b.add_thread(i);
+            for &id in *seq {
+                b.barrier(th, id);
+            }
+        }
+        ProgramCfg::build(&b.build())
+    }
+
+    #[test]
+    fn matched_sequences_release_in_order() {
+        let cfg = build(&[&[1, 2, 3], &[1, 2, 3]]);
+        assert_eq!(check_barriers(&cfg).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn prefix_threads_drop_out() {
+        // Thread 1 stops synchronising after barrier 1; thread 0 then
+        // passes 2 alone — exactly what the engine does once thread 1
+        // finishes.
+        let cfg = build(&[&[1, 2], &[1]]);
+        assert_eq!(check_barriers(&cfg).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn permuted_ids_deadlock() {
+        let cfg = build(&[&[1, 2], &[2, 1]]);
+        let dl = check_barriers(&cfg).unwrap_err();
+        assert_eq!(dl.releases_before, 0);
+        assert_eq!(dl.stuck, vec![(0, 1), (1, 2)]);
+        assert!(dl.to_string().contains("thread 0 waits on barrier 1"));
+    }
+
+    #[test]
+    fn mismatch_after_common_prefix() {
+        let cfg = build(&[&[5, 6, 7], &[5, 6, 9]]);
+        let dl = check_barriers(&cfg).unwrap_err();
+        assert_eq!(dl.releases_before, 2);
+        assert_eq!(dl.stuck, vec![(0, 7), (1, 9)]);
+    }
+
+    #[test]
+    fn no_barriers_is_trivially_consistent() {
+        let cfg = build(&[&[], &[]]);
+        assert_eq!(check_barriers(&cfg).unwrap(), Vec::<u32>::new());
+    }
+}

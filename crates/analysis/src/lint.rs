@@ -1,0 +1,589 @@
+//! Token-level workspace invariant linter.
+//!
+//! The workspace has a handful of cross-crate invariants that `rustc`
+//! cannot express and code review keeps re-litigating: probe/acquisition
+//! paths must stay panic-free (they run inside fault-injection loops),
+//! socket reads must go through the bounded reader, relaxed atomics are a
+//! telemetry-internal liberty, telemetry calls on hot paths must be
+//! guarded, and deterministic code must not read wall clocks. This module
+//! enforces them with a token scan — no `syn`, no `rustc` plumbing, zero
+//! dependencies — after blanking comments and string/char literals with a
+//! small state machine so that prose never trips a rule. `#[cfg(test)]`
+//! modules are exempt, and a `// lint:allow(rule)` trailer on the
+//! offending line silences a single finding with an audit trail.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a file/line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule identifier (also the `lint:allow(...)` key).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// All findings from one workspace scan.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Findings sorted by (path, line).
+    pub findings: Vec<LintFinding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Whether the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Plain-text rendering, one diagnostic per line plus a summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{f}");
+        }
+        let _ = write!(
+            out,
+            "lint: {} finding(s) in {} file(s) scanned",
+            self.findings.len(),
+            self.files_scanned
+        );
+        out
+    }
+
+    /// JSON rendering (machine-readable CI artifact).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"files_scanned\":");
+        let _ = write!(out, "{}", self.files_scanned);
+        out.push_str(",\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                escape_json(&f.path),
+                f.line,
+                f.rule,
+                escape_json(&f.message)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Files whose non-test code must be panic-free: they sit under the
+/// fault-injection and acquisition loops where a panic aborts a whole
+/// measurement campaign instead of surfacing a typed error.
+const NO_PANIC_FILES: &[&str] = &[
+    "crates/core/src/memhist/probe.rs",
+    "crates/resilience/src/io.rs",
+    "crates/counters/src/acquisition.rs",
+    "crates/counters/src/pebs.rs",
+];
+
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// The one file allowed to call raw socket reads (it defines the bounded
+/// line reader everything else must use).
+const BOUNDED_READER_FILE: &str = "crates/resilience/src/io.rs";
+
+/// Deterministic paths that must not observe wall clocks: the simulator
+/// (seeded reproducibility) and the fault plan (seeded schedules).
+fn wall_clock_forbidden(path: &str) -> bool {
+    path.starts_with("crates/numa-sim/") || path == "crates/resilience/src/fault.rs"
+}
+
+/// Blanks comments, string literals, and char literals so token scans only
+/// see code. Handles nested block comments, escapes, and raw strings
+/// (`r"…"`, `r#"…"#`, …). Every non-code byte becomes a space; newlines
+/// survive so line numbers stay aligned.
+fn blank_non_code(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = vec![b' '; b.len()];
+    let mut i = 0;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        if c == b'\n' {
+            out[i] = b'\n';
+            i += 1;
+        } else if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            // Line comment: blank to end of line.
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+        } else if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            // Block comment, possibly nested.
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'\n' {
+                    out[i] = b'\n';
+                }
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    if i + 1 < n && b[i + 1] == b'\n' {
+                        out[i + 1] = b'\n';
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if c == b'r' && i + 1 < n && (b[i + 1] == b'"' || b[i + 1] == b'#') {
+            // Possible raw string r"…" / r#"…"#.
+            let mut j = i + 1;
+            let mut hashes = 0;
+            while j < n && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == b'"' {
+                out[i] = b'r'; // keep the sigil so identifiers stay intact
+                i = j + 1;
+                'raw: while i < n {
+                    if b[i] == b'\n' {
+                        out[i] = b'\n';
+                    }
+                    if b[i] == b'"' {
+                        let mut k = i + 1;
+                        let mut seen = 0;
+                        while k < n && seen < hashes && b[k] == b'#' {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            i = k;
+                            break 'raw;
+                        }
+                    }
+                    i += 1;
+                }
+            } else {
+                out[i] = c;
+                i += 1;
+            }
+        } else if c == b'"' {
+            // Regular string literal with escapes.
+            i += 1;
+            while i < n {
+                if b[i] == b'\n' {
+                    out[i] = b'\n';
+                    i += 1;
+                } else if b[i] == b'\\' {
+                    i += 2;
+                } else if b[i] == b'"' {
+                    i += 1;
+                    break;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if c == b'\'' {
+            // Char literal vs lifetime: 'x' or '\n' is a literal; 'a in
+            // `&'a str` is a lifetime and keeps only the quote blanked.
+            if i + 1 < n && b[i + 1] == b'\\' {
+                i += 2;
+                while i < n && b[i] != b'\'' {
+                    i += 1;
+                }
+                i += 1;
+            } else if i + 2 < n && b[i + 2] == b'\'' {
+                i += 3;
+            } else {
+                i += 1;
+            }
+        } else {
+            out[i] = c;
+            i += 1;
+        }
+    }
+    String::from_utf8(out).expect("blanking preserves ASCII structure")
+}
+
+/// Marks lines inside `#[cfg(test)] mod … { … }` blocks. Returns one bool
+/// per line (true = test code, exempt from rules).
+fn test_module_lines(blanked: &str) -> Vec<bool> {
+    let lines: Vec<&str> = blanked.lines().collect();
+    let mut in_test = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].contains("#[cfg(test)]") {
+            // Find the module opening within the next few lines.
+            let mut j = i;
+            while j < lines.len() && !lines[j].contains('{') {
+                j += 1;
+            }
+            if j < lines.len() {
+                let mut depth: i64 = 0;
+                let mut k = j;
+                loop {
+                    for ch in lines[k].chars() {
+                        match ch {
+                            '{' => depth += 1,
+                            '}' => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    in_test[k] = true;
+                    if depth <= 0 || k + 1 == lines.len() {
+                        break;
+                    }
+                    k += 1;
+                }
+                for flag in in_test.iter_mut().take(j + 1).skip(i) {
+                    *flag = true;
+                }
+                i = k + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Whether `raw_line` carries an allow marker for `rule`.
+fn allowed(raw_line: &str, rule: &str) -> bool {
+    raw_line
+        .find("lint:allow(")
+        .map(|p| raw_line[p + "lint:allow(".len()..].starts_with(rule))
+        .unwrap_or(false)
+}
+
+/// Lints one file's source text. `path` is the workspace-relative path
+/// with forward slashes; rule scoping keys off it.
+pub fn lint_source(path: &str, source: &str) -> Vec<LintFinding> {
+    let blanked = blank_non_code(source);
+    let in_test = test_module_lines(&blanked);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let code_lines: Vec<&str> = blanked.lines().collect();
+    let mut findings = Vec::new();
+
+    let no_panic = NO_PANIC_FILES.contains(&path);
+    let uses_tcp = blanked.contains("TcpStream") && path != BOUNDED_READER_FILE;
+    let in_telemetry = path.starts_with("crates/telemetry/");
+    let no_wall_clock = wall_clock_forbidden(path);
+
+    let report =
+        |findings: &mut Vec<LintFinding>, idx: usize, rule: &'static str, message: String| {
+            if !allowed(raw_lines.get(idx).copied().unwrap_or(""), rule) {
+                findings.push(LintFinding {
+                    path: path.to_string(),
+                    line: idx + 1,
+                    rule,
+                    message,
+                });
+            }
+        };
+
+    for (idx, code) in code_lines.iter().enumerate() {
+        if in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+
+        if no_panic {
+            for tok in PANIC_TOKENS {
+                if code.contains(tok) {
+                    report(
+                        &mut findings,
+                        idx,
+                        "no-panic",
+                        format!("`{tok}` in a panic-free acquisition/probe path; return a typed error instead"),
+                    );
+                }
+            }
+        }
+
+        if uses_tcp
+            && (code.contains(".read(")
+                || code.contains("read_to_string(")
+                || code.contains("read_to_end("))
+            && !code.contains("read_line_bounded")
+        {
+            report(
+                &mut findings,
+                idx,
+                "bounded-reads",
+                "raw socket read; use np_resilience::io::read_line_bounded so a slow peer cannot wedge or balloon the client".to_string(),
+            );
+        }
+
+        if !in_telemetry && code.contains("Ordering::Relaxed") {
+            report(
+                &mut findings,
+                idx,
+                "relaxed-ordering",
+                "Ordering::Relaxed outside crates/telemetry; use SeqCst or move the atomic behind the telemetry facade".to_string(),
+            );
+        }
+
+        if !in_telemetry && code.contains("np_telemetry::global()") {
+            // The call must sit under an enabled() check somewhere in the
+            // enclosing fn (scan back to the nearest `fn` header).
+            let mut guarded = code.contains("enabled(");
+            if !guarded {
+                let mut k = idx;
+                while k > 0 {
+                    k -= 1;
+                    let l = code_lines[k];
+                    if l.contains("enabled(") || l.contains("set_enabled(") {
+                        guarded = true;
+                        break;
+                    }
+                    if l.contains("fn ") {
+                        break;
+                    }
+                }
+            }
+            if !guarded {
+                report(
+                    &mut findings,
+                    idx,
+                    "guarded-telemetry",
+                    "np_telemetry::global() without an enabled() guard in the enclosing fn; hot paths must skip disabled telemetry".to_string(),
+                );
+            }
+        }
+
+        if no_wall_clock && (code.contains("Instant::now()") || code.contains("SystemTime::now()"))
+        {
+            report(
+                &mut findings,
+                idx,
+                "no-wall-clock",
+                "wall-clock read in a deterministic path; thread time through the seeded simulator clock".to_string(),
+            );
+        }
+    }
+    findings
+}
+
+/// Recursively collects `.rs` files under `dir` into `out`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the workspace rooted at `root`: every `.rs` file under `src/` and
+/// `crates/*/src/`, excluding the vendored shims. Tests, benches and
+/// examples are out of scope by construction.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut files = Vec::new();
+    let top_src = root.join("src");
+    if top_src.is_dir() {
+        collect_rs(&top_src, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "shims"))
+            .collect();
+        crate_dirs.sort();
+        for c in crate_dirs {
+            let src = c.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+
+    let mut report = LintReport::default();
+    for f in &files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = std::fs::read_to_string(f)?;
+        report.findings.extend(lint_source(&rel, &source));
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_tokens_flagged_only_in_scoped_files() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let hits = lint_source("crates/counters/src/acquisition.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "no-panic");
+        assert_eq!(hits[0].line, 1);
+        assert!(lint_source("crates/counters/src/catalog.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_strings_and_tests_are_exempt() {
+        let src = concat!(
+            "// calling .unwrap() here would be bad\n",
+            "fn f() -> &'static str { \"never .unwrap() in prose\" }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { Some(1).unwrap(); }\n",
+            "}\n",
+        );
+        assert!(lint_source("crates/resilience/src/io.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_reads_near_tcp_are_flagged() {
+        let src = concat!(
+            "use std::net::TcpStream;\n",
+            "fn f(s: &mut TcpStream, buf: &mut [u8]) {\n",
+            "    let _ = s.read(buf);\n",
+            "}\n",
+        );
+        let hits = lint_source("crates/core/src/session.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "bounded-reads");
+        assert_eq!(hits[0].line, 3);
+        // The bounded reader itself is exempt.
+        assert!(lint_source("crates/resilience/src/io.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_ordering_allowed_only_in_telemetry() {
+        let src = "fn f(a: &std::sync::atomic::AtomicU64) { a.load(Ordering::Relaxed); }\n";
+        assert!(lint_source("crates/telemetry/src/registry.rs", src).is_empty());
+        let hits = lint_source("crates/core/src/runner.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "relaxed-ordering");
+    }
+
+    #[test]
+    fn telemetry_calls_need_an_enabled_guard() {
+        let bad = concat!(
+            "fn record() {\n",
+            "    np_telemetry::global().counter(\"x\").add(1);\n",
+            "}\n",
+        );
+        let good = concat!(
+            "fn record() {\n",
+            "    if np_telemetry::enabled() {\n",
+            "        np_telemetry::global().counter(\"x\").add(1);\n",
+            "    }\n",
+            "}\n",
+        );
+        let hits = lint_source("crates/core/src/runner.rs", bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "guarded-telemetry");
+        assert!(lint_source("crates/core/src/runner.rs", good).is_empty());
+        // Inside the telemetry crate the facade may call itself freely.
+        assert!(lint_source("crates/telemetry/src/snapshot.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_forbidden_in_deterministic_paths() {
+        let src = "fn f() { let _t = std::time::Instant::now(); }\n";
+        let hits = lint_source("crates/numa-sim/src/engine.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "no-wall-clock");
+        assert!(lint_source("crates/resilience/src/retry.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_silences_one_line() {
+        let src =
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(no-panic): startup only\n";
+        assert!(lint_source("crates/counters/src/pebs.rs", src).is_empty());
+        // Marker for a different rule does not silence.
+        let other = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(bounded-reads)\n";
+        assert_eq!(lint_source("crates/counters/src/pebs.rs", other).len(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings_blank_cleanly() {
+        let src = concat!(
+            "/* outer /* inner .unwrap() */ still comment .expect( */\n",
+            "fn f() -> String { String::from(r#\"panic! \"quoted\" .unwrap()\"#) }\n",
+            "fn g(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        );
+        let hits = lint_source("crates/counters/src/pebs.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 3);
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let report = LintReport {
+            findings: vec![LintFinding {
+                path: "a\"b.rs".into(),
+                line: 7,
+                rule: "no-panic",
+                message: "x".into(),
+            }],
+            files_scanned: 3,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"files_scanned\":3"));
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(!report.is_clean());
+    }
+}

@@ -1,0 +1,177 @@
+//! Differential property tests: for arbitrary generated programs, every
+//! dynamic hardware-event total from the engine must land inside the
+//! static envelope `np_analysis::bounds` computes, and the static barrier
+//! check must agree with the engine's release behaviour.
+//!
+//! Programs are generated with threads holding *prefixes of a common
+//! ascending barrier sequence* — the engine drops finished threads from
+//! the release condition, so such programs never deadlock and the
+//! analyzer must agree.
+
+use np_analysis::{analyze, check_barriers, compute_bounds, ProgramCfg};
+use np_simulator::config::MachineConfig;
+use np_simulator::program::{Program, ProgramBuilder};
+use np_simulator::{AllocPolicy, MachineSim};
+use proptest::prelude::*;
+
+const PAGES: u64 = 16;
+
+/// One generated thread: pinned core slot, ops, and how many barriers of
+/// the common sequence it passes.
+#[derive(Debug, Clone)]
+struct GenThread {
+    core_slot: usize,
+    ops: Vec<GenOp>,
+    barriers: usize,
+}
+
+#[derive(Debug, Clone)]
+enum GenOp {
+    Load(u64),
+    LoadDep(u64),
+    Store(u64),
+    Exec(u32),
+    Branch(bool),
+    TlbFlush,
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    let span = PAGES * 4096;
+    prop_oneof![
+        (0..span).prop_map(GenOp::Load),
+        (0..span).prop_map(GenOp::LoadDep),
+        (0..span).prop_map(GenOp::Store),
+        (1u32..50).prop_map(GenOp::Exec),
+        (0u32..2).prop_map(|b| GenOp::Branch(b == 1)),
+        Just(GenOp::TlbFlush),
+    ]
+}
+
+/// The vendored proptest shim has no tuple strategies, so the composite
+/// thread strategy implements `Strategy` directly.
+struct GenThreadStrategy;
+
+impl Strategy for GenThreadStrategy {
+    type Value = GenThread;
+
+    fn generate(&self, rng: &mut TestRng) -> GenThread {
+        GenThread {
+            core_slot: rng.below(8) as usize,
+            ops: proptest::collection::vec(gen_op(), 0..40).generate(rng),
+            barriers: rng.below(4) as usize,
+        }
+    }
+}
+
+fn gen_thread() -> impl Strategy<Value = GenThread> {
+    GenThreadStrategy
+}
+
+/// Builds a runnable program: distinct cores, one shared buffer, each
+/// thread's ops split across its barrier prefix.
+fn build(threads: &[GenThread], policy: AllocPolicy, cfg: &MachineConfig) -> Program {
+    let mut b = ProgramBuilder::new(&cfg.topology, cfg.page_bytes);
+    let buf = b.alloc(PAGES * 4096, policy);
+    let total_cores = cfg.topology.total_cores();
+    let mut used = std::collections::HashSet::new();
+    for (i, t) in threads.iter().enumerate() {
+        // Distinct cores: probe from the requested slot.
+        let mut core = t.core_slot % total_cores;
+        while !used.insert(core) {
+            core = (core + 1) % total_cores;
+        }
+        let th = b.add_thread(core);
+        // Spread the ops across barriers.len() + 1 supersteps.
+        let chunks = t.barriers + 1;
+        let per = t.ops.len().div_ceil(chunks).max(1);
+        let mut next_barrier = 1u32;
+        for (j, op) in t.ops.iter().enumerate() {
+            if j > 0 && j % per == 0 && (next_barrier as usize) <= t.barriers {
+                b.barrier(th, next_barrier);
+                next_barrier += 1;
+            }
+            match op {
+                GenOp::Load(off) => b.load(th, buf + off),
+                GenOp::LoadDep(off) => b.load_dependent(th, buf + off),
+                GenOp::Store(off) => b.store(th, buf + off),
+                GenOp::Exec(n) => b.exec(th, *n),
+                GenOp::Branch(taken) => b.branch(th, (i * 100 + j) as u32, *taken),
+                GenOp::TlbFlush => b.tlb_flush(th),
+            }
+        }
+        while (next_barrier as usize) <= t.barriers {
+            b.barrier(th, next_barrier);
+            next_barrier += 1;
+        }
+    }
+    b.build()
+}
+
+fn policy(pick: usize) -> AllocPolicy {
+    match pick % 3 {
+        0 => AllocPolicy::FirstTouch,
+        1 => AllocPolicy::Bind(1),
+        _ => AllocPolicy::Interleave,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Quiet machine: exact instruction/retirement accounting plus every
+    /// envelope, across two seeds.
+    #[test]
+    fn quiet_runs_stay_inside_static_envelope(
+        threads in proptest::collection::vec(gen_thread(), 1..4),
+        policy_pick in 0usize..3,
+    ) {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        let p = build(&threads, policy(policy_pick), &cfg);
+        prop_assert!(p.validate(&cfg.topology).is_ok());
+        prop_assert!(check_barriers(&ProgramCfg::build(&p)).is_ok());
+        let bounds = compute_bounds(&p, &cfg);
+        let sim = MachineSim::new(cfg);
+        for seed in [1u64, 2] {
+            let r = sim.run(&p, seed);
+            let v = bounds.check(&r.counters.totals(), r.cycles);
+            prop_assert!(v.is_empty(), "seed {}: {}", seed, v.join("; "));
+        }
+    }
+
+    /// Default noise (timer interrupts + DRAM jitter): the fixed-point
+    /// interrupt bound and jittered latency envelopes must still hold.
+    #[test]
+    fn noisy_runs_stay_inside_static_envelope(
+        threads in proptest::collection::vec(gen_thread(), 1..4),
+        policy_pick in 0usize..3,
+        seed in 1u64..500,
+    ) {
+        let cfg = MachineConfig::two_socket_small();
+        let p = build(&threads, policy(policy_pick), &cfg);
+        let bounds = compute_bounds(&p, &cfg);
+        let sim = MachineSim::new(cfg);
+        let r = sim.run(&p, seed);
+        let v = bounds.check(&r.counters.totals(), r.cycles);
+        prop_assert!(v.is_empty(), "{}", v.join("; "));
+    }
+
+    /// The full analyze() entry point never reports a deadlock for
+    /// prefix-barrier programs, and its bounds match compute_bounds.
+    #[test]
+    fn analyze_agrees_with_engine_on_liveness(
+        threads in proptest::collection::vec(gen_thread(), 1..3),
+    ) {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        let p = build(&threads, AllocPolicy::Interleave, &cfg);
+        let a = analyze(&p, &cfg);
+        prop_assert!(a.validate.is_ok());
+        prop_assert!(a.barriers.is_ok());
+        // The engine completes (it would panic on deadlock).
+        let r = MachineSim::new(cfg).run(&p, 3);
+        prop_assert!(a.bounds.check(&r.counters.totals(), r.cycles).is_empty());
+    }
+}

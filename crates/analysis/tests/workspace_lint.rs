@@ -1,0 +1,24 @@
+//! The workspace must satisfy its own invariants: `np lint` runs clean.
+//! This is the same scan the CLI and CI run; keeping it as a test means
+//! `cargo test` alone catches a reintroduced violation.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crate lives two levels under the workspace root");
+    let report = np_analysis::lint_workspace(root).expect("workspace sources are readable");
+    assert!(
+        report.files_scanned > 40,
+        "scan looks truncated: only {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace lint violations:\n{}",
+        report.render()
+    );
+}

@@ -19,7 +19,7 @@
 use crate::catalog::EventId;
 use crate::measurement::{Measurement, RunSet};
 use crate::pmu::PmuModel;
-use np_resilience::{Fault, FaultInjector, NoFaults, RetryPolicy};
+use np_resilience::{Fault, FaultInjector, RetryPolicy};
 use np_simulator::{Counters, MachineSim, Program, RunResult, SimObserver};
 
 /// Which acquisition strategy to use.
@@ -46,17 +46,67 @@ pub fn measure_batched(
     base_seed: u64,
     pmu: &PmuModel,
 ) -> RunSet {
-    measure_batched_resilient(
-        sim,
-        program,
-        events,
-        repetitions,
-        base_seed,
-        pmu,
-        &RetryPolicy::immediate(1),
-        &NoFaults,
-    )
-    .expect("acquisition cannot fail without fault injection")
+    // The runner is total, so the error type is uninhabited and the
+    // empty match discharges the Result without a panic path.
+    let result = batched_core(events, repetitions, base_seed, pmu, &mut |seed,
+                                                                         _label|
+     -> Result<
+        RunResult,
+        std::convert::Infallible,
+    > {
+        np_telemetry::counter!("acq.runs").inc();
+        Ok(sim.run(program, seed))
+    });
+    match result {
+        Ok(set) => set,
+        Err(never) => match never {},
+    }
+}
+
+/// The shared batching loop: one `run_one(seed, label)` call per register
+/// batch (or one per repetition when no batches exist), merged into a
+/// [`RunSet`]. Generic over the runner's error so the infallible direct
+/// path carries no panic machinery.
+fn batched_core<E>(
+    events: &[EventId],
+    repetitions: usize,
+    base_seed: u64,
+    pmu: &PmuModel,
+    run_one: &mut dyn FnMut(u64, String) -> Result<RunResult, E>,
+) -> Result<RunSet, E> {
+    let _span = np_telemetry::span!("acq.batched", "counters");
+    let batches = pmu.batches(events);
+    let mut set = RunSet::new("batched");
+    for rep in 0..repetitions {
+        let seed = base_seed + rep as u64;
+        let mut m = Measurement::new(seed);
+        let record_fixed = |m: &mut Measurement, result: &RunResult| {
+            for &f in &pmu.fixed {
+                if events.contains(&f) {
+                    m.values.insert(f, result.total(f) as f64);
+                }
+            }
+            m.cycles = result.cycles;
+        };
+        if batches.is_empty() {
+            let result = run_one(seed, format!("repetition {rep} fixed-counter run"))?;
+            record_fixed(&mut m, &result);
+        }
+        for (bi, batch) in batches.iter().enumerate() {
+            // The PMU only exposes the programmed registers; the simulator
+            // counts everything, so visibility filtering happens here.
+            np_telemetry::counter!("acq.batched.batch_runs").inc();
+            let result = run_one(seed, format!("repetition {rep} batch {bi}"))?;
+            if bi == 0 {
+                record_fixed(&mut m, &result);
+            }
+            for &e in batch {
+                m.values.insert(e, result.total(e) as f64);
+            }
+        }
+        set.runs.push(m);
+    }
+    Ok(set)
 }
 
 /// [`measure_batched`] with a retry policy and fault injection at the
@@ -77,61 +127,28 @@ pub fn measure_batched_resilient(
     retry: &RetryPolicy,
     faults: &dyn FaultInjector,
 ) -> Result<RunSet, String> {
-    let _span = np_telemetry::span!("acq.batched", "counters");
-    let batches = pmu.batches(events);
-    let mut set = RunSet::new("batched");
-    for rep in 0..repetitions {
-        let seed = base_seed + rep as u64;
-        let mut m = Measurement::new(seed);
-        let record_fixed = |m: &mut Measurement, result: &RunResult| {
-            for &f in &pmu.fixed {
-                if events.contains(&f) {
-                    m.values.insert(f, result.total(f) as f64);
-                }
-            }
-            m.cycles = result.cycles;
-        };
-        let run_once = |label: String| -> Result<RunResult, String> {
-            retry
-                .run(
-                    |attempt| {
-                        if attempt.index > 1 {
-                            np_telemetry::counter!("acq.retries").inc();
+    batched_core(events, repetitions, base_seed, pmu, &mut |seed, label| {
+        retry
+            .run(
+                |attempt| {
+                    if attempt.index > 1 {
+                        np_telemetry::counter!("acq.retries").inc();
+                    }
+                    match faults.next("acq.batch_run") {
+                        Some(Fault::Delay(d)) => std::thread::sleep(d),
+                        Some(f) => {
+                            np_telemetry::counter!("acq.faults").inc();
+                            return Err(format!("injected fault: {f:?}"));
                         }
-                        match faults.next("acq.batch_run") {
-                            Some(Fault::Delay(d)) => std::thread::sleep(d),
-                            Some(f) => {
-                                np_telemetry::counter!("acq.faults").inc();
-                                return Err(format!("injected fault: {f:?}"));
-                            }
-                            None => {}
-                        }
-                        np_telemetry::counter!("acq.runs").inc();
-                        Ok(sim.run(program, seed))
-                    },
-                    |_| true,
-                )
-                .map_err(|e| format!("{label}: {e}"))
-        };
-        if batches.is_empty() {
-            let result = run_once(format!("repetition {rep} fixed-counter run"))?;
-            record_fixed(&mut m, &result);
-        }
-        for (bi, batch) in batches.iter().enumerate() {
-            // The PMU only exposes the programmed registers; the simulator
-            // counts everything, so visibility filtering happens here.
-            np_telemetry::counter!("acq.batched.batch_runs").inc();
-            let result = run_once(format!("repetition {rep} batch {bi}"))?;
-            if bi == 0 {
-                record_fixed(&mut m, &result);
-            }
-            for &e in batch {
-                m.values.insert(e, result.total(e) as f64);
-            }
-        }
-        set.runs.push(m);
-    }
-    Ok(set)
+                        None => {}
+                    }
+                    np_telemetry::counter!("acq.runs").inc();
+                    Ok(sim.run(program, seed))
+                },
+                |_| true,
+            )
+            .map_err(|e| format!("{label}: {e}"))
+    })
 }
 
 /// Timeslice observer that rotates event groups and extrapolates.

@@ -294,6 +294,29 @@ impl MachineSim {
                     let core = t.core;
                     threads[ti].finished = true;
                     close_region(&mut open_region[ti], &mut region_acc, &counters, core);
+                    // This thread may have been the last non-waiter gating
+                    // a barrier; it no longer blocks the release, so
+                    // re-check here or the waiters hang forever.
+                    if let Some(id) = threads.iter().find_map(|t| t.waiting_barrier) {
+                        let all_arrived = threads
+                            .iter()
+                            .all(|t| t.finished || t.waiting_barrier == Some(id));
+                        if all_arrived {
+                            let release = threads
+                                .iter()
+                                .filter(|t| !t.finished)
+                                .map(|t| t.now)
+                                .max()
+                                .unwrap_or(0)
+                                + 100;
+                            for t in threads.iter_mut() {
+                                if !t.finished {
+                                    t.waiting_barrier = None;
+                                    t.now = release;
+                                }
+                            }
+                        }
+                    }
                     continue;
                 }
                 ops[t.pc]
@@ -1311,6 +1334,26 @@ mod tests {
         b.exec(t1, 7);
         let r = sim.run(&b.build(), 1);
         assert_eq!(r.total(HwEvent::Instructions), 5 + 100 * 100 + 7);
+    }
+
+    #[test]
+    fn barrier_releases_when_last_non_waiter_finishes_late() {
+        // Reverse arrival order of the test above: t1 reaches its barrier
+        // while t0 (which has no barriers) is still executing. When t0
+        // finishes it must release t1 — liveness cannot depend on the cost
+        // model's timing.
+        let sim = machine();
+        let mut b = ProgramBuilder::new(&sim.config().topology, 4096);
+        let t0 = b.add_thread(0);
+        let t1 = b.add_thread(1);
+        for _ in 0..100 {
+            b.exec(t0, 100);
+        }
+        b.exec(t1, 5);
+        b.barrier(t1, 1);
+        b.exec(t1, 7);
+        let r = sim.run(&b.build(), 1);
+        assert_eq!(r.total(HwEvent::Instructions), 100 * 100 + 5 + 7);
     }
 
     #[test]

@@ -43,5 +43,5 @@ pub use config::MachineConfig;
 pub use engine::{LoadSample, MachineSim, RunResult, ServedBy, SimObserver};
 pub use event::{Counters, HwEvent};
 pub use mem::{AddressSpace, AllocPolicy};
-pub use program::{Op, Program, ProgramBuilder, ThreadProgram};
+pub use program::{Op, Program, ProgramBuilder, ThreadProgram, ValidateError};
 pub use topology::{CoreId, NodeId, Topology};

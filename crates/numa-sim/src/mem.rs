@@ -136,6 +136,14 @@ impl AddressSpace {
     pub fn regions(&self) -> impl Iterator<Item = (u64, u64, AllocPolicy)> + '_ {
         self.regions.iter().map(|r| (r.base, r.bytes, r.policy))
     }
+
+    /// Whether `addr` falls inside an allocated region. Regions are carved
+    /// sequentially, so they are sorted by base and a binary search
+    /// suffices.
+    pub fn contains(&self, addr: u64) -> bool {
+        let i = self.regions.partition_point(|r| r.base <= addr);
+        i > 0 && addr < self.regions[i - 1].base + self.regions[i - 1].bytes
+    }
 }
 
 #[cfg(test)]

@@ -74,25 +74,105 @@ pub struct Program {
     pub threads: Vec<ThreadProgram>,
 }
 
+/// Why a [`Program`] failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidateError {
+    /// The program has no threads.
+    NoThreads,
+    /// A thread is pinned to a core the topology does not have.
+    CoreOutOfRange {
+        /// Index of the offending thread.
+        thread: usize,
+        /// The core it asked for.
+        core: CoreId,
+        /// Cores the topology actually has.
+        total_cores: usize,
+    },
+    /// Two threads are pinned to the same core.
+    CorePinnedTwice {
+        /// Index of the second thread claiming the core.
+        thread: usize,
+        /// The doubly-claimed core.
+        core: CoreId,
+    },
+    /// A `Load`/`Store` addresses memory outside every allocated region.
+    AddressOutOfRange {
+        /// Index of the offending thread.
+        thread: usize,
+        /// Index of the offending op within the thread.
+        op: usize,
+        /// The unmapped address.
+        addr: u64,
+    },
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::NoThreads => write!(f, "program has no threads"),
+            ValidateError::CoreOutOfRange {
+                thread,
+                core,
+                total_cores,
+            } => write!(
+                f,
+                "thread {thread}: core {core} out of range (machine has {total_cores} cores)"
+            ),
+            ValidateError::CorePinnedTwice { thread, core } => {
+                write!(f, "thread {thread}: core {core} pinned twice")
+            }
+            ValidateError::AddressOutOfRange { thread, op, addr } => write!(
+                f,
+                "thread {thread}, op {op}: address {addr:#x} outside every allocated region"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
 impl Program {
     /// Total number of ops across all threads.
     pub fn total_ops(&self) -> usize {
         self.threads.iter().map(|t| t.ops.len()).sum()
     }
 
-    /// Validates core pinning (distinct, in range for `topology`).
-    pub fn validate(&self, topology: &Topology) -> Result<(), String> {
+    /// Validates core pinning (distinct, in range for `topology`) and that
+    /// every `Load`/`Store` targets an allocated region. This is the same
+    /// front door the static analyzer (`np-analysis`) uses before it
+    /// reasons about a program.
+    pub fn validate(&self, topology: &Topology) -> Result<(), ValidateError> {
+        if self.threads.is_empty() {
+            return Err(ValidateError::NoThreads);
+        }
         let mut seen = std::collections::HashSet::new();
-        for t in &self.threads {
+        for (i, t) in self.threads.iter().enumerate() {
             if t.core >= topology.total_cores() {
-                return Err(format!("core {} out of range", t.core));
+                return Err(ValidateError::CoreOutOfRange {
+                    thread: i,
+                    core: t.core,
+                    total_cores: topology.total_cores(),
+                });
             }
             if !seen.insert(t.core) {
-                return Err(format!("core {} pinned twice", t.core));
+                return Err(ValidateError::CorePinnedTwice {
+                    thread: i,
+                    core: t.core,
+                });
             }
-        }
-        if self.threads.is_empty() {
-            return Err("program has no threads".into());
+            for (j, op) in t.ops.iter().enumerate() {
+                let addr = match op {
+                    Op::Load { addr, .. } | Op::Store { addr } => *addr,
+                    _ => continue,
+                };
+                if !self.space.contains(addr) {
+                    return Err(ValidateError::AddressOutOfRange {
+                        thread: i,
+                        op: j,
+                        addr,
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -257,6 +337,55 @@ mod tests {
         let t = topo();
         let b = ProgramBuilder::new(&t, 4096);
         assert!(b.build().validate(&t).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unmapped_address() {
+        let t = topo();
+        let mut b = ProgramBuilder::new(&t, 4096);
+        let buf = b.alloc(4096, AllocPolicy::Bind(0));
+        let th = b.add_thread(0);
+        b.load(th, buf);
+        b.store(th, buf + 4096); // one byte past the region
+        let err = b.build().validate(&t).unwrap_err();
+        assert_eq!(
+            err,
+            ValidateError::AddressOutOfRange {
+                thread: 0,
+                op: 1,
+                addr: buf + 4096
+            }
+        );
+        assert!(err.to_string().contains("outside every allocated region"));
+    }
+
+    #[test]
+    fn validate_errors_are_typed() {
+        let t = topo();
+        let b = ProgramBuilder::new(&t, 4096);
+        assert_eq!(
+            b.build().validate(&t).unwrap_err(),
+            ValidateError::NoThreads
+        );
+
+        let mut b = ProgramBuilder::new(&t, 4096);
+        b.add_thread(99);
+        assert!(matches!(
+            b.build().validate(&t).unwrap_err(),
+            ValidateError::CoreOutOfRange {
+                thread: 0,
+                core: 99,
+                ..
+            }
+        ));
+
+        let mut b = ProgramBuilder::new(&t, 4096);
+        b.add_thread(1);
+        b.add_thread(1);
+        assert!(matches!(
+            b.build().validate(&t).unwrap_err(),
+            ValidateError::CorePinnedTwice { thread: 1, core: 1 }
+        ));
     }
 
     #[test]

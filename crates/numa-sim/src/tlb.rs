@@ -103,6 +103,29 @@ impl Tlb {
     pub fn occupancy(&self) -> usize {
         self.entries.iter().filter(|e| e.page != INVALID).count()
     }
+
+    /// Static-analysis helper: whether a working set of *distinct* `pages`
+    /// provably fits a TLB of `entries` slots without conflict evictions —
+    /// i.e. no set is claimed by more than its ways. When true, a cold TLB
+    /// misses each page exactly once; when false, conflict evictions can
+    /// re-miss resident pages even below total capacity (see
+    /// `five_way_conflict_evicts_lru`). `np-analysis` uses this to decide
+    /// whether its dTLB-miss upper bound can be tight.
+    pub fn fits_without_evictions(entries: u32, pages: impl Iterator<Item = u64>) -> bool {
+        let sets = (entries.max(1) as u64)
+            .div_ceil(WAYS as u64)
+            .next_power_of_two();
+        let mask = sets - 1;
+        let mut per_set = std::collections::HashMap::new();
+        for p in pages {
+            let c = per_set.entry(p & mask).or_insert(0usize);
+            *c += 1;
+            if *c > WAYS {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]

@@ -94,9 +94,11 @@ impl CircuitBreaker {
             CircuitState::HalfOpen => {
                 // One probe at a time: further callers are rejected until
                 // the in-flight probe reports.
-                np_telemetry::global()
-                    .counter(&format!("{}.rejected", self.name))
-                    .inc();
+                if np_telemetry::enabled() {
+                    np_telemetry::global()
+                        .counter(&format!("{}.rejected", self.name))
+                        .inc();
+                }
                 false
             }
             CircuitState::Open => {
@@ -108,9 +110,11 @@ impl CircuitBreaker {
                     self.transition(&mut inner, CircuitState::HalfOpen);
                     true
                 } else {
-                    np_telemetry::global()
-                        .counter(&format!("{}.rejected", self.name))
-                        .inc();
+                    if np_telemetry::enabled() {
+                        np_telemetry::global()
+                            .counter(&format!("{}.rejected", self.name))
+                            .inc();
+                    }
                     false
                 }
             }
@@ -138,17 +142,21 @@ impl CircuitBreaker {
         if trip {
             inner.opened_at = Some(Instant::now());
             self.transition(&mut inner, CircuitState::Open);
-            np_telemetry::global()
-                .counter(&format!("{}.opens", self.name))
-                .inc();
+            if np_telemetry::enabled() {
+                np_telemetry::global()
+                    .counter(&format!("{}.opens", self.name))
+                    .inc();
+            }
         }
     }
 
     fn transition(&self, inner: &mut Inner, to: CircuitState) {
         inner.state = to;
-        np_telemetry::global()
-            .gauge(&format!("{}.state", self.name))
-            .set(to.gauge_value());
+        if np_telemetry::enabled() {
+            np_telemetry::global()
+                .gauge(&format!("{}.state", self.name))
+                .set(to.gauge_value());
+        }
     }
 }
 

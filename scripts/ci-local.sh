@@ -28,6 +28,12 @@ cargo test -q --offline
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace --offline
 
+echo "== np lint (workspace invariants) =="
+cargo run --release --offline --quiet -- lint
+
+echo "== np analyze (static envelopes vs engine, all workloads) =="
+cargo run --release --offline --quiet -- analyze --machine two-socket --size 96
+
 if [[ "$quick" -eq 0 ]]; then
   echo "== nightly: fault-injection matrix (release) =="
   cargo test --release --offline --test integration_resilience

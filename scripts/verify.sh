@@ -22,4 +22,10 @@ cargo test -q --offline
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace --offline
 
+echo "== np lint (workspace invariants) =="
+cargo run --release --offline --quiet -- lint
+
+echo "== np analyze (static envelopes vs engine, all workloads) =="
+cargo run --release --offline --quiet -- analyze --machine two-socket --size 96
+
 echo "tier-1 verify: OK"

@@ -33,6 +33,10 @@ pub enum Command {
     Archives,
     /// Cacheline contention analysis (perf c2c analogue).
     C2c,
+    /// Static code-to-indicator analysis (bounds, barriers, races).
+    Analyze,
+    /// Workspace invariant linter.
+    Lint,
 }
 
 impl Command {
@@ -52,6 +56,8 @@ impl Command {
             "diff" => Command::Diff,
             "archives" => Command::Archives,
             "c2c" => Command::C2c,
+            "analyze" => Command::Analyze,
+            "lint" => Command::Lint,
             _ => return None,
         })
     }
@@ -92,6 +98,8 @@ pub struct Cli {
     pub telemetry: Option<String>,
     /// Write a Chrome-trace file of internal spans to this path.
     pub trace: Option<String>,
+    /// Workspace root for `lint` (`--path`).
+    pub path: String,
 }
 
 impl Cli {
@@ -133,6 +141,7 @@ impl Cli {
             save: None,
             telemetry: pre_telemetry,
             trace: pre_trace,
+            path: ".".into(),
         };
 
         let take_value =
@@ -177,6 +186,7 @@ impl Cli {
                 "--save" => cli.save = Some(take_value("--save", &mut it)?),
                 "--telemetry" => cli.telemetry = Some(take_value("--telemetry", &mut it)?),
                 "--trace" => cli.trace = Some(take_value("--trace", &mut it)?),
+                "--path" => cli.path = take_value("--path", &mut it)?,
                 other => return Err(format!("unknown option '{other}'")),
             }
         }
@@ -300,6 +310,18 @@ mod tests {
         // Off by default: parsing must not enable the global registry.
         let plain = parse(&["stat", "-w", "sift"]).unwrap();
         assert!(plain.telemetry.is_none() && plain.trace.is_none());
+    }
+
+    #[test]
+    fn analyze_and_lint_parse() {
+        let cli = parse(&["analyze", "-w", "sort", "--machine", "two-socket"]).unwrap();
+        assert_eq!(cli.command, Command::Analyze);
+        assert_eq!(cli.workload.as_deref(), Some("sort"));
+        let cli = parse(&["lint", "--path", "/tmp/ws"]).unwrap();
+        assert_eq!(cli.command, Command::Lint);
+        assert_eq!(cli.path, "/tmp/ws");
+        // Default lint root is the current directory.
+        assert_eq!(parse(&["lint"]).unwrap().path, ".");
     }
 
     #[test]

@@ -30,6 +30,196 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         Command::Diff => diff(cli),
         Command::Archives => archives(cli),
         Command::C2c => c2c(cli),
+        Command::Analyze => analyze_cmd(cli),
+        Command::Lint => lint_cmd(cli),
+    }
+}
+
+/// `np analyze`: static code-to-indicator analysis, proven against one
+/// dynamic run — every observed counter total must land inside its static
+/// envelope, or the command fails.
+fn analyze_cmd(cli: &Cli) -> Result<String, String> {
+    let machine = cli.machine_config()?;
+    match cli.workload.as_deref() {
+        Some(name) => analyze_one(cli, &machine, name),
+        None => analyze_all(cli, &machine),
+    }
+}
+
+fn fmt_max(max: Option<u64>) -> String {
+    match max {
+        Some(m) => m.to_string(),
+        None => "∞".to_string(),
+    }
+}
+
+fn analyze_one(
+    cli: &Cli,
+    machine: &np_simulator::MachineConfig,
+    name: &str,
+) -> Result<String, String> {
+    let w = workloads::build(name, cli.size, cli.threads, machine)?;
+    let program = w.build(machine);
+    let a = np_analysis::analyze(&program, machine);
+    let mut out = format!(
+        "static analysis: {} on {} ({} thread(s), {} basic block(s))\n\n",
+        w.name(),
+        cli.machine,
+        program.threads.len(),
+        a.block_count
+    );
+    match &a.validate {
+        Ok(()) => out.push_str("  validation: ok\n"),
+        Err(e) => out.push_str(&format!("  validation: FAILED — {e}\n")),
+    }
+    match &a.barriers {
+        Ok(order) if order.is_empty() => out.push_str("  barriers:   none\n"),
+        Ok(order) => out.push_str(&format!("  barriers:   {} release(s)\n", order.len())),
+        Err(dl) => out.push_str(&format!("  barriers:   {dl}\n")),
+    }
+    if a.races.is_empty() {
+        out.push_str("  races:      none\n");
+    } else {
+        out.push_str(&format!("  races:      {} finding(s)\n", a.races.len()));
+        for r in a.races.iter().take(8) {
+            out.push_str(&format!("              {r}\n"));
+        }
+        if a.races.len() > 8 {
+            out.push_str(&format!("              … {} more\n", a.races.len() - 8));
+        }
+    }
+    if a.validate.is_err() || a.barriers.is_err() {
+        out.push_str("\nno dynamic run: the program cannot execute\n");
+        return Ok(out);
+    }
+
+    // Differential proof: one engine run, every total inside its envelope.
+    let sim = MachineSim::new(machine.clone());
+    let run = sim.run(&program, cli.seed);
+    let totals = run.counters.totals();
+    out.push_str(&format!(
+        "\n  {:<28} {:>16} {:>16} {:>16}\n",
+        "event",
+        "static min",
+        "static max",
+        format!("observed@{}", cli.seed)
+    ));
+    let mut violations = 0usize;
+    for (event, bound) in a.bounds.iter() {
+        let observed = totals[event.index()];
+        let ok = bound.contains(observed);
+        if !ok {
+            violations += 1;
+        }
+        out.push_str(&format!(
+            "  {:<28} {:>16} {:>16} {:>16}{}\n",
+            event.name(),
+            bound.min,
+            fmt_max(bound.max),
+            observed,
+            if ok { "" } else { "  OUTSIDE" }
+        ));
+    }
+    let wall_ok = a.bounds.wall_cycles.contains(run.cycles);
+    if !wall_ok {
+        violations += 1;
+    }
+    out.push_str(&format!(
+        "  {:<28} {:>16} {:>16} {:>16}{}\n",
+        "wall cycles",
+        a.bounds.wall_cycles.min,
+        fmt_max(a.bounds.wall_cycles.max),
+        run.cycles,
+        if wall_ok { "" } else { "  OUTSIDE" }
+    ));
+    if violations > 0 {
+        return Err(format!(
+            "static envelope violated: {violations} event(s) outside bounds for {name} (seed {})",
+            cli.seed
+        ));
+    }
+    out.push_str("\ndifferential: every observed total inside its static envelope\n");
+    Ok(out)
+}
+
+fn analyze_all(cli: &Cli, machine: &np_simulator::MachineConfig) -> Result<String, String> {
+    // Registry defaults are sized for real measurements; a sweep over all
+    // workloads uses a small size unless one is given explicitly.
+    let size = cli.size.unwrap_or(96);
+    let sim = MachineSim::new(machine.clone());
+    let mut out = format!(
+        "static analysis of {} registry workloads (size {}, {} thread(s), seed {})\n\n",
+        workloads::NAMES.len(),
+        size,
+        cli.threads,
+        cli.seed
+    );
+    out.push_str(&format!(
+        "  {:<20} {:>7} {:>9} {:>6}  envelope\n",
+        "workload", "blocks", "releases", "races"
+    ));
+    let mut failures = Vec::new();
+    for name in workloads::NAMES {
+        let w = workloads::build(name, Some(size), cli.threads, machine)?;
+        let program = w.build(machine);
+        let a = np_analysis::analyze(&program, machine);
+        let releases = match &a.barriers {
+            Ok(order) => order.len().to_string(),
+            Err(_) => "DEADLOCK".to_string(),
+        };
+        let verdict = if a.validate.is_ok() && a.barriers.is_ok() {
+            let run = sim.run(&program, cli.seed);
+            let v = a.bounds.check(&run.counters.totals(), run.cycles);
+            if v.is_empty() {
+                "ok"
+            } else {
+                failures.push(format!("{name}: {}", v.join("; ")));
+                "OUTSIDE"
+            }
+        } else {
+            failures.push(format!("{name}: does not execute"));
+            "skipped"
+        };
+        out.push_str(&format!(
+            "  {:<20} {:>7} {:>9} {:>6}  {}\n",
+            name,
+            a.block_count,
+            releases,
+            a.races.len(),
+            verdict
+        ));
+    }
+    if failures.is_empty() {
+        out.push_str(
+            "\ndifferential: every workload's observed totals inside its static envelope\n",
+        );
+        Ok(out)
+    } else {
+        Err(format!(
+            "static envelopes violated:\n{}",
+            failures.join("\n")
+        ))
+    }
+}
+
+/// `np lint`: the workspace invariant linter. Findings are an error so CI
+/// fails on a violation; `--json` emits the machine-readable report.
+fn lint_cmd(cli: &Cli) -> Result<String, String> {
+    let report = np_analysis::lint_workspace(std::path::Path::new(&cli.path))
+        .map_err(|e| format!("lint: cannot scan '{}': {e}", cli.path))?;
+    if cli.json {
+        let body = report.to_json() + "\n";
+        return if report.is_clean() {
+            Ok(body)
+        } else {
+            Err(body)
+        };
+    }
+    let body = report.render() + "\n";
+    if report.is_clean() {
+        Ok(body)
+    } else {
+        Err(body)
     }
 }
 
@@ -444,6 +634,60 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("total HITM"));
+    }
+
+    #[test]
+    fn analyze_single_workload_shows_differential_table() {
+        let out = run(&[
+            "analyze",
+            "--workload",
+            "sort",
+            "--size",
+            "512",
+            "--machine",
+            "two-socket",
+        ])
+        .unwrap();
+        assert!(out.contains("static min"));
+        assert!(out.contains("instructions"));
+        assert!(out.contains("wall cycles"));
+        assert!(out.contains("differential: every observed total inside its static envelope"));
+        assert!(!out.contains("OUTSIDE"));
+    }
+
+    #[test]
+    fn analyze_all_workloads_sweeps_the_registry() {
+        let out = run(&["analyze", "--machine", "two-socket", "--size", "64"]).unwrap();
+        assert!(out.contains("row-major"));
+        assert!(out.contains("bfs-interleaved"));
+        assert!(!out.contains("OUTSIDE"));
+        assert!(out.contains("differential: every workload's observed totals"));
+    }
+
+    #[test]
+    fn lint_runs_clean_on_this_workspace() {
+        // Tests run with the package root as cwd, which is the workspace
+        // root for the top-level crate.
+        let out = run(&["lint"]).unwrap();
+        assert!(out.contains("0 finding(s)"), "{out}");
+        let json = run(&["lint", "--json"]).unwrap();
+        assert!(json.contains("\"findings\":[]"), "{json}");
+    }
+
+    #[test]
+    fn lint_fails_on_a_seeded_violation() {
+        let dir = std::env::temp_dir().join(format!("np-lint-seed-{}", std::process::id()));
+        let src = dir.join("crates/counters/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(
+            src.join("acquisition.rs"),
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        )
+        .unwrap();
+        let err = run(&["lint", "--path", &dir.to_string_lossy()]).unwrap_err();
+        assert!(err.contains("no-panic"), "{err}");
+        assert!(err.contains("acquisition.rs:1"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -65,6 +65,9 @@ COMMANDS:
     c2c         cacheline contention report (perf-c2c analogue)
     diff        compare two recorded archives (-a NAME -b NAME)
     archives    list recorded measurement archives
+    analyze     static code-to-indicator analysis: barrier/deadlock check,
+                data races, per-event bounds proven against a dynamic run
+    lint        workspace invariant linter (token-level, zero-dependency)
 
 OPTIONS:
     --machine NAME     dl580 (default) | two-socket | ring
@@ -86,6 +89,7 @@ OPTIONS:
                        (see `numa-perf-tools help telemetry`)
     --trace FILE       write a Chrome-trace of internal spans
                        (load in chrome://tracing or ui.perfetto.dev)
+    --path DIR         lint: workspace root to scan (default .)
 
 EXAMPLES:
     numa-perf-tools compare -a row-major -b column-major --size 1024
@@ -97,6 +101,8 @@ HELP TOPICS:
     numa-perf-tools help telemetry     observing the tools themselves
     numa-perf-tools help resilience    fault tolerance in the probe and
                                        acquisition paths
+    numa-perf-tools help analyze       static code-to-indicator analysis
+    numa-perf-tools help lint          the workspace invariant linter
 "
 }
 
@@ -193,8 +199,103 @@ CI:
 "
 }
 
+/// The `help analyze` topic: the static half of code-to-indicator.
+pub fn analyze_help() -> &'static str {
+    "Static code-to-indicator analysis
+=================================
+
+The paper maps code to hardware indicators by running it and reading
+counters (dynamic). `analyze` supplies the static half of that mapping:
+it derives, from program structure alone, what the counters *can* say —
+and proves the claim against the engine on every invocation.
+
+    numa-perf-tools analyze --workload sort --size 4096
+    numa-perf-tools analyze --machine two-socket     # all workloads
+
+PASSES (crate np-analysis):
+    CFG       per-thread basic blocks cut at barriers, branches, labels
+    barriers  abstract lockstep over each thread's barrier-id sequence;
+              sound and complete against the engine's release rule, so
+              `analyze` reports a deadlock exactly when `run` would hang
+    races     happens-before detection over barrier supersteps: two
+              accesses race when different threads touch the same byte,
+              at least one writes, and no barrier orders them
+    bounds    a static envelope [min, max] per hardware event. Retired
+              counts are exact; placement events (local/remote DRAM)
+              come from AllocPolicy x thread pinning; dTLB bounds from
+              per-flush-segment working sets against the TLB geometry;
+              interrupt and cycle bounds from a fixed point over the
+              timer-interrupt feedback loop. An unbounded max renders
+              as infinity (interrupts can outpace forward progress).
+
+DIFFERENTIAL PROOF:
+    With --workload, the table's observed column is one engine run at
+    --seed; any total outside its envelope fails the command. Without
+    --workload, every registry workload is analyzed and run once. The
+    same check runs in CI and as property tests over generated programs
+    (crates/analysis/tests/proptests.rs), so the static model cannot
+    drift from engine accounting unnoticed.
+"
+}
+
+/// The `help lint` topic: workspace invariants.
+pub fn lint_help() -> &'static str {
+    "The workspace invariant linter
+==============================
+
+`lint` enforces cross-crate rules the type system cannot express, with
+a token-level scan (no syn, no rustc plumbing). Comments, strings and
+#[cfg(test)] modules are exempt; `// lint:allow(rule): why` silences
+one line with an audit trail. Findings are errors (exit code 2), so CI
+fails on a violation.
+
+    numa-perf-tools lint [--path DIR] [--json]
+
+RULES:
+    no-panic           no .unwrap()/.expect()/panic!/unreachable!/todo!
+                       in probe and acquisition paths (memhist/probe.rs,
+                       resilience/io.rs, counters/acquisition.rs,
+                       counters/pebs.rs) — a panic there aborts a whole
+                       measurement campaign instead of surfacing a
+                       typed error
+    bounded-reads      files touching TcpStream must not call raw
+                       .read()/read_to_string()/read_to_end(); go
+                       through np_resilience::io::read_line_bounded so
+                       a slow or hostile peer cannot wedge the client
+    relaxed-ordering   Ordering::Relaxed only inside crates/telemetry
+                       (the one place the relaxed-counter argument has
+                       been made); everything else uses SeqCst
+    guarded-telemetry  np_telemetry::global() on a hot path must sit
+                       under an enabled() check in the enclosing fn
+    no-wall-clock      Instant::now()/SystemTime::now() are forbidden
+                       in the simulator and the fault plan — seeded
+                       determinism is the whole point
+
+OUTPUT:
+    file.rs:LINE: [rule] message       (text, one finding per line)
+    --json emits {files_scanned, findings: [{path, line, rule,
+    message}]} for CI artifacts.
+"
+}
+
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn help_topics_cover_analysis() {
+        assert!(super::usage().contains("help analyze"));
+        assert!(super::usage().contains("help lint"));
+        assert!(super::analyze_help().contains("DIFFERENTIAL PROOF"));
+        for rule in [
+            "no-panic",
+            "bounded-reads",
+            "relaxed-ordering",
+            "guarded-telemetry",
+            "no-wall-clock",
+        ] {
+            assert!(super::lint_help().contains(rule), "missing rule {rule}");
+        }
+    }
+
     #[test]
     fn help_topics_cover_resilience() {
         assert!(super::usage().contains("help resilience"));

@@ -6,6 +6,8 @@ fn main() {
         match args.get(1).map(String::as_str) {
             Some("telemetry") => print!("{}", numa_perf_tools::cli::telemetry_help()),
             Some("resilience") => print!("{}", numa_perf_tools::cli::resilience_help()),
+            Some("analyze") => print!("{}", numa_perf_tools::cli::analyze_help()),
+            Some("lint") => print!("{}", numa_perf_tools::cli::lint_help()),
             _ => print!("{}", numa_perf_tools::cli::usage()),
         }
         return;
@@ -13,8 +15,14 @@ fn main() {
     match numa_perf_tools::cli::run(&args) {
         Ok(output) => print!("{output}"),
         Err(err) => {
-            eprintln!("error: {err}\n");
-            eprint!("{}", numa_perf_tools::cli::usage());
+            eprintln!("error: {err}");
+            // Only a command line we failed to parse earns the usage dump;
+            // a parseable command that failed (lint findings, an envelope
+            // violation) already printed its own diagnosis.
+            if numa_perf_tools::cli::Cli::parse(&args).is_err() {
+                eprintln!();
+                eprint!("{}", numa_perf_tools::cli::usage());
+            }
             std::process::exit(2);
         }
     }
