@@ -118,6 +118,12 @@ const NO_PANIC_FILES: &[&str] = &[
     "crates/counters/src/pebs.rs",
 ];
 
+/// Path prefixes under which *every* file must be panic-free. The whole
+/// `np-serve` crate qualifies: a panic on the request path kills a pool
+/// worker and silently drops every connection it would have served,
+/// where a typed error frame keeps the exchange answering.
+const NO_PANIC_PREFIXES: &[&str] = &["crates/serve/src/"];
+
 const PANIC_TOKENS: &[&str] = &[
     ".unwrap()",
     ".expect(",
@@ -307,7 +313,8 @@ pub fn lint_source(path: &str, source: &str) -> Vec<LintFinding> {
     let code_lines: Vec<&str> = blanked.lines().collect();
     let mut findings = Vec::new();
 
-    let no_panic = NO_PANIC_FILES.contains(&path);
+    let no_panic =
+        NO_PANIC_FILES.contains(&path) || NO_PANIC_PREFIXES.iter().any(|p| path.starts_with(p));
     let uses_tcp = blanked.contains("TcpStream") && path != BOUNDED_READER_FILE;
     let in_telemetry = path.starts_with("crates/telemetry/");
     let no_wall_clock = wall_clock_forbidden(path);
@@ -568,6 +575,42 @@ mod tests {
         let hits = lint_source("crates/counters/src/pebs.rs", src);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].line, 3);
+    }
+
+    #[test]
+    fn serve_crate_is_panic_free_and_socket_bounded() {
+        // Every file under crates/serve/src/ is in no-panic scope.
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let hits = lint_source("crates/serve/src/server.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "no-panic");
+        assert_eq!(lint_source("crates/serve/src/cache.rs", src).len(), 1);
+        // Its socket code must go through the bounded line reader.
+        let tcp = concat!(
+            "use std::net::TcpStream;\n",
+            "fn f(s: &mut TcpStream, buf: &mut [u8]) { let _ = s.read(buf); }\n",
+        );
+        let hits = lint_source("crates/serve/src/client.rs", tcp);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "bounded-reads");
+    }
+
+    #[test]
+    fn workspace_scan_covers_the_serve_crate() {
+        let root = std::env::temp_dir().join(format!("np-lint-serve-{}", std::process::id()));
+        let src_dir = root.join("crates").join("serve").join("src");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        std::fs::write(
+            src_dir.join("lib.rs"),
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )
+        .unwrap();
+        let report = lint_workspace(&root).unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+        assert_eq!(report.files_scanned, 1);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].path, "crates/serve/src/lib.rs");
+        assert_eq!(report.findings[0].rule, "no-panic");
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Publishing measured results to the indicator exchange.
+//!
+//! The measurement tools (EvSel run sets, Memhist histograms,
+//! Phasenprüfer splits) produce rich in-process types; the exchange
+//! stores flat, digestable [`IndicatorSet`]s. This module is the bridge:
+//! it assembles a wire set from whatever a campaign measured and pushes
+//! it through the resilient `np-serve` client, so any machine's runs
+//! become transferable calibration data for every other machine's
+//! `predict` queries — the paper's cross-machine indicator reuse, as a
+//! service.
+
+use crate::memhist::MemhistResult;
+use crate::phasen::PhaseReport;
+use crate::strategy::indicators_of;
+use np_counters::measurement::RunSet;
+use np_serve::client::{ClientError, ExchangeClient};
+use np_serve::proto::{IndicatorKey, IndicatorSet, MemhistCounts, PhaseSplit};
+
+impl MemhistResult {
+    /// The histogram's interval counts as parallel vectors — the wire
+    /// shape the exchange stores (the serde shim carries no tuples).
+    pub fn interval_counts(&self) -> MemhistCounts {
+        let bins = &self.histogram.bins;
+        MemhistCounts {
+            lo: bins.iter().map(|b| b.lo).collect(),
+            hi: bins.iter().map(|b| b.hi).collect(),
+            count: bins.iter().map(|b| b.count).collect(),
+        }
+    }
+}
+
+/// The phase split in wire shape.
+pub fn phase_split(report: &PhaseReport) -> PhaseSplit {
+    PhaseSplit {
+        pivot_index: report.pivot_index as u64,
+        pivot_time: report.pivot_time,
+        ramp_slope: report.ramp_slope(),
+    }
+}
+
+/// Assembles a publishable indicator set from a campaign's artefacts:
+/// per-event means (and mean cycle cost) from the run set, plus whatever
+/// Memhist and Phasenprüfer produced, if anything.
+pub fn indicator_set(
+    machine: &str,
+    param: u64,
+    runs: &RunSet,
+    memhist: Option<&MemhistResult>,
+    phases: Option<&PhaseReport>,
+) -> IndicatorSet {
+    let cycles = if runs.runs.is_empty() {
+        0.0
+    } else {
+        runs.runs.iter().map(|m| m.cycles as f64).sum::<f64>() / runs.runs.len() as f64
+    };
+    let seed = runs.runs.first().map(|m| m.seed).unwrap_or_default();
+    IndicatorSet {
+        key: IndicatorKey {
+            machine: machine.to_string(),
+            program: runs.label.clone(),
+            param,
+        },
+        seed,
+        cycles,
+        indicators: indicators_of(runs),
+        memhist: memhist.map(|m| m.interval_counts()),
+        phases: phases.map(phase_split),
+    }
+}
+
+/// Publishes one measured campaign to a running exchange; returns the
+/// store generation after the write.
+pub fn publish(
+    client: &ExchangeClient,
+    machine: &str,
+    param: u64,
+    runs: &RunSet,
+    memhist: Option<&MemhistResult>,
+    phases: Option<&PhaseReport>,
+) -> Result<u64, ClientError> {
+    client.put(vec![indicator_set(machine, param, runs, memhist, phases)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_counters::measurement::Measurement;
+    use np_simulator::HwEvent;
+    use np_stats::histogram::LatencyHistogram;
+
+    fn run_set() -> RunSet {
+        let mut rs = RunSet::new("stride");
+        for (i, (cycles, misses)) in [(100u64, 7.0), (300u64, 9.0)].iter().enumerate() {
+            let mut m = Measurement::new(i as u64 + 1);
+            m.cycles = *cycles;
+            m.values.insert(HwEvent::L1dMiss, *misses);
+            rs.runs.push(m);
+        }
+        rs
+    }
+
+    #[test]
+    fn indicator_set_carries_means_and_provenance() {
+        let set = indicator_set("dl580", 9, &run_set(), None, None);
+        assert_eq!(set.key.machine, "dl580");
+        assert_eq!(set.key.program, "stride");
+        assert_eq!(set.key.param, 9);
+        assert_eq!(set.seed, 1);
+        assert_eq!(set.cycles, 200.0);
+        assert_eq!(set.indicators[&HwEvent::L1dMiss], 8.0);
+        assert!(set.memhist.is_none());
+        assert!(set.phases.is_none());
+    }
+
+    #[test]
+    fn memhist_intervals_flatten_to_parallel_vectors() {
+        let histogram =
+            LatencyHistogram::from_threshold_counts(&[1, 8, 64], &[100, 40, 15]).unwrap();
+        let result = MemhistResult::complete(histogram, vec![3, 3, 3], 9);
+        let counts = result.interval_counts();
+        assert_eq!(counts.lo, vec![1, 8, 64]);
+        assert_eq!(counts.hi, vec![8, 64, u64::MAX]);
+        assert_eq!(counts.count, vec![60, 25, 15]);
+        let set = indicator_set("dl580", 1, &run_set(), Some(&result), None);
+        assert_eq!(set.memhist.unwrap(), counts);
+    }
+}

@@ -30,6 +30,7 @@ pub mod annotate;
 pub mod balance;
 pub mod c2c;
 pub mod evsel;
+pub mod exchange;
 pub mod memhist;
 pub mod objprof;
 pub mod phasen;

@@ -4,150 +4,19 @@
 //! be considered less complex compared to the first step since hardware
 //! performance indicators relate to costs much more directly" (§III-B).
 //!
-//! The model is linear least squares: `cost ≈ β₀ + Σ βᵢ · indicatorᵢ`,
-//! fitted over measured (indicator vector, cycles) pairs with the QR
-//! solver. Linearity is the physically-motivated choice — cycle counts
-//! decompose additively into per-event penalty contributions (misses ×
-//! latency etc.), which is why indicators relate to cost "much more
-//! directly" than code does.
+//! The fitting machinery lives in `np_models::transfer` — the serving
+//! layer (np-serve) evaluates the same model when transferring stored
+//! indicator sets onto other machines, so the implementation is shared
+//! rather than duplicated. This module keeps the historical `CostModel`
+//! name for the strategy pipeline; the tests below pin the delegation.
 
-use super::IndicatorVector;
-use np_counters::catalog::EventId;
-use np_linalg::{lstsq, Matrix};
-
-/// A fitted linear indicator→cost model.
-pub struct CostModel {
-    /// The indicator events used as features, in column order.
-    pub features: Vec<EventId>,
-    /// Coefficients: `[β₀, β₁, …]` (intercept first).
-    pub beta: Vec<f64>,
-    /// Coefficient of determination on the training data.
-    pub r_squared: f64,
-}
-
-impl CostModel {
-    /// Fits the model from training pairs. Uses the intersection of events
-    /// present in every indicator vector as features. Requires more
-    /// observations than features; returns `None` otherwise or when the
-    /// design is degenerate.
-    pub fn fit(pairs: &[(IndicatorVector, f64)]) -> Option<CostModel> {
-        if pairs.len() < 3 {
-            return None;
-        }
-        // Features: events present in every observation.
-        let mut features: Vec<EventId> = pairs[0].0.keys().copied().collect();
-        for (v, _) in pairs.iter().skip(1) {
-            features.retain(|e| v.contains_key(e));
-        }
-        // Drop constant features (no identifiable coefficient).
-        features.retain(|e| {
-            let first = pairs[0].0[e];
-            pairs.iter().any(|(v, _)| (v[e] - first).abs() > 1e-9)
-        });
-        if features.is_empty() {
-            return None;
-        }
-
-        let n = pairs.len();
-        let build = |feats: &[EventId], scales: &[f64]| -> (Matrix, Matrix) {
-            let mut x = Matrix::zeros(n, feats.len() + 1);
-            let mut y = Matrix::zeros(n, 1);
-            for (i, (v, cost)) in pairs.iter().enumerate() {
-                x[(i, 0)] = 1.0;
-                for (j, e) in feats.iter().enumerate() {
-                    x[(i, j + 1)] = v[e] / scales[j];
-                }
-                y[(i, 0)] = *cost;
-            }
-            (x, y)
-        };
-        let scale_of = |e: &EventId| -> f64 {
-            let m = pairs.iter().map(|(v, _)| v[e].abs()).fold(0.0f64, f64::max);
-            if m > 0.0 {
-                m
-            } else {
-                1.0
-            }
-        };
-
-        // Greedy forward selection: indicators are often collinear (many
-        // events scale identically with workload size — the redundancy
-        // §III-B-1 notes). Keep a feature only while the design stays
-        // solvable and enough observations remain.
-        let max_cost = pairs
-            .iter()
-            .map(|(_, c)| c.abs())
-            .fold(0.0f64, f64::max)
-            .max(1.0);
-        let mut kept: Vec<EventId> = Vec::new();
-        let mut kept_scales: Vec<f64> = Vec::new();
-        for e in features {
-            if pairs.len() < kept.len() + 3 {
-                break;
-            }
-            let mut trial = kept.clone();
-            let mut trial_scales = kept_scales.clone();
-            trial.push(e);
-            trial_scales.push(scale_of(&e));
-            let (x, y) = build(&trial, &trial_scales);
-            match lstsq(&x, &y) {
-                // Near-collinear designs pass QR with exploding
-                // coefficients; with unit-scaled columns a well-conditioned
-                // fit keeps |β| within a few orders of the cost scale.
-                Ok(sol)
-                    if (0..sol.beta.rows()).all(|i| sol.beta[(i, 0)].abs() < 1e3 * max_cost) =>
-                {
-                    kept = trial;
-                    kept_scales = trial_scales;
-                }
-                _ => {}
-            }
-        }
-        if kept.is_empty() || pairs.len() < kept.len() + 2 {
-            return None;
-        }
-        let features = kept;
-        let scales = kept_scales;
-        let k = features.len();
-        let (x, y) = build(&features, &scales);
-        let sol = lstsq(&x, &y).ok()?;
-        let mut beta = vec![sol.beta[(0, 0)]];
-        for (j, scale) in scales.iter().enumerate().take(k) {
-            beta.push(sol.beta[(j + 1, 0)] / scale);
-        }
-
-        // R² on the training data.
-        let mean_y: f64 = pairs.iter().map(|(_, c)| c).sum::<f64>() / n as f64;
-        let tss: f64 = pairs.iter().map(|(_, c)| (c - mean_y) * (c - mean_y)).sum();
-        let r_squared = if tss == 0.0 { 1.0 } else { 1.0 - sol.rss / tss };
-
-        Some(CostModel {
-            features,
-            beta,
-            r_squared,
-        })
-    }
-
-    /// Predicts the cost for an indicator vector; `None` when a feature is
-    /// missing.
-    pub fn predict(&self, indicators: &IndicatorVector) -> Option<f64> {
-        let mut cost = self.beta[0];
-        for (j, e) in self.features.iter().enumerate() {
-            cost += self.beta[j + 1] * indicators.get(e)?;
-        }
-        Some(cost)
-    }
-
-    /// Relative prediction error against a known cost.
-    pub fn relative_error(&self, indicators: &IndicatorVector, actual: f64) -> Option<f64> {
-        let predicted = self.predict(indicators)?;
-        Some((predicted - actual).abs() / actual.abs().max(1e-12))
-    }
-}
+pub use np_models::transfer::TransferModel as CostModel;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::IndicatorVector;
+    use np_counters::catalog::EventId;
     use np_simulator::HwEvent;
     use std::collections::BTreeMap;
 

@@ -27,6 +27,9 @@
 //! * [`calibrate`] — extracts model parameters (latency, gap, barrier
 //!   cost) from the simulated machine with micro-probes, the way
 //!   machine-based models (Braithwaite et al. [22]) measure theirs.
+//! * [`transfer`] — the paper's own second step: a linear least-squares
+//!   indicator-to-cost model fitted from measured pairs, deterministic so
+//!   predictions can be cached and audited (§III-B).
 
 pub mod bsp;
 pub mod calibrate;
@@ -36,9 +39,11 @@ pub mod memory_logp;
 pub mod online;
 pub mod pram;
 pub mod speedup;
+pub mod transfer;
 
 pub use bsp::{BspMachine, Superstep};
 pub use knuma::KNumaMachine;
 pub use logp::{LogGpMachine, LogPMachine};
 pub use pram::{PramMachine, PramVariant};
 pub use speedup::CounterSpeedupModel;
+pub use transfer::TransferModel;

@@ -1,0 +1,225 @@
+//! The deterministic LRU prediction cache.
+//!
+//! `predict` answers are pure functions of (source-set content digest,
+//! target machine, model family, store generation) — the fit is
+//! deterministic and the generation changes on every write — so they can
+//! be cached without staleness: a put anywhere in the store moves the
+//! generation and thereby invalidates every cached cost.
+//!
+//! Recency is a logical clock (one tick per access), not wall time, so
+//! eviction order is a deterministic function of the access sequence —
+//! the property tests replay sequences against a reference model. Hit,
+//! miss and eviction totals are kept both locally (for `Stats` replies)
+//! and in telemetry (`serve.cache.*`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Mutex;
+
+/// Cache key: everything a prediction depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Content digest of the source indicator set.
+    pub digest: u64,
+    /// Target machine the cost was transferred onto.
+    pub target: String,
+    /// Model family identifier ([`crate::proto::MODEL_ID`]).
+    pub model: String,
+    /// Store generation the model was calibrated at.
+    pub generation: u64,
+}
+
+/// A cached prediction (everything needed to rebuild a `CostReply`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedCost {
+    /// Predicted cost, cycles.
+    pub cost: f64,
+    /// R² of the calibrated model.
+    pub r_squared: f64,
+    /// Kept feature names.
+    pub features: Vec<String>,
+    /// Training-set size of the calibration.
+    pub training_sets: u64,
+}
+
+struct Slot {
+    value: CachedCost,
+    stamp: u64,
+}
+
+struct Inner {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<CacheKey, Slot>,
+}
+
+/// Bounded LRU cache with deterministic eviction.
+pub struct PredictionCache {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PredictionCache {
+    /// Creates a cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        PredictionCache {
+            inner: Mutex::new(Inner {
+                capacity: capacity.max(1),
+                tick: 0,
+                entries: HashMap::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks a key up, refreshing its recency on hit.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedCost> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(key) {
+            Some(slot) => {
+                slot.stamp = tick;
+                self.hits.fetch_add(1, SeqCst);
+                np_telemetry::counter!("serve.cache.hit").inc();
+                Some(slot.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, SeqCst);
+                np_telemetry::counter!("serve.cache.miss").inc();
+                None
+            }
+        }
+    }
+
+    /// Inserts a value, evicting the least-recently-used entry when the
+    /// cache is full. Stamps are unique (one per access), so the victim
+    /// is unambiguous and eviction order is deterministic.
+    pub fn insert(&self, key: CacheKey, value: CachedCost) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.entries.contains_key(&key) && inner.entries.len() >= inner.capacity {
+            if let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, slot)| slot.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&victim);
+                self.evictions.fetch_add(1, SeqCst);
+                np_telemetry::counter!("serve.cache.evict").inc();
+            }
+        }
+        inner.entries.insert(key, Slot { value, stamp: tick });
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entries
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .capacity
+    }
+
+    /// Hits since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(SeqCst)
+    }
+
+    /// Misses since creation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(SeqCst)
+    }
+
+    /// Evictions since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(digest: u64) -> CacheKey {
+        CacheKey {
+            digest,
+            target: "dl580".to_string(),
+            model: "m".to_string(),
+            generation: 1,
+        }
+    }
+
+    fn cost(v: f64) -> CachedCost {
+        CachedCost {
+            cost: v,
+            r_squared: 1.0,
+            features: vec!["L1dMiss".to_string()],
+            training_sets: 10,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let cache = PredictionCache::new(4);
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), cost(10.0));
+        assert_eq!(cache.get(&key(1)).map(|c| c.cost), Some(10.0));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn capacity_bound_and_lru_eviction() {
+        let cache = PredictionCache::new(2);
+        cache.insert(key(1), cost(1.0));
+        cache.insert(key(2), cost(2.0));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), cost(3.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(&key(2)).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let cache = PredictionCache::new(2);
+        cache.insert(key(1), cost(1.0));
+        cache.insert(key(2), cost(2.0));
+        cache.insert(key(2), cost(2.5)); // overwrite, still full but no eviction
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.get(&key(2)).map(|c| c.cost), Some(2.5));
+    }
+
+    #[test]
+    fn distinct_generations_are_distinct_entries() {
+        let cache = PredictionCache::new(4);
+        let mut young = key(7);
+        young.generation = 2;
+        cache.insert(key(7), cost(1.0));
+        assert!(cache.get(&young).is_none(), "generation is part of the key");
+    }
+}

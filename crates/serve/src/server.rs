@@ -1,0 +1,581 @@
+//! The exchange server: a thread-pool TCP service over line-delimited
+//! JSON frames.
+//!
+//! Connections are accepted on the caller's thread and handed to a fixed
+//! pool of workers through a channel, so one slow client cannot starve
+//! the accept loop and frame handling parallelises up to the pool size.
+//! Connections are **persistent**: a client may send any number of frames
+//! before closing; each frame is answered in order.
+//!
+//! Hardening mirrors the Memhist probe: every read goes through
+//! `read_line_bounded` under `StreamDeadlines`, malformed frames produce
+//! a typed error frame instead of killing the connection, and the fault
+//! sites `serve.accept` / `serve.response` let the test matrix script
+//! drops, truncations, delays, garbage and refusals against a live
+//! server. All traffic is measured: per-endpoint latency spans, an
+//! in-flight connection gauge, request/error/fault counters.
+
+use crate::cache::{CacheKey, CachedCost, PredictionCache};
+use crate::proto::{
+    CostReply, PredictReq, Request, RequestFrame, Response, ResponseFrame, SetsReply, StatsReply,
+    MODEL_ID, PROTOCOL_VERSION,
+};
+use crate::store::ShardedStore;
+use np_models::transfer::TransferModel;
+use np_resilience::{read_line_bounded, Fault, FaultInjector, NoFaults, StreamDeadlines};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server hardening limits.
+#[derive(Debug, Clone)]
+pub struct ServeLimits {
+    /// Largest accepted request line, bytes.
+    pub max_frame_bytes: usize,
+    /// Most requests a single frame may batch.
+    pub max_batch: usize,
+    /// Socket deadlines applied to every connection.
+    pub io: StreamDeadlines,
+}
+
+impl Default for ServeLimits {
+    fn default() -> Self {
+        ServeLimits {
+            max_frame_bytes: 1 << 20,
+            max_batch: 256,
+            io: StreamDeadlines::symmetric(Duration::from_secs(5)),
+        }
+    }
+}
+
+/// Context shared by the accept loop and every worker.
+struct Shared {
+    store: Arc<ShardedStore>,
+    cache: Arc<PredictionCache>,
+    limits: ServeLimits,
+    faults: Arc<dyn FaultInjector>,
+}
+
+/// The indicator-exchange server.
+pub struct ExchangeServer {
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+/// Decrements the in-flight gauge when a connection ends, however it ends.
+struct InflightGuard;
+
+impl InflightGuard {
+    fn enter() -> Self {
+        np_telemetry::gauge!("serve.inflight").add(1);
+        InflightGuard
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        np_telemetry::gauge!("serve.inflight").add(-1);
+    }
+}
+
+impl ExchangeServer {
+    /// Creates a server over a fresh store with `shards` shards and a
+    /// prediction cache of `cache_capacity` entries.
+    pub fn new(shards: usize, cache_capacity: usize) -> Self {
+        ExchangeServer {
+            shared: Arc::new(Shared {
+                store: Arc::new(ShardedStore::new(shards)),
+                cache: Arc::new(PredictionCache::new(cache_capacity)),
+                limits: ServeLimits::default(),
+                faults: Arc::new(NoFaults),
+            }),
+            workers: 4,
+        }
+    }
+
+    /// Overrides the hardening limits.
+    pub fn with_limits(mut self, limits: ServeLimits) -> Self {
+        self.update(|s| s.limits = limits);
+        self
+    }
+
+    /// Plugs in a fault injector (tests, chaos drills).
+    pub fn with_faults(mut self, faults: Arc<dyn FaultInjector>) -> Self {
+        self.update(|s| s.faults = faults);
+        self
+    }
+
+    /// Sets the worker-pool size (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    fn update(&mut self, f: impl FnOnce(&mut Shared)) {
+        // Builders run before the server is shared with any thread, so
+        // the Arc is still unique; fall back to a clone otherwise.
+        match Arc::get_mut(&mut self.shared) {
+            Some(shared) => f(shared),
+            None => {
+                let mut shared = Shared {
+                    store: Arc::clone(&self.shared.store),
+                    cache: Arc::clone(&self.shared.cache),
+                    limits: self.shared.limits.clone(),
+                    faults: Arc::clone(&self.shared.faults),
+                };
+                f(&mut shared);
+                self.shared = Arc::new(shared);
+            }
+        }
+    }
+
+    /// The backing store (shared; usable while the server runs).
+    pub fn store(&self) -> Arc<ShardedStore> {
+        Arc::clone(&self.shared.store)
+    }
+
+    /// The prediction cache (shared).
+    pub fn cache(&self) -> Arc<PredictionCache> {
+        Arc::clone(&self.shared.cache)
+    }
+
+    /// Binds an ephemeral localhost port; returns the listener so the
+    /// caller learns the address before serving.
+    pub fn bind() -> std::io::Result<TcpListener> {
+        TcpListener::bind("127.0.0.1:0")
+    }
+
+    /// Serves exactly `n` accepted connections on `listener`, then
+    /// returns. Refused/dropped-at-accept connections count toward `n` so
+    /// fault scripts stay bounded. Per-connection failures are counted in
+    /// `serve.errors` and never kill the loop.
+    pub fn serve(&self, listener: &TcpListener, n: usize) -> std::io::Result<()> {
+        let stop = AtomicBool::new(false);
+        self.run(listener, Some(n), &stop)
+    }
+
+    /// Spawns the server on a background thread, serving until the
+    /// returned handle is stopped.
+    pub fn start(self, listener: TcpListener) -> std::io::Result<ServerHandle> {
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let store = self.store();
+        let cache = self.cache();
+        let thread = std::thread::spawn(move || {
+            let _ = self.run(&listener, None, &stop2);
+        });
+        Ok(ServerHandle {
+            addr,
+            stop,
+            thread: Some(thread),
+            store,
+            cache,
+        })
+    }
+
+    fn run(
+        &self,
+        listener: &TcpListener,
+        max_conns: Option<usize>,
+        stop: &AtomicBool,
+    ) -> std::io::Result<()> {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut pool: Vec<JoinHandle<()>> = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&self.shared);
+            pool.push(std::thread::spawn(move || loop {
+                let stream = {
+                    let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+                    guard.recv()
+                };
+                match stream {
+                    Ok(stream) => {
+                        if handle_conn(&shared, stream).is_err() {
+                            np_telemetry::counter!("serve.errors").inc();
+                        }
+                    }
+                    Err(_) => break, // accept loop gone: drain done
+                }
+            }));
+        }
+
+        let mut accepted = 0usize;
+        let result = loop {
+            if let Some(n) = max_conns {
+                if accepted >= n {
+                    break Ok(());
+                }
+            }
+            let (stream, _) = match listener.accept() {
+                Ok(conn) => conn,
+                Err(e) => break Err(e),
+            };
+            if stop.load(SeqCst) {
+                break Ok(());
+            }
+            accepted += 1;
+            match self.shared.faults.next("serve.accept") {
+                Some(Fault::RefuseAccept) | Some(Fault::DropConnection) => {
+                    np_telemetry::counter!("serve.faults.refused").inc();
+                    drop(stream);
+                    continue;
+                }
+                Some(Fault::Delay(d)) => std::thread::sleep(d),
+                _ => {}
+            }
+            if tx.send(stream).is_err() {
+                break Ok(()); // all workers died; nothing left to do
+            }
+        };
+        drop(tx);
+        for worker in pool {
+            let _ = worker.join();
+        }
+        result
+    }
+}
+
+/// Handle to a background [`ExchangeServer::start`] instance.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    store: Arc<ShardedStore>,
+    cache: Arc<PredictionCache>,
+}
+
+impl ServerHandle {
+    /// The bound address clients should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's store (e.g. for out-of-band seeding in tests).
+    pub fn store(&self) -> Arc<ShardedStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// The server's prediction cache.
+    pub fn cache(&self) -> Arc<PredictionCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Stops the accept loop and joins the server thread. A throwaway
+    /// connection unblocks the blocking `accept`.
+    pub fn stop(mut self) {
+        self.stop.store(true, SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Serves one connection: frames in, frames out, until the peer closes.
+fn handle_conn(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
+    let _inflight = InflightGuard::enter();
+    shared.limits.io.apply(&stream)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let line = match read_line_bounded(&mut reader, shared.limits.max_frame_bytes) {
+            Ok(line) => line,
+            // A close at a frame boundary is the normal end of a session;
+            // anything else (oversize, non-UTF8, timeout) is an error.
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        np_telemetry::counter!("serve.rx_bytes").add(line.len() as u64);
+        let frame = process_frame(shared, line.trim());
+        let mut out = serde_json::to_string(&frame)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        out.push('\n');
+        let mut payload = out.into_bytes();
+        match shared.faults.next("serve.response") {
+            Some(Fault::DropConnection) | Some(Fault::RefuseAccept) => {
+                np_telemetry::counter!("serve.faults.dropped").inc();
+                return Ok(());
+            }
+            Some(Fault::TruncatePayload { keep }) => {
+                np_telemetry::counter!("serve.faults.truncated").inc();
+                payload.truncate(keep);
+                writer.write_all(&payload)?;
+                writer.flush()?;
+                return Ok(()); // framing is broken; close the session
+            }
+            Some(Fault::GarbageBytes { len, seed }) => {
+                np_telemetry::counter!("serve.faults.garbage").inc();
+                payload = Fault::garbage(len, seed);
+                writer.write_all(&payload)?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Some(Fault::Delay(d)) => {
+                np_telemetry::counter!("serve.faults.delayed").inc();
+                std::thread::sleep(d);
+            }
+            None => {}
+        }
+        writer.write_all(&payload)?;
+        writer.flush()?;
+        np_telemetry::counter!("serve.tx_bytes").add(payload.len() as u64);
+        np_telemetry::counter!("serve.frames").inc();
+    }
+}
+
+/// Parses and answers one frame. Whole-frame problems (bad JSON, wrong
+/// version, oversized batch) yield a single-error frame; per-request
+/// problems yield an `Error` response in that request's slot only.
+fn process_frame(shared: &Shared, line: &str) -> ResponseFrame {
+    let frame: RequestFrame = match serde_json::from_str(line) {
+        Ok(frame) => frame,
+        Err(e) => {
+            np_telemetry::counter!("serve.frame_errors").inc();
+            return ResponseFrame::error(format!("malformed frame: {e}"));
+        }
+    };
+    if frame.version != PROTOCOL_VERSION {
+        np_telemetry::counter!("serve.frame_errors").inc();
+        return ResponseFrame::error(format!(
+            "protocol version {} not supported (this server speaks {})",
+            frame.version, PROTOCOL_VERSION
+        ));
+    }
+    if frame.requests.len() > shared.limits.max_batch {
+        np_telemetry::counter!("serve.frame_errors").inc();
+        return ResponseFrame::error(format!(
+            "frame batches {} requests (limit {})",
+            frame.requests.len(),
+            shared.limits.max_batch
+        ));
+    }
+
+    // Frame semantics: all puts of a frame land first, then reads — so
+    // queries and predicts of a frame observe its own writes, and all
+    // queries are answered in one pass per store shard.
+    let mut put_replies = Vec::new();
+    for request in &frame.requests {
+        if let Request::Put(set) = request {
+            let _span = np_telemetry::span!("serve.put", "serve");
+            np_telemetry::counter!("serve.puts").inc();
+            put_replies.push(shared.store.put(set.clone()));
+        }
+    }
+    let mut put_replies = put_replies.into_iter();
+    let queries: Vec<crate::proto::QueryReq> = frame
+        .requests
+        .iter()
+        .filter_map(|r| match r {
+            Request::Query(q) => Some(q.clone()),
+            _ => None,
+        })
+        .collect();
+    let query_results = if queries.is_empty() {
+        Vec::new()
+    } else {
+        let _span = np_telemetry::span!("serve.query", "serve");
+        np_telemetry::counter!("serve.queries").add(queries.len() as u64);
+        shared.store.query_batch(&queries)
+    };
+    let mut query_results = query_results.into_iter();
+
+    let responses = frame
+        .requests
+        .into_iter()
+        .map(|request| match request {
+            Request::Put(_) => match put_replies.next() {
+                Some(reply) => Response::Put(reply),
+                None => Response::Error("internal: put result misaligned".to_string()),
+            },
+            Request::Query(_) => match query_results.next() {
+                Some(sets) => Response::Sets(SetsReply {
+                    sets: sets.iter().map(|s| (**s).clone()).collect(),
+                }),
+                None => Response::Error("internal: query result misaligned".to_string()),
+            },
+            Request::Predict(req) => {
+                let _span = np_telemetry::span!("serve.predict", "serve");
+                np_telemetry::counter!("serve.predicts").inc();
+                predict(shared, &req)
+            }
+            Request::Stats => {
+                let _span = np_telemetry::span!("serve.stats", "serve");
+                Response::Stats(stats(shared))
+            }
+        })
+        .collect();
+    ResponseFrame::new(responses)
+}
+
+/// Transfers the stored source set onto the target machine's cost model,
+/// through the prediction cache.
+fn predict(shared: &Shared, req: &PredictReq) -> Response {
+    let source = match shared.store.get(&req.source) {
+        Some(set) => set,
+        None => {
+            return Response::Error(format!(
+                "unknown source set {}/{}/{}",
+                req.source.machine, req.source.program, req.source.param
+            ))
+        }
+    };
+    let key = CacheKey {
+        digest: source.digest(),
+        target: req.target_machine.clone(),
+        model: MODEL_ID.to_string(),
+        generation: shared.store.generation(),
+    };
+    if let Some(cached) = shared.cache.get(&key) {
+        return Response::Cost(CostReply {
+            cost: cached.cost,
+            r_squared: cached.r_squared,
+            features: cached.features,
+            training_sets: cached.training_sets,
+            cached: true,
+        });
+    }
+    let pairs = shared.store.training_pairs(&req.target_machine);
+    let model = match TransferModel::fit(&pairs) {
+        Some(model) => model,
+        None => {
+            return Response::Error(format!(
+                "cannot calibrate a cost model for '{}' from {} stored sets",
+                req.target_machine,
+                pairs.len()
+            ))
+        }
+    };
+    let cost = match model.predict(&source.indicators) {
+        Some(cost) => cost,
+        None => {
+            return Response::Error(format!(
+                "source set lacks indicator features required by '{}' model",
+                req.target_machine
+            ))
+        }
+    };
+    let value = CachedCost {
+        cost,
+        r_squared: model.r_squared,
+        features: model
+            .features
+            .iter()
+            .map(|e| e.name().to_string())
+            .collect(),
+        training_sets: pairs.len() as u64,
+    };
+    shared.cache.insert(key, value.clone());
+    Response::Cost(CostReply {
+        cost: value.cost,
+        r_squared: value.r_squared,
+        features: value.features,
+        training_sets: value.training_sets,
+        cached: false,
+    })
+}
+
+fn stats(shared: &Shared) -> StatsReply {
+    StatsReply {
+        sets: shared.store.len() as u64,
+        shards: shared.store.shard_count() as u64,
+        generation: shared.store.generation(),
+        cache_hits: shared.cache.hits(),
+        cache_misses: shared.cache.misses(),
+        cache_evictions: shared.cache.evictions(),
+        cache_len: shared.cache.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::tests::sample_set;
+    use crate::proto::{IndicatorKey, QueryReq};
+
+    fn frame_roundtrip(shared: &Shared, requests: Vec<Request>) -> ResponseFrame {
+        let line = serde_json::to_string(&RequestFrame::new(requests)).unwrap();
+        process_frame(shared, &line)
+    }
+
+    fn shared() -> Shared {
+        Shared {
+            store: Arc::new(ShardedStore::new(4)),
+            cache: Arc::new(PredictionCache::new(16)),
+            limits: ServeLimits::default(),
+            faults: Arc::new(NoFaults),
+        }
+    }
+
+    #[test]
+    fn batched_frame_is_answered_in_order() {
+        let shared = shared();
+        let resp = frame_roundtrip(
+            &shared,
+            vec![
+                Request::Put(sample_set("a", "p", 1)),
+                Request::Query(QueryReq::machine("a")),
+                Request::Stats,
+            ],
+        );
+        assert!(!resp.degraded);
+        assert!(matches!(&resp.responses[0], Response::Put(p) if !p.replaced));
+        assert!(matches!(&resp.responses[1], Response::Sets(s) if s.sets.len() == 1));
+        assert!(matches!(&resp.responses[2], Response::Stats(s) if s.sets == 1));
+    }
+
+    #[test]
+    fn malformed_and_mismatched_frames_get_error_frames() {
+        let shared = shared();
+        let resp = process_frame(&shared, "this is not json");
+        assert!(resp.degraded);
+        assert!(matches!(&resp.responses[0], Response::Error(_)));
+
+        let mut frame = RequestFrame::new(vec![Request::Stats]);
+        frame.version = 99;
+        let resp = process_frame(&shared, &serde_json::to_string(&frame).unwrap());
+        assert!(resp.degraded);
+        assert!(
+            matches!(&resp.responses[0], Response::Error(e) if e.contains("version 99")),
+            "{:?}",
+            resp.responses
+        );
+    }
+
+    #[test]
+    fn oversized_batch_rejected() {
+        let mut sh = shared();
+        sh.limits.max_batch = 2;
+        let resp = frame_roundtrip(&sh, vec![Request::Stats, Request::Stats, Request::Stats]);
+        assert!(resp.degraded);
+        assert!(matches!(&resp.responses[0], Response::Error(e) if e.contains("limit 2")));
+    }
+
+    #[test]
+    fn predict_without_source_or_calibration_is_a_per_request_error() {
+        let shared = shared();
+        let missing = Request::Predict(PredictReq {
+            source: IndicatorKey {
+                machine: "a".to_string(),
+                program: "p".to_string(),
+                param: 1,
+            },
+            target_machine: "b".to_string(),
+        });
+        let resp = frame_roundtrip(&shared, vec![missing.clone(), Request::Stats]);
+        assert!(resp.degraded);
+        assert!(matches!(&resp.responses[0], Response::Error(e) if e.contains("unknown source")));
+        // The rest of the frame is still served.
+        assert!(matches!(&resp.responses[1], Response::Stats(_)));
+
+        // Source present but no training data for the target.
+        shared.store.put(sample_set("a", "p", 1));
+        let resp = frame_roundtrip(&shared, vec![missing]);
+        assert!(matches!(&resp.responses[0], Response::Error(e) if e.contains("cannot calibrate")));
+    }
+}

@@ -1,0 +1,79 @@
+//! End-to-end exchange test: a live server, typed clients, and the
+//! seeded loadgen driver. Telemetry is process-global, so everything
+//! runs inside one test function (mirroring `integration_resilience.rs`).
+
+use np_serve::loadgen::{self, LoadgenConfig};
+use np_serve::proto::{IndicatorKey, PredictReq, QueryReq};
+use np_serve::server::ExchangeServer;
+use np_serve::ExchangeClient;
+
+#[test]
+fn live_server_roundtrip_and_loadgen() {
+    let server = ExchangeServer::new(8, 64).with_workers(4);
+    let store = server.store();
+    let cache = server.cache();
+    let listener = ExchangeServer::bind().expect("bind");
+    let handle = server.start(listener).expect("start");
+    let addr = handle.addr().to_string();
+
+    // The full benchmark: seed, cold/warm predict, audit, 8-way hammer.
+    let summary = loadgen::run(&LoadgenConfig {
+        addr: addr.clone(),
+        clients: 8,
+        frames_per_client: 12,
+        seed: 77,
+    })
+    .expect("loadgen run");
+
+    assert_eq!(summary.errors, 0, "protocol errors: {summary:?}");
+    assert!(summary.transfer_consistent, "audit failed: {summary:?}");
+    assert!(
+        summary.transfer_rel_diff < 1e-9,
+        "rel diff {}",
+        summary.transfer_rel_diff
+    );
+    assert!(summary.cache_hits > 0, "no cache hits: {summary:?}");
+    assert!(summary.smoke_ok());
+    assert!(summary.cold_predict_micros > 0.0);
+    assert!(summary.warm_predict_micros > 0.0);
+    assert_eq!(summary.clients, 8);
+    // Seeded: 48 sets each for host-a/host-b, hammer puts for host-c.
+    assert!(summary.stored_sets >= 96, "{}", summary.stored_sets);
+    assert_eq!(store.len() as u64, summary.stored_sets);
+    assert_eq!(cache.hits(), summary.cache_hits);
+
+    // Typed client against the same live server: a put is immediately
+    // queryable and predictable from another session.
+    let client = ExchangeClient::new(addr);
+    let sets = client.query(QueryReq::machine("host-a")).expect("query");
+    assert_eq!(sets.len(), 48);
+    let reply = client
+        .predict(PredictReq {
+            source: IndicatorKey {
+                machine: "host-a".to_string(),
+                program: "synthetic-stride".to_string(),
+                param: 3,
+            },
+            target_machine: "host-b".to_string(),
+        })
+        .expect("predict");
+    assert!(reply.cost.is_finite());
+    assert!(reply.r_squared > 0.99);
+    assert!(!reply.features.is_empty());
+    assert_eq!(reply.training_sets, 48);
+
+    // Unknown machines produce typed server errors, not hangs.
+    let err = client
+        .predict(PredictReq {
+            source: IndicatorKey {
+                machine: "nope".to_string(),
+                program: "nope".to_string(),
+                param: 0,
+            },
+            target_machine: "host-b".to_string(),
+        })
+        .expect_err("must fail");
+    assert!(matches!(err, np_serve::ClientError::Server(_)), "{err}");
+
+    handle.stop();
+}

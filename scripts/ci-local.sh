@@ -38,6 +38,9 @@ if [[ "$quick" -eq 0 ]]; then
   echo "== nightly: fault-injection matrix (release) =="
   cargo test --release --offline --test integration_resilience
 
+  echo "== nightly: exchange fault matrix (release) =="
+  cargo test --release --offline --test integration_serve
+
   echo "== nightly: telemetry overhead guard =="
   cargo test --release --offline -p np-bench --test telemetry_overhead
 
@@ -47,6 +50,12 @@ if [[ "$quick" -eq 0 ]]; then
     --workload row-major --size 48 --reps 3 --machine two-socket \
     --telemetry "$snapshot" >/dev/null
   echo "telemetry snapshot written to $snapshot"
+
+  echo "== nightly: exchange load smoke (np loadgen --smoke) =="
+  bench="$(mktemp -t np-bench-serve.XXXXXX.json)"
+  cargo run --release --offline --quiet -- loadgen \
+    --clients 8 --frames 16 --seed 1 --smoke --out "$bench"
+  echo "exchange benchmark written to $bench"
 fi
 
 echo "ci-local: OK"

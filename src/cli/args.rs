@@ -37,6 +37,10 @@ pub enum Command {
     Analyze,
     /// Workspace invariant linter.
     Lint,
+    /// Run the indicator-exchange server.
+    Serve,
+    /// Benchmark a running (or in-process) exchange.
+    Loadgen,
 }
 
 impl Command {
@@ -58,6 +62,8 @@ impl Command {
             "c2c" => Command::C2c,
             "analyze" => Command::Analyze,
             "lint" => Command::Lint,
+            "serve" => Command::Serve,
+            "loadgen" => Command::Loadgen,
             _ => return None,
         })
     }
@@ -100,6 +106,25 @@ pub struct Cli {
     pub trace: Option<String>,
     /// Workspace root for `lint` (`--path`).
     pub path: String,
+    /// Exchange address: bind address for `serve`, target for `loadgen`
+    /// (`loadgen` boots an in-process server when absent).
+    pub addr: Option<String>,
+    /// `serve`: connections to serve before exiting (0 = forever).
+    pub conns: usize,
+    /// `loadgen`: concurrent client sessions.
+    pub clients: usize,
+    /// `loadgen`: frames each session sends.
+    pub frames: usize,
+    /// `loadgen`: fail unless the run passes its smoke invariants.
+    pub smoke: bool,
+    /// `loadgen`: summary output path.
+    pub out: String,
+    /// `serve`/`loadgen`: store shard count.
+    pub shards: usize,
+    /// `serve`/`loadgen`: prediction-cache capacity.
+    pub cache_cap: usize,
+    /// `serve`/`loadgen`: worker-thread pool size.
+    pub workers: usize,
 }
 
 impl Cli {
@@ -142,6 +167,15 @@ impl Cli {
             telemetry: pre_telemetry,
             trace: pre_trace,
             path: ".".into(),
+            addr: None,
+            conns: 0,
+            clients: 8,
+            frames: 40,
+            smoke: false,
+            out: "BENCH_serve.json".into(),
+            shards: 8,
+            cache_cap: 128,
+            workers: 4,
         };
 
         let take_value =
@@ -187,6 +221,39 @@ impl Cli {
                 "--telemetry" => cli.telemetry = Some(take_value("--telemetry", &mut it)?),
                 "--trace" => cli.trace = Some(take_value("--trace", &mut it)?),
                 "--path" => cli.path = take_value("--path", &mut it)?,
+                "--addr" => cli.addr = Some(take_value("--addr", &mut it)?),
+                "--conns" => {
+                    cli.conns = take_value("--conns", &mut it)?
+                        .parse()
+                        .map_err(|_| "--conns must be an integer".to_string())?
+                }
+                "--clients" => {
+                    cli.clients = take_value("--clients", &mut it)?
+                        .parse()
+                        .map_err(|_| "--clients must be an integer".to_string())?
+                }
+                "--frames" => {
+                    cli.frames = take_value("--frames", &mut it)?
+                        .parse()
+                        .map_err(|_| "--frames must be an integer".to_string())?
+                }
+                "--smoke" => cli.smoke = true,
+                "--out" => cli.out = take_value("--out", &mut it)?,
+                "--shards" => {
+                    cli.shards = take_value("--shards", &mut it)?
+                        .parse()
+                        .map_err(|_| "--shards must be an integer".to_string())?
+                }
+                "--cache-cap" => {
+                    cli.cache_cap = take_value("--cache-cap", &mut it)?
+                        .parse()
+                        .map_err(|_| "--cache-cap must be an integer".to_string())?
+                }
+                "--workers" => {
+                    cli.workers = take_value("--workers", &mut it)?
+                        .parse()
+                        .map_err(|_| "--workers must be an integer".to_string())?
+                }
                 other => return Err(format!("unknown option '{other}'")),
             }
         }
@@ -322,6 +389,57 @@ mod tests {
         assert_eq!(cli.path, "/tmp/ws");
         // Default lint root is the current directory.
         assert_eq!(parse(&["lint"]).unwrap().path, ".");
+    }
+
+    #[test]
+    fn serve_and_loadgen_parse() {
+        let cli = parse(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:7070",
+            "--conns",
+            "5",
+            "--shards",
+            "16",
+            "--cache-cap",
+            "64",
+            "--workers",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, Command::Serve);
+        assert_eq!(cli.addr.as_deref(), Some("127.0.0.1:7070"));
+        assert_eq!(cli.conns, 5);
+        assert_eq!(cli.shards, 16);
+        assert_eq!(cli.cache_cap, 64);
+        assert_eq!(cli.workers, 2);
+
+        let cli = parse(&[
+            "loadgen",
+            "--clients",
+            "12",
+            "--frames",
+            "20",
+            "--smoke",
+            "--out",
+            "b.json",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, Command::Loadgen);
+        assert_eq!(cli.clients, 12);
+        assert_eq!(cli.frames, 20);
+        assert!(cli.smoke);
+        assert_eq!(cli.out, "b.json");
+        assert!(cli.addr.is_none(), "no --addr means in-process server");
+
+        // Defaults: a forever server, an 8-way loadgen, tracked baseline.
+        let cli = parse(&["serve"]).unwrap();
+        assert_eq!(cli.conns, 0);
+        let cli = parse(&["loadgen"]).unwrap();
+        assert_eq!(cli.clients, 8);
+        assert_eq!(cli.frames, 40);
+        assert_eq!(cli.out, "BENCH_serve.json");
+        assert!(!cli.smoke);
     }
 
     #[test]

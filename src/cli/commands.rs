@@ -32,7 +32,146 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         Command::C2c => c2c(cli),
         Command::Analyze => analyze_cmd(cli),
         Command::Lint => lint_cmd(cli),
+        Command::Serve => serve_cmd(cli),
+        Command::Loadgen => loadgen_cmd(cli),
     }
+}
+
+/// `np serve`: run the indicator exchange. Binds `--addr` (an ephemeral
+/// localhost port by default), announces the bound address on stdout so
+/// clients can dial in, then serves `--conns` connections (forever when
+/// 0) before summarising store and cache state.
+fn serve_cmd(cli: &Cli) -> Result<String, String> {
+    let addr = cli.addr.as_deref().unwrap_or("127.0.0.1:0");
+    let listener = std::net::TcpListener::bind(addr)
+        .map_err(|e| format!("serve: cannot bind '{addr}': {e}"))?;
+    serve_on(cli, listener)
+}
+
+/// The serving half of `np serve`, parameterised over the listener so
+/// tests can pick the port.
+fn serve_on(cli: &Cli, listener: std::net::TcpListener) -> Result<String, String> {
+    let server =
+        np_serve::ExchangeServer::new(cli.shards, cli.cache_cap).with_workers(cli.workers.max(1));
+    let store = server.store();
+    let cache = server.cache();
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("serve: no local address: {e}"))?;
+    println!(
+        "np serve: indicator exchange on {local} ({} shards, cache {}, {} workers)",
+        cli.shards.max(1),
+        cli.cache_cap.max(1),
+        cli.workers.max(1)
+    );
+    let conns = if cli.conns == 0 {
+        usize::MAX
+    } else {
+        cli.conns
+    };
+    server
+        .serve(&listener, conns)
+        .map_err(|e| format!("serve: {e}"))?;
+    Ok(format!(
+        "served {} connections: {} sets across {} shards (generation {}), \
+         cache {}/{} entries, {} hits / {} misses / {} evictions\n",
+        conns,
+        store.len(),
+        store.shard_count(),
+        store.generation(),
+        cache.len(),
+        cache.capacity(),
+        cache.hits(),
+        cache.misses(),
+        cache.evictions(),
+    ))
+}
+
+/// `np loadgen`: benchmark an exchange. With `--addr` it hammers a
+/// running server; without, it boots an in-process one (same `--shards`
+/// / `--cache-cap` / `--workers` knobs as `serve`). The summary is
+/// written to `--out` as JSON, and `--smoke` turns the run's invariants
+/// (zero errors, cache exercised, transfer audit passed) into the exit
+/// status — the CI gate.
+fn loadgen_cmd(cli: &Cli) -> Result<String, String> {
+    let local = match cli.addr {
+        Some(_) => None,
+        None => {
+            let server = np_serve::ExchangeServer::new(cli.shards, cli.cache_cap)
+                .with_workers(cli.workers.max(1));
+            let listener =
+                np_serve::ExchangeServer::bind().map_err(|e| format!("loadgen: bind: {e}"))?;
+            Some(
+                server
+                    .start(listener)
+                    .map_err(|e| format!("loadgen: start server: {e}"))?,
+            )
+        }
+    };
+    let addr = match (&cli.addr, &local) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(handle)) => handle.addr().to_string(),
+        (None, None) => return Err("loadgen: no server".to_string()),
+    };
+    let config = np_serve::LoadgenConfig {
+        addr,
+        clients: cli.clients.max(1),
+        frames_per_client: cli.frames.max(1),
+        seed: cli.seed,
+    };
+    let result = np_serve::loadgen::run(&config);
+    if let Some(handle) = local {
+        handle.stop();
+    }
+    let summary = result.map_err(|e| format!("loadgen: {e}"))?;
+    let json = serde_json::to_string_pretty(&summary).map_err(|e| format!("loadgen: {e}"))?;
+    std::fs::write(&cli.out, json + "\n")
+        .map_err(|e| format!("loadgen: cannot write '{}': {e}", cli.out))?;
+    let mut out = format!(
+        "== indicator-exchange load ==\n\
+         clients               {}\n\
+         frames                {}\n\
+         requests              {}\n\
+         errors                {}\n\
+         degraded frames       {}\n\
+         hammer throughput     {:.0} frames/s ({:.1} ms)\n\
+         predict cold          {:.1} us\n\
+         predict warm (cached) {:.1} us\n\
+         cache speedup         {:.1}x\n\
+         cache hits/misses     {}/{} ({} evictions)\n\
+         transfer audit        {} (rel diff {:.2e})\n\
+         stored sets           {}\n\
+         summary written to    {}\n",
+        summary.clients,
+        summary.frames,
+        summary.requests,
+        summary.errors,
+        summary.degraded_frames,
+        summary.frames_per_sec,
+        summary.hammer_ms,
+        summary.cold_predict_micros,
+        summary.warm_predict_micros,
+        summary.cache_speedup,
+        summary.cache_hits,
+        summary.cache_misses,
+        summary.cache_evictions,
+        if summary.transfer_consistent {
+            "consistent with direct np-models evaluation"
+        } else {
+            "INCONSISTENT"
+        },
+        summary.transfer_rel_diff,
+        summary.stored_sets,
+        cli.out,
+    );
+    if cli.smoke {
+        if summary.smoke_ok() {
+            out.push_str("smoke: OK\n");
+        } else {
+            return Err(format!("loadgen --smoke failed:\n{out}"));
+        }
+    }
+    Ok(out)
 }
 
 /// `np analyze`: static code-to-indicator analysis, proven against one
@@ -747,5 +886,80 @@ mod tests {
         assert!(out.contains("EvSel comparison"));
         assert!(out.contains("L1-dcache-load-misses"));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loadgen_smoke_against_in_process_server() {
+        let out_path =
+            std::env::temp_dir().join(format!("np-bench-serve-{}.json", std::process::id()));
+        let out = run(&[
+            "loadgen",
+            "--clients",
+            "8",
+            "--frames",
+            "8",
+            "--seed",
+            "5",
+            "--smoke",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("smoke: OK"), "{out}");
+        assert!(out.contains("errors                0"), "{out}");
+        assert!(out.contains("consistent with direct np-models evaluation"));
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        let summary: np_serve::LoadSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(summary.errors, 0);
+        assert_eq!(summary.clients, 8);
+        assert!(summary.cache_hits > 0);
+        assert!(summary.transfer_consistent);
+        assert!(summary.smoke_ok());
+        std::fs::remove_file(&out_path).unwrap();
+    }
+
+    #[test]
+    fn serve_command_serves_bounded_connections() {
+        let listener = np_serve::ExchangeServer::bind().unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let cli = super::super::Cli::parse(&[
+            "serve".to_string(),
+            "--conns".to_string(),
+            "1".to_string(),
+            "--shards".to_string(),
+            "4".to_string(),
+            "--cache-cap".to_string(),
+            "8".to_string(),
+        ])
+        .unwrap();
+        let server = std::thread::spawn(move || super::serve_on(&cli, listener));
+
+        let client = np_serve::ExchangeClient::new(addr);
+        let mut session = client.connect().unwrap();
+        session
+            .put(vec![np_core::exchange::indicator_set(
+                "dl580",
+                3,
+                &{
+                    let mut rs = np_counters::measurement::RunSet::new("stride");
+                    let mut m = np_counters::measurement::Measurement::new(1);
+                    m.cycles = 100;
+                    m.values.insert(np_simulator::HwEvent::L1dMiss, 5.0);
+                    rs.runs.push(m);
+                    rs
+                },
+                None,
+                None,
+            )])
+            .unwrap();
+        let sets = session.query(np_serve::QueryReq::machine("dl580")).unwrap();
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].key.program, "stride");
+        assert_eq!(sets[0].cycles, 100.0);
+        drop(session);
+
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("served 1 connections"), "{summary}");
+        assert!(summary.contains("1 sets across 4 shards"), "{summary}");
     }
 }

@@ -68,6 +68,10 @@ COMMANDS:
     analyze     static code-to-indicator analysis: barrier/deadlock check,
                 data races, per-event bounds proven against a dynamic run
     lint        workspace invariant linter (token-level, zero-dependency)
+    serve       run the indicator-exchange server (put/query/predict over
+                line-delimited JSON frames)
+    loadgen     benchmark an exchange: seeded concurrent load, cache-hit
+                speedup and cross-machine transfer audit (BENCH_serve.json)
 
 OPTIONS:
     --machine NAME     dl580 (default) | two-socket | ring
@@ -90,6 +94,19 @@ OPTIONS:
     --trace FILE       write a Chrome-trace of internal spans
                        (load in chrome://tracing or ui.perfetto.dev)
     --path DIR         lint: workspace root to scan (default .)
+    --addr HOST:PORT   serve: bind address (default 127.0.0.1:0);
+                       loadgen: exchange to hammer (default: boot an
+                       in-process server)
+    --conns N          serve: connections to serve before exiting
+                       (default 0 = forever)
+    --clients N        loadgen: concurrent sessions (default 8)
+    --frames N         loadgen: frames per session (default 40)
+    --smoke            loadgen: fail unless the run is error-free, the
+                       cache was exercised and the transfer audit passed
+    --out FILE         loadgen: summary path (default BENCH_serve.json)
+    --shards N         serve/loadgen: store shards (default 8)
+    --cache-cap N      serve/loadgen: prediction-cache entries (default 128)
+    --workers N        serve/loadgen: worker threads (default 4)
 
 EXAMPLES:
     numa-perf-tools compare -a row-major -b column-major --size 1024
@@ -103,6 +120,8 @@ HELP TOPICS:
                                        acquisition paths
     numa-perf-tools help analyze       static code-to-indicator analysis
     numa-perf-tools help lint          the workspace invariant linter
+    numa-perf-tools help serve         the indicator-exchange service
+    numa-perf-tools help loadgen       benchmarking the exchange
 "
 }
 
@@ -278,6 +297,89 @@ OUTPUT:
 "
 }
 
+/// The `help serve` topic: the indicator exchange.
+pub fn serve_help() -> &'static str {
+    "The indicator-exchange service
+==============================
+
+The paper's two-step assessment measures indicators on one machine and
+maps them to costs on another — indicators are designed to *transfer*.
+`serve` gives that transfer a networked home: a long-running service
+(np-serve) where measurement campaigns publish indicator sets and any
+client prices them on any calibrated machine.
+
+    numa-perf-tools serve [--addr HOST:PORT] [--conns N]
+                          [--shards N] [--cache-cap N] [--workers N]
+
+WIRE PROTOCOL (versioned, line-delimited JSON):
+    One frame per line; a request frame batches any mix of requests and
+    is answered positionally. Frames carry a `version` field checked by
+    both sides.
+    put      store an indicator set keyed (machine, program, param):
+             EvSel per-event means + mean cycles, optional Memhist
+             interval counts and Phasenpruefer split
+    query    fetch sets by machine/program/param filters (None = any);
+             all queries of a frame are answered in ONE pass per shard
+    predict  transfer a stored set onto a *different* target machine:
+             the server fits the np-models TransferModel over the
+             target's stored (indicators, cycles) pairs and evaluates
+             the source indicators — deterministic, so clients can
+             re-derive and audit the answer
+    stats    store/cache/generation counters
+
+CONCURRENCY:
+    The store is N-sharded (per-shard RwLock, FNV key routing): writers
+    only contend with readers of their own shard. Connections are
+    handed to a fixed worker pool, so one slow client cannot starve the
+    accept loop. Predictions go through a deterministic LRU cache keyed
+    by (content digest, target machine, model, store generation) — any
+    put bumps the generation, so stale costs are unservable.
+
+HARDENING (np-resilience):
+    bounded frame reads, socket deadlines, typed error frames instead
+    of dropped connections, and scripted fault sites `serve.accept` /
+    `serve.response` for the nightly fault matrix.
+
+TELEMETRY (with --telemetry FILE):
+    span.serve.{put,query,predict,stats}   per-endpoint latency
+    serve.inflight                         connections being served
+    serve.cache.{hit,miss,evict}           prediction-cache traffic
+    serve.faults.* / serve.errors          injected faults, IO failures
+"
+}
+
+/// The `help loadgen` topic: benchmarking the exchange.
+pub fn loadgen_help() -> &'static str {
+    "Benchmarking the exchange
+=========================
+
+`loadgen` drives a seeded, deterministic workload against an exchange
+and writes BENCH_serve.json so later changes have a perf trajectory to
+beat. Without --addr it boots an in-process server first.
+
+    numa-perf-tools loadgen [--addr HOST:PORT] [--clients N]
+                            [--frames N] [--seed N] [--smoke]
+                            [--out FILE]
+
+PHASES:
+    seed     publish 48 indicator sets for each of two synthetic
+             machines whose cost is an exact linear function of their
+             indicators (the structure the transfer model fits)
+    predict  time the same cross-machine predict cold (fit) and warm
+             (cache hit) — their ratio is the reported cache speedup
+    audit    refit the transfer model client-side from queried sets and
+             check the server's transferred cost matches the direct
+             np-models evaluation (the fit is deterministic: they must)
+    hammer   N concurrent sessions send mixed batched frames (queries,
+             predicts, puts); every protocol or server error counts
+
+SMOKE GATE (--smoke, used by CI):
+    errors == 0, cache hits observed, transfer audit passed. Latency
+    and speedup numbers are reported, never gated — they are hardware-
+    dependent and would flake in CI.
+"
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -302,5 +404,17 @@ mod tests {
         assert!(super::usage().contains("help telemetry"));
         assert!(super::resilience_help().contains("probe.accept"));
         assert!(super::resilience_help().contains("degraded"));
+    }
+
+    #[test]
+    fn help_topics_cover_the_exchange() {
+        assert!(super::usage().contains("help serve"));
+        assert!(super::usage().contains("help loadgen"));
+        for term in ["put", "query", "predict", "serve.accept", "serve.cache"] {
+            assert!(super::serve_help().contains(term), "missing term {term}");
+        }
+        for term in ["--smoke", "BENCH_serve.json", "audit", "cache speedup"] {
+            assert!(super::loadgen_help().contains(term), "missing term {term}");
+        }
     }
 }
