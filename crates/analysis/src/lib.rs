@@ -14,20 +14,27 @@
 //! - [`lint`] — a token-level linter for cross-crate invariants the type
 //!   system cannot express (panic-free probe paths, bounded socket reads,
 //!   guarded telemetry, no wall clocks in deterministic code).
+//! - [`sweep`] — the analysis fanned over many programs on an np-parallel
+//!   pool, in input order (the differential-envelope sweep of `np
+//!   analyze --all`).
 //!
-//! Everything is zero-dependency (only `np_simulator`) and deterministic.
+//! Everything is deterministic; the only dependencies are `np_simulator`
+//! (the IR under analysis) and `np_parallel` (the deterministic pool the
+//! sweep fans out on).
 
 pub mod barrier;
 pub mod bounds;
 pub mod cfg;
 pub mod lint;
 pub mod race;
+pub mod sweep;
 
 pub use barrier::{check_barriers, DeadlockReport};
 pub use bounds::{compute as compute_bounds, EventBound, StaticBounds};
 pub use cfg::{Block, ProgramCfg, ThreadCfg};
 pub use lint::{lint_source, lint_workspace, LintFinding, LintReport};
 pub use race::{find_races, RaceFinding};
+pub use sweep::analyze_many;
 
 use np_simulator::config::MachineConfig;
 use np_simulator::program::{Program, ValidateError};

@@ -138,9 +138,13 @@ const PANIC_TOKENS: &[&str] = &[
 const BOUNDED_READER_FILE: &str = "crates/resilience/src/io.rs";
 
 /// Deterministic paths that must not observe wall clocks: the simulator
-/// (seeded reproducibility) and the fault plan (seeded schedules).
+/// (seeded reproducibility), the fault plan (seeded schedules), and the
+/// worker pool (its merge order and traces must never branch on timing;
+/// durations flow through `np_telemetry::now_ns` for reporting only).
 fn wall_clock_forbidden(path: &str) -> bool {
-    path.starts_with("crates/numa-sim/") || path == "crates/resilience/src/fault.rs"
+    path.starts_with("crates/numa-sim/")
+        || path.starts_with("crates/parallel/src/")
+        || path == "crates/resilience/src/fault.rs"
 }
 
 /// Blanks comments, string literals, and char literals so token scans only
@@ -553,6 +557,21 @@ mod tests {
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].rule, "no-wall-clock");
         assert!(lint_source("crates/resilience/src/retry.rs", src).is_empty());
+    }
+
+    #[test]
+    fn parallel_pool_is_wall_clock_free() {
+        // The worker pool's determinism contract forbids timing-dependent
+        // behaviour; its duration measurements go through np_telemetry.
+        let src = "fn f() { let _t = std::time::SystemTime::now(); }\n";
+        let hits = lint_source("crates/parallel/src/pool.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "no-wall-clock");
+        assert!(lint_source("crates/parallel/src/queue.rs", src)
+            .iter()
+            .all(|h| h.rule == "no-wall-clock"));
+        // Its integration tests (outside src/) stay out of scope.
+        assert!(lint_source("crates/parallel/tests/pool_stress.rs", src).is_empty());
     }
 
     #[test]

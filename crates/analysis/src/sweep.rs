@@ -1,0 +1,86 @@
+//! Fan-out of the static analysis over many programs.
+//!
+//! The differential-envelope check (`np analyze --all`) runs every static
+//! pass over every built-in workload. Each [`analyze`](crate::analyze)
+//! call is a pure function of `(program, config)`, so the sweep is
+//! embarrassingly parallel; [`analyze_many`] fans it across an np-parallel
+//! pool and hands back one [`ProgramAnalysis`] per input, **in input
+//! order** — bit-identical to a sequential loop at any thread count.
+
+use crate::ProgramAnalysis;
+use np_simulator::config::MachineConfig;
+use np_simulator::program::Program;
+
+/// Analyzes every `(name, program)` pair on `pool`, preserving input
+/// order. The names ride along untouched so callers can report findings
+/// without re-zipping.
+pub fn analyze_many<'a>(
+    programs: &'a [(String, Program)],
+    config: &MachineConfig,
+    pool: &np_parallel::Pool,
+) -> Vec<(&'a str, ProgramAnalysis)> {
+    pool.run(programs.len(), |i| {
+        let (name, program) = &programs[i];
+        (name.as_str(), crate::analyze(program, config))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::program::ProgramBuilder;
+    use np_simulator::AllocPolicy;
+
+    fn programs(config: &MachineConfig) -> Vec<(String, Program)> {
+        let mut out = Vec::new();
+        // A clean barrier pair, a racy pair, and a single-thread scan.
+        let mut clean = ProgramBuilder::new(&config.topology, config.page_bytes);
+        let buf = clean.alloc(1 << 14, AllocPolicy::Interleave);
+        let t0 = clean.add_thread(0);
+        let t1 = clean.add_thread(4);
+        clean.store(t0, buf);
+        clean.barrier(t0, 1);
+        clean.barrier(t1, 1);
+        clean.load(t1, buf);
+        out.push(("clean".to_string(), clean.build()));
+
+        let mut racy = ProgramBuilder::new(&config.topology, config.page_bytes);
+        let rbuf = racy.alloc(4096, AllocPolicy::FirstTouch);
+        let r0 = racy.add_thread(0);
+        let r1 = racy.add_thread(1);
+        racy.store(r0, rbuf);
+        racy.store(r1, rbuf);
+        out.push(("racy".to_string(), racy.build()));
+
+        let mut scan = ProgramBuilder::new(&config.topology, config.page_bytes);
+        let sbuf = scan.alloc(1 << 16, AllocPolicy::Bind(0));
+        let st = scan.add_thread(0);
+        for i in 0..64u64 {
+            scan.load(st, sbuf + i * 64);
+        }
+        out.push(("scan".to_string(), scan.build()));
+        out
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_matches_serial() {
+        let config = MachineConfig::two_socket_small();
+        let progs = programs(&config);
+        let serial: Vec<ProgramAnalysis> = progs
+            .iter()
+            .map(|(_, p)| crate::analyze(p, &config))
+            .collect();
+        for threads in [1, 2, 8] {
+            let pool = np_parallel::Pool::new(threads);
+            let swept = analyze_many(&progs, &config, &pool);
+            assert_eq!(swept.len(), progs.len(), "{threads} threads");
+            for ((name, a), (s, (expect_name, _))) in swept.iter().zip(serial.iter().zip(&progs)) {
+                assert_eq!(*name, expect_name.as_str(), "{threads} threads");
+                assert_eq!(a.is_clean(), s.is_clean());
+                assert_eq!(a.block_count, s.block_count);
+                assert_eq!(a.races.len(), s.races.len());
+                assert_eq!(format!("{:?}", a.bounds), format!("{:?}", s.bounds));
+            }
+        }
+    }
+}

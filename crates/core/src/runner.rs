@@ -6,7 +6,9 @@
 //! are repeated" (§IV-A-1). A [`MeasurementPlan`] captures those choices
 //! (which events, how many repetitions, batched vs multiplexed); the
 //! [`Runner`] executes the plan, fanning independent simulated runs across
-//! host cores with rayon.
+//! host cores with the np-parallel pool — whose merge-in-submission-order
+//! contract is what keeps the campaign bit-identical to a serial loop at
+//! every thread count.
 
 use np_counters::acquisition::{
     measure_batched, measure_batched_resilient, measure_multiplexed, AcquisitionMode,
@@ -14,10 +16,10 @@ use np_counters::acquisition::{
 use np_counters::catalog::{EventCatalog, EventId};
 use np_counters::measurement::{Measurement, RunSet};
 use np_counters::pmu::PmuModel;
+use np_parallel::Pool;
 use np_resilience::{BreakerConfig, CircuitBreaker, FaultInjector, RetryPolicy};
 use np_simulator::{MachineConfig, MachineSim, Program};
 use np_workloads::Workload;
-use rayon::prelude::*;
 
 /// What to measure and how.
 #[derive(Debug, Clone)]
@@ -105,6 +107,7 @@ impl Default for CampaignPolicy {
 /// Executes measurement plans against one simulated machine.
 pub struct Runner {
     sim: MachineSim,
+    pool: Pool,
 }
 
 impl Runner {
@@ -112,12 +115,29 @@ impl Runner {
     pub fn new(machine: MachineConfig) -> Self {
         Runner {
             sim: MachineSim::new(machine),
+            pool: Pool::default(),
         }
     }
 
     /// Wraps an existing simulator.
     pub fn from_sim(sim: MachineSim) -> Self {
-        Runner { sim }
+        Runner {
+            sim,
+            pool: Pool::default(),
+        }
+    }
+
+    /// Sets the worker-thread count for parallel campaign execution.
+    /// Purely a throughput knob: measured values are bit-identical for
+    /// every choice (see the np-parallel determinism contract).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pool = Pool::new(threads);
+        self
+    }
+
+    /// The pool that fans out batched repetitions.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
     }
 
     /// The underlying simulator.
@@ -264,33 +284,31 @@ impl Runner {
         })
     }
 
-    /// Batched acquisition with repetitions fanned across host cores.
+    /// Batched acquisition with repetitions fanned across the pool.
     /// Results are bit-identical to the serial path: each repetition is an
-    /// independent `(program, seed)` simulation.
+    /// independent `(program, seed)` simulation, and the pool merges in
+    /// submission order.
     fn measure_batched_parallel(&self, program: &Program, plan: &MeasurementPlan) -> RunSet {
-        let runs: Vec<Measurement> = (0..plan.repetitions)
-            .into_par_iter()
-            .map(|rep| {
-                // Occupancy gauge brackets the repetition so a trace shows
-                // how many rayon workers the fan-out actually kept busy.
-                let _rep_span = np_telemetry::span!("runner.repetition", "runner");
-                np_telemetry::gauge!("runner.active_workers").add(1);
-                let one = measure_batched(
-                    &self.sim,
-                    program,
-                    &plan.events,
-                    1,
-                    plan.base_seed + rep as u64,
-                    &plan.pmu,
-                );
-                np_telemetry::gauge!("runner.active_workers").add(-1);
-                np_telemetry::counter!("runner.reps_done").inc();
-                one.runs
-                    .into_iter()
-                    .next()
-                    .expect("one repetition measured")
-            })
-            .collect();
+        let runs: Vec<Measurement> = self.pool.run(plan.repetitions, |rep| {
+            // Occupancy gauge brackets the repetition so a trace shows
+            // how many pool workers the fan-out actually kept busy.
+            let _rep_span = np_telemetry::span!("runner.repetition", "runner");
+            np_telemetry::gauge!("runner.active_workers").add(1);
+            let one = measure_batched(
+                &self.sim,
+                program,
+                &plan.events,
+                1,
+                plan.base_seed + rep as u64,
+                &plan.pmu,
+            );
+            np_telemetry::gauge!("runner.active_workers").add(-1);
+            np_telemetry::counter!("runner.reps_done").inc();
+            one.runs
+                .into_iter()
+                .next()
+                .expect("one repetition measured")
+        });
         RunSet {
             runs,
             label: "batched".into(),
@@ -357,6 +375,30 @@ mod tests {
         );
         for (a, b) in par.runs.iter().zip(&ser.runs) {
             assert_eq!(a.values, b.values);
+        }
+    }
+
+    #[test]
+    fn campaign_is_thread_count_invariant() {
+        let w = CacheMissKernel::row_major(32);
+        let plan = MeasurementPlan::events(
+            vec![HwEvent::Cycles, HwEvent::L1dMiss, HwEvent::L3Access],
+            5,
+            21,
+        );
+        let baseline = Runner::new(machine())
+            .with_threads(1)
+            .measure(&w, &plan)
+            .unwrap();
+        for threads in [2, 8] {
+            let rs = Runner::new(machine())
+                .with_threads(threads)
+                .measure(&w, &plan)
+                .unwrap();
+            assert_eq!(rs.len(), baseline.len(), "{threads} threads");
+            for (a, b) in rs.runs.iter().zip(&baseline.runs) {
+                assert_eq!(a.values, b.values, "{threads} threads");
+            }
         }
     }
 

@@ -1,0 +1,511 @@
+//! The scoped worker pool.
+//!
+//! One [`Pool::run`] call is one fork-join region: the caller thread
+//! feeds chunk indices through a [`BoundedQueue`], `threads` scoped
+//! workers pull, execute, and deposit `(chunk, results)` pairs; the
+//! caller merges the deposits **by chunk index** — which is submission
+//! order — so the output vector is bit-identical to a sequential loop no
+//! matter how the chunks interleaved. There is no long-lived state: the
+//! pool owns only configuration, so a panicked run poisons nothing and
+//! the same pool value is immediately reusable.
+//!
+//! Timing inside the pool goes through `np_telemetry::now_ns` (the
+//! facade's monotonic anchor) — `Instant::now()` is lint-forbidden in
+//! this crate so the deterministic-output contract is mechanically
+//! checkable: nothing in here can branch on a wall clock.
+
+use crate::chunk::Chunker;
+use crate::queue::BoundedQueue;
+use crate::schedule::{Schedule, Trace};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Pool configuration.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker threads (clamped to at least 1).
+    pub threads: usize,
+    /// Fixed chunk size; `None` picks [`Chunker::balanced`].
+    pub chunk_size: Option<usize>,
+    /// Bounded-queue capacity: chunk indices in flight between the
+    /// submitting thread and the workers.
+    pub queue_capacity: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            chunk_size: None,
+            queue_capacity: 32,
+        }
+    }
+}
+
+/// A typed execution failure, surfaced by [`Pool::try_run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A worker panicked while executing the item at `index`.
+    Panic {
+        /// The item whose closure panicked (earliest across the run).
+        index: usize,
+        /// The panic payload, rendered when it was a string.
+        message: String,
+    },
+    /// The task closure returned an error for the item at `index`.
+    Task {
+        /// The failing item (earliest across the run).
+        index: usize,
+        /// The closure's error.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Panic { index, message } => {
+                write!(f, "worker panicked on item {index}: {message}")
+            }
+            PoolError::Task { index, message } => {
+                write!(f, "task failed on item {index}: {message}")
+            }
+        }
+    }
+}
+
+/// Everything one pool run produces besides the merged results.
+#[derive(Debug)]
+pub struct RunReport<U> {
+    /// Results, merged in submission order.
+    pub results: Vec<U>,
+    /// The recorded interleaving (replayable via [`Schedule::Replay`]).
+    pub trace: Trace,
+    /// Execution time of each chunk, nanoseconds, indexed by chunk.
+    pub chunk_ns: Vec<u64>,
+}
+
+/// What actually went wrong inside a worker, pre-merge. The panic payload
+/// is kept intact so [`Pool::run`] can re-raise it unchanged.
+enum Failure {
+    Panic {
+        index: usize,
+        payload: Box<dyn Any + Send>,
+    },
+    Task {
+        index: usize,
+        message: String,
+    },
+}
+
+impl Failure {
+    fn index(&self) -> usize {
+        match self {
+            Failure::Panic { index, .. } | Failure::Task { index, .. } => *index,
+        }
+    }
+
+    fn into_error(self) -> PoolError {
+        match self {
+            Failure::Panic { index, payload } => PoolError::Panic {
+                index,
+                message: panic_message(payload.as_ref()),
+            },
+            Failure::Task { index, message } => PoolError::Task { index, message },
+        }
+    }
+}
+
+/// Renders a panic payload the way the default hook would.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The deterministic fork-join worker pool. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    config: PoolConfig,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::with_config(PoolConfig::default())
+    }
+}
+
+impl Pool {
+    /// A pool with `threads` workers and default chunking/queueing.
+    pub fn new(threads: usize) -> Pool {
+        Pool::with_config(PoolConfig {
+            threads,
+            ..PoolConfig::default()
+        })
+    }
+
+    /// A pool with explicit configuration.
+    pub fn with_config(config: PoolConfig) -> Pool {
+        Pool { config }
+    }
+
+    /// The effective worker count.
+    pub fn threads(&self) -> usize {
+        self.config.threads.max(1)
+    }
+
+    /// Runs `f` over `0..items`, returning results in index order.
+    /// A worker panic is re-raised on the caller (earliest item wins).
+    pub fn run<U, F>(&self, items: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        self.run_report(items, f, &Schedule::Free).results
+    }
+
+    /// [`Pool::run`] over a slice, preserving order.
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.run(items.len(), |i| f(&items[i]))
+    }
+
+    /// Runs `f` under an explicit [`Schedule`], returning the results and
+    /// the recorded trace. Panics propagate as in [`Pool::run`].
+    pub fn run_traced<U, F>(&self, items: usize, f: F, schedule: &Schedule) -> (Vec<U>, Trace)
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        let report = self.run_report(items, f, schedule);
+        (report.results, report.trace)
+    }
+
+    /// Runs `f` and returns the full [`RunReport`] (results, trace,
+    /// per-chunk timings). Panics propagate as in [`Pool::run`].
+    pub fn run_report<U, F>(&self, items: usize, f: F, schedule: &Schedule) -> RunReport<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        let guarded = |i: usize| -> Result<U, Failure> {
+            catch_unwind(AssertUnwindSafe(|| f(i)))
+                .map_err(|payload| Failure::Panic { index: i, payload })
+        };
+        match self.execute(items, &guarded, schedule) {
+            (Ok(results), trace, chunk_ns) => RunReport {
+                results,
+                trace,
+                chunk_ns,
+            },
+            (Err(Failure::Panic { payload, .. }), ..) => resume_unwind(payload),
+            (Err(Failure::Task { index, message }), ..) => {
+                unreachable!("infallible task failed on item {index}: {message}")
+            }
+        }
+    }
+
+    /// Runs a fallible `f` over `0..items`. The earliest failure — a
+    /// returned error or a caught panic — comes back as a typed
+    /// [`PoolError`]; the pool itself stays fully usable afterwards.
+    pub fn try_run<U, F>(&self, items: usize, f: F) -> Result<Vec<U>, PoolError>
+    where
+        U: Send,
+        F: Fn(usize) -> Result<U, String> + Sync,
+    {
+        let guarded = |i: usize| -> Result<U, Failure> {
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(Ok(v)) => Ok(v),
+                Ok(Err(message)) => Err(Failure::Task { index: i, message }),
+                Err(payload) => Err(Failure::Panic { index: i, payload }),
+            }
+        };
+        let (merged, ..) = self.execute(items, &guarded, &Schedule::Free);
+        merged.map_err(Failure::into_error)
+    }
+
+    /// The fork-join engine shared by every entry point.
+    #[allow(clippy::type_complexity)]
+    fn execute<U, G>(
+        &self,
+        items: usize,
+        g: &G,
+        schedule: &Schedule,
+    ) -> (Result<Vec<U>, Failure>, Trace, Vec<u64>)
+    where
+        U: Send,
+        G: Fn(usize) -> Result<U, Failure> + Sync,
+    {
+        let workers = self.threads();
+        let chunker = match (schedule, self.config.chunk_size) {
+            // Replaying a compatible trace re-uses its chunk geometry so
+            // step identities line up with the recording.
+            (Schedule::Replay(t), _) if t.items == items && t.chunk_size > 0 => {
+                Chunker::new(items, t.chunk_size)
+            }
+            (_, Some(size)) => Chunker::new(items, size),
+            _ => Chunker::balanced(items, workers),
+        };
+        let chunks = chunker.chunk_count();
+        let trace_of = |steps| Trace {
+            items,
+            chunk_size: chunker.chunk_size(),
+            steps,
+        };
+        if chunks == 0 {
+            return (Ok(Vec::new()), trace_of(Vec::new()), Vec::new());
+        }
+
+        let queue: BoundedQueue<usize> = BoundedQueue::with_order(
+            self.config.queue_capacity,
+            schedule.worker_order(chunks, workers),
+        );
+        type Deposit<U> = (usize, Result<Vec<U>, Failure>, u64);
+        let deposits: Mutex<Vec<Deposit<U>>> = Mutex::new(Vec::with_capacity(chunks));
+        let fair_share = chunks.div_ceil(workers);
+
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let queue = &queue;
+                let deposits = &deposits;
+                scope.spawn(move || {
+                    let mut executed = 0usize;
+                    loop {
+                        let waited = np_telemetry::enabled().then(np_telemetry::now_ns);
+                        let Some(chunk) = queue.pop(worker) else {
+                            break;
+                        };
+                        if let Some(t0) = waited {
+                            np_telemetry::histogram!("par.idle_ns")
+                                .record(np_telemetry::now_ns().saturating_sub(t0));
+                        }
+                        executed += 1;
+                        let started = np_telemetry::now_ns();
+                        let range = chunker.bounds(chunk);
+                        let mut out = Vec::with_capacity(range.len());
+                        let mut failure = None;
+                        for i in range {
+                            match g(i) {
+                                Ok(v) => out.push(v),
+                                Err(e) => {
+                                    failure = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                        let elapsed = np_telemetry::now_ns().saturating_sub(started);
+                        let deposit = match failure {
+                            None => Ok(out),
+                            Some(e) => Err(e),
+                        };
+                        deposits.lock().unwrap().push((chunk, deposit, elapsed));
+                    }
+                    np_telemetry::counter!("par.tasks").add(executed as u64);
+                    np_telemetry::counter!("par.steal")
+                        .add(executed.saturating_sub(fair_share) as u64);
+                });
+            }
+            for chunk in 0..chunks {
+                queue.push(chunk);
+            }
+            queue.close();
+        });
+
+        // Merge in chunk order — submission order — regardless of which
+        // worker finished when. The earliest failure (by item index) wins
+        // deterministically: chunks are ordered index ranges and a chunk
+        // stops at its first failing item.
+        let mut slots: Vec<Option<(Result<Vec<U>, Failure>, u64)>> =
+            (0..chunks).map(|_| None).collect();
+        for (chunk, deposit, elapsed) in deposits.into_inner().unwrap() {
+            slots[chunk] = Some((deposit, elapsed));
+        }
+        let mut results = Vec::with_capacity(items);
+        let mut chunk_ns = Vec::with_capacity(chunks);
+        let mut first_failure: Option<Failure> = None;
+        for slot in slots {
+            let (deposit, elapsed) = slot.expect("every chunk executed exactly once");
+            chunk_ns.push(elapsed);
+            match deposit {
+                Ok(values) => results.extend(values),
+                Err(e) => {
+                    if first_failure.as_ref().is_none_or(|f| e.index() < f.index()) {
+                        first_failure = Some(e);
+                    }
+                }
+            }
+        }
+        let trace = trace_of(queue.take_steps());
+        match first_failure {
+            None => (Ok(results), trace, chunk_ns),
+            Some(e) => (Err(e), trace, chunk_ns),
+        }
+    }
+}
+
+/// Greedy list-scheduling makespan of `chunk_ns` on `workers` identical
+/// workers, in submission order: each chunk goes to the least-loaded
+/// worker. This is the parallel wall time the recorded chunk costs imply
+/// for a given worker count, independent of how many cores the recording
+/// host actually had — the model `np bench-parallel` reports speedups
+/// from (and the classic 2-approximation of the optimal schedule).
+pub fn modeled_makespan_ns(chunk_ns: &[u64], workers: usize) -> u64 {
+    let mut load = vec![0u64; workers.max(1)];
+    for &c in chunk_ns {
+        if let Some(min) = load.iter_mut().min() {
+            *min += c;
+        }
+    }
+    load.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_matches_sequential_for_every_thread_count() {
+        let expect: Vec<u64> = (0..100u64).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let got = pool.run(100, |i| (i as u64) * (i as u64));
+            assert_eq!(got, expect, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<i32> = (0..57).collect();
+        let pool = Pool::new(4);
+        let doubled = pool.map(&items, |&v| v * 2);
+        assert_eq!(doubled, items.iter().map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_run_returns_empty() {
+        let pool = Pool::new(4);
+        let out: Vec<usize> = pool.run(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn try_run_surfaces_the_earliest_task_error() {
+        let pool = Pool::new(4);
+        let err = pool
+            .try_run(64, |i| {
+                if i == 17 || i == 41 {
+                    Err(format!("bad item {i}"))
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PoolError::Task {
+                index: 17,
+                message: "bad item 17".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn panic_becomes_a_typed_error_and_the_pool_survives() {
+        let pool = Pool::new(4);
+        let err = pool
+            .try_run(32, |i| {
+                if i == 9 {
+                    panic!("boom at {i}");
+                }
+                Ok(i)
+            })
+            .unwrap_err();
+        match err {
+            PoolError::Panic { index, message } => {
+                assert_eq!(index, 9);
+                assert!(message.contains("boom"), "{message}");
+            }
+            other => panic!("expected panic error, got {other}"),
+        }
+        // Not poisoned: the same pool value runs clean work fine.
+        assert_eq!(pool.run(8, |i| i), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "carried payload")]
+    fn run_reraises_worker_panics() {
+        let pool = Pool::new(2);
+        pool.run(16, |i| {
+            if i == 3 {
+                panic!("carried payload");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn seeded_schedule_changes_interleaving_not_output() {
+        let pool = Pool::with_config(PoolConfig {
+            threads: 4,
+            chunk_size: Some(1),
+            queue_capacity: 4,
+        });
+        let expect: Vec<usize> = (0..24).map(|i| i + 1).collect();
+        let (base, trace_a) = pool.run_traced(24, |i| i + 1, &Schedule::Seeded(1));
+        let (other, trace_b) = pool.run_traced(24, |i| i + 1, &Schedule::Seeded(99));
+        assert_eq!(base, expect);
+        assert_eq!(other, expect);
+        // The seeds really did schedule differently.
+        assert_eq!(trace_a.steps.len(), 24);
+        let workers_a: Vec<usize> = trace_a.steps.iter().map(|s| s.worker).collect();
+        let workers_b: Vec<usize> = trace_b.steps.iter().map(|s| s.worker).collect();
+        assert_ne!(workers_a, workers_b);
+    }
+
+    #[test]
+    fn replay_reproduces_a_recorded_trace_exactly() {
+        let pool = Pool::with_config(PoolConfig {
+            threads: 3,
+            chunk_size: Some(2),
+            queue_capacity: 8,
+        });
+        let (out, trace) = pool.run_traced(20, |i| i * 7, &Schedule::Seeded(5));
+        let (replayed, replay_trace) =
+            pool.run_traced(20, |i| i * 7, &Schedule::Replay(trace.clone()));
+        assert_eq!(out, replayed);
+        assert_eq!(trace, replay_trace);
+    }
+
+    #[test]
+    fn report_times_every_chunk() {
+        let pool = Pool::with_config(PoolConfig {
+            threads: 2,
+            chunk_size: Some(4),
+            queue_capacity: 8,
+        });
+        let report = pool.run_report(16, |i| i, &Schedule::Free);
+        assert_eq!(report.results.len(), 16);
+        assert_eq!(report.chunk_ns.len(), 4);
+        assert_eq!(report.trace.steps.len(), 4);
+    }
+
+    #[test]
+    fn makespan_model_is_work_conserving() {
+        // 4 equal chunks on 2 workers: two per worker.
+        assert_eq!(modeled_makespan_ns(&[10, 10, 10, 10], 2), 20);
+        // One giant chunk dominates regardless of workers.
+        assert_eq!(modeled_makespan_ns(&[100, 1, 1, 1], 4), 100);
+        // One worker serialises.
+        assert_eq!(modeled_makespan_ns(&[5, 6, 7], 1), 18);
+        assert_eq!(modeled_makespan_ns(&[], 3), 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! A bounded MPMC queue with an optional schedule turnstile.
+//!
+//! The pool feeds chunk indices through a [`BoundedQueue`]: the producer
+//! blocks when `capacity` items are in flight, consumers block when the
+//! queue is empty, and [`BoundedQueue::close`] lets consumers drain what
+//! remains and then observe end-of-work (`pop` → `None`). Everything is a
+//! single mutex + condvar — no atomics, so the workspace `relaxed-ordering`
+//! lint has nothing to even look at.
+//!
+//! The turnstile is how schedules become enforceable: when a worker order
+//! is installed, the `s`-th successful `pop` is only granted to the worker
+//! the order names for step `s`. Any recorded order is feasible (every
+//! worker loops on `pop` until the queue reports end-of-work), so replay
+//! cannot deadlock. Each grant is recorded as a [`Step`], which is the
+//! trace the pool hands back for replay.
+
+use crate::schedule::Step;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+    /// Successful pops so far (the step counter of the turnstile).
+    seq: usize,
+    /// Worker granted each step; free-for-all past the end or when `None`.
+    order: Option<Vec<usize>>,
+    /// The recorded interleaving.
+    steps: Vec<Step>,
+}
+
+/// Bounded multi-producer/multi-consumer queue; see the module docs.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (clamped to at least 1),
+    /// with no turnstile.
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue::with_order(capacity, None)
+    }
+
+    /// A queue whose `s`-th pop is reserved for worker `order[s]`.
+    pub fn with_order(capacity: usize, order: Option<Vec<usize>>) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                capacity: capacity.max(1),
+                closed: false,
+                seq: 0,
+                order,
+                steps: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns `false`
+    /// (dropping the item) if the queue was closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.closed {
+                return false;
+            }
+            if st.items.len() < st.capacity {
+                st.items.push_back(item);
+                self.cv.notify_all();
+                return true;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Dequeues the next item for `worker`, blocking while the queue is
+    /// empty or the turnstile has reserved the next step for somebody
+    /// else. Returns `None` once the queue is closed *and* drained — the
+    /// shutdown contract: close never discards queued work.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            let my_turn = match &st.order {
+                Some(order) => order.get(st.seq).is_none_or(|&w| w == worker),
+                None => true,
+            };
+            if my_turn {
+                if let Some(item) = st.items.pop_front() {
+                    let chunk = st.seq;
+                    st.steps.push(Step { worker, chunk });
+                    st.seq += 1;
+                    self.cv.notify_all();
+                    return Some(item);
+                }
+                if st.closed {
+                    return None;
+                }
+            } else if st.closed && st.items.is_empty() {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Closes the queue: producers fail fast, consumers drain and exit.
+    pub fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Items currently queued (racy by nature; for tests/diagnostics).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue holds no items right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes the recorded interleaving (the `s`-th entry is the worker
+    /// that won step `s`).
+    pub fn take_steps(&self) -> Vec<Step> {
+        std::mem::take(&mut self.state.lock().unwrap().steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_consumer() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            assert!(q.push(i));
+        }
+        q.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop(0)).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn close_drains_queued_work_then_signals_end() {
+        let q = Arc::new(BoundedQueue::new(8));
+        for i in 0..5 {
+            q.push(i);
+        }
+        q.close();
+        // All five queued items survive the close; only then end-of-work.
+        assert_eq!(q.len(), 5);
+        let mut got = Vec::new();
+        while let Some(v) = q.pop(0) {
+            got.push(v);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+        // Pushing after close reports failure instead of blocking.
+        assert!(!q.push(99));
+    }
+
+    #[test]
+    fn capacity_blocks_producer_until_a_pop() {
+        let q = Arc::new(BoundedQueue::new(2));
+        assert!(q.push(1));
+        assert!(q.push(2));
+        let qp = Arc::clone(&q);
+        let producer = std::thread::spawn(move || qp.push(3));
+        // The producer can only finish once a slot frees up.
+        assert_eq!(q.pop(0), Some(1));
+        assert!(producer.join().unwrap());
+        q.close();
+        assert_eq!(q.pop(0), Some(2));
+        assert_eq!(q.pop(0), Some(3));
+        assert_eq!(q.pop(0), None);
+    }
+
+    #[test]
+    fn turnstile_grants_steps_in_the_installed_order() {
+        let q = Arc::new(BoundedQueue::with_order(8, Some(vec![1, 0, 1])));
+        for i in 0..3 {
+            q.push(i);
+        }
+        q.close();
+        let q0 = Arc::clone(&q);
+        let w0 = std::thread::spawn(move || std::iter::from_fn(|| q0.pop(0)).count());
+        let q1 = Arc::clone(&q);
+        let w1 = std::thread::spawn(move || std::iter::from_fn(|| q1.pop(1)).count());
+        assert_eq!(w0.join().unwrap() + w1.join().unwrap(), 3);
+        let steps: Vec<usize> = q.take_steps().iter().map(|s| s.worker).collect();
+        assert_eq!(steps, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn steps_record_chunk_sequence() {
+        let q = BoundedQueue::new(4);
+        q.push("a");
+        q.push("b");
+        q.close();
+        q.pop(7);
+        q.pop(7);
+        let steps = q.take_steps();
+        assert_eq!(steps.len(), 2);
+        assert_eq!((steps[0].worker, steps[0].chunk), (7, 0));
+        assert_eq!((steps[1].worker, steps[1].chunk), (7, 1));
+    }
+}

@@ -84,6 +84,43 @@ impl CorrelationMatrix {
         }
     }
 
+    /// [`CorrelationMatrix::from_series`] with rows fanned across `pool`.
+    ///
+    /// Row `i` computes its upper-triangle entries `r(i, j)` for `j >= i`;
+    /// the symmetric fill happens after the merge, in the same row order
+    /// as the serial loop. Each Pearson r is a pure fold over two slices,
+    /// so the matrix is bit-identical to the serial one at any thread
+    /// count — the all-counters sweep calls this with hundreds of rows.
+    pub fn from_series_pool(
+        series: &[(String, Vec<f64>)],
+        pool: &np_parallel::Pool,
+    ) -> CorrelationMatrix {
+        let n = series.len();
+        let rows = pool.run(n, |i| {
+            (i..n)
+                .map(|j| {
+                    if i == j {
+                        1.0
+                    } else {
+                        pearson_r(&series[i].1, &series[j].1).unwrap_or(f64::NAN)
+                    }
+                })
+                .collect::<Vec<f64>>()
+        });
+        let mut values = vec![f64::NAN; n * n];
+        for (i, row) in rows.into_iter().enumerate() {
+            for (off, r) in row.into_iter().enumerate() {
+                let j = i + off;
+                values[i * n + j] = r;
+                values[j * n + i] = r;
+            }
+        }
+        CorrelationMatrix {
+            names: series.iter().map(|(n, _)| n.clone()).collect(),
+            values,
+        }
+    }
+
     /// Correlation between series `i` and `j`.
     pub fn get(&self, i: usize, j: usize) -> f64 {
         self.values[i * self.names.len() + j]
@@ -168,6 +205,29 @@ mod tests {
         }
         assert!((m.get(0, 1) - 1.0).abs() < 1e-12);
         assert!((m.get(0, 2) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooled_matrix_is_bit_identical_to_serial() {
+        // A non-trivial batch of deterministic pseudo-series.
+        let series: Vec<(String, Vec<f64>)> = (0..12)
+            .map(|s| {
+                let vals: Vec<f64> = (0..16)
+                    .map(|i| ((s * 31 + i * 17) % 23) as f64 - (s % 5) as f64 * 0.7)
+                    .collect();
+                (format!("s{s}"), vals)
+            })
+            .collect();
+        let serial = CorrelationMatrix::from_series(&series);
+        for threads in [1, 2, 8] {
+            let pool = np_parallel::Pool::new(threads);
+            let pooled = CorrelationMatrix::from_series_pool(&series, &pool);
+            assert_eq!(pooled.names, serial.names, "{threads} threads");
+            assert_eq!(pooled.values.len(), serial.values.len());
+            for (a, b) in pooled.values.iter().zip(&serial.values) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
+        }
     }
 
     #[test]

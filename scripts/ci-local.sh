@@ -28,6 +28,11 @@ cargo test -q --offline
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace --offline
 
+echo "== determinism matrix under varied harness threads =="
+cargo test -q --offline --test integration_parallel -- --test-threads 1
+cargo test -q --offline --test integration_parallel -- --test-threads 8
+cargo test -q --offline -p np-parallel -- --test-threads 1
+
 echo "== np lint (workspace invariants) =="
 cargo run --release --offline --quiet -- lint
 
@@ -56,6 +61,12 @@ if [[ "$quick" -eq 0 ]]; then
   cargo run --release --offline --quiet -- loadgen \
     --clients 8 --frames 16 --seed 1 --smoke --out "$bench"
   echo "exchange benchmark written to $bench"
+
+  echo "== nightly: worker-pool smoke (np bench-parallel --smoke) =="
+  pbench="$(mktemp -t np-bench-parallel.XXXXXX.json)"
+  cargo run --release --offline --quiet -- bench-parallel \
+    --machine two-socket --seed 1 --smoke --out "$pbench"
+  echo "worker-pool benchmark written to $pbench"
 fi
 
 echo "ci-local: OK"

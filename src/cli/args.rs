@@ -41,6 +41,8 @@ pub enum Command {
     Serve,
     /// Benchmark a running (or in-process) exchange.
     Loadgen,
+    /// Benchmark the deterministic worker pool (sequential vs threaded).
+    BenchParallel,
 }
 
 impl Command {
@@ -64,6 +66,7 @@ impl Command {
             "lint" => Command::Lint,
             "serve" => Command::Serve,
             "loadgen" => Command::Loadgen,
+            "bench-parallel" => Command::BenchParallel,
             _ => return None,
         })
     }
@@ -115,9 +118,10 @@ pub struct Cli {
     pub clients: usize,
     /// `loadgen`: frames each session sends.
     pub frames: usize,
-    /// `loadgen`: fail unless the run passes its smoke invariants.
+    /// `loadgen`/`bench-parallel`: fail unless the run passes its smoke
+    /// invariants.
     pub smoke: bool,
-    /// `loadgen`: summary output path.
+    /// `loadgen`/`bench-parallel`: summary output path.
     pub out: String,
     /// `serve`/`loadgen`: store shard count.
     pub shards: usize,
@@ -172,7 +176,12 @@ impl Cli {
             clients: 8,
             frames: 40,
             smoke: false,
-            out: "BENCH_serve.json".into(),
+            // `--out` default tracks the command's baseline file.
+            out: match command {
+                Command::BenchParallel => "BENCH_parallel.json",
+                _ => "BENCH_serve.json",
+            }
+            .into(),
             shards: 8,
             cache_cap: 128,
             workers: 4,
@@ -439,6 +448,30 @@ mod tests {
         assert_eq!(cli.clients, 8);
         assert_eq!(cli.frames, 40);
         assert_eq!(cli.out, "BENCH_serve.json");
+        assert!(!cli.smoke);
+    }
+
+    #[test]
+    fn bench_parallel_parses() {
+        let cli = parse(&[
+            "bench-parallel",
+            "--reps",
+            "8",
+            "--seed",
+            "7",
+            "--smoke",
+            "--out",
+            "bp.json",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, Command::BenchParallel);
+        assert_eq!(cli.reps, 8);
+        assert_eq!(cli.seed, 7);
+        assert!(cli.smoke);
+        assert_eq!(cli.out, "bp.json");
+        // The default baseline path is per-command.
+        let cli = parse(&["bench-parallel"]).unwrap();
+        assert_eq!(cli.out, "BENCH_parallel.json");
         assert!(!cli.smoke);
     }
 

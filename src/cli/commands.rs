@@ -34,7 +34,390 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         Command::Lint => lint_cmd(cli),
         Command::Serve => serve_cmd(cli),
         Command::Loadgen => loadgen_cmd(cli),
+        Command::BenchParallel => bench_parallel_cmd(cli),
     }
+}
+
+/// One thread-count point of one benchmarked path.
+struct BenchPoint {
+    threads: usize,
+    wall_ns: u64,
+    modeled_wall_ns: u64,
+    modeled_speedup: f64,
+    identical: bool,
+}
+
+/// One parallelised path, benchmarked sequential vs pooled.
+struct BenchPath {
+    name: &'static str,
+    items: usize,
+    seq_ns: u64,
+    /// Whether the chunk-cost model came from per-item measurements
+    /// (campaign, analysis) or a uniform split of the sequential wall.
+    measured_chunks: bool,
+    points: Vec<BenchPoint>,
+}
+
+impl BenchPath {
+    fn audit_ok(&self) -> bool {
+        self.points.iter().all(|p| p.identical)
+    }
+}
+
+/// Benchmarks one path: the caller supplies the already-timed sequential
+/// digest and per-item costs; this runs the pooled closure at each thread
+/// count, timing the wall and checking bit-equality against `base`.
+///
+/// The *modeled* wall time is [`np_parallel::modeled_makespan_ns`] over
+/// the sequential chunk costs — the speedup those costs imply for a given
+/// worker count. On a single-core host the measured wall cannot improve
+/// with threads, but the model (and the bit-equality audit) still hold;
+/// the measured wall is reported alongside, never gated.
+fn bench_path(
+    name: &'static str,
+    thread_counts: &[usize],
+    seq_ns: u64,
+    item_ns: Option<Vec<u64>>,
+    items: usize,
+    base: &str,
+    pooled: impl Fn(&np_parallel::Pool) -> String,
+) -> BenchPath {
+    let measured_chunks = item_ns.is_some();
+    let costs = item_ns
+        .unwrap_or_else(|| vec![(seq_ns / items.max(1) as u64).max(1); items])
+        .iter()
+        .map(|&c| c.max(1))
+        .collect::<Vec<u64>>();
+    let total: u64 = costs.iter().sum();
+    let points = thread_counts
+        .iter()
+        .map(|&threads| {
+            let pool = np_parallel::Pool::new(threads);
+            let t0 = np_telemetry::now_ns();
+            let got = pooled(&pool);
+            let wall_ns = np_telemetry::now_ns().saturating_sub(t0).max(1);
+            let modeled_wall_ns = np_parallel::modeled_makespan_ns(&costs, threads).max(1);
+            BenchPoint {
+                threads,
+                wall_ns,
+                modeled_wall_ns,
+                modeled_speedup: total as f64 / modeled_wall_ns as f64,
+                identical: got == base,
+            }
+        })
+        .collect();
+    BenchPath {
+        name,
+        items,
+        seq_ns,
+        measured_chunks,
+        points,
+    }
+}
+
+/// `np bench-parallel`: benchmark every pooled path (campaign, Memhist
+/// ladder, Phasenprüfer pivot scan, correlation sweep, analysis sweep)
+/// sequential vs 1/2/4/N threads, write `--out` (BENCH_parallel.json),
+/// and audit that every pooled result is bit-identical to the sequential
+/// one. `--smoke` turns the audit into the exit status — speedup numbers
+/// are reported, never gated (they depend on host cores).
+fn bench_parallel_cmd(cli: &Cli) -> Result<String, String> {
+    use np_counters::measurement::{Measurement, RunSet};
+    use np_counters::pmu::PmuModel;
+
+    let machine = cli.machine_config()?;
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut thread_counts = vec![1usize, 2, 4, host];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    let seed = cli.seed;
+
+    // --smoke shrinks every path so CI stays fast; the audit is identical.
+    let (camp_reps, camp_size, ladder_size, foot_len) = if cli.smoke {
+        (cli.reps.max(6), 48, 1usize << 16, 160u64)
+    } else {
+        (cli.reps.max(16), 96, 1usize << 19, 360u64)
+    };
+
+    // Path 1: campaign — batched repetitions fanned across the pool
+    // (the Runner's measure path). Per-repetition costs are measured
+    // during the sequential run, so the speedup model uses real chunks.
+    let sim = MachineSim::new(machine.clone());
+    let pmu = PmuModel::default();
+    let events = vec![HwEvent::Cycles, HwEvent::L1dMiss, HwEvent::L3Access];
+    let campaign = {
+        let w = workloads::build("row-major", Some(camp_size), cli.threads, &machine)?;
+        let program = w.build(&machine);
+        let mut item_ns = Vec::with_capacity(camp_reps);
+        let mut runs = Vec::new();
+        let t0 = np_telemetry::now_ns();
+        for rep in 0..camp_reps {
+            let r0 = np_telemetry::now_ns();
+            let one = np_counters::acquisition::measure_batched(
+                &sim,
+                &program,
+                &events,
+                1,
+                seed + rep as u64,
+                &pmu,
+            );
+            item_ns.push(np_telemetry::now_ns().saturating_sub(r0));
+            runs.extend(one.runs);
+        }
+        let seq_ns = np_telemetry::now_ns().saturating_sub(t0).max(1);
+        let base = format!("{runs:?}");
+        let plan = MeasurementPlan::events(events.clone(), camp_reps, seed);
+        bench_path(
+            "campaign",
+            &thread_counts,
+            seq_ns,
+            Some(item_ns),
+            camp_reps,
+            &base,
+            |pool| {
+                let runner = Runner::new(machine.clone()).with_threads(pool.threads());
+                match runner.measure_program(&program, &plan) {
+                    Ok(rs) => format!("{:?}", rs.runs),
+                    Err(e) => format!("error: {e}"),
+                }
+            },
+        )
+    };
+
+    // Path 2: Memhist threshold ladder — one dedicated run per threshold.
+    let ladder = {
+        let w = workloads::build("mlc-local", Some(ladder_size), cli.threads, &machine)?;
+        let program = w.build(&machine);
+        let tool = Memhist::with_defaults();
+        let t0 = np_telemetry::now_ns();
+        let base = format!("{:?}", tool.measure_ladder(&sim, &program, seed));
+        let seq_ns = np_telemetry::now_ns().saturating_sub(t0).max(1);
+        let items = np_core::memhist::MemhistConfig::default().thresholds.len();
+        bench_path(
+            "memhist-ladder",
+            &thread_counts,
+            seq_ns,
+            None,
+            items,
+            &base,
+            |pool| format!("{:?}", tool.measure_ladder_pool(&sim, &program, seed, pool)),
+        )
+    };
+
+    // Path 3: Phasenprüfer pivot scan — per-pivot segmented fits over a
+    // synthetic ramp-then-flat footprint (clear two-phase structure).
+    let phasen = {
+        let footprint: Vec<(u64, u64)> = (0..foot_len)
+            .map(|i| {
+                let rss_mib = if i < foot_len / 3 {
+                    i * 4
+                } else {
+                    (foot_len / 3) * 4 + (i % 7)
+                };
+                (i * 50_000, rss_mib << 20)
+            })
+            .collect();
+        let pp = Phasenpruefer::default();
+        let t0 = np_telemetry::now_ns();
+        let base = format!("{:?}", pp.detect(&footprint));
+        let seq_ns = np_telemetry::now_ns().saturating_sub(t0).max(1);
+        bench_path(
+            "phasen-scan",
+            &thread_counts,
+            seq_ns,
+            None,
+            footprint.len(),
+            &base,
+            |pool| format!("{:?}", pp.detect_pool(&footprint, pool)),
+        )
+    };
+
+    // Path 4: all-counters correlation sweep — one regression battery per
+    // catalog event over a synthetic parameter sweep with known families.
+    let correlate = {
+        let ids = EventCatalog::builtin().ids();
+        let mut sweep = ParameterSweep::new("threads");
+        for &p in &[1.0f64, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0] {
+            let mut rs = RunSet::new(format!("p{p}"));
+            for rep in 0..3u64 {
+                let mut m = Measurement::new(seed + p as u64 * 10 + rep);
+                for (ei, &e) in ids.iter().enumerate() {
+                    let k = (ei + 1) as f64;
+                    let v = match ei % 3 {
+                        0 => 100.0 * k + 500.0 * k * p,
+                        1 => 50.0 * k + 3.0 * k * p * p,
+                        _ => 1e5 * k * (-0.15 * p).exp(),
+                    };
+                    m.values.insert(e, v * (1.0 + rep as f64 * 1e-4));
+                }
+                rs.runs.push(m);
+            }
+            sweep.push(p, rs);
+        }
+        let digest = |rep: &np_core::evsel::SweepReport| {
+            rep.rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{}:{}:{:?}:{}",
+                        r.event.name(),
+                        r.pearson.to_bits(),
+                        r.best.kind,
+                        r.best.r_squared.to_bits()
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let t0 = np_telemetry::now_ns();
+        let base = digest(&EvSel::default().correlate(&sweep));
+        let seq_ns = np_telemetry::now_ns().saturating_sub(t0).max(1);
+        bench_path(
+            "correlate-sweep",
+            &thread_counts,
+            seq_ns,
+            None,
+            ids.len(),
+            &base,
+            |pool| digest(&EvSel::default().correlate_pool(&sweep, pool)),
+        )
+    };
+
+    // Path 5: differential-envelope analysis sweep — the static analysis
+    // over every registry workload, with measured per-program costs.
+    let analysis = {
+        let mut programs = Vec::new();
+        for name in workloads::NAMES {
+            let w = workloads::build(name, Some(camp_size), cli.threads, &machine)?;
+            programs.push((name.to_string(), w.build(&machine)));
+        }
+        let mut item_ns = Vec::with_capacity(programs.len());
+        let mut serial = Vec::with_capacity(programs.len());
+        let t0 = np_telemetry::now_ns();
+        for (name, program) in &programs {
+            let p0 = np_telemetry::now_ns();
+            serial.push((name.as_str(), np_analysis::analyze(program, &machine)));
+            item_ns.push(np_telemetry::now_ns().saturating_sub(p0));
+        }
+        let seq_ns = np_telemetry::now_ns().saturating_sub(t0).max(1);
+        let base = format!("{serial:?}");
+        let items = programs.len();
+        bench_path(
+            "analysis-sweep",
+            &thread_counts,
+            seq_ns,
+            Some(item_ns),
+            items,
+            &base,
+            |pool| format!("{:?}", np_analysis::analyze_many(&programs, &machine, pool)),
+        )
+    };
+
+    let paths = [campaign, ladder, phasen, correlate, analysis];
+    let audit_ok = paths.iter().all(BenchPath::audit_ok);
+    let campaign_4t = paths[0]
+        .points
+        .iter()
+        .find(|p| p.threads == 4)
+        .map_or(0.0, |p| p.modeled_speedup);
+
+    // The JSON baseline (hand-rolled, like the lint report).
+    let mut j = String::from("{\n");
+    j.push_str("  \"schema\": \"bench-parallel/1\",\n");
+    j.push_str(&format!("  \"host_threads\": {host},\n"));
+    j.push_str(&format!("  \"machine\": \"{}\",\n", cli.machine));
+    j.push_str(&format!("  \"seed\": {seed},\n"));
+    j.push_str(&format!("  \"smoke\": {},\n", cli.smoke));
+    j.push_str(&format!("  \"audit_ok\": {audit_ok},\n"));
+    j.push_str(&format!(
+        "  \"campaign_modeled_speedup_4t\": {campaign_4t:.3},\n"
+    ));
+    j.push_str("  \"paths\": [\n");
+    for (pi, p) in paths.iter().enumerate() {
+        j.push_str("    {\n");
+        j.push_str(&format!("      \"name\": \"{}\",\n", p.name));
+        j.push_str(&format!("      \"items\": {},\n", p.items));
+        j.push_str(&format!("      \"sequential_wall_ns\": {},\n", p.seq_ns));
+        j.push_str(&format!(
+            "      \"chunk_costs\": \"{}\",\n",
+            if p.measured_chunks {
+                "measured"
+            } else {
+                "uniform"
+            }
+        ));
+        j.push_str("      \"threads\": [\n");
+        for (qi, q) in p.points.iter().enumerate() {
+            j.push_str(&format!(
+                "        {{\"threads\": {}, \"wall_ns\": {}, \"modeled_wall_ns\": {}, \
+                 \"modeled_speedup\": {:.3}, \"bit_identical\": {}}}{}\n",
+                q.threads,
+                q.wall_ns,
+                q.modeled_wall_ns,
+                q.modeled_speedup,
+                q.identical,
+                if qi + 1 < p.points.len() { "," } else { "" }
+            ));
+        }
+        j.push_str("      ]\n");
+        j.push_str(&format!(
+            "    }}{}\n",
+            if pi + 1 < paths.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(&cli.out, &j)
+        .map_err(|e| format!("bench-parallel: cannot write '{}': {e}", cli.out))?;
+
+    let mut out = String::from("== deterministic worker-pool benchmark ==\n");
+    out.push_str(&format!(
+        "host threads {host}; thread counts {thread_counts:?}; \
+         modeled wall = greedy makespan of sequential chunk costs\n\n"
+    ));
+    for p in &paths {
+        out.push_str(&format!(
+            "{:<16} {:>4} items, sequential {:>8.2} ms ({} chunk costs)\n",
+            p.name,
+            p.items,
+            p.seq_ns as f64 / 1e6,
+            if p.measured_chunks {
+                "measured"
+            } else {
+                "uniform"
+            }
+        ));
+        for q in &p.points {
+            out.push_str(&format!(
+                "  {:>2} threads: wall {:>8.2} ms, modeled {:>8.2} ms ({:>5.2}x), {}\n",
+                q.threads,
+                q.wall_ns as f64 / 1e6,
+                q.modeled_wall_ns as f64 / 1e6,
+                q.modeled_speedup,
+                if q.identical {
+                    "bit-identical"
+                } else {
+                    "DIVERGED"
+                }
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "\naudit: {}\nsummary written to {}\n",
+        if audit_ok {
+            "every pooled result bit-identical to sequential"
+        } else {
+            "DIVERGENCE detected"
+        },
+        cli.out
+    ));
+    if cli.smoke {
+        if audit_ok {
+            out.push_str("smoke: OK\n");
+        } else {
+            return Err(format!("bench-parallel --smoke failed:\n{out}"));
+        }
+    }
+    Ok(out)
 }
 
 /// `np serve`: run the indicator exchange. Binds `--addr` (an ephemeral
@@ -297,17 +680,22 @@ fn analyze_all(cli: &Cli, machine: &np_simulator::MachineConfig) -> Result<Strin
         "  {:<20} {:>7} {:>9} {:>6}  envelope\n",
         "workload", "blocks", "releases", "races"
     ));
-    let mut failures = Vec::new();
+    let mut programs = Vec::with_capacity(workloads::NAMES.len());
     for name in workloads::NAMES {
         let w = workloads::build(name, Some(size), cli.threads, machine)?;
-        let program = w.build(machine);
-        let a = np_analysis::analyze(&program, machine);
+        programs.push((name.to_string(), w.build(machine)));
+    }
+    // The static passes fan across the pool in registry order; the
+    // differential runs stay serial so failures read top-to-bottom.
+    let analyses = np_analysis::analyze_many(&programs, machine, &np_parallel::Pool::default());
+    let mut failures = Vec::new();
+    for ((name, a), (_, program)) in analyses.iter().zip(&programs) {
         let releases = match &a.barriers {
             Ok(order) => order.len().to_string(),
             Err(_) => "DEADLOCK".to_string(),
         };
         let verdict = if a.validate.is_ok() && a.barriers.is_ok() {
-            let run = sim.run(&program, cli.seed);
+            let run = sim.run(program, cli.seed);
             let v = a.bounds.check(&run.counters.totals(), run.cycles);
             if v.is_empty() {
                 "ok"
@@ -915,6 +1303,40 @@ mod tests {
         assert!(summary.cache_hits > 0);
         assert!(summary.transfer_consistent);
         assert!(summary.smoke_ok());
+        std::fs::remove_file(&out_path).unwrap();
+    }
+
+    #[test]
+    fn bench_parallel_smoke_audits_determinism() {
+        let out_path =
+            std::env::temp_dir().join(format!("np-bench-parallel-{}.json", std::process::id()));
+        let out = run(&[
+            "bench-parallel",
+            "--machine",
+            "two-socket",
+            "--smoke",
+            "--seed",
+            "3",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("smoke: OK"), "{out}");
+        assert!(!out.contains("DIVERGED"), "{out}");
+        for path in [
+            "campaign",
+            "memhist-ladder",
+            "phasen-scan",
+            "correlate-sweep",
+            "analysis-sweep",
+        ] {
+            assert!(out.contains(path), "missing path {path} in {out}");
+        }
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        assert!(json.contains("\"audit_ok\": true"), "{json}");
+        assert!(json.contains("\"campaign_modeled_speedup_4t\""), "{json}");
+        assert!(json.contains("\"bit_identical\": true"), "{json}");
+        assert!(!json.contains("\"bit_identical\": false"), "{json}");
         std::fs::remove_file(&out_path).unwrap();
     }
 

@@ -72,6 +72,10 @@ COMMANDS:
                 line-delimited JSON frames)
     loadgen     benchmark an exchange: seeded concurrent load, cache-hit
                 speedup and cross-machine transfer audit (BENCH_serve.json)
+    bench-parallel
+                benchmark the deterministic worker pool: sequential vs
+                2/4/N threads on every pooled path, with a bit-equality
+                audit (BENCH_parallel.json)
 
 OPTIONS:
     --machine NAME     dl580 (default) | two-socket | ring
@@ -102,8 +106,11 @@ OPTIONS:
     --clients N        loadgen: concurrent sessions (default 8)
     --frames N         loadgen: frames per session (default 40)
     --smoke            loadgen: fail unless the run is error-free, the
-                       cache was exercised and the transfer audit passed
-    --out FILE         loadgen: summary path (default BENCH_serve.json)
+                       cache was exercised and the transfer audit passed;
+                       bench-parallel: fail unless every pooled result is
+                       bit-identical to the sequential one
+    --out FILE         loadgen / bench-parallel: summary path (defaults
+                       BENCH_serve.json / BENCH_parallel.json)
     --shards N         serve/loadgen: store shards (default 8)
     --cache-cap N      serve/loadgen: prediction-cache entries (default 128)
     --workers N        serve/loadgen: worker threads (default 4)
@@ -122,6 +129,7 @@ HELP TOPICS:
     numa-perf-tools help lint          the workspace invariant linter
     numa-perf-tools help serve         the indicator-exchange service
     numa-perf-tools help loadgen       benchmarking the exchange
+    numa-perf-tools help parallel      deterministic worker-pool execution
 "
 }
 
@@ -147,7 +155,9 @@ WHAT IS RECORDED:
                 per-NUMA-node memory ops, cache/coherence event totals
     acq.*       acquisition: sim runs executed, batched register runs,
                 multiplexed timeslices, PEBS threshold rotations
-    runner.*    campaigns, repetitions, rayon fan-out occupancy
+    runner.*    campaigns, repetitions, pool fan-out occupancy
+    par.*       worker pool: tasks executed, chunks run beyond a fair
+                share (par.steal), per-pop idle time (par.idle_ns)
     session.*   archive saves/loads and bytes written/read
     probe.*     Memhist TCP probe: requests, bytes on wire, per-
                 connection errors, request latency
@@ -287,8 +297,10 @@ RULES:
     guarded-telemetry  np_telemetry::global() on a hot path must sit
                        under an enabled() check in the enclosing fn
     no-wall-clock      Instant::now()/SystemTime::now() are forbidden
-                       in the simulator and the fault plan — seeded
-                       determinism is the whole point
+                       in the simulator, the fault plan and the worker
+                       pool (crates/parallel/src) — seeded determinism
+                       is the whole point; pool timings flow through
+                       np_telemetry::now_ns for reporting only
 
 OUTPUT:
     file.rs:LINE: [rule] message       (text, one finding per line)
@@ -380,6 +392,53 @@ SMOKE GATE (--smoke, used by CI):
 "
 }
 
+/// The `help parallel` topic: deterministic worker-pool execution.
+pub fn parallel_help() -> &'static str {
+    "Deterministic worker-pool execution
+===================================
+
+Campaigns, the Memhist threshold ladder, the Phasenprüfer pivot scan,
+the all-counters correlation sweep and the differential-envelope
+analysis sweep all fan out across the np-parallel pool: a
+zero-dependency, std::thread-based fork-join layer.
+
+DETERMINISM CONTRACT:
+    Results merge in submission order (by chunk index, not completion
+    order), so every pooled path is bit-identical to its sequential
+    loop at ANY thread count. `--threads` is purely a throughput knob;
+    it can never change a measured value. The pool itself is in the
+    linter's no-wall-clock scope, so nothing in it can branch on
+    timing.
+
+SCHEDULES (test harness):
+    Free         first-come scheduling (the default)
+    Seeded(n)    a seeded turnstile picks which worker gets each chunk;
+                 different seeds give different interleavings, always
+                 the same output
+    Replay(t)    re-run the exact interleaving recorded in trace t —
+                 a failing schedule is a reproducible artifact
+
+FAILURE SEMANTICS:
+    A worker panic propagates to the caller (earliest item wins,
+    deterministically); `try_run` surfaces it as a typed error instead.
+    Pools hold no long-lived state, so nothing is poisoned: the same
+    pool value keeps working after a panic.
+
+BENCHMARK:
+    numa-perf-tools bench-parallel [--smoke] [--out FILE]
+    writes BENCH_parallel.json: per path, sequential wall time vs
+    1/2/4/N threads, a modeled speedup (greedy makespan of the
+    sequential chunk costs — meaningful even on a single-core CI
+    host), and a bit-equality audit. --smoke gates ONLY the audit;
+    speedups are reported, never gated.
+
+TELEMETRY (with --telemetry FILE):
+    par.tasks      chunks executed
+    par.steal      chunks executed beyond a worker's fair share
+    par.idle_ns    per-pop idle time histogram
+"
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -416,5 +475,24 @@ mod tests {
         for term in ["--smoke", "BENCH_serve.json", "audit", "cache speedup"] {
             assert!(super::loadgen_help().contains(term), "missing term {term}");
         }
+    }
+
+    #[test]
+    fn help_topics_cover_the_worker_pool() {
+        assert!(super::usage().contains("help parallel"));
+        assert!(super::usage().contains("bench-parallel"));
+        for term in [
+            "bit-identical",
+            "submission order",
+            "Seeded",
+            "Replay",
+            "BENCH_parallel.json",
+            "par.steal",
+            "no-wall-clock",
+        ] {
+            assert!(super::parallel_help().contains(term), "missing term {term}");
+        }
+        // The telemetry topic names the pool's metric family.
+        assert!(super::telemetry_help().contains("par."));
     }
 }

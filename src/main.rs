@@ -10,6 +10,7 @@ fn main() {
             Some("lint") => print!("{}", numa_perf_tools::cli::lint_help()),
             Some("serve") => print!("{}", numa_perf_tools::cli::serve_help()),
             Some("loadgen") => print!("{}", numa_perf_tools::cli::loadgen_help()),
+            Some("parallel") => print!("{}", numa_perf_tools::cli::parallel_help()),
             _ => print!("{}", numa_perf_tools::cli::usage()),
         }
         return;
