@@ -138,13 +138,19 @@ const PANIC_TOKENS: &[&str] = &[
 const BOUNDED_READER_FILE: &str = "crates/resilience/src/io.rs";
 
 /// Deterministic paths that must not observe wall clocks: the simulator
-/// (seeded reproducibility), the fault plan (seeded schedules), and the
+/// (seeded reproducibility), the fault plan (seeded schedules), the
 /// worker pool (its merge order and traces must never branch on timing;
-/// durations flow through `np_telemetry::now_ns` for reporting only).
+/// durations flow through `np_telemetry::now_ns` for reporting only),
+/// the time-series sampler (captures are timestamped in simulated
+/// cycles — a wall-clock read there would break byte-identical
+/// captures), and `np top` (its pacing comes from `thread::sleep` and
+/// the tick counter; rates are deltas of simulated-cycle series).
 fn wall_clock_forbidden(path: &str) -> bool {
     path.starts_with("crates/numa-sim/")
         || path.starts_with("crates/parallel/src/")
         || path == "crates/resilience/src/fault.rs"
+        || path == "crates/telemetry/src/timeseries.rs"
+        || path == "src/cli/top.rs"
 }
 
 /// Blanks comments, string literals, and char literals so token scans only
@@ -376,9 +382,16 @@ pub fn lint_source(path: &str, source: &str) -> Vec<LintFinding> {
             );
         }
 
-        if !in_telemetry && code.contains("np_telemetry::global()") {
+        // Hot-path telemetry: both the metrics facade and the time-series
+        // sampler must be skipped when observation is off.
+        let hot_telemetry = code.contains("np_telemetry::global()")
+            || code.contains("np_telemetry::sample")
+            || code.contains("timeseries::sample");
+        if !in_telemetry && hot_telemetry {
             // The call must sit under an enabled() check somewhere in the
-            // enclosing fn (scan back to the nearest `fn` header).
+            // enclosing fn (scan back to the nearest `fn` header). The
+            // sampler's gate is `sampling_enabled(`, which satisfies the
+            // same substring check.
             let mut guarded = code.contains("enabled(");
             if !guarded {
                 let mut k = idx;
@@ -399,7 +412,7 @@ pub fn lint_source(path: &str, source: &str) -> Vec<LintFinding> {
                     &mut findings,
                     idx,
                     "guarded-telemetry",
-                    "np_telemetry::global() without an enabled() guard in the enclosing fn; hot paths must skip disabled telemetry".to_string(),
+                    "telemetry or time-series sampling without an enabled() guard in the enclosing fn; hot paths must skip disabled observation".to_string(),
                 );
             }
         }
@@ -551,12 +564,49 @@ mod tests {
     }
 
     #[test]
+    fn sampling_calls_need_an_enabled_guard() {
+        let bad = concat!(
+            "fn record(now: u64) {\n",
+            "    np_telemetry::timeseries::sample(\"acq.reps\", now, 1);\n",
+            "}\n",
+        );
+        let good = concat!(
+            "fn record(now: u64) {\n",
+            "    if np_telemetry::sampling_enabled() {\n",
+            "        np_telemetry::sample_cumulative(\"x\", now, 1);\n",
+            "    }\n",
+            "}\n",
+        );
+        let hits = lint_source("crates/counters/src/acquisition.rs", bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "guarded-telemetry");
+        assert!(lint_source("crates/counters/src/acquisition.rs", good).is_empty());
+        // The sampler itself is exempt, like the metrics facade.
+        assert!(lint_source("crates/telemetry/src/timeseries.rs", bad).is_empty());
+    }
+
+    #[test]
     fn wall_clock_forbidden_in_deterministic_paths() {
         let src = "fn f() { let _t = std::time::Instant::now(); }\n";
         let hits = lint_source("crates/numa-sim/src/engine.rs", src);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].rule, "no-wall-clock");
         assert!(lint_source("crates/resilience/src/retry.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sampler_and_top_are_wall_clock_free() {
+        // Captures are timestamped in simulated cycles; `np top` paces on
+        // thread::sleep and tick counters. Neither may read a wall clock.
+        let src = "fn f() { let _t = std::time::Instant::now(); }\n";
+        for path in ["crates/telemetry/src/timeseries.rs", "src/cli/top.rs"] {
+            let hits = lint_source(path, src);
+            assert_eq!(hits.len(), 1, "{path}");
+            assert_eq!(hits[0].rule, "no-wall-clock", "{path}");
+        }
+        // The rest of the CLI and the trace module (now_ns's home) may.
+        assert!(lint_source("src/cli/commands.rs", src).is_empty());
+        assert!(lint_source("crates/telemetry/src/trace.rs", src).is_empty());
     }
 
     #[test]

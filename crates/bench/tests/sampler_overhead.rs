@@ -1,0 +1,65 @@
+//! Guard: switching the time-series sampler on must not meaningfully
+//! slow the simulator.
+//!
+//! The engine's live hook ([`sample_live_timeslice`]) runs once per
+//! *timeslice*, never per op, and the whole thing is one relaxed load
+//! when sampling is off. This test is the tripwire for someone moving
+//! sampling into the per-op hot loop: it compares wall time for
+//! identical runs with the sampler off and on. The threshold is
+//! deliberately loose (2.5×, min-of-3) so a loaded CI host never trips
+//! it — a real per-op regression is orders of magnitude bigger than
+//! scheduler noise on a 100k-op program, while the budgeted per-slice
+//! cost is well under the 3% the design doc promises.
+
+use np_bench::dl580_sim;
+use np_simulator::{AllocPolicy, ProgramBuilder};
+use np_telemetry::timeseries;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[test]
+fn enabled_sampler_does_not_gut_sim_throughput() {
+    let sim = dl580_sim();
+    let topo = sim.config().topology.clone();
+    let ops = 100_000u64;
+    let mut b = ProgramBuilder::new(&topo, 4096);
+    let buf = b.alloc(8 << 20, AllocPolicy::Bind(0));
+    let t = b.add_thread(0);
+    for i in 0..ops {
+        b.load(t, buf + (i * 8) % (8 << 20));
+    }
+    let program = b.build();
+
+    // Min-of-N: the minimum is the least noisy wall-time estimator on a
+    // shared host.
+    let time = |runs: usize| {
+        (0..runs)
+            .map(|seed| {
+                let start = Instant::now();
+                black_box(sim.run(&program, seed as u64));
+                start.elapsed()
+            })
+            .min()
+            .expect("at least one run")
+    };
+
+    // Warm up caches/allocator, then measure both configurations.
+    timeseries::set_sampling(false);
+    let _ = time(1);
+    let disabled = time(3);
+    timeseries::reset_global_sampler(timeseries::GLOBAL_CAPACITY);
+    timeseries::set_sampling(true);
+    let enabled = time(3);
+    timeseries::set_sampling(false);
+
+    // The run must actually have fed the sampler, or this guard measures
+    // nothing.
+    assert!(
+        !timeseries::global_sampler_snapshot().is_empty(),
+        "sampling was on but the live hook recorded nothing"
+    );
+    assert!(
+        enabled < disabled * 5 / 2,
+        "sampler-enabled sim run is >2.5x slower: disabled={disabled:?} enabled={enabled:?}"
+    );
+}

@@ -29,6 +29,7 @@
 pub mod annotate;
 pub mod balance;
 pub mod c2c;
+pub mod capture;
 pub mod evsel;
 pub mod exchange;
 pub mod memhist;
@@ -39,8 +40,9 @@ pub mod runner;
 pub mod session;
 pub mod strategy;
 
+pub use capture::{Capture, NodeSeriesObserver, SeriesDoc, Timeline};
 pub use evsel::{ComparisonReport, EvSel, ParameterSweep};
 pub use memhist::{Memhist, MemhistConfig, MemhistResult};
 pub use phasen::{PhaseDetector, PhaseReport, Phasenpruefer};
-pub use runner::{MeasurementPlan, Runner};
+pub use runner::{MeasurementPlan, Runner, SampledCampaign};
 pub use strategy::{CostModel, IndicatorExtrapolator, TwoStepStrategy};

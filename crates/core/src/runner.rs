@@ -10,15 +10,17 @@
 //! contract is what keeps the campaign bit-identical to a serial loop at
 //! every thread count.
 
+use crate::capture::NodeSeriesObserver;
 use np_counters::acquisition::{
     measure_batched, measure_batched_resilient, measure_multiplexed, AcquisitionMode,
 };
 use np_counters::catalog::{EventCatalog, EventId};
 use np_counters::measurement::{Measurement, RunSet};
 use np_counters::pmu::PmuModel;
-use np_parallel::Pool;
+use np_parallel::{ChunkProfile, Pool, Schedule};
 use np_resilience::{BreakerConfig, CircuitBreaker, FaultInjector, RetryPolicy};
 use np_simulator::{MachineConfig, MachineSim, Program};
+use np_telemetry::timeseries::Sampler;
 use np_workloads::Workload;
 
 /// What to measure and how.
@@ -102,6 +104,22 @@ impl Default for CampaignPolicy {
             min_repetitions: 1,
         }
     }
+}
+
+/// What a sampled campaign produced: the measurements, the merged
+/// deterministic time-series capture, and the pool's worker profile.
+#[derive(Debug)]
+pub struct SampledCampaign {
+    /// The per-repetition measurements (same values the plain batched
+    /// path records for the same plan).
+    pub runs: RunSet,
+    /// Merged per-repetition, per-node, phase-attributed series
+    /// (`rep<R>.node<N>.<event>`), timestamped in simulated cycles.
+    pub sampler: Sampler,
+    /// Per-chunk worker attribution from the pool (wall-clock ns).
+    pub profile: Vec<ChunkProfile>,
+    /// Pool worker count the campaign ran with.
+    pub workers: usize,
 }
 
 /// Executes measurement plans against one simulated machine.
@@ -284,6 +302,84 @@ impl Runner {
         })
     }
 
+    /// [`Runner::measure_program_sampled`] over a workload.
+    pub fn measure_sampled(
+        &self,
+        workload: &dyn Workload,
+        plan: &MeasurementPlan,
+        capacity: usize,
+    ) -> Result<SampledCampaign, String> {
+        let program = workload.build(self.sim.config());
+        let mut campaign = self.measure_program_sampled(&program, plan, capacity)?;
+        campaign.runs.label = workload.name();
+        Ok(campaign)
+    }
+
+    /// Batched measurement with a per-repetition time-series capture.
+    ///
+    /// Every repetition runs the simulation once under a
+    /// [`NodeSeriesObserver`] (timestamps in simulated cycles, phase
+    /// `measure`), into its **own** sampler; the pool hands repetitions
+    /// back in submission order and the samplers merge serially under
+    /// `rep<R>.` prefixes. The merged capture is therefore a pure
+    /// function of the plan — byte-identical across runs and across
+    /// pool thread counts. The pool's [`ChunkProfile`] rides along for
+    /// the worker timeline (wall-clock, intentionally separate from the
+    /// deterministic capture).
+    ///
+    /// Event values are read straight off the observed run's counters —
+    /// identical to what batched acquisition records for the same
+    /// `(program, seed)`, without paying for one simulation per
+    /// register batch.
+    pub fn measure_program_sampled(
+        &self,
+        program: &Program,
+        plan: &MeasurementPlan,
+        capacity: usize,
+    ) -> Result<SampledCampaign, String> {
+        if plan.events.is_empty() {
+            return Err("measurement plan has no events".into());
+        }
+        if plan.repetitions == 0 {
+            return Err("measurement plan has no repetitions".into());
+        }
+        let _span = np_telemetry::span!("runner.measure_sampled", "runner");
+        np_telemetry::counter!("runner.campaigns").inc();
+        np_telemetry::counter!("runner.repetitions").add(plan.repetitions as u64);
+        let report = self.pool.run_report(
+            plan.repetitions,
+            |rep| {
+                let _phase = np_telemetry::phase("measure");
+                let seed = plan.base_seed + rep as u64;
+                let mut obs = NodeSeriesObserver::new(self.sim.config().topology.clone(), capacity);
+                let result = self.sim.run_observed(program, seed, &mut obs);
+                let mut m = Measurement::new(seed);
+                for &e in &plan.events {
+                    m.values.insert(e, result.total(e) as f64);
+                }
+                m.cycles = result.cycles;
+                np_telemetry::counter!("runner.reps_done").inc();
+                (m, obs.into_sampler())
+            },
+            &Schedule::Free,
+        );
+        let mut runs = Vec::with_capacity(plan.repetitions);
+        let mut sampler = Sampler::new(capacity);
+        for (rep, (m, rep_sampler)) in report.results.into_iter().enumerate() {
+            runs.push(m);
+            sampler.merge_prefixed(&format!("rep{rep}."), &rep_sampler);
+        }
+        Ok(SampledCampaign {
+            runs: RunSet {
+                runs,
+                label: "sampled".into(),
+            },
+            sampler,
+            profile: report.profile,
+            workers: self.pool.threads(),
+        })
+    }
+
     /// Batched acquisition with repetitions fanned across the pool.
     /// Results are bit-identical to the serial path: each repetition is an
     /// independent `(program, seed)` simulation, and the pool merges in
@@ -400,6 +496,83 @@ mod tests {
                 assert_eq!(a.values, b.values, "{threads} threads");
             }
         }
+    }
+
+    /// `machine()` with a timeslice fine enough that small kernels cross
+    /// several sampling boundaries.
+    fn sampled_machine() -> MachineConfig {
+        let mut cfg = machine();
+        cfg.timeslice_cycles = 2_000;
+        cfg
+    }
+
+    #[test]
+    fn sampled_campaign_is_deterministic_across_thread_counts() {
+        let w = CacheMissKernel::row_major(32);
+        let plan = MeasurementPlan::events(
+            vec![HwEvent::Cycles, HwEvent::L1dMiss, HwEvent::L3Access],
+            3,
+            21,
+        );
+        let baseline = Runner::new(sampled_machine())
+            .with_threads(1)
+            .measure_sampled(&w, &plan, 128)
+            .unwrap();
+        assert!(!baseline.sampler.is_empty());
+        let base_json = crate::capture::Capture::from_sampler(
+            "two-socket",
+            "row-major",
+            21,
+            3,
+            &baseline.sampler,
+        );
+        for threads in [2, 8] {
+            let c = Runner::new(sampled_machine())
+                .with_threads(threads)
+                .measure_sampled(&w, &plan, 128)
+                .unwrap();
+            let json =
+                crate::capture::Capture::from_sampler("two-socket", "row-major", 21, 3, &c.sampler);
+            assert_eq!(
+                serde_json::to_string(&base_json).unwrap(),
+                serde_json::to_string(&json).unwrap(),
+                "{threads} threads"
+            );
+            // Measured values match the unsampled batched campaign too.
+            for (a, b) in c.runs.runs.iter().zip(&baseline.runs.runs) {
+                assert_eq!(a.values, b.values, "{threads} threads");
+            }
+        }
+        // And the measurements agree with the plain batched path.
+        let plain = Runner::new(sampled_machine())
+            .with_threads(1)
+            .measure(&w, &plan)
+            .unwrap();
+        for (a, b) in baseline.runs.runs.iter().zip(&plain.runs) {
+            assert_eq!(a.values, b.values);
+        }
+    }
+
+    #[test]
+    fn sampled_capture_attributes_the_measure_phase() {
+        let w = CacheMissKernel::row_major(32);
+        let plan = MeasurementPlan::events(vec![HwEvent::Cycles], 2, 3);
+        let c = Runner::new(sampled_machine())
+            .with_threads(2)
+            .measure_sampled(&w, &plan, 64)
+            .unwrap();
+        let (_, series) = c.sampler.iter().next().expect("series recorded");
+        let phases = c.sampler.phases();
+        assert!(series
+            .bins
+            .iter()
+            .all(|b| phases[b.phase as usize] == "measure"));
+        // The worker profile covers every chunk the fan-out produced.
+        assert!(!c.profile.is_empty());
+        assert_eq!(
+            c.profile.iter().map(|p| p.chunk).collect::<Vec<_>>(),
+            (0..c.profile.len()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

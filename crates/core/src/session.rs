@@ -10,6 +10,7 @@
 //! measurement campaigns and their analysis can be separated, including
 //! across machines (ship the archive, not the testee).
 
+use crate::capture::Capture;
 use np_counters::measurement::RunSet;
 use std::path::{Path, PathBuf};
 
@@ -102,13 +103,62 @@ impl Session {
         })
     }
 
-    /// Lists recorded names, sorted.
+    /// Saves a time-series capture under `name` (as
+    /// `<name>.capture.json`, so captures and run-set archives share the
+    /// directory without colliding). Same crash-safe tmp-and-rename
+    /// discipline as [`Session::save`].
+    pub fn save_capture(&self, name: &str, capture: &Capture) -> std::io::Result<()> {
+        Self::check_name(name)?;
+        let _span = np_telemetry::span!("session.save_capture", "session");
+        let json = serde_json::to_string(capture)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        np_telemetry::counter!("session.saved_bytes").add(json.len() as u64);
+        np_telemetry::counter!("session.saves").inc();
+        let tmp = self
+            .dir
+            .join(format!(".{name}.capture.json.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, self.dir.join(format!("{name}.capture.json"))).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
+    }
+
+    /// Loads the capture recorded under `name`.
+    pub fn load_capture(&self, name: &str) -> std::io::Result<Capture> {
+        Self::check_name(name)?;
+        let _span = np_telemetry::span!("session.load_capture", "session");
+        let json = std::fs::read_to_string(self.dir.join(format!("{name}.capture.json")))?;
+        np_telemetry::counter!("session.loaded_bytes").add(json.len() as u64);
+        np_telemetry::counter!("session.loads").inc();
+        serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Lists recorded captures, sorted.
+    pub fn list_captures(&self) -> std::io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(".capture.json") {
+                names.push(stem.to_string());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Lists recorded names, sorted. Captures have their own namespace
+    /// ([`Session::list_captures`]).
     pub fn list(&self) -> std::io::Result<Vec<String>> {
         let mut names = Vec::new();
         for entry in std::fs::read_dir(&self.dir)? {
             let entry = entry?;
             let name = entry.file_name();
             let name = name.to_string_lossy();
+            if name.ends_with(".capture.json") {
+                continue;
+            }
             if let Some(stem) = name.strip_suffix(".json") {
                 names.push(stem.to_string());
             }
@@ -199,6 +249,23 @@ mod tests {
         let row = report.row(HwEvent::L1dMiss).unwrap();
         assert!(row.relative_change > 8.0);
         assert!(row.significant);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn captures_roundtrip_in_their_own_namespace() {
+        let dir = tempdir("captures");
+        let s = Session::open(&dir).unwrap();
+        let mut sampler = np_telemetry::timeseries::Sampler::new(16);
+        sampler.record_with_phase("rep0.node0.qpi", 10, 3, "measure");
+        let cap = Capture::from_sampler("two-socket", "row-major", 9, 1, &sampler);
+        s.save_capture("trace", &cap).unwrap();
+        s.save("runs", &runset("runs", 1.0)).unwrap();
+        // Separate namespaces: captures don't show as run-set archives.
+        assert_eq!(s.list().unwrap(), vec!["runs"]);
+        assert_eq!(s.list_captures().unwrap(), vec!["trace"]);
+        let back = s.load_capture("trace").unwrap();
+        assert_eq!(back, cap);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

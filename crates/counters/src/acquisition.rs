@@ -142,6 +142,19 @@ fn batched_core<E>(
             }
         }
         set.runs.push(m);
+        // Campaign progress for the live sampler (`np top`): one point
+        // per finished repetition, timestamped in monotonic ns (this is
+        // a host-side path, not a sim path) and phase-attributed like
+        // every other sample. Gated: one relaxed load when sampling is
+        // off.
+        if np_telemetry::timeseries::sampling_enabled() {
+            np_telemetry::timeseries::sample("acq.reps", np_telemetry::now_ns(), 1);
+            np_telemetry::timeseries::sample(
+                "acq.cycles",
+                np_telemetry::now_ns(),
+                set.runs.last().map_or(0, |m| m.cycles),
+            );
+        }
     }
     Ok(set)
 }

@@ -40,7 +40,7 @@ pub mod tlb;
 pub mod topology;
 
 pub use config::MachineConfig;
-pub use engine::{LoadSample, MachineSim, RunResult, ServedBy, SimObserver};
+pub use engine::{LoadSample, MachineSim, RunResult, ServedBy, SimObserver, LIVE_NODE_EVENTS};
 pub use event::{Counters, HwEvent};
 pub use mem::{AddressSpace, AllocPolicy};
 pub use program::{Op, Program, ProgramBuilder, ThreadProgram, ValidateError};

@@ -41,6 +41,6 @@ pub mod queue;
 pub mod schedule;
 
 pub use chunk::Chunker;
-pub use pool::{modeled_makespan_ns, Pool, PoolConfig, PoolError, RunReport};
+pub use pool::{modeled_makespan_ns, ChunkProfile, Pool, PoolConfig, PoolError, RunReport};
 pub use queue::BoundedQueue;
 pub use schedule::{Schedule, Step, Trace};

@@ -84,6 +84,30 @@ pub struct RunReport<U> {
     pub trace: Trace,
     /// Execution time of each chunk, nanoseconds, indexed by chunk.
     pub chunk_ns: Vec<u64>,
+    /// Per-chunk worker attribution and timing, indexed by chunk — the
+    /// raw material of the `np report` worker timeline. Timestamps are
+    /// `np_telemetry::now_ns` (monotonic, process-epoch), so gaps between
+    /// one worker's chunks are real idle/queue-wait time.
+    pub profile: Vec<ChunkProfile>,
+}
+
+/// When and where one chunk ran: which worker took it, how long that
+/// worker sat in `queue.pop` beforehand, and the chunk's execution
+/// window. This is what explains a measured slowdown that per-chunk
+/// durations alone cannot: contention shows up as wait, imbalance as
+/// trailing idle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChunkProfile {
+    /// Chunk index (submission order).
+    pub chunk: usize,
+    /// Worker that executed the chunk.
+    pub worker: usize,
+    /// Nanoseconds the worker blocked on the queue before this chunk.
+    pub wait_ns: u64,
+    /// Chunk execution start, monotonic ns.
+    pub start_ns: u64,
+    /// Chunk execution end, monotonic ns.
+    pub end_ns: u64,
 }
 
 /// What actually went wrong inside a worker, pre-merge. The panic payload
@@ -202,10 +226,11 @@ impl Pool {
                 .map_err(|payload| Failure::Panic { index: i, payload })
         };
         match self.execute(items, &guarded, schedule) {
-            (Ok(results), trace, chunk_ns) => RunReport {
+            (Ok(results), trace, chunk_ns, profile) => RunReport {
                 results,
                 trace,
                 chunk_ns,
+                profile,
             },
             (Err(Failure::Panic { payload, .. }), ..) => resume_unwind(payload),
             (Err(Failure::Task { index, message }), ..) => {
@@ -240,7 +265,7 @@ impl Pool {
         items: usize,
         g: &G,
         schedule: &Schedule,
-    ) -> (Result<Vec<U>, Failure>, Trace, Vec<u64>)
+    ) -> (Result<Vec<U>, Failure>, Trace, Vec<u64>, Vec<ChunkProfile>)
     where
         U: Send,
         G: Fn(usize) -> Result<U, Failure> + Sync,
@@ -262,14 +287,14 @@ impl Pool {
             steps,
         };
         if chunks == 0 {
-            return (Ok(Vec::new()), trace_of(Vec::new()), Vec::new());
+            return (Ok(Vec::new()), trace_of(Vec::new()), Vec::new(), Vec::new());
         }
 
         let queue: BoundedQueue<usize> = BoundedQueue::with_order(
             self.config.queue_capacity,
             schedule.worker_order(chunks, workers),
         );
-        type Deposit<U> = (usize, Result<Vec<U>, Failure>, u64);
+        type Deposit<U> = (Result<Vec<U>, Failure>, ChunkProfile);
         let deposits: Mutex<Vec<Deposit<U>>> = Mutex::new(Vec::with_capacity(chunks));
         let fair_share = chunks.div_ceil(workers);
 
@@ -280,13 +305,13 @@ impl Pool {
                 scope.spawn(move || {
                     let mut executed = 0usize;
                     loop {
-                        let waited = np_telemetry::enabled().then(np_telemetry::now_ns);
+                        let waited = np_telemetry::now_ns();
                         let Some(chunk) = queue.pop(worker) else {
                             break;
                         };
-                        if let Some(t0) = waited {
-                            np_telemetry::histogram!("par.idle_ns")
-                                .record(np_telemetry::now_ns().saturating_sub(t0));
+                        let wait_ns = np_telemetry::now_ns().saturating_sub(waited);
+                        if np_telemetry::enabled() {
+                            np_telemetry::histogram!("par.idle_ns").record(wait_ns);
                         }
                         executed += 1;
                         let started = np_telemetry::now_ns();
@@ -302,12 +327,18 @@ impl Pool {
                                 }
                             }
                         }
-                        let elapsed = np_telemetry::now_ns().saturating_sub(started);
+                        let profile = ChunkProfile {
+                            chunk,
+                            worker,
+                            wait_ns,
+                            start_ns: started,
+                            end_ns: np_telemetry::now_ns(),
+                        };
                         let deposit = match failure {
                             None => Ok(out),
                             Some(e) => Err(e),
                         };
-                        deposits.lock().unwrap().push((chunk, deposit, elapsed));
+                        deposits.lock().unwrap().push((deposit, profile));
                     }
                     np_telemetry::counter!("par.tasks").add(executed as u64);
                     np_telemetry::counter!("par.steal")
@@ -324,17 +355,18 @@ impl Pool {
         // worker finished when. The earliest failure (by item index) wins
         // deterministically: chunks are ordered index ranges and a chunk
         // stops at its first failing item.
-        let mut slots: Vec<Option<(Result<Vec<U>, Failure>, u64)>> =
-            (0..chunks).map(|_| None).collect();
-        for (chunk, deposit, elapsed) in deposits.into_inner().unwrap() {
-            slots[chunk] = Some((deposit, elapsed));
+        let mut slots: Vec<Option<Deposit<U>>> = (0..chunks).map(|_| None).collect();
+        for (deposit, profile) in deposits.into_inner().unwrap() {
+            slots[profile.chunk] = Some((deposit, profile));
         }
         let mut results = Vec::with_capacity(items);
         let mut chunk_ns = Vec::with_capacity(chunks);
+        let mut profiles = Vec::with_capacity(chunks);
         let mut first_failure: Option<Failure> = None;
         for slot in slots {
-            let (deposit, elapsed) = slot.expect("every chunk executed exactly once");
-            chunk_ns.push(elapsed);
+            let (deposit, profile) = slot.expect("every chunk executed exactly once");
+            chunk_ns.push(profile.end_ns.saturating_sub(profile.start_ns));
+            profiles.push(profile);
             match deposit {
                 Ok(values) => results.extend(values),
                 Err(e) => {
@@ -346,8 +378,8 @@ impl Pool {
         }
         let trace = trace_of(queue.take_steps());
         match first_failure {
-            None => (Ok(results), trace, chunk_ns),
-            Some(e) => (Err(e), trace, chunk_ns),
+            None => (Ok(results), trace, chunk_ns, profiles),
+            Some(e) => (Err(e), trace, chunk_ns, profiles),
         }
     }
 }
@@ -496,6 +528,32 @@ mod tests {
         assert_eq!(report.results.len(), 16);
         assert_eq!(report.chunk_ns.len(), 4);
         assert_eq!(report.trace.steps.len(), 4);
+    }
+
+    #[test]
+    fn profile_attributes_every_chunk_to_a_worker() {
+        let pool = Pool::with_config(PoolConfig {
+            threads: 3,
+            chunk_size: Some(2),
+            queue_capacity: 8,
+        });
+        let report = pool.run_report(10, |i| i * 3, &Schedule::Free);
+        assert_eq!(report.profile.len(), 5);
+        for (chunk, p) in report.profile.iter().enumerate() {
+            assert_eq!(p.chunk, chunk, "profile sits at its chunk slot");
+            assert!(p.worker < 3);
+            assert!(p.end_ns >= p.start_ns);
+            assert_eq!(
+                report.chunk_ns[chunk],
+                p.end_ns - p.start_ns,
+                "chunk_ns derives from the profile window"
+            );
+        }
+        // The profile agrees with the recorded schedule trace on who ran
+        // what (the trace is pop-order, the profile is chunk-order).
+        for step in &report.trace.steps {
+            assert_eq!(report.profile[step.chunk].worker, step.worker);
+        }
     }
 
     #[test]

@@ -32,16 +32,20 @@
 pub mod cache;
 pub mod client;
 pub mod loadgen;
+pub mod meta;
 pub mod proto;
 pub mod server;
 pub mod store;
+pub mod window;
 
 pub use cache::{CacheKey, CachedCost, PredictionCache};
 pub use client::{ClientError, ClientLimits, ClientSession, ExchangeClient};
 pub use loadgen::{LoadSummary, LoadgenConfig};
+pub use meta::{BenchMeta, BENCH_META_VERSION};
 pub use proto::{
     CostReply, IndicatorKey, IndicatorSet, MemhistCounts, PhaseSplit, PredictReq, QueryReq,
     Request, RequestFrame, Response, ResponseFrame, StatsReply, MODEL_ID, PROTOCOL_VERSION,
 };
 pub use server::{ExchangeServer, ServeLimits, ServerHandle};
 pub use store::ShardedStore;
+pub use window::{RateWindow, WindowSnapshot};

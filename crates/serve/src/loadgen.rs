@@ -19,6 +19,7 @@
 //! must not flake: zero errors, cache hits observed, audit passed.
 
 use crate::client::{ClientError, ExchangeClient};
+use crate::meta::BenchMeta;
 use crate::proto::{IndicatorKey, IndicatorSet, PredictReq, QueryReq, Request, Response};
 use np_models::transfer::TransferModel;
 use np_simulator::HwEvent;
@@ -53,6 +54,9 @@ impl Default for LoadgenConfig {
 /// What a load run measured; serialized to `BENCH_serve.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LoadSummary {
+    /// Provenance of the run (host, threads, commit) — the schema block
+    /// shared with `BENCH_parallel.json`.
+    pub meta: BenchMeta,
     /// Seed the synthetic workload ran with.
     pub seed: u64,
     /// Concurrent sessions in the hammer phase.
@@ -88,6 +92,14 @@ pub struct LoadSummary {
     pub transfer_rel_diff: f64,
     /// Sets stored on the server at the end of the run.
     pub stored_sets: u64,
+    /// Width of one server rate-window interval, milliseconds.
+    pub window_interval_ms: u64,
+    /// Server-side requests served per retained interval, oldest first.
+    pub window_ops: Vec<u64>,
+    /// Server-side cache hits per retained interval.
+    pub window_hits: Vec<u64>,
+    /// Server-side cache misses per retained interval.
+    pub window_misses: Vec<u64>,
 }
 
 impl LoadSummary {
@@ -96,6 +108,46 @@ impl LoadSummary {
     /// numbers are reported but not gated (they flake under CI noise).
     pub fn smoke_ok(&self) -> bool {
         self.errors == 0 && self.cache_hits > 0 && self.transfer_consistent
+    }
+
+    /// Renders the server's rolling rate window as an aligned text table
+    /// (one row per retained interval: ops, ops/s, cache hit rate) — the
+    /// `np loadgen` rate table.
+    pub fn rate_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>8}  {:>8}  {:>10}  {:>6}  {:>6}  {:>8}\n",
+            "interval", "ops", "ops/s", "hits", "misses", "hit-rate"
+        ));
+        let interval_s = self.window_interval_ms as f64 / 1e3;
+        for (i, &ops) in self.window_ops.iter().enumerate() {
+            let hits = self.window_hits.get(i).copied().unwrap_or(0);
+            let misses = self.window_misses.get(i).copied().unwrap_or(0);
+            let lookups = hits + misses;
+            let rate = if lookups > 0 {
+                hits as f64 / lookups as f64
+            } else {
+                0.0
+            };
+            let ops_per_s = if interval_s > 0.0 {
+                ops as f64 / interval_s
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:>8}  {:>8}  {:>10.0}  {:>6}  {:>6}  {:>7.0}%\n",
+                format!("#{i}"),
+                ops,
+                ops_per_s,
+                hits,
+                misses,
+                rate * 100.0
+            ));
+        }
+        if self.window_ops.is_empty() {
+            out.push_str("  (window empty)\n");
+        }
+        out
     }
 }
 
@@ -188,14 +240,17 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadSummary, ClientError> {
     let mut requests = 0u64;
 
     // Phase 1: seed two machines' measurement campaigns.
+    let phase_guard = np_telemetry::phase("seed");
     for machine in ["host-a", "host-b"] {
         let sets = machine_sets(machine, config.seed);
         requests += sets.len() as u64;
         frames += 1;
         control.put(sets)?;
     }
+    drop(phase_guard);
 
     // Phase 2: cold vs warm cross-machine predict.
+    let phase_guard = np_telemetry::phase("predict");
     let predict_req = PredictReq {
         source: IndicatorKey {
             machine: "host-a".to_string(),
@@ -236,8 +291,10 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadSummary, ClientError> {
             "cached predict returned a different cost".to_string(),
         ));
     }
+    drop(phase_guard);
 
     // Phase 3: audit the transfer against direct np-models evaluation.
+    let phase_guard = np_telemetry::phase("audit");
     let training = control.query(QueryReq::machine("host-b"))?;
     let source_sets = control.query(QueryReq {
         machine: Some("host-a".to_string()),
@@ -259,8 +316,10 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadSummary, ClientError> {
         }
         None => (false, f64::INFINITY),
     };
+    drop(phase_guard);
 
     // Phase 4: concurrent hammer — mixed batched frames.
+    let phase_guard = np_telemetry::phase("hammer");
     let hammer_started = Instant::now();
     let mut threads = Vec::with_capacity(config.clients);
     for worker in 0..config.clients {
@@ -335,13 +394,25 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadSummary, ClientError> {
     } else {
         0.0
     };
+    drop(phase_guard);
 
     // Final server-side tallies.
     let stats = control.stats()?;
     frames += 1;
     requests += 1;
 
+    // Feed the live sampler (`np top`) when sampling is switched on;
+    // plain runs skip the lock entirely.
+    if np_telemetry::sampling_enabled() {
+        let now = np_telemetry::now_ns();
+        np_telemetry::sample("loadgen.frames", now, frames);
+        np_telemetry::sample("loadgen.errors", now, errors);
+        np_telemetry::sample_cumulative("loadgen.cache_hits", now, stats.cache_hits);
+        np_telemetry::sample_cumulative("loadgen.cache_misses", now, stats.cache_misses);
+    }
+
     Ok(LoadSummary {
+        meta: BenchMeta::collect("loadgen", config.clients, config.seed),
         seed: config.seed,
         clients: config.clients as u64,
         frames,
@@ -363,6 +434,10 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadSummary, ClientError> {
         transfer_consistent,
         transfer_rel_diff,
         stored_sets: stats.sets,
+        window_interval_ms: stats.window_interval_ms,
+        window_ops: stats.window_ops,
+        window_hits: stats.window_hits,
+        window_misses: stats.window_misses,
     })
 }
 

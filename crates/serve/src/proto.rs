@@ -20,7 +20,11 @@ use std::collections::BTreeMap;
 
 /// Protocol version spoken by this build; frames carrying any other
 /// version are rejected with a typed error response.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// History: v1 — initial put/query/predict/stats; v2 — `Stats` replies
+/// gained the rolling rate window (`window_*` fields), so a v1 client
+/// would mis-parse them.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Identity of the cost-model family used for `predict`; part of the
 /// prediction cache key so a future model change cannot serve stale costs.
@@ -198,6 +202,15 @@ pub struct StatsReply {
     pub cache_evictions: u64,
     /// Entries currently cached.
     pub cache_len: u64,
+    /// Width of one rate-window interval, milliseconds.
+    pub window_interval_ms: u64,
+    /// Requests served per retained interval, oldest first (parallel to
+    /// `window_hits` / `window_misses`).
+    pub window_ops: Vec<u64>,
+    /// Prediction-cache hits per retained interval.
+    pub window_hits: Vec<u64>,
+    /// Prediction-cache misses per retained interval.
+    pub window_misses: Vec<u64>,
 }
 
 /// One response inside a frame, positionally matching its request.

@@ -21,6 +21,7 @@ use crate::proto::{
     MODEL_ID, PROTOCOL_VERSION,
 };
 use crate::store::ShardedStore;
+use crate::window::RateWindow;
 use np_models::transfer::TransferModel;
 use np_resilience::{read_line_bounded, Fault, FaultInjector, NoFaults, StreamDeadlines};
 use std::io::{BufReader, Write};
@@ -55,6 +56,7 @@ impl Default for ServeLimits {
 struct Shared {
     store: Arc<ShardedStore>,
     cache: Arc<PredictionCache>,
+    window: Arc<RateWindow>,
     limits: ServeLimits,
     faults: Arc<dyn FaultInjector>,
 }
@@ -89,6 +91,7 @@ impl ExchangeServer {
             shared: Arc::new(Shared {
                 store: Arc::new(ShardedStore::new(shards)),
                 cache: Arc::new(PredictionCache::new(cache_capacity)),
+                window: Arc::new(RateWindow::new(100, 64)),
                 limits: ServeLimits::default(),
                 faults: Arc::new(NoFaults),
             }),
@@ -123,6 +126,7 @@ impl ExchangeServer {
                 let mut shared = Shared {
                     store: Arc::clone(&self.shared.store),
                     cache: Arc::clone(&self.shared.cache),
+                    window: Arc::clone(&self.shared.window),
                     limits: self.shared.limits.clone(),
                     faults: Arc::clone(&self.shared.faults),
                 };
@@ -385,6 +389,7 @@ fn process_frame(shared: &Shared, line: &str) -> ResponseFrame {
     };
     let mut query_results = query_results.into_iter();
 
+    let n_requests = frame.requests.len() as u64;
     let responses = frame
         .requests
         .into_iter()
@@ -410,6 +415,14 @@ fn process_frame(shared: &Shared, line: &str) -> ResponseFrame {
             }
         })
         .collect();
+    // Charge the frame to the rate window after serving it, so its own
+    // cache hits/misses land in the same interval as its ops.
+    shared.window.record(
+        np_telemetry::now_ns(),
+        n_requests,
+        shared.cache.hits(),
+        shared.cache.misses(),
+    );
     ResponseFrame::new(responses)
 }
 
@@ -481,6 +494,7 @@ fn predict(shared: &Shared, req: &PredictReq) -> Response {
 }
 
 fn stats(shared: &Shared) -> StatsReply {
+    let window = shared.window.snapshot();
     StatsReply {
         sets: shared.store.len() as u64,
         shards: shared.store.shard_count() as u64,
@@ -489,6 +503,10 @@ fn stats(shared: &Shared) -> StatsReply {
         cache_misses: shared.cache.misses(),
         cache_evictions: shared.cache.evictions(),
         cache_len: shared.cache.len() as u64,
+        window_interval_ms: window.interval_ms,
+        window_ops: window.ops,
+        window_hits: window.hits,
+        window_misses: window.misses,
     }
 }
 
@@ -507,6 +525,7 @@ mod tests {
         Shared {
             store: Arc::new(ShardedStore::new(4)),
             cache: Arc::new(PredictionCache::new(16)),
+            window: Arc::new(RateWindow::new(100, 64)),
             limits: ServeLimits::default(),
             faults: Arc::new(NoFaults),
         }
@@ -527,6 +546,24 @@ mod tests {
         assert!(matches!(&resp.responses[0], Response::Put(p) if !p.replaced));
         assert!(matches!(&resp.responses[1], Response::Sets(s) if s.sets.len() == 1));
         assert!(matches!(&resp.responses[2], Response::Stats(s) if s.sets == 1));
+    }
+
+    #[test]
+    fn stats_carry_the_rate_window() {
+        let shared = shared();
+        frame_roundtrip(&shared, vec![Request::Stats, Request::Stats]);
+        let resp = frame_roundtrip(&shared, vec![Request::Stats]);
+        match &resp.responses[0] {
+            Response::Stats(s) => {
+                assert_eq!(s.window_interval_ms, 100);
+                // The window is charged after a frame is served, so this
+                // stats reply sees exactly the first frame's two requests.
+                assert_eq!(s.window_ops.iter().sum::<u64>(), 2);
+                assert_eq!(s.window_hits.len(), s.window_ops.len());
+                assert_eq!(s.window_misses.len(), s.window_ops.len());
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! A rolling per-interval rate window for the exchange's stats frames.
+//!
+//! Totals-since-boot answer "how much", never "how fast right now". The
+//! [`RateWindow`] buckets activity into fixed wall-time intervals (a
+//! bounded ring of the most recent buckets), so a `stats` frame can
+//! report store ops and cache hit/miss **per interval** — the rate table
+//! loadgen prints, and the shape NUMAscope-style live views need.
+//!
+//! Cumulative inputs (cache hits/misses since boot) are delta-encoded on
+//! the way in: each `record` charges the increase since the previous
+//! `record` to the current bucket, so bucket sums always re-add to the
+//! cumulative totals regardless of bucket boundaries.
+
+use std::sync::Mutex;
+
+/// One interval's activity.
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    /// Interval index (`t / interval_ns`).
+    index: u64,
+    /// Requests served in the interval.
+    ops: u64,
+    /// Prediction-cache hits in the interval.
+    hits: u64,
+    /// Prediction-cache misses in the interval.
+    misses: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    buckets: Vec<Bucket>,
+    last_hits: u64,
+    last_misses: u64,
+}
+
+/// Chronological per-interval snapshot of a [`RateWindow`], as parallel
+/// vectors (the wire format has no tuples).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSnapshot {
+    /// Interval width, milliseconds.
+    pub interval_ms: u64,
+    /// Requests served per interval, oldest first.
+    pub ops: Vec<u64>,
+    /// Cache hits per interval.
+    pub hits: Vec<u64>,
+    /// Cache misses per interval.
+    pub misses: Vec<u64>,
+}
+
+/// Bounded ring of per-interval activity buckets. Thread-safe; a poisoned
+/// lock is recovered (bucket counts stay structurally valid) so this
+/// never introduces a panic path into the server.
+#[derive(Debug)]
+pub struct RateWindow {
+    interval_ns: u64,
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl RateWindow {
+    /// A window of `capacity` buckets, each `interval_ms` wide (both
+    /// clamped to at least 1).
+    pub fn new(interval_ms: u64, capacity: usize) -> RateWindow {
+        RateWindow {
+            interval_ns: interval_ms.max(1).saturating_mul(1_000_000),
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Charges `ops` served requests at time `now_ns` (monotonic), plus
+    /// the growth of the cumulative `cum_hits`/`cum_misses` totals since
+    /// the previous call, to the current interval's bucket.
+    pub fn record(&self, now_ns: u64, ops: u64, cum_hits: u64, cum_misses: u64) {
+        let index = now_ns / self.interval_ns;
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let dh = cum_hits.saturating_sub(inner.last_hits);
+        let dm = cum_misses.saturating_sub(inner.last_misses);
+        inner.last_hits = cum_hits;
+        inner.last_misses = cum_misses;
+        match inner.buckets.last_mut() {
+            Some(last) if last.index == index => {
+                last.ops += ops;
+                last.hits += dh;
+                last.misses += dm;
+            }
+            _ => {
+                inner.buckets.push(Bucket {
+                    index,
+                    ops,
+                    hits: dh,
+                    misses: dm,
+                });
+                if inner.buckets.len() > self.capacity {
+                    inner.buckets.remove(0);
+                }
+            }
+        }
+    }
+
+    /// The retained buckets, oldest first.
+    pub fn snapshot(&self) -> WindowSnapshot {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        WindowSnapshot {
+            interval_ms: self.interval_ns / 1_000_000,
+            ops: inner.buckets.iter().map(|b| b.ops).collect(),
+            hits: inner.buckets.iter().map(|b| b.hits).collect(),
+            misses: inner.buckets.iter().map(|b| b.misses).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_split_on_interval_boundaries() {
+        let w = RateWindow::new(10, 8); // 10 ms buckets
+        let ms = 1_000_000u64;
+        w.record(5 * ms, 3, 0, 0);
+        w.record(9 * ms, 2, 1, 0);
+        w.record(15 * ms, 4, 1, 2);
+        let snap = w.snapshot();
+        assert_eq!(snap.interval_ms, 10);
+        assert_eq!(snap.ops, vec![5, 4]);
+        assert_eq!(snap.hits, vec![1, 0]);
+        assert_eq!(snap.misses, vec![0, 2]);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_deltas_resum() {
+        let w = RateWindow::new(1, 4);
+        let ms = 1_000_000u64;
+        let mut hits = 0;
+        for i in 0..10u64 {
+            hits += i;
+            w.record(i * ms, 1, hits, 0);
+        }
+        let snap = w.snapshot();
+        assert_eq!(snap.ops.len(), 4, "ring keeps the newest 4 buckets");
+        // The surviving buckets carry the deltas charged while they were
+        // current: the last 4 intervals saw increments 6, 7, 8, 9.
+        assert_eq!(snap.hits, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn cumulative_regressions_clamp_to_zero() {
+        let w = RateWindow::new(1, 4);
+        w.record(0, 1, 10, 10);
+        w.record(100, 1, 4, 4); // counter reset upstream
+        let snap = w.snapshot();
+        assert_eq!(snap.hits, vec![10]);
+        assert_eq!(snap.misses, vec![10]);
+    }
+}

@@ -1,0 +1,58 @@
+//! Property tests for the time-series sampler's downsampling contract.
+//!
+//! The ring-buffer folds adjacent bins pairwise when a series hits its
+//! capacity; whatever sequence of points arrives, the per-series totals
+//! (`count`, `sum`, `min`, `max`) and the time order of the surviving
+//! bins must be exactly what a lossless store would report. This is the
+//! invariant the ISSUE asks proptest to pin down — it is what makes the
+//! downsampled capture trustworthy for rate math in `np top` and the
+//! HTML report.
+
+use np_telemetry::timeseries::Sampler;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn downsampling_preserves_series_totals(
+        capacity in 2usize..32,
+        values in proptest::collection::vec(0u64..1_000_000, 0..400),
+    ) {
+        let mut sampler = Sampler::new(capacity);
+        for (i, &v) in values.iter().enumerate() {
+            sampler.record("s", (i as u64) * 7, v);
+        }
+        prop_assume!(!values.is_empty());
+        let series = sampler.get("s").unwrap();
+        prop_assert!(series.bins.len() <= capacity.max(2));
+        prop_assert_eq!(series.total_count(), values.len() as u64);
+        prop_assert_eq!(series.total_sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(series.total_min(), values.iter().copied().min());
+        prop_assert_eq!(series.total_max(), values.iter().copied().max());
+        // Stride accounts for every folded point: the bins cover exactly
+        // the recorded points, no more, no less.
+        let covered: u64 = series.bins.iter().map(|b| b.count).sum();
+        prop_assert_eq!(covered, values.len() as u64);
+        // Bin timestamps stay sorted through any number of merge passes.
+        let ts: Vec<u64> = series.bins.iter().map(|b| b.t).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(ts, sorted);
+    }
+
+    #[test]
+    fn cumulative_deltas_resum_to_the_final_total(
+        capacity in 2usize..16,
+        increments in proptest::collection::vec(0u64..10_000, 1..200),
+    ) {
+        let mut sampler = Sampler::new(capacity);
+        let mut total = 0u64;
+        for (i, &inc) in increments.iter().enumerate() {
+            total += inc;
+            sampler.record_cumulative("ops", i as u64, total);
+        }
+        // Delta encoding partitions the monotone total: the sum of all
+        // recorded deltas is the final cumulative value, downsampled or
+        // not.
+        prop_assert_eq!(sampler.get("ops").unwrap().total_sum(), total);
+    }
+}

@@ -49,6 +49,9 @@ if [[ "$quick" -eq 0 ]]; then
   echo "== nightly: telemetry overhead guard =="
   cargo test --release --offline -p np-bench --test telemetry_overhead
 
+  echo "== nightly: sampler overhead guard =="
+  cargo test --release --offline -p np-bench --test sampler_overhead
+
   echo "== nightly: telemetry snapshot =="
   snapshot="$(mktemp -t np-telemetry-snapshot.XXXXXX.json)"
   cargo run --release --offline --quiet -- stat \
@@ -67,6 +70,17 @@ if [[ "$quick" -eq 0 ]]; then
   cargo run --release --offline --quiet -- bench-parallel \
     --machine two-socket --seed 1 --smoke --out "$pbench"
   echo "worker-pool benchmark written to $pbench"
+
+  echo "== nightly: sampled campaign + HTML report (np run / np report) =="
+  capture="$(mktemp -t np-capture.XXXXXX.json)"
+  timeline="$(mktemp -t np-timeline.XXXXXX.json)"
+  html="$(mktemp -t np-report.XXXXXX.html)"
+  cargo run --release --offline --quiet -- run --sample \
+    --workload row-major --size 256 --reps 3 --seed 1 \
+    --machine two-socket --out "$capture" --timeline "$timeline" >/dev/null
+  cargo run --release --offline --quiet -- report \
+    --capture "$capture" --timeline "$timeline" --html --out "$html" >/dev/null
+  echo "capture written to $capture; HTML report written to $html"
 fi
 
 echo "ci-local: OK"

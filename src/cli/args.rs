@@ -43,6 +43,12 @@ pub enum Command {
     Loadgen,
     /// Benchmark the deterministic worker pool (sequential vs threaded).
     BenchParallel,
+    /// Sampled measurement campaign: deterministic time-series capture.
+    Run,
+    /// Live per-node telemetry view (ANSI redraw loop).
+    Top,
+    /// Render a capture as a text summary or self-contained HTML report.
+    Report,
 }
 
 impl Command {
@@ -67,6 +73,9 @@ impl Command {
             "serve" => Command::Serve,
             "loadgen" => Command::Loadgen,
             "bench-parallel" => Command::BenchParallel,
+            "run" => Command::Run,
+            "top" => Command::Top,
+            "report" => Command::Report,
             _ => return None,
         })
     }
@@ -129,6 +138,20 @@ pub struct Cli {
     pub cache_cap: usize,
     /// `serve`/`loadgen`: worker-thread pool size.
     pub workers: usize,
+    /// `run`: record the per-node time-series capture (`--sample`).
+    pub sample: bool,
+    /// `report`: emit the self-contained HTML report instead of text.
+    pub html: bool,
+    /// `report`: capture file to render (`--capture FILE`).
+    pub capture: Option<String>,
+    /// `run`: write the pool worker timeline here; `report`: read it.
+    pub timeline: Option<String>,
+    /// `top`: redraw frames before exiting (bounded; never forever).
+    pub ticks: usize,
+    /// `top`: milliseconds between redraws.
+    pub interval_ms: u64,
+    /// `run`: sampler ring capacity, bins per series.
+    pub capacity: usize,
 }
 
 impl Cli {
@@ -179,12 +202,21 @@ impl Cli {
             // `--out` default tracks the command's baseline file.
             out: match command {
                 Command::BenchParallel => "BENCH_parallel.json",
+                Command::Run => "CAPTURE.json",
+                Command::Report => "REPORT.html",
                 _ => "BENCH_serve.json",
             }
             .into(),
             shards: 8,
             cache_cap: 128,
             workers: 4,
+            sample: false,
+            html: false,
+            capture: None,
+            timeline: None,
+            ticks: 12,
+            interval_ms: 100,
+            capacity: 256,
         };
 
         let take_value =
@@ -262,6 +294,25 @@ impl Cli {
                     cli.workers = take_value("--workers", &mut it)?
                         .parse()
                         .map_err(|_| "--workers must be an integer".to_string())?
+                }
+                "--sample" => cli.sample = true,
+                "--html" => cli.html = true,
+                "--capture" => cli.capture = Some(take_value("--capture", &mut it)?),
+                "--timeline" => cli.timeline = Some(take_value("--timeline", &mut it)?),
+                "--ticks" => {
+                    cli.ticks = take_value("--ticks", &mut it)?
+                        .parse()
+                        .map_err(|_| "--ticks must be an integer".to_string())?
+                }
+                "--interval" => {
+                    cli.interval_ms = take_value("--interval", &mut it)?
+                        .parse()
+                        .map_err(|_| "--interval must be milliseconds".to_string())?
+                }
+                "--capacity" => {
+                    cli.capacity = take_value("--capacity", &mut it)?
+                        .parse()
+                        .map_err(|_| "--capacity must be an integer".to_string())?
                 }
                 other => return Err(format!("unknown option '{other}'")),
             }
@@ -473,6 +524,42 @@ mod tests {
         let cli = parse(&["bench-parallel"]).unwrap();
         assert_eq!(cli.out, "BENCH_parallel.json");
         assert!(!cli.smoke);
+    }
+
+    #[test]
+    fn run_top_report_parse() {
+        let cli = parse(&[
+            "run",
+            "-w",
+            "row-major",
+            "--sample",
+            "--capacity",
+            "64",
+            "--timeline",
+            "tl.json",
+            "--save",
+            "trace1",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, Command::Run);
+        assert!(cli.sample);
+        assert_eq!(cli.capacity, 64);
+        assert_eq!(cli.timeline.as_deref(), Some("tl.json"));
+        assert_eq!(cli.save.as_deref(), Some("trace1"));
+        assert_eq!(cli.out, "CAPTURE.json");
+
+        let cli = parse(&["top", "--ticks", "3", "--interval", "10"]).unwrap();
+        assert_eq!(cli.command, Command::Top);
+        assert_eq!(cli.ticks, 3);
+        assert_eq!(cli.interval_ms, 10);
+        // Bounded by default: a forgotten --ticks still terminates.
+        assert_eq!(parse(&["top"]).unwrap().ticks, 12);
+
+        let cli = parse(&["report", "--capture", "c.json", "--html"]).unwrap();
+        assert_eq!(cli.command, Command::Report);
+        assert_eq!(cli.capture.as_deref(), Some("c.json"));
+        assert!(cli.html);
+        assert_eq!(cli.out, "REPORT.html");
     }
 
     #[test]

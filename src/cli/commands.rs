@@ -1,9 +1,10 @@
 //! Command implementations for the CLI.
 
 use super::args::{Cli, Command};
-use super::workloads;
+use super::{report, top, workloads};
 use np_core::annotate::{annotate, RegionNames};
 use np_core::balance::BalanceReport;
+use np_core::capture::{Capture, Timeline, CAPTURE_SCHEMA};
 use np_core::evsel::{EvSel, ParameterSweep};
 use np_core::memhist::{HistogramMode, Memhist};
 use np_core::objprof;
@@ -35,6 +36,107 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         Command::Serve => serve_cmd(cli),
         Command::Loadgen => loadgen_cmd(cli),
         Command::BenchParallel => bench_parallel_cmd(cli),
+        Command::Run => run_cmd(cli),
+        Command::Top => top::run_top(cli),
+        Command::Report => report_cmd(cli),
+    }
+}
+
+/// `np run --sample`: a seeded measurement campaign with a deterministic
+/// per-node time-series capture. Writes the capture JSON to `--out`
+/// (byte-identical for the same plan at ANY `--threads`), optionally the
+/// pool worker timeline to `--timeline`, and `--save NAME` records the
+/// capture in the session archive next to the run sets.
+fn run_cmd(cli: &Cli) -> Result<String, String> {
+    if !cli.sample {
+        return Err("run needs --sample (for an unsampled measurement, use `stat`)".to_string());
+    }
+    let machine = cli.machine_config()?;
+    let name = workload_name(cli)?;
+    let w = workloads::build(name, cli.size, cli.threads, &machine)?;
+    let runner = Runner::new(machine).with_threads(cli.threads.max(1));
+    let campaign = runner.measure_sampled(w.as_ref(), &plan(cli), cli.capacity.max(2))?;
+    let cap = Capture::from_sampler(&cli.machine, name, cli.seed, cli.reps, &campaign.sampler);
+    let json =
+        serde_json::to_string_pretty(&cap).map_err(|e| format!("run: serialize capture: {e}"))?;
+    std::fs::write(&cli.out, json + "\n")
+        .map_err(|e| format!("run: cannot write '{}': {e}", cli.out))?;
+    let mut out = format!(
+        "sampled campaign: {} on {} ({} repetition(s), {} worker(s))\n\
+         capture: {} series, {} phase(s) -> {}\n",
+        name,
+        cli.machine,
+        cli.reps,
+        campaign.workers,
+        cap.series.len(),
+        cap.phases.len(),
+        cli.out
+    );
+    if let Some(tl_path) = &cli.timeline {
+        let tl = Timeline::from_profile(campaign.workers, &campaign.profile);
+        let json = serde_json::to_string_pretty(&tl)
+            .map_err(|e| format!("run: serialize timeline: {e}"))?;
+        std::fs::write(tl_path, json + "\n")
+            .map_err(|e| format!("run: cannot write '{tl_path}': {e}"))?;
+        out.push_str(&format!(
+            "timeline: {} chunk(s) across {} worker(s) -> {tl_path}\n",
+            tl.chunk.len(),
+            tl.workers
+        ));
+    }
+    if let Some(save) = &cli.save {
+        session(cli)?
+            .save_capture(save, &cap)
+            .map_err(|e| format!("run: save capture: {e}"))?;
+        out.push_str(&format!(
+            "archived as capture '{save}' in {}\n",
+            cli.session
+        ));
+    }
+    Ok(out)
+}
+
+/// `np report`: render a capture (from `np run --sample`) as a text
+/// summary, or with `--html` as a self-contained single-file HTML report
+/// written to `--out`.
+fn report_cmd(cli: &Cli) -> Result<String, String> {
+    let path = cli
+        .capture
+        .as_deref()
+        .ok_or("report needs --capture FILE (from `run --sample`)")?;
+    let json =
+        std::fs::read_to_string(path).map_err(|e| format!("report: cannot read '{path}': {e}"))?;
+    let cap: Capture = serde_json::from_str(&json)
+        .map_err(|e| format!("report: invalid capture '{path}': {e}"))?;
+    if cap.schema != CAPTURE_SCHEMA {
+        return Err(format!(
+            "report: '{path}' has schema '{}' (this build reads '{CAPTURE_SCHEMA}')",
+            cap.schema
+        ));
+    }
+    let timeline = match &cli.timeline {
+        Some(tl_path) => {
+            let json = std::fs::read_to_string(tl_path)
+                .map_err(|e| format!("report: cannot read '{tl_path}': {e}"))?;
+            Some(
+                serde_json::from_str::<Timeline>(&json)
+                    .map_err(|e| format!("report: invalid timeline '{tl_path}': {e}"))?,
+            )
+        }
+        None => None,
+    };
+    if cli.html {
+        let html = report::html_report(&cap, timeline.as_ref());
+        std::fs::write(&cli.out, html)
+            .map_err(|e| format!("report: cannot write '{}': {e}", cli.out))?;
+        Ok(format!(
+            "HTML report ({} series, {} phase(s)) written to {}\n",
+            cap.series.len(),
+            cap.phases.len(),
+            cli.out
+        ))
+    } else {
+        Ok(report::text_summary(&cap, timeline.as_ref()))
     }
 }
 
@@ -321,9 +423,15 @@ fn bench_parallel_cmd(cli: &Cli) -> Result<String, String> {
         .find(|p| p.threads == 4)
         .map_or(0.0, |p| p.modeled_speedup);
 
-    // The JSON baseline (hand-rolled, like the lint report).
+    // The JSON baseline (hand-rolled, like the lint report). The shared
+    // bench_meta block matches loadgen's, so trend tooling can key both
+    // baselines on (host, threads, commit, meta_version).
+    let meta = np_serve::BenchMeta::collect("bench-parallel", host, seed);
+    let meta_json = serde_json::to_string(&meta)
+        .map_err(|e| format!("bench-parallel: serialize bench_meta: {e}"))?;
     let mut j = String::from("{\n");
-    j.push_str("  \"schema\": \"bench-parallel/1\",\n");
+    j.push_str("  \"schema\": \"bench-parallel/2\",\n");
+    j.push_str(&format!("  \"bench_meta\": {meta_json},\n"));
     j.push_str(&format!("  \"host_threads\": {host},\n"));
     j.push_str(&format!("  \"machine\": \"{}\",\n", cli.machine));
     j.push_str(&format!("  \"seed\": {seed},\n"));
@@ -547,6 +655,8 @@ fn loadgen_cmd(cli: &Cli) -> Result<String, String> {
         summary.stored_sets,
         cli.out,
     );
+    out.push_str("\n== server rate window ==\n");
+    out.push_str(&summary.rate_table());
     if cli.smoke {
         if summary.smoke_ok() {
             out.push_str("smoke: OK\n");
@@ -1333,6 +1443,9 @@ mod tests {
             assert!(out.contains(path), "missing path {path} in {out}");
         }
         let json = std::fs::read_to_string(&out_path).unwrap();
+        assert!(json.contains("\"schema\": \"bench-parallel/2\""), "{json}");
+        assert!(json.contains("\"bench_meta\""), "{json}");
+        assert!(json.contains("\"tool\":\"bench-parallel\""), "{json}");
         assert!(json.contains("\"audit_ok\": true"), "{json}");
         assert!(json.contains("\"campaign_modeled_speedup_4t\""), "{json}");
         assert!(json.contains("\"bit_identical\": true"), "{json}");

@@ -6,6 +6,8 @@
 
 pub mod args;
 pub mod commands;
+pub mod report;
+pub mod top;
 pub mod workloads;
 
 pub use args::{Cli, Command};
@@ -76,6 +78,13 @@ COMMANDS:
                 benchmark the deterministic worker pool: sequential vs
                 2/4/N threads on every pooled path, with a bit-equality
                 audit (BENCH_parallel.json)
+    run         sampled measurement campaign: per-node time-series
+                capture with phase attribution (needs --sample; writes
+                CAPTURE.json, --timeline FILE for the pool gantt)
+    top         live NUMAscope-style per-node telemetry view (plain
+                ANSI redraw; --ticks N frames every --interval MS)
+    report      render a capture as text or, with --html, as a
+                self-contained single-file HTML report (inline SVG)
 
 OPTIONS:
     --machine NAME     dl580 (default) | two-socket | ring
@@ -114,6 +123,14 @@ OPTIONS:
     --shards N         serve/loadgen: store shards (default 8)
     --cache-cap N      serve/loadgen: prediction-cache entries (default 128)
     --workers N        serve/loadgen: worker threads (default 4)
+    --sample           run: switch the time-series sampler on
+    --capacity N       run: sampler ring capacity per series (default 256)
+    --capture FILE     report: the capture JSON to render
+    --timeline FILE    run: write the pool worker timeline here;
+                       report: include it as a gantt lane chart
+    --html             report: emit the single-file HTML report to --out
+    --ticks N          top: frames to draw before exiting (default 12)
+    --interval MS      top: redraw interval in milliseconds (default 100)
 
 EXAMPLES:
     numa-perf-tools compare -a row-major -b column-major --size 1024
@@ -130,6 +147,8 @@ HELP TOPICS:
     numa-perf-tools help serve         the indicator-exchange service
     numa-perf-tools help loadgen       benchmarking the exchange
     numa-perf-tools help parallel      deterministic worker-pool execution
+    numa-perf-tools help top           the live telemetry view
+    numa-perf-tools help report        captures and the HTML report
 "
 }
 
@@ -294,12 +313,16 @@ RULES:
     relaxed-ordering   Ordering::Relaxed only inside crates/telemetry
                        (the one place the relaxed-counter argument has
                        been made); everything else uses SeqCst
-    guarded-telemetry  np_telemetry::global() on a hot path must sit
-                       under an enabled() check in the enclosing fn
+    guarded-telemetry  np_telemetry::global() and time-series sampling
+                       (sample / sample_cumulative) on a hot path must
+                       sit under an enabled() / sampling_enabled()
+                       check in the enclosing fn
     no-wall-clock      Instant::now()/SystemTime::now() are forbidden
-                       in the simulator, the fault plan and the worker
-                       pool (crates/parallel/src) — seeded determinism
-                       is the whole point; pool timings flow through
+                       in the simulator, the fault plan, the worker
+                       pool (crates/parallel/src), the time-series
+                       sampler (captures are timestamped in simulated
+                       cycles) and `np top` — seeded determinism is the
+                       whole point; pool timings flow through
                        np_telemetry::now_ns for reporting only
 
 OUTPUT:
@@ -439,6 +462,77 @@ TELEMETRY (with --telemetry FILE):
 "
 }
 
+/// The `help top` topic: the live telemetry view.
+pub fn top_help() -> &'static str {
+    "The live telemetry view
+=======================
+
+`top` is NUMAscope for the simulated machine: a producer thread runs
+the selected workload in a loop with the time-series sampler switched
+on, and the foreground redraws a plain ANSI frame (no TUI dependency)
+with per-node event rates and the active phase.
+
+    numa-perf-tools top [--workload NAME] [--machine NAME]
+                        [--ticks N] [--interval MS]
+
+COLUMNS:
+    series     sim.node<N>.<event> — one row per NUMA node per event
+               (local_dram, remote_dram, qpi, hitm, l3_miss, dtlb_miss)
+    rate/s     events per second: the delta of the cumulative series
+               since the previous frame, scaled by --interval
+    total      the cumulative count since `top` started
+    bins       ring-buffer bins currently held for the series
+
+DETERMINISM:
+    The sampler timestamps are simulated cycles, never wall clock —
+    `top` itself sits in the linter's no-wall-clock scope; pacing comes
+    from thread::sleep and the tick counter only. The default workload
+    is row-major at size 4096, large enough that the engine's timeslice
+    hook fires at the default granularity.
+
+EXAMPLES:
+    numa-perf-tools top
+    numa-perf-tools top --workload column-major --ticks 30 --interval 250
+"
+}
+
+/// The `help report` topic: captures and the HTML report.
+pub fn report_help() -> &'static str {
+    "Captures and the HTML report
+============================
+
+`run --sample` records a campaign as a *capture*: every per-node
+hardware-event series, delta-encoded into ring-buffer bins with phase
+attribution, timestamped in simulated cycles. The capture is
+deterministic — the same plan produces a byte-identical JSON file at
+ANY --threads, because each repetition samples into its own local
+sampler and the results merge in repetition order.
+
+    numa-perf-tools run --sample --workload sort --size 4096 \\
+        --out CAPTURE.json [--timeline TIMELINE.json] [--save NAME]
+    numa-perf-tools report --capture CAPTURE.json
+    numa-perf-tools report --capture CAPTURE.json --html --out REPORT.html
+
+CAPTURE (schema np-capture/1):
+    series   rep<R>.node<N>.<event> — per-repetition, per-node series
+             with per-bin count/sum/min/max and a phase index
+    phases   the phase-name table the series index into
+    --save   archives the capture in the --session directory next to
+             the measurement run sets (`archives` lists both)
+
+TIMELINE (schema np-timeline/1):
+    --timeline on `run` writes the pool's worker-chunk profile: which
+    worker ran which chunk, queue wait and duration. Wall-clock based,
+    so it lives in a separate file and never contaminates the capture.
+
+HTML REPORT (--html):
+    a single self-contained file — inline CSS + SVG, no JavaScript, no
+    external assets: phase-banded sparklines per series, a per-bin
+    intensity heatmap, and (when --timeline is given) the worker gantt.
+    Safe to park in a CI artifact store and open anywhere.
+"
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -494,5 +588,23 @@ mod tests {
         }
         // The telemetry topic names the pool's metric family.
         assert!(super::telemetry_help().contains("par."));
+    }
+
+    #[test]
+    fn help_topics_cover_the_timeseries_layer() {
+        assert!(super::usage().contains("help top"));
+        assert!(super::usage().contains("help report"));
+        for term in ["rate/s", "no-wall-clock", "sim.node"] {
+            assert!(super::top_help().contains(term), "missing term {term}");
+        }
+        for term in [
+            "np-capture/1",
+            "np-timeline/1",
+            "byte-identical",
+            "--html",
+            "no JavaScript",
+        ] {
+            assert!(super::report_help().contains(term), "missing term {term}");
+        }
     }
 }

@@ -1,0 +1,162 @@
+//! End-to-end check of the time-series layer: `run --sample` must write
+//! a byte-identical capture across repeated runs AND across pool thread
+//! counts (the determinism contract), `report` must render it as text
+//! and as a self-contained HTML file, and `top` must complete a bounded
+//! live loop.
+//!
+//! The global sampler and the phase stack are process-global, so the
+//! whole flow lives in one test function — independent #[test]s would
+//! race on them.
+
+fn args(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+fn run_capture(dir: &std::path::Path, tag: &str, threads: &str) -> (String, String) {
+    let cap = dir.join(format!("{tag}.capture.json"));
+    let tl = dir.join(format!("{tag}.timeline.json"));
+    let out = numa_perf_tools::cli::run(&args(&[
+        "run",
+        "--sample",
+        "--workload",
+        "row-major",
+        "--size",
+        "256",
+        "--reps",
+        "3",
+        "--seed",
+        "7",
+        "--machine",
+        "two-socket",
+        "--threads",
+        threads,
+        "--out",
+        cap.to_str().unwrap(),
+        "--timeline",
+        tl.to_str().unwrap(),
+    ]))
+    .unwrap();
+    assert!(out.contains("sampled campaign"), "{out}");
+    (
+        std::fs::read_to_string(&cap).unwrap(),
+        std::fs::read_to_string(&tl).unwrap(),
+    )
+}
+
+#[test]
+fn sampled_run_is_deterministic_and_reportable() {
+    let dir = std::env::temp_dir().join(format!("np-ts-int-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // --- capture determinism ------------------------------------------
+    // Byte-identical across runs and across EVERY thread count: the
+    // per-repetition samplers merge in submission order, so --threads is
+    // purely a throughput knob.
+    let (base, timeline) = run_capture(&dir, "t1a", "1");
+    let (again, _) = run_capture(&dir, "t1b", "1");
+    assert_eq!(base, again, "capture differs between identical runs");
+    for threads in ["2", "8"] {
+        let (other, _) = run_capture(&dir, &format!("t{threads}"), threads);
+        assert_eq!(
+            base, other,
+            "capture differs between 1 and {threads} threads"
+        );
+    }
+
+    // The capture parses back and carries per-node, phase-attributed
+    // series for every repetition.
+    let cap: np_core::capture::Capture = serde_json::from_str(&base).unwrap();
+    assert_eq!(cap.schema, np_core::capture::CAPTURE_SCHEMA);
+    assert_eq!(cap.repetitions, 3);
+    assert!(
+        cap.phases.iter().any(|p| p == "measure"),
+        "{:?}",
+        cap.phases
+    );
+    assert!(!cap.node_ids().is_empty());
+    for rep in 0..3 {
+        assert!(
+            cap.series
+                .iter()
+                .any(|s| s.name.starts_with(&format!("rep{rep}."))),
+            "no series for repetition {rep}"
+        );
+    }
+
+    // The timeline is wall-clock and hence NOT deterministic, but its
+    // chunk accounting must cover every repetition.
+    let tl: np_core::capture::Timeline = serde_json::from_str(&timeline).unwrap();
+    assert_eq!(tl.schema, np_core::capture::TIMELINE_SCHEMA);
+    assert_eq!(tl.chunk.len(), 3);
+
+    // --- report: text and self-contained HTML -------------------------
+    let cap_path = dir.join("t1a.capture.json");
+    let tl_path = dir.join("t1a.timeline.json");
+    let text = numa_perf_tools::cli::run(&args(&[
+        "report",
+        "--capture",
+        cap_path.to_str().unwrap(),
+        "--timeline",
+        tl_path.to_str().unwrap(),
+    ]))
+    .unwrap();
+    assert!(text.contains("rep0."), "{text}");
+    assert!(text.contains("worker timeline"), "{text}");
+
+    let html_path = dir.join("report.html");
+    let out = numa_perf_tools::cli::run(&args(&[
+        "report",
+        "--capture",
+        cap_path.to_str().unwrap(),
+        "--timeline",
+        tl_path.to_str().unwrap(),
+        "--html",
+        "--out",
+        html_path.to_str().unwrap(),
+    ]))
+    .unwrap();
+    assert!(out.contains("HTML report"), "{out}");
+    let html = std::fs::read_to_string(&html_path).unwrap();
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    assert!(html.contains("<svg"));
+    assert!(html.contains("worker timeline"));
+    // Self-contained: no scripts, no external fetches.
+    assert!(!html.contains("<script"));
+    assert!(!html.contains("http://") && !html.contains("https://"));
+
+    // A capture from a different schema version is refused, not
+    // misrendered.
+    let stale = base.replacen("np-capture/1", "np-capture/0", 1);
+    let stale_path = dir.join("stale.capture.json");
+    std::fs::write(&stale_path, stale).unwrap();
+    let err = numa_perf_tools::cli::run(&args(&[
+        "report",
+        "--capture",
+        stale_path.to_str().unwrap(),
+    ]))
+    .unwrap_err();
+    assert!(err.contains("schema"), "{err}");
+
+    // --- top: a bounded live loop over the global sampler -------------
+    let out = numa_perf_tools::cli::run(&args(&[
+        "top",
+        "--machine",
+        "two-socket",
+        "--workload",
+        "row-major",
+        "--size",
+        "256",
+        "--ticks",
+        "3",
+        "--interval",
+        "60",
+    ]))
+    .unwrap();
+    assert!(out.contains("np top"), "{out}");
+    assert!(out.contains("3 tick(s)"), "{out}");
+    // The engine's live timeslice hook fed per-node series.
+    assert!(out.contains("sim.node0."), "{out}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
