@@ -143,11 +143,15 @@ const BOUNDED_READER_FILE: &str = "crates/resilience/src/io.rs";
 /// durations flow through `np_telemetry::now_ns` for reporting only),
 /// the time-series sampler (captures are timestamped in simulated
 /// cycles — a wall-clock read there would break byte-identical
-/// captures), and `np top` (its pacing comes from `thread::sleep` and
-/// the tick counter; rates are deltas of simulated-cycle series).
+/// captures), `np top` (its pacing comes from `thread::sleep` and
+/// the tick counter; rates are deltas of simulated-cycle series), and
+/// the `np bench` matrix harness (its determinism contract says every
+/// non-sample field is a pure function of config + seed + machine;
+/// wall-time samples flow through `np_telemetry::now_ns` only).
 fn wall_clock_forbidden(path: &str) -> bool {
     path.starts_with("crates/numa-sim/")
         || path.starts_with("crates/parallel/src/")
+        || path.starts_with("crates/bench/src/harness/")
         || path == "crates/resilience/src/fault.rs"
         || path == "crates/telemetry/src/timeseries.rs"
         || path == "src/cli/top.rs"
@@ -581,6 +585,10 @@ mod tests {
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].rule, "guarded-telemetry");
         assert!(lint_source("crates/counters/src/acquisition.rs", good).is_empty());
+        // The bench matrix harness sits under the same guard — its
+        // drivers run hot measurement loops.
+        let hits = lint_source("crates/bench/src/harness/runner.rs", bad);
+        assert!(hits.iter().any(|h| h.rule == "guarded-telemetry"));
         // The sampler itself is exempt, like the metrics facade.
         assert!(lint_source("crates/telemetry/src/timeseries.rs", bad).is_empty());
     }
@@ -599,14 +607,21 @@ mod tests {
         // Captures are timestamped in simulated cycles; `np top` paces on
         // thread::sleep and tick counters. Neither may read a wall clock.
         let src = "fn f() { let _t = std::time::Instant::now(); }\n";
-        for path in ["crates/telemetry/src/timeseries.rs", "src/cli/top.rs"] {
+        for path in [
+            "crates/telemetry/src/timeseries.rs",
+            "src/cli/top.rs",
+            "crates/bench/src/harness/runner.rs",
+            "crates/bench/src/harness/schema.rs",
+        ] {
             let hits = lint_source(path, src);
             assert_eq!(hits.len(), 1, "{path}");
             assert_eq!(hits[0].rule, "no-wall-clock", "{path}");
         }
-        // The rest of the CLI and the trace module (now_ns's home) may.
+        // The rest of the CLI, the trace module (now_ns's home) and the
+        // bench crate's report binaries (outside harness/) may.
         assert!(lint_source("src/cli/commands.rs", src).is_empty());
         assert!(lint_source("crates/telemetry/src/trace.rs", src).is_empty());
+        assert!(lint_source("crates/bench/src/lib.rs", src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! The single rendering layer for `np-bench/1` artifacts: live table,
+//! markdown and CSV come from the same report, so every surface agrees
+//! on columns and rounding. The CSV side also parses back — the
+//! round-trip (`csv` -> [`parse_csv`] -> `csv`) is byte-identical, so
+//! downstream tooling can rely on the column contract.
+
+use super::diff::{DiffReport, Verdict};
+use super::schema::BenchReport;
+
+/// The CSV column contract, also the header line.
+pub const CSV_HEADER: &str = "id,workload,threads,size,samples,mean_ns,stddev_ns,digest,audit_ok";
+
+/// One parsed CSV row (the aggregate view of a cell).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvRow {
+    pub id: String,
+    pub workload: String,
+    pub threads: u64,
+    pub size: u64,
+    pub samples: u64,
+    pub mean_ns: f64,
+    pub stddev_ns: f64,
+    pub digest: String,
+    pub audit_ok: bool,
+}
+
+/// The live table `np bench` prints after a run.
+pub fn live_table(report: &BenchReport) -> String {
+    let mut out = format!(
+        "== np bench: {} on {} ({} warmup + {} samples/cell, seed {}, commit {}) ==\n",
+        report.bench_meta.tool,
+        report.machine,
+        report.warmup,
+        report.repeats,
+        report.bench_meta.seed,
+        report.bench_meta.commit
+    );
+    out.push_str(&format!(
+        "{:<24} {:>7} {:>10} {:>10} {:>6}  {:<16} {}\n",
+        "cell", "threads", "mean ms", "stddev", "cv%", "digest", "audit"
+    ));
+    for c in &report.cells {
+        let cv = if c.mean_ns > 0.0 {
+            100.0 * c.stddev_ns / c.mean_ns
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<24} {:>7} {:>10.3} {:>10.3} {:>6.1}  {:<16} {}\n",
+            c.id,
+            c.threads,
+            c.mean_ns / 1e6,
+            c.stddev_ns / 1e6,
+            cv,
+            c.digest,
+            if c.audit_ok { "ok" } else { "FAILED" }
+        ));
+    }
+    out
+}
+
+/// The markdown rendering (CI artifacts, PR comments).
+pub fn markdown(report: &BenchReport) -> String {
+    let mut out = format!(
+        "### np bench — {} ({} warmup + {} samples/cell, seed {}, commit {})\n\n",
+        report.machine,
+        report.warmup,
+        report.repeats,
+        report.bench_meta.seed,
+        report.bench_meta.commit
+    );
+    out.push_str("| cell | threads | mean (ms) | stddev (ms) | digest | audit |\n");
+    out.push_str("|------|--------:|----------:|------------:|--------|-------|\n");
+    for c in &report.cells {
+        out.push_str(&format!(
+            "| {} | {} | {:.3} | {:.3} | `{}` | {} |\n",
+            c.id,
+            c.threads,
+            c.mean_ns / 1e6,
+            c.stddev_ns / 1e6,
+            c.digest,
+            if c.audit_ok { "ok" } else { "**FAILED**" }
+        ));
+    }
+    out
+}
+
+/// The CSV rendering. Stable column order (see [`CSV_HEADER`]); floats
+/// print with enough digits to round-trip through [`parse_csv`].
+pub fn csv(report: &BenchReport) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for c in &report.cells {
+        out.push_str(&render_csv_row(&CsvRow {
+            id: c.id.clone(),
+            workload: c.workload.clone(),
+            threads: c.threads,
+            size: c.size,
+            samples: c.samples_ns.len() as u64,
+            mean_ns: c.mean_ns,
+            stddev_ns: c.stddev_ns,
+            digest: c.digest.clone(),
+            audit_ok: c.audit_ok,
+        }));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one row under the [`CSV_HEADER`] contract.
+pub fn render_csv_row(row: &CsvRow) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{}",
+        row.id,
+        row.workload,
+        row.threads,
+        row.size,
+        row.samples,
+        row.mean_ns,
+        row.stddev_ns,
+        row.digest,
+        row.audit_ok
+    )
+}
+
+/// Parses a CSV produced by [`csv`] back into rows.
+pub fn parse_csv(text: &str) -> Result<Vec<CsvRow>, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h == CSV_HEADER => {}
+        Some(h) => return Err(format!("np-bench csv: unexpected header '{h}'")),
+        None => return Err("np-bench csv: empty input".to_string()),
+    }
+    let mut rows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 9 {
+            return Err(format!(
+                "np-bench csv row {}: expected 9 fields, got {}",
+                i + 2,
+                f.len()
+            ));
+        }
+        let num = |s: &str, what: &str| -> Result<f64, String> {
+            s.parse()
+                .map_err(|_| format!("np-bench csv row {}: bad {what} '{s}'", i + 2))
+        };
+        rows.push(CsvRow {
+            id: f[0].to_string(),
+            workload: f[1].to_string(),
+            threads: num(f[2], "threads")? as u64,
+            size: num(f[3], "size")? as u64,
+            samples: num(f[4], "samples")? as u64,
+            mean_ns: num(f[5], "mean_ns")?,
+            stddev_ns: num(f[6], "stddev_ns")?,
+            digest: f[7].to_string(),
+            audit_ok: match f[8] {
+                "true" => true,
+                "false" => false,
+                other => {
+                    return Err(format!(
+                        "np-bench csv row {}: bad audit_ok '{other}'",
+                        i + 2
+                    ))
+                }
+            },
+        });
+    }
+    Ok(rows)
+}
+
+/// The diff table `np bench diff` prints.
+pub fn diff_table(diff: &DiffReport) -> String {
+    let mut out = format!(
+        "== np bench diff: {} -> {} (noise band ±{:.0} %, alpha {}) ==\n",
+        diff.baseline_commit, diff.current_commit, diff.noise_pct, diff.alpha
+    );
+    out.push_str(&format!(
+        "{:<24} {:>12} {:>12} {:>8} {:>10}  {}\n",
+        "cell", "base ms", "cur ms", "delta%", "p", "verdict"
+    ));
+    for c in &diff.cells {
+        out.push_str(&format!(
+            "{:<24} {:>12.3} {:>12.3} {:>+8.1} {:>10}  {}{}\n",
+            c.id,
+            c.base_mean_ns / 1e6,
+            c.cur_mean_ns / 1e6,
+            100.0 * c.relative_change,
+            render_p(c.p_two_sided),
+            c.verdict.label(),
+            if c.detail.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", c.detail)
+            }
+        ));
+    }
+    out
+}
+
+/// The markdown rendering of a diff (the CI artifact).
+pub fn diff_markdown(diff: &DiffReport) -> String {
+    let mut out = format!(
+        "### np bench diff — {} -> {} (noise band ±{:.0} %, alpha {})\n\n",
+        diff.baseline_commit, diff.current_commit, diff.noise_pct, diff.alpha
+    );
+    out.push_str("| cell | base (ms) | current (ms) | delta | p | verdict |\n");
+    out.push_str("|------|----------:|-------------:|------:|--:|---------|\n");
+    for c in &diff.cells {
+        out.push_str(&format!(
+            "| {} | {:.3} | {:.3} | {:+.1} % | {} | {} |\n",
+            c.id,
+            c.base_mean_ns / 1e6,
+            c.cur_mean_ns / 1e6,
+            100.0 * c.relative_change,
+            render_p(c.p_two_sided),
+            match c.verdict {
+                Verdict::Regressed
+                | Verdict::DigestChanged
+                | Verdict::AuditFailed
+                | Verdict::Missing => format!("**{}**", c.verdict.label()),
+                _ => c.verdict.label().to_string(),
+            }
+        ));
+    }
+    out
+}
+
+fn render_p(p: Option<f64>) -> String {
+    match p {
+        Some(p) => format!("p={p:.4}"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::schema::{digest_str, BenchCell, BENCH_SCHEMA};
+    use std::collections::BTreeMap;
+
+    fn report() -> BenchReport {
+        let mut cells = Vec::new();
+        for (i, t) in [1u64, 2].iter().enumerate() {
+            let mut c = BenchCell {
+                id: format!("phasen-scan/t{t}"),
+                workload: "phasen-scan".to_string(),
+                threads: *t,
+                size: 0,
+                samples_ns: vec![1_000_000 + i as u64, 1_200_000, 900_000],
+                mean_ns: 0.0,
+                stddev_ns: 0.0,
+                digest: digest_str("r"),
+                audit_ok: true,
+                metrics: BTreeMap::new(),
+            };
+            c.finalize();
+            cells.push(c);
+        }
+        BenchReport {
+            schema: BENCH_SCHEMA.to_string(),
+            bench_meta: np_serve::BenchMeta::collect("np-bench", 2, 1),
+            machine: "two-socket".to_string(),
+            warmup: 1,
+            repeats: 3,
+            cells,
+        }
+    }
+
+    #[test]
+    fn csv_round_trips_byte_identically() {
+        let r = report();
+        let text = csv(&r);
+        let rows = parse_csv(&text).unwrap();
+        assert_eq!(rows.len(), 2);
+        let mut again = String::from(CSV_HEADER);
+        again.push('\n');
+        for row in &rows {
+            again.push_str(&render_csv_row(row));
+            again.push('\n');
+        }
+        assert_eq!(text, again, "csv -> parse -> csv must be the identity");
+    }
+
+    #[test]
+    fn csv_rejects_malformed_input() {
+        assert!(parse_csv("").is_err());
+        assert!(parse_csv("wrong,header\n").is_err());
+        let bad = format!("{CSV_HEADER}\na,b,notanumber,0,3,1.0,0.5,d,true\n");
+        assert!(parse_csv(&bad).is_err());
+        let short = format!("{CSV_HEADER}\na,b,c\n");
+        assert!(parse_csv(&short).is_err());
+    }
+
+    #[test]
+    fn table_and_markdown_render_every_cell() {
+        let r = report();
+        let table = live_table(&r);
+        let md = markdown(&r);
+        for c in &r.cells {
+            assert!(table.contains(&c.id), "table misses {}", c.id);
+            assert!(md.contains(&c.id), "markdown misses {}", c.id);
+        }
+        assert!(md.starts_with("### np bench"));
+        assert!(table.contains("audit"));
+        assert!(md.contains("| cell |"));
+    }
+}

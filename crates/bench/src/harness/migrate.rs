@@ -1,0 +1,345 @@
+//! Folding legacy benchmark artifacts into `np-bench/1`.
+//!
+//! Two legacy shapes exist in the tree's history: the hand-rolled
+//! `bench-parallel/{1,2}` matrix (one JSON object per path with a
+//! `threads` array of single wall-time points) and loadgen's flat
+//! `LoadSummary` object (no schema tag; recognised by its field set).
+//! [`migrate_json`] detects the shape and rewrites it as a
+//! [`BenchReport`] so `np bench diff` and `trend` read every era of
+//! artifact. Already-current reports pass through unchanged, making the
+//! converter idempotent.
+//!
+//! Migrated cells carry a single wall-time sample, so the diff gate
+//! judges them by the noise band alone (no t-test). Digests for
+//! `bench-parallel` cells are derived from the legacy deterministic
+//! fields (items, bit-identicality) and are only comparable between
+//! migrated artifacts; loadgen summaries migrate to the same digest
+//! preimage the live `loadgen` driver uses, so they stay comparable
+//! with fresh runs of the same configuration.
+
+use super::schema::{digest_str, BenchCell, BenchReport, BENCH_SCHEMA};
+use np_serve::{BenchMeta, BENCH_META_VERSION};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Detects the artifact shape and converts it to `np-bench/1`.
+pub fn migrate_json(json: &str) -> Result<BenchReport, String> {
+    let value = serde_json::parse_value(json).map_err(|e| format!("np bench migrate: {e}"))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| "np bench migrate: top level is not an object".to_string())?;
+    match get_str(obj, "schema") {
+        Some(BENCH_SCHEMA) => BenchReport::from_json(json),
+        Some(s) if s.starts_with("bench-parallel/") => from_bench_parallel(obj),
+        Some(other) => Err(format!(
+            "np bench migrate: unknown schema '{other}' \
+             (expected {BENCH_SCHEMA}, bench-parallel/1 or bench-parallel/2)"
+        )),
+        None if looks_like_load_summary(obj) => from_load_summary_value(obj),
+        None => Err(
+            "np bench migrate: unrecognised artifact (no schema tag and \
+             not a loadgen LoadSummary)"
+                .to_string(),
+        ),
+    }
+}
+
+type Obj = [(String, Value)];
+
+fn get<'a>(obj: &'a Obj, key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_str<'a>(obj: &'a Obj, key: &str) -> Option<&'a str> {
+    match get(obj, key) {
+        Some(Value::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn get_u64(obj: &Obj, key: &str) -> Option<u64> {
+    match get(obj, key) {
+        Some(Value::UInt(n)) => Some(*n),
+        Some(Value::Int(n)) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn get_f64(obj: &Obj, key: &str) -> Option<f64> {
+    match get(obj, key) {
+        Some(Value::Float(f)) => Some(*f),
+        Some(Value::UInt(n)) => Some(*n as f64),
+        Some(Value::Int(n)) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+fn get_bool(obj: &Obj, key: &str) -> Option<bool> {
+    match get(obj, key) {
+        Some(Value::Bool(b)) => Some(*b),
+        _ => None,
+    }
+}
+
+/// `bench-parallel/1` has flat provenance fields; `/2` added a
+/// `bench_meta` block. Both store paths[].threads[] single-point grids.
+fn from_bench_parallel(obj: &Obj) -> Result<BenchReport, String> {
+    let seed = get_u64(obj, "seed").unwrap_or(0);
+    let host_threads = get_u64(obj, "host_threads").unwrap_or(0);
+    let bench_meta = match get(obj, "bench_meta").and_then(Value::as_object) {
+        Some(meta) => BenchMeta {
+            meta_version: get_u64(meta, "meta_version").unwrap_or(BENCH_META_VERSION),
+            tool: get_str(meta, "tool")
+                .unwrap_or("bench-parallel")
+                .to_string(),
+            host: get_str(meta, "host").unwrap_or("unknown").to_string(),
+            host_threads: get_u64(meta, "host_threads").unwrap_or(host_threads),
+            threads: get_u64(meta, "threads").unwrap_or(host_threads),
+            seed: get_u64(meta, "seed").unwrap_or(seed),
+            commit: get_str(meta, "commit").unwrap_or("unknown").to_string(),
+        },
+        None => BenchMeta {
+            meta_version: BENCH_META_VERSION,
+            tool: "bench-parallel".to_string(),
+            host: "unknown".to_string(),
+            host_threads,
+            threads: host_threads,
+            seed,
+            commit: "unknown".to_string(),
+        },
+    };
+    let run_audit = get_bool(obj, "audit_ok").unwrap_or(false);
+    let paths = get(obj, "paths").and_then(Value::as_array).ok_or_else(|| {
+        "np bench migrate: bench-parallel artifact has no 'paths' array".to_string()
+    })?;
+    let mut cells = Vec::new();
+    for path in paths {
+        let path = path
+            .as_object()
+            .ok_or_else(|| "np bench migrate: path entry is not an object".to_string())?;
+        let name = get_str(path, "name")
+            .ok_or_else(|| "np bench migrate: path entry has no 'name'".to_string())?;
+        let items = get_u64(path, "items").unwrap_or(0);
+        let points = get(path, "threads")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("np bench migrate: path '{name}' has no 'threads' array"))?;
+        for point in points {
+            let point = point
+                .as_object()
+                .ok_or_else(|| format!("np bench migrate: point in '{name}' is not an object"))?;
+            let threads = get_u64(point, "threads")
+                .ok_or_else(|| format!("np bench migrate: point in '{name}' has no 'threads'"))?;
+            let wall_ns = get_u64(point, "wall_ns")
+                .ok_or_else(|| format!("np bench migrate: point in '{name}' has no 'wall_ns'"))?;
+            let identical = get_bool(point, "bit_identical").unwrap_or(false);
+            let mut metrics = BTreeMap::from([("det_items".to_string(), items as f64)]);
+            if let Some(speedup) = get_f64(point, "modeled_speedup") {
+                metrics.insert("modeled_speedup".to_string(), speedup);
+            }
+            let mut cell = BenchCell {
+                id: format!("{name}/t{threads}"),
+                workload: name.to_string(),
+                threads,
+                size: 0,
+                samples_ns: vec![wall_ns.max(1)],
+                mean_ns: 0.0,
+                stddev_ns: 0.0,
+                digest: digest_str(&format!("{name}|items={items}|bit_identical={identical}")),
+                audit_ok: run_audit && identical,
+                metrics,
+            };
+            cell.finalize();
+            cells.push(cell);
+        }
+    }
+    if cells.is_empty() {
+        return Err("np bench migrate: bench-parallel artifact has no points".to_string());
+    }
+    Ok(BenchReport {
+        schema: BENCH_SCHEMA.to_string(),
+        bench_meta,
+        machine: get_str(obj, "machine").unwrap_or("unknown").to_string(),
+        warmup: 0,
+        repeats: 1,
+        cells,
+    })
+}
+
+/// The field quartet every LoadSummary era carries.
+fn looks_like_load_summary(obj: &Obj) -> bool {
+    ["clients", "frames", "frames_per_sec", "hammer_ms"]
+        .iter()
+        .all(|k| get(obj, k).is_some())
+}
+
+/// LoadSummary (any era — early artifacts predate the `meta` block)
+/// becomes a one-cell report keyed `loadgen/t<clients>`. The digest
+/// preimage matches the live `loadgen` driver's, so a migrated summary
+/// diffs cleanly against a fresh run of the same configuration.
+fn from_load_summary_value(obj: &Obj) -> Result<BenchReport, String> {
+    let clients = get_u64(obj, "clients").unwrap_or(1).max(1);
+    let seed = get_u64(obj, "seed").unwrap_or(0);
+    let hammer_ms = get_f64(obj, "hammer_ms").unwrap_or(0.0);
+    let errors = get_u64(obj, "errors").unwrap_or(u64::MAX);
+    let degraded = get_u64(obj, "degraded_frames").unwrap_or(u64::MAX);
+    let transfer = get_bool(obj, "transfer_consistent").unwrap_or(false);
+    let sets = get_u64(obj, "stored_sets").unwrap_or(0);
+    let bench_meta = match get(obj, "meta").and_then(Value::as_object) {
+        Some(meta) => BenchMeta {
+            meta_version: get_u64(meta, "meta_version").unwrap_or(BENCH_META_VERSION),
+            tool: get_str(meta, "tool").unwrap_or("loadgen").to_string(),
+            host: get_str(meta, "host").unwrap_or("unknown").to_string(),
+            host_threads: get_u64(meta, "host_threads").unwrap_or(0),
+            threads: get_u64(meta, "threads").unwrap_or(clients),
+            seed: get_u64(meta, "seed").unwrap_or(seed),
+            commit: get_str(meta, "commit").unwrap_or("unknown").to_string(),
+        },
+        None => BenchMeta {
+            meta_version: BENCH_META_VERSION,
+            tool: "loadgen".to_string(),
+            host: "unknown".to_string(),
+            host_threads: 0,
+            threads: clients,
+            seed,
+            commit: "unknown".to_string(),
+        },
+    };
+    let mut metrics = BTreeMap::new();
+    for key in ["frames_per_sec", "cache_speedup"] {
+        if let Some(v) = get_f64(obj, key) {
+            metrics.insert(key.to_string(), v);
+        }
+    }
+    let mut cell = BenchCell {
+        id: format!("loadgen/t{clients}"),
+        workload: "loadgen".to_string(),
+        threads: clients,
+        size: 0,
+        samples_ns: vec![((hammer_ms * 1e6).max(1.0)) as u64],
+        mean_ns: 0.0,
+        stddev_ns: 0.0,
+        digest: digest_str(&format!(
+            "errors={errors},degraded={degraded},transfer={transfer},sets={sets}"
+        )),
+        audit_ok: errors == 0 && degraded == 0 && transfer,
+        metrics,
+    };
+    cell.finalize();
+    Ok(BenchReport {
+        schema: BENCH_SCHEMA.to_string(),
+        bench_meta,
+        machine: "live".to_string(),
+        warmup: 0,
+        repeats: 1,
+        cells: vec![cell],
+    })
+}
+
+/// Conversion used by `np loadgen` itself: routes the live summary it
+/// just measured through the same one-cell shape the migrator produces,
+/// so the command's artifact is born `np-bench/1`.
+pub fn from_load_summary(summary: &np_serve::LoadSummary) -> Result<BenchReport, String> {
+    let json =
+        serde_json::to_string(summary).map_err(|e| format!("loadgen: serialize summary: {e}"))?;
+    migrate_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEGACY_PARALLEL_V1: &str = r#"{
+      "schema": "bench-parallel/1",
+      "host_threads": 4,
+      "machine": "dl580",
+      "seed": 1,
+      "smoke": false,
+      "audit_ok": true,
+      "campaign_modeled_speedup_4t": 3.5,
+      "paths": [
+        {
+          "name": "campaign",
+          "items": 16,
+          "sequential_wall_ns": 1000000,
+          "chunk_costs": "measured",
+          "threads": [
+            {"threads": 1, "wall_ns": 900000, "modeled_wall_ns": 1000000, "modeled_speedup": 1.0, "bit_identical": true},
+            {"threads": 2, "wall_ns": 600000, "modeled_wall_ns": 520000, "modeled_speedup": 1.9, "bit_identical": true}
+          ]
+        }
+      ]
+    }"#;
+
+    const LEGACY_LOAD_SUMMARY: &str = r#"{
+      "seed": 1,
+      "clients": 8,
+      "frames": 166,
+      "requests": 356,
+      "errors": 0,
+      "degraded_frames": 0,
+      "hammer_ms": 79.6,
+      "frames_per_sec": 1607.5,
+      "cold_predict_micros": 620.0,
+      "warm_predict_micros": 30.7,
+      "cache_speedup": 20.18,
+      "cache_hits": 32,
+      "cache_misses": 41,
+      "cache_evictions": 0,
+      "transfer_consistent": true,
+      "transfer_rel_diff": 0.0,
+      "stored_sets": 136
+    }"#;
+
+    #[test]
+    fn bench_parallel_v1_migrates_to_cells() {
+        let report = migrate_json(LEGACY_PARALLEL_V1).unwrap();
+        assert_eq!(report.schema, BENCH_SCHEMA);
+        assert_eq!(report.machine, "dl580");
+        assert_eq!(report.bench_meta.tool, "bench-parallel");
+        assert_eq!(report.cells.len(), 2);
+        let c = &report.cells[0];
+        assert_eq!(c.id, "campaign/t1");
+        assert_eq!(c.samples_ns, vec![900000]);
+        assert!(c.audit_ok);
+        assert_eq!(c.metrics["det_items"], 16.0);
+        assert_eq!(report.cells[1].id, "campaign/t2");
+        // The migrated report is a valid np-bench/1 document.
+        let json = report.to_json_pretty().unwrap();
+        assert_eq!(BenchReport::from_json(&json).unwrap(), report);
+    }
+
+    #[test]
+    fn load_summary_without_meta_migrates() {
+        let report = migrate_json(LEGACY_LOAD_SUMMARY).unwrap();
+        assert_eq!(report.cells.len(), 1);
+        let c = &report.cells[0];
+        assert_eq!(c.id, "loadgen/t8");
+        assert_eq!(c.threads, 8);
+        assert!(c.audit_ok);
+        assert_eq!(c.samples_ns, vec![79_600_000]);
+        assert_eq!(c.metrics["frames_per_sec"], 1607.5);
+        assert_eq!(
+            c.digest,
+            digest_str("errors=0,degraded=0,transfer=true,sets=136"),
+            "digest preimage must match the live loadgen driver"
+        );
+    }
+
+    #[test]
+    fn migration_is_idempotent_on_current_reports() {
+        let once = migrate_json(LEGACY_PARALLEL_V1).unwrap();
+        let json = once.to_json_pretty().unwrap();
+        let twice = migrate_json(&json).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn junk_is_rejected_with_context() {
+        assert!(migrate_json("[1, 2]").is_err());
+        assert!(migrate_json(r#"{"schema": "mystery/9"}"#).is_err());
+        assert!(migrate_json(r#"{"unrelated": true}"#).is_err());
+        let no_paths = r#"{"schema": "bench-parallel/1", "seed": 1}"#;
+        let err = migrate_json(no_paths).unwrap_err();
+        assert!(err.contains("paths"), "{err}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Run-over-run history: a JSONL file of compact `np-bench/1` lines
+//! (one run per line, appended by `np bench trend --append`) rendered
+//! as a per-cell trend table. The nightly workflow keeps this file as
+//! its `bench-history` artifact, so a regression that creeps in under
+//! the noise band still shows up as a drifting column.
+
+use super::schema::BenchReport;
+
+/// Parses a JSONL history (blank lines skipped). Line numbers appear in
+/// errors so a corrupted artifact is findable.
+pub fn parse_history(text: &str) -> Result<Vec<BenchReport>, String> {
+    let mut runs = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let run = BenchReport::from_json(line)
+            .map_err(|e| format!("np bench trend: history line {}: {e}", i + 1))?;
+        runs.push(run);
+    }
+    Ok(runs)
+}
+
+/// Appends one run to a history text as a compact line.
+pub fn append_run(history: &str, run: &BenchReport) -> Result<String, String> {
+    let mut out = history.to_string();
+    if !out.is_empty() && !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push_str(&run.to_json_line()?);
+    out.push('\n');
+    Ok(out)
+}
+
+/// Cell ids across all runs, ordered by first appearance.
+fn cell_ids(runs: &[BenchReport]) -> Vec<String> {
+    let mut ids: Vec<String> = Vec::new();
+    for run in runs {
+        for cell in &run.cells {
+            if !ids.contains(&cell.id) {
+                ids.push(cell.id.clone());
+            }
+        }
+    }
+    ids
+}
+
+fn mean_of(run: &BenchReport, id: &str) -> Option<f64> {
+    run.cells.iter().find(|c| c.id == id).map(|c| c.mean_ns)
+}
+
+/// The trend table: one row per cell, one column per run (keyed by its
+/// commit), with the oldest->newest drift in the last column.
+pub fn render_trend(runs: &[BenchReport]) -> String {
+    if runs.is_empty() {
+        return "np bench trend: history is empty\n".to_string();
+    }
+    let mut out = format!("== np bench trend: {} run(s) ==\n", runs.len());
+    out.push_str(&format!("{:<24}", "cell"));
+    for run in runs {
+        out.push_str(&format!(" {:>12}", truncated(&run.bench_meta.commit, 12)));
+    }
+    out.push_str("    drift\n");
+    for id in cell_ids(runs) {
+        out.push_str(&format!("{id:<24}"));
+        let mut first = None;
+        let mut last = None;
+        for run in runs {
+            match mean_of(run, &id) {
+                Some(mean) => {
+                    out.push_str(&format!(" {:>12.3}", mean / 1e6));
+                    if first.is_none() {
+                        first = Some(mean);
+                    }
+                    last = Some(mean);
+                }
+                None => out.push_str(&format!(" {:>12}", "-")),
+            }
+        }
+        out.push_str(&format!("  {}\n", drift(first, last)));
+    }
+    out.push_str("(columns: mean ms per run, oldest first)\n");
+    out
+}
+
+/// The markdown rendering (the nightly summary artifact).
+pub fn trend_markdown(runs: &[BenchReport]) -> String {
+    if runs.is_empty() {
+        return "### np bench trend\n\nhistory is empty\n".to_string();
+    }
+    let mut out = format!(
+        "### np bench trend — {} run(s), mean ms per cell\n\n",
+        runs.len()
+    );
+    out.push_str("| cell |");
+    for run in runs {
+        out.push_str(&format!(" {} |", truncated(&run.bench_meta.commit, 12)));
+    }
+    out.push_str(" drift |\n|------|");
+    for _ in runs {
+        out.push_str("-----:|");
+    }
+    out.push_str("------:|\n");
+    for id in cell_ids(runs) {
+        out.push_str(&format!("| {id} |"));
+        let mut first = None;
+        let mut last = None;
+        for run in runs {
+            match mean_of(run, &id) {
+                Some(mean) => {
+                    out.push_str(&format!(" {:.3} |", mean / 1e6));
+                    if first.is_none() {
+                        first = Some(mean);
+                    }
+                    last = Some(mean);
+                }
+                None => out.push_str(" - |"),
+            }
+        }
+        out.push_str(&format!(" {} |\n", drift(first, last)));
+    }
+    out
+}
+
+fn drift(first: Option<f64>, last: Option<f64>) -> String {
+    match (first, last) {
+        (Some(f), Some(l)) if f > 0.0 => format!("{:+.1} %", 100.0 * (l - f) / f),
+        _ => "-".to_string(),
+    }
+}
+
+fn truncated(s: &str, n: usize) -> &str {
+    &s[..s.len().min(n)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::schema::{digest_str, BenchCell, BENCH_SCHEMA};
+    use std::collections::BTreeMap;
+
+    fn run(commit: &str, mean_ns: u64, extra_cell: bool) -> BenchReport {
+        let mut cells = vec![cell("campaign/t2", mean_ns)];
+        if extra_cell {
+            cells.push(cell("loadgen/t2", 2 * mean_ns));
+        }
+        let mut meta = np_serve::BenchMeta::collect("np-bench", 2, 1);
+        meta.commit = commit.to_string();
+        BenchReport {
+            schema: BENCH_SCHEMA.to_string(),
+            bench_meta: meta,
+            machine: "two-socket".to_string(),
+            warmup: 1,
+            repeats: 1,
+            cells,
+        }
+    }
+
+    fn cell(id: &str, mean_ns: u64) -> BenchCell {
+        let mut c = BenchCell {
+            id: id.to_string(),
+            workload: id.split('/').next().unwrap_or(id).to_string(),
+            threads: 2,
+            size: 0,
+            samples_ns: vec![mean_ns],
+            mean_ns: 0.0,
+            stddev_ns: 0.0,
+            digest: digest_str("r"),
+            audit_ok: true,
+            metrics: BTreeMap::new(),
+        };
+        c.finalize();
+        c
+    }
+
+    #[test]
+    fn history_appends_and_parses_round_trip() {
+        let a = run("aaaaaaaaaaaa", 1_000_000, false);
+        let b = run("bbbbbbbbbbbb", 1_500_000, true);
+        let history = append_run("", &a).unwrap();
+        let history = append_run(&history, &b).unwrap();
+        assert_eq!(history.lines().count(), 2);
+        let runs = parse_history(&history).unwrap();
+        assert_eq!(runs, vec![a, b]);
+    }
+
+    #[test]
+    fn corrupt_history_lines_are_located() {
+        let a = run("aaaaaaaaaaaa", 1_000_000, false);
+        let history = append_run("", &a).unwrap() + "{broken\n";
+        let err = parse_history(&history).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn trend_table_tracks_drift_and_missing_cells() {
+        let runs = vec![
+            run("aaaaaaaaaaaa", 1_000_000, false),
+            run("bbbbbbbbbbbb", 2_000_000, true),
+        ];
+        let table = render_trend(&runs);
+        assert!(table.contains("campaign/t2"), "{table}");
+        assert!(table.contains("+100.0 %"), "{table}");
+        assert!(table.contains("loadgen/t2"), "{table}");
+        assert!(table.contains('-'), "missing first-run cell shows a dash");
+        let md = trend_markdown(&runs);
+        assert!(md.contains("| campaign/t2 |"), "{md}");
+        assert!(md.contains("aaaaaaaaaaaa"), "{md}");
+        assert!(render_trend(&[]).contains("empty"));
+    }
+}

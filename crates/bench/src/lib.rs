@@ -4,7 +4,9 @@
 //! `cargo run -p np-bench --release --bin report_<id>`), criterion benches
 //! for the same scenarios, and `report_all` to regenerate everything
 //! EXPERIMENTS.md records. Shared setup lives here so benches and reports
-//! measure identical configurations.
+//! measure identical configurations. The [`harness`] module is the
+//! `np bench` matrix harness: config-driven cells, the `np-bench/1`
+//! schema, baseline diffing and trend history.
 
 use np_core::evsel::ParameterSweep;
 use np_core::runner::{MeasurementPlan, Runner};
@@ -84,4 +86,5 @@ mod tests {
     }
 }
 
+pub mod harness;
 pub mod reports;

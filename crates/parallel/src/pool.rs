@@ -298,11 +298,19 @@ impl Pool {
         let deposits: Mutex<Vec<Deposit<U>>> = Mutex::new(Vec::with_capacity(chunks));
         let fair_share = chunks.div_ceil(workers);
 
+        // Barrier-synchronised start: no worker pulls a chunk until every
+        // worker thread exists, so measured walls (bench harness samples,
+        // chunk profiles) never fold thread-spawn skew into the first
+        // chunks. Determinism is unaffected — merge order is by chunk
+        // index either way.
+        let start = std::sync::Barrier::new(workers);
         std::thread::scope(|scope| {
             for worker in 0..workers {
                 let queue = &queue;
                 let deposits = &deposits;
+                let start = &start;
                 scope.spawn(move || {
+                    start.wait();
                     let mut executed = 0usize;
                     loop {
                         let waited = np_telemetry::now_ns();

@@ -318,15 +318,20 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadSummary, ClientError> {
     };
     drop(phase_guard);
 
-    // Phase 4: concurrent hammer — mixed batched frames.
+    // Phase 4: concurrent hammer — mixed batched frames. A barrier
+    // aligns the client starts so the measured throughput window covers
+    // N genuinely concurrent sessions, not a spawn-skewed ramp.
     let phase_guard = np_telemetry::phase("hammer");
     let hammer_started = Instant::now();
+    let start = std::sync::Arc::new(std::sync::Barrier::new(config.clients));
     let mut threads = Vec::with_capacity(config.clients);
     for worker in 0..config.clients {
         let client = ExchangeClient::new(config.addr.clone());
         let n_frames = config.frames_per_client;
         let seed = config.seed;
+        let start = std::sync::Arc::clone(&start);
         threads.push(std::thread::spawn(move || -> (u64, u64, u64, u64) {
+            start.wait();
             let mut session = match client.connect() {
                 Ok(s) => s,
                 Err(_) => return (0, 0, 1, 0),

@@ -35,4 +35,4 @@ pub use descriptive::{mean, sample_skewness, sample_std, sample_variance, Summar
 pub use histogram::{IntervalCount, LatencyHistogram};
 pub use regression::{best_fit, RegressionFit, RegressionKind};
 pub use segmented::{segmented_fit, segmented_fit_k, SegmentedFit};
-pub use ttest::{welch_t_test, TTestResult};
+pub use ttest::{welch_t_test, GateOutcome, RegressionGate, TTestResult};

@@ -97,6 +97,67 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
     })
 }
 
+/// A noise-banded regression gate over two wall-time samples, as used by
+/// `np bench diff`: a cell regresses only when its mean moved *outside*
+/// the relative noise band AND Welch's t-test calls the move significant.
+///
+/// Cross-runner wall-time jitter passes (the band absorbs it, and noisy
+/// samples fail the significance test); a real slowdown — a large,
+/// repeatable shift — fails both defences. When a t-test is undefined
+/// (single-sample baselines from migrated legacy artifacts, or two
+/// zero-variance samples with equal means) the band alone decides, which
+/// keeps migrated one-shot baselines comparable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressionGate {
+    /// Relative noise band, as a fraction (`0.15` = ±15 %).
+    pub noise_frac: f64,
+    /// Significance level for the Welch test (e.g. `0.01`).
+    pub alpha: f64,
+}
+
+/// What [`RegressionGate::judge`] decided for one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// Relative change of the mean, `(mean(cur) - mean(base)) / mean(base)`.
+    pub relative_change: f64,
+    /// Welch two-sided p-value, when both samples support a t-test.
+    pub p_two_sided: Option<f64>,
+    /// The change exceeds `+noise_frac` and is statistically significant.
+    pub regressed: bool,
+    /// The change exceeds `-noise_frac` downward and is significant.
+    pub improved: bool,
+}
+
+impl RegressionGate {
+    /// Judges `current` against `baseline` (both in the same unit, larger
+    /// = slower). Empty samples are never a regression — the caller flags
+    /// structural problems separately.
+    pub fn judge(&self, baseline: &[f64], current: &[f64]) -> GateOutcome {
+        if baseline.is_empty() || current.is_empty() {
+            return GateOutcome {
+                relative_change: 0.0,
+                p_two_sided: None,
+                regressed: false,
+                improved: false,
+            };
+        }
+        let mb = mean(baseline);
+        let mc = mean(current);
+        let relative_change = if mb != 0.0 { (mc - mb) / mb } else { 0.0 };
+        let test = welch_t_test(baseline, current);
+        let p_two_sided = test.as_ref().map(|t| t.p_two_sided);
+        // No test (too few samples, or identical constants) => the band
+        // alone decides; an insignificant test vetoes the band.
+        let significant = test.as_ref().is_none_or(|t| t.significant_at(self.alpha));
+        GateOutcome {
+            relative_change,
+            p_two_sided,
+            regressed: relative_change > self.noise_frac && significant,
+            improved: relative_change < -self.noise_frac && significant,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +236,61 @@ mod tests {
         assert!(r.mean_diff < 0.0);
         assert!(r.relative_change < 0.0);
         assert!(r.t < 0.0);
+    }
+
+    #[test]
+    fn gate_passes_identical_reruns_and_noise() {
+        let gate = RegressionGate {
+            noise_frac: 0.15,
+            alpha: 0.01,
+        };
+        let base = [100.0, 101.0, 99.0, 100.5];
+        // Identical re-run: no test possible beyond "no difference".
+        let same = gate.judge(&base, &base);
+        assert!(!same.regressed && !same.improved);
+        // Inside the band: even a significant 5 % shift is noise.
+        let shifted = [105.0, 106.0, 104.0, 105.5];
+        let small = gate.judge(&base, &shifted);
+        assert!(!small.regressed, "5 % sits inside the 15 % band");
+        // Outside the band but statistically indistinguishable: noise.
+        let wild_base = [100.0, 400.0, 150.0, 350.0];
+        let wild_cur = [130.0, 470.0, 190.0, 420.0];
+        let noisy = gate.judge(&wild_base, &wild_cur);
+        assert!(!noisy.regressed, "p = {:?}", noisy.p_two_sided);
+    }
+
+    #[test]
+    fn gate_flags_a_repeatable_slowdown_and_an_improvement() {
+        let gate = RegressionGate {
+            noise_frac: 0.15,
+            alpha: 0.01,
+        };
+        let base = [100.0, 101.0, 99.0, 100.5];
+        let slow = [300.0, 301.0, 299.0, 300.5];
+        let r = gate.judge(&base, &slow);
+        assert!(r.regressed && !r.improved);
+        assert!((r.relative_change - 2.0).abs() < 0.05);
+        assert!(r.p_two_sided.unwrap() < 0.01);
+        let fast = [50.0, 51.0, 49.0, 50.5];
+        let i = gate.judge(&base, &fast);
+        assert!(i.improved && !i.regressed);
+    }
+
+    #[test]
+    fn gate_falls_back_to_the_band_for_single_samples() {
+        // Migrated legacy baselines carry one sample per cell: the band
+        // alone must still catch a 2x slowdown and pass a clean re-run.
+        let gate = RegressionGate {
+            noise_frac: 0.25,
+            alpha: 0.01,
+        };
+        let r = gate.judge(&[100.0], &[220.0]);
+        assert!(r.regressed && r.p_two_sided.is_none());
+        let ok = gate.judge(&[100.0], &[110.0]);
+        assert!(!ok.regressed && !ok.improved);
+        // Degenerate inputs never gate.
+        let empty = gate.judge(&[], &[100.0]);
+        assert!(!empty.regressed && !empty.improved);
     }
 
     #[test]

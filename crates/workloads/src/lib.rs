@@ -20,6 +20,8 @@
 //! * [`graph`] — a level-synchronous BFS over a CSR graph: the irregular,
 //!   gather/scatter-heavy pattern the surveyed NUMA models were built for.
 //! * [`lcg`] — the BSD linear congruential engine of Listing 3.
+//! * [`registry`] — every kernel above, buildable by name; the single
+//!   name-to-workload table the CLI and the bench harness share.
 
 pub mod cache_miss;
 pub mod graph;
@@ -28,6 +30,7 @@ pub mod matmul;
 pub mod mlc;
 pub mod parallel_sort;
 pub mod phases;
+pub mod registry;
 pub mod sift;
 pub mod stream;
 

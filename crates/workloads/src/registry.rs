@@ -1,0 +1,111 @@
+//! The workload registry: every kernel in the suite, buildable by name.
+//!
+//! Lived in the CLI originally; moved here so non-CLI consumers (the
+//! `np bench` matrix harness, tests) can sweep the same registry the
+//! commands expose. The CLI re-exports it unchanged.
+
+use crate::cache_miss::CacheMissKernel;
+use crate::graph::BfsKernel;
+use crate::matmul::TiledMatmul;
+use crate::mlc::LatencyChecker;
+use crate::parallel_sort::ParallelSortKernel;
+use crate::phases::PhaseTraceKernel;
+use crate::sift::SiftKernel;
+use crate::stream::StreamTriad;
+use crate::Workload;
+use np_simulator::MachineConfig;
+
+/// All registry names, for help output and error messages.
+pub const NAMES: [&str; 16] = [
+    "row-major",
+    "column-major",
+    "sort",
+    "sift",
+    "sift-naive",
+    "mlc-local",
+    "mlc-remote",
+    "stream-local",
+    "stream-bound",
+    "stream-interleaved",
+    "chrome",
+    "bsp",
+    "matmul",
+    "bfs",
+    "bfs-bound",
+    "bfs-interleaved",
+];
+
+/// Builds a workload by registry name.
+///
+/// `size` falls back to a per-workload default chosen to finish in seconds
+/// on the DL580 preset; `threads` applies where the workload is parallel.
+pub fn build(
+    name: &str,
+    size: Option<usize>,
+    threads: usize,
+    machine: &MachineConfig,
+) -> Result<Box<dyn Workload>, String> {
+    let _ = machine;
+    let t = threads.max(1);
+    Ok(match name {
+        "row-major" => Box::new(CacheMissKernel::row_major(size.unwrap_or(1024))),
+        "column-major" => Box::new(CacheMissKernel::column_major(size.unwrap_or(1024))),
+        "sort" => Box::new(ParallelSortKernel::new(size.unwrap_or(64 * 1024), t)),
+        "sift" => Box::new(SiftKernel::optimized(size.unwrap_or(2048), t)),
+        "sift-naive" => Box::new(SiftKernel::naive(size.unwrap_or(2048), t)),
+        "mlc-local" => Box::new(LatencyChecker::new(
+            0,
+            0,
+            (size.unwrap_or(8 << 20)) as u64,
+            8000,
+        )),
+        "mlc-remote" => Box::new(LatencyChecker::remote_injector(
+            (size.unwrap_or(8 << 20)) as u64,
+            8000,
+        )),
+        "stream-local" => Box::new(StreamTriad::local(size.unwrap_or(96 * 1024), t)),
+        "stream-bound" => Box::new(StreamTriad::bound(size.unwrap_or(96 * 1024), t, 0)),
+        "stream-interleaved" => Box::new(StreamTriad::interleaved(size.unwrap_or(96 * 1024), t)),
+        "chrome" => Box::new(PhaseTraceKernel::chrome_startup()),
+        "bsp" => Box::new(PhaseTraceKernel::bsp_supersteps(3)),
+        "matmul" => Box::new(TiledMatmul::new(size.unwrap_or(128), t)),
+        "bfs" => Box::new(BfsKernel::new(size.unwrap_or(64 * 1024), 8, t)),
+        "bfs-bound" => Box::new(BfsKernel::new(size.unwrap_or(64 * 1024), 8, t).bound(0)),
+        "bfs-interleaved" => {
+            Box::new(BfsKernel::new(size.unwrap_or(64 * 1024), 8, t).interleaved())
+        }
+        other => {
+            return Err(format!(
+                "unknown workload '{other}' (expected one of: {})",
+                NAMES.join(", ")
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_builds() {
+        let machine = MachineConfig::two_socket_small();
+        for name in NAMES {
+            // Small sizes so the test stays fast.
+            let w = build(name, Some(64), 2, &machine).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let p = w.build(&machine);
+            assert!(p.total_ops() > 0, "{name} produced an empty program");
+            p.validate(&machine.topology).unwrap();
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_alternatives() {
+        let machine = MachineConfig::two_socket_small();
+        let err = match build("quicksort", None, 1, &machine) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown workload accepted"),
+        };
+        assert!(err.contains("row-major"));
+    }
+}

@@ -39,6 +39,12 @@ cargo run --release --offline --quiet -- lint
 echo "== np analyze (static envelopes vs engine, all workloads) =="
 cargo run --release --offline --quiet -- analyze --machine two-socket --size 96
 
+echo "== bench regression gate (np bench diff vs baselines/ci.json) =="
+bench_current="$(mktemp -t np-bench-current.XXXXXX.json)"
+cargo run --release --offline --quiet -- bench --smoke --out "$bench_current" >/dev/null
+cargo run --release --offline --quiet -- bench diff baselines/ci.json \
+  --current "$bench_current" --noise 75
+
 if [[ "$quick" -eq 0 ]]; then
   echo "== nightly: fault-injection matrix (release) =="
   cargo test --release --offline --test integration_resilience
@@ -81,6 +87,12 @@ if [[ "$quick" -eq 0 ]]; then
   cargo run --release --offline --quiet -- report \
     --capture "$capture" --timeline "$timeline" --html --out "$html" >/dev/null
   echo "capture written to $capture; HTML report written to $html"
+
+  echo "== nightly: benchmark trend (np bench trend --append) =="
+  history="$(mktemp -t np-bench-history.XXXXXX.jsonl)"
+  cargo run --release --offline --quiet -- bench trend \
+    --append "$history" --current "$bench_current"
+  echo "benchmark history written to $history"
 fi
 
 echo "ci-local: OK"

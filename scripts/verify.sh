@@ -28,4 +28,8 @@ cargo run --release --offline --quiet -- lint
 echo "== np analyze (static envelopes vs engine, all workloads) =="
 cargo run --release --offline --quiet -- analyze --machine two-socket --size 96
 
+echo "== np bench --smoke (matrix harness smoke, determinism audit) =="
+cargo run --release --offline --quiet -- bench --smoke \
+  --out "$(mktemp -t np-bench-smoke.XXXXXX.json)"
+
 echo "tier-1 verify: OK"

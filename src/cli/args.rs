@@ -43,6 +43,8 @@ pub enum Command {
     Loadgen,
     /// Benchmark the deterministic worker pool (sequential vs threaded).
     BenchParallel,
+    /// Matrix benchmark harness: run / diff / migrate / trend.
+    Bench,
     /// Sampled measurement campaign: deterministic time-series capture.
     Run,
     /// Live per-node telemetry view (ANSI redraw loop).
@@ -73,6 +75,7 @@ impl Command {
             "serve" => Command::Serve,
             "loadgen" => Command::Loadgen,
             "bench-parallel" => Command::BenchParallel,
+            "bench" => Command::Bench,
             "run" => Command::Run,
             "top" => Command::Top,
             "report" => Command::Report,
@@ -152,6 +155,25 @@ pub struct Cli {
     pub interval_ms: u64,
     /// `run`: sampler ring capacity, bins per series.
     pub capacity: usize,
+    /// `bench`: positional words after the command (`diff <baseline>`,
+    /// `migrate <file>`, ...). Only `bench` accepts positionals.
+    pub positional: Vec<String>,
+    /// `bench`: matrix config file (TOML subset or JSON).
+    pub config: Option<String>,
+    /// `bench diff`: baseline report (also the first positional).
+    pub baseline: Option<String>,
+    /// `bench diff`: pre-recorded current report (else run `--config`).
+    pub current: Option<String>,
+    /// `bench diff`: noise band, percent.
+    pub noise_pct: f64,
+    /// `bench diff`: Welch significance level.
+    pub alpha: f64,
+    /// `bench`: also write the markdown rendering here.
+    pub md: Option<String>,
+    /// `bench`: also write the CSV rendering here.
+    pub csv: Option<String>,
+    /// `bench trend`: append the run at `--current` to this history.
+    pub append: Option<String>,
 }
 
 impl Cli {
@@ -202,6 +224,7 @@ impl Cli {
             // `--out` default tracks the command's baseline file.
             out: match command {
                 Command::BenchParallel => "BENCH_parallel.json",
+                Command::Bench => "BENCH_matrix.json",
                 Command::Run => "CAPTURE.json",
                 Command::Report => "REPORT.html",
                 _ => "BENCH_serve.json",
@@ -217,6 +240,15 @@ impl Cli {
             ticks: 12,
             interval_ms: 100,
             capacity: 256,
+            positional: Vec::new(),
+            config: None,
+            baseline: None,
+            current: None,
+            noise_pct: 15.0,
+            alpha: 0.01,
+            md: None,
+            csv: None,
+            append: None,
         };
 
         let take_value =
@@ -314,6 +346,27 @@ impl Cli {
                         .parse()
                         .map_err(|_| "--capacity must be an integer".to_string())?
                 }
+                "--config" => cli.config = Some(take_value("--config", &mut it)?),
+                "--baseline" => cli.baseline = Some(take_value("--baseline", &mut it)?),
+                "--current" => cli.current = Some(take_value("--current", &mut it)?),
+                "--noise" => {
+                    cli.noise_pct = take_value("--noise", &mut it)?
+                        .parse()
+                        .map_err(|_| "--noise must be a percentage".to_string())?
+                }
+                "--alpha" => {
+                    cli.alpha = take_value("--alpha", &mut it)?
+                        .parse()
+                        .map_err(|_| "--alpha must be a probability".to_string())?
+                }
+                "--md" => cli.md = Some(take_value("--md", &mut it)?),
+                "--csv" => cli.csv = Some(take_value("--csv", &mut it)?),
+                "--append" => cli.append = Some(take_value("--append", &mut it)?),
+                // `bench` takes positional words (`diff <baseline>`,
+                // `migrate <file>`); every other command rejects them.
+                other if command == Command::Bench && !other.starts_with('-') => {
+                    cli.positional.push(other.to_string())
+                }
                 other => return Err(format!("unknown option '{other}'")),
             }
         }
@@ -324,24 +377,9 @@ impl Cli {
     /// (the §VI outlook: "simulating and incorporating different
     /// topologies should be investigated further").
     pub fn machine_config(&self) -> Result<MachineConfig, String> {
-        match self.machine.as_str() {
-            "dl580" => Ok(MachineConfig::dl580_gen9()),
-            "two-socket" => Ok(MachineConfig::two_socket_small()),
-            "ring" => Ok(MachineConfig::eight_socket_ring()),
-            path if path.ends_with(".json") => {
-                let json = std::fs::read_to_string(path)
-                    .map_err(|e| format!("cannot read machine file '{path}': {e}"))?;
-                let cfg: MachineConfig = serde_json::from_str(&json)
-                    .map_err(|e| format!("invalid machine file '{path}': {e}"))?;
-                cfg.topology
-                    .validate()
-                    .map_err(|e| format!("machine file '{path}': {e}"))?;
-                Ok(cfg)
-            }
-            other => Err(format!(
-                "unknown machine '{other}' (dl580 | two-socket | ring | <file>.json)"
-            )),
-        }
+        // One resolver for the CLI and the bench harness, so presets
+        // and machine-file validation can't drift apart.
+        np_bench::harness::runner::resolve_machine(&self.machine)
     }
 }
 
@@ -560,6 +598,53 @@ mod tests {
         assert_eq!(cli.capture.as_deref(), Some("c.json"));
         assert!(cli.html);
         assert_eq!(cli.out, "REPORT.html");
+    }
+
+    #[test]
+    fn bench_parses_modes_and_gate_flags() {
+        let cli = parse(&[
+            "bench",
+            "--config",
+            "matrix.toml",
+            "--md",
+            "b.md",
+            "--csv",
+            "b.csv",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, Command::Bench);
+        assert_eq!(cli.config.as_deref(), Some("matrix.toml"));
+        assert_eq!(cli.md.as_deref(), Some("b.md"));
+        assert_eq!(cli.csv.as_deref(), Some("b.csv"));
+        assert!(cli.positional.is_empty());
+        assert_eq!(cli.out, "BENCH_matrix.json");
+        assert_eq!(cli.noise_pct, 15.0);
+        assert_eq!(cli.alpha, 0.01);
+
+        let cli = parse(&[
+            "bench",
+            "diff",
+            "baselines/ci.json",
+            "--current",
+            "cur.json",
+            "--noise",
+            "50",
+            "--alpha",
+            "0.05",
+        ])
+        .unwrap();
+        assert_eq!(cli.positional, vec!["diff", "baselines/ci.json"]);
+        assert_eq!(cli.current.as_deref(), Some("cur.json"));
+        assert_eq!(cli.noise_pct, 50.0);
+        assert_eq!(cli.alpha, 0.05);
+
+        let cli = parse(&["bench", "trend", "--append", "history.jsonl"]).unwrap();
+        assert_eq!(cli.positional, vec!["trend"]);
+        assert_eq!(cli.append.as_deref(), Some("history.jsonl"));
+
+        // Positionals stay a bench-only affordance.
+        assert!(parse(&["stat", "positional"]).is_err());
+        assert!(parse(&["bench", "--noise", "abc"]).is_err());
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         Command::Serve => serve_cmd(cli),
         Command::Loadgen => loadgen_cmd(cli),
         Command::BenchParallel => bench_parallel_cmd(cli),
+        Command::Bench => bench_cmd(cli),
         Command::Run => run_cmd(cli),
         Command::Top => top::run_top(cli),
         Command::Report => report_cmd(cli),
@@ -140,383 +141,75 @@ fn report_cmd(cli: &Cli) -> Result<String, String> {
     }
 }
 
-/// One thread-count point of one benchmarked path.
-struct BenchPoint {
-    threads: usize,
-    wall_ns: u64,
-    modeled_wall_ns: u64,
-    modeled_speedup: f64,
-    identical: bool,
-}
-
-/// One parallelised path, benchmarked sequential vs pooled.
-struct BenchPath {
-    name: &'static str,
-    items: usize,
-    seq_ns: u64,
-    /// Whether the chunk-cost model came from per-item measurements
-    /// (campaign, analysis) or a uniform split of the sequential wall.
-    measured_chunks: bool,
-    points: Vec<BenchPoint>,
-}
-
-impl BenchPath {
-    fn audit_ok(&self) -> bool {
-        self.points.iter().all(|p| p.identical)
-    }
-}
-
-/// Benchmarks one path: the caller supplies the already-timed sequential
-/// digest and per-item costs; this runs the pooled closure at each thread
-/// count, timing the wall and checking bit-equality against `base`.
-///
-/// The *modeled* wall time is [`np_parallel::modeled_makespan_ns`] over
-/// the sequential chunk costs — the speedup those costs imply for a given
-/// worker count. On a single-core host the measured wall cannot improve
-/// with threads, but the model (and the bit-equality audit) still hold;
-/// the measured wall is reported alongside, never gated.
-fn bench_path(
-    name: &'static str,
-    thread_counts: &[usize],
-    seq_ns: u64,
-    item_ns: Option<Vec<u64>>,
-    items: usize,
-    base: &str,
-    pooled: impl Fn(&np_parallel::Pool) -> String,
-) -> BenchPath {
-    let measured_chunks = item_ns.is_some();
-    let costs = item_ns
-        .unwrap_or_else(|| vec![(seq_ns / items.max(1) as u64).max(1); items])
-        .iter()
-        .map(|&c| c.max(1))
-        .collect::<Vec<u64>>();
-    let total: u64 = costs.iter().sum();
-    let points = thread_counts
-        .iter()
-        .map(|&threads| {
-            let pool = np_parallel::Pool::new(threads);
-            let t0 = np_telemetry::now_ns();
-            let got = pooled(&pool);
-            let wall_ns = np_telemetry::now_ns().saturating_sub(t0).max(1);
-            let modeled_wall_ns = np_parallel::modeled_makespan_ns(&costs, threads).max(1);
-            BenchPoint {
-                threads,
-                wall_ns,
-                modeled_wall_ns,
-                modeled_speedup: total as f64 / modeled_wall_ns as f64,
-                identical: got == base,
-            }
-        })
-        .collect();
-    BenchPath {
-        name,
-        items,
-        seq_ns,
-        measured_chunks,
-        points,
-    }
-}
-
-/// `np bench-parallel`: benchmark every pooled path (campaign, Memhist
+/// `np bench-parallel`: compatibility shim over the `np bench` matrix
+/// harness. The historical five-path pool benchmark (campaign, Memhist
 /// ladder, Phasenprüfer pivot scan, correlation sweep, analysis sweep)
-/// sequential vs 1/2/4/N threads, write `--out` (BENCH_parallel.json),
-/// and audit that every pooled result is bit-identical to the sequential
-/// one. `--smoke` turns the audit into the exit status — speedup numbers
-/// are reported, never gated (they depend on host cores).
+/// is now a matrix config run through [`np_bench::harness::run_matrix`],
+/// so the artifact is the unified `np-bench/1` schema instead of the
+/// retired hand-rolled `bench-parallel/2` JSON (old artifacts convert
+/// with `np bench migrate`). `--smoke` still turns the bit-equality
+/// audits into the exit status; speedup numbers are reported, never
+/// gated (they depend on host cores).
 fn bench_parallel_cmd(cli: &Cli) -> Result<String, String> {
-    use np_counters::measurement::{Measurement, RunSet};
-    use np_counters::pmu::PmuModel;
+    use np_bench::harness::config::{CellSpec, MatrixConfig};
 
-    let machine = cli.machine_config()?;
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut thread_counts = vec![1usize, 2, 4, host];
     thread_counts.sort_unstable();
     thread_counts.dedup();
-    let seed = cli.seed;
 
     // --smoke shrinks every path so CI stays fast; the audit is identical.
     let (camp_reps, camp_size, ladder_size, foot_len) = if cli.smoke {
-        (cli.reps.max(6), 48, 1usize << 16, 160u64)
+        (cli.reps.max(6), 48.0, 65536.0, 160.0)
     } else {
-        (cli.reps.max(16), 96, 1usize << 19, 360u64)
+        (cli.reps.max(16), 96.0, 524288.0, 360.0)
+    };
+    let mut campaign = CellSpec::named("campaign");
+    campaign.params.insert("size".to_string(), camp_size);
+    campaign.params.insert("reps".to_string(), camp_reps as f64);
+    let mut ladder = CellSpec::named("memhist-ladder");
+    ladder.params.insert("size".to_string(), ladder_size);
+    let mut phasen = CellSpec::named("phasen-scan");
+    phasen.params.insert("footprint".to_string(), foot_len);
+    let correlate = CellSpec::named("correlate-sweep");
+    let mut analysis = CellSpec::named("analysis-sweep");
+    analysis.params.insert("size".to_string(), camp_size);
+    let cfg = MatrixConfig {
+        machine: cli.machine.clone(),
+        warmup: 0,
+        repeats: 1,
+        seed: cli.seed,
+        threads: thread_counts.clone(),
+        cells: vec![campaign, ladder, phasen, correlate, analysis],
     };
 
-    // Path 1: campaign — batched repetitions fanned across the pool
-    // (the Runner's measure path). Per-repetition costs are measured
-    // during the sequential run, so the speedup model uses real chunks.
-    let sim = MachineSim::new(machine.clone());
-    let pmu = PmuModel::default();
-    let events = vec![HwEvent::Cycles, HwEvent::L1dMiss, HwEvent::L3Access];
-    let campaign = {
-        let w = workloads::build("row-major", Some(camp_size), cli.threads, &machine)?;
-        let program = w.build(&machine);
-        let mut item_ns = Vec::with_capacity(camp_reps);
-        let mut runs = Vec::new();
-        let t0 = np_telemetry::now_ns();
-        for rep in 0..camp_reps {
-            let r0 = np_telemetry::now_ns();
-            let one = np_counters::acquisition::measure_batched(
-                &sim,
-                &program,
-                &events,
-                1,
-                seed + rep as u64,
-                &pmu,
-            );
-            item_ns.push(np_telemetry::now_ns().saturating_sub(r0));
-            runs.extend(one.runs);
-        }
-        let seq_ns = np_telemetry::now_ns().saturating_sub(t0).max(1);
-        let base = format!("{runs:?}");
-        let plan = MeasurementPlan::events(events.clone(), camp_reps, seed);
-        bench_path(
-            "campaign",
-            &thread_counts,
-            seq_ns,
-            Some(item_ns),
-            camp_reps,
-            &base,
-            |pool| {
-                let runner = Runner::new(machine.clone()).with_threads(pool.threads());
-                match runner.measure_program(&program, &plan) {
-                    Ok(rs) => format!("{:?}", rs.runs),
-                    Err(e) => format!("error: {e}"),
-                }
-            },
-        )
-    };
-
-    // Path 2: Memhist threshold ladder — one dedicated run per threshold.
-    let ladder = {
-        let w = workloads::build("mlc-local", Some(ladder_size), cli.threads, &machine)?;
-        let program = w.build(&machine);
-        let tool = Memhist::with_defaults();
-        let t0 = np_telemetry::now_ns();
-        let base = format!("{:?}", tool.measure_ladder(&sim, &program, seed));
-        let seq_ns = np_telemetry::now_ns().saturating_sub(t0).max(1);
-        let items = np_core::memhist::MemhistConfig::default().thresholds.len();
-        bench_path(
-            "memhist-ladder",
-            &thread_counts,
-            seq_ns,
-            None,
-            items,
-            &base,
-            |pool| format!("{:?}", tool.measure_ladder_pool(&sim, &program, seed, pool)),
-        )
-    };
-
-    // Path 3: Phasenprüfer pivot scan — per-pivot segmented fits over a
-    // synthetic ramp-then-flat footprint (clear two-phase structure).
-    let phasen = {
-        let footprint: Vec<(u64, u64)> = (0..foot_len)
-            .map(|i| {
-                let rss_mib = if i < foot_len / 3 {
-                    i * 4
-                } else {
-                    (foot_len / 3) * 4 + (i % 7)
-                };
-                (i * 50_000, rss_mib << 20)
-            })
-            .collect();
-        let pp = Phasenpruefer::default();
-        let t0 = np_telemetry::now_ns();
-        let base = format!("{:?}", pp.detect(&footprint));
-        let seq_ns = np_telemetry::now_ns().saturating_sub(t0).max(1);
-        bench_path(
-            "phasen-scan",
-            &thread_counts,
-            seq_ns,
-            None,
-            footprint.len(),
-            &base,
-            |pool| format!("{:?}", pp.detect_pool(&footprint, pool)),
-        )
-    };
-
-    // Path 4: all-counters correlation sweep — one regression battery per
-    // catalog event over a synthetic parameter sweep with known families.
-    let correlate = {
-        let ids = EventCatalog::builtin().ids();
-        let mut sweep = ParameterSweep::new("threads");
-        for &p in &[1.0f64, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0] {
-            let mut rs = RunSet::new(format!("p{p}"));
-            for rep in 0..3u64 {
-                let mut m = Measurement::new(seed + p as u64 * 10 + rep);
-                for (ei, &e) in ids.iter().enumerate() {
-                    let k = (ei + 1) as f64;
-                    let v = match ei % 3 {
-                        0 => 100.0 * k + 500.0 * k * p,
-                        1 => 50.0 * k + 3.0 * k * p * p,
-                        _ => 1e5 * k * (-0.15 * p).exp(),
-                    };
-                    m.values.insert(e, v * (1.0 + rep as f64 * 1e-4));
-                }
-                rs.runs.push(m);
-            }
-            sweep.push(p, rs);
-        }
-        let digest = |rep: &np_core::evsel::SweepReport| {
-            rep.rows
-                .iter()
-                .map(|r| {
-                    format!(
-                        "{}:{}:{:?}:{}",
-                        r.event.name(),
-                        r.pearson.to_bits(),
-                        r.best.kind,
-                        r.best.r_squared.to_bits()
-                    )
-                })
-                .collect::<Vec<_>>()
-                .join(",")
-        };
-        let t0 = np_telemetry::now_ns();
-        let base = digest(&EvSel::default().correlate(&sweep));
-        let seq_ns = np_telemetry::now_ns().saturating_sub(t0).max(1);
-        bench_path(
-            "correlate-sweep",
-            &thread_counts,
-            seq_ns,
-            None,
-            ids.len(),
-            &base,
-            |pool| digest(&EvSel::default().correlate_pool(&sweep, pool)),
-        )
-    };
-
-    // Path 5: differential-envelope analysis sweep — the static analysis
-    // over every registry workload, with measured per-program costs.
-    let analysis = {
-        let mut programs = Vec::new();
-        for name in workloads::NAMES {
-            let w = workloads::build(name, Some(camp_size), cli.threads, &machine)?;
-            programs.push((name.to_string(), w.build(&machine)));
-        }
-        let mut item_ns = Vec::with_capacity(programs.len());
-        let mut serial = Vec::with_capacity(programs.len());
-        let t0 = np_telemetry::now_ns();
-        for (name, program) in &programs {
-            let p0 = np_telemetry::now_ns();
-            serial.push((name.as_str(), np_analysis::analyze(program, &machine)));
-            item_ns.push(np_telemetry::now_ns().saturating_sub(p0));
-        }
-        let seq_ns = np_telemetry::now_ns().saturating_sub(t0).max(1);
-        let base = format!("{serial:?}");
-        let items = programs.len();
-        bench_path(
-            "analysis-sweep",
-            &thread_counts,
-            seq_ns,
-            Some(item_ns),
-            items,
-            &base,
-            |pool| format!("{:?}", np_analysis::analyze_many(&programs, &machine, pool)),
-        )
-    };
-
-    let paths = [campaign, ladder, phasen, correlate, analysis];
-    let audit_ok = paths.iter().all(BenchPath::audit_ok);
-    let campaign_4t = paths[0]
-        .points
-        .iter()
-        .find(|p| p.threads == 4)
-        .map_or(0.0, |p| p.modeled_speedup);
-
-    // The JSON baseline (hand-rolled, like the lint report). The shared
-    // bench_meta block matches loadgen's, so trend tooling can key both
-    // baselines on (host, threads, commit, meta_version).
-    let meta = np_serve::BenchMeta::collect("bench-parallel", host, seed);
-    let meta_json = serde_json::to_string(&meta)
-        .map_err(|e| format!("bench-parallel: serialize bench_meta: {e}"))?;
-    let mut j = String::from("{\n");
-    j.push_str("  \"schema\": \"bench-parallel/2\",\n");
-    j.push_str(&format!("  \"bench_meta\": {meta_json},\n"));
-    j.push_str(&format!("  \"host_threads\": {host},\n"));
-    j.push_str(&format!("  \"machine\": \"{}\",\n", cli.machine));
-    j.push_str(&format!("  \"seed\": {seed},\n"));
-    j.push_str(&format!("  \"smoke\": {},\n", cli.smoke));
-    j.push_str(&format!("  \"audit_ok\": {audit_ok},\n"));
-    j.push_str(&format!(
-        "  \"campaign_modeled_speedup_4t\": {campaign_4t:.3},\n"
-    ));
-    j.push_str("  \"paths\": [\n");
-    for (pi, p) in paths.iter().enumerate() {
-        j.push_str("    {\n");
-        j.push_str(&format!("      \"name\": \"{}\",\n", p.name));
-        j.push_str(&format!("      \"items\": {},\n", p.items));
-        j.push_str(&format!("      \"sequential_wall_ns\": {},\n", p.seq_ns));
-        j.push_str(&format!(
-            "      \"chunk_costs\": \"{}\",\n",
-            if p.measured_chunks {
-                "measured"
-            } else {
-                "uniform"
-            }
-        ));
-        j.push_str("      \"threads\": [\n");
-        for (qi, q) in p.points.iter().enumerate() {
-            j.push_str(&format!(
-                "        {{\"threads\": {}, \"wall_ns\": {}, \"modeled_wall_ns\": {}, \
-                 \"modeled_speedup\": {:.3}, \"bit_identical\": {}}}{}\n",
-                q.threads,
-                q.wall_ns,
-                q.modeled_wall_ns,
-                q.modeled_speedup,
-                q.identical,
-                if qi + 1 < p.points.len() { "," } else { "" }
-            ));
-        }
-        j.push_str("      ]\n");
-        j.push_str(&format!(
-            "    }}{}\n",
-            if pi + 1 < paths.len() { "," } else { "" }
-        ));
-    }
-    j.push_str("  ]\n}\n");
-    std::fs::write(&cli.out, &j)
+    let mut report = np_bench::harness::run_matrix(&cfg, cli.threads.max(1))?;
+    report.bench_meta.tool = "bench-parallel".to_string();
+    std::fs::write(&cli.out, report.to_json_pretty()?)
         .map_err(|e| format!("bench-parallel: cannot write '{}': {e}", cli.out))?;
 
+    let audit_ok = report.audit_ok();
     let mut out = String::from("== deterministic worker-pool benchmark ==\n");
     out.push_str(&format!(
         "host threads {host}; thread counts {thread_counts:?}; \
-         modeled wall = greedy makespan of sequential chunk costs\n\n"
+         modeled speedup = sequential chunk-cost total / greedy makespan\n\n"
     ));
-    for p in &paths {
-        out.push_str(&format!(
-            "{:<16} {:>4} items, sequential {:>8.2} ms ({} chunk costs)\n",
-            p.name,
-            p.items,
-            p.seq_ns as f64 / 1e6,
-            if p.measured_chunks {
-                "measured"
-            } else {
-                "uniform"
-            }
-        ));
-        for q in &p.points {
-            out.push_str(&format!(
-                "  {:>2} threads: wall {:>8.2} ms, modeled {:>8.2} ms ({:>5.2}x), {}\n",
-                q.threads,
-                q.wall_ns as f64 / 1e6,
-                q.modeled_wall_ns as f64 / 1e6,
-                q.modeled_speedup,
-                if q.identical {
-                    "bit-identical"
-                } else {
-                    "DIVERGED"
-                }
-            ));
+    out.push_str(&np_bench::harness::formats::live_table(&report));
+    out.push_str("\nmodeled speedup:\n");
+    for c in &report.cells {
+        if let Some(s) = c.metrics.get("modeled_speedup") {
+            out.push_str(&format!("  {:<24} {s:.2}x\n", c.id));
         }
     }
     out.push_str(&format!(
-        "\naudit: {}\nsummary written to {}\n",
+        "\naudit: {}\nsummary written to {} ({})\n",
         if audit_ok {
             "every pooled result bit-identical to sequential"
         } else {
             "DIVERGENCE detected"
         },
-        cli.out
+        cli.out,
+        np_bench::harness::BENCH_SCHEMA,
     ));
     if cli.smoke {
         if audit_ok {
@@ -525,6 +218,176 @@ fn bench_parallel_cmd(cli: &Cli) -> Result<String, String> {
             return Err(format!("bench-parallel --smoke failed:\n{out}"));
         }
     }
+    Ok(out)
+}
+
+/// `np bench`: the matrix harness front-end. The first positional word
+/// picks the mode: `run` (default) executes a `--config` matrix (or the
+/// built-in smoke matrix) and writes the `np-bench/1` report plus
+/// optional `--md`/`--csv` renderings; `diff <baseline>` gates a current
+/// run against a committed baseline (regressions exit 2); `migrate
+/// <file>` folds legacy artifacts into the unified schema; `trend
+/// <history>` renders (and with `--append` extends) a JSONL run history.
+fn bench_cmd(cli: &Cli) -> Result<String, String> {
+    let mode = cli.positional.first().map(String::as_str).unwrap_or("run");
+    match mode {
+        "run" => bench_run(cli),
+        "diff" => bench_diff(cli),
+        "migrate" => bench_migrate(cli),
+        "trend" => bench_trend(cli),
+        other => Err(format!(
+            "bench: unknown mode '{other}' (run | diff | migrate | trend)"
+        )),
+    }
+}
+
+/// Loads `--config` (TOML subset or JSON), or the built-in smoke matrix.
+fn bench_load_config(cli: &Cli) -> Result<np_bench::harness::MatrixConfig, String> {
+    let cfg = match &cli.config {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("bench: cannot read config '{path}': {e}"))?;
+            np_bench::harness::MatrixConfig::parse(&text)
+                .map_err(|e| format!("bench: config '{path}': {e}"))?
+        }
+        None => np_bench::harness::MatrixConfig::smoke(),
+    };
+    cfg.validate().map_err(|e| format!("bench: {e}"))
+}
+
+/// Runs the configured matrix with `--threads` outer parallelism.
+fn bench_execute(cli: &Cli) -> Result<np_bench::harness::BenchReport, String> {
+    np_bench::harness::run_matrix(&bench_load_config(cli)?, cli.threads.max(1))
+}
+
+/// Reads an `np-bench/1` report from disk.
+fn bench_read_report(path: &str) -> Result<np_bench::harness::BenchReport, String> {
+    let json =
+        std::fs::read_to_string(path).map_err(|e| format!("bench: cannot read '{path}': {e}"))?;
+    np_bench::harness::BenchReport::from_json(&json).map_err(|e| format!("bench: '{path}': {e}"))
+}
+
+/// Writes the optional `--md` / `--csv` renderings of a report.
+fn bench_write_renderings(
+    cli: &Cli,
+    report: &np_bench::harness::BenchReport,
+    out: &mut String,
+) -> Result<(), String> {
+    if let Some(md) = &cli.md {
+        std::fs::write(md, np_bench::harness::formats::markdown(report))
+            .map_err(|e| format!("bench: cannot write '{md}': {e}"))?;
+        out.push_str(&format!("markdown written to {md}\n"));
+    }
+    if let Some(csv) = &cli.csv {
+        std::fs::write(csv, np_bench::harness::formats::csv(report))
+            .map_err(|e| format!("bench: cannot write '{csv}': {e}"))?;
+        out.push_str(&format!("csv written to {csv}\n"));
+    }
+    Ok(())
+}
+
+fn bench_run(cli: &Cli) -> Result<String, String> {
+    let report = bench_execute(cli)?;
+    std::fs::write(&cli.out, report.to_json_pretty()?)
+        .map_err(|e| format!("bench: cannot write '{}': {e}", cli.out))?;
+    let mut out = np_bench::harness::formats::live_table(&report);
+    out.push_str(&format!(
+        "report written to {} ({})\n",
+        cli.out,
+        np_bench::harness::BENCH_SCHEMA
+    ));
+    bench_write_renderings(cli, &report, &mut out)?;
+    if cli.smoke {
+        if report.audit_ok() {
+            out.push_str("smoke: OK\n");
+        } else {
+            return Err(format!(
+                "bench --smoke failed: a cell audit diverged\n{out}"
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn bench_diff(cli: &Cli) -> Result<String, String> {
+    let baseline_path = cli
+        .baseline
+        .clone()
+        .or_else(|| cli.positional.get(1).cloned())
+        .ok_or("bench diff needs a baseline (`np bench diff <baseline.json>` or --baseline)")?;
+    let baseline = bench_read_report(&baseline_path)?;
+    let current = match &cli.current {
+        Some(path) => bench_read_report(path)?,
+        None => bench_execute(cli)?,
+    };
+    let d = np_bench::harness::diff_reports(&baseline, &current, cli.noise_pct, cli.alpha);
+    let mut out = np_bench::harness::formats::diff_table(&d);
+    if let Some(md) = &cli.md {
+        std::fs::write(md, np_bench::harness::formats::diff_markdown(&d))
+            .map_err(|e| format!("bench: cannot write '{md}': {e}"))?;
+        out.push_str(&format!("markdown written to {md}\n"));
+    }
+    // A failing gate surfaces as Err, which main maps to exit code 2 —
+    // the CI contract.
+    match np_bench::harness::gate(&d) {
+        Ok(()) => Ok(format!("{out}\ngate: OK ({} cell(s))\n", d.cells.len())),
+        Err(e) => Err(format!("{out}\n{e}")),
+    }
+}
+
+fn bench_migrate(cli: &Cli) -> Result<String, String> {
+    let input = cli
+        .positional
+        .get(1)
+        .ok_or("bench migrate needs an input file (`np bench migrate <legacy.json>`)")?;
+    let json =
+        std::fs::read_to_string(input).map_err(|e| format!("bench: cannot read '{input}': {e}"))?;
+    let report = np_bench::harness::migrate::migrate_json(&json)?;
+    std::fs::write(&cli.out, report.to_json_pretty()?)
+        .map_err(|e| format!("bench: cannot write '{}': {e}", cli.out))?;
+    Ok(format!(
+        "migrated {} ({} cell(s), tool {}) -> {} ({})\n",
+        input,
+        report.cells.len(),
+        report.bench_meta.tool,
+        cli.out,
+        np_bench::harness::BENCH_SCHEMA
+    ))
+}
+
+fn bench_trend(cli: &Cli) -> Result<String, String> {
+    use np_bench::harness::trend;
+    let history_path = cli
+        .append
+        .clone()
+        .or_else(|| cli.positional.get(1).cloned())
+        .ok_or(
+            "bench trend needs a history file (`np bench trend <history.jsonl>` or --append FILE)",
+        )?;
+    let mut history = match std::fs::read_to_string(&history_path) {
+        Ok(text) => text,
+        // --append bootstraps a missing history file.
+        Err(_) if cli.append.is_some() => String::new(),
+        Err(e) => return Err(format!("bench: cannot read '{history_path}': {e}")),
+    };
+    let mut out = String::new();
+    if cli.append.is_some() {
+        let run = match &cli.current {
+            Some(path) => bench_read_report(path)?,
+            None => bench_execute(cli)?,
+        };
+        history = trend::append_run(&history, &run)?;
+        std::fs::write(&history_path, &history)
+            .map_err(|e| format!("bench: cannot write '{history_path}': {e}"))?;
+        out.push_str(&format!("appended run to {history_path}\n"));
+    }
+    let runs = trend::parse_history(&history)?;
+    if let Some(md) = &cli.md {
+        std::fs::write(md, trend::trend_markdown(&runs))
+            .map_err(|e| format!("bench: cannot write '{md}': {e}"))?;
+        out.push_str(&format!("markdown written to {md}\n"));
+    }
+    out.push_str(&trend::render_trend(&runs));
     Ok(out)
 }
 
@@ -615,8 +478,10 @@ fn loadgen_cmd(cli: &Cli) -> Result<String, String> {
         handle.stop();
     }
     let summary = result.map_err(|e| format!("loadgen: {e}"))?;
-    let json = serde_json::to_string_pretty(&summary).map_err(|e| format!("loadgen: {e}"))?;
-    std::fs::write(&cli.out, json + "\n")
+    // The artifact goes through the unified np-bench/1 schema (one
+    // loadgen cell), so `np bench diff`/`trend` read it directly.
+    let report = np_bench::harness::migrate::from_load_summary(&summary)?;
+    std::fs::write(&cli.out, report.to_json_pretty()?)
         .map_err(|e| format!("loadgen: cannot write '{}': {e}", cli.out))?;
     let mut out = format!(
         "== indicator-exchange load ==\n\
@@ -1406,13 +1271,16 @@ mod tests {
         assert!(out.contains("smoke: OK"), "{out}");
         assert!(out.contains("errors                0"), "{out}");
         assert!(out.contains("consistent with direct np-models evaluation"));
+        // The artifact is the unified np-bench/1 schema: one loadgen cell.
         let json = std::fs::read_to_string(&out_path).unwrap();
-        let summary: np_serve::LoadSummary = serde_json::from_str(&json).unwrap();
-        assert_eq!(summary.errors, 0);
-        assert_eq!(summary.clients, 8);
-        assert!(summary.cache_hits > 0);
-        assert!(summary.transfer_consistent);
-        assert!(summary.smoke_ok());
+        let report = np_bench::harness::BenchReport::from_json(&json).unwrap();
+        assert_eq!(report.bench_meta.tool, "loadgen");
+        assert_eq!(report.cells.len(), 1);
+        let cell = &report.cells[0];
+        assert_eq!(cell.id, "loadgen/t8");
+        assert_eq!(cell.workload, "loadgen");
+        assert!(cell.audit_ok, "smoke invariants map to the cell audit");
+        assert!(cell.metrics["frames_per_sec"] > 0.0);
         std::fs::remove_file(&out_path).unwrap();
     }
 
@@ -1442,14 +1310,20 @@ mod tests {
         ] {
             assert!(out.contains(path), "missing path {path} in {out}");
         }
+        // The artifact is the unified np-bench/1 schema with the
+        // bench-parallel tool tag, one cell per (path, thread count).
         let json = std::fs::read_to_string(&out_path).unwrap();
-        assert!(json.contains("\"schema\": \"bench-parallel/2\""), "{json}");
-        assert!(json.contains("\"bench_meta\""), "{json}");
-        assert!(json.contains("\"tool\":\"bench-parallel\""), "{json}");
-        assert!(json.contains("\"audit_ok\": true"), "{json}");
-        assert!(json.contains("\"campaign_modeled_speedup_4t\""), "{json}");
-        assert!(json.contains("\"bit_identical\": true"), "{json}");
-        assert!(!json.contains("\"bit_identical\": false"), "{json}");
+        let report = np_bench::harness::BenchReport::from_json(&json).unwrap();
+        assert_eq!(report.bench_meta.tool, "bench-parallel");
+        assert!(report.audit_ok(), "every pooled cell must audit clean");
+        assert!(report.cells.iter().any(|c| c.id.starts_with("campaign/t")));
+        // Pooled drivers carry the makespan model; the single-pass sweeps
+        // (phasen-scan, correlate-sweep) legitimately do not.
+        assert!(report
+            .cells
+            .iter()
+            .filter(|c| c.id.starts_with("campaign/") || c.id.starts_with("analysis-sweep/"))
+            .all(|c| c.metrics.contains_key("modeled_speedup")));
         std::fs::remove_file(&out_path).unwrap();
     }
 

@@ -73,11 +73,20 @@ COMMANDS:
     serve       run the indicator-exchange server (put/query/predict over
                 line-delimited JSON frames)
     loadgen     benchmark an exchange: seeded concurrent load, cache-hit
-                speedup and cross-machine transfer audit (BENCH_serve.json)
+                speedup and cross-machine transfer audit (np-bench/1
+                artifact)
     bench-parallel
                 benchmark the deterministic worker pool: sequential vs
                 2/4/N threads on every pooled path, with a bit-equality
-                audit (BENCH_parallel.json)
+                audit (np-bench/1 artifact)
+    bench       matrix benchmark harness: `bench [run]` executes a
+                declarative workload x threads matrix (--config FILE,
+                default: the built-in smoke matrix) with warmup + repeat
+                sampling; `bench diff BASELINE` gates a run against a
+                committed baseline (Welch t-test inside a noise band,
+                regressions exit 2); `bench migrate FILE` converts
+                legacy BENCH_* artifacts; `bench trend HISTORY` renders
+                a JSONL run history
     run         sampled measurement campaign: per-node time-series
                 capture with phase attribution (needs --sample; writes
                 CAPTURE.json, --timeline FILE for the pool gantt)
@@ -116,10 +125,21 @@ OPTIONS:
     --frames N         loadgen: frames per session (default 40)
     --smoke            loadgen: fail unless the run is error-free, the
                        cache was exercised and the transfer audit passed;
-                       bench-parallel: fail unless every pooled result is
-                       bit-identical to the sequential one
-    --out FILE         loadgen / bench-parallel: summary path (defaults
-                       BENCH_serve.json / BENCH_parallel.json)
+                       bench-parallel / bench: fail unless every cell
+                       audit (bit-equality vs sequential) held
+    --out FILE         loadgen / bench-parallel / bench: artifact path
+                       (defaults BENCH_serve.json / BENCH_parallel.json /
+                       BENCH_matrix.json)
+    --config FILE      bench: matrix config, TOML subset or JSON
+    --baseline FILE    bench diff: baseline report (or first positional)
+    --current FILE     bench diff/trend: pre-recorded current report
+                       (default: run the configured matrix)
+    --noise PCT        bench diff: noise band in percent (default 15)
+    --alpha P          bench diff: Welch significance level (default 0.01)
+    --md FILE          bench: also write the markdown rendering
+    --csv FILE         bench: also write the CSV rendering
+    --append FILE      bench trend: append the current run to this
+                       JSONL history, then render it
     --shards N         serve/loadgen: store shards (default 8)
     --cache-cap N      serve/loadgen: prediction-cache entries (default 128)
     --workers N        serve/loadgen: worker threads (default 4)
@@ -137,6 +157,8 @@ EXAMPLES:
     numa-perf-tools memhist --workload sift --machine dl580
     numa-perf-tools sweep --workload sort --size 65536
     numa-perf-tools balance --workload stream-bound
+    numa-perf-tools bench --smoke --out current.json
+    numa-perf-tools bench diff baselines/ci.json --current current.json
 
 HELP TOPICS:
     numa-perf-tools help telemetry     observing the tools themselves
@@ -147,6 +169,8 @@ HELP TOPICS:
     numa-perf-tools help serve         the indicator-exchange service
     numa-perf-tools help loadgen       benchmarking the exchange
     numa-perf-tools help parallel      deterministic worker-pool execution
+    numa-perf-tools help bench         the matrix harness and the
+                                       regression gate
     numa-perf-tools help top           the live telemetry view
     numa-perf-tools help report        captures and the HTML report
 "
@@ -321,9 +345,11 @@ RULES:
                        in the simulator, the fault plan, the worker
                        pool (crates/parallel/src), the time-series
                        sampler (captures are timestamped in simulated
-                       cycles) and `np top` — seeded determinism is the
-                       whole point; pool timings flow through
-                       np_telemetry::now_ns for reporting only
+                       cycles), `np top` and the bench matrix harness
+                       (crates/bench/src/harness) — seeded determinism
+                       is the whole point; pool and harness timings
+                       flow through np_telemetry::now_ns for reporting
+                       only
 
 OUTPUT:
     file.rs:LINE: [rule] message       (text, one finding per line)
@@ -389,8 +415,12 @@ pub fn loadgen_help() -> &'static str {
 =========================
 
 `loadgen` drives a seeded, deterministic workload against an exchange
-and writes BENCH_serve.json so later changes have a perf trajectory to
-beat. Without --addr it boots an in-process server first.
+and writes its artifact (default BENCH_serve.json) in the unified
+np-bench/1 schema — one `loadgen/t<clients>` cell — so `np bench diff`
+and `np bench trend` read it directly. Without --addr it boots an
+in-process server first. The hammer phase starts its client sessions
+behind a barrier, so the throughput window covers N genuinely
+concurrent sessions rather than a spawn ramp.
 
     numa-perf-tools loadgen [--addr HOST:PORT] [--clients N]
                             [--frames N] [--seed N] [--smoke]
@@ -449,16 +479,79 @@ FAILURE SEMANTICS:
 
 BENCHMARK:
     numa-perf-tools bench-parallel [--smoke] [--out FILE]
-    writes BENCH_parallel.json: per path, sequential wall time vs
-    1/2/4/N threads, a modeled speedup (greedy makespan of the
-    sequential chunk costs — meaningful even on a single-core CI
-    host), and a bit-equality audit. --smoke gates ONLY the audit;
-    speedups are reported, never gated.
+    runs every pooled path at 1/2/4/N threads through the `np bench`
+    matrix harness and writes the unified np-bench/1 artifact (default
+    BENCH_parallel.json): per cell, wall-time samples, a modeled
+    speedup (greedy makespan of the sequential chunk costs —
+    meaningful even on a single-core CI host), and a bit-equality
+    audit. --smoke gates ONLY the audit; speedups are reported, never
+    gated. Legacy bench-parallel/{1,2} artifacts convert with
+    `numa-perf-tools bench migrate FILE`.
 
 TELEMETRY (with --telemetry FILE):
     par.tasks      chunks executed
     par.steal      chunks executed beyond a worker's fair share
     par.idle_ns    per-pop idle time histogram
+"
+}
+
+/// The `help bench` topic: the matrix harness and the regression gate.
+pub fn bench_help() -> &'static str {
+    "The matrix benchmark harness
+============================
+
+`bench` runs a declarative matrix of workload x threads x params cells
+with warmup + repeat sampling and writes one versioned np-bench/1 JSON
+report. One schema for every benchmark artifact: the matrix harness,
+`bench-parallel` and `loadgen` all emit it, and the diff/trend tooling
+reads every era (legacy artifacts via `bench migrate`).
+
+    numa-perf-tools bench [run] [--config FILE] [--threads N]
+                          [--out FILE] [--md FILE] [--csv FILE] [--smoke]
+    numa-perf-tools bench diff BASELINE [--current FILE] [--config FILE]
+                          [--noise PCT] [--alpha P] [--md FILE]
+    numa-perf-tools bench migrate LEGACY.json [--out FILE]
+    numa-perf-tools bench trend HISTORY.jsonl | --append HISTORY.jsonl
+
+CONFIG (TOML subset or JSON):
+    machine = \"two-socket\"        # dl580 | two-socket | ring | file.json
+    warmup  = 1                   # unrecorded runs per cell
+    repeats = 3                   # recorded samples per cell
+    seed    = 1
+    threads = [1, 2, 4]           # global thread axis
+
+    [[cell]]
+    workload = \"campaign\"         # campaign | memhist-ladder |
+    size     = 48                 # phasen-scan | correlate-sweep |
+    reps     = 6                  # analysis-sweep | loadgen
+
+    Any numeric key becomes a cell param; a per-cell `threads = [...]`
+    overrides the global axis. Without --config, the built-in smoke
+    matrix runs every driver at small sizes (the CI gate shape).
+
+DETERMINISM CONTRACT:
+    Everything except the wall-time samples is a pure function of
+    (config, seed, machine): cell identity, result digests, audits and
+    det_-prefixed metrics. --threads is outer parallelism across cells
+    (cells merge in matrix order); it can change wall times, never the
+    report structure. Worker threads inside a cell start behind a
+    barrier so samples never fold spawn skew into the measured wall.
+
+THE DIFF GATE (CI):
+    Deterministic fields hard-fail on any change: a missing cell, a
+    digest change, a failed audit, a drifted det_ metric. Wall time is
+    judged statistically: a cell regresses only when its mean moved
+    outside the noise band (--noise, percent) AND Welch's t-test calls
+    the shift significant at --alpha. Single-sample baselines (migrated
+    legacy artifacts) gate on the band alone. Regressions exit 2;
+    improvements and new cells pass. Committed baselines live under
+    baselines/ (see EXPERIMENTS.md for the recording procedure).
+
+TREND:
+    `bench trend --append HISTORY.jsonl` appends the current run as one
+    compact JSON line and renders a per-cell mean-ms table across runs
+    with an oldest->newest drift column — the nightly workflow keeps
+    this file as its bench-history artifact.
 "
 }
 
@@ -588,6 +681,28 @@ mod tests {
         }
         // The telemetry topic names the pool's metric family.
         assert!(super::telemetry_help().contains("par."));
+    }
+
+    #[test]
+    fn help_topics_cover_the_bench_harness() {
+        assert!(super::usage().contains("help bench"));
+        assert!(super::usage().contains("BENCH_matrix.json"));
+        assert!(super::usage().contains("--noise"));
+        for term in [
+            "np-bench/1",
+            "[[cell]]",
+            "Welch",
+            "--alpha",
+            "baselines/",
+            "bench migrate",
+            "--append",
+            "DETERMINISM CONTRACT",
+        ] {
+            assert!(super::bench_help().contains(term), "missing term {term}");
+        }
+        // The sibling topics point at the unified schema too.
+        assert!(super::loadgen_help().contains("np-bench/1"));
+        assert!(super::parallel_help().contains("np-bench/1"));
     }
 
     #[test]

@@ -1,83 +1,10 @@
 //! The CLI's workload registry.
+//!
+//! The name-to-workload table itself lives in `np_workloads::registry`
+//! (shared with the `np bench` matrix harness); this module re-exports it
+//! and keeps the CLI-presentation extras (region and object names).
 
-use np_simulator::MachineConfig;
-use np_workloads::cache_miss::CacheMissKernel;
-use np_workloads::graph::BfsKernel;
-use np_workloads::matmul::TiledMatmul;
-use np_workloads::mlc::LatencyChecker;
-use np_workloads::parallel_sort::ParallelSortKernel;
-use np_workloads::phases::PhaseTraceKernel;
-use np_workloads::sift::SiftKernel;
-use np_workloads::stream::StreamTriad;
-use np_workloads::Workload;
-
-/// All registry names, for help output and error messages.
-pub const NAMES: [&str; 16] = [
-    "row-major",
-    "column-major",
-    "sort",
-    "sift",
-    "sift-naive",
-    "mlc-local",
-    "mlc-remote",
-    "stream-local",
-    "stream-bound",
-    "stream-interleaved",
-    "chrome",
-    "bsp",
-    "matmul",
-    "bfs",
-    "bfs-bound",
-    "bfs-interleaved",
-];
-
-/// Builds a workload by registry name.
-///
-/// `size` falls back to a per-workload default chosen to finish in seconds
-/// on the DL580 preset; `threads` applies where the workload is parallel.
-pub fn build(
-    name: &str,
-    size: Option<usize>,
-    threads: usize,
-    machine: &MachineConfig,
-) -> Result<Box<dyn Workload>, String> {
-    let _ = machine;
-    let t = threads.max(1);
-    Ok(match name {
-        "row-major" => Box::new(CacheMissKernel::row_major(size.unwrap_or(1024))),
-        "column-major" => Box::new(CacheMissKernel::column_major(size.unwrap_or(1024))),
-        "sort" => Box::new(ParallelSortKernel::new(size.unwrap_or(64 * 1024), t)),
-        "sift" => Box::new(SiftKernel::optimized(size.unwrap_or(2048), t)),
-        "sift-naive" => Box::new(SiftKernel::naive(size.unwrap_or(2048), t)),
-        "mlc-local" => Box::new(LatencyChecker::new(
-            0,
-            0,
-            (size.unwrap_or(8 << 20)) as u64,
-            8000,
-        )),
-        "mlc-remote" => Box::new(LatencyChecker::remote_injector(
-            (size.unwrap_or(8 << 20)) as u64,
-            8000,
-        )),
-        "stream-local" => Box::new(StreamTriad::local(size.unwrap_or(96 * 1024), t)),
-        "stream-bound" => Box::new(StreamTriad::bound(size.unwrap_or(96 * 1024), t, 0)),
-        "stream-interleaved" => Box::new(StreamTriad::interleaved(size.unwrap_or(96 * 1024), t)),
-        "chrome" => Box::new(PhaseTraceKernel::chrome_startup()),
-        "bsp" => Box::new(PhaseTraceKernel::bsp_supersteps(3)),
-        "matmul" => Box::new(TiledMatmul::new(size.unwrap_or(128), t)),
-        "bfs" => Box::new(BfsKernel::new(size.unwrap_or(64 * 1024), 8, t)),
-        "bfs-bound" => Box::new(BfsKernel::new(size.unwrap_or(64 * 1024), 8, t).bound(0)),
-        "bfs-interleaved" => {
-            Box::new(BfsKernel::new(size.unwrap_or(64 * 1024), 8, t).interleaved())
-        }
-        other => {
-            return Err(format!(
-                "unknown workload '{other}' (expected one of: {})",
-                NAMES.join(", ")
-            ))
-        }
-    })
-}
+pub use np_workloads::registry::{build, NAMES};
 
 /// Region names for `annotate`, where a workload declares regions.
 pub fn region_names(name: &str) -> Vec<(u32, &'static str)> {
@@ -114,25 +41,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn every_registered_name_builds() {
-        let machine = MachineConfig::two_socket_small();
-        for name in NAMES {
-            // Small sizes so the test stays fast.
-            let w = build(name, Some(64), 2, &machine).unwrap_or_else(|e| panic!("{name}: {e}"));
-            let p = w.build(&machine);
-            assert!(p.total_ops() > 0, "{name} produced an empty program");
-            p.validate(&machine.topology).unwrap();
-        }
-    }
-
-    #[test]
-    fn unknown_name_lists_alternatives() {
-        let machine = MachineConfig::two_socket_small();
-        let err = match build("quicksort", None, 1, &machine) {
-            Err(e) => e,
-            Ok(_) => panic!("unknown workload accepted"),
-        };
-        assert!(err.contains("row-major"));
+    fn registry_reexport_builds() {
+        let machine = np_simulator::MachineConfig::two_socket_small();
+        assert!(build("row-major", Some(64), 1, &machine).is_ok());
+        assert!(NAMES.contains(&"matmul"));
     }
 
     #[test]

@@ -11,6 +11,7 @@ fn main() {
             Some("serve") => print!("{}", numa_perf_tools::cli::serve_help()),
             Some("loadgen") => print!("{}", numa_perf_tools::cli::loadgen_help()),
             Some("parallel") => print!("{}", numa_perf_tools::cli::parallel_help()),
+            Some("bench") => print!("{}", numa_perf_tools::cli::bench_help()),
             Some("top") => print!("{}", numa_perf_tools::cli::top_help()),
             Some("report") => print!("{}", numa_perf_tools::cli::report_help()),
             _ => print!("{}", numa_perf_tools::cli::usage()),

@@ -1,0 +1,149 @@
+//! End-to-end contract of the `np bench` matrix harness: the
+//! deterministic half of a report (cell identity, digests, audits,
+//! `det_` metrics) must be byte-stable across harness thread counts and
+//! across re-runs, the diff gate must pass an identical re-run and fail
+//! an injected regression, and every rendering of a report must survive
+//! a round trip. Everything here drives the public `np_bench::harness`
+//! API plus the real CLI entry point (`numa_perf_tools::cli::run`), the
+//! same paths CI exercises.
+
+use np_bench::harness::{
+    diff_reports, formats, gate, migrate, run_matrix, BenchReport, MatrixConfig, Verdict,
+    BENCH_SCHEMA,
+};
+
+fn smoke_report(harness_threads: usize) -> BenchReport {
+    run_matrix(&MatrixConfig::smoke(), harness_threads).expect("smoke matrix must run")
+}
+
+#[test]
+fn structure_is_deterministic_across_harness_threads() {
+    // The harness thread count is an execution detail: it schedules the
+    // matrix cells, it must never leak into what the cells compute.
+    let reference = smoke_report(1);
+    assert_eq!(reference.schema, BENCH_SCHEMA);
+    assert!(reference.audit_ok(), "smoke cells must audit clean");
+    assert!(
+        reference.cells.len() >= 6,
+        "smoke matrix covers all drivers"
+    );
+    for threads in [2, 8] {
+        let got = smoke_report(threads);
+        assert_eq!(
+            got.structure_digest(),
+            reference.structure_digest(),
+            "structure diverged at {threads} harness threads"
+        );
+        // Cell order is matrix order, not completion order.
+        let ids: Vec<&str> = got.cells.iter().map(|c| c.id.as_str()).collect();
+        let ref_ids: Vec<&str> = reference.cells.iter().map(|c| c.id.as_str()).collect();
+        assert_eq!(ids, ref_ids);
+    }
+}
+
+#[test]
+fn diff_gate_passes_identical_reruns_and_fails_injected_regressions() {
+    let base = smoke_report(2);
+    // Self-diff: every cell ok, gate passes.
+    let clean = diff_reports(&base, &base.clone(), 15.0, 0.01);
+    assert!(clean.cells.iter().all(|c| c.verdict == Verdict::Ok));
+    assert!(gate(&clean).is_ok());
+
+    // Inject a tight, repeatable 5x slowdown into one cell. Timing is
+    // the one measured (non-deterministic) field, so the test pins the
+    // samples itself rather than trusting container wall clocks.
+    let mut tight_base = base.clone();
+    let mut tight_cur = base;
+    for (b, c) in tight_base.cells.iter_mut().zip(tight_cur.cells.iter_mut()) {
+        b.samples_ns = vec![5_000_000, 5_010_000, 4_990_000];
+        b.finalize();
+        c.samples_ns = b.samples_ns.clone();
+        c.finalize();
+    }
+    let victim = tight_cur.cells[0].id.clone();
+    tight_cur.cells[0].samples_ns = vec![25_000_000, 25_050_000, 24_950_000];
+    tight_cur.cells[0].finalize();
+    let diff = diff_reports(&tight_base, &tight_cur, 15.0, 0.01);
+    let bad: Vec<_> = diff.failures().iter().map(|c| c.id.clone()).collect();
+    assert_eq!(bad, vec![victim.clone()]);
+    let err = gate(&diff).expect_err("a 5x repeatable slowdown must fail the gate");
+    assert!(err.contains(&victim), "{err}");
+    assert!(err.contains("REGRESSED"), "{err}");
+
+    // A digest flip is a hard failure even with identical timing.
+    let mut forged = tight_base.clone();
+    forged.cells[0].digest = "0000000000000000".to_string();
+    let diff = diff_reports(&tight_base, &forged, 15.0, 0.01);
+    assert_eq!(diff.failures().len(), 1);
+    assert_eq!(diff.failures()[0].verdict, Verdict::DigestChanged);
+}
+
+#[test]
+fn formats_round_trip_and_render_every_cell() {
+    let report = smoke_report(2);
+    // JSON: parse(to_json) reproduces the report exactly.
+    let parsed = BenchReport::from_json(&report.to_json_pretty().unwrap()).unwrap();
+    assert_eq!(parsed, report);
+    // CSV: parse(render) reproduces the rows, and re-rendering those
+    // rows is byte-identical.
+    let csv = formats::csv(&report);
+    let rows = formats::parse_csv(&csv).unwrap();
+    assert_eq!(rows.len(), report.cells.len());
+    let rerendered: String = std::iter::once(formats::CSV_HEADER.to_string())
+        .chain(rows.iter().map(formats::render_csv_row))
+        .map(|l| l + "\n")
+        .collect();
+    assert_eq!(rerendered, csv);
+    // Table and markdown name every cell.
+    let table = formats::live_table(&report);
+    let md = formats::markdown(&report);
+    for cell in &report.cells {
+        assert!(table.contains(&cell.id), "table missing {}", cell.id);
+        assert!(md.contains(&cell.id), "markdown missing {}", cell.id);
+    }
+}
+
+#[test]
+fn legacy_artifacts_migrate_and_diff_cleanly_against_themselves() {
+    // The two committed legacy schemas keep working through the shim:
+    // migration is idempotent and a migrated report self-diffs green.
+    for path in ["BENCH_parallel.json", "BENCH_serve.json"] {
+        let json = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let report = migrate::migrate_json(&json).unwrap_or_else(|e| panic!("{path}: {e}"));
+        assert_eq!(report.schema, BENCH_SCHEMA);
+        assert!(!report.cells.is_empty(), "{path} migrated to zero cells");
+        let again = migrate::migrate_json(&report.to_json_pretty().unwrap()).unwrap();
+        assert_eq!(again, report, "{path}: migration is not idempotent");
+        let diff = diff_reports(&report, &report.clone(), 15.0, 0.01);
+        assert!(gate(&diff).is_ok(), "{path}: migrated self-diff failed");
+    }
+}
+
+#[test]
+fn cli_run_diff_and_migrate_share_one_schema() {
+    let cli = |args: &[&str]| {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        numa_perf_tools::cli::run(&owned)
+    };
+    let dir = std::env::temp_dir().join(format!("np-bench-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("run.json");
+    let out_s = out.to_str().unwrap();
+
+    // `np bench` (smoke) writes a gate-ready np-bench/1 artifact...
+    let text = cli(&["bench", "--smoke", "--out", out_s]).unwrap();
+    assert!(text.contains("smoke: OK"), "{text}");
+    let report = BenchReport::from_json(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(report.schema, BENCH_SCHEMA);
+
+    // ...which `np bench diff` accepts as both baseline and current.
+    let text = cli(&["bench", "diff", out_s, "--current", out_s]).unwrap();
+    assert!(text.contains("gate: OK"), "{text}");
+
+    // `np bench migrate` on a current-schema file is a clean pass-through.
+    let mig = dir.join("mig.json");
+    cli(&["bench", "migrate", out_s, "--out", mig.to_str().unwrap()]).unwrap();
+    let migrated = BenchReport::from_json(&std::fs::read_to_string(&mig).unwrap()).unwrap();
+    assert_eq!(migrated, report);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
