@@ -1,0 +1,388 @@
+//! The committed baseline-suppression file.
+//!
+//! `np audit` gates on **new** findings only: legacy findings a PR cannot
+//! reasonably fix are recorded in `audit-baseline.json` (schema
+//! `np-audit-baseline/1`) and matched by `{rule, path, contains}`. A
+//! suppression that matches nothing is *stale* and reported as a warning
+//! so the file shrinks as debt is paid down — it never silently grows
+//! meaning. The parser is a minimal hand-rolled JSON reader (the
+//! workspace is dependency-free); it accepts exactly the flat shape the
+//! schema defines and rejects anything else with a position-carrying
+//! error.
+
+use super::AuditFinding;
+
+/// The baseline schema version this build reads.
+pub const BASELINE_VERSION: &str = "np-audit-baseline/1";
+
+/// One suppression entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule id the suppression applies to (must match exactly).
+    pub rule: String,
+    /// Workspace-relative path (must match exactly).
+    pub path: String,
+    /// Substring the finding message must contain (empty = any message).
+    pub contains: String,
+    /// Why the finding is tolerated — for humans, never matched.
+    pub reason: String,
+}
+
+impl Suppression {
+    /// Whether this entry suppresses `f`.
+    pub fn matches(&self, f: &AuditFinding) -> bool {
+        self.rule == f.rule
+            && self.path == f.path
+            && (self.contains.is_empty() || f.message.contains(&self.contains))
+    }
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Suppressions in file order.
+    pub entries: Vec<Suppression>,
+}
+
+impl Baseline {
+    /// The empty baseline (used when no file is given).
+    pub fn empty() -> Baseline {
+        Baseline::default()
+    }
+
+    /// Parses the `np-audit-baseline/1` JSON document.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let top = json::parse(text)?;
+        let obj = top
+            .as_obj()
+            .ok_or("baseline: top level must be an object")?;
+        let version = obj
+            .iter()
+            .find(|(k, _)| k == "version")
+            .and_then(|(_, v)| v.as_str())
+            .ok_or("baseline: missing string field `version`")?;
+        if version != BASELINE_VERSION {
+            return Err(format!(
+                "baseline: unsupported version `{version}` (this build reads {BASELINE_VERSION})"
+            ));
+        }
+        let list = obj
+            .iter()
+            .find(|(k, _)| k == "suppressions")
+            .and_then(|(_, v)| v.as_arr())
+            .ok_or("baseline: missing array field `suppressions`")?;
+        let mut entries = Vec::with_capacity(list.len());
+        for (i, item) in list.iter().enumerate() {
+            let fields = item
+                .as_obj()
+                .ok_or_else(|| format!("baseline: suppression #{i} is not an object"))?;
+            let mut s = Suppression::default();
+            for (k, v) in fields {
+                let val = v
+                    .as_str()
+                    .ok_or_else(|| format!("baseline: suppression #{i} field `{k}` not a string"))?
+                    .to_string();
+                match k.as_str() {
+                    "rule" => s.rule = val,
+                    "path" => s.path = val,
+                    "contains" => s.contains = val,
+                    "reason" => s.reason = val,
+                    other => {
+                        return Err(format!(
+                            "baseline: suppression #{i} unknown field `{other}`"
+                        ))
+                    }
+                }
+            }
+            if s.rule.is_empty() || s.path.is_empty() {
+                return Err(format!(
+                    "baseline: suppression #{i} needs non-empty `rule` and `path`"
+                ));
+            }
+            entries.push(s);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Marks matched findings suppressed and returns a description of each
+    /// stale (never-matched) entry, in file order.
+    pub fn apply(&self, findings: &mut [AuditFinding]) -> Vec<String> {
+        let mut used = vec![false; self.entries.len()];
+        for f in findings.iter_mut() {
+            for (i, s) in self.entries.iter().enumerate() {
+                if s.matches(f) {
+                    f.suppressed = true;
+                    used[i] = true;
+                }
+            }
+        }
+        self.entries
+            .iter()
+            .zip(&used)
+            .filter(|(_, &u)| !u)
+            .map(|(s, _)| {
+                format!(
+                    "stale suppression: rule={} path={} contains={:?} ({})",
+                    s.rule, s.path, s.contains, s.reason
+                )
+            })
+            .collect()
+    }
+}
+
+/// The minimal JSON subset reader the baseline needs: objects, arrays,
+/// strings (with escapes), and skip-parsing for numbers/bools/null.
+mod json {
+    pub enum Val {
+        Str(String),
+        Arr(Vec<Val>),
+        Obj(Vec<(String, Val)>),
+        Other,
+    }
+
+    impl Val {
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Val::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_arr(&self) -> Option<&[Val]> {
+            match self {
+                Val::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+        pub fn as_obj(&self) -> Option<&[(String, Val)]> {
+            match self {
+                Val::Obj(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Val, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let val = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("baseline: trailing content at byte {pos}"));
+        }
+        Ok(val)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Val, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Val::Str(string(b, pos)?)),
+            Some(_) => {
+                // number / true / false / null — skipped, shape-checked only
+                while *pos < b.len() && !b",]}\t\n\r ".contains(&b[*pos]) {
+                    *pos += 1;
+                }
+                Ok(Val::Other)
+            }
+            None => Err("baseline: unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<Val, String> {
+        *pos += 1; // consume `{`
+        let mut out = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Val::Obj(out));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = string(b, pos)?;
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b':') {
+                return Err(format!("baseline: expected `:` at byte {pos}"));
+            }
+            *pos += 1;
+            out.push((key, value(b, pos)?));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Val::Obj(out));
+                }
+                _ => return Err(format!("baseline: expected `,` or `}}` at byte {pos}")),
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<Val, String> {
+        *pos += 1; // consume `[`
+        let mut out = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Val::Arr(out));
+        }
+        loop {
+            out.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Val::Arr(out));
+                }
+                _ => return Err(format!("baseline: expected `,` or `]` at byte {pos}")),
+            }
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("baseline: expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let start = *pos;
+        let mut out = Vec::new();
+        while *pos < b.len() {
+            match b[*pos] {
+                b'"' => {
+                    *pos += 1;
+                    return String::from_utf8(out)
+                        .map_err(|_| format!("baseline: invalid UTF-8 in string at byte {start}"));
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'n') => out.push(b'\n'),
+                        Some(b't') => out.push(b'\t'),
+                        Some(b'r') => out.push(b'\r'),
+                        Some(b'"') => out.push(b'"'),
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'/') => out.push(b'/'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("baseline: bad \\u escape at byte {pos}"))?;
+                            let c = char::from_u32(hex).unwrap_or('\u{fffd}');
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("baseline: bad escape at byte {pos}")),
+                    }
+                    *pos += 1;
+                }
+                c => {
+                    out.push(c);
+                    *pos += 1;
+                }
+            }
+        }
+        Err(format!("baseline: unterminated string from byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, message: &str) -> AuditFinding {
+        AuditFinding {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            message: message.to_string(),
+            suppressed: false,
+        }
+    }
+
+    #[test]
+    fn parses_and_applies_suppressions() {
+        let text = r#"{
+  "version": "np-audit-baseline/1",
+  "suppressions": [
+    {"rule": "no-panic-reachable", "path": "crates/x/src/lib.rs",
+     "contains": "unwrap", "reason": "legacy; tracked"}
+  ]
+}"#;
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.entries.len(), 1);
+        let mut findings = vec![
+            finding(
+                "no-panic-reachable",
+                "crates/x/src/lib.rs",
+                "`.unwrap()` here",
+            ),
+            finding(
+                "no-panic-reachable",
+                "crates/y/src/lib.rs",
+                "`.unwrap()` there",
+            ),
+        ];
+        let stale = b.apply(&mut findings);
+        assert!(stale.is_empty());
+        assert!(findings[0].suppressed);
+        assert!(!findings[1].suppressed);
+    }
+
+    #[test]
+    fn unmatched_entries_are_stale() {
+        let text = r#"{"version": "np-audit-baseline/1", "suppressions": [
+            {"rule": "lock-order", "path": "gone.rs", "contains": "", "reason": "was fixed"}]}"#;
+        let b = Baseline::parse(text).unwrap();
+        let mut findings = vec![finding("lock-order", "still.rs", "cycle")];
+        let stale = b.apply(&mut findings);
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].contains("gone.rs"));
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_shape() {
+        assert!(
+            Baseline::parse(r#"{"version": "np-audit-baseline/9", "suppressions": []}"#)
+                .unwrap_err()
+                .contains("unsupported version")
+        );
+        assert!(Baseline::parse(r#"{"version": "np-audit-baseline/1"}"#).is_err());
+        assert!(Baseline::parse(
+            r#"{"version": "np-audit-baseline/1", "suppressions": [{"rule": "r"}]}"#
+        )
+        .unwrap_err()
+        .contains("non-empty"));
+        assert!(Baseline::parse("[1, 2]").is_err());
+        assert!(Baseline::parse("{\"a\": \"b\"} trailing").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let text = r#"{"version": "np-audit-baseline/1", "suppressions": [
+            {"rule": "condvar-discipline", "path": "a.rs",
+             "contains": "say \"hi\"\nA", "reason": "x"}]}"#;
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.entries[0].contains, "say \"hi\"\nA");
+    }
+
+    #[test]
+    fn empty_contains_matches_any_message() {
+        let s = Suppression {
+            rule: "lock-order".to_string(),
+            path: "a.rs".to_string(),
+            contains: String::new(),
+            reason: String::new(),
+        };
+        assert!(s.matches(&finding("lock-order", "a.rs", "anything")));
+        assert!(!s.matches(&finding("lock-order", "b.rs", "anything")));
+    }
+}

@@ -1,0 +1,214 @@
+//! The approximate workspace call/symbol graph.
+//!
+//! Nodes are indexed fns; edges come from name matching under a
+//! crate-aware resolution policy. Precise call resolution needs type
+//! information a token scan cannot have, so the graph deliberately
+//! over-approximates — good enough for reachability ("can a panic in this
+//! fn fire under the probe's accept loop?") where a false edge costs a
+//! review and a missed edge costs a crashed campaign. The policy:
+//!
+//! 1. a call resolves to every same-crate fn of that name;
+//! 2. plus every fn of that name in a crate the *file* references by its
+//!    `np_<name>` path (so `pool.run(…)` in a file importing
+//!    `np_parallel` reaches `np-parallel`'s `run`);
+//! 3. a name with no candidate yet resolves globally **only** when it is
+//!    unique across the workspace;
+//! 4. names with more than [`MAX_FANOUT`] candidates resolve to none —
+//!    ubiquitous names (`new`, `len`, `get`) would otherwise connect
+//!    everything to everything and drown the rules in noise.
+
+use super::index::WorkspaceIndex;
+use std::collections::{BTreeMap, VecDeque};
+
+/// A fn's global id: (file index, fn index within the file).
+pub type FnId = (usize, usize);
+
+/// Resolution cap: a callee name matching more fns than this is treated
+/// as unresolvable (too ambiguous to be signal).
+pub const MAX_FANOUT: usize = 8;
+
+/// The call graph over a [`WorkspaceIndex`].
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// Out-edges per fn, deduplicated, in deterministic order.
+    pub edges: BTreeMap<FnId, Vec<FnId>>,
+    /// Total edges (for report summaries).
+    pub edge_count: usize,
+}
+
+impl CallGraph {
+    /// Builds the graph for `ws`.
+    pub fn build(ws: &WorkspaceIndex) -> CallGraph {
+        // Name -> defining fns, in (file, fn) order.
+        let mut defs: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            for (ki, f) in file.fns.iter().enumerate() {
+                defs.entry(f.name.as_str()).or_default().push((fi, ki));
+            }
+        }
+        // Which crates does each file reference (by `np_<x>` mention)?
+        // Crate keys look like `crates/parallel`; the path mention is
+        // `np_parallel`. Build mention -> crate_key from the files seen.
+        let mut crate_of_mention: BTreeMap<String, &str> = BTreeMap::new();
+        for file in &ws.files {
+            if let Some(name) = file.crate_key.strip_prefix("crates/") {
+                crate_of_mention.insert(format!("np_{}", name.replace('-', "_")), &file.crate_key);
+            }
+        }
+
+        let mut edges: BTreeMap<FnId, Vec<FnId>> = BTreeMap::new();
+        let mut edge_count = 0usize;
+        for (fi, file) in ws.files.iter().enumerate() {
+            // Crates this file references in code.
+            let referenced: Vec<&str> = crate_of_mention
+                .iter()
+                .filter(|(mention, key)| {
+                    **key != file.crate_key
+                        && file.lexed.code_lines.iter().any(|l| l.contains(&**mention))
+                })
+                .map(|(_, key)| *key)
+                .collect();
+            for (ki, f) in file.fns.iter().enumerate() {
+                let mut outs: Vec<FnId> = Vec::new();
+                for call in &f.calls {
+                    let Some(cands) = defs.get(call.as_str()) else {
+                        continue;
+                    };
+                    let scoped: Vec<FnId> = cands
+                        .iter()
+                        .copied()
+                        .filter(|&(cfi, _)| {
+                            let ck = ws.files[cfi].crate_key.as_str();
+                            ck == file.crate_key || referenced.contains(&ck)
+                        })
+                        .collect();
+                    let resolved: &[FnId] = if !scoped.is_empty() {
+                        &scoped
+                    } else if cands.len() == 1 {
+                        cands
+                    } else {
+                        &[]
+                    };
+                    if resolved.len() > MAX_FANOUT {
+                        continue;
+                    }
+                    for &id in resolved {
+                        if id != (fi, ki) && !outs.contains(&id) {
+                            outs.push(id);
+                            edge_count += 1;
+                        }
+                    }
+                }
+                if !outs.is_empty() {
+                    edges.insert((fi, ki), outs);
+                }
+            }
+        }
+        CallGraph { edges, edge_count }
+    }
+
+    /// BFS from `roots`, bounded at `max_depth` hops. Returns, per reached
+    /// fn, the depth and the root it was first reached from (smallest
+    /// root / shortest path — deterministic because roots and edges are
+    /// visited in sorted order).
+    pub fn reachable(&self, roots: &[FnId], max_depth: usize) -> BTreeMap<FnId, (usize, FnId)> {
+        let mut seen: BTreeMap<FnId, (usize, FnId)> = BTreeMap::new();
+        let mut queue: VecDeque<(FnId, usize, FnId)> = VecDeque::new();
+        for &r in roots {
+            if let std::collections::btree_map::Entry::Vacant(e) = seen.entry(r) {
+                e.insert((0, r));
+                queue.push_back((r, 0, r));
+            }
+        }
+        while let Some((id, depth, root)) = queue.pop_front() {
+            if depth >= max_depth {
+                continue;
+            }
+            if let Some(outs) = self.edges.get(&id) {
+                for &next in outs {
+                    if let std::collections::btree_map::Entry::Vacant(e) = seen.entry(next) {
+                        e.insert((depth + 1, root));
+                        queue.push_back((next, depth + 1, root));
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> WorkspaceIndex {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        WorkspaceIndex::build(&owned)
+    }
+
+    #[test]
+    fn same_crate_calls_resolve() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn top() { helper(); }\nfn helper() { leaf(); }\nfn leaf() {}\n",
+        )]);
+        let g = CallGraph::build(&w);
+        let reach = g.reachable(&[(0, 0)], 4);
+        assert_eq!(reach.len(), 3);
+        assert_eq!(reach[&(0, 2)].0, 2, "leaf is two hops down");
+    }
+
+    #[test]
+    fn cross_crate_needs_a_reference_or_uniqueness() {
+        // `shared_unique` is unique -> resolves globally. `run` exists in
+        // two crates and crate b is not referenced -> unresolved.
+        let w = ws(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn top() { shared_unique(); run(); }\nfn run() {}\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "fn shared_unique() {}\nfn run() {}\n",
+            ),
+        ]);
+        let g = CallGraph::build(&w);
+        let outs = &g.edges[&(0, 0)];
+        assert!(outs.contains(&(1, 0)), "unique name resolves globally");
+        assert!(outs.contains(&(0, 1)), "same-crate run resolves");
+        assert!(!outs.contains(&(1, 1)), "foreign run is not referenced");
+    }
+
+    #[test]
+    fn np_path_mention_links_crates() {
+        let w = ws(&[
+            (
+                "crates/counters/src/acq.rs",
+                "fn measure(pool: &np_parallel::Pool) { pool.run(8); }\n",
+            ),
+            ("crates/parallel/src/pool.rs", "pub fn run(n: usize) {}\n"),
+            ("crates/serve/src/lib.rs", "pub fn run(n: usize) {}\n"),
+        ]);
+        let g = CallGraph::build(&w);
+        let outs = &g.edges[&(0, 0)];
+        assert!(
+            outs.contains(&(1, 0)),
+            "np_parallel mention links the crate"
+        );
+        assert!(!outs.contains(&(2, 0)), "serve's run stays unlinked");
+    }
+
+    #[test]
+    fn depth_bound_caps_traversal() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn f0() { f1(); }\nfn f1() { f2(); }\nfn f2() { f3(); }\nfn f3() {}\n",
+        )]);
+        let g = CallGraph::build(&w);
+        assert_eq!(g.reachable(&[(0, 0)], 2).len(), 3, "f3 is beyond depth 2");
+        assert_eq!(g.reachable(&[(0, 0)], 8).len(), 4);
+    }
+}

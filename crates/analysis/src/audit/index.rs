@@ -1,0 +1,370 @@
+//! The per-file item/fn indexer.
+//!
+//! A lightweight structural pass over blanked source (see
+//! [`crate::lexer`]): for every file it records the `fn` items — name,
+//! line span, enclosing-crate, call targets, `// audit:hot` annotation —
+//! plus the raw material the rules consume (lock-acquisition sites,
+//! condvar operations, atomic accesses, unsafe blocks, panic tokens).
+//! Everything is token-level and approximate by design: the index
+//! over-approximates calls (any `name(` or `.name(` is a potential call)
+//! and under-approximates types (a receiver is just the dotted identifier
+//! path before the method). The rules are written to stay useful under
+//! that approximation, and the whole pass is deterministic: files are
+//! indexed in sorted order and every collection is insertion-ordered.
+
+use crate::lexer::{brace_depths, Lexed};
+
+/// One `fn` item: where it lives and what it mentions.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name (the token after `fn`).
+    pub name: String,
+    /// 0-based line of the `fn` keyword.
+    pub start_line: usize,
+    /// 0-based line of the body's closing brace (inclusive).
+    pub end_line: usize,
+    /// Whether the item sits inside a `#[cfg(test)]` module.
+    pub is_test: bool,
+    /// Whether a `// audit:hot` marker annotates the fn (on the `fn` line
+    /// or in the contiguous comment/attribute block above it).
+    pub hot: bool,
+    /// Call targets: the identifier before every `(` in the body, in
+    /// source order, deduplicated. `Type::method(` records `method`.
+    pub calls: Vec<String>,
+}
+
+/// One source file's index.
+#[derive(Debug, Clone)]
+pub struct FileIndex {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Crate key: `"crates/<name>"` or `"src"` for the binary crate.
+    pub crate_key: String,
+    /// The lexed source (shared with the rules).
+    pub lexed: Lexed,
+    /// Brace depth at the start of each line.
+    pub depths: Vec<i64>,
+    /// Functions, in source order.
+    pub fns: Vec<FnItem>,
+}
+
+/// The whole workspace, indexed.
+#[derive(Debug, Clone, Default)]
+pub struct WorkspaceIndex {
+    /// Files in sorted-path order.
+    pub files: Vec<FileIndex>,
+}
+
+impl WorkspaceIndex {
+    /// Indexes `(path, source)` pairs. The caller supplies them in the
+    /// order they should be scanned (sorted, for determinism).
+    pub fn build(sources: &[(String, String)]) -> WorkspaceIndex {
+        WorkspaceIndex {
+            files: sources
+                .iter()
+                .map(|(p, s)| index_file(p, s))
+                .collect::<Vec<_>>(),
+        }
+    }
+
+    /// Total fns indexed (excluding none).
+    pub fn fn_count(&self) -> usize {
+        self.files.iter().map(|f| f.fns.len()).sum()
+    }
+
+    /// The fn (if any) whose body covers `line` in file `fi`. Nested fns
+    /// resolve to the innermost enclosing item.
+    pub fn enclosing_fn(&self, fi: usize, line: usize) -> Option<&FnItem> {
+        self.files[fi]
+            .fns
+            .iter()
+            .filter(|f| f.start_line <= line && line <= f.end_line)
+            .max_by_key(|f| f.start_line)
+    }
+}
+
+/// Derives the crate key from a workspace-relative path.
+fn crate_key_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") => match parts.next() {
+            Some(name) => format!("crates/{name}"),
+            None => "crates".to_string(),
+        },
+        Some(first) => first.to_string(),
+        None => String::new(),
+    }
+}
+
+/// Rust keywords and control tokens that look like calls but are not.
+const NOT_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "move", "in", "as", "else",
+    "impl", "where", "unsafe", "pub", "mod", "use", "struct", "enum", "trait", "type", "const",
+    "static", "ref", "mut", "dyn", "box", "await", "async", "crate", "self", "Self", "super",
+];
+
+/// Extracts call-target names from one blanked line: the identifier
+/// immediately before each `(`, unless it is a keyword, a macro (`name!`),
+/// or a definition (`fn name(`).
+pub fn calls_on_line(code: &str) -> Vec<String> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'(' {
+            continue;
+        }
+        // Walk back over the identifier.
+        let mut j = i;
+        while j > 0 {
+            let c = bytes[j - 1];
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j == i {
+            continue; // no identifier directly before the paren
+        }
+        // Macros (`name!(`) never reach here: `!` stops the walk-back and
+        // leaves j == i. Skip `fn name(` definitions.
+        let name = &code[j..i];
+        if name.as_bytes()[0].is_ascii_digit() {
+            continue;
+        }
+        let before = code[..j].trim_end();
+        if before.ends_with("fn") || before.ends_with('!') {
+            continue;
+        }
+        if NOT_CALLS.contains(&name) {
+            continue;
+        }
+        if !out.iter().any(|n| n == name) {
+            out.push(name.to_string());
+        }
+    }
+    out
+}
+
+/// Indexes one file.
+pub fn index_file(path: &str, source: &str) -> FileIndex {
+    let lexed = Lexed::new(source);
+    let line_refs: Vec<&str> = lexed.code_lines.iter().map(|s| s.as_str()).collect();
+    let depths = brace_depths(&line_refs);
+    let mut fns = Vec::new();
+
+    for (idx, code) in lexed.code_lines.iter().enumerate() {
+        let Some(name) = fn_name_on_line(code) else {
+            continue;
+        };
+        // Find the body's opening brace: first line at/after the header
+        // with a `{` before any terminating `;` (trait method decls end
+        // with `;` and carry no body).
+        let mut open = None;
+        for (k, line) in lexed.code_lines.iter().enumerate().skip(idx) {
+            let brace = line.find('{');
+            let semi = line.find(';');
+            match (brace, semi) {
+                (Some(b), Some(s)) if s < b => break,
+                (Some(_), _) => {
+                    open = Some(k);
+                    break;
+                }
+                (None, Some(_)) => break,
+                (None, None) => {}
+            }
+            if k > idx + 8 {
+                break; // runaway header; treat as declaration
+            }
+        }
+        let Some(open) = open else { continue };
+        // The body ends at the `}` that returns the depth to the opening
+        // line's starting depth — walked char by char so one-line bodies
+        // (`fn f() { 1 }`) close on their own line.
+        let base = depths[open];
+        let mut end = lexed.code_lines.len().saturating_sub(1);
+        let mut depth = base;
+        let mut entered = false;
+        'body: for (k, line) in lexed.code_lines.iter().enumerate().skip(open) {
+            for ch in line.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if entered && depth <= base {
+                            end = k;
+                            break 'body;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // The `audit:hot` marker attaches to the fn directly below it: walk
+        // up over the fn's comment/attribute block only, so a marker never
+        // leaks onto the next item.
+        let mut hot = lexed.raw(idx).contains("audit:hot");
+        let mut k = idx;
+        while !hot && k > 0 {
+            k -= 1;
+            let raw = lexed.raw(k).trim_start();
+            if raw.starts_with("//") || raw.starts_with("#[") || raw.is_empty() {
+                hot = raw.contains("audit:hot");
+                if raw.is_empty() {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        let mut calls = Vec::new();
+        for line in lexed.code_lines.iter().take(end + 1).skip(open) {
+            for c in calls_on_line(line) {
+                if c != name && !calls.contains(&c) {
+                    calls.push(c);
+                }
+            }
+        }
+        fns.push(FnItem {
+            name: name.to_string(),
+            start_line: idx,
+            end_line: end,
+            is_test: lexed.is_test(idx),
+            hot,
+            calls,
+        });
+    }
+
+    FileIndex {
+        path: path.to_string(),
+        crate_key: crate_key_of(path),
+        lexed,
+        depths,
+        fns,
+    }
+}
+
+/// The fn name on a definition line, if the line starts one.
+fn fn_name_on_line(code: &str) -> Option<&str> {
+    let mut rest = code;
+    loop {
+        let pos = rest.find("fn ")?;
+        // `fn` must be its own token (not the tail of `use_fn `).
+        let ok_before = pos == 0
+            || !rest.as_bytes()[pos - 1].is_ascii_alphanumeric()
+                && rest.as_bytes()[pos - 1] != b'_';
+        if !ok_before {
+            rest = &rest[pos + 3..];
+            continue;
+        }
+        let after = rest[pos + 3..].trim_start();
+        let end = after
+            .find(|c: char| !c.is_alphanumeric() && c != '_')
+            .unwrap_or(after.len());
+        if end == 0 {
+            return None;
+        }
+        // A definition is followed by generics or the parameter list.
+        let tail = after[end..].trim_start();
+        if tail.starts_with('(') || tail.starts_with('<') {
+            return Some(&after[..end]);
+        }
+        return None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_fn_spans_and_calls() {
+        let src = concat!(
+            "pub fn alpha(x: u32) -> u32 {\n",
+            "    beta(x);\n",
+            "    let v = Vec::with_capacity(4);\n",
+            "    gamma(v.len())\n",
+            "}\n",
+            "\n",
+            "fn beta(x: u32) {}\n",
+        );
+        let fi = index_file("crates/demo/src/lib.rs", src);
+        assert_eq!(fi.crate_key, "crates/demo");
+        assert_eq!(fi.fns.len(), 2);
+        let a = &fi.fns[0];
+        assert_eq!(a.name, "alpha");
+        assert_eq!((a.start_line, a.end_line), (0, 4));
+        assert!(a.calls.iter().any(|c| c == "beta"));
+        assert!(a.calls.iter().any(|c| c == "with_capacity"));
+        assert!(a.calls.iter().any(|c| c == "gamma"));
+        assert!(a.calls.iter().any(|c| c == "len"));
+        assert_eq!(fi.fns[1].name, "beta");
+    }
+
+    #[test]
+    fn trait_declarations_without_bodies_are_skipped() {
+        let src =
+            "trait T {\n    fn decl(&self) -> u32;\n    fn with_body(&self) -> u32 { 1 }\n}\n";
+        let fi = index_file("src/lib.rs", src);
+        assert_eq!(fi.fns.len(), 1);
+        assert_eq!(fi.fns[0].name, "with_body");
+    }
+
+    #[test]
+    fn hot_marker_attaches_to_the_next_fn() {
+        let src = concat!(
+            "// audit:hot — inner simulator loop\n",
+            "fn hot_one() { work(); }\n",
+            "fn cold_one() { work(); }\n",
+        );
+        let fi = index_file("src/lib.rs", src);
+        assert!(fi.fns[0].hot);
+        assert!(!fi.fns[1].hot);
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let calls = calls_on_line("    if cond(x) { format!(\"{}\", y); matches!(z, 1) }");
+        assert_eq!(calls, vec!["cond".to_string()]);
+    }
+
+    #[test]
+    fn test_mod_fns_are_marked() {
+        let src = concat!(
+            "fn prod() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { prod(); }\n",
+            "}\n",
+        );
+        let fi = index_file("src/lib.rs", src);
+        assert!(!fi.fns[0].is_test);
+        assert!(fi.fns[1].is_test);
+    }
+
+    #[test]
+    fn enclosing_fn_resolves_innermost() {
+        let src = concat!(
+            "fn outer() {\n",
+            "    fn inner() {\n",
+            "        work();\n",
+            "    }\n",
+            "    inner();\n",
+            "}\n",
+        );
+        let ws = WorkspaceIndex::build(&[("src/lib.rs".to_string(), src.to_string())]);
+        assert_eq!(ws.fn_count(), 2);
+        assert_eq!(
+            ws.enclosing_fn(0, 2).map(|f| f.name.as_str()),
+            Some("inner")
+        );
+        assert_eq!(
+            ws.enclosing_fn(0, 4).map(|f| f.name.as_str()),
+            Some("outer")
+        );
+    }
+}

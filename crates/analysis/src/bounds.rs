@@ -619,7 +619,7 @@ mod tests {
         let bounds = compute(program, config);
         let sim = MachineSim::new(config.clone());
         for &seed in seeds {
-            let result = sim.run(program, seed);
+            let result = sim.run(program, seed).expect("valid program");
             let violations = bounds.check(&result.counters.totals(), result.cycles);
             assert!(
                 violations.is_empty(),

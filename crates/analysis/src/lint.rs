@@ -7,11 +7,13 @@
 //! telemetry-internal liberty, telemetry calls on hot paths must be
 //! guarded, and deterministic code must not read wall clocks. This module
 //! enforces them with a token scan — no `syn`, no `rustc` plumbing, zero
-//! dependencies — after blanking comments and string/char literals with a
-//! small state machine so that prose never trips a rule. `#[cfg(test)]`
-//! modules are exempt, and a `// lint:allow(rule)` trailer on the
-//! offending line silences a single finding with an audit trail.
+//! dependencies — over the shared blanking lexer in [`crate::lexer`]
+//! (comments, string/char literals and `#[cfg(test)]` modules never trip
+//! a rule; `np audit` scans the exact same view). A `// lint:allow(rule)`
+//! trailer on the offending line silences a single finding with an audit
+//! trail.
 
+use crate::lexer::{marker_allows, Lexed};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -91,7 +93,7 @@ impl LintReport {
     }
 }
 
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -111,7 +113,7 @@ fn escape_json(s: &str) -> String {
 /// Files whose non-test code must be panic-free: they sit under the
 /// fault-injection and acquisition loops where a panic aborts a whole
 /// measurement campaign instead of surfacing a typed error.
-const NO_PANIC_FILES: &[&str] = &[
+pub(crate) const NO_PANIC_FILES: &[&str] = &[
     "crates/core/src/memhist/probe.rs",
     "crates/resilience/src/io.rs",
     "crates/counters/src/acquisition.rs",
@@ -122,7 +124,7 @@ const NO_PANIC_FILES: &[&str] = &[
 /// `np-serve` crate qualifies: a panic on the request path kills a pool
 /// worker and silently drops every connection it would have served,
 /// where a typed error frame keeps the exchange answering.
-const NO_PANIC_PREFIXES: &[&str] = &["crates/serve/src/"];
+pub(crate) const NO_PANIC_PREFIXES: &[&str] = &["crates/serve/src/"];
 
 const PANIC_TOKENS: &[&str] = &[
     ".unwrap()",
@@ -157,185 +159,22 @@ fn wall_clock_forbidden(path: &str) -> bool {
         || path == "src/cli/top.rs"
 }
 
-/// Blanks comments, string literals, and char literals so token scans only
-/// see code. Handles nested block comments, escapes, and raw strings
-/// (`r"…"`, `r#"…"#`, …). Every non-code byte becomes a space; newlines
-/// survive so line numbers stay aligned.
-fn blank_non_code(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out = vec![b' '; b.len()];
-    let mut i = 0;
-    let n = b.len();
-    while i < n {
-        let c = b[i];
-        if c == b'\n' {
-            out[i] = b'\n';
-            i += 1;
-        } else if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
-            // Line comment: blank to end of line.
-            while i < n && b[i] != b'\n' {
-                i += 1;
-            }
-        } else if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
-            // Block comment, possibly nested.
-            let mut depth = 1;
-            i += 2;
-            while i < n && depth > 0 {
-                if b[i] == b'\n' {
-                    out[i] = b'\n';
-                }
-                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
-                    depth += 1;
-                    i += 2;
-                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
-                    depth -= 1;
-                    if i + 1 < n && b[i + 1] == b'\n' {
-                        out[i + 1] = b'\n';
-                    }
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-            }
-        } else if c == b'r' && i + 1 < n && (b[i + 1] == b'"' || b[i + 1] == b'#') {
-            // Possible raw string r"…" / r#"…"#.
-            let mut j = i + 1;
-            let mut hashes = 0;
-            while j < n && b[j] == b'#' {
-                hashes += 1;
-                j += 1;
-            }
-            if j < n && b[j] == b'"' {
-                out[i] = b'r'; // keep the sigil so identifiers stay intact
-                i = j + 1;
-                'raw: while i < n {
-                    if b[i] == b'\n' {
-                        out[i] = b'\n';
-                    }
-                    if b[i] == b'"' {
-                        let mut k = i + 1;
-                        let mut seen = 0;
-                        while k < n && seen < hashes && b[k] == b'#' {
-                            seen += 1;
-                            k += 1;
-                        }
-                        if seen == hashes {
-                            i = k;
-                            break 'raw;
-                        }
-                    }
-                    i += 1;
-                }
-            } else {
-                out[i] = c;
-                i += 1;
-            }
-        } else if c == b'"' {
-            // Regular string literal with escapes.
-            i += 1;
-            while i < n {
-                if b[i] == b'\n' {
-                    out[i] = b'\n';
-                    i += 1;
-                } else if b[i] == b'\\' {
-                    i += 2;
-                } else if b[i] == b'"' {
-                    i += 1;
-                    break;
-                } else {
-                    i += 1;
-                }
-            }
-        } else if c == b'\'' {
-            // Char literal vs lifetime: 'x' or '\n' is a literal; 'a in
-            // `&'a str` is a lifetime and keeps only the quote blanked.
-            if i + 1 < n && b[i + 1] == b'\\' {
-                i += 2;
-                while i < n && b[i] != b'\'' {
-                    i += 1;
-                }
-                i += 1;
-            } else if i + 2 < n && b[i + 2] == b'\'' {
-                i += 3;
-            } else {
-                i += 1;
-            }
-        } else {
-            out[i] = c;
-            i += 1;
-        }
-    }
-    String::from_utf8(out).expect("blanking preserves ASCII structure")
-}
-
-/// Marks lines inside `#[cfg(test)] mod … { … }` blocks. Returns one bool
-/// per line (true = test code, exempt from rules).
-fn test_module_lines(blanked: &str) -> Vec<bool> {
-    let lines: Vec<&str> = blanked.lines().collect();
-    let mut in_test = vec![false; lines.len()];
-    let mut i = 0;
-    while i < lines.len() {
-        if lines[i].contains("#[cfg(test)]") {
-            // Find the module opening within the next few lines.
-            let mut j = i;
-            while j < lines.len() && !lines[j].contains('{') {
-                j += 1;
-            }
-            if j < lines.len() {
-                let mut depth: i64 = 0;
-                let mut k = j;
-                loop {
-                    for ch in lines[k].chars() {
-                        match ch {
-                            '{' => depth += 1,
-                            '}' => depth -= 1,
-                            _ => {}
-                        }
-                    }
-                    in_test[k] = true;
-                    if depth <= 0 || k + 1 == lines.len() {
-                        break;
-                    }
-                    k += 1;
-                }
-                for flag in in_test.iter_mut().take(j + 1).skip(i) {
-                    *flag = true;
-                }
-                i = k + 1;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    in_test
-}
-
-/// Whether `raw_line` carries an allow marker for `rule`.
-fn allowed(raw_line: &str, rule: &str) -> bool {
-    raw_line
-        .find("lint:allow(")
-        .map(|p| raw_line[p + "lint:allow(".len()..].starts_with(rule))
-        .unwrap_or(false)
-}
-
 /// Lints one file's source text. `path` is the workspace-relative path
 /// with forward slashes; rule scoping keys off it.
 pub fn lint_source(path: &str, source: &str) -> Vec<LintFinding> {
-    let blanked = blank_non_code(source);
-    let in_test = test_module_lines(&blanked);
-    let raw_lines: Vec<&str> = source.lines().collect();
-    let code_lines: Vec<&str> = blanked.lines().collect();
+    let lexed = Lexed::new(source);
     let mut findings = Vec::new();
 
     let no_panic =
         NO_PANIC_FILES.contains(&path) || NO_PANIC_PREFIXES.iter().any(|p| path.starts_with(p));
-    let uses_tcp = blanked.contains("TcpStream") && path != BOUNDED_READER_FILE;
+    let uses_tcp =
+        lexed.code_lines.iter().any(|l| l.contains("TcpStream")) && path != BOUNDED_READER_FILE;
     let in_telemetry = path.starts_with("crates/telemetry/");
     let no_wall_clock = wall_clock_forbidden(path);
 
     let report =
         |findings: &mut Vec<LintFinding>, idx: usize, rule: &'static str, message: String| {
-            if !allowed(raw_lines.get(idx).copied().unwrap_or(""), rule) {
+            if !marker_allows(lexed.raw(idx), "lint", rule) {
                 findings.push(LintFinding {
                     path: path.to_string(),
                     line: idx + 1,
@@ -345,8 +184,9 @@ pub fn lint_source(path: &str, source: &str) -> Vec<LintFinding> {
             }
         };
 
+    let code_lines = &lexed.code_lines;
     for (idx, code) in code_lines.iter().enumerate() {
-        if in_test.get(idx).copied().unwrap_or(false) {
+        if lexed.is_test(idx) {
             continue;
         }
 
@@ -401,7 +241,7 @@ pub fn lint_source(path: &str, source: &str) -> Vec<LintFinding> {
                 let mut k = idx;
                 while k > 0 {
                     k -= 1;
-                    let l = code_lines[k];
+                    let l = &code_lines[k];
                     if l.contains("enabled(") || l.contains("set_enabled(") {
                         guarded = true;
                         break;
@@ -435,23 +275,10 @@ pub fn lint_source(path: &str, source: &str) -> Vec<LintFinding> {
 }
 
 /// Recursively collects `.rs` files under `dir` into `out`.
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let p = entry.path();
-        if p.is_dir() {
-            collect_rs(&p, out)?;
-        } else if p.extension().is_some_and(|e| e == "rs") {
-            out.push(p);
-        }
-    }
-    Ok(())
-}
-
-/// Lints the workspace rooted at `root`: every `.rs` file under `src/` and
-/// `crates/*/src/`, excluding the vendored shims. Tests, benches and
-/// examples are out of scope by construction.
-pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+/// Collects the `(relative path, source)` pairs lint and audit both scan:
+/// every `.rs` under `src/` and `crates/*/src/`, vendored shims excluded,
+/// in sorted-path order (the determinism anchor for both tools).
+pub(crate) fn workspace_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     let top_src = root.join("src");
     if top_src.is_dir() {
@@ -472,8 +299,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
         }
     }
     files.sort();
-
-    let mut report = LintReport::default();
+    let mut out = Vec::with_capacity(files.len());
     for f in &files {
         let rel = f
             .strip_prefix(root)
@@ -482,8 +308,32 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        let source = std::fs::read_to_string(f)?;
-        report.findings.extend(lint_source(&rel, &source));
+        out.push((rel, std::fs::read_to_string(f)?));
+    }
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the workspace rooted at `root`: every `.rs` file under `src/` and
+/// `crates/*/src/`, excluding the vendored shims. Tests, benches and
+/// examples are out of scope by construction.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let sources = workspace_sources(root)?;
+    let mut report = LintReport::default();
+    for (rel, source) in &sources {
+        report.findings.extend(lint_source(rel, source));
         report.files_scanned += 1;
     }
     report

@@ -1,0 +1,528 @@
+//! Per-rule fixtures for `np audit`: for every rule, one reproducer the
+//! rule must flag and one near-miss it must stay silent on. The
+//! near-misses pin the refinements that keep the token-level scan
+//! useful — predicate loops, guard-passing helpers, paired orderings,
+//! `SAFETY:` comments, test-module exemptions — so a future "simplify
+//! the rule" change that reintroduces false positives fails here first.
+
+use np_analysis::{audit_sources, Baseline};
+
+fn audit(files: &[(&str, &str)]) -> np_analysis::AuditReport {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    audit_sources(&owned, &Baseline::empty())
+}
+
+fn rules_fired(report: &np_analysis::AuditReport) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = report.unsuppressed().map(|f| f.rule).collect();
+    rules.dedup();
+    rules
+}
+
+// ---------------------------------------------------------------- lock-order
+
+#[test]
+fn lock_order_flags_opposite_acquisition_orders() {
+    let report = audit(&[(
+        "crates/a/src/lib.rs",
+        concat!(
+            "fn ab(s: &S) {\n",
+            "    let a = s.alpha.lock();\n",
+            "    let b = s.beta.lock();\n",
+            "    drop(b);\n",
+            "    drop(a);\n",
+            "}\n",
+            "fn ba(s: &S) {\n",
+            "    let b = s.beta.lock();\n",
+            "    let a = s.alpha.lock();\n",
+            "    drop(a);\n",
+            "    drop(b);\n",
+            "}\n",
+        ),
+    )]);
+    assert_eq!(
+        rules_fired(&report),
+        vec!["lock-order"],
+        "{}",
+        report.render()
+    );
+    let f = report.unsuppressed().next().unwrap();
+    assert!(f.message.contains("s.alpha"), "{}", f.message);
+    assert!(f.message.contains("s.beta"), "{}", f.message);
+}
+
+#[test]
+fn lock_order_flags_a_cycle_through_a_callee() {
+    // `ab` holds alpha and calls `lock_beta` (one hop); `ba` nests the
+    // other way directly. The cycle only exists through the call edge.
+    let report = audit(&[(
+        "crates/a/src/lib.rs",
+        concat!(
+            "fn ab(s: &S) {\n",
+            "    let a = s.alpha.lock();\n",
+            "    lock_beta(s);\n",
+            "    drop(a);\n",
+            "}\n",
+            "fn lock_beta(s: &S) {\n",
+            "    let b = s.beta.lock();\n",
+            "    drop(b);\n",
+            "}\n",
+            "fn ba(s: &S) {\n",
+            "    let b = s.beta.lock();\n",
+            "    let a = s.alpha.lock();\n",
+            "    drop(a);\n",
+            "    drop(b);\n",
+            "}\n",
+        ),
+    )]);
+    assert_eq!(
+        rules_fired(&report),
+        vec!["lock-order"],
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn lock_order_ignores_consistent_order_and_temporary_guards() {
+    // Same order twice: no cycle. And a temporary (non-let-bound) guard
+    // drops at the semicolon, so it cannot be held across the second
+    // acquisition.
+    let report = audit(&[(
+        "crates/a/src/lib.rs",
+        concat!(
+            "fn one(s: &S) {\n",
+            "    let a = s.alpha.lock();\n",
+            "    let b = s.beta.lock();\n",
+            "    drop(b);\n",
+            "    drop(a);\n",
+            "}\n",
+            "fn two(s: &S) {\n",
+            "    let a = s.alpha.lock();\n",
+            "    let b = s.beta.lock();\n",
+            "    drop(b);\n",
+            "    drop(a);\n",
+            "}\n",
+            "fn temporary(s: &S) {\n",
+            "    s.beta.lock();\n",
+            "    let a = s.alpha.lock();\n",
+            "    drop(a);\n",
+            "}\n",
+        ),
+    )]);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn lock_order_does_not_alias_same_field_across_crates() {
+    // `self.inner` in two crates is two different mutexes; without
+    // crate-qualified labels this would fabricate a cycle.
+    let report = audit(&[
+        (
+            "crates/a/src/lib.rs",
+            concat!(
+                "fn f(s: &S) {\n",
+                "    let a = s.inner.lock();\n",
+                "    let b = s.outer.lock();\n",
+                "    drop(b);\n",
+                "    drop(a);\n",
+                "}\n",
+            ),
+        ),
+        (
+            "crates/b/src/lib.rs",
+            concat!(
+                "fn g(s: &S) {\n",
+                "    let b = s.outer.lock();\n",
+                "    let a = s.inner.lock();\n",
+                "    drop(a);\n",
+                "    drop(b);\n",
+                "}\n",
+            ),
+        ),
+    ]);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+// ------------------------------------------------------- condvar-discipline
+
+#[test]
+fn condvar_flags_bare_wait_outside_a_loop() {
+    let report = audit(&[(
+        "crates/a/src/lib.rs",
+        concat!(
+            "fn wait_once(cv: &std::sync::Condvar, g: std::sync::MutexGuard<bool>) {\n",
+            "    let _g = cv.wait(g);\n",
+            "}\n",
+        ),
+    )]);
+    assert_eq!(
+        rules_fired(&report),
+        vec!["condvar-discipline"],
+        "{}",
+        report.render()
+    );
+    assert!(report
+        .unsuppressed()
+        .next()
+        .unwrap()
+        .message
+        .contains("predicate loop"));
+}
+
+#[test]
+fn condvar_accepts_wait_in_a_predicate_loop_and_wait_while() {
+    let report = audit(&[(
+        "crates/a/src/lib.rs",
+        concat!(
+            "fn wait_looped(cv: &std::sync::Condvar, m: &std::sync::Mutex<bool>) {\n",
+            "    let mut g = m.lock().unwrap_or_else(|p| p.into_inner());\n",
+            "    while !*g {\n",
+            "        g = cv.wait(g).unwrap_or_else(|p| p.into_inner());\n",
+            "    }\n",
+            "}\n",
+            "fn wait_predicated(cv: &std::sync::Condvar, m: &std::sync::Mutex<bool>) {\n",
+            "    let g = m.lock().unwrap_or_else(|p| p.into_inner());\n",
+            "    let _g = cv.wait_while(g, |ready| !*ready);\n",
+            "}\n",
+            "fn barrier_wait(b: &std::sync::Barrier) {\n",
+            "    b.wait();\n",
+            "}\n",
+        ),
+    )]);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn condvar_flags_notify_without_the_lock() {
+    let report = audit(&[(
+        "crates/a/src/lib.rs",
+        concat!(
+            "fn poke(cv: &std::sync::Condvar) {\n",
+            "    cv.notify_one();\n",
+            "}\n",
+        ),
+    )]);
+    assert_eq!(
+        rules_fired(&report),
+        vec!["condvar-discipline"],
+        "{}",
+        report.render()
+    );
+    assert!(report
+        .unsuppressed()
+        .next()
+        .unwrap()
+        .message
+        .contains("miss the wakeup"));
+}
+
+#[test]
+fn condvar_accepts_notify_under_the_lock_or_with_a_guard_parameter() {
+    // Two proofs of acquisition: an explicit `.lock()` earlier in the
+    // fn, or a `MutexGuard` parameter (the helper can only be called
+    // with the lock held — the signature is the proof).
+    let report = audit(&[(
+        "crates/a/src/lib.rs",
+        concat!(
+            "fn poke_locked(cv: &std::sync::Condvar, m: &std::sync::Mutex<bool>) {\n",
+            "    let mut g = m.lock().unwrap_or_else(|p| p.into_inner());\n",
+            "    *g = true;\n",
+            "    drop(g);\n",
+            "    cv.notify_one();\n",
+            "}\n",
+            "fn poke_guarded(cv: &std::sync::Condvar, _g: &std::sync::MutexGuard<bool>) {\n",
+            "    cv.notify_all();\n",
+            "}\n",
+        ),
+    )]);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+// --------------------------------------------------------- atomics-ordering
+
+#[test]
+fn atomics_flags_relaxed_outside_telemetry() {
+    let src = concat!(
+        "use std::sync::atomic::{AtomicU64, Ordering};\n",
+        "fn bump(c: &AtomicU64) {\n",
+        "    c.fetch_add(1, Ordering::Relaxed);\n",
+        "}\n",
+    );
+    let report = audit(&[("crates/a/src/lib.rs", src)]);
+    assert_eq!(
+        rules_fired(&report),
+        vec!["atomics-ordering"],
+        "{}",
+        report.render()
+    );
+    // The same line inside the telemetry facade is the sanctioned home
+    // for Relaxed counters.
+    let report = audit(&[("crates/telemetry/src/counter.rs", src)]);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn atomics_flags_one_sided_acquire() {
+    let report = audit(&[(
+        "crates/a/src/lib.rs",
+        concat!(
+            "use std::sync::atomic::{AtomicBool, Ordering};\n",
+            "fn check(flag: &AtomicBool) -> bool {\n",
+            "    flag.load(Ordering::Acquire)\n",
+            "}\n",
+        ),
+    )]);
+    assert_eq!(
+        rules_fired(&report),
+        vec!["atomics-ordering"],
+        "{}",
+        report.render()
+    );
+    assert!(report
+        .unsuppressed()
+        .next()
+        .unwrap()
+        .message
+        .contains("no Release store"));
+}
+
+#[test]
+fn atomics_accepts_paired_or_stronger_orderings() {
+    let report = audit(&[(
+        "crates/a/src/lib.rs",
+        concat!(
+            "use std::sync::atomic::{AtomicBool, Ordering};\n",
+            "fn check(flag: &AtomicBool) -> bool {\n",
+            "    flag.load(Ordering::Acquire)\n",
+            "}\n",
+            "fn publish(flag: &AtomicBool) {\n",
+            "    flag.store(true, Ordering::Release);\n",
+            "}\n",
+            "fn reset(other: &AtomicBool) {\n",
+            "    other.store(false, Ordering::SeqCst);\n",
+            "    other.load(Ordering::Acquire);\n",
+            "}\n",
+        ),
+    )]);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+// --------------------------------------------------------- hot-path-hygiene
+
+#[test]
+fn hot_path_flags_allocation_locking_and_io_in_marked_fns() {
+    let report = audit(&[(
+        "crates/a/src/lib.rs",
+        concat!(
+            "// audit:hot — per-access inner loop\n",
+            "fn hot_alloc(xs: &[u32]) -> Vec<u32> {\n",
+            "    xs.iter().map(|x| x + 1).collect()\n",
+            "}\n",
+            "// audit:hot\n",
+            "fn hot_lock(m: &std::sync::Mutex<u64>) -> u64 {\n",
+            "    *m.lock().unwrap_or_else(|p| p.into_inner())\n",
+            "}\n",
+            "// audit:hot\n",
+            "fn hot_io(x: u64) {\n",
+            "    println!(\"{x}\");\n",
+            "}\n",
+        ),
+    )]);
+    let hot: Vec<_> = report
+        .unsuppressed()
+        .filter(|f| f.rule == "hot-path-hygiene")
+        .collect();
+    assert_eq!(hot.len(), 3, "{}", report.render());
+    assert!(hot[0].message.contains("allocates"));
+    assert!(hot[1].message.contains("locks/blocks"));
+    assert!(hot[2].message.contains("does IO"));
+}
+
+#[test]
+fn hot_path_ignores_unmarked_fns_and_clean_hot_fns() {
+    let report = audit(&[(
+        "crates/a/src/lib.rs",
+        concat!(
+            "fn cold_alloc(xs: &[u32]) -> Vec<u32> {\n",
+            "    xs.iter().map(|x| x + 1).collect()\n",
+            "}\n",
+            "// audit:hot\n",
+            "fn hot_clean(a: u64, b: u64) -> u64 {\n",
+            "    a.wrapping_mul(31).wrapping_add(b)\n",
+            "}\n",
+        ),
+    )]);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+// ------------------------------------------------------------ unsafe-safety
+
+#[test]
+fn unsafe_without_safety_comment_is_flagged_and_inventoried() {
+    let report = audit(&[(
+        "crates/a/src/lib.rs",
+        concat!(
+            "fn launder(x: u32) -> u32 {\n",
+            "    unsafe { std::mem::transmute::<u32, u32>(x) }\n",
+            "}\n",
+        ),
+    )]);
+    assert_eq!(
+        rules_fired(&report),
+        vec!["unsafe-safety"],
+        "{}",
+        report.render()
+    );
+    assert_eq!(report.unsafe_sites.len(), 1);
+    assert!(report.unsafe_sites[0].justification.is_none());
+    assert!(report.inventory_markdown().contains("**MISSING**"));
+}
+
+#[test]
+fn unsafe_with_safety_comment_passes_but_stays_in_the_inventory() {
+    let report = audit(&[(
+        "crates/a/src/lib.rs",
+        concat!(
+            "fn launder(x: u32) -> u32 {\n",
+            "    // SAFETY: u32 -> u32 is the identity transmute.\n",
+            "    unsafe { std::mem::transmute::<u32, u32>(x) }\n",
+            "}\n",
+        ),
+    )]);
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(
+        report.unsafe_sites.len(),
+        1,
+        "justified sites still inventoried"
+    );
+    assert_eq!(
+        report.unsafe_sites[0].justification.as_deref(),
+        Some("u32 -> u32 is the identity transmute.")
+    );
+    assert!(!report.inventory_markdown().contains("MISSING"));
+}
+
+#[test]
+fn unsafe_in_test_modules_is_exempt() {
+    let report = audit(&[(
+        "crates/a/src/lib.rs",
+        concat!(
+            "fn prod() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() {\n",
+            "        unsafe { std::hint::unreachable_unchecked() }\n",
+            "    }\n",
+            "}\n",
+        ),
+    )]);
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(
+        report.unsafe_sites.is_empty(),
+        "test unsafe stays out of the inventory"
+    );
+}
+
+// ------------------------------------------------------- no-panic-reachable
+
+#[test]
+fn panic_reachable_flags_unwrap_behind_an_entry_point() {
+    // `handle` lives in the serve crate (an entry prefix) and calls
+    // `render` — unique across the workspace, so the edge resolves —
+    // whose `.unwrap()` is one hop from live traffic.
+    let report = audit(&[
+        (
+            "crates/serve/src/lib.rs",
+            "pub fn handle(req: u32) -> String { render(req) }\n",
+        ),
+        (
+            "crates/util/src/lib.rs",
+            concat!(
+                "pub fn render(req: u32) -> String {\n",
+                "    checked(req).unwrap()\n",
+                "}\n",
+                "fn checked(req: u32) -> Option<String> {\n",
+                "    Some(req.to_string())\n",
+                "}\n",
+            ),
+        ),
+    ]);
+    let f = report
+        .unsuppressed()
+        .find(|f| f.rule == "no-panic-reachable")
+        .unwrap_or_else(|| panic!("expected a finding:\n{}", report.render()));
+    assert_eq!(f.path, "crates/util/src/lib.rs");
+    assert!(
+        f.message.contains("reachable in 1 call(s)"),
+        "{}",
+        f.message
+    );
+    assert!(f.message.contains("`handle`"), "{}", f.message);
+}
+
+#[test]
+fn panic_reachable_ignores_uncalled_helpers_and_entry_files_themselves() {
+    let report = audit(&[
+        (
+            // Panic tokens inside the entry file are lint's `no-panic`
+            // scope, not the audit's (depth 0 is skipped).
+            "crates/serve/src/lib.rs",
+            "pub fn handle(req: u32) -> u32 { req.checked_add(1).unwrap() }\n",
+        ),
+        (
+            // Unreachable from any entry fn: nobody calls it.
+            "crates/util/src/lib.rs",
+            "pub fn orphan(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        ),
+    ]);
+    assert!(
+        !report
+            .unsuppressed()
+            .any(|f| f.rule == "no-panic-reachable"),
+        "{}",
+        report.render()
+    );
+}
+
+// ------------------------------------------------------------ cross-cutting
+
+#[test]
+fn findings_sort_deterministically_across_rules() {
+    // One tree tripping three rules at once: output order is pinned to
+    // (path, line, rule, message), so two runs render identically.
+    let files = [
+        (
+            "crates/a/src/lib.rs",
+            concat!(
+                "use std::sync::atomic::{AtomicU64, Ordering};\n",
+                "fn bump(c: &AtomicU64) {\n",
+                "    c.fetch_add(1, Ordering::Relaxed);\n",
+                "}\n",
+                "fn launder(x: u32) -> u32 {\n",
+                "    unsafe { std::mem::transmute::<u32, u32>(x) }\n",
+                "}\n",
+            ),
+        ),
+        (
+            "crates/b/src/lib.rs",
+            "fn poke(cv: &std::sync::Condvar) { cv.notify_one(); }\n",
+        ),
+    ];
+    let a = audit(&files);
+    let b = audit(&files);
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.render(), b.render());
+    let rules: Vec<_> = a.unsuppressed().map(|f| (f.path.clone(), f.rule)).collect();
+    assert_eq!(
+        rules,
+        vec![
+            ("crates/a/src/lib.rs".to_string(), "atomics-ordering"),
+            ("crates/a/src/lib.rs".to_string(), "unsafe-safety"),
+            ("crates/b/src/lib.rs".to_string(), "condvar-discipline"),
+        ]
+    );
+}

@@ -134,7 +134,7 @@ proptest! {
         let bounds = compute_bounds(&p, &cfg);
         let sim = MachineSim::new(cfg);
         for seed in [1u64, 2] {
-            let r = sim.run(&p, seed);
+            let r = sim.run(&p, seed).expect("valid program");
             let v = bounds.check(&r.counters.totals(), r.cycles);
             prop_assert!(v.is_empty(), "seed {}: {}", seed, v.join("; "));
         }
@@ -152,7 +152,7 @@ proptest! {
         let p = build(&threads, policy(policy_pick), &cfg);
         let bounds = compute_bounds(&p, &cfg);
         let sim = MachineSim::new(cfg);
-        let r = sim.run(&p, seed);
+        let r = sim.run(&p, seed).expect("valid program");
         let v = bounds.check(&r.counters.totals(), r.cycles);
         prop_assert!(v.is_empty(), "{}", v.join("; "));
     }
@@ -171,7 +171,7 @@ proptest! {
         prop_assert!(a.validate.is_ok());
         prop_assert!(a.barriers.is_ok());
         // The engine completes (it would panic on deadlock).
-        let r = MachineSim::new(cfg).run(&p, 3);
+        let r = MachineSim::new(cfg).run(&p, 3).expect("valid program");
         prop_assert!(a.bounds.check(&r.counters.totals(), r.cycles).is_empty());
     }
 }

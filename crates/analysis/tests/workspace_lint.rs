@@ -4,6 +4,59 @@
 
 use std::path::Path;
 
+/// Golden fixture: every lint rule fires at a pinned `(rule, line)`.
+/// `lint` and `audit` share one blanking lexer; this pins lint's exact
+/// output through that shared layer, so a lexer change that shifts how
+/// comments/strings/test-modules blank shows up as a diff here instead
+/// of as silently changed findings.
+#[test]
+fn golden_lint_findings_are_pinned() {
+    let serve_src = concat!(
+        "use std::net::TcpStream;\n",                                     // 1
+        "use std::sync::atomic::{AtomicU64, Ordering};\n",                // 2
+        "pub fn handle(x: Option<u32>) -> u32 {\n",                       // 3
+        "    x.unwrap()\n",                                               // 4: no-panic
+        "}\n",                                                            // 5
+        "pub fn slurp(s: &mut TcpStream, buf: &mut [u8]) {\n",            // 6
+        "    let _ = s.read(buf);\n",                                     // 7: bounded-reads
+        "}\n",                                                            // 8
+        "pub fn bump(c: &AtomicU64) {\n",                                 // 9
+        "    c.fetch_add(1, Ordering::Relaxed);\n",                       // 10: relaxed-ordering
+        "}\n",                                                            // 11
+        "pub fn observe() {\n",                                           // 12
+        "    np_telemetry::global().counter(\"x\").inc();\n",             // 13: guarded-telemetry
+        "}\n",                                                            // 14
+        "// Comments and strings stay blank: .unwrap() here is prose.\n", // 15
+        "#[cfg(test)]\n",                                                 // 16
+        "mod tests {\n",                                                  // 17
+        "    #[test]\n",                                                  // 18
+        "    fn t() { Some(1).unwrap(); }\n",                             // 19: exempt
+        "}\n",                                                            // 20
+    );
+    let got: Vec<(&'static str, usize)> =
+        np_analysis::lint_source("crates/serve/src/handler.rs", serve_src)
+            .iter()
+            .map(|f| (f.rule, f.line))
+            .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("no-panic", 4),
+            ("bounded-reads", 7),
+            ("relaxed-ordering", 10),
+            ("guarded-telemetry", 13),
+        ]
+    );
+
+    let pool_src = "pub fn tick() -> std::time::Instant { std::time::Instant::now() }\n";
+    let got: Vec<(&'static str, usize)> =
+        np_analysis::lint_source("crates/parallel/src/pool.rs", pool_src)
+            .iter()
+            .map(|f| (f.rule, f.line))
+            .collect();
+    assert_eq!(got, vec![("no-wall-clock", 1)]);
+}
+
 #[test]
 fn workspace_lints_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))

@@ -17,12 +17,12 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("simulate_row_major", size),
             &size,
-            |b, _| b.iter(|| black_box(sim.run(&row, 1))),
+            |b, _| b.iter(|| black_box(sim.run(&row, 1).expect("valid program"))),
         );
         g.bench_with_input(
             BenchmarkId::new("simulate_column_major", size),
             &size,
-            |b, _| b.iter(|| black_box(sim.run(&col, 1))),
+            |b, _| b.iter(|| black_box(sim.run(&col, 1).expect("valid program"))),
         );
     }
     g.finish();

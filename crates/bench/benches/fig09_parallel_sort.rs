@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
     for threads in [1usize, 4, 16] {
         let p = ParallelSortKernel::new(16 * 1024, threads).build(sim.config());
         g.bench_with_input(BenchmarkId::new("simulate", threads), &threads, |b, _| {
-            b.iter(|| black_box(sim.run(&p, 7)))
+            b.iter(|| black_box(sim.run(&p, 7).expect("valid program")))
         });
     }
     g.finish();

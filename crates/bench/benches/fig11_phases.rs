@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
         release_at_end: false,
     }
     .build(sim.config());
-    let run = sim.run(&trace, 1);
+    let run = sim.run(&trace, 1).expect("valid program");
     let pp = Phasenpruefer::default();
 
     let mut g = c.benchmark_group("fig11_phases");

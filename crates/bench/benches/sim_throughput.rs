@@ -34,10 +34,10 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Elements(ops));
     g.bench_function("sequential_loads", |b| {
-        b.iter(|| black_box(sim.run(&sequential, 1)))
+        b.iter(|| black_box(sim.run(&sequential, 1).expect("valid program")))
     });
     g.bench_function("page_strided_loads", |b| {
-        b.iter(|| black_box(sim.run(&strided, 1)))
+        b.iter(|| black_box(sim.run(&strided, 1).expect("valid program")))
     });
     g.finish();
 
@@ -50,11 +50,11 @@ fn bench(c: &mut Criterion) {
     g.throughput(Throughput::Elements(ops));
     g.bench_function("disabled", |b| {
         np_telemetry::set_enabled(false);
-        b.iter(|| black_box(sim.run(&sequential, 1)))
+        b.iter(|| black_box(sim.run(&sequential, 1).expect("valid program")))
     });
     g.bench_function("enabled", |b| {
         np_telemetry::set_enabled(true);
-        b.iter(|| black_box(sim.run(&sequential, 1)));
+        b.iter(|| black_box(sim.run(&sequential, 1).expect("valid program")));
         np_telemetry::set_enabled(false);
     });
     g.finish();

@@ -187,7 +187,7 @@ fn campaign(
             1,
             cfg.seed + rep as u64,
             &pmu,
-        );
+        )?;
         item_ns.push(np_telemetry::now_ns().saturating_sub(r0));
         runs.extend(one.runs);
     }

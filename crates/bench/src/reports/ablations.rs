@@ -41,9 +41,11 @@ pub fn acquisition() -> String {
         HwEvent::StallCycles,
     ];
     let pmu = np_counters::pmu::PmuModel::default();
-    let truth = sim.run(&program, 3);
-    let batched = np_counters::acquisition::measure_batched(&sim, &program, &events, 1, 3, &pmu);
-    let muxed = np_counters::acquisition::measure_multiplexed(&sim, &program, &events, 1, 3, &pmu);
+    let truth = sim.run(&program, 3).expect("workload program is valid");
+    let batched = np_counters::acquisition::measure_batched(&sim, &program, &events, 1, 3, &pmu)
+        .expect("workload program is valid");
+    let muxed = np_counters::acquisition::measure_multiplexed(&sim, &program, &events, 1, 3, &pmu)
+        .expect("workload program is valid");
 
     let mut out = String::from(
         "Batched repeated runs vs multiplexing, bursty workload\n\
@@ -275,12 +277,14 @@ pub fn prefetch() -> String {
                 &np_workloads::cache_miss::CacheMissKernel::row_major(1024).build(sim.config()),
                 1,
             )
+            .expect("workload program is valid")
             .total(HwEvent::L3Access);
         let col = sim
             .run(
                 &np_workloads::cache_miss::CacheMissKernel::column_major(1024).build(sim.config()),
                 1,
             )
+            .expect("workload program is valid")
             .total(HwEvent::L3Access);
         factors.push(col as f64 / row.max(1) as f64);
         out.push_str(&format!(

@@ -319,7 +319,7 @@ pub fn fig11() -> String {
 
     // The k-phase extension.
     let bsp = PhaseTraceKernel::bsp_supersteps(3).build(&machine);
-    let run = sim.run(&bsp, 9);
+    let run = sim.run(&bsp, 9).expect("workload program is valid");
     if let Some(bounds) = pp.detect_k(&run.footprint, 6) {
         out.push_str(&format!(
             "\nk-phase extension (3 BSP supersteps, 6 segments): boundaries at {bounds:?}\n"

@@ -15,7 +15,7 @@ pub fn report() -> String {
     let mut out = String::new();
 
     // --- Calibration (Braithwaite-style machine measurement) ---
-    let cal = calibrate(&sim, 21);
+    let cal = calibrate(&sim, 21).expect("calibration programs are valid");
     out.push_str("Calibration probes on the simulated DL580:\n");
     out.push_str(&format!(
         "  local latency:   {:>8.1} cy\n",
@@ -41,7 +41,9 @@ pub fn report() -> String {
         "threads", "BSP predicted", "simulated", "ratio"
     ));
     let n = 96usize;
-    let serial = sim.run(&TiledMatmul::new(n, 1).build(sim.config()), 5);
+    let serial = sim
+        .run(&TiledMatmul::new(n, 1).build(sim.config()), 5)
+        .expect("workload program is valid");
     for p in [2u64, 4, 8] {
         let bsp = cal.bsp(p);
         // One superstep: the compute splits evenly; each thread reads the
@@ -51,6 +53,7 @@ pub fn report() -> String {
         let predicted = bsp.block_parallel_cost(work, words, 1);
         let simulated = sim
             .run(&TiledMatmul::new(n, p as usize).build(sim.config()), 5)
+            .expect("workload program is valid")
             .cycles;
         out.push_str(&format!(
             "  {p:>8} {predicted:>14.0} {simulated:>14} {:>9.2}\n",
@@ -83,7 +86,9 @@ pub fn report() -> String {
         "threads", "predicted", "simulated"
     ));
     let elements = 96 * 1024usize;
-    let single = sim.run(&StreamTriad::bound(elements, 1, 0).build(sim.config()), 9);
+    let single = sim
+        .run(&StreamTriad::bound(elements, 1, 0).build(sim.config()), 9)
+        .expect("workload program is valid");
     let inputs = speedup_inputs_from_run(&single);
     let model = CounterSpeedupModel {
         imc_service: sim.config().latency.imc_service as f64,
@@ -95,6 +100,7 @@ pub fn report() -> String {
         let predicted = model.predict_speedup(&inputs, p as u64);
         let cycles = sim
             .run(&StreamTriad::bound(elements, p, 0).build(sim.config()), 9)
+            .expect("workload program is valid")
             .cycles;
         let simulated = single.cycles as f64 / cycles as f64;
         max_err = max_err.max((predicted - simulated).abs() / simulated);
@@ -114,8 +120,10 @@ pub fn report() -> String {
 /// A quick self-check used by the test suite: calibration must work on a
 /// small machine too.
 pub fn calibration_sane_on(sim: &MachineSim) -> bool {
-    let cal = calibrate(sim, 1);
-    cal.local_latency > 100.0 && cal.remote_latency > cal.local_latency
+    match calibrate(sim, 1) {
+        Ok(cal) => cal.local_latency > 100.0 && cal.remote_latency > cal.local_latency,
+        Err(_) => false,
+    }
 }
 
 #[cfg(test)]

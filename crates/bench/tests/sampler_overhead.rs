@@ -36,7 +36,7 @@ fn enabled_sampler_does_not_gut_sim_throughput() {
         (0..runs)
             .map(|seed| {
                 let start = Instant::now();
-                black_box(sim.run(&program, seed as u64));
+                black_box(sim.run(&program, seed as u64).expect("valid program"));
                 start.elapsed()
             })
             .min()

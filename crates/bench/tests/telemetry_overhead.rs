@@ -29,7 +29,7 @@ fn enabled_telemetry_does_not_gut_sim_throughput() {
     let time = |runs: usize| {
         let start = Instant::now();
         for seed in 0..runs {
-            black_box(sim.run(&program, seed as u64));
+            black_box(sim.run(&program, seed as u64).expect("valid program"));
         }
         start.elapsed()
     };

@@ -107,7 +107,7 @@ mod tests {
         for i in 0..256u64 {
             b.load(t, buf + 64 + i * 4096);
         }
-        sim.run(&b.build(), 1)
+        sim.run(&b.build(), 1).expect("valid program")
     }
 
     #[test]

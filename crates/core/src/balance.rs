@@ -112,7 +112,9 @@ mod tests {
     #[test]
     fn bound_workload_is_flagged_imbalanced() {
         let sim = sim();
-        let run = sim.run(&StreamTriad::bound(64 * 1024, 4, 0).build(sim.config()), 1);
+        let run = sim
+            .run(&StreamTriad::bound(64 * 1024, 4, 0).build(sim.config()), 1)
+            .expect("valid program");
         let b = BalanceReport::from_run(sim.config(), &run);
         assert!(b.is_imbalanced(1.5), "imbalance {}", b.imbalance);
         assert!(
@@ -126,10 +128,12 @@ mod tests {
     #[test]
     fn interleaved_workload_is_balanced() {
         let sim = sim();
-        let run = sim.run(
-            &StreamTriad::interleaved(64 * 1024, 4).build(sim.config()),
-            1,
-        );
+        let run = sim
+            .run(
+                &StreamTriad::interleaved(64 * 1024, 4).build(sim.config()),
+                1,
+            )
+            .expect("valid program");
         let b = BalanceReport::from_run(sim.config(), &run);
         assert!(!b.is_imbalanced(1.5), "imbalance {}", b.imbalance);
         assert!(b.imbalance < 1.2);
@@ -138,7 +142,9 @@ mod tests {
     #[test]
     fn first_touch_local_workload_is_balanced_and_local() {
         let sim = sim();
-        let run = sim.run(&StreamTriad::local(64 * 1024, 4).build(sim.config()), 1);
+        let run = sim
+            .run(&StreamTriad::local(64 * 1024, 4).build(sim.config()), 1)
+            .expect("valid program");
         let b = BalanceReport::from_run(sim.config(), &run);
         assert!(b.remote_fraction < 0.05, "remote {}", b.remote_fraction);
         assert!(b.imbalance < 1.3, "imbalance {}", b.imbalance);
@@ -147,7 +153,9 @@ mod tests {
     #[test]
     fn render_lists_every_node() {
         let sim = sim();
-        let run = sim.run(&StreamTriad::bound(16 * 1024, 2, 0).build(sim.config()), 1);
+        let run = sim
+            .run(&StreamTriad::bound(16 * 1024, 2, 0).build(sim.config()), 1)
+            .expect("valid program");
         let text = BalanceReport::from_run(sim.config(), &run).render();
         assert!(text.contains("node 0"));
         assert!(text.contains("node 1"));
@@ -160,7 +168,7 @@ mod tests {
         let mut b = np_simulator::ProgramBuilder::new(&sim.config().topology, 4096);
         let t = b.add_thread(0);
         b.exec(t, 10);
-        let run = sim.run(&b.build(), 1);
+        let run = sim.run(&b.build(), 1).expect("valid program");
         let rep = BalanceReport::from_run(sim.config(), &run);
         assert_eq!(rep.imbalance, 1.0);
         assert_eq!(rep.remote_fraction, 0.0);

@@ -141,7 +141,9 @@ impl SimObserver for CacheToCache {
 /// Convenience: analyse one program end to end.
 pub fn analyse(sim: &MachineSim, program: &Program, seed: u64) -> CacheToCache {
     let mut c = CacheToCache::new();
-    sim.run_observed(program, seed, &mut c);
+    // An invalid program contributes no slices; the observer just
+    // stays empty, which the caller sees as zero coverage.
+    let _ = sim.run_observed(program, seed, &mut c);
     c
 }
 

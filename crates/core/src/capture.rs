@@ -268,7 +268,9 @@ mod tests {
         let sim = MachineSim::new(cfg.clone());
         let program = CacheMissKernel::row_major(32).build(&cfg);
         let mut obs = NodeSeriesObserver::new(cfg.topology.clone(), 128);
-        let result = sim.run_observed(&program, 7, &mut obs);
+        let result = sim
+            .run_observed(&program, 7, &mut obs)
+            .expect("valid program");
         let sampler = obs.into_sampler();
         assert!(!sampler.is_empty(), "timeslices should have fired");
         // Every node × event pair has a series; deltas resum to the

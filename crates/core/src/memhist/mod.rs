@@ -171,7 +171,9 @@ impl Memhist {
     pub fn measure(&self, sim: &MachineSim, program: &Program, seed: u64) -> MemhistResult {
         let mut pebs =
             CyclingPebs::new(self.config.thresholds.clone(), self.config.slices_per_step);
-        sim.run_observed(program, seed, &mut pebs);
+        // An invalid program contributes no samples; the histogram
+        // assembles from zero counts.
+        let _ = sim.run_observed(program, seed, &mut pebs);
         let counts = pebs.estimated_exceed_counts();
         let histogram = LatencyHistogram::from_threshold_counts(&self.config.thresholds, &counts)
             .expect("thresholds validated in constructor");
@@ -199,7 +201,9 @@ impl Memhist {
             thresholds: self.config.thresholds.clone(),
             exceed: vec![0; self.config.thresholds.len()],
         };
-        sim.run_observed(program, seed, &mut obs);
+        // An invalid program contributes no samples; the histogram
+        // assembles from zero counts.
+        let _ = sim.run_observed(program, seed, &mut obs);
         let histogram =
             LatencyHistogram::from_threshold_counts(&self.config.thresholds, &obs.exceed)
                 .expect("thresholds validated in constructor");
@@ -213,7 +217,9 @@ impl Memhist {
         // Max period: exceedances are counted in full, but almost no
         // samples are recorded — the ladder only needs the counter.
         let mut pebs = PebsCollector::new(threshold, u32::MAX);
-        sim.run_observed(program, seed, &mut pebs);
+        // An invalid program contributes no samples; the histogram
+        // assembles from zero counts.
+        let _ = sim.run_observed(program, seed, &mut pebs);
         pebs.exceed_count as i64
     }
 
@@ -307,7 +313,9 @@ impl Memhist {
             exceed: vec![0; self.config.thresholds.len()],
             levels: vec![[0; 6]; self.config.thresholds.len()],
         };
-        sim.run_observed(program, seed, &mut obs);
+        // An invalid program contributes no samples; the histogram
+        // assembles from zero counts.
+        let _ = sim.run_observed(program, seed, &mut obs);
         let histogram =
             LatencyHistogram::from_threshold_counts(&self.config.thresholds, &obs.exceed)
                 .expect("thresholds validated in constructor");

@@ -163,7 +163,14 @@ impl ProbeServer {
 
         let mut pebs =
             np_counters::pebs::CyclingPebs::new(req.thresholds.clone(), req.slices_per_step);
-        self.sim.run_observed(&self.program, req.seed, &mut pebs);
+        self.sim
+            .run_observed(&self.program, req.seed, &mut pebs)
+            .map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("invalid probe program: {e}"),
+                )
+            })?;
 
         let resp = ProbeResponse {
             thresholds: req.thresholds,

@@ -176,7 +176,9 @@ impl SimObserver for ObjectProfiler {
 /// Convenience: profile one program end to end.
 pub fn profile(sim: &MachineSim, program: &Program, seed: u64) -> ObjectProfiler {
     let mut p = ObjectProfiler::new(program);
-    sim.run_observed(program, seed, &mut p);
+    // An invalid program contributes no slices; the observer just
+    // stays empty, which the caller sees as zero coverage.
+    let _ = sim.run_observed(program, seed, &mut p);
     p
 }
 

@@ -202,7 +202,9 @@ impl Phasenpruefer {
             totals: Vec::new(),
             footprints: Vec::new(),
         };
-        let result = sim.run_observed(program, seed, &mut rec);
+        // An invalid program yields no phase split, like any other
+        // detection failure.
+        let result = sim.run_observed(program, seed, &mut rec).ok()?;
         // Final state as the last slice.
         rec.times.push(result.cycles);
         rec.totals.push(result.counters.totals());
@@ -287,7 +289,9 @@ mod tests {
     #[test]
     fn detects_ramp_then_compute_split() {
         let sim = quiet();
-        let r = sim.run(&chrome_like().build(sim.config()), 1);
+        let r = sim
+            .run(&chrome_like().build(sim.config()), 1)
+            .expect("valid program");
         let pp = Phasenpruefer::default();
         let report = pp.detect(&r.footprint).expect("phases detected");
         // Ramp slope steep, compute slope nearly flat.
@@ -343,7 +347,9 @@ mod tests {
     #[test]
     fn pooled_detection_is_bit_identical_to_serial() {
         let sim = quiet();
-        let r = sim.run(&chrome_like().build(sim.config()), 1);
+        let r = sim
+            .run(&chrome_like().build(sim.config()), 1)
+            .expect("valid program");
         let pp = Phasenpruefer::default();
         let serial = pp.detect(&r.footprint).expect("phases detected");
         for threads in [1, 2, 8] {
@@ -365,7 +371,7 @@ mod tests {
     fn k_phase_extension_finds_supersteps() {
         let sim = quiet();
         let k = PhaseTraceKernel::bsp_supersteps(3);
-        let r = sim.run(&k.build(sim.config()), 1);
+        let r = sim.run(&k.build(sim.config()), 1).expect("valid program");
         let pp = Phasenpruefer::default();
         // 3 ramp+compute rounds = 6 linear segments; boundaries returned.
         let bounds = pp.detect_k(&r.footprint, 6).expect("k-phase fit");

@@ -190,7 +190,7 @@ impl Runner {
         let _span = np_telemetry::span!("runner.measure", "runner");
         np_telemetry::counter!("runner.campaigns").inc();
         np_telemetry::counter!("runner.repetitions").add(plan.repetitions as u64);
-        let set = match plan.mode {
+        match plan.mode {
             AcquisitionMode::BatchedRuns => self.measure_batched_parallel(program, plan),
             AcquisitionMode::Multiplexed => measure_multiplexed(
                 &self.sim,
@@ -200,8 +200,7 @@ impl Runner {
                 plan.base_seed,
                 &plan.pmu,
             ),
-        };
-        Ok(set)
+        }
     }
 
     /// Measures a workload under `plan` with fault tolerance: retries,
@@ -265,14 +264,9 @@ impl Runner {
                 ),
                 // Multiplexing measures everything in one run; there is no
                 // batch boundary to retry, so it runs unguarded.
-                AcquisitionMode::Multiplexed => Ok(measure_multiplexed(
-                    &self.sim,
-                    program,
-                    &plan.events,
-                    1,
-                    seed,
-                    &plan.pmu,
-                )),
+                AcquisitionMode::Multiplexed => {
+                    measure_multiplexed(&self.sim, program, &plan.events, 1, seed, &plan.pmu)
+                }
             };
             match outcome {
                 Ok(one) => {
@@ -352,21 +346,26 @@ impl Runner {
                 let _phase = np_telemetry::phase("measure");
                 let seed = plan.base_seed + rep as u64;
                 let mut obs = NodeSeriesObserver::new(self.sim.config().topology.clone(), capacity);
-                let result = self.sim.run_observed(program, seed, &mut obs);
+                let result = match self.sim.run_observed(program, seed, &mut obs) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        return (Err(format!("invalid program: {e}")), obs.into_sampler());
+                    }
+                };
                 let mut m = Measurement::new(seed);
                 for &e in &plan.events {
                     m.values.insert(e, result.total(e) as f64);
                 }
                 m.cycles = result.cycles;
                 np_telemetry::counter!("runner.reps_done").inc();
-                (m, obs.into_sampler())
+                (Ok(m), obs.into_sampler())
             },
             &Schedule::Free,
         );
         let mut runs = Vec::with_capacity(plan.repetitions);
         let mut sampler = Sampler::new(capacity);
         for (rep, (m, rep_sampler)) in report.results.into_iter().enumerate() {
-            runs.push(m);
+            runs.push(m?);
             sampler.merge_prefixed(&format!("rep{rep}."), &rep_sampler);
         }
         Ok(SampledCampaign {
@@ -384,31 +383,38 @@ impl Runner {
     /// Results are bit-identical to the serial path: each repetition is an
     /// independent `(program, seed)` simulation, and the pool merges in
     /// submission order.
-    fn measure_batched_parallel(&self, program: &Program, plan: &MeasurementPlan) -> RunSet {
-        let runs: Vec<Measurement> = self.pool.run(plan.repetitions, |rep| {
-            // Occupancy gauge brackets the repetition so a trace shows
-            // how many pool workers the fan-out actually kept busy.
-            let _rep_span = np_telemetry::span!("runner.repetition", "runner");
-            np_telemetry::gauge!("runner.active_workers").add(1);
-            let one = measure_batched(
-                &self.sim,
-                program,
-                &plan.events,
-                1,
-                plan.base_seed + rep as u64,
-                &plan.pmu,
-            );
-            np_telemetry::gauge!("runner.active_workers").add(-1);
-            np_telemetry::counter!("runner.reps_done").inc();
-            one.runs
-                .into_iter()
-                .next()
-                .expect("one repetition measured")
-        });
-        RunSet {
+    fn measure_batched_parallel(
+        &self,
+        program: &Program,
+        plan: &MeasurementPlan,
+    ) -> Result<RunSet, String> {
+        let runs: Vec<Measurement> = self
+            .pool
+            .try_run(plan.repetitions, |rep| {
+                // Occupancy gauge brackets the repetition so a trace shows
+                // how many pool workers the fan-out actually kept busy.
+                let _rep_span = np_telemetry::span!("runner.repetition", "runner");
+                np_telemetry::gauge!("runner.active_workers").add(1);
+                let one = measure_batched(
+                    &self.sim,
+                    program,
+                    &plan.events,
+                    1,
+                    plan.base_seed + rep as u64,
+                    &plan.pmu,
+                )?;
+                np_telemetry::gauge!("runner.active_workers").add(-1);
+                np_telemetry::counter!("runner.reps_done").inc();
+                one.runs
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| "repetition produced no measurement".to_string())
+            })
+            .map_err(|e| e.to_string())?;
+        Ok(RunSet {
             runs,
             label: "batched".into(),
-        }
+        })
     }
 }
 
@@ -468,7 +474,8 @@ mod tests {
             4,
             7,
             &plan.pmu,
-        );
+        )
+        .expect("valid program");
         for (a, b) in par.runs.iter().zip(&ser.runs) {
             assert_eq!(a.values, b.values);
         }

@@ -45,22 +45,12 @@ pub fn measure_batched(
     repetitions: usize,
     base_seed: u64,
     pmu: &PmuModel,
-) -> RunSet {
-    // The runner is total, so the error type is uninhabited and the
-    // empty match discharges the Result without a panic path.
-    let result = batched_core(events, repetitions, base_seed, pmu, &mut |seed,
-                                                                         _label|
-     -> Result<
-        RunResult,
-        std::convert::Infallible,
-    > {
+) -> Result<RunSet, String> {
+    batched_core(events, repetitions, base_seed, pmu, &mut |seed, label| {
         np_telemetry::counter!("acq.runs").inc();
-        Ok(sim.run(program, seed))
-    });
-    match result {
-        Ok(set) => set,
-        Err(never) => match never {},
-    }
+        sim.run(program, seed)
+            .map_err(|e| format!("{label}: invalid program: {e}"))
+    })
 }
 
 /// [`measure_batched`] with every simulated run fanned across `pool`.
@@ -79,25 +69,25 @@ pub fn measure_batched_pool(
     base_seed: u64,
     pmu: &PmuModel,
     pool: &np_parallel::Pool,
-) -> RunSet {
+) -> Result<RunSet, String> {
     let per_rep = pmu.batches(events).len().max(1);
     let total = repetitions * per_rep;
     let mut results = pool
-        .run(total, |i| {
+        .try_run(total, |i| {
             np_telemetry::counter!("acq.runs").inc();
             sim.run(program, base_seed + (i / per_rep) as u64)
+                .map_err(|e| format!("invalid program: {e}"))
         })
+        .map_err(|e| e.to_string())?
         .into_iter();
-    let merged = batched_core(events, repetitions, base_seed, pmu, &mut |_seed, label| {
-        results.next().ok_or(label)
-    });
-    match merged {
-        Ok(set) => set,
-        // Unreachable: the fan-out produced exactly the runs the batching
-        // loop consumes. Kept total (this file is no-panic scoped) by
-        // falling back to the serial path, which is bit-identical anyway.
-        Err(_) => measure_batched(sim, program, events, repetitions, base_seed, pmu),
-    }
+    batched_core(events, repetitions, base_seed, pmu, &mut |_seed, label| {
+        // Structurally impossible — the fan-out produced exactly the runs
+        // the batching loop consumes — but kept total with a typed error
+        // (this file is no-panic scoped).
+        results
+            .next()
+            .ok_or(format!("{label}: fan-out produced too few runs"))
+    })
 }
 
 /// The shared batching loop: one `run_one(seed, label)` call per register
@@ -193,7 +183,8 @@ pub fn measure_batched_resilient(
                         None => {}
                     }
                     np_telemetry::counter!("acq.runs").inc();
-                    Ok(sim.run(program, seed))
+                    sim.run(program, seed)
+                        .map_err(|e| format!("invalid program: {e}"))
                 },
                 |_| true,
             )
@@ -259,7 +250,7 @@ pub fn measure_multiplexed(
     repetitions: usize,
     base_seed: u64,
     pmu: &PmuModel,
-) -> RunSet {
+) -> Result<RunSet, String> {
     let _span = np_telemetry::span!("acq.multiplexed", "counters");
     let groups = pmu.batches(events);
     let mut set = RunSet::new("multiplexed");
@@ -267,7 +258,9 @@ pub fn measure_multiplexed(
         let seed = base_seed + rep as u64;
         let mut obs = MuxObserver::new(groups.clone());
         np_telemetry::counter!("acq.runs").inc();
-        let result = sim.run_observed(program, seed, &mut obs);
+        let result = sim
+            .run_observed(program, seed, &mut obs)
+            .map_err(|e| format!("invalid program: {e}"))?;
         // Attribute the tail past the last slice boundary to the current
         // group.
         obs.absorb(&result.counters);
@@ -295,7 +288,7 @@ pub fn measure_multiplexed(
         }
         set.runs.push(m);
     }
-    set
+    Ok(set)
 }
 
 #[cfg(test)]
@@ -331,10 +324,11 @@ mod tests {
             HwEvent::L1dMiss,
             HwEvent::L2Miss,
         ];
-        let rs = measure_batched(&sim, &p, &events, 3, 100, &PmuModel::default());
+        let rs = measure_batched(&sim, &p, &events, 3, 100, &PmuModel::default())
+            .expect("valid program");
         assert_eq!(rs.len(), 3);
         // Exact match against a direct run with the same seed.
-        let direct = sim.run(&p, 100);
+        let direct = sim.run(&p, 100).expect("valid program");
         let m = &rs.runs[0];
         assert_eq!(
             m.get(HwEvent::L1dMiss).unwrap(),
@@ -351,7 +345,8 @@ mod tests {
         let sim = machine();
         let p = scan_program(&sim);
         let all: Vec<EventId> = HwEvent::ALL.to_vec();
-        let rs = measure_batched(&sim, &p, &all, 1, 7, &PmuModel::default());
+        let rs =
+            measure_batched(&sim, &p, &all, 1, 7, &PmuModel::default()).expect("valid program");
         let m = &rs.runs[0];
         for e in HwEvent::ALL {
             assert!(m.get(e).is_some(), "event {e:?} missing");
@@ -372,8 +367,9 @@ mod tests {
             HwEvent::L3Access,
             HwEvent::FillBufferAlloc,
         ];
-        let rs = measure_multiplexed(&sim, &p, &events, 1, 7, &PmuModel::default());
-        let direct = sim.run(&p, 7);
+        let rs = measure_multiplexed(&sim, &p, &events, 1, 7, &PmuModel::default())
+            .expect("valid program");
+        let direct = sim.run(&p, 7).expect("valid program");
         // A steady event (uniform through the run) extrapolates within ~40%.
         let est = rs.runs[0].get(HwEvent::LoadRetired).unwrap();
         let truth = direct.total(HwEvent::LoadRetired) as f64;
@@ -409,17 +405,19 @@ mod tests {
             HwEvent::LoadRetired,
             HwEvent::StallCycles,
         ];
-        let direct = sim.run(&p, 3);
+        let direct = sim.run(&p, 3).expect("valid program");
         let truth = direct.total(HwEvent::FillBufferReject) as f64;
         assert!(truth > 0.0);
 
-        let batched = measure_batched(&sim, &p, &events, 1, 3, &PmuModel::default());
+        let batched =
+            measure_batched(&sim, &p, &events, 1, 3, &PmuModel::default()).expect("valid program");
         assert_eq!(
             batched.runs[0].get(HwEvent::FillBufferReject).unwrap(),
             truth
         );
 
-        let muxed = measure_multiplexed(&sim, &p, &events, 1, 3, &PmuModel::default());
+        let muxed = measure_multiplexed(&sim, &p, &events, 1, 3, &PmuModel::default())
+            .expect("valid program");
         let est = muxed.runs[0].get(HwEvent::FillBufferReject).unwrap();
         // The bursty event lands mostly in one phase; rotation misses or
         // overscales it. We only require that it is *not* exact, which is
@@ -433,7 +431,8 @@ mod tests {
         let sim = machine();
         let p = scan_program(&sim);
         let events = [HwEvent::Cycles, HwEvent::Instructions, HwEvent::L1dMiss];
-        let clean = measure_batched(&sim, &p, &events, 2, 50, &PmuModel::default());
+        let clean =
+            measure_batched(&sim, &p, &events, 2, 50, &PmuModel::default()).expect("valid program");
         // Two injected failures, each recovered on the retry: same seeds,
         // so the recovered measurement is identical to the clean one.
         let faults = ScriptedFaults::new().inject_n("acq.batch_run", Fault::DropConnection, 2);
@@ -483,10 +482,12 @@ mod tests {
         let sim = machine();
         let p = scan_program(&sim);
         let all: Vec<EventId> = HwEvent::ALL.to_vec();
-        let serial = measure_batched(&sim, &p, &all, 3, 90, &PmuModel::default());
+        let serial =
+            measure_batched(&sim, &p, &all, 3, 90, &PmuModel::default()).expect("valid program");
         for threads in [1, 2, 8] {
             let pool = np_parallel::Pool::new(threads);
-            let pooled = measure_batched_pool(&sim, &p, &all, 3, 90, &PmuModel::default(), &pool);
+            let pooled = measure_batched_pool(&sim, &p, &all, 3, 90, &PmuModel::default(), &pool)
+                .expect("valid program");
             assert_eq!(serial.runs.len(), pooled.runs.len(), "{threads} threads");
             for (a, b) in serial.runs.iter().zip(&pooled.runs) {
                 assert_eq!(a.values, b.values, "{threads} threads");
@@ -509,7 +510,8 @@ mod tests {
             4,
             55,
             &PmuModel::default(),
-        );
+        )
+        .expect("valid program");
         let cycles = rs.samples(HwEvent::Cycles);
         assert_eq!(cycles.len(), 4);
         assert!(

@@ -10,7 +10,7 @@
 use crate::bsp::BspMachine;
 use crate::knuma::{KNumaMachine, Level};
 use crate::logp::LogPMachine;
-use np_simulator::{AllocPolicy, HwEvent, MachineSim, ProgramBuilder};
+use np_simulator::{AllocPolicy, HwEvent, MachineSim, ProgramBuilder, ValidateError};
 
 /// Calibrated machine parameters.
 #[derive(Debug, Clone)]
@@ -25,13 +25,15 @@ pub struct Calibration {
     pub barrier_cost: f64,
 }
 
-/// Runs the calibration probes.
-pub fn calibrate(sim: &MachineSim, seed: u64) -> Calibration {
+/// Runs the calibration probes. The probe programs are built against the
+/// sim's own topology, so validation failure signals a broken machine
+/// config — surfaced as a typed error rather than a panic.
+pub fn calibrate(sim: &MachineSim, seed: u64) -> Result<Calibration, ValidateError> {
     let topo = sim.config().topology.clone();
     let page = sim.config().page_bytes;
 
     // Latency probes: dependent page-strided chases, local and remote.
-    let latency_probe = |to_node: usize| -> f64 {
+    let latency_probe = |to_node: usize| -> Result<f64, ValidateError> {
         let mut b = ProgramBuilder::new(&topo, page);
         let buf = b.alloc(8 << 20, AllocPolicy::Bind(to_node));
         let t = b.add_thread(0);
@@ -39,13 +41,13 @@ pub fn calibrate(sim: &MachineSim, seed: u64) -> Calibration {
         for i in 0..600u64 {
             b.load_dependent(t, buf + ((i * 769) % pages) * page);
         }
-        let r = sim.run(&b.build(), seed);
+        let r = sim.run(&b.build(), seed)?;
         // Per-chase latency: cycles dominated by the dependent chain.
-        r.cycles as f64 / 600.0
+        Ok(r.cycles as f64 / 600.0)
     };
-    let local_latency = latency_probe(0);
+    let local_latency = latency_probe(0)?;
     let remote_latency = if topo.nodes > 1 {
-        latency_probe(1)
+        latency_probe(1)?
     } else {
         local_latency
     };
@@ -60,7 +62,7 @@ pub fn calibrate(sim: &MachineSim, seed: u64) -> Calibration {
         for i in 0..(bytes / 64) {
             b.load(t, buf + i * 64);
         }
-        let r = sim.run(&b.build(), seed);
+        let r = sim.run(&b.build(), seed)?;
         r.cycles as f64 / bytes as f64
     };
 
@@ -73,16 +75,16 @@ pub fn calibrate(sim: &MachineSim, seed: u64) -> Calibration {
             b.barrier(t0, i);
             b.barrier(t1, i);
         }
-        let r = sim.run(&b.build(), seed);
+        let r = sim.run(&b.build(), seed)?;
         r.cycles as f64 / 200.0
     };
 
-    Calibration {
+    Ok(Calibration {
         local_latency,
         remote_latency,
         gap_per_byte,
         barrier_cost,
-    }
+    })
 }
 
 impl Calibration {
@@ -156,7 +158,7 @@ mod tests {
     #[test]
     fn calibration_recovers_machine_structure() {
         let sim = quiet();
-        let c = calibrate(&sim, 1);
+        let c = calibrate(&sim, 1).expect("calibration programs are valid");
         // Dependent chases include the TLB walk (~35 cy) on top of DRAM.
         assert!(
             (230.0..320.0).contains(&c.local_latency),
@@ -180,7 +182,7 @@ mod tests {
     #[test]
     fn calibrated_models_are_consistent() {
         let sim = quiet();
-        let c = calibrate(&sim, 2);
+        let c = calibrate(&sim, 2).expect("calibration programs are valid");
         let bsp = c.bsp(8);
         assert_eq!(bsp.p, 8);
         assert!(bsp.g > 0.0);
@@ -201,7 +203,7 @@ mod tests {
         for i in 0..1000u64 {
             b.load(t, buf + i * 4096);
         }
-        let r = sim.run(&b.build(), 1);
+        let r = sim.run(&b.build(), 1).expect("valid program");
         let inputs = speedup_inputs_from_run(&r);
         assert!(inputs.cycles > 0.0);
         assert!(inputs.remote_fraction > 0.99, "all-remote workload");

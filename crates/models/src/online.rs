@@ -142,7 +142,7 @@ mod tests {
         let sim = sim();
         let w = StreamTriad::bound(64 * 1024, 1, 0).build(sim.config());
         let mut probe = PrefixProbe::new(50_000);
-        sim.run_observed(&w, 1, &mut probe);
+        sim.run_observed(&w, 1, &mut probe).expect("valid program");
         let inputs = probe.prefix_inputs().expect("prefix captured");
         assert!(inputs.cycles >= 50_000.0);
         assert!(inputs.dram_lines > 0.0);
@@ -154,7 +154,7 @@ mod tests {
         let sim = sim();
         let w = StreamTriad::bound(96 * 1024, 1, 0).build(sim.config());
         let mut probe = PrefixProbe::new(80_000);
-        let full = sim.run_observed(&w, 1, &mut probe);
+        let full = sim.run_observed(&w, 1, &mut probe).expect("valid program");
         let prefix = probe.prefix_inputs().unwrap();
         let full_inputs = crate::calibrate::speedup_inputs_from_run(&full);
 
@@ -173,7 +173,7 @@ mod tests {
         let sim = sim();
         let w = StreamTriad::bound(96 * 1024, 1, 0).build(sim.config());
         let mut probe = PrefixProbe::new(80_000);
-        sim.run_observed(&w, 1, &mut probe);
+        sim.run_observed(&w, 1, &mut probe).expect("valid program");
         let prefix = probe.prefix_inputs().unwrap();
         let pred = predictor(&sim);
         let rec = pred.recommend(&prefix, 1, &[1, 2, 4, 8, 16, 32], 0.9);
@@ -215,7 +215,8 @@ mod tests {
         let t = b.add_thread(0);
         b.exec(t, 10);
         let mut probe = PrefixProbe::new(1_000_000);
-        sim.run_observed(&b.build(), 1, &mut probe);
+        sim.run_observed(&b.build(), 1, &mut probe)
+            .expect("valid program");
         assert!(probe.prefix_inputs().is_none());
     }
 }

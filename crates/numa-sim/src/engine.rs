@@ -27,7 +27,7 @@ use crate::config::MachineConfig;
 use crate::event::{Counters, HwEvent};
 use crate::noise::SplitMix64;
 use crate::prefetch::StridePrefetcher;
-use crate::program::{Op, Program};
+use crate::program::{Op, Program, ValidateError};
 use crate::tlb::Tlb;
 
 /// Which level of the memory system served a load.
@@ -159,10 +159,10 @@ struct ThreadState {
 ///     b.load(t, buf + i * 4096);
 /// }
 /// let program = b.build();
-/// let run = sim.run(&program, 42);
+/// let run = sim.run(&program, 42).unwrap();
 /// assert_eq!(run.total(HwEvent::RemoteDramAccess), 64);
 /// // Deterministic: the same (program, seed) reproduces exactly.
-/// assert_eq!(run.counters, sim.run(&program, 42).counters);
+/// assert_eq!(run.counters, sim.run(&program, 42).unwrap().counters);
 /// ```
 pub struct MachineSim {
     config: MachineConfig,
@@ -192,23 +192,24 @@ impl MachineSim {
         &self.config
     }
 
-    /// Runs `program` with `seed`, discarding samples.
-    pub fn run(&self, program: &Program, seed: u64) -> RunResult {
+    /// Runs `program` with `seed`, discarding samples. Fails with the
+    /// typed [`ValidateError`] when the program does not fit this machine
+    /// — the acquisition and probe paths propagate it instead of aborting
+    /// a measurement campaign mid-flight.
+    pub fn run(&self, program: &Program, seed: u64) -> Result<RunResult, ValidateError> {
         self.run_observed(program, seed, &mut NullObserver)
     }
 
     /// Runs `program` with `seed`, streaming samples and timeslices into
-    /// `observer`.
+    /// `observer`. Fails as [`MachineSim::run`] does.
     pub fn run_observed(
         &self,
         program: &Program,
         seed: u64,
         observer: &mut dyn SimObserver,
-    ) -> RunResult {
+    ) -> Result<RunResult, ValidateError> {
         let _span = np_telemetry::span!("sim.run", "sim");
-        program
-            .validate(&self.config.topology)
-            .expect("invalid program for this machine");
+        program.validate(&self.config.topology)?;
 
         let cfg = &self.config;
         let n_cores = cfg.topology.total_cores();
@@ -510,7 +511,7 @@ impl MachineSim {
             regions,
         };
         self.record_run_telemetry(&result);
-        result
+        Ok(result)
     }
 
     /// Feeds one finished run's totals into the global telemetry registry.
@@ -933,7 +934,7 @@ mod tests {
             }
         }
         let mut c = Collect(Vec::new());
-        sim.run_observed(p, 1, &mut c);
+        sim.run_observed(p, 1, &mut c).expect("valid program");
         c.0
     }
 
@@ -950,7 +951,7 @@ mod tests {
                 b.load(t, buf + i * 8);
             }
         }
-        let r = sim.run(&b.build(), 7);
+        let r = sim.run(&b.build(), 7).expect("valid program");
         let hits = r.total(HwEvent::L1dHit);
         let misses = r.total(HwEvent::L1dMiss);
         // 16384 loads, 8 per line: ≥ 7/8 hit even without prefetching.
@@ -1010,7 +1011,7 @@ mod tests {
         for i in 0..256u64 {
             b.load(t, buf + i * 4096);
         }
-        let r = sim.run(&b.build(), 3);
+        let r = sim.run(&b.build(), 3).expect("valid program");
         assert_eq!(r.total(HwEvent::RemoteDramAccess), 256);
         assert_eq!(r.total(HwEvent::LocalDramAccess), 0);
         assert!(r.total(HwEvent::QpiTransfer) >= 256);
@@ -1026,7 +1027,7 @@ mod tests {
         for i in 0..256u64 {
             b.load(t, buf + i * 4096);
         }
-        let r = sim.run(&b.build(), 3);
+        let r = sim.run(&b.build(), 3).expect("valid program");
         assert_eq!(r.total(HwEvent::LocalDramAccess), 256);
         assert_eq!(r.total(HwEvent::RemoteDramAccess), 0);
     }
@@ -1041,7 +1042,7 @@ mod tests {
         for i in 0..2000u64 {
             b.load(t, buf + i * 4096);
         }
-        let r = sim.run(&b.build(), 5);
+        let r = sim.run(&b.build(), 5).expect("valid program");
         assert!(
             r.total(HwEvent::FillBufferReject) > 1500,
             "rejects {}",
@@ -1062,7 +1063,7 @@ mod tests {
         for i in 0..4096u64 {
             b.load(t, buf + i * 8); // sequential within lines
         }
-        let r = sim.run(&b.build(), 5);
+        let r = sim.run(&b.build(), 5).expect("valid program");
         assert!(
             r.total(HwEvent::FillBufferReject) < 50,
             "rejects {}",
@@ -1091,12 +1092,16 @@ mod tests {
         let mut on = base_cfg.clone();
         on.prefetch_enabled = true;
         let sim_on = MachineSim::new(on);
-        let r_on = sim_on.run(&build(&sim_on.config().topology), 9);
+        let r_on = sim_on
+            .run(&build(&sim_on.config().topology), 9)
+            .expect("valid program");
 
         let mut off = base_cfg.clone();
         off.prefetch_enabled = false;
         let sim_off = MachineSim::new(off);
-        let r_off = sim_off.run(&build(&sim_off.config().topology), 9);
+        let r_off = sim_off
+            .run(&build(&sim_off.config().topology), 9)
+            .expect("valid program");
 
         assert!(r_on.total(HwEvent::L2PrefetchReq) > 0);
         assert_eq!(r_off.total(HwEvent::L2PrefetchReq), 0);
@@ -1117,7 +1122,7 @@ mod tests {
         for i in 0..1024u64 {
             b.load(t, buf + i * 4096);
         }
-        let r = sim.run(&b.build(), 2);
+        let r = sim.run(&b.build(), 2).expect("valid program");
         assert_eq!(r.total(HwEvent::L2PrefetchReq), 0);
     }
 
@@ -1141,7 +1146,7 @@ mod tests {
         let mean = dram.iter().sum::<u64>() as f64 / dram.len() as f64;
         assert!((mean - 230.0).abs() < 60.0, "mean DRAM latency {mean}");
         // And the core actually waited: cycles ≈ loads × latency.
-        let r = sim.run(&p, 1);
+        let r = sim.run(&p, 1).expect("valid program");
         assert!(r.cycles as f64 > 512.0 * 200.0);
     }
 
@@ -1157,7 +1162,7 @@ mod tests {
         b.barrier(w, 1);
         b.barrier(r_, 1);
         b.load(r_, buf);
-        let r = sim.run(&b.build(), 11);
+        let r = sim.run(&b.build(), 11).expect("valid program");
         assert_eq!(r.total(HwEvent::HitmTransfer), 1);
         assert!(r.total(HwEvent::SnoopRequest) >= 1);
     }
@@ -1177,7 +1182,7 @@ mod tests {
         b.barrier(a, 2);
         b.barrier(c, 2);
         b.load(c, buf); // must miss: was invalidated
-        let r = sim.run(&b.build(), 13);
+        let r = sim.run(&b.build(), 13).expect("valid program");
         assert!(r.total(HwEvent::CoherenceInvalidation) >= 1);
         assert_eq!(r.total(HwEvent::HitmTransfer), 1); // reader pulls dirty line
     }
@@ -1197,7 +1202,7 @@ mod tests {
         b.barrier(slow, 1);
         b.exec(fast, 1);
         b.exec(slow, 1);
-        let r = sim.run(&b.build(), 1);
+        let r = sim.run(&b.build(), 1).expect("valid program");
         // Total runtime dominated by the slow thread.
         assert!(r.cycles > 200 * 100);
     }
@@ -1212,7 +1217,7 @@ mod tests {
             b.exec(t, 100);
         }
         b.release(t, 5 << 20);
-        let r = sim.run(&b.build(), 1);
+        let r = sim.run(&b.build(), 1).expect("valid program");
         let max_fp = r.footprint.iter().map(|&(_, f)| f).max().unwrap();
         assert_eq!(max_fp, 10 << 20);
         let last_fp = r.footprint.last().unwrap().1;
@@ -1234,8 +1239,8 @@ mod tests {
             b.load(t, buf + (i * 2654435761) % (1 << 20));
         }
         let p = b.build();
-        let r1 = sim.run(&p, 42);
-        let r2 = sim.run(&p, 42);
+        let r1 = sim.run(&p, 42).expect("valid program");
+        let r2 = sim.run(&p, 42).expect("valid program");
         assert_eq!(r1.counters, r2.counters);
         assert_eq!(r1.cycles, r2.cycles);
     }
@@ -1253,8 +1258,8 @@ mod tests {
             b.load(t, buf + i * 4096 % (4 << 20));
         }
         let p = b.build();
-        let r1 = sim.run(&p, 1);
-        let r2 = sim.run(&p, 2);
+        let r1 = sim.run(&p, 1).expect("valid program");
+        let r2 = sim.run(&p, 2).expect("valid program");
         assert_ne!(r1.cycles, r2.cycles);
     }
 
@@ -1264,7 +1269,7 @@ mod tests {
         let mut b = ProgramBuilder::new(&sim.config().topology, 4096);
         let t = b.add_thread(0);
         b.exec(t, 1000);
-        let r = sim.run(&b.build(), 1);
+        let r = sim.run(&b.build(), 1).expect("valid program");
         assert_eq!(r.total(HwEvent::Instructions), 1000);
         assert_eq!(r.cycles, 1000);
     }
@@ -1285,7 +1290,8 @@ mod tests {
             }
         }
         let mut s = Slices(0);
-        sim.run_observed(&b.build(), 1, &mut s);
+        sim.run_observed(&b.build(), 1, &mut s)
+            .expect("valid program");
         assert!(s.0 >= 9, "slices {}", s.0);
     }
 
@@ -1303,7 +1309,7 @@ mod tests {
         for i in 0..32u64 {
             b.load(t, buf + i * 4096);
         }
-        let r = sim.run(&b.build(), 1);
+        let r = sim.run(&b.build(), 1).expect("valid program");
         // 32 cold misses + 32 post-flush misses.
         assert_eq!(r.total(HwEvent::DtlbMiss), 64);
         assert_eq!(r.total(HwEvent::L1dLocked), 64);
@@ -1317,7 +1323,7 @@ mod tests {
                 b.load(t, buf + i * 4096);
             }
         }
-        let r = sim.run(&b.build(), 1);
+        let r = sim.run(&b.build(), 1).expect("valid program");
         assert_eq!(r.total(HwEvent::DtlbMiss), 32);
     }
 
@@ -1346,7 +1352,7 @@ mod tests {
                 }
             }
             let mut o = DramLat(0, 0);
-            sim.run_observed(&p, 3, &mut o);
+            sim.run_observed(&p, 3, &mut o).expect("valid program");
             o.0 as f64 / o.1.max(1) as f64
         };
         let lat1 = run_with_threads(1);
@@ -1371,7 +1377,7 @@ mod tests {
         }
         b.barrier(t1, 1);
         b.exec(t1, 7);
-        let r = sim.run(&b.build(), 1);
+        let r = sim.run(&b.build(), 1).expect("valid program");
         assert_eq!(r.total(HwEvent::Instructions), 5 + 100 * 100 + 7);
     }
 
@@ -1391,7 +1397,7 @@ mod tests {
         b.exec(t1, 5);
         b.barrier(t1, 1);
         b.exec(t1, 7);
-        let r = sim.run(&b.build(), 1);
+        let r = sim.run(&b.build(), 1).expect("valid program");
         assert_eq!(r.total(HwEvent::Instructions), 100 * 100 + 5 + 7);
     }
 
@@ -1401,7 +1407,7 @@ mod tests {
         let mut b = ProgramBuilder::new(&sim.config().topology, 4096);
         b.add_thread(0);
         b.add_thread(1);
-        let r = sim.run(&b.build(), 1);
+        let r = sim.run(&b.build(), 1).expect("valid program");
         assert_eq!(r.cycles, 0);
         assert_eq!(r.total(HwEvent::Instructions), 0);
     }
@@ -1413,7 +1419,7 @@ mod tests {
         let t = b.add_thread(0);
         b.reserve(t, 4096);
         b.release(t, 1 << 30);
-        let r = sim.run(&b.build(), 1);
+        let r = sim.run(&b.build(), 1).expect("valid program");
         assert_eq!(r.footprint.last().unwrap().1, 0);
     }
 
@@ -1432,7 +1438,7 @@ mod tests {
         for i in 0..512u64 {
             b.load(t, buf + 1 + i * 4096);
         }
-        let r = sim.run(&b.build(), 1);
+        let r = sim.run(&b.build(), 1).expect("valid program");
         assert_eq!(r.regions.len(), 2);
         // Loads split evenly.
         assert_eq!(r.region_total(1, HwEvent::LoadRetired), 512);
@@ -1465,15 +1471,17 @@ mod tests {
                 b.load(t, buf + (core as u64 * 512 + i) * 64);
             }
         }
-        let r = sim.run(&b.build(), 1);
+        let r = sim.run(&b.build(), 1).expect("valid program");
         assert_eq!(r.region_total(7, HwEvent::LoadRetired), 200);
     }
 
     #[test]
-    #[should_panic(expected = "invalid program")]
-    fn invalid_program_panics() {
+    fn invalid_program_is_a_typed_error() {
         let sim = machine();
         let b = ProgramBuilder::new(&sim.config().topology, 4096);
-        sim.run(&b.build(), 1);
+        let err = sim
+            .run(&b.build(), 1)
+            .expect_err("empty program is invalid");
+        assert!(matches!(err, ValidateError::NoThreads));
     }
 }

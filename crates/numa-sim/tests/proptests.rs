@@ -74,7 +74,7 @@ proptest! {
         for i in 0..count as u64 {
             b.load(t, buf + (i * stride) % (8 << 20));
         }
-        let r = sim.run(&b.build(), seed);
+        let r = sim.run(&b.build(), seed).expect("valid program");
 
         // Load accounting: every retired load hit or missed L1.
         prop_assert_eq!(
@@ -124,8 +124,8 @@ proptest! {
         b.barrier(t0, 1);
         b.barrier(t1, 1);
         let p = b.build();
-        let r1 = sim.run(&p, seed);
-        let r2 = sim.run(&p, seed);
+        let r1 = sim.run(&p, seed).expect("valid program");
+        let r2 = sim.run(&p, seed).expect("valid program");
         prop_assert_eq!(r1.counters, r2.counters);
         prop_assert_eq!(r1.cycles, r2.cycles);
     }
@@ -148,7 +148,7 @@ proptest! {
                 expected += bytes;
             }
         }
-        let r = sim.run(&b.build(), 0);
+        let r = sim.run(&b.build(), 0).expect("valid program");
         prop_assert_eq!(r.footprint.last().unwrap().1, expected);
         // Monotone time stamps.
         for w in r.footprint.windows(2) {

@@ -139,6 +139,19 @@ impl Failure {
             Failure::Task { index, message } => PoolError::Task { index, message },
         }
     }
+
+    /// The payload `resume_unwind` re-raises on the caller thread. A task
+    /// failure cannot occur under an infallible closure, but mapping it to
+    /// a string payload keeps the propagation total — no unreachable arm
+    /// to assert over.
+    fn into_panic_payload(self) -> Box<dyn Any + Send> {
+        match self {
+            Failure::Panic { payload, .. } => payload,
+            Failure::Task { index, message } => {
+                Box::new(format!("infallible task failed on item {index}: {message}"))
+            }
+        }
+    }
 }
 
 /// Renders a panic payload the way the default hook would.
@@ -232,10 +245,7 @@ impl Pool {
                 chunk_ns,
                 profile,
             },
-            (Err(Failure::Panic { payload, .. }), ..) => resume_unwind(payload),
-            (Err(Failure::Task { index, message }), ..) => {
-                unreachable!("infallible task failed on item {index}: {message}")
-            }
+            (Err(failure), ..) => resume_unwind(failure.into_panic_payload()),
         }
     }
 
@@ -346,7 +356,12 @@ impl Pool {
                             None => Ok(out),
                             Some(e) => Err(e),
                         };
-                        deposits.lock().unwrap().push((deposit, profile));
+                        // Poison recovery: the deposit vec is append-only,
+                        // so a panicked sibling never leaves it torn.
+                        deposits
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .push((deposit, profile));
                     }
                     np_telemetry::counter!("par.tasks").add(executed as u64);
                     np_telemetry::counter!("par.steal")
@@ -362,17 +377,17 @@ impl Pool {
         // Merge in chunk order — submission order — regardless of which
         // worker finished when. The earliest failure (by item index) wins
         // deterministically: chunks are ordered index ranges and a chunk
-        // stops at its first failing item.
-        let mut slots: Vec<Option<Deposit<U>>> = (0..chunks).map(|_| None).collect();
-        for (deposit, profile) in deposits.into_inner().unwrap() {
-            slots[profile.chunk] = Some((deposit, profile));
-        }
+        // stops at its first failing item. Every pushed chunk is popped
+        // exactly once (close drains, never discards), so sorting the
+        // deposits by chunk index reconstructs submission order.
+        let mut merged = deposits.into_inner().unwrap_or_else(|p| p.into_inner());
+        merged.sort_by_key(|(_, profile)| profile.chunk);
+        debug_assert_eq!(merged.len(), chunks, "every chunk executed exactly once");
         let mut results = Vec::with_capacity(items);
         let mut chunk_ns = Vec::with_capacity(chunks);
         let mut profiles = Vec::with_capacity(chunks);
         let mut first_failure: Option<Failure> = None;
-        for slot in slots {
-            let (deposit, profile) = slot.expect("every chunk executed exactly once");
+        for (deposit, profile) in merged {
             chunk_ns.push(profile.end_ns.saturating_sub(profile.start_ns));
             profiles.push(profile);
             match deposit {

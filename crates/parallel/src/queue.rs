@@ -4,8 +4,22 @@
 //! blocks when `capacity` items are in flight, consumers block when the
 //! queue is empty, and [`BoundedQueue::close`] lets consumers drain what
 //! remains and then observe end-of-work (`pop` → `None`). Everything is a
-//! single mutex + condvar — no atomics, so the workspace `relaxed-ordering`
-//! lint has nothing to even look at.
+//! single mutex + two condvars — no atomics, so the workspace
+//! `relaxed-ordering` lint has nothing to even look at.
+//!
+//! The two condvars (`not_empty` for consumers, `not_full` for the
+//! producer) replace an earlier single-condvar design whose every push
+//! and pop `notify_all`'d all parties — the wakeup storm the roadmap
+//! flagged: N-1 workers woke, found either no item or somebody else's
+//! turn, and went straight back to sleep. Without a turnstile a push now
+//! wakes exactly one consumer and a pop exactly the producer. With a
+//! turnstile installed, pops still `notify_all` consumers — the grant
+//! names one specific worker and `notify_one` could wake the wrong one
+//! and strand the schedule. Lock poisoning is recovered everywhere
+//! (`unwrap_or_else(|p| p.into_inner())`, the serve-crate idiom): queue
+//! state is a `VecDeque` plus counters, consistent at every await point,
+//! and a panicked worker must not cascade into aborting the whole
+//! measurement campaign.
 //!
 //! The turnstile is how schedules become enforceable: when a worker order
 //! is installed, the `s`-th successful `pop` is only granted to the worker
@@ -16,7 +30,7 @@
 
 use crate::schedule::Step;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 struct State<T> {
     items: VecDeque<T>,
@@ -33,7 +47,11 @@ struct State<T> {
 /// Bounded multi-producer/multi-consumer queue; see the module docs.
 pub struct BoundedQueue<T> {
     state: Mutex<State<T>>,
-    cv: Condvar,
+    /// Signalled when an item arrives, the queue closes, or (under a
+    /// turnstile) the step sequence advances.
+    not_empty: Condvar,
+    /// Signalled when a slot frees up or the queue closes.
+    not_full: Condvar,
 }
 
 impl<T> BoundedQueue<T> {
@@ -54,24 +72,44 @@ impl<T> BoundedQueue<T> {
                 order,
                 steps: Vec::new(),
             }),
-            cv: Condvar::new(),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// The state mutex with poison recovery: a consumer that panicked in
+    /// user code never held the lock across an inconsistent state, so
+    /// the queue keeps serving the surviving workers.
+    fn locked(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Signals item arrival (or a turnstile step advance) to consumers.
+    /// One waiter suffices in free-for-all mode; a turnstile grant names
+    /// a specific worker, so everyone must look. Takes the guard, not the
+    /// state, so a caller cannot notify without holding the lock.
+    fn signal_consumers(&self, st: &MutexGuard<'_, State<T>>) {
+        if st.order.is_some() {
+            self.not_empty.notify_all();
+        } else {
+            self.not_empty.notify_one();
         }
     }
 
     /// Enqueues `item`, blocking while the queue is full. Returns `false`
     /// (dropping the item) if the queue was closed.
     pub fn push(&self, item: T) -> bool {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.locked();
         loop {
             if st.closed {
                 return false;
             }
             if st.items.len() < st.capacity {
                 st.items.push_back(item);
-                self.cv.notify_all();
+                self.signal_consumers(&st);
                 return true;
             }
-            st = self.cv.wait(st).unwrap();
+            st = self.not_full.wait(st).unwrap_or_else(|p| p.into_inner());
         }
     }
 
@@ -80,7 +118,7 @@ impl<T> BoundedQueue<T> {
     /// else. Returns `None` once the queue is closed *and* drained — the
     /// shutdown contract: close never discards queued work.
     pub fn pop(&self, worker: usize) -> Option<T> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.locked();
         loop {
             let my_turn = match &st.order {
                 Some(order) => order.get(st.seq).is_none_or(|&w| w == worker),
@@ -91,7 +129,13 @@ impl<T> BoundedQueue<T> {
                     let chunk = st.seq;
                     st.steps.push(Step { worker, chunk });
                     st.seq += 1;
-                    self.cv.notify_all();
+                    // A slot freed for the producer; under a turnstile the
+                    // advanced seq also changes whose turn it is, so the
+                    // other consumers must re-check.
+                    self.not_full.notify_one();
+                    if st.order.is_some() {
+                        self.not_empty.notify_all();
+                    }
                     return Some(item);
                 }
                 if st.closed {
@@ -100,20 +144,21 @@ impl<T> BoundedQueue<T> {
             } else if st.closed && st.items.is_empty() {
                 return None;
             }
-            st = self.cv.wait(st).unwrap();
+            st = self.not_empty.wait(st).unwrap_or_else(|p| p.into_inner());
         }
     }
 
     /// Closes the queue: producers fail fast, consumers drain and exit.
     pub fn close(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.locked();
         st.closed = true;
-        self.cv.notify_all();
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
     }
 
     /// Items currently queued (racy by nature; for tests/diagnostics).
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap().items.len()
+        self.locked().items.len()
     }
 
     /// Whether the queue holds no items right now.
@@ -124,7 +169,7 @@ impl<T> BoundedQueue<T> {
     /// Takes the recorded interleaving (the `s`-th entry is the worker
     /// that won step `s`).
     pub fn take_steps(&self) -> Vec<Step> {
-        std::mem::take(&mut self.state.lock().unwrap().steps)
+        std::mem::take(&mut self.locked().steps)
     }
 }
 
@@ -193,6 +238,52 @@ mod tests {
         assert_eq!(w0.join().unwrap() + w1.join().unwrap(), 3);
         let steps: Vec<usize> = q.take_steps().iter().map(|s| s.worker).collect();
         assert_eq!(steps, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_and_the_queue_keeps_serving() {
+        // Regression for the poison-recovery audit fix: a thread that
+        // panics while holding the state mutex poisons it, and every
+        // subsequent `.lock().unwrap()` would have cascaded that panic
+        // into the surviving workers. `unwrap_or_else(into_inner)` keeps
+        // the queue serving instead.
+        let q = Arc::new(BoundedQueue::new(4));
+        q.push(1);
+        let qp = Arc::clone(&q);
+        std::thread::spawn(move || {
+            let _g = qp.state.lock().unwrap();
+            panic!("poison the queue mutex");
+        })
+        .join()
+        .unwrap_err();
+        assert!(q.state.is_poisoned());
+        assert!(q.push(2), "push survives the poisoned lock");
+        assert_eq!(q.pop(0), Some(1), "pop survives the poisoned lock");
+        assert_eq!(q.pop(0), Some(2));
+        q.close();
+        assert_eq!(q.pop(0), None);
+    }
+
+    #[test]
+    fn single_notify_never_strands_a_consumer() {
+        // Regression for the wakeup-storm redesign: push wakes exactly one
+        // consumer (`notify_one`) in free-for-all mode. If that ever lost
+        // a wakeup — woke a consumer that could not make progress while a
+        // hungry one slept — this drain would hang rather than complete.
+        const ITEMS: usize = 256;
+        let q = Arc::new(BoundedQueue::new(2));
+        let workers: Vec<_> = (0..4)
+            .map(|w| {
+                let qc = Arc::clone(&q);
+                std::thread::spawn(move || std::iter::from_fn(|| qc.pop(w)).count())
+            })
+            .collect();
+        for i in 0..ITEMS {
+            assert!(q.push(i));
+        }
+        q.close();
+        let drained: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(drained, ITEMS, "every queued item reaches some consumer");
     }
 
     #[test]

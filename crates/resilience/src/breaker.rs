@@ -83,12 +83,12 @@ impl CircuitBreaker {
     ///
     /// [`allow`]: CircuitBreaker::allow
     pub fn state(&self) -> CircuitState {
-        self.inner.lock().unwrap().state
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).state
     }
 
     /// Asks to make a call. `true` admits it; `false` means fail fast.
     pub fn allow(&self) -> bool {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         match inner.state {
             CircuitState::Closed => true,
             CircuitState::HalfOpen => {
@@ -123,7 +123,7 @@ impl CircuitBreaker {
 
     /// Reports a successful call: closes the circuit.
     pub fn record_success(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         inner.consecutive_failures = 0;
         inner.opened_at = None;
         if inner.state != CircuitState::Closed {
@@ -134,7 +134,7 @@ impl CircuitBreaker {
     /// Reports a failed call: counts towards the threshold, or re-opens a
     /// half-open circuit immediately.
     pub fn record_failure(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         inner.consecutive_failures += 1;
         let trip = inner.state == CircuitState::HalfOpen
             || (inner.state == CircuitState::Closed

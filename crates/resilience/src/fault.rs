@@ -110,13 +110,23 @@ impl ScriptedFaults {
 
     /// Faults still queued across all sites.
     pub fn remaining(&self) -> usize {
-        self.script.lock().unwrap().values().map(|q| q.len()).sum()
+        self.script
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+            .map(|q| q.len())
+            .sum()
     }
 }
 
 impl FaultInjector for ScriptedFaults {
     fn next(&self, site: &str) -> Option<Fault> {
-        let fault = self.script.lock().unwrap().get_mut(site)?.pop_front();
+        let fault = self
+            .script
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get_mut(site)?
+            .pop_front();
         if fault.is_some() {
             np_telemetry::counter!("faults.injected").inc();
         }

@@ -111,7 +111,11 @@ impl RetryPolicy {
         let started = Instant::now();
         let overall = self.overall_deadline.map(|d| started + d);
         let mut last = None;
-        for attempt in 1..=self.max_attempts {
+        // `max_attempts` is clamped at construction, but it is also a pub
+        // field: re-clamp so a hand-built policy with 0 still makes one
+        // attempt instead of hitting the empty-range path below.
+        let max_attempts = self.max_attempts.max(1);
+        for attempt in 1..=max_attempts {
             let pause = self.backoff(attempt);
             if !pause.is_zero() {
                 let pause = match overall {
@@ -142,13 +146,26 @@ impl RetryPolicy {
                 deadline,
             }) {
                 Ok(v) => return Ok(v),
-                Err(e) if is_transient(&e) => last = Some(e),
+                Err(e) if is_transient(&e) => {
+                    // Exhaustion is decided here, with the error in hand —
+                    // no after-the-loop unwrap of an Option that control
+                    // flow "guarantees" is Some.
+                    if attempt == max_attempts {
+                        return Err(RetryError::Exhausted {
+                            attempts: max_attempts,
+                            last: e,
+                        });
+                    }
+                    last = Some(e);
+                }
                 Err(e) => return Err(RetryError::Permanent(e)),
             }
         }
-        Err(RetryError::Exhausted {
-            attempts: self.max_attempts,
-            last: last.expect("at least one transient failure recorded"),
+        // Unreachable (the loop always returns on its final attempt), but
+        // total: treat an impossible fall-through as deadline exhaustion.
+        Err(RetryError::DeadlineExceeded {
+            attempts: max_attempts,
+            last,
         })
     }
 }

@@ -109,7 +109,7 @@ pub struct MetricsRegistry {
 impl MetricsRegistry {
     /// Registers (or finds) a counter named `name`.
     pub fn counter(&self, name: &str) -> &'static Counter {
-        let mut map = self.counters.lock().unwrap();
+        let mut map = self.counters.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(c) = map.get(name) {
             return c;
         }
@@ -120,7 +120,7 @@ impl MetricsRegistry {
 
     /// Registers (or finds) a gauge named `name`.
     pub fn gauge(&self, name: &str) -> &'static Gauge {
-        let mut map = self.gauges.lock().unwrap();
+        let mut map = self.gauges.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(g) = map.get(name) {
             return g;
         }
@@ -131,7 +131,7 @@ impl MetricsRegistry {
 
     /// Registers (or finds) a histogram named `name`.
     pub fn histogram(&self, name: &str) -> &'static LogHistogram {
-        let mut map = self.histograms.lock().unwrap();
+        let mut map = self.histograms.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(h) = map.get(name) {
             return h;
         }
@@ -145,21 +145,21 @@ impl MetricsRegistry {
         let counters = self
             .counters
             .lock()
-            .unwrap()
+            .unwrap_or_else(|p| p.into_inner())
             .iter()
             .map(|(n, c)| (n.to_string(), c.get()))
             .collect();
         let gauges = self
             .gauges
             .lock()
-            .unwrap()
+            .unwrap_or_else(|p| p.into_inner())
             .iter()
             .map(|(n, g)| (n.to_string(), g.get()))
             .collect();
         let histograms = self
             .histograms
             .lock()
-            .unwrap()
+            .unwrap_or_else(|p| p.into_inner())
             .iter()
             .map(|(n, h)| {
                 (
@@ -183,13 +183,28 @@ impl MetricsRegistry {
 
     /// Resets every registered metric to zero (names stay registered).
     pub fn reset(&self) {
-        for c in self.counters.lock().unwrap().values() {
+        for c in self
+            .counters
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+        {
             c.reset();
         }
-        for g in self.gauges.lock().unwrap().values() {
+        for g in self
+            .gauges
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+        {
             g.reset();
         }
-        for h in self.histograms.lock().unwrap().values() {
+        for h in self
+            .histograms
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+        {
             h.reset();
         }
     }
@@ -199,4 +214,41 @@ impl MetricsRegistry {
 pub fn global() -> &'static MetricsRegistry {
     static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
     GLOBAL.get_or_init(MetricsRegistry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn registration_and_snapshot_survive_a_poisoned_lock() {
+        // Regression for the poison-recovery audit fix: a worker that
+        // panics mid-registration poisons the name map, and `snapshot`
+        // (called from the serve crate's stats endpoint) must not turn
+        // that into a second panic on the request path.
+        let reg = Arc::new(MetricsRegistry::default());
+        crate::set_enabled(true);
+        reg.counter("pre.poison").inc();
+        let rp = Arc::clone(&reg);
+        std::thread::spawn(move || {
+            let _g = rp.counters.lock().unwrap();
+            panic!("poison the registry mutex");
+        })
+        .join()
+        .unwrap_err();
+        assert!(reg.counters.is_poisoned());
+        reg.counter("post.poison").inc();
+        let snap = reg.snapshot();
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(get("pre.poison"), Some(1));
+        assert_eq!(get("post.poison"), Some(1));
+        reg.reset();
+        assert_eq!(reg.counter("pre.poison").get(), 0);
+    }
 }

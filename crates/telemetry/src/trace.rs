@@ -91,25 +91,34 @@ impl Drop for SpanTimer {
             h.record(dur);
         }
         if crate::tracing_enabled() {
-            trace_buffer().lock().unwrap().push(TraceEvent {
-                name: self.name,
-                cat: self.cat,
-                ts_us: start / 1_000,
-                dur_us: dur / 1_000,
-                tid: current_tid(),
-            });
+            trace_buffer()
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(TraceEvent {
+                    name: self.name,
+                    cat: self.cat,
+                    ts_us: start / 1_000,
+                    dur_us: dur / 1_000,
+                    tid: current_tid(),
+                });
         }
     }
 }
 
 /// Number of buffered trace events.
 pub fn trace_event_count() -> usize {
-    trace_buffer().lock().unwrap().len()
+    trace_buffer()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .len()
 }
 
 /// Drops all buffered trace events.
 pub fn clear_trace() {
-    trace_buffer().lock().unwrap().clear();
+    trace_buffer()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clear();
 }
 
 /// Serializes the buffered events as a Chrome trace (JSON array form).
@@ -117,7 +126,10 @@ pub fn clear_trace() {
 /// Events are sorted by `ts` so consumers that assume ordered input (and
 /// the integration tests) see a monotone timeline.
 pub fn export_chrome_trace() -> String {
-    let mut events = trace_buffer().lock().unwrap().clone();
+    let mut events = trace_buffer()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clone();
     events.sort_by_key(|e| (e.ts_us, e.tid));
     // Starts with a process-name metadata event, the convention Perfetto
     // shows titles with; real events follow comma-separated.

@@ -158,8 +158,12 @@ mod tests {
     fn column_major_misses_l1_far_more() {
         let sim = quiet();
         let size = 128; // 64 KiB array: beyond L1, inside L2
-        let ra = sim.run(&CacheMissKernel::row_major(size).build(sim.config()), 1);
-        let rb = sim.run(&CacheMissKernel::column_major(size).build(sim.config()), 1);
+        let ra = sim
+            .run(&CacheMissKernel::row_major(size).build(sim.config()), 1)
+            .expect("valid program");
+        let rb = sim
+            .run(&CacheMissKernel::column_major(size).build(sim.config()), 1)
+            .expect("valid program");
         let a = ra.total(HwEvent::L1dMiss) as f64;
         let b = rb.total(HwEvent::L1dMiss) as f64;
         assert!(b > 5.0 * a, "L1 misses: column {b} vs row {a}");
@@ -169,8 +173,12 @@ mod tests {
     fn column_major_defeats_prefetcher() {
         let sim = quiet();
         let size = 1024; // row = exactly one page: column stride = page stride
-        let ra = sim.run(&CacheMissKernel::row_major(size).build(sim.config()), 1);
-        let rb = sim.run(&CacheMissKernel::column_major(size).build(sim.config()), 1);
+        let ra = sim
+            .run(&CacheMissKernel::row_major(size).build(sim.config()), 1)
+            .expect("valid program");
+        let rb = sim
+            .run(&CacheMissKernel::column_major(size).build(sim.config()), 1)
+            .expect("valid program");
         let a = ra.total(HwEvent::L2PrefetchReq) as f64;
         let b = rb.total(HwEvent::L2PrefetchReq) as f64;
         // Paper: "L2 prefetch requests dropped by 90%". The fill phase is
@@ -182,8 +190,12 @@ mod tests {
     fn column_major_explodes_fill_buffer_rejects() {
         let sim = quiet();
         let size = 1024;
-        let ra = sim.run(&CacheMissKernel::row_major(size).build(sim.config()), 1);
-        let rb = sim.run(&CacheMissKernel::column_major(size).build(sim.config()), 1);
+        let ra = sim
+            .run(&CacheMissKernel::row_major(size).build(sim.config()), 1)
+            .expect("valid program");
+        let rb = sim
+            .run(&CacheMissKernel::column_major(size).build(sim.config()), 1)
+            .expect("valid program");
         let a = ra.total(HwEvent::FillBufferReject);
         let b = rb.total(HwEvent::FillBufferReject);
         assert!(b > 50 * a.max(1), "rejects: column {b} vs row {a}");
@@ -193,8 +205,12 @@ mod tests {
     fn cycles_difference_explained_by_stalls() {
         let sim = quiet();
         let size = 256;
-        let ra = sim.run(&CacheMissKernel::row_major(size).build(sim.config()), 1);
-        let rb = sim.run(&CacheMissKernel::column_major(size).build(sim.config()), 1);
+        let ra = sim
+            .run(&CacheMissKernel::row_major(size).build(sim.config()), 1)
+            .expect("valid program");
+        let rb = sim
+            .run(&CacheMissKernel::column_major(size).build(sim.config()), 1)
+            .expect("valid program");
         assert!(rb.cycles > ra.cycles, "column must be slower");
         // Instructions nearly identical (same op streams).
         let ia = ra.total(HwEvent::Instructions) as f64;
@@ -206,8 +222,12 @@ mod tests {
     fn branch_misses_nearly_equal() {
         let sim = quiet();
         let size = 256;
-        let ra = sim.run(&CacheMissKernel::row_major(size).build(sim.config()), 1);
-        let rb = sim.run(&CacheMissKernel::column_major(size).build(sim.config()), 1);
+        let ra = sim
+            .run(&CacheMissKernel::row_major(size).build(sim.config()), 1)
+            .expect("valid program");
+        let rb = sim
+            .run(&CacheMissKernel::column_major(size).build(sim.config()), 1)
+            .expect("valid program");
         let a = ra.total(HwEvent::BranchMiss) as f64;
         let b = rb.total(HwEvent::BranchMiss) as f64;
         // Same branch pattern: flip once per outer iteration.

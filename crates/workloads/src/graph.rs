@@ -153,7 +153,7 @@ mod tests {
     fn bfs_is_memory_hostile() {
         let sim = quiet();
         let bfs = BfsKernel::new(16 * 1024, 4, 2);
-        let r = sim.run(&bfs.build(sim.config()), 1);
+        let r = sim.run(&bfs.build(sim.config()), 1).expect("valid program");
         // The random visited-gather defeats the caches far more often than
         // a streaming kernel of the same volume would.
         let loads = r.total(HwEvent::LoadRetired) as f64;
@@ -172,7 +172,7 @@ mod tests {
     fn scattered_updates_cause_coherence_traffic() {
         let sim = quiet();
         let bfs = BfsKernel::new(16 * 1024, 4, 4);
-        let r = sim.run(&bfs.build(sim.config()), 1);
+        let r = sim.run(&bfs.build(sim.config()), 1).expect("valid program");
         assert!(
             r.total(HwEvent::CoherenceInvalidation) > 100,
             "invalidations {}",
@@ -183,11 +183,15 @@ mod tests {
     #[test]
     fn placement_policy_changes_remote_traffic() {
         let sim = quiet();
-        let local = sim.run(&BfsKernel::new(16 * 1024, 4, 2).build(sim.config()), 1);
-        let bound_far = sim.run(
-            &BfsKernel::new(16 * 1024, 4, 2).bound(1).build(sim.config()),
-            1,
-        );
+        let local = sim
+            .run(&BfsKernel::new(16 * 1024, 4, 2).build(sim.config()), 1)
+            .expect("valid program");
+        let bound_far = sim
+            .run(
+                &BfsKernel::new(16 * 1024, 4, 2).bound(1).build(sim.config()),
+                1,
+            )
+            .expect("valid program");
         // Thread 0 (node 0) reaches across when everything lives on node 1.
         assert!(
             bound_far.total(HwEvent::RemoteDramAccess)
@@ -201,12 +205,14 @@ mod tests {
     #[test]
     fn interleave_spreads_controllers() {
         let sim = quiet();
-        let r = sim.run(
-            &BfsKernel::new(16 * 1024, 4, 2)
-                .interleaved()
-                .build(sim.config()),
-            1,
-        );
+        let r = sim
+            .run(
+                &BfsKernel::new(16 * 1024, 4, 2)
+                    .interleaved()
+                    .build(sim.config()),
+                1,
+            )
+            .expect("valid program");
         for nd in 0..2 {
             let c0 = sim.config().topology.first_core_of_node(nd);
             assert!(r.counters.get(c0, HwEvent::ImcRead) > 0, "node {nd} idle");

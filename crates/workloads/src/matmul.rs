@@ -95,8 +95,12 @@ mod tests {
     #[test]
     fn parallel_matmul_faster_than_serial() {
         let sim = quiet();
-        let r1 = sim.run(&TiledMatmul::new(96, 1).build(sim.config()), 1);
-        let r4 = sim.run(&TiledMatmul::new(96, 4).build(sim.config()), 1);
+        let r1 = sim
+            .run(&TiledMatmul::new(96, 1).build(sim.config()), 1)
+            .expect("valid program");
+        let r4 = sim
+            .run(&TiledMatmul::new(96, 4).build(sim.config()), 1)
+            .expect("valid program");
         assert!(
             (r4.cycles as f64) < 0.5 * r1.cycles as f64,
             "4 threads {} vs 1 thread {}",
@@ -108,7 +112,9 @@ mod tests {
     #[test]
     fn shared_operand_generates_cross_node_traffic() {
         let sim = quiet();
-        let r = sim.run(&TiledMatmul::new(96, 4).build(sim.config()), 1);
+        let r = sim
+            .run(&TiledMatmul::new(96, 4).build(sim.config()), 1)
+            .expect("valid program");
         // B is interleaved: some accesses must be remote.
         assert!(r.total(HwEvent::RemoteDramAccess) > 0);
     }

@@ -107,9 +107,11 @@ pub fn measure_matrix(
             let mut obs = DramLatencies {
                 samples: Vec::new(),
             };
-            sim.run_observed(&k.build(sim.config()), seed, &mut obs);
+            // A program invalid for this topology yields no samples —
+            // recorded as NaN like any other unmeasurable cell.
+            let ran = sim.run_observed(&k.build(sim.config()), seed, &mut obs);
             obs.samples.sort_unstable();
-            matrix[from][to] = if obs.samples.is_empty() {
+            matrix[from][to] = if ran.is_err() || obs.samples.is_empty() {
                 f64::NAN
             } else {
                 obs.samples[obs.samples.len() / 2] as f64
@@ -189,7 +191,7 @@ mod tests {
     fn injector_generates_remote_traffic() {
         let sim = quiet();
         let k = LatencyChecker::remote_injector(4 << 20, 500);
-        let r = sim.run(&k.build(sim.config()), 1);
+        let r = sim.run(&k.build(sim.config()), 1).expect("valid program");
         assert!(r.total(np_simulator::HwEvent::RemoteDramAccess) > 400);
         assert_eq!(r.total(np_simulator::HwEvent::LocalDramAccess), 0);
     }

@@ -223,7 +223,7 @@ mod tests {
     fn run_events(threads: usize) -> np_simulator::RunResult {
         let sim = quiet();
         let k = ParallelSortKernel::new(16 * 1024, threads);
-        sim.run(&k.build(sim.config()), 7)
+        sim.run(&k.build(sim.config()), 7).expect("valid program")
     }
 
     #[test]

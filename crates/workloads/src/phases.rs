@@ -130,7 +130,7 @@ mod tests {
             compute_trickle_pages: 4,
             release_at_end: false,
         };
-        let r = sim.run(&k.build(sim.config()), 1);
+        let r = sim.run(&k.build(sim.config()), 1).expect("valid program");
         let fp = &r.footprint;
         let peak = fp.iter().map(|&(_, b)| b).max().unwrap();
         let end_time = fp.last().unwrap().0;
@@ -152,7 +152,9 @@ mod tests {
     #[test]
     fn chrome_startup_releases_at_end() {
         let sim = quiet();
-        let r = sim.run(&PhaseTraceKernel::chrome_startup().build(sim.config()), 1);
+        let r = sim
+            .run(&PhaseTraceKernel::chrome_startup().build(sim.config()), 1)
+            .expect("valid program");
         let peak = r.footprint.iter().map(|&(_, b)| b).max().unwrap();
         let last = r.footprint.last().unwrap().1;
         assert!(peak > 1000 * 4096);
@@ -162,7 +164,9 @@ mod tests {
     #[test]
     fn bsp_trace_has_staircase_footprint() {
         let sim = quiet();
-        let r = sim.run(&PhaseTraceKernel::bsp_supersteps(3).build(sim.config()), 1);
+        let r = sim
+            .run(&PhaseTraceKernel::bsp_supersteps(3).build(sim.config()), 1)
+            .expect("valid program");
         let peak = r.footprint.iter().map(|&(_, b)| b).max().unwrap();
         // Three ramp phases of ~400 pages each (plus trickle).
         assert!(peak >= 3 * 400 * 4096, "peak {peak}");
@@ -172,7 +176,7 @@ mod tests {
     fn compute_phase_dominates_runtime() {
         let sim = quiet();
         let k = PhaseTraceKernel::chrome_startup();
-        let r = sim.run(&k.build(sim.config()), 1);
+        let r = sim.run(&k.build(sim.config()), 1).expect("valid program");
         // Find the time at which the footprint reaches 95% of peak: the
         // ramp. The rest is computation and must be the longer part.
         let peak = r.footprint.iter().map(|&(_, b)| b).max().unwrap();

@@ -190,7 +190,7 @@ mod tests {
     fn optimized_variant_is_mostly_local() {
         let sim = quiet();
         let k = SiftKernel::optimized(256, 4);
-        let r = sim.run(&k.build(sim.config()), 1);
+        let r = sim.run(&k.build(sim.config()), 1).expect("valid program");
         let local = r.total(HwEvent::LocalDramAccess);
         let remote = r.total(HwEvent::RemoteDramAccess);
         assert!(
@@ -202,8 +202,12 @@ mod tests {
     #[test]
     fn naive_variant_reaches_across_nodes() {
         let sim = quiet();
-        let r_opt = sim.run(&SiftKernel::optimized(256, 4).build(sim.config()), 1);
-        let r_naive = sim.run(&SiftKernel::naive(256, 4).build(sim.config()), 1);
+        let r_opt = sim
+            .run(&SiftKernel::optimized(256, 4).build(sim.config()), 1)
+            .expect("valid program");
+        let r_naive = sim
+            .run(&SiftKernel::naive(256, 4).build(sim.config()), 1)
+            .expect("valid program");
         assert!(
             r_naive.total(HwEvent::RemoteDramAccess)
                 > 5 * r_opt.total(HwEvent::RemoteDramAccess).max(1),
@@ -216,7 +220,9 @@ mod tests {
     #[test]
     fn workload_exercises_multiple_levels() {
         let sim = quiet();
-        let r = sim.run(&SiftKernel::optimized(256, 2).build(sim.config()), 1);
+        let r = sim
+            .run(&SiftKernel::optimized(256, 2).build(sim.config()), 1)
+            .expect("valid program");
         // The latency histogram needs mass at several levels.
         assert!(r.total(HwEvent::L1dHit) > 0);
         assert!(r.total(HwEvent::L2Hit) > 0);

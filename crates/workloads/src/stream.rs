@@ -105,7 +105,7 @@ mod tests {
 
     /// Bandwidth proxy: bytes moved per cycle.
     fn bandwidth(sim: &MachineSim, w: &StreamTriad) -> f64 {
-        let r = sim.run(&w.build(sim.config()), 1);
+        let r = sim.run(&w.build(sim.config()), 1).expect("valid program");
         (w.elements * 24) as f64 / r.cycles as f64
     }
 
@@ -125,7 +125,7 @@ mod tests {
     fn triad_counts_expected_loads_stores() {
         let sim = quiet();
         let w = StreamTriad::bound(8192, 2, 0);
-        let r = sim.run(&w.build(sim.config()), 1);
+        let r = sim.run(&w.build(sim.config()), 1).expect("valid program");
         assert_eq!(r.total(HwEvent::LoadRetired), 2 * 8192);
         assert_eq!(r.total(HwEvent::StoreRetired), 8192);
     }
@@ -134,7 +134,7 @@ mod tests {
     fn interleave_spreads_imc_traffic() {
         let sim = quiet();
         let w = StreamTriad::interleaved(64 * 1024, 2);
-        let r = sim.run(&w.build(sim.config()), 1);
+        let r = sim.run(&w.build(sim.config()), 1).expect("valid program");
         // Both nodes' controllers see reads.
         let per_node: Vec<u64> = (0..2)
             .map(|n| {

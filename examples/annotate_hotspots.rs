@@ -20,7 +20,9 @@ fn main() {
     // --- Cache-miss kernel: where do the misses live? ---
     println!("Column-major kernel (Listing 2), per-region events");
     println!("==================================================");
-    let run = sim.run(&CacheMissKernel::column_major(512).build(&machine), 1);
+    let run = sim
+        .run(&CacheMissKernel::column_major(512).build(&machine), 1)
+        .expect("valid program");
     let names = RegionNames::new(&[
         (cache_miss::regions::FILL, "fill loop"),
         (cache_miss::regions::READ, "alternating-sum read"),
@@ -44,7 +46,9 @@ fn main() {
     // --- Parallel sort: which superstep causes the contention? ---
     println!("Parallel sort (8 threads), per-superstep events");
     println!("===============================================");
-    let run = sim.run(&ParallelSortKernel::new(64 * 1024, 8).build(&machine), 7);
+    let run = sim
+        .run(&ParallelSortKernel::new(64 * 1024, 8).build(&machine), 7)
+        .expect("valid program");
     let names = RegionNames::new(&[
         (parallel_sort::regions::FILL, "fill (Listing 3)"),
         (parallel_sort::regions::LOCAL_SORT, "local sort"),

@@ -72,7 +72,7 @@ fn main() {
     println!("k-phase extension: BSP trace with 3 supersteps");
     println!("==============================================");
     let bsp = PhaseTraceKernel::bsp_supersteps(3).build(&machine);
-    let run = sim.run(&bsp, 9);
+    let run = sim.run(&bsp, 9).expect("valid program");
     match pp.detect_k(&run.footprint, 6) {
         Some(bounds) => {
             println!("detected 6 segments starting at cycles: {bounds:?}");

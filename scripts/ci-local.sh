@@ -4,14 +4,28 @@
 # overhead jobs from nightly.yml. If this passes, CI passes (modulo
 # toolchain drift; CI also checks the pinned MSRV toolchain).
 #
-# Usage: scripts/ci-local.sh [--quick]
-#   --quick  skip the nightly-tier jobs (fault matrix re-run in release
-#            mode, overhead guard, telemetry snapshot)
+# Usage: scripts/ci-local.sh [--quick] [--sanitizers]
+#   --quick       skip the nightly-tier jobs (fault matrix re-run in
+#                 release mode, overhead guard, telemetry snapshot)
+#   --sanitizers  additionally run the nightly sanitizer pass (TSan on
+#                 np-parallel/np-serve, Miri on np-telemetry and the
+#                 serde_json shim); each leg skips gracefully when the
+#                 nightly toolchain or component is not installed
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
-[[ "${1:-}" == "--quick" ]] && quick=1
+sanitizers=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    --sanitizers) sanitizers=1 ;;
+    *)
+      echo "unknown flag: $arg" >&2
+      exit 2
+      ;;
+  esac
+done
 
 echo "== cargo fmt --check =="
 cargo fmt --check
@@ -35,6 +49,14 @@ cargo test -q --offline -p np-parallel -- --test-threads 1
 
 echo "== np lint (workspace invariants) =="
 cargo run --release --offline --quiet -- lint
+
+echo "== np audit (concurrency & determinism audit) =="
+audit_inv="$(mktemp -t np-unsafe-inventory.XXXXXX.md)"
+audit_sarif="$(mktemp -t np-audit.XXXXXX.sarif)"
+cargo run --release --offline --quiet -- audit \
+  --sarif "$audit_sarif" --inventory "$audit_inv"
+diff -u UNSAFE_INVENTORY.md "$audit_inv"
+echo "audit SARIF written to $audit_sarif"
 
 echo "== np analyze (static envelopes vs engine, all workloads) =="
 cargo run --release --offline --quiet -- analyze --machine two-socket --size 96
@@ -93,6 +115,34 @@ if [[ "$quick" -eq 0 ]]; then
   cargo run --release --offline --quiet -- bench trend \
     --append "$history" --current "$bench_current"
   echo "benchmark history written to $history"
+fi
+
+if [[ "$sanitizers" -eq 1 ]]; then
+  # Mirrors nightly.yml's sanitizers job. Both legs need the nightly
+  # toolchain (-Zsanitizer / Miri are unstable); each skips with a note
+  # instead of failing when its prerequisites are missing, so the flag
+  # is safe to pass on any machine.
+  host="$(rustc -vV | sed -n 's/^host: //p')"
+
+  echo "== sanitizers: ThreadSanitizer (np-parallel, np-serve) =="
+  if rustup run nightly rustc --version >/dev/null 2>&1 \
+    && rustup component list --toolchain nightly 2>/dev/null \
+      | grep -q '^rust-src (installed)'; then
+    RUSTFLAGS="-Zsanitizer=thread" \
+      cargo +nightly test --offline -Zbuild-std \
+      --target "$host" -p np-parallel -p np-serve
+  else
+    echo "skip: nightly toolchain with rust-src not installed" \
+      "(rustup toolchain install nightly --component rust-src)"
+  fi
+
+  echo "== sanitizers: Miri (np-telemetry, serde_json shim) =="
+  if cargo +nightly miri --version >/dev/null 2>&1; then
+    cargo +nightly miri test --offline -p np-telemetry -p serde_json
+  else
+    echo "skip: miri not installed" \
+      "(rustup component add miri --toolchain nightly)"
+  fi
 fi
 
 echo "ci-local: OK"

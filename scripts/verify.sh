@@ -25,6 +25,13 @@ cargo test -q --workspace --offline
 echo "== np lint (workspace invariants) =="
 cargo run --release --offline --quiet -- lint
 
+echo "== np audit (concurrency & determinism audit) =="
+audit_inv="$(mktemp -t np-unsafe-inventory.XXXXXX.md)"
+cargo run --release --offline --quiet -- audit --inventory "$audit_inv"
+# The committed unsafe inventory must match the tree: a new unsafe block
+# lands together with its SAFETY justification and inventory line.
+diff -u UNSAFE_INVENTORY.md "$audit_inv"
+
 echo "== np analyze (static envelopes vs engine, all workloads) =="
 cargo run --release --offline --quiet -- analyze --machine two-socket --size 96
 

@@ -37,6 +37,8 @@ pub enum Command {
     Analyze,
     /// Workspace invariant linter.
     Lint,
+    /// Workspace concurrency & determinism audit.
+    Audit,
     /// Run the indicator-exchange server.
     Serve,
     /// Benchmark a running (or in-process) exchange.
@@ -72,6 +74,7 @@ impl Command {
             "c2c" => Command::C2c,
             "analyze" => Command::Analyze,
             "lint" => Command::Lint,
+            "audit" => Command::Audit,
             "serve" => Command::Serve,
             "loadgen" => Command::Loadgen,
             "bench-parallel" => Command::BenchParallel,
@@ -174,6 +177,10 @@ pub struct Cli {
     pub csv: Option<String>,
     /// `bench trend`: append the run at `--current` to this history.
     pub append: Option<String>,
+    /// `audit`: also write a SARIF 2.1.0 report here.
+    pub sarif: Option<String>,
+    /// `audit`: also write the unsafe-inventory markdown here.
+    pub inventory: Option<String>,
 }
 
 impl Cli {
@@ -249,6 +256,8 @@ impl Cli {
             md: None,
             csv: None,
             append: None,
+            sarif: None,
+            inventory: None,
         };
 
         let take_value =
@@ -362,6 +371,8 @@ impl Cli {
                 "--md" => cli.md = Some(take_value("--md", &mut it)?),
                 "--csv" => cli.csv = Some(take_value("--csv", &mut it)?),
                 "--append" => cli.append = Some(take_value("--append", &mut it)?),
+                "--sarif" => cli.sarif = Some(take_value("--sarif", &mut it)?),
+                "--inventory" => cli.inventory = Some(take_value("--inventory", &mut it)?),
                 // `bench` takes positional words (`diff <baseline>`,
                 // `migrate <file>`); every other command rejects them.
                 other if command == Command::Bench && !other.starts_with('-') => {
@@ -487,6 +498,33 @@ mod tests {
         assert_eq!(cli.path, "/tmp/ws");
         // Default lint root is the current directory.
         assert_eq!(parse(&["lint"]).unwrap().path, ".");
+    }
+
+    #[test]
+    fn audit_parses() {
+        let cli = parse(&[
+            "audit",
+            "--path",
+            "/tmp/ws",
+            "--baseline",
+            "audit-baseline.json",
+            "--sarif",
+            "audit.sarif",
+            "--inventory",
+            "UNSAFE_INVENTORY.md",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, Command::Audit);
+        assert_eq!(cli.path, "/tmp/ws");
+        assert_eq!(cli.baseline.as_deref(), Some("audit-baseline.json"));
+        assert_eq!(cli.sarif.as_deref(), Some("audit.sarif"));
+        assert_eq!(cli.inventory.as_deref(), Some("UNSAFE_INVENTORY.md"));
+        assert!(cli.json);
+        // Defaults: audit the current tree, no side outputs.
+        let cli = parse(&["audit"]).unwrap();
+        assert_eq!(cli.path, ".");
+        assert!(cli.baseline.is_none() && cli.sarif.is_none() && cli.inventory.is_none());
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         Command::C2c => c2c(cli),
         Command::Analyze => analyze_cmd(cli),
         Command::Lint => lint_cmd(cli),
+        Command::Audit => audit_cmd(cli),
         Command::Serve => serve_cmd(cli),
         Command::Loadgen => loadgen_cmd(cli),
         Command::BenchParallel => bench_parallel_cmd(cli),
@@ -592,7 +593,9 @@ fn analyze_one(
 
     // Differential proof: one engine run, every total inside its envelope.
     let sim = MachineSim::new(machine.clone());
-    let run = sim.run(&program, cli.seed);
+    let run = sim
+        .run(&program, cli.seed)
+        .map_err(|e| format!("invalid program: {e}"))?;
     let totals = run.counters.totals();
     out.push_str(&format!(
         "\n  {:<28} {:>16} {:>16} {:>16}\n",
@@ -670,7 +673,9 @@ fn analyze_all(cli: &Cli, machine: &np_simulator::MachineConfig) -> Result<Strin
             Err(_) => "DEADLOCK".to_string(),
         };
         let verdict = if a.validate.is_ok() && a.barriers.is_ok() {
-            let run = sim.run(program, cli.seed);
+            let run = sim
+                .run(program, cli.seed)
+                .map_err(|e| format!("invalid program: {e}"))?;
             let v = a.bounds.check(&run.counters.totals(), run.cycles);
             if v.is_empty() {
                 "ok"
@@ -718,6 +723,50 @@ fn lint_cmd(cli: &Cli) -> Result<String, String> {
         };
     }
     let body = report.render() + "\n";
+    if report.is_clean() {
+        Ok(body)
+    } else {
+        Err(body)
+    }
+}
+
+/// `np audit`: the workspace concurrency & determinism audit. Unsuppressed
+/// findings are an error (the binary exits 2), mirroring `lint`; the
+/// committed baseline file gates legacy findings, `--sarif` emits the
+/// code-scanning report, and `--inventory` regenerates the committed
+/// unsafe inventory.
+fn audit_cmd(cli: &Cli) -> Result<String, String> {
+    use np_analysis::audit::{audit_workspace, Baseline};
+    let root = std::path::Path::new(&cli.path);
+    // Baseline resolution: an explicit --baseline must parse; without the
+    // flag, a committed audit-baseline.json is picked up when present.
+    let baseline = match &cli.baseline {
+        Some(p) => {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| format!("audit: cannot read baseline '{p}': {e}"))?;
+            Baseline::parse(&text).map_err(|e| format!("audit: bad baseline '{p}': {e}"))?
+        }
+        None => match std::fs::read_to_string(root.join("audit-baseline.json")) {
+            Ok(text) => Baseline::parse(&text)
+                .map_err(|e| format!("audit: bad committed audit-baseline.json: {e}"))?,
+            Err(_) => Baseline::empty(),
+        },
+    };
+    let report = audit_workspace(root, &baseline)
+        .map_err(|e| format!("audit: cannot scan '{}': {e}", cli.path))?;
+    if let Some(p) = &cli.sarif {
+        std::fs::write(p, report.to_sarif())
+            .map_err(|e| format!("audit: cannot write SARIF '{p}': {e}"))?;
+    }
+    if let Some(p) = &cli.inventory {
+        std::fs::write(p, report.inventory_markdown())
+            .map_err(|e| format!("audit: cannot write inventory '{p}': {e}"))?;
+    }
+    let body = if cli.json {
+        report.to_json() + "\n"
+    } else {
+        report.render() + "\n"
+    };
     if report.is_clean() {
         Ok(body)
     } else {
@@ -935,7 +984,9 @@ fn annotate_cmd(cli: &Cli) -> Result<String, String> {
     let w = workloads::build(name, cli.size, cli.threads, &machine)?;
     let program = w.build(&machine);
     let sim = MachineSim::new(machine);
-    let run = sim.run(&program, cli.seed);
+    let run = sim
+        .run(&program, cli.seed)
+        .map_err(|e| format!("invalid program: {e}"))?;
     let names = RegionNames::new(&regions);
     let events = [
         HwEvent::Instructions,
@@ -963,7 +1014,9 @@ fn balance(cli: &Cli) -> Result<String, String> {
     let w = workloads::build(name, cli.size, cli.threads, &machine)?;
     let program = w.build(&machine);
     let sim = MachineSim::new(machine.clone());
-    let run = sim.run(&program, cli.seed);
+    let run = sim
+        .run(&program, cli.seed)
+        .map_err(|e| format!("invalid program: {e}"))?;
     Ok(BalanceReport::from_run(&machine, &run).render())
 }
 
@@ -1189,6 +1242,132 @@ mod tests {
         let err = run(&["lint", "--path", &dir.to_string_lossy()]).unwrap_err();
         assert!(err.contains("no-panic"), "{err}");
         assert!(err.contains("acquisition.rs:1"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn audit_runs_clean_on_this_workspace() {
+        let out = run(&["audit"]).unwrap();
+        assert!(out.contains("audit clean"), "{out}");
+        let json = run(&["audit", "--json"]).unwrap();
+        assert!(json.contains("\"version\":\"np-audit/1\""), "{json}");
+        assert!(json.contains("\"unsuppressed\":0"), "{json}");
+    }
+
+    /// Each injected rule violation must fail the gate (`run` returns
+    /// `Err`, which `main` maps to exit code 2) and name its rule.
+    #[test]
+    fn audit_fails_per_seeded_rule_violation() {
+        let seeds: &[(&str, &[(&str, &str)])] = &[
+            (
+                "lock-order",
+                &[(
+                    "crates/a/src/lib.rs",
+                    "fn ab(s: &S) {\n    let a = s.alpha.lock();\n    let b = s.beta.lock();\n    \
+                     drop(b);\n    drop(a);\n}\nfn ba(s: &S) {\n    let b = s.beta.lock();\n    \
+                     let a = s.alpha.lock();\n    drop(a);\n    drop(b);\n}\n",
+                )],
+            ),
+            (
+                "condvar-discipline",
+                &[(
+                    "crates/a/src/lib.rs",
+                    "fn poke(cv: &std::sync::Condvar) {\n    cv.notify_one();\n}\n",
+                )],
+            ),
+            (
+                "atomics-ordering",
+                &[(
+                    "crates/a/src/lib.rs",
+                    "use std::sync::atomic::{AtomicU64, Ordering};\nfn bump(c: &AtomicU64) {\n    \
+                     c.fetch_add(1, Ordering::Relaxed);\n}\n",
+                )],
+            ),
+            (
+                "hot-path-hygiene",
+                &[(
+                    "crates/a/src/lib.rs",
+                    "// audit:hot\nfn hot(xs: &[u32]) -> Vec<u32> {\n    \
+                     xs.iter().map(|x| x + 1).collect()\n}\n",
+                )],
+            ),
+            (
+                "unsafe-safety",
+                &[(
+                    "crates/a/src/lib.rs",
+                    "fn launder(x: u32) -> u32 {\n    \
+                     unsafe { std::mem::transmute::<u32, u32>(x) }\n}\n",
+                )],
+            ),
+            (
+                "no-panic-reachable",
+                &[
+                    (
+                        "crates/serve/src/lib.rs",
+                        "pub fn handle(req: u32) -> String { render(req) }\n",
+                    ),
+                    (
+                        "crates/util/src/lib.rs",
+                        "pub fn render(req: u32) -> String {\n    \
+                         checked(req).unwrap()\n}\nfn checked(req: u32) -> Option<String> {\n    \
+                         Some(req.to_string())\n}\n",
+                    ),
+                ],
+            ),
+        ];
+        for (rule, files) in seeds {
+            let dir =
+                std::env::temp_dir().join(format!("np-audit-seed-{rule}-{}", std::process::id()));
+            for (path, src) in *files {
+                let full = dir.join(path);
+                std::fs::create_dir_all(full.parent().unwrap()).unwrap();
+                std::fs::write(&full, src).unwrap();
+            }
+            let err = run(&["audit", "--path", &dir.to_string_lossy()]).unwrap_err();
+            assert!(err.contains(rule), "seed for {rule} produced:\n{err}");
+            assert!(err.contains("audit FAILED"), "{err}");
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn audit_baseline_suppresses_and_sarif_inventory_land_on_disk() {
+        let dir = std::env::temp_dir().join(format!("np-audit-cli-{}", std::process::id()));
+        let src = dir.join("crates/a/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(
+            src.join("lib.rs"),
+            "fn launder(x: u32) -> u32 {\n    unsafe { std::mem::transmute::<u32, u32>(x) }\n}\n",
+        )
+        .unwrap();
+        let baseline = dir.join("suppress.json");
+        std::fs::write(
+            &baseline,
+            r#"{"version": "np-audit-baseline/1", "suppressions": [
+                {"rule": "unsafe-safety", "path": "crates/a/src/lib.rs",
+                 "contains": "", "reason": "grandfathered fixture"}]}"#,
+        )
+        .unwrap();
+        let sarif = dir.join("audit.sarif");
+        let inventory = dir.join("UNSAFE_INVENTORY.md");
+        let out = run(&[
+            "audit",
+            "--path",
+            &dir.to_string_lossy(),
+            "--baseline",
+            &baseline.to_string_lossy(),
+            "--sarif",
+            &sarif.to_string_lossy(),
+            "--inventory",
+            &inventory.to_string_lossy(),
+        ])
+        .unwrap();
+        assert!(out.contains("audit clean (1 suppressed)"), "{out}");
+        let sarif_text = std::fs::read_to_string(&sarif).unwrap();
+        assert!(sarif_text.contains("\"suppressions\""), "{sarif_text}");
+        assert!(sarif_text.contains("unsafe-safety"), "{sarif_text}");
+        let inv = std::fs::read_to_string(&inventory).unwrap();
+        assert!(inv.contains("crates/a/src/lib.rs:2"), "{inv}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -70,6 +70,10 @@ COMMANDS:
     analyze     static code-to-indicator analysis: barrier/deadlock check,
                 data races, per-event bounds proven against a dynamic run
     lint        workspace invariant linter (token-level, zero-dependency)
+    audit       workspace concurrency & determinism audit: lock-order
+                cycles, condvar discipline, atomics orderings, hot-path
+                hygiene, unsafe inventory, panic reachability
+                (--baseline FILE, --sarif FILE, --inventory FILE)
     serve       run the indicator-exchange server (put/query/predict over
                 line-delimited JSON frames)
     loadgen     benchmark an exchange: seeded concurrent load, cache-hit
@@ -115,7 +119,12 @@ OPTIONS:
                        (see `numa-perf-tools help telemetry`)
     --trace FILE       write a Chrome-trace of internal spans
                        (load in chrome://tracing or ui.perfetto.dev)
-    --path DIR         lint: workspace root to scan (default .)
+    --path DIR         lint / audit: workspace root to scan (default .)
+    --sarif FILE       audit: also write a SARIF 2.1.0 report
+    --inventory FILE   audit: regenerate the unsafe-inventory markdown
+    --baseline FILE    audit: suppression baseline (default: the
+                       committed audit-baseline.json, if present);
+                       bench diff: baseline report
     --addr HOST:PORT   serve: bind address (default 127.0.0.1:0);
                        loadgen: exchange to hammer (default: boot an
                        in-process server)
@@ -166,6 +175,7 @@ HELP TOPICS:
                                        acquisition paths
     numa-perf-tools help analyze       static code-to-indicator analysis
     numa-perf-tools help lint          the workspace invariant linter
+    numa-perf-tools help audit         the concurrency & determinism audit
     numa-perf-tools help serve         the indicator-exchange service
     numa-perf-tools help loadgen       benchmarking the exchange
     numa-perf-tools help parallel      deterministic worker-pool execution
@@ -355,6 +365,64 @@ OUTPUT:
     file.rs:LINE: [rule] message       (text, one finding per line)
     --json emits {files_scanned, findings: [{path, line, rule,
     message}]} for CI artifacts.
+"
+}
+
+/// The `help audit` topic: concurrency & determinism audit.
+pub fn audit_help() -> &'static str {
+    "The workspace concurrency & determinism audit
+=============================================
+
+`audit` is the linter's deeper sibling: the same token-level scan
+(shared blanking lexer, no syn), plus a per-file function index and an
+approximate workspace call graph, applied to the concurrency rules a
+type checker cannot express. Unsuppressed findings are errors (exit
+code 2). #[cfg(test)] modules are exempt; `// audit:allow(rule): why`
+silences one line with an audit trail.
+
+    numa-perf-tools audit [--path DIR] [--json] [--sarif FILE]
+                          [--baseline FILE] [--inventory FILE]
+
+RULES:
+    lock-order           two lock labels acquired in opposite orders
+                         anywhere in the workspace (one-hop callee
+                         extension, crate-qualified labels) — a cycle
+                         in the acquisition-order graph is a deadlock
+                         waiting for the right interleaving
+    condvar-discipline   a bare Condvar wait/wait_timeout outside a
+                         predicate re-check loop (spurious wakeups),
+                         and notify_one/notify_all in a fn that neither
+                         acquires the guarded mutex nor takes a
+                         MutexGuard parameter (missed wakeups)
+    atomics-ordering     Ordering::Relaxed outside crates/telemetry,
+                         and Acquire loads with no Release store (or
+                         vice versa) on the same atomic field — an
+                         unpaired ordering synchronizes nothing
+    hot-path-hygiene     fns marked `// audit:hot` must not allocate,
+                         format, lock, or do I/O
+    unsafe-safety        every `unsafe` needs a `// SAFETY:` comment
+                         within three lines; the full inventory is
+                         committed as UNSAFE_INVENTORY.md and CI
+                         regenerates and diffs it
+    no-panic-reachable   .unwrap()/.expect()/panic!/unreachable!/todo!
+                         in any fn reachable (bounded call-graph walk)
+                         from the server and probe/acquisition entry
+                         points — a panic there kills a campaign or a
+                         connection instead of returning an error
+
+BASELINE:
+    audit-baseline.json (np-audit-baseline/1) suppresses known legacy
+    findings: entries are {rule, path, contains, reason}. Suppressed
+    findings stay visible in --json/--sarif (SARIF `suppressions`);
+    entries that no longer match anything are reported as stale
+    warnings so the baseline shrinks over time. This tree's committed
+    baseline is empty — every finding was fixed at source.
+
+OUTPUT:
+    [rule] file.rs:LINE message        (text, one finding per line)
+    --json emits the deterministic np-audit/1 report (byte-identical
+    across runs); --sarif writes SARIF 2.1.0 for code-scanning UIs;
+    --inventory regenerates UNSAFE_INVENTORY.md.
 "
 }
 
@@ -632,6 +700,7 @@ mod tests {
     fn help_topics_cover_analysis() {
         assert!(super::usage().contains("help analyze"));
         assert!(super::usage().contains("help lint"));
+        assert!(super::usage().contains("help audit"));
         assert!(super::analyze_help().contains("DIFFERENTIAL PROOF"));
         for rule in [
             "no-panic",
@@ -641,6 +710,16 @@ mod tests {
             "no-wall-clock",
         ] {
             assert!(super::lint_help().contains(rule), "missing rule {rule}");
+        }
+        for rule in [
+            "lock-order",
+            "condvar-discipline",
+            "atomics-ordering",
+            "hot-path-hygiene",
+            "unsafe-safety",
+            "no-panic-reachable",
+        ] {
+            assert!(super::audit_help().contains(rule), "missing rule {rule}");
         }
     }
 

@@ -8,6 +8,7 @@ fn main() {
             Some("resilience") => print!("{}", numa_perf_tools::cli::resilience_help()),
             Some("analyze") => print!("{}", numa_perf_tools::cli::analyze_help()),
             Some("lint") => print!("{}", numa_perf_tools::cli::lint_help()),
+            Some("audit") => print!("{}", numa_perf_tools::cli::audit_help()),
             Some("serve") => print!("{}", numa_perf_tools::cli::serve_help()),
             Some("loadgen") => print!("{}", numa_perf_tools::cli::loadgen_help()),
             Some("parallel") => print!("{}", numa_perf_tools::cli::parallel_help()),

@@ -145,7 +145,7 @@ fn fig11_phase_split_and_attribution() {
 
     // The k-phase extension splits a 3-superstep trace into 6 segments.
     let bsp = PhaseTraceKernel::bsp_supersteps(3).build(&machine);
-    let run = sim.run(&bsp, 2);
+    let run = sim.run(&bsp, 2).expect("valid program");
     let bounds = pp.detect_k(&run.footprint, 6).expect("k phases");
     assert_eq!(bounds.len(), 6);
 }

@@ -19,14 +19,17 @@ fn quiet_dl580() -> MachineSim {
 #[test]
 fn calibrated_bsp_predicts_parallel_matmul() {
     let sim = quiet_dl580();
-    let cal = calibrate(&sim, 21);
+    let cal = calibrate(&sim, 21).expect("calibration programs are valid");
     let n = 96usize;
-    let serial = sim.run(&TiledMatmul::new(n, 1).build(sim.config()), 5);
+    let serial = sim
+        .run(&TiledMatmul::new(n, 1).build(sim.config()), 5)
+        .expect("valid program");
     for p in [2u64, 4, 8] {
         let bsp = cal.bsp(p);
         let predicted = bsp.block_parallel_cost(serial.cycles, (n * n) as u64 / 8, 1);
         let simulated = sim
             .run(&TiledMatmul::new(n, p as usize).build(sim.config()), 5)
+            .expect("valid program")
             .cycles;
         let ratio = predicted / simulated as f64;
         assert!(
@@ -55,7 +58,9 @@ fn online_prefix_prediction_tracks_actual_scaling() {
 
     // Observe only a prefix of the single-threaded run.
     let mut probe = PrefixProbe::new(60_000);
-    let single = sim.run_observed(&single_program, 9, &mut probe);
+    let single = sim
+        .run_observed(&single_program, 9, &mut probe)
+        .expect("valid program");
     let prefix = probe.prefix_inputs().expect("prefix captured");
 
     let predictor = OnlineScalability {
@@ -71,7 +76,9 @@ fn online_prefix_prediction_tracks_actual_scaling() {
     let actual: Vec<f64> = [4usize, 16]
         .iter()
         .map(|&p| {
-            let r = sim.run(&StreamTriad::bound(elements, p, 0).build(sim.config()), 9);
+            let r = sim
+                .run(&StreamTriad::bound(elements, p, 0).build(sim.config()), 9)
+                .expect("valid program");
             single.cycles as f64 / r.cycles as f64
         })
         .collect();
@@ -96,7 +103,9 @@ fn full_run_speedup_inputs_match_prefix_inputs_for_steady_workloads() {
     let sim = quiet_dl580();
     let program = StreamTriad::bound(64 * 1024, 1, 0).build(sim.config());
     let mut probe = PrefixProbe::new(50_000);
-    let full = sim.run_observed(&program, 3, &mut probe);
+    let full = sim
+        .run_observed(&program, 3, &mut probe)
+        .expect("valid program");
     let prefix = probe.prefix_inputs().unwrap();
     let whole = speedup_inputs_from_run(&full);
     // Stall fractions agree within 30% between prefix and whole run.

@@ -38,7 +38,8 @@ fn campaign_matrix_is_bit_identical() {
     // The sequential reference: the acquisition loop, one rep at a time.
     let sim = MachineSim::new(cfg.clone());
     let serial =
-        np_counters::acquisition::measure_batched(&sim, &program, &plan.events, 6, 31, &plan.pmu);
+        np_counters::acquisition::measure_batched(&sim, &program, &plan.events, 6, 31, &plan.pmu)
+            .expect("valid program");
     for threads in THREADS {
         let rs = Runner::new(cfg.clone())
             .with_threads(threads)
@@ -181,12 +182,20 @@ fn replayed_campaign_schedule_reproduces_the_run() {
     let pool = Pool::new(4);
     let (recorded, trace) = pool.run_traced(
         8,
-        |rep| sim.run(&program, 100 + rep as u64).cycles,
+        |rep| {
+            sim.run(&program, 100 + rep as u64)
+                .expect("valid program")
+                .cycles
+        },
         &np_parallel::Schedule::Seeded(17),
     );
     let (replayed, replay_trace) = pool.run_traced(
         8,
-        |rep| sim.run(&program, 100 + rep as u64).cycles,
+        |rep| {
+            sim.run(&program, 100 + rep as u64)
+                .expect("valid program")
+                .cycles
+        },
         &np_parallel::Schedule::Replay(trace.clone()),
     );
     assert_eq!(recorded, replayed);
