@@ -158,6 +158,87 @@ pub fn compute(program: &Program, config: &MachineConfig) -> StaticBounds {
     assemble(program, config, &tally)
 }
 
+/// One event's envelope packaged as a classifier prior: the bound plus a
+/// deterministic certainty score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventPrior {
+    /// The static envelope for the event.
+    pub bound: EventBound,
+    /// How much the static pass pins the event down, in per-mille: 1000
+    /// for an exact count, falling toward 0 as the envelope widens
+    /// relative to its upper end, 0 when no finite upper bound exists.
+    pub certainty_pm: u64,
+}
+
+impl EventBound {
+    /// Where `observed` falls inside the envelope, in per-mille of the
+    /// envelope width (clamped to `[0, 1000]`). `None` when the envelope
+    /// is unbounded above; an exact envelope reports the midpoint.
+    pub fn position_pm(&self, observed: u64) -> Option<u64> {
+        let max = self.max?;
+        if max <= self.min {
+            return Some(500);
+        }
+        let clamped = observed.clamp(self.min, max);
+        Some((clamped - self.min) * 1000 / (max - self.min))
+    }
+
+    /// The certainty score of [`EventPrior`]: tight envelopes are
+    /// informative priors, wide or unbounded ones are not.
+    pub fn certainty_pm(&self) -> u64 {
+        match self.max {
+            None => 0,
+            Some(0) => 1000,
+            Some(max) => 1000 - (max - self.min) * 1000 / max,
+        }
+    }
+}
+
+/// The classifier-facing view of the static envelopes.
+///
+/// `np-patterns` blends these priors into its verdict confidence instead
+/// of re-deriving envelopes from the op stream; any other consumer that
+/// wants "how sure is the static pass about event X" should use this
+/// rather than [`StaticBounds::iter`].
+#[derive(Debug, Clone, Default)]
+pub struct Priors {
+    entries: Vec<(HwEvent, EventPrior)>,
+}
+
+impl Priors {
+    /// The prior for `event`, if the static pass derives one.
+    pub fn get(&self, event: HwEvent) -> Option<EventPrior> {
+        self.entries
+            .iter()
+            .find(|(e, _)| *e == event)
+            .map(|(_, p)| *p)
+    }
+
+    /// Iterates `(event, prior)` in `HwEvent::ALL` order.
+    pub fn iter(&self) -> impl Iterator<Item = (HwEvent, EventPrior)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+/// Packages the static envelopes of `program` on `config` as priors.
+pub fn priors(program: &Program, config: &MachineConfig) -> Priors {
+    let bounds = compute(program, config);
+    Priors {
+        entries: bounds
+            .iter()
+            .map(|(event, bound)| {
+                (
+                    event,
+                    EventPrior {
+                        bound,
+                        certainty_pm: bound.certainty_pm(),
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
 /// Per-op minimum cost in cycles (barrier = minimum release bump).
 fn op_min_cost(op: &Op, config: &MachineConfig) -> u64 {
     let lat = &config.latency;
@@ -774,5 +855,47 @@ mod tests {
             bounds.get(HwEvent::LoadRetired).unwrap(),
             EventBound::exact(1)
         );
+    }
+
+    #[test]
+    fn prior_certainty_tracks_envelope_tightness() {
+        assert_eq!(EventBound::exact(42).certainty_pm(), 1000);
+        assert_eq!(EventBound::range(900, 1000).certainty_pm(), 900);
+        assert_eq!(EventBound::range(0, 1000).certainty_pm(), 0);
+        assert_eq!(EventBound { min: 5, max: None }.certainty_pm(), 0);
+    }
+
+    #[test]
+    fn prior_position_is_clamped_per_mille() {
+        let b = EventBound::range(100, 200);
+        assert_eq!(b.position_pm(100), Some(0));
+        assert_eq!(b.position_pm(150), Some(500));
+        assert_eq!(b.position_pm(200), Some(1000));
+        assert_eq!(b.position_pm(9999), Some(1000), "clamped above");
+        assert_eq!(b.position_pm(3), Some(0), "clamped below");
+        assert_eq!(EventBound::exact(7).position_pm(7), Some(500));
+        assert_eq!(EventBound { min: 0, max: None }.position_pm(1), None);
+    }
+
+    #[test]
+    fn priors_match_the_underlying_envelopes() {
+        let cfg = quiet_config();
+        let mut b = ProgramBuilder::new(&cfg.topology, cfg.page_bytes);
+        let buf = b.alloc(64 * 1024, AllocPolicy::FirstTouch);
+        let t0 = b.add_thread(0);
+        for i in 0..64u64 {
+            b.load(t0, buf + i * 64);
+        }
+        let p = b.build();
+        let pri = priors(&p, &cfg);
+        let bounds = compute(&p, &cfg);
+        for (event, bound) in bounds.iter() {
+            let prior = pri.get(event).expect("every bounded event has a prior");
+            assert_eq!(prior.bound, bound);
+            assert_eq!(prior.certainty_pm, bound.certainty_pm());
+        }
+        // Exact retirement envelope: a fully certain prior.
+        assert_eq!(pri.get(HwEvent::LoadRetired).unwrap().certainty_pm, 1000);
+        assert_eq!(pri.iter().count(), bounds.iter().count());
     }
 }

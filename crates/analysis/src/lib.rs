@@ -40,7 +40,7 @@ pub mod sweep;
 
 pub use audit::{audit_sources, audit_workspace, AuditFinding, AuditReport, Baseline};
 pub use barrier::{check_barriers, DeadlockReport};
-pub use bounds::{compute as compute_bounds, EventBound, StaticBounds};
+pub use bounds::{compute as compute_bounds, priors, EventBound, EventPrior, Priors, StaticBounds};
 pub use cfg::{Block, ProgramCfg, ThreadCfg};
 pub use lint::{lint_source, lint_workspace, LintFinding, LintReport};
 pub use race::{find_races, RaceFinding};

@@ -149,11 +149,15 @@ const BOUNDED_READER_FILE: &str = "crates/resilience/src/io.rs";
 /// the tick counter; rates are deltas of simulated-cycle series), and
 /// the `np bench` matrix harness (its determinism contract says every
 /// non-sample field is a pure function of config + seed + machine;
-/// wall-time samples flow through `np_telemetry::now_ns` only).
+/// wall-time samples flow through `np_telemetry::now_ns` only), and the
+/// np-patterns classifier (its `np-patterns/1` document promises
+/// byte-identical verdicts at any thread count — nothing on the
+/// classify path may branch on time).
 fn wall_clock_forbidden(path: &str) -> bool {
     path.starts_with("crates/numa-sim/")
         || path.starts_with("crates/parallel/src/")
         || path.starts_with("crates/bench/src/harness/")
+        || path.starts_with("crates/patterns/src/")
         || path == "crates/resilience/src/fault.rs"
         || path == "crates/telemetry/src/timeseries.rs"
         || path == "src/cli/top.rs"
@@ -472,6 +476,28 @@ mod tests {
         assert!(lint_source("src/cli/commands.rs", src).is_empty());
         assert!(lint_source("crates/telemetry/src/trace.rs", src).is_empty());
         assert!(lint_source("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn patterns_classifier_is_wall_clock_free_and_guarded() {
+        // The classifier's document promises byte-identical verdicts at
+        // any thread count: nothing under crates/patterns/src may read a
+        // wall clock, and any telemetry it ever grows must be guarded.
+        let src = "fn f() { let _t = std::time::Instant::now(); }\n";
+        for path in [
+            "crates/patterns/src/classify.rs",
+            "crates/patterns/src/verify.rs",
+            "crates/patterns/src/metrics.rs",
+        ] {
+            let hits = lint_source(path, src);
+            assert_eq!(hits.len(), 1, "{path}");
+            assert_eq!(hits[0].rule, "no-wall-clock", "{path}");
+        }
+        // Its integration tests (outside src/) stay out of scope.
+        assert!(lint_source("crates/patterns/tests/calibration.rs", src).is_empty());
+        let unguarded = "fn f() { np_telemetry::global().snapshot(); }\n";
+        let hits = lint_source("crates/patterns/src/verify.rs", unguarded);
+        assert!(hits.iter().any(|h| h.rule == "guarded-telemetry"));
     }
 
     #[test]

@@ -171,7 +171,9 @@ pub struct MachineSim {
 /// The per-node NUMA indicator events exported as live time series at
 /// each timeslice (and by the campaign capture observer in `np-core`):
 /// memory locality, interconnect pressure, coherence, cache and TLB —
-/// the paper's indicator families, per node.
+/// the paper's indicator families, per node — plus the retirement, clock
+/// and memory-controller families the np-patterns classifier derives its
+/// per-phase metrics from.
 pub const LIVE_NODE_EVENTS: &[(&str, HwEvent)] = &[
     ("local_dram", HwEvent::LocalDramAccess),
     ("remote_dram", HwEvent::RemoteDramAccess),
@@ -179,6 +181,13 @@ pub const LIVE_NODE_EVENTS: &[(&str, HwEvent)] = &[
     ("hitm", HwEvent::HitmTransfer),
     ("l3_miss", HwEvent::L3Miss),
     ("dtlb_miss", HwEvent::DtlbMiss),
+    ("instructions", HwEvent::Instructions),
+    ("cycles", HwEvent::Cycles),
+    ("mem_stall", HwEvent::MemStallCycles),
+    ("load", HwEvent::LoadRetired),
+    ("store", HwEvent::StoreRetired),
+    ("imc_read", HwEvent::ImcRead),
+    ("imc_write", HwEvent::ImcWrite),
 ];
 
 impl MachineSim {

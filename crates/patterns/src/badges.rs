@@ -1,0 +1,100 @@
+//! Compact per-node pattern badges for `np top` and the HTML report.
+//!
+//! A node badge is the *node-local* approximation of the signatures:
+//! skew patterns are machine-wide by definition, so a single node can
+//! show bandwidth/latency pressure, sharing, remote traffic and TLB
+//! churn — the things its own counters witness. Thresholds are the
+//! signature table's, so a badge in `np top` and a verdict in
+//! `np patterns` never disagree about where a line sits.
+
+use crate::indicators::{Indicators, NodeVector};
+use crate::metrics::{derive, MetricId};
+use crate::pattern::Pattern;
+use crate::signatures::signature_for;
+
+/// Whether every rule of `pattern` that only needs node-local inputs
+/// passes for this single-node metric set.
+fn node_fires(pattern: Pattern, metrics: &crate::metrics::MetricSet) -> bool {
+    signature_for(pattern)
+        .rules
+        .iter()
+        .filter(|r| !matches!(r.metric, MetricId::ImcSkew | MetricId::WorkSkew))
+        .all(|r| metrics.get(r.metric).is_some_and(|v| r.passes(v)))
+}
+
+/// The badge column for one node: `BW+TLB`, `RMT`, ... or `-`.
+pub fn node_badges(node: &NodeVector) -> String {
+    let metrics = derive(&Indicators {
+        nodes: vec![*node],
+        wall_cycles: node.cycles,
+    });
+    let mut badges = Vec::new();
+    for pattern in [
+        Pattern::BandwidthBound,
+        Pattern::LatencyBound,
+        Pattern::FalseSharing,
+        Pattern::NumaImbalance,
+        Pattern::TlbThrashing,
+    ] {
+        if node_fires(pattern, &metrics) {
+            badges.push(pattern.badge());
+        }
+    }
+    if badges.is_empty() {
+        "-".to_string()
+    } else {
+        badges.join("+")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_node_shows_a_dash() {
+        let n = NodeVector {
+            instructions: 100_000,
+            cycles: 200_000,
+            mem_stall: 10_000,
+            local_dram: 500,
+            load: 50_000,
+            store: 20_000,
+            ..NodeVector::default()
+        };
+        assert_eq!(node_badges(&n), "-");
+    }
+
+    #[test]
+    fn remote_heavy_node_earns_rmt() {
+        let n = NodeVector {
+            instructions: 100_000,
+            cycles: 200_000,
+            mem_stall: 20_000,
+            local_dram: 100,
+            remote_dram: 900,
+            load: 50_000,
+            store: 20_000,
+            ..NodeVector::default()
+        };
+        let badges = node_badges(&n);
+        assert!(badges.contains("RMT"), "{badges}");
+    }
+
+    #[test]
+    fn chase_shape_earns_lat_and_tlb() {
+        let n = NodeVector {
+            instructions: 10_000,
+            cycles: 1_000_000,
+            mem_stall: 900_000,
+            local_dram: 9_000,
+            dtlb_miss: 4_000,
+            load: 9_500,
+            store: 100,
+            ..NodeVector::default()
+        };
+        let badges = node_badges(&n);
+        assert!(badges.contains("LAT") && badges.contains("TLB"), "{badges}");
+        assert!(!badges.contains("BW"), "{badges}");
+    }
+}

@@ -1,0 +1,50 @@
+//! # np-patterns — performance-pattern identification
+//!
+//! The layer between indicator vectors and *diagnoses*. The paper turns
+//! hardware event counters into NUMA indicators; Röhl et al. (PAPERS.md,
+//! "Validation of hardware events for performance pattern identification")
+//! show the next step: validate event-based pattern signatures against
+//! workloads whose behaviour is known. This crate implements that loop
+//! on the simulator's ground truth:
+//!
+//! * [`pattern`] — the six named patterns: bandwidth-bound,
+//!   latency-bound, false sharing, NUMA imbalance, TLB thrashing, load
+//!   imbalance.
+//! * [`indicators`] — the raw per-node indicator vector, built either
+//!   from full run counters or from one phase slice of an `np-capture/1`
+//!   timeline.
+//! * [`metrics`] — derived metrics in deterministic per-mille fixed
+//!   point (remote/local DRAM ratio, HITM rate per retired op, per-node
+//!   imbalance coefficients, dTLB misses per instruction, stall
+//!   fractions).
+//! * [`signatures`] — the declarative rule table: each pattern is a
+//!   conjunction of threshold comparisons over the derived metrics.
+//! * [`classify`] — evaluates the table and scores each verdict with a
+//!   margin confidence blended with np-analysis envelope priors.
+//! * [`schema`] — the versioned `np-patterns/1` JSON document.
+//! * [`verify`] — the differential sweep: every registry workload must
+//!   classify to its `expected_patterns` label on every machine preset
+//!   and thread count, byte-identically at any pool width.
+//! * [`badges`] — compact per-node badges for `np top` and the HTML
+//!   report phase band.
+//!
+//! Everything is integer arithmetic over event counts: no wall-clock, no
+//! floats in any serialized artifact, bit-identical output at any thread
+//! count.
+
+pub mod badges;
+pub mod classify;
+pub mod indicators;
+pub mod metrics;
+pub mod pattern;
+pub mod schema;
+pub mod signatures;
+pub mod verify;
+
+pub use badges::node_badges;
+pub use classify::{classify, fired_names, Evidence, Verdict};
+pub use indicators::{Indicators, NodeVector};
+pub use metrics::{derive, MetricId, MetricSet};
+pub use pattern::Pattern;
+pub use schema::{metric_docs, CaseDoc, MetricDoc, PatternsDoc, PhaseDoc, PATTERNS_SCHEMA};
+pub use verify::{classify_run, sweep, sweep_machines, SweepOutcome, SWEEP_THREADS};

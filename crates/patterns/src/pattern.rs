@@ -1,0 +1,93 @@
+//! The named performance patterns.
+
+/// A named performance pathology the classifier can diagnose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pattern {
+    /// Memory controllers saturated: high DRAM traffic per busy cycle
+    /// *and* the cores mostly waiting on memory.
+    BandwidthBound,
+    /// Serialised misses: the cores wait on memory while the DRAM rate
+    /// stays low — each access pays full latency with no overlap.
+    LatencyBound,
+    /// Cache lines bouncing between writers: HITM transfers per retired
+    /// memory op far above the healthy floor.
+    FalseSharing,
+    /// Requests crossing the interconnect while a minority of memory
+    /// controllers carries the load.
+    NumaImbalance,
+    /// Address-translation churn: dTLB misses per instruction above
+    /// anything a page-friendly access pattern produces.
+    TlbThrashing,
+    /// Work skew: some nodes retire several times the instructions of
+    /// others between the same barriers.
+    LoadImbalance,
+}
+
+impl Pattern {
+    /// Every pattern, in verdict/report order.
+    pub const ALL: [Pattern; 6] = [
+        Pattern::BandwidthBound,
+        Pattern::LatencyBound,
+        Pattern::FalseSharing,
+        Pattern::NumaImbalance,
+        Pattern::TlbThrashing,
+        Pattern::LoadImbalance,
+    ];
+
+    /// The stable name used in labels, JSON documents and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pattern::BandwidthBound => "bandwidth-bound",
+            Pattern::LatencyBound => "latency-bound",
+            Pattern::FalseSharing => "false-sharing",
+            Pattern::NumaImbalance => "numa-imbalance",
+            Pattern::TlbThrashing => "tlb-thrashing",
+            Pattern::LoadImbalance => "load-imbalance",
+        }
+    }
+
+    /// Parses a stable name back to the pattern.
+    pub fn parse(s: &str) -> Option<Pattern> {
+        Pattern::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// The compact badge `np top` and the report band show.
+    pub fn badge(self) -> &'static str {
+        match self {
+            Pattern::BandwidthBound => "BW",
+            Pattern::LatencyBound => "LAT",
+            Pattern::FalseSharing => "SHR",
+            Pattern::NumaImbalance => "RMT",
+            Pattern::TlbThrashing => "TLB",
+            Pattern::LoadImbalance => "SKW",
+        }
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in Pattern::ALL {
+            assert_eq!(Pattern::parse(p.name()), Some(p));
+        }
+        assert_eq!(Pattern::parse("cache-bound"), None);
+    }
+
+    #[test]
+    fn badges_are_unique_and_short() {
+        let mut seen = std::collections::BTreeSet::new();
+        for p in Pattern::ALL {
+            assert!(p.badge().len() <= 3);
+            assert!(seen.insert(p.badge()), "duplicate badge {}", p.badge());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The versioned `np-patterns/1` JSON document.
+//!
+//! Deterministic by construction: every number is an integer (per-mille
+//! fixed point for metrics and confidences), cases appear in sweep
+//! order, phases in capture order, verdicts in [`crate::Pattern::ALL`]
+//! order. Equal inputs serialize to equal bytes at any thread count.
+
+use crate::classify::Verdict;
+use crate::metrics::{MetricId, MetricSet};
+use serde::{Deserialize, Serialize};
+
+/// Schema tag of the document.
+pub const PATTERNS_SCHEMA: &str = "np-patterns/1";
+
+/// One derived metric, flattened for the document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricDoc {
+    /// Metric name (`remote_ratio`, ...).
+    pub metric: String,
+    /// Value in per-mille fixed point (0 when unavailable).
+    pub value_pm: u64,
+    /// Whether the metric could be derived from the input.
+    pub available: bool,
+}
+
+/// Flattens a metric set in [`MetricId::ALL`] order.
+pub fn metric_docs(metrics: &MetricSet) -> Vec<MetricDoc> {
+    MetricId::ALL
+        .iter()
+        .map(|&id| MetricDoc {
+            metric: id.name().to_string(),
+            value_pm: metrics.get(id).unwrap_or(0),
+            available: metrics.get(id).is_some(),
+        })
+        .collect()
+}
+
+/// One classified run (a sweep case or a single `np patterns` call).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseDoc {
+    /// Registry workload name.
+    pub workload: String,
+    /// Machine preset label.
+    pub machine: String,
+    /// Workload thread count.
+    pub threads: u64,
+    /// Simulator seed.
+    pub seed: u64,
+    /// Derived metrics, in [`MetricId::ALL`] order.
+    pub metrics: Vec<MetricDoc>,
+    /// All six verdicts with evidence, in pattern order.
+    pub verdicts: Vec<Verdict>,
+    /// Names of the fired patterns.
+    pub fired: Vec<String>,
+    /// The registry's expected-pattern label (empty = healthy).
+    pub expected: Vec<String>,
+    /// Whether `fired` equals `expected` exactly.
+    pub matched: bool,
+}
+
+/// One capture phase's classification (per-phase attribution mode).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseDoc {
+    /// Phase label from the capture's phase table.
+    pub phase: String,
+    /// Derived metrics for the slice.
+    pub metrics: Vec<MetricDoc>,
+    /// All six verdicts for the slice.
+    pub verdicts: Vec<Verdict>,
+    /// Names of the fired patterns.
+    pub fired: Vec<String>,
+}
+
+/// The top-level `np-patterns/1` document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternsDoc {
+    /// [`PATTERNS_SCHEMA`].
+    pub schema: String,
+    /// What was classified: `registry-sweep`, a workload name, or the
+    /// capture file's workload label.
+    pub source: String,
+    /// Classified runs (sweep order / the single run).
+    pub cases: Vec<CaseDoc>,
+    /// Per-phase attribution (capture mode only).
+    pub phases: Vec<PhaseDoc>,
+    /// Number of cases.
+    pub total_cases: u64,
+    /// Cases whose fired set differs from the expected label.
+    pub mismatches: u64,
+}
+
+impl PatternsDoc {
+    /// Wraps cases (and optional phases) into the versioned document.
+    pub fn new(source: &str, cases: Vec<CaseDoc>, phases: Vec<PhaseDoc>) -> PatternsDoc {
+        let mismatches = cases.iter().filter(|c| !c.matched).count() as u64;
+        PatternsDoc {
+            schema: PATTERNS_SCHEMA.to_string(),
+            source: source.to_string(),
+            total_cases: cases.len() as u64,
+            mismatches,
+            cases,
+            phases,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indicators::Indicators;
+    use crate::metrics::derive;
+
+    #[test]
+    fn doc_counts_mismatches_and_round_trips() {
+        let metrics = derive(&Indicators::default());
+        let case = |matched| CaseDoc {
+            workload: "row-major".into(),
+            machine: "two-socket".into(),
+            threads: 2,
+            seed: 1,
+            metrics: metric_docs(&metrics),
+            verdicts: Vec::new(),
+            fired: Vec::new(),
+            expected: Vec::new(),
+            matched,
+        };
+        let doc = PatternsDoc::new("registry-sweep", vec![case(true), case(false)], Vec::new());
+        assert_eq!(doc.schema, PATTERNS_SCHEMA);
+        assert_eq!(doc.total_cases, 2);
+        assert_eq!(doc.mismatches, 1);
+
+        let json = serde_json::to_string_pretty(&doc).unwrap();
+        let back: PatternsDoc = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, doc);
+        // Determinism: serializing the same value twice is byte-equal.
+        assert_eq!(json, serde_json::to_string_pretty(&doc).unwrap());
+    }
+
+    #[test]
+    fn metric_docs_cover_every_metric_in_order() {
+        let docs = metric_docs(&derive(&Indicators::default()));
+        let names: Vec<&str> = docs.iter().map(|d| d.metric.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "remote_ratio",
+                "dram_per_kcycle",
+                "mem_stall_frac",
+                "hitm_per_kop",
+                "dtlb_mpki",
+                "imc_skew",
+                "work_skew"
+            ]
+        );
+        // The empty vector derives nothing but remote_ratio's 0 default.
+        assert!(docs.iter().filter(|d| !d.available).count() >= 5);
+    }
+}

@@ -1,0 +1,169 @@
+//! The differential verification sweep over the labeled registry.
+//!
+//! Every registry workload runs on both machine presets at two thread
+//! counts; the classifier's fired set must equal the entry's
+//! `expected_patterns` label *exactly* — a missed pattern and a spurious
+//! one are both failures. The sweep fans across an np-parallel pool in
+//! input order, so the resulting `np-patterns/1` document is
+//! byte-identical at any pool width; `np patterns --verify` exits 2 on
+//! the first mismatch, which makes the calibration a tier-1 CI gate.
+
+use crate::classify::{classify, fired_names, Verdict};
+use crate::indicators::Indicators;
+use crate::metrics::{derive, MetricSet};
+use crate::schema::{metric_docs, CaseDoc, PatternsDoc};
+use np_simulator::{MachineConfig, MachineSim, Program};
+use np_workloads::registry;
+
+/// The machine presets the sweep proves the labels on, with noise
+/// quiesced: thresholds discriminate patterns, not timer jitter.
+pub fn sweep_machines() -> Vec<(&'static str, MachineConfig)> {
+    let quiet = |mut cfg: MachineConfig| {
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        cfg
+    };
+    vec![
+        ("two-socket", quiet(MachineConfig::two_socket_small())),
+        ("ring", quiet(MachineConfig::eight_socket_ring())),
+    ]
+}
+
+/// Workload thread counts the sweep covers (kept to divisors of every
+/// preset's node count so partitions stay even — uneven partitions are
+/// the load-imbalance workload's job, not an accident of the sweep).
+pub const SWEEP_THREADS: [usize; 2] = [2, 4];
+
+/// Per-entry size override for the sweep: the label must hold at the
+/// entry's characteristic footprint, but the irregular giants get a
+/// bounded size so the tier-1 gate stays fast.
+pub fn sweep_size(name: &str) -> Option<usize> {
+    match name {
+        "bfs" | "bfs-bound" | "bfs-interleaved" => Some(16 * 1024),
+        _ => None,
+    }
+}
+
+/// Classifies one program end-to-end: run, reduce, derive, classify —
+/// with the np-analysis envelope priors of the very program under test.
+pub fn classify_run(
+    program: &Program,
+    config: &MachineConfig,
+    seed: u64,
+) -> Result<(MetricSet, Vec<Verdict>), String> {
+    let sim = MachineSim::new(config.clone());
+    let result = sim
+        .run(program, seed)
+        .map_err(|e| format!("invalid program: {e:?}"))?;
+    let indicators = Indicators::from_run(&result, &config.topology);
+    let metrics = derive(&indicators);
+    let priors = np_analysis::priors(program, config);
+    let verdicts = classify(&metrics, Some(&priors));
+    Ok((metrics, verdicts))
+}
+
+/// One sweep case, classified.
+fn run_case(
+    name: &str,
+    machine_label: &str,
+    config: &MachineConfig,
+    threads: usize,
+    seed: u64,
+) -> Result<CaseDoc, String> {
+    let workload = registry::build(name, sweep_size(name), threads, config)?;
+    let program = workload.build(config);
+    let (metrics, verdicts) = classify_run(&program, config, seed)?;
+    let fired = fired_names(&verdicts);
+    let expected: Vec<String> = registry::expected_patterns(name)
+        .unwrap_or(&[])
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let matched = fired == expected;
+    Ok(CaseDoc {
+        workload: name.to_string(),
+        machine: machine_label.to_string(),
+        threads: threads as u64,
+        seed,
+        metrics: metric_docs(&metrics),
+        verdicts,
+        fired,
+        expected,
+        matched,
+    })
+}
+
+/// The sweep's result: the document plus human-readable failures.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The full `np-patterns/1` document, one case per (machine,
+    /// threads, workload).
+    pub doc: PatternsDoc,
+    /// One line per mismatched or failed case; empty = labels recovered.
+    pub failures: Vec<String>,
+}
+
+/// Runs the full verification sweep on `pool`.
+pub fn sweep(pool: &np_parallel::Pool, seed: u64) -> SweepOutcome {
+    let machines = sweep_machines();
+    let mut specs: Vec<(&'static str, &MachineConfig, usize, &'static str)> = Vec::new();
+    for (label, config) in &machines {
+        for &threads in &SWEEP_THREADS {
+            for name in registry::NAMES {
+                specs.push((label, config, threads, name));
+            }
+        }
+    }
+
+    let results: Vec<Result<CaseDoc, String>> = pool.run(specs.len(), |i| {
+        let (label, config, threads, name) = specs[i];
+        run_case(name, label, config, threads, seed)
+    });
+
+    let mut cases = Vec::with_capacity(results.len());
+    let mut failures = Vec::new();
+    for ((label, _, threads, name), result) in specs.iter().zip(results) {
+        match result {
+            Ok(case) => {
+                if !case.matched {
+                    failures.push(format!(
+                        "{name} on {label} x{threads}: fired [{}] expected [{}]",
+                        case.fired.join(", "),
+                        case.expected.join(", ")
+                    ));
+                }
+                cases.push(case);
+            }
+            Err(e) => failures.push(format!("{name} on {label} x{threads}: {e}")),
+        }
+    }
+    SweepOutcome {
+        doc: PatternsDoc::new("registry-sweep", cases, Vec::new()),
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_case_classifies_and_documents() {
+        let (_, config) = sweep_machines().remove(0);
+        let case = run_case("stream-local", "two-socket", &config, 2, 1).unwrap();
+        assert_eq!(case.workload, "stream-local");
+        assert_eq!(case.verdicts.len(), 6);
+        assert_eq!(case.metrics.len(), 7);
+        assert_eq!(case.expected, vec!["bandwidth-bound"]);
+    }
+
+    #[test]
+    fn sweep_covers_every_name_on_every_axis() {
+        // Shape only (the full label assertion is the --verify gate and
+        // the golden tests): every (machine, threads, name) appears.
+        let machines = sweep_machines();
+        assert_eq!(machines.len(), 2);
+        let expected_cases = machines.len() * SWEEP_THREADS.len() * registry::NAMES.len();
+        assert_eq!(expected_cases, 2 * 2 * 24);
+    }
+}

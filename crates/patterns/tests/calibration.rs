@@ -1,0 +1,76 @@
+//! Calibration diagnostics: prints the full metric matrix the signature
+//! thresholds were pinned from. Ignored by default — run it when
+//! re-calibrating after an engine or workload change:
+//!
+//! ```text
+//! cargo test -p np-patterns --release --test calibration -- --ignored --nocapture
+//! ```
+
+use np_patterns::{classify_run, fired_names, sweep, sweep_machines, MetricId};
+
+#[test]
+#[ignore = "diagnostic: prints the calibration matrix"]
+fn print_metric_matrix() {
+    let pool = np_parallel::Pool::default();
+    let outcome = sweep(&pool, 1);
+    println!(
+        "{:<20} {:<11} {:>3} | {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} | fired / expected",
+        "workload", "machine", "thr", "rmt", "dram", "stall", "hitm", "tlb", "imcsk", "wrksk"
+    );
+    for case in &outcome.doc.cases {
+        let v: Vec<String> = MetricId::ALL
+            .iter()
+            .zip(&case.metrics)
+            .map(|(_, m)| {
+                if m.available {
+                    format!("{:>5}", m.value_pm)
+                } else {
+                    format!("{:>5}", "-")
+                }
+            })
+            .collect();
+        println!(
+            "{:<20} {:<11} {:>3} | {} | [{}] / [{}]{}",
+            case.workload,
+            case.machine,
+            case.threads,
+            v.join(" "),
+            case.fired.join(","),
+            case.expected.join(","),
+            if case.matched { "" } else { "  <-- MISMATCH" }
+        );
+    }
+    println!(
+        "{} cases, {} mismatches",
+        outcome.doc.total_cases, outcome.doc.mismatches
+    );
+}
+
+#[test]
+#[ignore = "diagnostic: probes one workload across sizes"]
+fn probe_workload_sizes() {
+    let name = std::env::var("NP_PROBE_WORKLOAD").unwrap_or_else(|_| "sort".into());
+    let sizes = [4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024];
+    for (label, config) in sweep_machines() {
+        for threads in [2usize, 4] {
+            for size in sizes {
+                let workload = np_workloads::registry::build(&name, Some(size), threads, &config)
+                    .expect("registry name");
+                let program = workload.build(&config);
+                let (metrics, verdicts) = classify_run(&program, &config, 1).expect("valid run");
+                let v: Vec<String> = MetricId::ALL
+                    .iter()
+                    .map(|&id| match metrics.get(id) {
+                        Some(x) => format!("{x:>5}"),
+                        None => format!("{:>5}", "-"),
+                    })
+                    .collect();
+                println!(
+                    "{name:<12} {label:<11} {threads:>3}thr {size:>6} | {} | [{}]",
+                    v.join(" "),
+                    fired_names(&verdicts).join(",")
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Golden verdicts: every registry workload recovers its label on the
+//! quiet two-socket preset at two threads — the cheapest row of the full
+//! `np patterns --verify` matrix. The full 96-case matrix (both machine
+//! presets x 2/4 threads) runs in release as a tier-1 CI stage; this
+//! suite keeps the same ground truth wired into `cargo test` so a
+//! single-workload regression is caught before the sweep.
+
+use np_patterns::verify::{classify_run, sweep_machines, sweep_size};
+use np_patterns::{fired_names, Pattern};
+use np_workloads::registry;
+
+fn quiet_two_socket() -> np_simulator::MachineConfig {
+    sweep_machines().remove(0).1
+}
+
+#[test]
+fn every_registry_label_recovers_on_the_two_socket_preset() {
+    let config = quiet_two_socket();
+    let mut failures = Vec::new();
+    let mut fired_by_name: Vec<(&str, Vec<String>)> = Vec::new();
+    for name in registry::NAMES {
+        let workload = registry::build(name, sweep_size(name), 2, &config)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let program = workload.build(&config);
+        let (_, verdicts) =
+            classify_run(&program, &config, 1).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let fired = fired_names(&verdicts);
+        let expected: Vec<String> = registry::expected_patterns(name)
+            .unwrap_or(&[])
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        if fired != expected {
+            failures.push(format!("{name}: fired {fired:?} expected {expected:?}"));
+        }
+        fired_by_name.push((name, fired));
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+
+    // Specificity: the negative controls classified healthy, so a
+    // verdict engine that fires something everywhere cannot pass by
+    // accident — and every pattern has at least one workload firing it,
+    // so no signature is dead weight.
+    let fired_of = |name: &str| {
+        fired_by_name
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, f)| f.clone())
+            .unwrap()
+    };
+    for name in ["row-major", "stream-interleaved", "stencil-small"] {
+        assert!(fired_of(name).is_empty(), "{name} must classify healthy");
+    }
+    for pattern in Pattern::ALL {
+        assert!(
+            fired_by_name
+                .iter()
+                .any(|(_, f)| f.iter().any(|p| p == pattern.name())),
+            "no registry workload exercises {}",
+            pattern.name()
+        );
+    }
+}
+
+#[test]
+fn labels_use_canonical_pattern_names_in_canonical_order() {
+    // Every registry label is a subsequence of Pattern::ALL by name, so
+    // exact-equality against `fired_names` (which reports in table
+    // order) can never fail on ordering alone.
+    let canonical: Vec<&str> = Pattern::ALL.iter().map(|p| p.name()).collect();
+    for (name, label) in registry::EXPECTED_PATTERNS {
+        let mut cursor = 0usize;
+        for pat in label {
+            let pos = canonical[cursor..]
+                .iter()
+                .position(|c| c == pat)
+                .unwrap_or_else(|| {
+                    panic!("{name}: '{pat}' unknown or out of canonical order in {label:?}")
+                });
+            cursor += pos + 1;
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Near-miss fixtures: for every rule of every signature, a synthetic
+//! indicator vector sitting ONE per-mille under the threshold must not
+//! fire the pattern, and the same vector nudged to the threshold must.
+//! This pins the `>=` / `<=` edges exactly — an off-by-one in a
+//! threshold or a comparison direction fails here before it shows up as
+//! a sweep mismatch.
+
+use np_patterns::{classify, derive, Indicators, NodeVector, Verdict};
+
+fn verdicts(nodes: Vec<NodeVector>) -> Vec<Verdict> {
+    let wall = nodes.iter().map(|n| n.cycles).max().unwrap_or(0);
+    classify(
+        &derive(&Indicators {
+            nodes,
+            wall_cycles: wall,
+        }),
+        None,
+    )
+}
+
+fn fired(verdicts: &[Verdict], pattern: &str) -> bool {
+    verdicts
+        .iter()
+        .find(|v| v.pattern == pattern)
+        .unwrap_or_else(|| panic!("no verdict for {pattern}"))
+        .fired
+}
+
+/// Single-node shape with the request rate as the only free variable:
+/// deep enough stalls for the bandwidth signature's second rule.
+fn bw_shape(dram: u64) -> Vec<NodeVector> {
+    vec![NodeVector {
+        instructions: 100_000,
+        cycles: 1_000_000,
+        mem_stall: 500_000,
+        local_dram: dram,
+        load: 50_000,
+        imc_read: dram,
+        ..NodeVector::default()
+    }]
+}
+
+#[test]
+fn bandwidth_rate_threshold_is_exact() {
+    // dram_per_kcycle = dram * 1000 / cycles; threshold 34.
+    let under = verdicts(bw_shape(33_999));
+    let over = verdicts(bw_shape(34_000));
+    assert!(!fired(&under, "bandwidth-bound"), "{under:?}");
+    assert!(fired(&over, "bandwidth-bound"), "{over:?}");
+    // The miss is the rate, not the stalls: nothing else fires either.
+    assert!(under.iter().all(|v| !v.fired), "{under:?}");
+}
+
+fn lat_shape(stall: u64) -> Vec<NodeVector> {
+    vec![NodeVector {
+        instructions: 100_000,
+        cycles: 1_000_000,
+        mem_stall: stall,
+        local_dram: 5_000,
+        load: 50_000,
+        imc_read: 5_000,
+        ..NodeVector::default()
+    }]
+}
+
+#[test]
+fn latency_stall_threshold_is_exact() {
+    // mem_stall_frac threshold 750 with the rate held at 5 (<= 10).
+    let under = verdicts(lat_shape(749_999));
+    let over = verdicts(lat_shape(750_000));
+    assert!(!fired(&under, "latency-bound"), "{under:?}");
+    assert!(fired(&over, "latency-bound"), "{over:?}");
+}
+
+#[test]
+fn latency_rate_cap_is_exact() {
+    // Deep stalls but the request rate just above the <= 10 cap: the
+    // latency verdict must not fire (that shape is on its way to
+    // bandwidth, not latency).
+    let mut nodes = lat_shape(900_000);
+    nodes[0].local_dram = 10_001; // 10_001 / 1000 kcycles -> 10 per-mille
+    nodes[0].imc_read = 10_001;
+    let at_cap = verdicts(nodes.clone());
+    assert!(fired(&at_cap, "latency-bound"), "{at_cap:?}");
+    nodes[0].local_dram = 11_000; // -> 11, one over the cap
+    nodes[0].imc_read = 11_000;
+    let over_cap = verdicts(nodes);
+    assert!(!fired(&over_cap, "latency-bound"), "{over_cap:?}");
+}
+
+fn shr_shape(hitm: u64) -> Vec<NodeVector> {
+    vec![NodeVector {
+        instructions: 100_000,
+        cycles: 1_000_000,
+        hitm,
+        load: 800,
+        store: 200,
+        ..NodeVector::default()
+    }]
+}
+
+#[test]
+fn false_sharing_hitm_threshold_is_exact() {
+    // hitm_per_kop = hitm * 1000 / (load + store) = hitm with 1000 ops;
+    // threshold 9.
+    let under = verdicts(shr_shape(8));
+    let over = verdicts(shr_shape(9));
+    assert!(!fired(&under, "false-sharing"), "{under:?}");
+    assert!(fired(&over, "false-sharing"), "{over:?}");
+}
+
+/// Two active nodes; node 0's controller serves everything (full
+/// concentration), the remote share is the free variable.
+fn rmt_ratio_shape(remote: u64) -> Vec<NodeVector> {
+    let local = 1000 - remote;
+    vec![
+        NodeVector {
+            instructions: 100_000,
+            cycles: 1_000_000,
+            local_dram: local,
+            load: 50_000,
+            imc_read: 1000,
+            ..NodeVector::default()
+        },
+        NodeVector {
+            instructions: 100_000,
+            cycles: 1_000_000,
+            remote_dram: remote,
+            load: 50_000,
+            ..NodeVector::default()
+        },
+    ]
+}
+
+#[test]
+fn numa_imbalance_remote_ratio_threshold_is_exact() {
+    // remote_ratio threshold 300 with imc_skew pinned at 1000.
+    let under = verdicts(rmt_ratio_shape(299));
+    let over = verdicts(rmt_ratio_shape(300));
+    assert!(!fired(&under, "numa-imbalance"), "{under:?}");
+    assert!(fired(&over, "numa-imbalance"), "{over:?}");
+}
+
+/// Two active nodes with a 40% remote share; the cold controller's
+/// traffic is the free variable setting the concentration.
+fn rmt_skew_shape(cold_imc: u64) -> Vec<NodeVector> {
+    vec![
+        NodeVector {
+            instructions: 100_000,
+            cycles: 1_000_000,
+            local_dram: 600,
+            remote_dram: 400,
+            load: 50_000,
+            imc_read: 1000,
+            ..NodeVector::default()
+        },
+        NodeVector {
+            instructions: 100_000,
+            cycles: 1_000_000,
+            load: 50_000,
+            imc_read: cold_imc,
+            ..NodeVector::default()
+        },
+    ]
+}
+
+#[test]
+fn numa_imbalance_concentration_threshold_is_exact() {
+    // concentration = (max*2 - sum) * 1000 / max with max = 1000, so a
+    // cold controller at 171 gives 829 (under) and 170 gives 830 (at).
+    let under = verdicts(rmt_skew_shape(171));
+    let over = verdicts(rmt_skew_shape(170));
+    assert!(!fired(&under, "numa-imbalance"), "{under:?}");
+    assert!(fired(&over, "numa-imbalance"), "{over:?}");
+}
+
+fn tlb_shape(dtlb: u64) -> Vec<NodeVector> {
+    vec![NodeVector {
+        instructions: 1_000_000,
+        cycles: 2_000_000,
+        dtlb_miss: dtlb,
+        load: 500_000,
+        ..NodeVector::default()
+    }]
+}
+
+#[test]
+fn tlb_mpki_threshold_is_exact() {
+    // dtlb_mpki = misses * 1000 / instructions; threshold 130.
+    let under = verdicts(tlb_shape(129_999));
+    let over = verdicts(tlb_shape(130_000));
+    assert!(!fired(&under, "tlb-thrashing"), "{under:?}");
+    assert!(fired(&over, "tlb-thrashing"), "{over:?}");
+}
+
+fn skw_shape(lighter_instr: u64) -> Vec<NodeVector> {
+    let node = |instr: u64| NodeVector {
+        instructions: instr,
+        cycles: 2_000_000,
+        load: instr / 2,
+        ..NodeVector::default()
+    };
+    vec![node(1_000_000), node(lighter_instr)]
+}
+
+#[test]
+fn load_imbalance_skew_threshold_is_exact() {
+    // work_skew = 1000 - mean_pm/max = 500 - lighter/2000 with the
+    // heavy node at 1M; threshold 100.
+    let under = verdicts(skw_shape(802_000)); // skew 99
+    let over = verdicts(skw_shape(800_000)); // skew 100
+    assert!(!fired(&under, "load-imbalance"), "{under:?}");
+    assert!(fired(&over, "load-imbalance"), "{over:?}");
+}
+
+#[test]
+fn near_misses_fire_nothing_anywhere() {
+    // Every near-miss fixture is a clean miss: no OTHER pattern picks
+    // up the shape either, so each rule's edge is isolated.
+    for (label, nodes) in [
+        ("bw", bw_shape(33_999)),
+        ("shr", shr_shape(8)),
+        ("rmt-ratio", rmt_ratio_shape(299)),
+        ("rmt-skew", rmt_skew_shape(171)),
+        ("tlb", tlb_shape(129_999)),
+        ("skw", skw_shape(802_000)),
+    ] {
+        let vs = verdicts(nodes);
+        assert!(vs.iter().all(|v| !v.fired), "{label}: {vs:?}");
+    }
+}

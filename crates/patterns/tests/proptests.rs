@@ -1,0 +1,118 @@
+//! Property-based tests for the classifier's structural invariants:
+//! verdict monotonicity (more of a symptom never un-fires its pattern),
+//! confidence bounds, completeness of the verdict table, and
+//! determinism of `classify` as a pure function of its inputs.
+
+use np_patterns::{classify, derive, Indicators, NodeVector, Pattern, Verdict};
+use proptest::prelude::*;
+
+fn verdicts(nodes: Vec<NodeVector>) -> Vec<Verdict> {
+    let wall = nodes.iter().map(|n| n.cycles).max().unwrap_or(0);
+    classify(
+        &derive(&Indicators {
+            nodes,
+            wall_cycles: wall,
+        }),
+        None,
+    )
+}
+
+fn fired(verdicts: &[Verdict], pattern: &str) -> bool {
+    verdicts
+        .iter()
+        .find(|v| v.pattern == pattern)
+        .map(|v| v.fired)
+        .unwrap_or(false)
+}
+
+/// A single-node vector with every signature denominator populated, so
+/// all metrics are available and the symptom counters below can be
+/// swept freely without tripping the unavailable-metric guard.
+fn base_node() -> NodeVector {
+    NodeVector {
+        instructions: 1_000_000,
+        cycles: 2_000_000,
+        mem_stall: 100_000,
+        local_dram: 10_000,
+        load: 400_000,
+        store: 100_000,
+        imc_read: 10_000,
+        ..NodeVector::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hitm_is_monotone_for_false_sharing(hitm in 0u64..50_000, delta in 0u64..50_000) {
+        // Raising the HITM count (all else fixed) can only move the
+        // false-sharing verdict from quiet to fired, never back.
+        let mut lo = base_node();
+        lo.hitm = hitm;
+        let mut hi = base_node();
+        hi.hitm = hitm + delta;
+        let before = fired(&verdicts(vec![lo]), "false-sharing");
+        let after = fired(&verdicts(vec![hi]), "false-sharing");
+        prop_assert!(!before || after, "hitm {hitm} fired but {} did not", hitm + delta);
+    }
+
+    #[test]
+    fn dtlb_is_monotone_for_tlb_thrashing(dtlb in 0u64..500_000, delta in 0u64..500_000) {
+        let mut lo = base_node();
+        lo.dtlb_miss = dtlb;
+        let mut hi = base_node();
+        hi.dtlb_miss = dtlb + delta;
+        let before = fired(&verdicts(vec![lo]), "tlb-thrashing");
+        let after = fired(&verdicts(vec![hi]), "tlb-thrashing");
+        prop_assert!(!before || after, "dtlb {dtlb} fired but {} did not", dtlb + delta);
+    }
+
+    #[test]
+    fn verdict_table_is_complete_and_bounded(
+        hitm in 0u64..20_000,
+        dtlb in 0u64..300_000,
+        stall in 0u64..2_000_000,
+        dram in 0u64..200_000,
+    ) {
+        let mut node = base_node();
+        node.hitm = hitm;
+        node.dtlb_miss = dtlb;
+        node.mem_stall = stall;
+        node.local_dram = dram;
+        node.imc_read = dram;
+        let vs = verdicts(vec![node]);
+        // One verdict per pattern, in canonical table order, each with
+        // a confidence inside the per-mille range.
+        prop_assert_eq!(vs.len(), Pattern::ALL.len());
+        for (v, p) in vs.iter().zip(Pattern::ALL.iter()) {
+            prop_assert_eq!(v.pattern.as_str(), p.name());
+            prop_assert!(v.confidence_pm <= 1000, "{}: conf {}", v.pattern, v.confidence_pm);
+            if v.evidence.iter().any(|e| !e.available) {
+                // A signature with a missing input neither fires nor
+                // claims confidence about not firing.
+                prop_assert!(!v.fired, "{} fired on unavailable input", v.pattern);
+                prop_assert_eq!(v.confidence_pm, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn classify_is_deterministic(
+        hitm in 0u64..20_000,
+        dtlb in 0u64..300_000,
+        stall in 0u64..2_000_000,
+        remote in 0u64..100_000,
+    ) {
+        let mut a = base_node();
+        a.hitm = hitm;
+        a.dtlb_miss = dtlb;
+        a.mem_stall = stall;
+        let mut b = base_node();
+        b.remote_dram = remote;
+        let nodes = vec![a, b];
+        let first = verdicts(nodes.clone());
+        let second = verdicts(nodes);
+        prop_assert_eq!(format!("{first:?}"), format!("{second:?}"));
+    }
+}

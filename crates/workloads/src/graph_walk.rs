@@ -1,0 +1,142 @@
+//! Skewed random walks over a shared vertex array: load imbalance.
+//!
+//! The BFS kernel partitions a uniform graph evenly; this one models the
+//! power-law reality — one thread owns the hub vertices and performs
+//! several times the edge work of the others, then everybody meets at a
+//! barrier. The trailing threads' instruction counts collapse relative
+//! to the hub owner while wall time stretches to the slowest thread:
+//! the load-imbalance signature, with irregular gather traffic on top.
+
+use crate::lcg::BsdLcg;
+use crate::{spread_cores, Workload};
+use np_simulator::{AllocPolicy, MachineConfig, Program, ProgramBuilder};
+
+/// Parallel random walks with a hub-heavy work split.
+#[derive(Debug, Clone)]
+pub struct SkewedWalkKernel {
+    /// Vertices in the shared array (8 B each).
+    pub vertices: usize,
+    /// Walk steps for a non-hub thread; the hub owner walks
+    /// `hub_factor` times as many.
+    pub steps: usize,
+    /// Work multiplier for thread 0 (the hub owner).
+    pub hub_factor: usize,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl SkewedWalkKernel {
+    /// A walk whose hub owner does 6x the work of everyone else.
+    pub fn new(vertices: usize, steps: usize, threads: usize) -> Self {
+        SkewedWalkKernel {
+            vertices: vertices.max(1024),
+            steps: steps.max(1),
+            hub_factor: 6,
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl Workload for SkewedWalkKernel {
+    fn name(&self) -> String {
+        format!(
+            "skewed-walk/{}v/{}steps/x{}hub/{}thr",
+            self.vertices, self.steps, self.hub_factor, self.threads
+        )
+    }
+
+    fn build(&self, machine: &MachineConfig) -> Program {
+        let p = self.threads;
+        let cores = spread_cores(machine, p);
+        let mut b = ProgramBuilder::new(&machine.topology, machine.page_bytes);
+
+        let n = self.vertices as u64;
+        let verts = b.alloc(8 * n, AllocPolicy::Interleave);
+        let marks = b.alloc(n, AllocPolicy::Interleave);
+        let threads: Vec<usize> = cores.iter().map(|&c| b.add_thread(c)).collect();
+
+        // Thread 0 touches the shared arrays (interleave places the pages).
+        for (t, &th) in threads.iter().enumerate() {
+            if t == 0 {
+                let mut v = 0u64;
+                while v < 8 * n {
+                    b.store(th, verts + v);
+                    v += machine.page_bytes;
+                }
+                let mut v = 0u64;
+                while v < n {
+                    b.store(th, marks + v);
+                    v += machine.page_bytes;
+                }
+            }
+            b.barrier(th, 1);
+        }
+
+        // Walks: each step gathers a random vertex, does a step of work,
+        // and occasionally marks it. Thread 0 walks hub_factor times as
+        // long; everyone else then waits at the final barrier.
+        for (t, &th) in threads.iter().enumerate() {
+            let mut lcg = BsdLcg::with_seed(0x3A1C + t as u32);
+            let steps = if t == 0 {
+                self.steps * self.hub_factor
+            } else {
+                self.steps
+            };
+            for _ in 0..steps {
+                let v = lcg.next_bounded(self.vertices as u32) as u64;
+                b.load(th, verts + v * 8);
+                b.exec(th, 2);
+                if lcg.next_bounded(8) == 0 {
+                    b.store(th, marks + v);
+                }
+            }
+            b.barrier(th, 2);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::{HwEvent, MachineSim};
+
+    fn quiet() -> MachineSim {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        MachineSim::new(cfg)
+    }
+
+    #[test]
+    fn hub_owner_retires_most_instructions() {
+        let sim = quiet();
+        let w = SkewedWalkKernel::new(16 * 1024, 2000, 4);
+        let p = w.build(sim.config());
+        let r = sim.run(&p, 1).expect("valid program");
+        let topo = &sim.config().topology;
+        let per_core: Vec<u64> = (0..topo.total_cores())
+            .map(|c| r.counters.get(c, HwEvent::Instructions))
+            .filter(|&i| i > 0)
+            .collect();
+        let max = *per_core.iter().max().unwrap();
+        let min = *per_core.iter().min().unwrap();
+        assert!(max > 3 * min, "instruction skew max {max} min {min}");
+    }
+
+    #[test]
+    fn wall_clock_tracks_the_hub_thread() {
+        let sim = quiet();
+        let skewed = SkewedWalkKernel::new(16 * 1024, 2000, 4);
+        let mut flat = skewed.clone();
+        flat.hub_factor = 1;
+        let rs = sim.run(&skewed.build(sim.config()), 1).expect("valid");
+        let rf = sim.run(&flat.build(sim.config()), 1).expect("valid");
+        assert!(
+            rs.cycles > 2 * rf.cycles,
+            "skewed {} flat {}",
+            rs.cycles,
+            rf.cycles
+        );
+    }
+}

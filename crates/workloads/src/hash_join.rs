@@ -1,0 +1,174 @@
+//! A parallel hash join: shared build table, random probe gathers.
+//!
+//! The registry's contended-sharing citizen. The build phase scatters
+//! stores into one shared bucket array from every thread — the bucket
+//! headers bounce between caches exactly like falsely-shared counters —
+//! and the probe phase issues independent random gathers over the whole
+//! table, which defeats the dTLB long before it saturates a memory
+//! controller. Both effects are what the pattern classifier must call
+//! out (false sharing, TLB thrashing), which is why the workload exists
+//! at two footprints: the small table keeps the probe stream cache-warm,
+//! the large one spills every structure to DRAM.
+
+use crate::lcg::BsdLcg;
+use crate::{spread_cores, Workload};
+use np_simulator::{AllocPolicy, MachineConfig, Program, ProgramBuilder};
+
+/// A build + probe hash join over a shared bucket array.
+#[derive(Debug, Clone)]
+pub struct HashJoinKernel {
+    /// Rows in the build relation (16 B/bucket in the table).
+    pub build_rows: usize,
+    /// Rows in the probe relation (8 B/key).
+    pub probe_rows: usize,
+    /// Worker threads; both relations are block-partitioned.
+    pub threads: usize,
+    /// Placement for the two relations. The shared table is always
+    /// interleaved — every thread hammers it, so spreading it across
+    /// controllers keeps the kernel's signal the *sharing*, not an
+    /// accidental one-node placement hotspot.
+    pub policy: AllocPolicy,
+}
+
+impl HashJoinKernel {
+    /// A join sized by its build side; probes four keys per build row.
+    pub fn new(build_rows: usize, threads: usize) -> Self {
+        HashJoinKernel {
+            build_rows: build_rows.max(64),
+            probe_rows: build_rows.max(64) * 4,
+            threads: threads.max(1),
+            policy: AllocPolicy::FirstTouch,
+        }
+    }
+}
+
+impl Workload for HashJoinKernel {
+    fn name(&self) -> String {
+        format!(
+            "hash-join/{}build/{}probe/{}thr",
+            self.build_rows, self.probe_rows, self.threads
+        )
+    }
+
+    fn build(&self, machine: &MachineConfig) -> Program {
+        let p = self.threads;
+        let cores = spread_cores(machine, p);
+        let mut b = ProgramBuilder::new(&machine.topology, machine.page_bytes);
+
+        let buckets = self.build_rows as u64;
+        // 16 B buckets: header word (the contended store target) + payload.
+        // Interleaved on purpose: see the `policy` field docs.
+        let table = b.alloc(16 * buckets, AllocPolicy::Interleave);
+        let build_keys = b.alloc(8 * self.build_rows as u64, self.policy);
+        let probe_keys = b.alloc(8 * self.probe_rows as u64, self.policy);
+
+        let threads: Vec<usize> = cores.iter().map(|&c| b.add_thread(c)).collect();
+
+        // First-touch the relations by their block owners, one touch per
+        // page; the interleaved table is paged in by thread 0 before the
+        // build so the contended phase measures sharing, not faulting.
+        let build_chunk = self.build_rows / p;
+        let probe_chunk = self.probe_rows / p;
+        for (t, &th) in threads.iter().enumerate() {
+            let mut k = (t * build_chunk) as u64;
+            let hi = ((t + 1) * build_chunk).min(self.build_rows) as u64;
+            while k < hi {
+                b.store(th, build_keys + k * 8);
+                k += machine.page_bytes / 8;
+            }
+            let mut k = (t * probe_chunk) as u64;
+            let hi = ((t + 1) * probe_chunk).min(self.probe_rows) as u64;
+            while k < hi {
+                b.store(th, probe_keys + k * 8);
+                k += machine.page_bytes / 8;
+            }
+            if t == 0 {
+                let mut v = 0u64;
+                while v < 16 * buckets {
+                    b.store(th, table + v);
+                    v += machine.page_bytes;
+                }
+            }
+            b.barrier(th, 1);
+        }
+
+        // Build: scan my block of build keys sequentially, hash each key
+        // (exec), then write the bucket header at a pseudo-random slot —
+        // scattered stores into memory every other thread also writes.
+        for (t, &th) in threads.iter().enumerate() {
+            let mut lcg = BsdLcg::with_seed(0x4A01 + t as u32);
+            let lo = t * build_chunk;
+            let hi = ((t + 1) * build_chunk).min(self.build_rows);
+            for k in lo..hi {
+                b.load(th, build_keys + (k as u64) * 8);
+                b.exec(th, 1);
+                let slot = lcg.next_bounded(buckets as u32) as u64;
+                b.store(th, table + slot * 16);
+                // Collision chain: a quarter of the inserts write the
+                // neighbouring bucket too.
+                if lcg.next_bounded(4) == 0 {
+                    b.store(th, table + ((slot + 1) % buckets) * 16 + 8);
+                }
+            }
+            b.barrier(th, 2);
+        }
+
+        // Probe: scan my block of probe keys sequentially and gather the
+        // matching bucket — independent random reads across the table, so
+        // the misses overlap (no dependent chain) while the TLB churns.
+        for (t, &th) in threads.iter().enumerate() {
+            let mut lcg = BsdLcg::with_seed(0x9B0B + t as u32);
+            let lo = t * probe_chunk;
+            let hi = ((t + 1) * probe_chunk).min(self.probe_rows);
+            for k in lo..hi {
+                b.load(th, probe_keys + (k as u64) * 8);
+                b.exec(th, 1);
+                let slot = lcg.next_bounded(buckets as u32) as u64;
+                b.load(th, table + slot * 16);
+                let hit = lcg.next_bounded(4) != 0;
+                b.branch(th, 700, hit);
+                if hit {
+                    b.load(th, table + slot * 16 + 8);
+                }
+            }
+            b.barrier(th, 3);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::{HwEvent, MachineSim};
+
+    fn quiet() -> MachineSim {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        MachineSim::new(cfg)
+    }
+
+    #[test]
+    fn shared_build_causes_hitm_traffic() {
+        let sim = quiet();
+        let w = HashJoinKernel::new(16 * 1024, 4);
+        let r = sim.run(&w.build(sim.config()), 1).expect("valid program");
+        assert!(
+            r.total(HwEvent::HitmTransfer) > 50,
+            "hitm {}",
+            r.total(HwEvent::HitmTransfer)
+        );
+    }
+
+    #[test]
+    fn random_probe_churns_the_tlb() {
+        let sim = quiet();
+        // 64 Ki buckets = 1 MiB of table: four times the 64-entry dTLB
+        // reach, so the random probes keep missing.
+        let w = HashJoinKernel::new(64 * 1024, 2);
+        let r = sim.run(&w.build(sim.config()), 1).expect("valid program");
+        let mpki = r.total(HwEvent::DtlbMiss) as f64 / r.total(HwEvent::Instructions) as f64;
+        assert!(mpki > 0.01, "dtlb per instruction {mpki}");
+    }
+}

@@ -19,19 +19,29 @@
 //!   classical cost models of `np-models` against the simulator.
 //! * [`graph`] — a level-synchronous BFS over a CSR graph: the irregular,
 //!   gather/scatter-heavy pattern the surveyed NUMA models were built for.
+//! * [`hash_join`] — shared-table build + random probe: contended stores
+//!   and TLB-hostile gathers for the pattern classifier.
+//! * [`pointer_chase`] — per-thread dependent chases: the latency-bound
+//!   registry workload (where [`mlc`] is the measurement instrument).
+//! * [`stencil`] — a 5-point Jacobi sweep: the second streaming shape.
+//! * [`graph_walk`] — hub-skewed random walks: load imbalance on demand.
 //! * [`lcg`] — the BSD linear congruential engine of Listing 3.
 //! * [`registry`] — every kernel above, buildable by name; the single
 //!   name-to-workload table the CLI and the bench harness share.
 
 pub mod cache_miss;
 pub mod graph;
+pub mod graph_walk;
+pub mod hash_join;
 pub mod lcg;
 pub mod matmul;
 pub mod mlc;
 pub mod parallel_sort;
 pub mod phases;
+pub mod pointer_chase;
 pub mod registry;
 pub mod sift;
+pub mod stencil;
 pub mod stream;
 
 use np_simulator::{MachineConfig, Program};

@@ -1,0 +1,115 @@
+//! A parallel dependent pointer chase: pure latency, no overlap.
+//!
+//! Where [`crate::mlc`] is a measurement instrument (one core, one node
+//! pair), this is the registry's latency-bound *workload*: every thread
+//! walks its own pseudo-random linked list with `load_dependent`, so
+//! each miss must complete before the next can issue. Throughput per
+//! cycle collapses while stall cycles dominate — the latency-bound
+//! signature — and the page-granular hops keep the dTLB missing, which
+//! is exactly how a real chase over a DRAM-sized list behaves.
+
+use crate::lcg::BsdLcg;
+use crate::{spread_cores, Workload};
+use np_simulator::{AllocPolicy, MachineConfig, Program, ProgramBuilder};
+
+/// Per-thread dependent chases over private first-touch regions.
+#[derive(Debug, Clone)]
+pub struct PointerChaseKernel {
+    /// Bytes per thread region (should exceed the caches).
+    pub bytes_per_thread: u64,
+    /// Dependent hops each thread performs.
+    pub hops: usize,
+    /// Worker threads, each chasing its own region.
+    pub threads: usize,
+}
+
+impl PointerChaseKernel {
+    /// A chase with enough hops to make the list walk dominate.
+    pub fn new(bytes_per_thread: u64, hops: usize, threads: usize) -> Self {
+        PointerChaseKernel {
+            bytes_per_thread: bytes_per_thread.max(4096),
+            hops: hops.max(1),
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl Workload for PointerChaseKernel {
+    fn name(&self) -> String {
+        format!(
+            "pointer-chase/{}B/{}hops/{}thr",
+            self.bytes_per_thread, self.hops, self.threads
+        )
+    }
+
+    fn build(&self, machine: &MachineConfig) -> Program {
+        let p = self.threads;
+        let cores = spread_cores(machine, p);
+        let mut b = ProgramBuilder::new(&machine.topology, machine.page_bytes);
+
+        let regions: Vec<u64> = (0..p)
+            .map(|_| b.alloc(self.bytes_per_thread, AllocPolicy::FirstTouch))
+            .collect();
+        let threads: Vec<usize> = cores.iter().map(|&c| b.add_thread(c)).collect();
+
+        // First-touch my region (one store per page), then chase.
+        for (t, &th) in threads.iter().enumerate() {
+            let mut v = 0u64;
+            while v < self.bytes_per_thread {
+                b.store(th, regions[t] + v);
+                v += machine.page_bytes;
+            }
+            b.barrier(th, 1);
+        }
+
+        let pages = (self.bytes_per_thread / machine.page_bytes).max(1);
+        for (t, &th) in threads.iter().enumerate() {
+            let mut lcg = BsdLcg::with_seed(0xCA5E + t as u32);
+            for _ in 0..self.hops {
+                // Every hop reads the next pointer: a fresh page and a
+                // fresh line, serialised on the previous load.
+                let page = lcg.next_bounded(pages as u32) as u64;
+                let line = lcg.next_bounded((machine.page_bytes / 64) as u32) as u64;
+                b.load_dependent(th, regions[t] + page * machine.page_bytes + line * 64);
+            }
+            b.barrier(th, 2);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::{HwEvent, MachineSim};
+
+    fn quiet() -> MachineSim {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        MachineSim::new(cfg)
+    }
+
+    #[test]
+    fn chase_is_stall_dominated() {
+        let sim = quiet();
+        let w = PointerChaseKernel::new(8 << 20, 4000, 2);
+        let r = sim.run(&w.build(sim.config()), 1).expect("valid program");
+        let stall = r.total(HwEvent::MemStallCycles) as f64;
+        let cycles = r.total(HwEvent::Cycles) as f64;
+        assert!(stall / cycles > 0.5, "stall fraction {}", stall / cycles);
+    }
+
+    #[test]
+    fn chase_stays_node_local() {
+        let sim = quiet();
+        let w = PointerChaseKernel::new(8 << 20, 4000, 2);
+        let r = sim.run(&w.build(sim.config()), 1).expect("valid program");
+        let local = r.total(HwEvent::LocalDramAccess);
+        let remote = r.total(HwEvent::RemoteDramAccess);
+        assert!(
+            local > 10 * remote.max(1),
+            "local {local} vs remote {remote}"
+        );
+    }
+}

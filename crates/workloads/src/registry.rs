@@ -1,22 +1,33 @@
 //! The workload registry: every kernel in the suite, buildable by name.
 //!
 //! Lived in the CLI originally; moved here so non-CLI consumers (the
-//! `np bench` matrix harness, tests) can sweep the same registry the
-//! commands expose. The CLI re-exports it unchanged.
+//! `np bench` matrix harness, the np-patterns verification sweep, tests)
+//! can sweep the same registry the commands expose. The CLI re-exports
+//! it unchanged.
+//!
+//! Every entry carries an `expected_patterns` label — the performance
+//! patterns a correct classifier must (and must only) report for it.
+//! The labels are the ground truth of `np patterns --verify`; they were
+//! pinned empirically from quiet-simulator sweeps over both machine
+//! presets at 2 and 4 threads (see EXPERIMENTS.md).
 
 use crate::cache_miss::CacheMissKernel;
 use crate::graph::BfsKernel;
+use crate::graph_walk::SkewedWalkKernel;
+use crate::hash_join::HashJoinKernel;
 use crate::matmul::TiledMatmul;
 use crate::mlc::LatencyChecker;
 use crate::parallel_sort::ParallelSortKernel;
 use crate::phases::PhaseTraceKernel;
+use crate::pointer_chase::PointerChaseKernel;
 use crate::sift::SiftKernel;
+use crate::stencil::StencilKernel;
 use crate::stream::StreamTriad;
 use crate::Workload;
 use np_simulator::MachineConfig;
 
 /// All registry names, for help output and error messages.
-pub const NAMES: [&str; 16] = [
+pub const NAMES: [&str; 24] = [
     "row-major",
     "column-major",
     "sort",
@@ -33,7 +44,77 @@ pub const NAMES: [&str; 16] = [
     "bfs",
     "bfs-bound",
     "bfs-interleaved",
+    "hashjoin-small",
+    "hashjoin-large",
+    "chase-small",
+    "chase-large",
+    "stencil-small",
+    "stencil-large",
+    "walk-small",
+    "walk-large",
 ];
+
+/// Expected performance patterns per registry entry, aligned with
+/// [`NAMES`]. An empty slice means "healthy": the classifier must report
+/// *no* pattern for the workload. Names match
+/// `np_patterns::Pattern::name()`.
+pub const EXPECTED_PATTERNS: [(&str, &[&str]); 24] = [
+    ("row-major", &[]),
+    // Column-major traversal touches a fresh page per access but the
+    // matrix stays cache-resident: the symptom is TLB churn, not DRAM.
+    ("column-major", &["tlb-thrashing"]),
+    // Adjacent merge partitions collide at run boundaries; the
+    // single-threaded fill (the paper's Listing 3) leaves the main
+    // thread with measurably more work than its peers.
+    ("sort", &["false-sharing", "load-imbalance"]),
+    // The sift pivot walk does unequal work per thread by construction.
+    ("sift", &["load-imbalance"]),
+    ("sift-naive", &["false-sharing", "load-imbalance"]),
+    ("mlc-local", &["latency-bound", "tlb-thrashing"]),
+    (
+        "mlc-remote",
+        &["latency-bound", "numa-imbalance", "tlb-thrashing"],
+    ),
+    ("stream-local", &["bandwidth-bound"]),
+    // The bound stream's defining symptom is the one-controller hotspot;
+    // the remote latency keeps it off the local stream's saturated rate.
+    ("stream-bound", &["numa-imbalance"]),
+    // Interleaving spreads the same traffic evenly: the negative control
+    // showing the policy fix clears the imbalance verdict.
+    ("stream-interleaved", &[]),
+    ("chrome", &[]),
+    ("bsp", &[]),
+    ("matmul", &[]),
+    // Frontier chasing serialises on dependent loads; concurrent visit
+    // marks share cache lines across threads.
+    ("bfs", &["latency-bound", "false-sharing"]),
+    (
+        "bfs-bound",
+        &["latency-bound", "false-sharing", "numa-imbalance"],
+    ),
+    ("bfs-interleaved", &["latency-bound", "false-sharing"]),
+    ("hashjoin-small", &["false-sharing"]),
+    ("hashjoin-large", &["false-sharing", "tlb-thrashing"]),
+    ("chase-small", &["latency-bound", "tlb-thrashing"]),
+    ("chase-large", &["latency-bound", "tlb-thrashing"]),
+    // The blocked stencil is the healthy control among the new kernels:
+    // rows stay cache-resident, partitions even, placement local.
+    ("stencil-small", &[]),
+    ("stencil-large", &[]),
+    ("walk-small", &["false-sharing", "load-imbalance"]),
+    (
+        "walk-large",
+        &["false-sharing", "tlb-thrashing", "load-imbalance"],
+    ),
+];
+
+/// The expected-pattern label for one registry entry.
+pub fn expected_patterns(name: &str) -> Option<&'static [&'static str]> {
+    EXPECTED_PATTERNS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, pats)| *pats)
+}
 
 /// Builds a workload by registry name.
 ///
@@ -74,6 +155,22 @@ pub fn build(
         "bfs-interleaved" => {
             Box::new(BfsKernel::new(size.unwrap_or(64 * 1024), 8, t).interleaved())
         }
+        "hashjoin-small" => Box::new(HashJoinKernel::new(size.unwrap_or(4096), t)),
+        "hashjoin-large" => Box::new(HashJoinKernel::new(size.unwrap_or(64 * 1024), t)),
+        "chase-small" => Box::new(PointerChaseKernel::new(
+            size.unwrap_or(2 << 20) as u64,
+            3000,
+            t,
+        )),
+        "chase-large" => Box::new(PointerChaseKernel::new(
+            size.unwrap_or(16 << 20) as u64,
+            3000,
+            t,
+        )),
+        "stencil-small" => Box::new(StencilKernel::new(size.unwrap_or(192), 2, t)),
+        "stencil-large" => Box::new(StencilKernel::new(size.unwrap_or(512), 2, t)),
+        "walk-small" => Box::new(SkewedWalkKernel::new(size.unwrap_or(8 * 1024), 1200, t)),
+        "walk-large" => Box::new(SkewedWalkKernel::new(size.unwrap_or(64 * 1024), 2400, t)),
         other => {
             return Err(format!(
                 "unknown workload '{other}' (expected one of: {})",
@@ -107,5 +204,20 @@ mod tests {
             Ok(_) => panic!("unknown workload accepted"),
         };
         assert!(err.contains("row-major"));
+    }
+
+    #[test]
+    fn every_name_carries_a_label() {
+        // The label table and the name table stay aligned, entry by entry.
+        assert_eq!(NAMES.len(), EXPECTED_PATTERNS.len());
+        for (name, (labeled, _)) in NAMES.iter().zip(EXPECTED_PATTERNS.iter()) {
+            assert_eq!(name, labeled, "label table out of order at {name}");
+        }
+        assert_eq!(
+            expected_patterns("mlc-remote"),
+            Some(&["latency-bound", "numa-imbalance", "tlb-thrashing"][..])
+        );
+        assert_eq!(expected_patterns("row-major"), Some(&[][..]));
+        assert_eq!(expected_patterns("quicksort"), None);
     }
 }

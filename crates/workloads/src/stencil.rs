@@ -1,0 +1,133 @@
+//! A 5-point Jacobi stencil over a square grid: streaming bandwidth.
+//!
+//! Three sequential read streams (the row above, my row, the row below)
+//! plus one write stream, block-partitioned by rows — the classic
+//! bandwidth-bound HPC kernel, and the registry's second streaming
+//! shape next to [`crate::stream`]. Unlike the triad its reads overlap
+//! between neighbouring threads at the block seams, so placement still
+//! matters, but the dominant behaviour at DRAM-sized grids is memory
+//! controllers running flat out while the cores wait.
+
+use crate::{spread_cores, Workload};
+use np_simulator::{AllocPolicy, MachineConfig, Program, ProgramBuilder};
+
+/// Row-partitioned Jacobi iterations: `out[i][j] = f(in neighbours)`.
+#[derive(Debug, Clone)]
+pub struct StencilKernel {
+    /// Grid dimension (`n × n` cells, 8 B each, two grids).
+    pub n: usize,
+    /// Jacobi sweeps (grids swap roles each sweep).
+    pub iterations: usize,
+    /// Worker threads (rows are block-partitioned).
+    pub threads: usize,
+    /// Placement for both grids.
+    pub policy: AllocPolicy,
+}
+
+impl StencilKernel {
+    /// A first-touch stencil; rows land where their owners run.
+    pub fn new(n: usize, iterations: usize, threads: usize) -> Self {
+        StencilKernel {
+            n: n.max(16),
+            iterations: iterations.max(1),
+            threads: threads.max(1),
+            policy: AllocPolicy::FirstTouch,
+        }
+    }
+}
+
+impl Workload for StencilKernel {
+    fn name(&self) -> String {
+        format!(
+            "stencil/{}x{}/{}it/{}thr",
+            self.n, self.n, self.iterations, self.threads
+        )
+    }
+
+    #[allow(clippy::explicit_counter_loop)] // `barrier` ids advance with the sweep loop
+    fn build(&self, machine: &MachineConfig) -> Program {
+        let p = self.threads;
+        let n = self.n as u64;
+        let cores = spread_cores(machine, p);
+        let mut b = ProgramBuilder::new(&machine.topology, machine.page_bytes);
+
+        let grid_a = b.alloc(8 * n * n, self.policy);
+        let grid_b = b.alloc(8 * n * n, self.policy);
+        let threads: Vec<usize> = cores.iter().map(|&c| b.add_thread(c)).collect();
+
+        // First-touch both grids by row owner, one touch per page.
+        let rows = self.n / p;
+        for (t, &th) in threads.iter().enumerate() {
+            let lo = (t * rows) as u64 * n * 8;
+            let hi = (((t + 1) * rows).min(self.n)) as u64 * n * 8;
+            let mut v = lo;
+            while v < hi {
+                b.store(th, grid_a + v);
+                b.store(th, grid_b + v);
+                v += machine.page_bytes;
+            }
+            b.barrier(th, 1);
+        }
+
+        // Sweeps: read the three-row window line by line, write the other
+        // grid. Touch one cell per cache line — the streams are what we
+        // model, not the arithmetic between line neighbours.
+        let mut barrier = 2u32;
+        let (mut src, mut dst) = (grid_a, grid_b);
+        for _ in 0..self.iterations {
+            for (t, &th) in threads.iter().enumerate() {
+                let lo = (t * rows).max(1);
+                let hi = ((t + 1) * rows).min(self.n - 1);
+                for i in lo..hi {
+                    let iu = i as u64;
+                    let mut j = 0u64;
+                    while j < n {
+                        b.load(th, src + ((iu - 1) * n + j) * 8);
+                        b.load(th, src + (iu * n + j) * 8);
+                        b.load(th, src + ((iu + 1) * n + j) * 8);
+                        b.exec(th, 1);
+                        b.store(th, dst + (iu * n + j) * 8);
+                        j += 8; // one cell per 64 B line
+                    }
+                }
+                b.barrier(th, barrier);
+            }
+            barrier += 1;
+            std::mem::swap(&mut src, &mut dst);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_simulator::{HwEvent, MachineSim};
+
+    fn quiet() -> MachineSim {
+        let mut cfg = MachineConfig::two_socket_small();
+        cfg.noise.timer_interval = 0;
+        cfg.noise.dram_jitter = 0.0;
+        MachineSim::new(cfg)
+    }
+
+    #[test]
+    fn stencil_streams_from_dram() {
+        let sim = quiet();
+        let w = StencilKernel::new(512, 2, 2);
+        let r = sim.run(&w.build(sim.config()), 1).expect("valid program");
+        let dram = r.total(HwEvent::LocalDramAccess) + r.total(HwEvent::RemoteDramAccess);
+        assert!(dram > 1000, "dram accesses {dram}");
+    }
+
+    #[test]
+    fn first_touch_keeps_rows_mostly_local() {
+        let sim = quiet();
+        let w = StencilKernel::new(512, 2, 2);
+        let r = sim.run(&w.build(sim.config()), 1).expect("valid program");
+        let local = r.total(HwEvent::LocalDramAccess);
+        let remote = r.total(HwEvent::RemoteDramAccess);
+        // Only the seam rows cross nodes.
+        assert!(local > 2 * remote.max(1), "local {local} remote {remote}");
+    }
+}

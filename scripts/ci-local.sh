@@ -61,6 +61,10 @@ echo "audit SARIF written to $audit_sarif"
 echo "== np analyze (static envelopes vs engine, all workloads) =="
 cargo run --release --offline --quiet -- analyze --machine two-socket --size 96
 
+echo "== np patterns --verify (labeled-registry calibration proof) =="
+patterns_doc="$(mktemp -t np-patterns.XXXXXX.json)"
+cargo run --release --offline --quiet -- patterns --verify --out "$patterns_doc"
+
 echo "== bench regression gate (np bench diff vs baselines/ci.json) =="
 bench_current="$(mktemp -t np-bench-current.XXXXXX.json)"
 cargo run --release --offline --quiet -- bench --smoke --out "$bench_current" >/dev/null
@@ -109,6 +113,15 @@ if [[ "$quick" -eq 0 ]]; then
   cargo run --release --offline --quiet -- report \
     --capture "$capture" --timeline "$timeline" --html --out "$html" >/dev/null
   echo "capture written to $capture; HTML report written to $html"
+
+  echo "== nightly: full-registry pattern sweep artifact (np patterns) =="
+  patterns_nightly="$(mktemp -t np-patterns-nightly.XXXXXX.json)"
+  cargo run --release --offline --quiet -- patterns --verify --threads 8 \
+    --out "$patterns_nightly"
+  # The document is deterministic at any pool width: the wide nightly
+  # run must be byte-identical to the tier-1 run above.
+  diff -u "$patterns_doc" "$patterns_nightly"
+  echo "pattern sweep document written to $patterns_nightly"
 
   echo "== nightly: benchmark trend (np bench trend --append) =="
   history="$(mktemp -t np-bench-history.XXXXXX.jsonl)"

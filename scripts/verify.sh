@@ -35,6 +35,10 @@ diff -u UNSAFE_INVENTORY.md "$audit_inv"
 echo "== np analyze (static envelopes vs engine, all workloads) =="
 cargo run --release --offline --quiet -- analyze --machine two-socket --size 96
 
+echo "== np patterns --verify (labeled-registry calibration proof) =="
+cargo run --release --offline --quiet -- patterns --verify \
+  --out "$(mktemp -t np-patterns.XXXXXX.json)"
+
 echo "== np bench --smoke (matrix harness smoke, determinism audit) =="
 cargo run --release --offline --quiet -- bench --smoke \
   --out "$(mktemp -t np-bench-smoke.XXXXXX.json)"

@@ -53,6 +53,9 @@ pub enum Command {
     Top,
     /// Render a capture as a text summary or self-contained HTML report.
     Report,
+    /// Performance-pattern identification: classify a run, a capture's
+    /// phases, or verify the whole labeled registry.
+    Patterns,
 }
 
 impl Command {
@@ -82,6 +85,7 @@ impl Command {
             "run" => Command::Run,
             "top" => Command::Top,
             "report" => Command::Report,
+            "patterns" => Command::Patterns,
             _ => return None,
         })
     }
@@ -181,6 +185,8 @@ pub struct Cli {
     pub sarif: Option<String>,
     /// `audit`: also write the unsafe-inventory markdown here.
     pub inventory: Option<String>,
+    /// `patterns`: run the full registry verification sweep.
+    pub verify: bool,
 }
 
 impl Cli {
@@ -234,6 +240,7 @@ impl Cli {
                 Command::Bench => "BENCH_matrix.json",
                 Command::Run => "CAPTURE.json",
                 Command::Report => "REPORT.html",
+                Command::Patterns => "PATTERNS.json",
                 _ => "BENCH_serve.json",
             }
             .into(),
@@ -258,6 +265,7 @@ impl Cli {
             append: None,
             sarif: None,
             inventory: None,
+            verify: false,
         };
 
         let take_value =
@@ -373,6 +381,7 @@ impl Cli {
                 "--append" => cli.append = Some(take_value("--append", &mut it)?),
                 "--sarif" => cli.sarif = Some(take_value("--sarif", &mut it)?),
                 "--inventory" => cli.inventory = Some(take_value("--inventory", &mut it)?),
+                "--verify" => cli.verify = true,
                 // `bench` takes positional words (`diff <baseline>`,
                 // `migrate <file>`); every other command rejects them.
                 other if command == Command::Bench && !other.starts_with('-') => {
@@ -683,6 +692,23 @@ mod tests {
         // Positionals stay a bench-only affordance.
         assert!(parse(&["stat", "positional"]).is_err());
         assert!(parse(&["bench", "--noise", "abc"]).is_err());
+    }
+
+    #[test]
+    fn patterns_parses() {
+        let cli = parse(&["patterns", "--verify", "--json", "--out", "p.json"]).unwrap();
+        assert_eq!(cli.command, Command::Patterns);
+        assert!(cli.verify && cli.json);
+        assert_eq!(cli.out, "p.json");
+
+        let cli = parse(&["patterns", "-w", "stream-bound", "--threads", "2"]).unwrap();
+        assert_eq!(cli.workload.as_deref(), Some("stream-bound"));
+        assert_eq!(cli.threads, 2);
+        assert!(!cli.verify);
+        assert_eq!(cli.out, "PATTERNS.json");
+
+        let cli = parse(&["patterns", "--capture", "c.json"]).unwrap();
+        assert_eq!(cli.capture.as_deref(), Some("c.json"));
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         Command::Run => run_cmd(cli),
         Command::Top => top::run_top(cli),
         Command::Report => report_cmd(cli),
+        Command::Patterns => patterns_cmd(cli),
     }
 }
 
@@ -140,6 +141,210 @@ fn report_cmd(cli: &Cli) -> Result<String, String> {
     } else {
         Ok(report::text_summary(&cap, timeline.as_ref()))
     }
+}
+
+/// `np patterns`: the performance-pattern identification engine.
+///
+/// Three modes:
+/// * `--verify` re-proves every registry label on both quiet machine
+///   presets at 2 and 4 threads; any mismatch is an error (exit 2). The
+///   full `np-patterns/1` document lands in `--out` either way, so CI
+///   keeps the artifact even for a red run.
+/// * `--capture FILE` classifies each phase slice of an `np-capture/1`
+///   timeline — attribution without re-running anything (and without
+///   envelope priors: no program is in hand).
+/// * `--workload NAME` classifies one registry workload on `--machine`
+///   with the np-analysis envelope priors of that very program.
+fn patterns_cmd(cli: &Cli) -> Result<String, String> {
+    if cli.verify {
+        patterns_verify(cli)
+    } else if cli.capture.is_some() {
+        patterns_capture(cli)
+    } else {
+        patterns_single(cli)
+    }
+}
+
+/// Writes the `np-patterns/1` document to `--out` and returns the body
+/// to print: the pretty JSON itself under `--json`, else `text`.
+fn patterns_emit(
+    cli: &Cli,
+    doc: &np_patterns::PatternsDoc,
+    text: String,
+) -> Result<String, String> {
+    let json = serde_json::to_string_pretty(doc)
+        .map_err(|e| format!("patterns: serialize document: {e}"))?
+        + "\n";
+    std::fs::write(&cli.out, &json)
+        .map_err(|e| format!("patterns: cannot write '{}': {e}", cli.out))?;
+    Ok(if cli.json { json } else { text })
+}
+
+/// One verdict line: `bandwidth-bound   fired  conf 812  dram_per_kcycle >= 34 (38)`.
+fn patterns_verdict_lines(out: &mut String, verdicts: &[np_patterns::Verdict], indent: &str) {
+    for v in verdicts {
+        let evidence: Vec<String> = v
+            .evidence
+            .iter()
+            .map(|e| {
+                if e.available {
+                    format!(
+                        "{} {} {} ({})",
+                        e.metric, e.op, e.threshold_pm, e.observed_pm
+                    )
+                } else {
+                    format!("{} unavailable", e.metric)
+                }
+            })
+            .collect();
+        out.push_str(&format!(
+            "{indent}{:<16} {:>5}  conf {:>4}  {}\n",
+            v.pattern,
+            if v.fired { "FIRED" } else { "-" },
+            v.confidence_pm,
+            evidence.join(", ")
+        ));
+    }
+}
+
+/// Renders one classified case for the text report.
+fn patterns_case_text(case: &np_patterns::CaseDoc) -> String {
+    let mut out = format!(
+        "pattern verdicts: {} on {} x{} (seed {})\n\n",
+        case.workload, case.machine, case.threads, case.seed
+    );
+    out.push_str("  metric              value_pm\n");
+    for m in &case.metrics {
+        if m.available {
+            out.push_str(&format!("  {:<18} {:>9}\n", m.metric, m.value_pm));
+        } else {
+            out.push_str(&format!("  {:<18} {:>9}\n", m.metric, "n/a"));
+        }
+    }
+    out.push('\n');
+    patterns_verdict_lines(&mut out, &case.verdicts, "  ");
+    out.push_str(&format!(
+        "\n  fired:    [{}]\n  expected: [{}]  {}\n",
+        case.fired.join(", "),
+        case.expected.join(", "),
+        if case.matched { "MATCH" } else { "MISMATCH" }
+    ));
+    out
+}
+
+/// `np patterns --verify`: the full labeled-registry sweep.
+fn patterns_verify(cli: &Cli) -> Result<String, String> {
+    let pool = np_parallel::Pool::new(cli.threads.max(1));
+    let outcome = np_patterns::sweep(&pool, cli.seed);
+    let machines: Vec<String> = np_patterns::sweep_machines()
+        .iter()
+        .map(|(label, _)| label.to_string())
+        .collect();
+    let threads: Vec<String> = np_patterns::SWEEP_THREADS
+        .iter()
+        .map(|t| t.to_string())
+        .collect();
+    let mut text = format!(
+        "pattern verification sweep: {} case(s) — {{{}}} x {{{}}} thread(s) x {} workload(s), seed {}\n",
+        outcome.doc.total_cases,
+        machines.join(", "),
+        threads.join(", "),
+        workloads::NAMES.len(),
+        cli.seed
+    );
+    text.push_str(&format!("document -> {}\n", cli.out));
+    if outcome.failures.is_empty() {
+        text.push_str("every expected pattern recovered (0 mismatches)\n");
+        patterns_emit(cli, &outcome.doc, text)
+    } else {
+        // Still park the artifact: a red sweep's evidence is the thing
+        // you want to look at.
+        patterns_emit(cli, &outcome.doc, String::new())?;
+        Err(format!(
+            "pattern verification failed ({} of {} case(s)):\n{}",
+            outcome.failures.len(),
+            outcome.doc.total_cases,
+            outcome.failures.join("\n")
+        ))
+    }
+}
+
+/// `np patterns --capture FILE`: per-phase attribution over a capture.
+fn patterns_capture(cli: &Cli) -> Result<String, String> {
+    let path = cli.capture.as_deref().unwrap_or_default();
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("patterns: cannot read '{path}': {e}"))?;
+    let cap: Capture = serde_json::from_str(&json)
+        .map_err(|e| format!("patterns: invalid capture '{path}': {e}"))?;
+    if cap.schema != CAPTURE_SCHEMA {
+        return Err(format!(
+            "patterns: '{path}' has schema '{}' (this build reads '{CAPTURE_SCHEMA}')",
+            cap.schema
+        ));
+    }
+    let mut phases = Vec::with_capacity(cap.phases.len());
+    for (idx, phase) in cap.phases.iter().enumerate() {
+        let indicators = np_patterns::Indicators::from_capture_phase(&cap, idx);
+        let metrics = np_patterns::derive(&indicators);
+        let verdicts = np_patterns::classify(&metrics, None);
+        let fired = np_patterns::fired_names(&verdicts);
+        phases.push(np_patterns::PhaseDoc {
+            phase: phase.clone(),
+            metrics: np_patterns::metric_docs(&metrics),
+            verdicts,
+            fired,
+        });
+    }
+    let doc = np_patterns::PatternsDoc::new(&cap.workload, Vec::new(), phases);
+    let mut text = format!(
+        "per-phase pattern attribution: {} on {} ({} phase(s))\n\n",
+        cap.workload,
+        cap.machine,
+        doc.phases.len()
+    );
+    for p in &doc.phases {
+        let label = if p.fired.is_empty() {
+            "healthy".to_string()
+        } else {
+            p.fired.join(", ")
+        };
+        text.push_str(&format!("  phase {:<16} -> {label}\n", p.phase));
+        patterns_verdict_lines(&mut text, &p.verdicts, "    ");
+        text.push('\n');
+    }
+    text.push_str(&format!("document -> {}\n", cli.out));
+    patterns_emit(cli, &doc, text)
+}
+
+/// `np patterns --workload NAME`: classify one registry workload.
+fn patterns_single(cli: &Cli) -> Result<String, String> {
+    let machine = cli.machine_config()?;
+    let name = workload_name(cli)?;
+    let w = workloads::build(name, cli.size, cli.threads, &machine)?;
+    let program = w.build(&machine);
+    let (metrics, verdicts) = np_patterns::classify_run(&program, &machine, cli.seed)?;
+    let fired = np_patterns::fired_names(&verdicts);
+    let expected: Vec<String> = np_workloads::registry::expected_patterns(name)
+        .unwrap_or(&[])
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let matched = fired == expected;
+    let case = np_patterns::CaseDoc {
+        workload: name.to_string(),
+        machine: cli.machine.clone(),
+        threads: cli.threads as u64,
+        seed: cli.seed,
+        metrics: np_patterns::metric_docs(&metrics),
+        verdicts,
+        fired,
+        expected,
+        matched,
+    };
+    let mut text = patterns_case_text(&case);
+    text.push_str(&format!("\ndocument -> {}\n", cli.out));
+    let doc = np_patterns::PatternsDoc::new(name, vec![case], Vec::new());
+    patterns_emit(cli, &doc, text)
 }
 
 /// `np bench-parallel`: compatibility shim over the `np bench` matrix

@@ -98,12 +98,22 @@ COMMANDS:
                 ANSI redraw; --ticks N frames every --interval MS)
     report      render a capture as text or, with --html, as a
                 self-contained single-file HTML report (inline SVG)
+    patterns    performance-pattern identification: classify a workload
+                run (or each phase of a capture) into bandwidth-bound /
+                latency-bound / false-sharing / numa-imbalance /
+                tlb-thrashing / load-imbalance with per-rule evidence;
+                `--verify` re-proves every registry label (exit 2 on a
+                mismatch; writes the np-patterns/1 document to --out)
 
 OPTIONS:
     --machine NAME     dl580 (default) | two-socket | ring
     --workload NAME    row-major | column-major | sort | sift | sift-naive |
                        mlc-local | mlc-remote | stream-local | stream-bound |
-                       stream-interleaved | chrome | bsp | matmul
+                       stream-interleaved | chrome | bsp | matmul | bfs |
+                       bfs-bound | bfs-interleaved | hashjoin-small |
+                       hashjoin-large | chase-small | chase-large |
+                       stencil-small | stencil-large | walk-small |
+                       walk-large
     -a NAME, -b NAME   workloads for `compare`
     --size N           workload size parameter (elements / pixels / edge)
     --threads N        worker threads (default 4)
@@ -160,6 +170,9 @@ OPTIONS:
     --html             report: emit the single-file HTML report to --out
     --ticks N          top: frames to draw before exiting (default 12)
     --interval MS      top: redraw interval in milliseconds (default 100)
+    --verify           patterns: run the full labeled-registry sweep
+                       (both machine presets x 2/4 threads); a missed or
+                       spurious pattern exits 2
 
 EXAMPLES:
     numa-perf-tools compare -a row-major -b column-major --size 1024
@@ -183,6 +196,7 @@ HELP TOPICS:
                                        regression gate
     numa-perf-tools help top           the live telemetry view
     numa-perf-tools help report        captures and the HTML report
+    numa-perf-tools help patterns      performance-pattern identification
 "
 }
 
@@ -355,11 +369,13 @@ RULES:
                        in the simulator, the fault plan, the worker
                        pool (crates/parallel/src), the time-series
                        sampler (captures are timestamped in simulated
-                       cycles), `np top` and the bench matrix harness
-                       (crates/bench/src/harness) — seeded determinism
-                       is the whole point; pool and harness timings
-                       flow through np_telemetry::now_ns for reporting
-                       only
+                       cycles), `np top`, the bench matrix harness
+                       (crates/bench/src/harness) and the np-patterns
+                       classifier (crates/patterns/src; its verdicts
+                       are byte-identical at any thread count) —
+                       seeded determinism is the whole point; pool and
+                       harness timings flow through
+                       np_telemetry::now_ns for reporting only
 
 OUTPUT:
     file.rs:LINE: [rule] message       (text, one finding per line)
@@ -694,6 +710,70 @@ HTML REPORT (--html):
 "
 }
 
+/// The `help patterns` topic: performance-pattern identification.
+pub fn patterns_help() -> &'static str {
+    "Performance-pattern identification
+==================================
+
+The paper's indicators say *what* the counters measured; `patterns`
+says what the numbers *mean*. The np-patterns crate maps an indicator
+vector to six named performance patterns through a declarative
+signature table — each pattern is a conjunction of threshold rules over
+derived per-mille metrics — and proves the mapping against the labeled
+workload registry on every CI run.
+
+    numa-perf-tools patterns --workload stream-bound --machine two-socket
+    numa-perf-tools patterns --capture CAPTURE.json
+    numa-perf-tools patterns --verify [--threads N] [--out PATTERNS.json]
+
+PATTERNS (badge / name / canonical symptom):
+    BW   bandwidth-bound   DRAM request rate at the machine's saturated
+                           ceiling with deep memory stalls
+    LAT  latency-bound     deep stalls at a *low* request rate —
+                           dependent loads waiting out the latency
+    SHR  false-sharing     HITM cache-to-cache transfers per retired
+                           memory op (threads ping-ponging dirty lines)
+    RMT  numa-imbalance    a high remote share of DRAM requests with
+                           the traffic concentrated on one controller
+    TLB  tlb-thrashing     dTLB misses per retired k-instruction beyond
+                           what any sequential walk produces
+    SKW  load-imbalance    per-node retired-instruction skew over the
+                           active nodes
+
+METRICS (integer per-mille, deterministic at any thread count):
+    remote_ratio, dram_per_kcycle, mem_stall_frac, hitm_per_kop,
+    dtlb_mpki, imc_skew (count-normalised concentration), work_skew.
+    A metric whose denominator is absent is *unavailable*: its rules
+    cannot fire and the evidence says why.
+
+CONFIDENCE:
+    the weakest rule's margin beyond (or short of) its threshold sets a
+    base score; with `--workload`, the np-analysis static envelope of
+    the pattern's primary event blends in as a prior — a verdict backed
+    by a tight envelope outranks one the static pass can barely bound.
+    Capture slices carry no program, so phase verdicts skip the prior.
+
+MODES:
+    --workload NAME    one registry run on --machine: full metric table,
+                       all six verdicts with evidence, fired vs expected
+    --capture FILE     per-phase attribution over an np-capture/1
+                       timeline (from `run --sample`) — the same rules
+                       applied to each phase slice; `report --html`
+                       renders the verdicts as a chip band and `top`
+                       shows live per-node badges on these thresholds
+    --verify           the calibration proof: all 24 registry workloads
+                       x {two-socket, ring} x {2, 4} threads on the
+                       quiet simulator must recover their labels
+                       *exactly* — a missed pattern and a spurious one
+                       both exit 2. Runs as a tier-1 CI stage.
+
+ARTIFACT (np-patterns/1, written to --out):
+    cases[] with per-metric values, per-rule evidence, fired/expected/
+    matched; phases[] in capture mode. Integers only, fixed ordering:
+    byte-identical at any --threads for the same inputs.
+"
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -782,6 +862,25 @@ mod tests {
         // The sibling topics point at the unified schema too.
         assert!(super::loadgen_help().contains("np-bench/1"));
         assert!(super::parallel_help().contains("np-bench/1"));
+    }
+
+    #[test]
+    fn help_topics_cover_pattern_identification() {
+        assert!(super::usage().contains("help patterns"));
+        assert!(super::usage().contains("--verify"));
+        for term in [
+            "bandwidth-bound",
+            "latency-bound",
+            "false-sharing",
+            "numa-imbalance",
+            "tlb-thrashing",
+            "load-imbalance",
+            "np-patterns/1",
+            "imc_skew",
+            "exit 2",
+        ] {
+            assert!(super::patterns_help().contains(term), "missing term {term}");
+        }
     }
 
     #[test]

@@ -69,6 +69,18 @@ pub fn text_summary(cap: &Capture, timeline: Option<&Timeline>) -> String {
             max
         ));
     }
+    if !cap.phases.is_empty() {
+        out.push_str("\npatterns:\n");
+        for (idx, phase) in cap.phases.iter().enumerate() {
+            let fired = phase_patterns(cap, idx).1;
+            let label = if fired.is_empty() {
+                "healthy".to_string()
+            } else {
+                fired.join(", ")
+            };
+            out.push_str(&format!("  {phase:<16} {label}\n"));
+        }
+    }
     if let Some(tl) = timeline {
         out.push_str(&format!(
             "\nworker timeline: {} chunk(s) across {} worker(s)\n",
@@ -84,6 +96,57 @@ pub fn text_summary(cap: &Capture, timeline: Option<&Timeline>) -> String {
         }
     }
     out
+}
+
+/// Classifies one capture phase through np-patterns (no envelope priors:
+/// a capture carries counters, not the program). Returns the verdicts
+/// and the fired names.
+fn phase_patterns(cap: &Capture, phase: usize) -> (Vec<np_patterns::Verdict>, Vec<String>) {
+    let indicators = np_patterns::Indicators::from_capture_phase(cap, phase);
+    let verdicts = np_patterns::classify(&np_patterns::derive(&indicators), None);
+    let fired = np_patterns::fired_names(&verdicts);
+    (verdicts, fired)
+}
+
+/// The per-phase pattern band: one chip per phase, tinted with the
+/// phase's band colour, labeled with the fired patterns, carrying the
+/// rule evidence in a plain `title` tooltip — hover works without a
+/// line of JavaScript.
+fn pattern_band(cap: &Capture) -> String {
+    let mut band = String::from("<p class=\"legend\">");
+    for (idx, phase) in cap.phases.iter().enumerate() {
+        let (verdicts, fired) = phase_patterns(cap, idx);
+        let label = if fired.is_empty() {
+            "healthy".to_string()
+        } else {
+            fired.join(" + ")
+        };
+        let mut tips: Vec<String> = Vec::new();
+        for v in verdicts.iter().filter(|v| v.fired) {
+            for e in &v.evidence {
+                tips.push(format!(
+                    "{}: {} {} {} (observed {})",
+                    v.pattern, e.metric, e.op, e.threshold_pm, e.observed_pm
+                ));
+            }
+        }
+        if tips.is_empty() {
+            tips.push("no signature fired".to_string());
+        }
+        let tooltip: Vec<String> = tips.iter().map(|t| html_escape(t)).collect();
+        band.push_str(&format!(
+            "<span style=\"background:{}\" title=\"{}\">{}: {}</span>",
+            phase_color(idx as u64),
+            tooltip.join("&#10;"),
+            html_escape(phase),
+            html_escape(&label)
+        ));
+    }
+    if cap.phases.is_empty() {
+        band.push_str("(no phases recorded)");
+    }
+    band.push_str("</p>\n");
+    band
 }
 
 /// One sparkline: phase bands behind a per-bin mean polyline.
@@ -216,6 +279,12 @@ pub fn html_report(cap: &Capture, timeline: Option<&Timeline>) -> String {
     }
     html.push_str("</p>\n");
 
+    html.push_str(
+        "<h2>Pattern attribution</h2>\n<p class=\"meta\">per-phase verdicts from the \
+         np-patterns signature table; hover a chip for the rule evidence</p>\n",
+    );
+    html.push_str(&pattern_band(cap));
+
     html.push_str("<h2>Per-node series</h2>\n");
     for s in &cap.series {
         html.push_str(&format!(
@@ -301,6 +370,49 @@ mod tests {
         assert!(!html.contains("<script"));
         assert!(!html.contains("http://") && !html.contains("https://"));
         assert!(html.contains("rep0.node0.qpi"));
+    }
+
+    #[test]
+    fn pattern_band_attributes_each_phase() {
+        // A phase shaped like a dependent chase: deep stalls at a tiny
+        // request rate. The band must flag it and carry the evidence in
+        // a title tooltip; the quiet phase reads healthy.
+        let mut s = Sampler::new(8);
+        for (short, v) in [
+            ("instructions", 10_000u64),
+            ("cycles", 1_000_000),
+            ("mem_stall", 900_000),
+            ("local_dram", 9_000),
+            ("load", 9_500),
+            ("store", 100),
+            ("imc_read", 9_000),
+        ] {
+            s.record_with_phase(&format!("rep0.node0.{short}"), 100, v, "chase");
+        }
+        for (short, v) in [
+            ("instructions", 100_000u64),
+            ("cycles", 200_000),
+            ("mem_stall", 10_000),
+            ("local_dram", 500),
+            ("load", 50_000),
+            ("imc_read", 500),
+        ] {
+            s.record_with_phase(&format!("rep0.node0.{short}"), 200, v, "idle");
+        }
+        let cap = Capture::from_sampler("two-socket", "chase", 1, 1, &s);
+        let html = html_report(&cap, None);
+        assert!(html.contains("Pattern attribution"), "{html}");
+        assert!(html.contains("chase: latency-bound"), "{html}");
+        assert!(html.contains("idle: healthy"), "{html}");
+        assert!(
+            html.contains("title=\"latency-bound: mem_stall_frac &gt;= 750 (observed 900)"),
+            "{html}"
+        );
+        assert!(!html.contains("<script"));
+
+        let text = text_summary(&cap, None);
+        assert!(text.contains("patterns:"), "{text}");
+        assert!(text.contains("latency-bound"), "{text}");
     }
 
     #[test]

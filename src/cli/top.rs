@@ -23,6 +23,38 @@ use std::sync::Arc;
 /// Per-series cumulative sums of the previous frame, for rate deltas.
 type Totals = BTreeMap<String, u64>;
 
+/// Per-node pattern badges from the snapshot's cumulative
+/// `sim.node<N>.<event>` totals: each node's vector goes through the
+/// np-patterns node-local signature subset, so a `BW` here and a
+/// bandwidth-bound verdict in `np patterns` sit on the same thresholds.
+fn badge_rows(sampler: &Sampler) -> Vec<(usize, String)> {
+    let mut nodes: Vec<np_patterns::NodeVector> = Vec::new();
+    for (name, series) in sampler.iter() {
+        let Some(rest) = name.strip_prefix("sim.") else {
+            continue;
+        };
+        let mut parts = rest.split('.');
+        let (Some(node), Some(short), None) = (parts.next(), parts.next(), parts.next()) else {
+            continue;
+        };
+        let Some(id) = node
+            .strip_prefix("node")
+            .and_then(|n| n.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        if nodes.len() <= id {
+            nodes.resize(id + 1, np_patterns::NodeVector::default());
+        }
+        nodes[id].add(short, series.total_sum());
+    }
+    nodes
+        .iter()
+        .enumerate()
+        .map(|(id, n)| (id, np_patterns::node_badges(n)))
+        .collect()
+}
+
 /// Renders one frame (without ANSI control codes — the caller prepends
 /// the clear sequence). Pure, so tests can pin the layout.
 pub fn render_frame(
@@ -59,6 +91,13 @@ pub fn render_frame(
             total,
             series.bins.len()
         ));
+    }
+    let badges = badge_rows(sampler);
+    if !badges.is_empty() {
+        out.push_str(&format!("\n{:<6} patterns\n", "node"));
+        for (id, badge) in badges {
+            out.push_str(&format!("{id:<6} {badge}\n"));
+        }
     }
     (out, next)
 }
@@ -137,5 +176,28 @@ mod tests {
     fn empty_sampler_renders_a_placeholder() {
         let (frame, _) = render_frame(&Sampler::new(4), &Totals::new(), 1, 1, 50);
         assert!(frame.contains("no samples yet"));
+    }
+
+    #[test]
+    fn badge_column_flags_a_remote_heavy_node() {
+        let mut s = Sampler::new(16);
+        // Node 0: almost everything it loads is remote -> RMT badge.
+        s.record_cumulative("sim.node0.instructions", 1_000, 100_000);
+        s.record_cumulative("sim.node0.cycles", 1_000, 200_000);
+        s.record_cumulative("sim.node0.mem_stall", 1_000, 20_000);
+        s.record_cumulative("sim.node0.load", 1_000, 50_000);
+        s.record_cumulative("sim.node0.local_dram", 1_000, 100);
+        s.record_cumulative("sim.node0.remote_dram", 1_000, 900);
+        // Node 1: healthy local traffic -> dash.
+        s.record_cumulative("sim.node1.instructions", 1_000, 100_000);
+        s.record_cumulative("sim.node1.cycles", 1_000, 200_000);
+        s.record_cumulative("sim.node1.load", 1_000, 50_000);
+        s.record_cumulative("sim.node1.local_dram", 1_000, 900);
+        let (frame, _) = render_frame(&s, &Totals::new(), 1, 1, 100);
+        assert!(frame.contains("node   patterns"), "{frame}");
+        assert!(frame.contains("0      RMT"), "{frame}");
+        assert!(frame.contains("1      -"), "{frame}");
+        // Non-node series never grow a badge row.
+        assert!(!frame.contains("2      "), "{frame}");
     }
 }

@@ -15,6 +15,7 @@ fn main() {
             Some("bench") => print!("{}", numa_perf_tools::cli::bench_help()),
             Some("top") => print!("{}", numa_perf_tools::cli::top_help()),
             Some("report") => print!("{}", numa_perf_tools::cli::report_help()),
+            Some("patterns") => print!("{}", numa_perf_tools::cli::patterns_help()),
             _ => print!("{}", numa_perf_tools::cli::usage()),
         }
         return;
