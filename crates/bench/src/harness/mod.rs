@@ -25,9 +25,11 @@ pub mod formats;
 pub mod migrate;
 pub mod runner;
 pub mod schema;
+pub mod speedup;
 pub mod trend;
 
 pub use config::{CellSpec, MatrixConfig};
 pub use diff::{diff_reports, gate, CellDiff, DiffReport, Verdict};
 pub use runner::run_matrix;
 pub use schema::{BenchCell, BenchReport, BENCH_SCHEMA};
+pub use speedup::{gate_speedup, speedup_rows, SpeedupRow, MIN_SPEEDUP};

@@ -1,0 +1,255 @@
+//! Measured-speedup extraction and the multi-core CI gate.
+//!
+//! The modeled speedup (greedy makespan over measured chunk costs) says
+//! what the pool *should* buy; this module checks what it actually
+//! bought, within one report: for every `(workload, size)` group the
+//! multi-threaded cells are compared to their own single-thread cell,
+//! `speedup = mean_ns(t1) / mean_ns(tk)`. Cells whose driver publishes
+//! a `modeled_speedup` metric (the pooled compute paths — campaign,
+//! analysis-sweep) are *gated*: measured speedup at two or more threads
+//! must exceed 1.0, i.e. the pool must beat its own sequential baseline
+//! in wall time, not just in the model. Other workloads are reported
+//! for context but never gated.
+//!
+//! The gate is only meaningful where parallelism is physically possible,
+//! so it auto-skips when the recorded host had fewer than two hardware
+//! threads (`bench_meta.host_threads`) — the single-core tier-1 runner
+//! keeps its determinism gates, the multi-core CI job keeps this one.
+
+use super::schema::BenchReport;
+use std::collections::BTreeMap;
+
+/// The wall-time ratio a gated multi-threaded cell must strictly exceed
+/// against its own single-thread baseline.
+pub const MIN_SPEEDUP: f64 = 1.0;
+
+/// One multi-threaded cell judged against its single-thread sibling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupRow {
+    /// Cell identity (`<workload>/t<threads>[/s<size>]`).
+    pub id: String,
+    /// Driver name.
+    pub workload: String,
+    /// Worker threads of this cell.
+    pub threads: u64,
+    /// Mean wall time of the single-thread sibling, nanoseconds.
+    pub base_ns: f64,
+    /// Mean wall time of this cell, nanoseconds.
+    pub mean_ns: f64,
+    /// `base_ns / mean_ns` — the measured speedup.
+    pub measured: f64,
+    /// The cell's modeled speedup, when its driver publishes one.
+    pub modeled: Option<f64>,
+    /// Whether this row participates in the gate.
+    pub gated: bool,
+}
+
+/// Pairs every multi-threaded cell with the single-thread cell of the
+/// same `(workload, size)` group; groups without a `t1` cell (loadgen in
+/// the smoke matrix) are skipped.
+pub fn speedup_rows(report: &BenchReport) -> Vec<SpeedupRow> {
+    let mut base: BTreeMap<(&str, u64), f64> = BTreeMap::new();
+    for cell in &report.cells {
+        if cell.threads == 1 && cell.mean_ns > 0.0 {
+            base.insert((cell.workload.as_str(), cell.size), cell.mean_ns);
+        }
+    }
+    report
+        .cells
+        .iter()
+        .filter(|c| c.threads >= 2 && c.mean_ns > 0.0)
+        .filter_map(|c| {
+            let base_ns = *base.get(&(c.workload.as_str(), c.size))?;
+            let modeled = c.metrics.get("modeled_speedup").copied();
+            Some(SpeedupRow {
+                id: c.id.clone(),
+                workload: c.workload.clone(),
+                threads: c.threads,
+                base_ns,
+                mean_ns: c.mean_ns,
+                measured: base_ns / c.mean_ns,
+                modeled,
+                gated: modeled.is_some(),
+            })
+        })
+        .collect()
+}
+
+/// Applies the gate: every gated row must measure strictly above
+/// [`MIN_SPEEDUP`]. Returns the failing rows' descriptions.
+pub fn gate_speedup(rows: &[SpeedupRow]) -> Result<(), String> {
+    let failing: Vec<String> = rows
+        .iter()
+        .filter(|r| r.gated && r.measured <= MIN_SPEEDUP)
+        .map(|r| {
+            format!(
+                "{}: measured {:.2}x <= {MIN_SPEEDUP:.2}x (t1 {:.2} ms vs {:.2} ms)",
+                r.id,
+                r.measured,
+                r.base_ns / 1e6,
+                r.mean_ns / 1e6
+            )
+        })
+        .collect();
+    if failing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "bench speedup gate failed — the pool is slower than its own \
+             sequential baseline:\n  {}",
+            failing.join("\n  ")
+        ))
+    }
+}
+
+/// Renders the speedup table plus the gate verdict line.
+pub fn render(report: &BenchReport, rows: &[SpeedupRow]) -> String {
+    let mut out = format!(
+        "measured speedup vs own t1 baseline (host_threads {}):\n",
+        report.bench_meta.host_threads
+    );
+    out.push_str("  cell                         t1 ms      tk ms   measured    modeled  gate\n");
+    for r in rows {
+        out.push_str(&format!(
+            "  {:<26} {:>8.2} {:>10.2} {:>9.2}x {:>9} {:>5}\n",
+            r.id,
+            r.base_ns / 1e6,
+            r.mean_ns / 1e6,
+            r.measured,
+            r.modeled
+                .map(|m| format!("{m:.2}x"))
+                .unwrap_or_else(|| "-".to_string()),
+            if r.gated { "yes" } else { "-" },
+        ));
+    }
+    out
+}
+
+/// Whether the report was recorded on a host where the gate means
+/// anything: below two hardware threads measured speedup cannot exceed
+/// 1.0 and the gate would only punish the runner, not the code.
+pub fn host_can_speed_up(report: &BenchReport) -> bool {
+    report.bench_meta.host_threads >= 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::schema::{BenchCell, BENCH_SCHEMA};
+
+    fn cell(
+        workload: &str,
+        threads: u64,
+        size: u64,
+        mean_ns: f64,
+        modeled: Option<f64>,
+    ) -> BenchCell {
+        let id = if size > 0 {
+            format!("{workload}/t{threads}/s{size}")
+        } else {
+            format!("{workload}/t{threads}")
+        };
+        let mut metrics = std::collections::BTreeMap::new();
+        if let Some(m) = modeled {
+            metrics.insert("modeled_speedup".to_string(), m);
+        }
+        BenchCell {
+            id,
+            workload: workload.to_string(),
+            threads,
+            size,
+            samples_ns: vec![mean_ns as u64],
+            mean_ns,
+            stddev_ns: 0.0,
+            digest: "d".to_string(),
+            audit_ok: true,
+            metrics,
+        }
+    }
+
+    fn report(host_threads: u64, cells: Vec<BenchCell>) -> BenchReport {
+        let mut meta = np_serve::BenchMeta::collect("np-bench", 1, 1);
+        meta.host_threads = host_threads;
+        BenchReport {
+            schema: BENCH_SCHEMA.to_string(),
+            bench_meta: meta,
+            machine: "two-socket".to_string(),
+            warmup: 1,
+            repeats: 3,
+            cells,
+        }
+    }
+
+    #[test]
+    fn rows_pair_cells_with_their_own_baseline() {
+        let r = report(
+            4,
+            vec![
+                cell("campaign", 1, 48, 10e6, Some(1.0)),
+                cell("campaign", 2, 48, 6e6, Some(1.9)),
+                cell("campaign", 4, 48, 4e6, Some(3.5)),
+                // Different size: different group, no t1 → no row.
+                cell("campaign", 2, 96, 9e6, Some(1.8)),
+                // No modeled speedup → reported, not gated.
+                cell("phasen-scan", 1, 0, 2e6, None),
+                cell("phasen-scan", 2, 0, 1e6, None),
+            ],
+        );
+        let rows = speedup_rows(&r);
+        assert_eq!(rows.len(), 3);
+        assert!((rows[0].measured - 10.0 / 6.0).abs() < 1e-9);
+        assert!(rows[0].gated && rows[1].gated);
+        assert_eq!(rows[2].workload, "phasen-scan");
+        assert!(!rows[2].gated);
+        assert!(gate_speedup(&rows).is_ok());
+    }
+
+    #[test]
+    fn gate_fails_on_a_slower_pool_and_names_the_cell() {
+        let r = report(
+            4,
+            vec![
+                cell("campaign", 1, 48, 10e6, Some(1.0)),
+                cell("campaign", 2, 48, 15e6, Some(1.9)), // slower than t1!
+            ],
+        );
+        let rows = speedup_rows(&r);
+        let err = gate_speedup(&rows).unwrap_err();
+        assert!(err.contains("campaign/t2/s48"), "{err}");
+        assert!(err.contains("0.67x"), "{err}");
+    }
+
+    #[test]
+    fn ungated_rows_never_fail_the_gate() {
+        let r = report(
+            4,
+            vec![
+                cell("phasen-scan", 1, 0, 1e6, None),
+                cell("phasen-scan", 2, 0, 2e6, None), // slower, but not gated
+            ],
+        );
+        assert!(gate_speedup(&speedup_rows(&r)).is_ok());
+    }
+
+    #[test]
+    fn single_core_hosts_are_recognised() {
+        assert!(!host_can_speed_up(&report(1, vec![])));
+        assert!(host_can_speed_up(&report(2, vec![])));
+    }
+
+    #[test]
+    fn render_includes_every_row_and_the_host() {
+        let r = report(
+            2,
+            vec![
+                cell("campaign", 1, 48, 10e6, Some(1.0)),
+                cell("campaign", 2, 48, 6e6, Some(1.9)),
+            ],
+        );
+        let rows = speedup_rows(&r);
+        let text = render(&r, &rows);
+        assert!(text.contains("campaign/t2/s48"));
+        assert!(text.contains("host_threads 2"));
+        assert!(text.contains("1.67x"));
+    }
+}

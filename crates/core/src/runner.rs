@@ -340,7 +340,17 @@ impl Runner {
         let _span = np_telemetry::span!("runner.measure_sampled", "runner");
         np_telemetry::counter!("runner.campaigns").inc();
         np_telemetry::counter!("runner.repetitions").add(plan.repetitions as u64);
-        let report = self.pool.run_report(
+        // One chunk per repetition, pinned: each item is a whole observed
+        // simulation (far above the adaptive work floor), and the worker
+        // timeline's contract is per-repetition attribution — the same
+        // chunk geometry at every thread count, including the inline
+        // single-worker path.
+        let pool = Pool::with_config(np_parallel::PoolConfig {
+            threads: self.pool.threads(),
+            chunk_size: Some(1),
+            ..np_parallel::PoolConfig::default()
+        });
+        let report = pool.run_report(
             plan.repetitions,
             |rep| {
                 let _phase = np_telemetry::phase("measure");

@@ -32,6 +32,12 @@ impl BranchPredictor {
         }
     }
 
+    /// Restores the freshly-built state (all counters weakly taken), for
+    /// when a simulation run recycles per-core structures.
+    pub fn reset(&mut self) {
+        self.table.fill(WEAK_TAKEN);
+    }
+
     /// Predicts and trains on the branch at `site` with actual outcome
     /// `taken`; returns `true` when the prediction was correct.
     #[inline]

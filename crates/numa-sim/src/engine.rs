@@ -145,8 +145,25 @@ struct ThreadState {
     finished: bool,
 }
 
-/// The machine simulator. Holds only configuration; every [`Self::run`] is
-/// independent and deterministic in `(program, seed)`.
+/// The large, geometry-shaped machine state a run needs: per-core caches,
+/// TLBs, predictors and prefetchers, per-node L3s and the coherence
+/// directory. Building this from scratch allocates tens of megabytes for
+/// the big presets (the DL580 L3 alone is ~36864 sets × 20 ways per
+/// node), so finished runs return their state to [`MachineSim::scratch`]
+/// and [`MachineSim::reset_state`] rewinds it in O(occupied) via cache/
+/// TLB epoch bumps instead of reallocating.
+struct SimState {
+    cores: Vec<CoreState>,
+    l3s: Vec<SetAssocCache>,
+    directory: Directory,
+}
+
+/// Recycled states kept per simulator; beyond this, extra states drop.
+const SCRATCH_CAP: usize = 8;
+
+/// The machine simulator. Holds configuration plus a pool of recycled
+/// run state (an allocation cache only — never observable); every
+/// [`Self::run`] is independent and deterministic in `(program, seed)`.
 ///
 /// ```
 /// use np_simulator::{AllocPolicy, HwEvent, MachineConfig, MachineSim, ProgramBuilder};
@@ -166,6 +183,12 @@ struct ThreadState {
 /// ```
 pub struct MachineSim {
     config: MachineConfig,
+    /// Finished runs park their [`SimState`] here for the next run to
+    /// reuse. `reset_state` restores fresh-built semantics exactly (the
+    /// differential suite pins `run` against `run_fresh` bit-for-bit),
+    /// so recycling is invisible except in allocator pressure — which is
+    /// precisely the overhead that serialised parallel campaigns.
+    scratch: std::sync::Mutex<Vec<SimState>>,
 }
 
 /// The per-node NUMA indicator events exported as live time series at
@@ -193,7 +216,77 @@ pub const LIVE_NODE_EVENTS: &[(&str, HwEvent)] = &[
 impl MachineSim {
     /// Creates a simulator for `config`.
     pub fn new(config: MachineConfig) -> Self {
-        MachineSim { config }
+        MachineSim {
+            config,
+            scratch: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Allocates the geometry-shaped state for one run. Seed-dependent
+    /// scalars are left at placeholders; [`Self::reset_state`] sets them,
+    /// so built and recycled states are indistinguishable.
+    fn build_state(&self) -> SimState {
+        let cfg = &self.config;
+        let n_cores = cfg.topology.total_cores();
+        SimState {
+            cores: (0..n_cores)
+                .map(|_| CoreState {
+                    l1: SetAssocCache::new(cfg.l1d),
+                    l2: SetAssocCache::new(cfg.l2),
+                    tlb: Tlb::new(cfg.core.dtlb_entries),
+                    predictor: BranchPredictor::new(512),
+                    prefetcher: StridePrefetcher::new(
+                        16,
+                        cfg.l1d.line_bytes as u64,
+                        cfg.page_bytes,
+                        2,
+                    ),
+                    mshrs: Vec::with_capacity(cfg.core.fill_buffers as usize),
+                    stall_acc: 0,
+                    last_branch: 0,
+                    stall_ema: 0.0,
+                    next_timer: u64::MAX,
+                    rng: SplitMix64::new(0),
+                })
+                .collect(),
+            l3s: (0..cfg.topology.nodes)
+                .map(|_| SetAssocCache::new(cfg.l3))
+                .collect(),
+            directory: Directory::new(),
+        }
+    }
+
+    /// Rewinds `state` to what [`Self::build_state`] plus per-run seeding
+    /// would produce: caches and TLBs epoch-reset, predictors and
+    /// prefetchers cleared, per-core timers and RNGs re-derived from
+    /// `seed`. Everything a run can observe is restored; nothing is
+    /// reallocated.
+    fn reset_state(&self, state: &mut SimState, seed: u64) {
+        let cfg = &self.config;
+        for (c, core) in state.cores.iter_mut().enumerate() {
+            core.l1.reset();
+            core.l2.reset();
+            core.tlb.reset();
+            core.predictor.reset();
+            core.prefetcher.reset();
+            core.mshrs.clear();
+            core.stall_acc = 0;
+            core.last_branch = 0;
+            core.stall_ema = 0.0;
+            core.next_timer = if cfg.noise.timer_interval > 0 {
+                // Deterministic per-core phase offset.
+                cfg.noise.timer_interval / 2
+                    + (SplitMix64::new(seed ^ c as u64).next_u64()
+                        % cfg.noise.timer_interval.max(1))
+            } else {
+                u64::MAX
+            };
+            core.rng = SplitMix64::new(seed.wrapping_mul(0x9E3779B97F4A7C15) ^ (c as u64) << 32);
+        }
+        for l3 in &mut state.l3s {
+            l3.reset();
+        }
+        state.directory.clear();
     }
 
     /// The configuration in use.
@@ -219,38 +312,50 @@ impl MachineSim {
     ) -> Result<RunResult, ValidateError> {
         let _span = np_telemetry::span!("sim.run", "sim");
         program.validate(&self.config.topology)?;
+        let mut state = self
+            .scratch
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop()
+            .unwrap_or_else(|| self.build_state());
+        self.reset_state(&mut state, seed);
+        let result = self.run_with_state(program, observer, &mut state);
+        let mut pool = self.scratch.lock().unwrap_or_else(|p| p.into_inner());
+        if pool.len() < SCRATCH_CAP {
+            pool.push(state);
+        }
+        drop(pool);
+        Ok(result)
+    }
 
+    /// Runs `program` on freshly allocated state, bypassing the scratch
+    /// pool — the pre-recycling reference semantics. [`MachineSim::run`]
+    /// must agree with this path bit-for-bit for every `(program, seed)`;
+    /// the differential test suite pins that equivalence across the whole
+    /// workload registry.
+    pub fn run_fresh(&self, program: &Program, seed: u64) -> Result<RunResult, ValidateError> {
+        program.validate(&self.config.topology)?;
+        let mut state = self.build_state();
+        self.reset_state(&mut state, seed);
+        Ok(self.run_with_state(program, &mut NullObserver, &mut state))
+    }
+
+    /// One simulated run over already-reset machine state.
+    fn run_with_state(
+        &self,
+        program: &Program,
+        observer: &mut dyn SimObserver,
+        state: &mut SimState,
+    ) -> RunResult {
         let cfg = &self.config;
         let n_cores = cfg.topology.total_cores();
         let mut counters = Counters::new(n_cores);
-        let mut directory = Directory::new();
         let mut space = program.space.clone();
-        let mut l3s: Vec<SetAssocCache> = (0..cfg.topology.nodes)
-            .map(|_| SetAssocCache::new(cfg.l3))
-            .collect();
-
-        let mut cores: Vec<CoreState> = (0..n_cores)
-            .map(|c| CoreState {
-                l1: SetAssocCache::new(cfg.l1d),
-                l2: SetAssocCache::new(cfg.l2),
-                tlb: Tlb::new(cfg.core.dtlb_entries),
-                predictor: BranchPredictor::new(512),
-                prefetcher: StridePrefetcher::new(16, cfg.l1d.line_bytes as u64, cfg.page_bytes, 2),
-                mshrs: Vec::with_capacity(cfg.core.fill_buffers as usize),
-                stall_acc: 0,
-                last_branch: 0,
-                stall_ema: 0.0,
-                next_timer: if cfg.noise.timer_interval > 0 {
-                    // Deterministic per-core phase offset.
-                    cfg.noise.timer_interval / 2
-                        + (SplitMix64::new(seed ^ c as u64).next_u64()
-                            % cfg.noise.timer_interval.max(1))
-                } else {
-                    u64::MAX
-                },
-                rng: SplitMix64::new(seed.wrapping_mul(0x9E3779B97F4A7C15) ^ (c as u64) << 32),
-            })
-            .collect();
+        let SimState {
+            cores,
+            l3s,
+            directory,
+        } = state;
 
         let mut threads: Vec<ThreadState> = program
             .threads
@@ -449,17 +554,18 @@ impl MachineSim {
                     open_region[ti] = Some((id, counters.core_array(core_id)));
                 }
                 Op::Store { addr } => {
-                    counters.bump(core_id, HwEvent::Instructions);
-                    counters.bump(core_id, HwEvent::StoreRetired);
+                    let row = counters.row_mut(core_id);
+                    row[HwEvent::Instructions as usize] += 1;
+                    row[HwEvent::StoreRetired as usize] += 1;
                     now = self.access_memory(
                         AccessKind::Store,
                         addr,
                         core_id,
                         node,
                         now,
-                        &mut cores,
-                        &mut l3s,
-                        &mut directory,
+                        cores,
+                        l3s,
+                        directory,
                         &mut space,
                         &mut counters,
                         &mut imc_busy,
@@ -467,8 +573,9 @@ impl MachineSim {
                     );
                 }
                 Op::Load { addr, dependent } => {
-                    counters.bump(core_id, HwEvent::Instructions);
-                    counters.bump(core_id, HwEvent::LoadRetired);
+                    let row = counters.row_mut(core_id);
+                    row[HwEvent::Instructions as usize] += 1;
+                    row[HwEvent::LoadRetired as usize] += 1;
                     now = self.access_memory(
                         if dependent {
                             AccessKind::DependentLoad
@@ -479,9 +586,9 @@ impl MachineSim {
                         core_id,
                         node,
                         now,
-                        &mut cores,
-                        &mut l3s,
-                        &mut directory,
+                        cores,
+                        l3s,
+                        directory,
                         &mut space,
                         &mut counters,
                         &mut imc_busy,
@@ -520,7 +627,7 @@ impl MachineSim {
             regions,
         };
         self.record_run_telemetry(&result);
-        Ok(result)
+        result
     }
 
     /// Feeds one finished run's totals into the global telemetry registry.
@@ -652,12 +759,16 @@ impl MachineSim {
         let mut queue_delay: u64 = 0;
         {
             let core = &mut cores[core_id];
+            // One row borrow for the whole trio: the walk's three events
+            // land in the same SoA row, so batch them instead of paying
+            // three indexed lookups on the hottest path in the simulator.
+            let row = counters.row_mut(core_id);
             if core.tlb.lookup(page) {
-                counters.bump(core_id, HwEvent::DtlbHit);
+                row[HwEvent::DtlbHit as usize] += 1;
             } else {
-                counters.bump(core_id, HwEvent::DtlbMiss);
-                counters.add(core_id, HwEvent::PageWalkCycles, cfg.latency.page_walk);
-                counters.bump(core_id, HwEvent::L1dLocked);
+                row[HwEvent::DtlbMiss as usize] += 1;
+                row[HwEvent::PageWalkCycles as usize] += cfg.latency.page_walk;
+                row[HwEvent::L1dLocked as usize] += 1;
                 queue_delay += cfg.latency.page_walk;
             }
         }

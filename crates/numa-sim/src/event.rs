@@ -257,6 +257,14 @@ impl Counters {
         self.per_core[core]
     }
 
+    /// Mutable access to one core's counter row, for batching several
+    /// updates from a hot path into a single bounds check. Rows are
+    /// indexed by [`HwEvent::index`].
+    #[inline]
+    pub fn row_mut(&mut self, core: usize) -> &mut [u64; HwEvent::COUNT] {
+        &mut self.per_core[core]
+    }
+
     /// Machine-wide total for `event`.
     pub fn total(&self, event: HwEvent) -> u64 {
         self.per_core.iter().map(|c| c[event.index()]).sum()

@@ -18,6 +18,47 @@ struct Stream {
     confirmed: bool,
 }
 
+/// Upper bound on the prefetch degree, so a batch of targets fits in a
+/// fixed array and the per-miss hot path never allocates.
+pub const MAX_DEGREE: usize = 8;
+
+/// A batch of prefetch target line addresses, returned by value from
+/// [`StridePrefetcher::on_demand_miss`]. Derefs to a slice.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrefetchBatch {
+    lines: [u64; MAX_DEGREE],
+    len: usize,
+}
+
+impl PrefetchBatch {
+    #[inline]
+    fn push(&mut self, line: u64) {
+        if self.len < MAX_DEGREE {
+            self.lines[self.len] = line;
+            self.len += 1;
+        }
+    }
+}
+
+impl std::ops::Deref for PrefetchBatch {
+    type Target = [u64];
+
+    #[inline]
+    fn deref(&self) -> &[u64] {
+        &self.lines[..self.len]
+    }
+}
+
+impl IntoIterator for PrefetchBatch {
+    type Item = u64;
+    type IntoIter = std::iter::Take<std::array::IntoIter<u64, MAX_DEGREE>>;
+
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.lines.into_iter().take(self.len)
+    }
+}
+
 /// Per-core stride prefetcher watching demand misses.
 #[derive(Debug, Clone)]
 pub struct StridePrefetcher {
@@ -30,20 +71,26 @@ pub struct StridePrefetcher {
 
 impl StridePrefetcher {
     /// Creates a prefetcher tracking up to `streams` concurrent miss
-    /// streams.
+    /// streams. The degree is clamped to `1..=MAX_DEGREE`.
     pub fn new(streams: usize, line_bytes: u64, page_bytes: u64, degree: u32) -> Self {
         StridePrefetcher {
             streams: vec![None; streams.max(1)],
             line_bytes,
             page_bytes,
-            degree: degree.max(1),
+            degree: degree.clamp(1, MAX_DEGREE as u32),
         }
+    }
+
+    /// Forgets every tracked stream — the freshly-built state, for when a
+    /// simulation run recycles per-core structures.
+    pub fn reset(&mut self) {
+        self.streams.fill(None);
     }
 
     /// Observes a demand miss at byte address `addr`; returns line
     /// addresses to prefetch (possibly empty). Prefetches never leave the
     /// page of the triggering miss.
-    pub fn on_demand_miss(&mut self, addr: u64) -> Vec<u64> {
+    pub fn on_demand_miss(&mut self, addr: u64) -> PrefetchBatch {
         let line = addr / self.line_bytes;
         let page = addr / self.page_bytes;
         let lines_per_page = (self.page_bytes / self.line_bytes) as i64;
@@ -51,7 +98,7 @@ impl StridePrefetcher {
 
         // Find the stream for this page.
         let slot = (page as usize) % self.streams.len();
-        let mut out = Vec::new();
+        let mut out = PrefetchBatch::default();
         match self.streams[slot] {
             Some(ref mut s) if s.page == page => {
                 let stride = line as i64 - s.last_line as i64;

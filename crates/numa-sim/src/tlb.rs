@@ -18,6 +18,9 @@
 struct TlbEntry {
     page: u64,
     stamp: u64,
+    /// Epoch the entry was filled in; older epochs are logically invalid
+    /// (see [`Tlb::flush`]).
+    epoch: u32,
 }
 
 const INVALID: u64 = u64::MAX;
@@ -30,6 +33,10 @@ pub struct Tlb {
     entries: Vec<TlbEntry>,
     set_mask: u64,
     clock: u64,
+    /// Current epoch: an entry is valid iff its `epoch` matches, which
+    /// makes a full flush O(1) — stale entries act exactly like invalid
+    /// stamp-0 ones in the LRU victim scan.
+    epoch: u32,
 }
 
 impl Tlb {
@@ -43,13 +50,24 @@ impl Tlb {
             entries: vec![
                 TlbEntry {
                     page: INVALID,
-                    stamp: 0
+                    stamp: 0,
+                    epoch: 0
                 };
                 (sets as usize) * WAYS
             ],
             set_mask: sets - 1,
             clock: 0,
+            epoch: 0,
         }
+    }
+
+    /// Restores the freshly-built state: everything invalid, clock at 0.
+    /// Used when a simulation run recycles per-core state; `flush`
+    /// deliberately keeps the clock, because a mid-run context switch
+    /// does not rewind time.
+    pub fn reset(&mut self) {
+        self.clock = 0;
+        self.flush();
     }
 
     /// Looks up `page`; returns true on hit. On miss the LRU way of the
@@ -58,22 +76,27 @@ impl Tlb {
     pub fn lookup(&mut self, page: u64) -> bool {
         let base = ((page & self.set_mask) as usize) * WAYS;
         self.clock += 1;
+        let epoch = self.epoch;
         let set = &mut self.entries[base..base + WAYS];
         let mut victim = 0;
         let mut oldest = u64::MAX;
         for (i, e) in set.iter_mut().enumerate() {
-            if e.page == page {
+            if e.page == page && e.epoch == epoch {
                 e.stamp = self.clock;
                 return true;
             }
-            if e.stamp < oldest {
-                oldest = e.stamp;
+            // A stale-epoch way counts as stamp 0 — identical to the
+            // invalid entries a real flush would have left behind.
+            let stamp = if e.epoch == epoch { e.stamp } else { 0 };
+            if stamp < oldest {
+                oldest = stamp;
                 victim = i;
             }
         }
         set[victim] = TlbEntry {
             page,
             stamp: self.clock,
+            epoch,
         };
         false
     }
@@ -81,8 +104,9 @@ impl Tlb {
     /// Invalidates one page (TLB shootdown on migration/free).
     pub fn shootdown(&mut self, page: u64) -> bool {
         let base = ((page & self.set_mask) as usize) * WAYS;
+        let epoch = self.epoch;
         for e in &mut self.entries[base..base + WAYS] {
-            if e.page == page {
+            if e.page == page && e.epoch == epoch {
                 e.page = INVALID;
                 e.stamp = 0;
                 return true;
@@ -91,17 +115,28 @@ impl Tlb {
         false
     }
 
-    /// Flushes everything (full shootdown / context switch).
+    /// Flushes everything (full shootdown / context switch) in O(1) via
+    /// an epoch bump; on wraparound the entries are cleared for real.
     pub fn flush(&mut self) {
-        for e in &mut self.entries {
-            e.page = INVALID;
-            e.stamp = 0;
+        if self.epoch == u32::MAX {
+            for e in &mut self.entries {
+                *e = TlbEntry {
+                    page: INVALID,
+                    stamp: 0,
+                    epoch: 0,
+                };
+            }
+            self.epoch = 0;
         }
+        self.epoch += 1;
     }
 
     /// Number of valid entries.
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.page != INVALID).count()
+        self.entries
+            .iter()
+            .filter(|e| e.page != INVALID && e.epoch == self.epoch)
+            .count()
     }
 
     /// Static-analysis helper: whether a working set of *distinct* `pages`
@@ -198,6 +233,23 @@ mod tests {
         t.lookup(2);
         t.flush();
         assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn reset_matches_a_fresh_tlb() {
+        let mut used = Tlb::new(16);
+        for p in 0..40u64 {
+            used.lookup(p);
+        }
+        used.reset();
+        let mut fresh = Tlb::new(16);
+        assert_eq!(used.occupancy(), 0);
+        // Same miss/hit/eviction pattern as a never-used TLB, including
+        // the conflict-eviction order within a set.
+        for p in (0..40u64).chain(0..40) {
+            assert_eq!(used.lookup(p), fresh.lookup(p), "page {p}");
+        }
+        assert_eq!(used.occupancy(), fresh.occupancy());
     }
 
     #[test]

@@ -20,6 +20,31 @@ pub struct Chunker {
 /// stays negligible next to simulation work.
 const CHUNKS_PER_WORKER: usize = 4;
 
+/// Target useful work per chunk for the adaptive policy, in nanoseconds
+/// (~1 ms). Below this floor the fixed per-chunk overhead — one queue
+/// round-trip, one deposit lock, one output vector — stops being
+/// negligible next to the work itself, which is exactly the measured
+/// regression the committed bench baseline showed for the campaign.
+pub const TARGET_CHUNK_NS: u64 = 1_000_000;
+
+/// The adaptive chunk size implied by a measured per-item cost: large
+/// enough that one chunk carries at least `target_ns` of work (the work
+/// floor), but never so large that the `remaining` items stop spreading
+/// across every worker. The tail chunk may undercut the floor — there is
+/// nothing left to pad it with — and so may every chunk when the floor
+/// exceeds the fair per-worker share, where balance beats amortisation.
+pub fn auto_chunk_size(
+    remaining: usize,
+    workers: usize,
+    per_item_ns: u64,
+    target_ns: u64,
+) -> usize {
+    let floor = (target_ns / per_item_ns.max(1)).max(1);
+    let floor = usize::try_from(floor).unwrap_or(usize::MAX);
+    let fair_share = remaining.div_ceil(workers.max(1)).max(1);
+    floor.min(fair_share)
+}
+
 impl Chunker {
     /// A chunker with an explicit chunk size (clamped to at least 1).
     pub fn new(items: usize, chunk_size: usize) -> Chunker {

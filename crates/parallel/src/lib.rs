@@ -40,7 +40,7 @@ pub mod pool;
 pub mod queue;
 pub mod schedule;
 
-pub use chunk::Chunker;
+pub use chunk::{auto_chunk_size, Chunker, TARGET_CHUNK_NS};
 pub use pool::{modeled_makespan_ns, ChunkProfile, Pool, PoolConfig, PoolError, RunReport};
-pub use queue::BoundedQueue;
+pub use queue::{BoundedQueue, QueueStats};
 pub use schedule::{Schedule, Step, Trace};

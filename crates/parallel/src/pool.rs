@@ -14,23 +14,30 @@
 //! this crate so the deterministic-output contract is mechanically
 //! checkable: nothing in here can branch on a wall clock.
 
-use crate::chunk::Chunker;
-use crate::queue::BoundedQueue;
-use crate::schedule::{Schedule, Trace};
+use crate::chunk::{auto_chunk_size, Chunker, TARGET_CHUNK_NS};
+use crate::queue::{BoundedQueue, QueueStats};
+use crate::schedule::{Schedule, Step, Trace};
 use std::any::Any;
+use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// Pool configuration.
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
     /// Worker threads (clamped to at least 1).
     pub threads: usize,
-    /// Fixed chunk size; `None` picks [`Chunker::balanced`].
+    /// Fixed chunk size; `None` lets a free-schedule run size chunks
+    /// adaptively from the measured per-item cost (other schedules fall
+    /// back to [`Chunker::balanced`], whose geometry is reproducible).
     pub chunk_size: Option<usize>,
     /// Bounded-queue capacity: chunk indices in flight between the
     /// submitting thread and the workers.
     pub queue_capacity: usize,
+    /// Target useful work per adaptive chunk, nanoseconds; defaults to
+    /// [`TARGET_CHUNK_NS`]. Only consulted when `chunk_size` is `None`
+    /// under a free schedule.
+    pub target_chunk_ns: u64,
 }
 
 impl Default for PoolConfig {
@@ -39,6 +46,7 @@ impl Default for PoolConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             chunk_size: None,
             queue_capacity: 32,
+            target_chunk_ns: TARGET_CHUNK_NS,
         }
     }
 }
@@ -89,6 +97,12 @@ pub struct RunReport<U> {
     /// `np_telemetry::now_ns` (monotonic, process-epoch), so gaps between
     /// one worker's chunks are real idle/queue-wait time.
     pub profile: Vec<ChunkProfile>,
+    /// Counted queue traffic for the run: items moved and times either
+    /// side blocked. Counts, not wall-clock, so overhead regressions
+    /// (wakeup storms, serialisation) are assertable without timing
+    /// flakiness. All zero on the inline single-worker fast path, which
+    /// has no queue at all.
+    pub queue: QueueStats,
 }
 
 /// When and where one chunk ran: which worker took it, how long that
@@ -152,6 +166,30 @@ impl Failure {
             }
         }
     }
+}
+
+/// One executed chunk: its per-item results (or the failure that stopped
+/// it) plus the timing/attribution profile.
+type Deposit<U> = (Result<Vec<U>, Failure>, ChunkProfile);
+
+/// Everything [`Pool::execute`] produces; [`RunReport`] is its public
+/// face minus the typed failure.
+struct Execution<U> {
+    outcome: Result<Vec<U>, Failure>,
+    trace: Trace,
+    chunk_ns: Vec<u64>,
+    profile: Vec<ChunkProfile>,
+    queue: QueueStats,
+}
+
+/// Measured cost fed back from workers to the adaptive producer:
+/// `(items attempted, execution ns)` accumulated over finished chunks.
+/// The producer waits on `ready` until the first chunk lands, then sizes
+/// every subsequent chunk from the running average — measurement instead
+/// of guesswork, at the price of a handful of size-1 probe chunks.
+struct CostFeedback {
+    done: Mutex<(u64, u64)>,
+    ready: Condvar,
 }
 
 /// Renders a panic payload the way the default hook would.
@@ -238,14 +276,16 @@ impl Pool {
             catch_unwind(AssertUnwindSafe(|| f(i)))
                 .map_err(|payload| Failure::Panic { index: i, payload })
         };
-        match self.execute(items, &guarded, schedule) {
-            (Ok(results), trace, chunk_ns, profile) => RunReport {
+        let exec = self.execute(items, &guarded, schedule);
+        match exec.outcome {
+            Ok(results) => RunReport {
                 results,
-                trace,
-                chunk_ns,
-                profile,
+                trace: exec.trace,
+                chunk_ns: exec.chunk_ns,
+                profile: exec.profile,
+                queue: exec.queue,
             },
-            (Err(failure), ..) => resume_unwind(failure.into_panic_payload()),
+            Err(failure) => resume_unwind(failure.into_panic_payload()),
         }
     }
 
@@ -264,49 +304,207 @@ impl Pool {
                 Err(payload) => Err(Failure::Panic { index: i, payload }),
             }
         };
-        let (merged, ..) = self.execute(items, &guarded, &Schedule::Free);
-        merged.map_err(Failure::into_error)
+        self.execute(items, &guarded, &Schedule::Free)
+            .outcome
+            .map_err(Failure::into_error)
     }
 
-    /// The fork-join engine shared by every entry point.
-    #[allow(clippy::type_complexity)]
-    fn execute<U, G>(
-        &self,
-        items: usize,
-        g: &G,
-        schedule: &Schedule,
-    ) -> (Result<Vec<U>, Failure>, Trace, Vec<u64>, Vec<ChunkProfile>)
+    /// The fork-join engine shared by every entry point. Routes to one of
+    /// three strategies:
+    ///
+    /// - **inline** when only one worker would exist — no queue, no
+    ///   thread, no barrier, so `threads == 1` costs exactly a sequential
+    ///   loop plus per-chunk timestamps;
+    /// - **fixed geometry** when the chunk size is pinned (explicitly, by
+    ///   a replayed trace, or by a turnstile schedule needing
+    ///   reproducible chunk identities);
+    /// - **adaptive** for free schedules with no pinned size, where the
+    ///   producer measures per-item cost from size-1 probes and then
+    ///   targets [`PoolConfig::target_chunk_ns`] of work per chunk.
+    fn execute<U, G>(&self, items: usize, g: &G, schedule: &Schedule) -> Execution<U>
     where
         U: Send,
         G: Fn(usize) -> Result<U, Failure> + Sync,
     {
-        let workers = self.threads();
-        let chunker = match (schedule, self.config.chunk_size) {
+        let threads = self.threads();
+        let fixed = match (schedule, self.config.chunk_size) {
             // Replaying a compatible trace re-uses its chunk geometry so
             // step identities line up with the recording.
             (Schedule::Replay(t), _) if t.items == items && t.chunk_size > 0 => {
-                Chunker::new(items, t.chunk_size)
+                Some(Chunker::new(items, t.chunk_size))
             }
-            (_, Some(size)) => Chunker::new(items, size),
-            _ => Chunker::balanced(items, workers),
+            (_, Some(size)) => Some(Chunker::new(items, size)),
+            (Schedule::Free, None) => None,
+            _ => Some(Chunker::balanced(items, threads)),
         };
-        let chunks = chunker.chunk_count();
-        let trace_of = |steps| Trace {
-            items,
-            chunk_size: chunker.chunk_size(),
-            steps,
-        };
-        if chunks == 0 {
-            return (Ok(Vec::new()), trace_of(Vec::new()), Vec::new(), Vec::new());
+        match fixed {
+            Some(chunker) => {
+                let chunks = chunker.chunk_count();
+                // A free schedule never benefits from more workers than
+                // chunks; turnstile schedules (seeded/replay) keep the
+                // full complement because their orders may name any
+                // worker id below `threads`.
+                let workers = match schedule {
+                    Schedule::Free => threads.min(chunks.max(1)),
+                    _ => threads,
+                };
+                if workers == 1 {
+                    return self.execute_inline(items, g, chunker);
+                }
+                let order = schedule.worker_order(chunks, workers);
+                self.execute_queued(
+                    items,
+                    g,
+                    workers,
+                    order,
+                    chunker.chunk_size(),
+                    |queue, _| {
+                        for chunk in 0..chunks {
+                            if !queue.push((chunk, chunker.bounds(chunk))) {
+                                break;
+                            }
+                        }
+                    },
+                )
+            }
+            None => {
+                if threads == 1 || items <= 1 {
+                    return self.execute_inline(items, g, Chunker::new(items, items.max(1)));
+                }
+                self.execute_adaptive(items, g, threads)
+            }
         }
+    }
 
-        let queue: BoundedQueue<usize> = BoundedQueue::with_order(
-            self.config.queue_capacity,
-            schedule.worker_order(chunks, workers),
-        );
-        type Deposit<U> = (Result<Vec<U>, Failure>, ChunkProfile);
-        let deposits: Mutex<Vec<Deposit<U>>> = Mutex::new(Vec::with_capacity(chunks));
-        let fair_share = chunks.div_ceil(workers);
+    /// Free-schedule run with measured-cost chunk sizing. The recorded
+    /// trace carries `chunk_size: 0` — variable geometry — which marks it
+    /// non-replayable (replay falls back to balanced chunking).
+    fn execute_adaptive<U, G>(&self, items: usize, g: &G, threads: usize) -> Execution<U>
+    where
+        U: Send,
+        G: Fn(usize) -> Result<U, Failure> + Sync,
+    {
+        let workers = threads.min(items);
+        let target_ns = self.config.target_chunk_ns;
+        self.execute_queued(items, g, workers, None, 0, |queue, feedback| {
+            // Size-1 probes — enough for every worker to report twice —
+            // establish the per-item cost; after the first lands, every
+            // chunk targets `target_chunk_ns` of measured work while
+            // still spreading the remainder over all workers.
+            let probes = (2 * workers).min(items);
+            let mut next = 0usize;
+            let mut chunk = 0usize;
+            while next < probes {
+                if !queue.push((chunk, next..next + 1)) {
+                    return;
+                }
+                next += 1;
+                chunk += 1;
+            }
+            while next < items {
+                let per_item_ns = {
+                    let mut done = feedback.done.lock().unwrap_or_else(|p| p.into_inner());
+                    // Wait-in-loop: spurious wakeups re-check. Progress is
+                    // guaranteed — the probes above are already queued and
+                    // every popped chunk reports, failed or not.
+                    while done.0 == 0 {
+                        done = feedback.ready.wait(done).unwrap_or_else(|p| p.into_inner());
+                    }
+                    (done.1 / done.0).max(1)
+                };
+                let size = auto_chunk_size(items - next, workers, per_item_ns, target_ns);
+                let hi = (next + size).min(items);
+                if !queue.push((chunk, next..hi)) {
+                    return;
+                }
+                next = hi;
+                chunk += 1;
+            }
+        })
+    }
+
+    /// The single-worker fast path: chunks run on the caller thread in
+    /// submission order with no queue, no spawn and no barrier. Taken
+    /// whenever only one worker would exist; turnstile schedules with
+    /// more than one worker never come here, because their recorded
+    /// orders name worker ids that must exist to take their steps.
+    fn execute_inline<U, G>(&self, items: usize, g: &G, chunker: Chunker) -> Execution<U>
+    where
+        U: Send,
+        G: Fn(usize) -> Result<U, Failure> + Sync,
+    {
+        let chunks = chunker.chunk_count();
+        let mut results = Vec::with_capacity(items);
+        let mut chunk_ns = Vec::with_capacity(chunks);
+        let mut profiles = Vec::with_capacity(chunks);
+        let mut steps = Vec::with_capacity(chunks);
+        let mut first_failure: Option<Failure> = None;
+        for chunk in 0..chunks {
+            let started = np_telemetry::now_ns();
+            for i in chunker.bounds(chunk) {
+                match g(i) {
+                    Ok(v) => results.push(v),
+                    Err(e) => {
+                        if first_failure.as_ref().is_none_or(|f| e.index() < f.index()) {
+                            first_failure = Some(e);
+                        }
+                        break;
+                    }
+                }
+            }
+            let ended = np_telemetry::now_ns();
+            chunk_ns.push(ended.saturating_sub(started));
+            profiles.push(ChunkProfile {
+                chunk,
+                worker: 0,
+                wait_ns: 0,
+                start_ns: started,
+                end_ns: ended,
+            });
+            steps.push(Step { worker: 0, chunk });
+        }
+        record_pool_counters(&profiles, 1);
+        Execution {
+            outcome: match first_failure {
+                None => Ok(results),
+                Some(e) => Err(e),
+            },
+            trace: Trace {
+                items,
+                chunk_size: chunker.chunk_size(),
+                steps,
+            },
+            chunk_ns,
+            profile: profiles,
+            queue: QueueStats::default(),
+        }
+    }
+
+    /// The queued multi-worker engine: `produce` feeds `(chunk, range)`
+    /// pairs, `workers` scoped threads execute them, and the merge is one
+    /// ordered pass over chunk-indexed deposit slots — no sort, and the
+    /// result values move straight into the output vector.
+    fn execute_queued<U, G, P>(
+        &self,
+        items: usize,
+        g: &G,
+        workers: usize,
+        order: Option<Vec<usize>>,
+        trace_chunk_size: usize,
+        produce: P,
+    ) -> Execution<U>
+    where
+        U: Send,
+        G: Fn(usize) -> Result<U, Failure> + Sync,
+        P: FnOnce(&BoundedQueue<(usize, Range<usize>)>, &CostFeedback),
+    {
+        let queue: BoundedQueue<(usize, Range<usize>)> =
+            BoundedQueue::with_order(self.config.queue_capacity, order);
+        let feedback = CostFeedback {
+            done: Mutex::new((0, 0)),
+            ready: Condvar::new(),
+        };
+        let deposits: Mutex<Vec<Option<Deposit<U>>>> = Mutex::new(Vec::new());
 
         // Barrier-synchronised start: no worker pulls a chunk until every
         // worker thread exists, so measured walls (bench harness samples,
@@ -318,25 +516,25 @@ impl Pool {
             for worker in 0..workers {
                 let queue = &queue;
                 let deposits = &deposits;
+                let feedback = &feedback;
                 let start = &start;
                 scope.spawn(move || {
                     start.wait();
-                    let mut executed = 0usize;
                     loop {
                         let waited = np_telemetry::now_ns();
-                        let Some(chunk) = queue.pop(worker) else {
+                        let Some((chunk, range)) = queue.pop(worker) else {
                             break;
                         };
                         let wait_ns = np_telemetry::now_ns().saturating_sub(waited);
                         if np_telemetry::enabled() {
                             np_telemetry::histogram!("par.idle_ns").record(wait_ns);
                         }
-                        executed += 1;
                         let started = np_telemetry::now_ns();
-                        let range = chunker.bounds(chunk);
                         let mut out = Vec::with_capacity(range.len());
                         let mut failure = None;
+                        let mut attempted = 0u64;
                         for i in range {
+                            attempted += 1;
                             match g(i) {
                                 Ok(v) => out.push(v),
                                 Err(e) => {
@@ -345,32 +543,44 @@ impl Pool {
                                 }
                             }
                         }
+                        let ended = np_telemetry::now_ns();
+                        {
+                            // Report measured cost; only the transition
+                            // out of "nothing finished yet" notifies —
+                            // that is the only state the adaptive
+                            // producer ever waits on.
+                            let mut done = feedback.done.lock().unwrap_or_else(|p| p.into_inner());
+                            let first = done.0 == 0;
+                            done.0 += attempted;
+                            done.1 += ended.saturating_sub(started);
+                            if first && attempted > 0 {
+                                feedback.ready.notify_all();
+                            }
+                        }
                         let profile = ChunkProfile {
                             chunk,
                             worker,
                             wait_ns,
                             start_ns: started,
-                            end_ns: np_telemetry::now_ns(),
+                            end_ns: ended,
                         };
                         let deposit = match failure {
                             None => Ok(out),
                             Some(e) => Err(e),
                         };
-                        // Poison recovery: the deposit vec is append-only,
-                        // so a panicked sibling never leaves it torn.
-                        deposits
-                            .lock()
-                            .unwrap_or_else(|p| p.into_inner())
-                            .push((deposit, profile));
+                        // Deposits land directly in their chunk slot, so
+                        // the merge needs no sort. Poison recovery as in
+                        // the queue: a panicked sibling never leaves a
+                        // slot torn (the slot write is a plain store).
+                        let mut slots = deposits.lock().unwrap_or_else(|p| p.into_inner());
+                        if slots.len() <= chunk {
+                            slots.resize_with(chunk + 1, || None);
+                        }
+                        slots[chunk] = Some((deposit, profile));
                     }
-                    np_telemetry::counter!("par.tasks").add(executed as u64);
-                    np_telemetry::counter!("par.steal")
-                        .add(executed.saturating_sub(fair_share) as u64);
                 });
             }
-            for chunk in 0..chunks {
-                queue.push(chunk);
-            }
+            produce(&queue, &feedback);
             queue.close();
         });
 
@@ -378,16 +588,21 @@ impl Pool {
         // worker finished when. The earliest failure (by item index) wins
         // deterministically: chunks are ordered index ranges and a chunk
         // stops at its first failing item. Every pushed chunk is popped
-        // exactly once (close drains, never discards), so sorting the
-        // deposits by chunk index reconstructs submission order.
-        let mut merged = deposits.into_inner().unwrap_or_else(|p| p.into_inner());
-        merged.sort_by_key(|(_, profile)| profile.chunk);
-        debug_assert_eq!(merged.len(), chunks, "every chunk executed exactly once");
+        // exactly once (close drains, never discards), so the slot pass
+        // reconstructs submission order directly.
+        let stats = queue.stats();
+        let steps = queue.take_steps();
+        let slots = deposits.into_inner().unwrap_or_else(|p| p.into_inner());
+        debug_assert!(
+            slots.iter().all(Option::is_some),
+            "every chunk executed exactly once"
+        );
+        let chunks = slots.len();
         let mut results = Vec::with_capacity(items);
         let mut chunk_ns = Vec::with_capacity(chunks);
         let mut profiles = Vec::with_capacity(chunks);
         let mut first_failure: Option<Failure> = None;
-        for (deposit, profile) in merged {
+        for (deposit, profile) in slots.into_iter().flatten() {
             chunk_ns.push(profile.end_ns.saturating_sub(profile.start_ns));
             profiles.push(profile);
             match deposit {
@@ -399,12 +614,44 @@ impl Pool {
                 }
             }
         }
-        let trace = trace_of(queue.take_steps());
-        match first_failure {
-            None => (Ok(results), trace, chunk_ns, profiles),
-            Some(e) => (Err(e), trace, chunk_ns, profiles),
+        record_pool_counters(&profiles, workers);
+        Execution {
+            outcome: match first_failure {
+                None => Ok(results),
+                Some(e) => Err(e),
+            },
+            trace: Trace {
+                items,
+                chunk_size: trace_chunk_size,
+                steps,
+            },
+            chunk_ns,
+            profile: profiles,
+            queue: stats,
         }
     }
+}
+
+/// Merge-time telemetry: total chunks executed, plus how many chunks each
+/// worker took beyond its fair share (the steal signal).
+fn record_pool_counters(profiles: &[ChunkProfile], workers: usize) {
+    let chunks = profiles.len();
+    np_telemetry::counter!("par.tasks").add(chunks as u64);
+    if workers == 0 || chunks == 0 {
+        return;
+    }
+    let fair_share = chunks.div_ceil(workers);
+    let mut executed = vec![0usize; workers];
+    for p in profiles {
+        if let Some(e) = executed.get_mut(p.worker) {
+            *e += 1;
+        }
+    }
+    let steal: u64 = executed
+        .iter()
+        .map(|&e| e.saturating_sub(fair_share) as u64)
+        .sum();
+    np_telemetry::counter!("par.steal").add(steal);
 }
 
 /// Greedy list-scheduling makespan of `chunk_ns` on `workers` identical
@@ -513,6 +760,7 @@ mod tests {
             threads: 4,
             chunk_size: Some(1),
             queue_capacity: 4,
+            ..PoolConfig::default()
         });
         let expect: Vec<usize> = (0..24).map(|i| i + 1).collect();
         let (base, trace_a) = pool.run_traced(24, |i| i + 1, &Schedule::Seeded(1));
@@ -532,6 +780,7 @@ mod tests {
             threads: 3,
             chunk_size: Some(2),
             queue_capacity: 8,
+            ..PoolConfig::default()
         });
         let (out, trace) = pool.run_traced(20, |i| i * 7, &Schedule::Seeded(5));
         let (replayed, replay_trace) =
@@ -546,6 +795,7 @@ mod tests {
             threads: 2,
             chunk_size: Some(4),
             queue_capacity: 8,
+            ..PoolConfig::default()
         });
         let report = pool.run_report(16, |i| i, &Schedule::Free);
         assert_eq!(report.results.len(), 16);
@@ -559,6 +809,7 @@ mod tests {
             threads: 3,
             chunk_size: Some(2),
             queue_capacity: 8,
+            ..PoolConfig::default()
         });
         let report = pool.run_report(10, |i| i * 3, &Schedule::Free);
         assert_eq!(report.profile.len(), 5);

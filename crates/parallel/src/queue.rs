@@ -42,6 +42,26 @@ struct State<T> {
     order: Option<Vec<usize>>,
     /// The recorded interleaving.
     steps: Vec<Step>,
+    /// Counted traffic and blocking — see [`QueueStats`].
+    stats: QueueStats,
+}
+
+/// Counted queue traffic: how many items moved through and how many times
+/// either side had to block for them. Counts, not wall-clock — so tests
+/// can assert on contention shape (a wakeup storm means consumers loop
+/// through `wait` far more often than items exist) without any timing
+/// flakiness. One `wait` call is one count, whether it slept or not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Items successfully enqueued.
+    pub pushes: u64,
+    /// Items successfully dequeued.
+    pub pops: u64,
+    /// Times a consumer blocked in `pop` (queue empty, or a turnstile
+    /// grant named somebody else).
+    pub consumer_waits: u64,
+    /// Times the producer blocked in `push` (queue at capacity).
+    pub producer_waits: u64,
 }
 
 /// Bounded multi-producer/multi-consumer queue; see the module docs.
@@ -71,6 +91,7 @@ impl<T> BoundedQueue<T> {
                 seq: 0,
                 order,
                 steps: Vec::new(),
+                stats: QueueStats::default(),
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -106,9 +127,11 @@ impl<T> BoundedQueue<T> {
             }
             if st.items.len() < st.capacity {
                 st.items.push_back(item);
+                st.stats.pushes += 1;
                 self.signal_consumers(&st);
                 return true;
             }
+            st.stats.producer_waits += 1;
             st = self.not_full.wait(st).unwrap_or_else(|p| p.into_inner());
         }
     }
@@ -129,6 +152,7 @@ impl<T> BoundedQueue<T> {
                     let chunk = st.seq;
                     st.steps.push(Step { worker, chunk });
                     st.seq += 1;
+                    st.stats.pops += 1;
                     // A slot freed for the producer; under a turnstile the
                     // advanced seq also changes whose turn it is, so the
                     // other consumers must re-check.
@@ -144,6 +168,7 @@ impl<T> BoundedQueue<T> {
             } else if st.closed && st.items.is_empty() {
                 return None;
             }
+            st.stats.consumer_waits += 1;
             st = self.not_empty.wait(st).unwrap_or_else(|p| p.into_inner());
         }
     }
@@ -170,6 +195,11 @@ impl<T> BoundedQueue<T> {
     /// that won step `s`).
     pub fn take_steps(&self) -> Vec<Step> {
         std::mem::take(&mut self.locked().steps)
+    }
+
+    /// A snapshot of the counted traffic so far.
+    pub fn stats(&self) -> QueueStats {
+        self.locked().stats
     }
 }
 
@@ -284,6 +314,25 @@ mod tests {
         q.close();
         let drained: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
         assert_eq!(drained, ITEMS, "every queued item reaches some consumer");
+    }
+
+    #[test]
+    fn stats_count_traffic_and_blocking() {
+        let q = Arc::new(BoundedQueue::new(1));
+        assert!(q.push(10));
+        let qp = Arc::clone(&q);
+        // Queue is at capacity, so this push must block at least once.
+        let producer = std::thread::spawn(move || qp.push(20));
+        assert_eq!(q.pop(0), Some(10));
+        assert!(producer.join().unwrap());
+        q.close();
+        assert_eq!(q.pop(0), Some(20));
+        // Drained + closed: this pop returns None without waiting.
+        assert_eq!(q.pop(0), None);
+        let stats = q.stats();
+        assert_eq!(stats.pushes, 2);
+        assert_eq!(stats.pops, 2);
+        assert!(stats.producer_waits >= 1, "{stats:?}");
     }
 
     #[test]

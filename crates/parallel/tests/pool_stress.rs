@@ -44,6 +44,7 @@ fn mixed_task_errors_and_panics_pick_the_earliest_item() {
         threads: 8,
         chunk_size: Some(3),
         queue_capacity: 4,
+        ..PoolConfig::default()
     });
     // A panic at 30 and a task error at 12: index order decides, not
     // completion order, so the Err(12) must win every time.
@@ -75,6 +76,7 @@ fn shutdown_drains_every_queued_chunk() {
         threads: 16,
         chunk_size: Some(1),
         queue_capacity: 2,
+        ..PoolConfig::default()
     });
     let out = pool.run(300, |i| {
         executed.fetch_add(1, SeqCst);
@@ -96,6 +98,7 @@ fn injected_delays_never_reorder_merged_output() {
         threads: 6,
         chunk_size: Some(2),
         queue_capacity: 4,
+        ..PoolConfig::default()
     });
     let got = pool.run(120, |i| {
         if let Some(Fault::Delay(d)) = faults.next("pool.task") {
@@ -116,6 +119,7 @@ fn delayed_replay_still_matches_the_recorded_trace() {
         threads: 3,
         chunk_size: Some(1),
         queue_capacity: 8,
+        ..PoolConfig::default()
     });
     let (out, trace) = pool.run_traced(30, |i| i * 13, &Schedule::Seeded(42));
     let faults =

@@ -19,6 +19,7 @@ fn pool(threads: usize, chunk_size: usize) -> Pool {
         threads,
         chunk_size: Some(chunk_size),
         queue_capacity: 8,
+        ..PoolConfig::default()
     })
 }
 

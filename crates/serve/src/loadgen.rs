@@ -55,7 +55,7 @@ impl Default for LoadgenConfig {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LoadSummary {
     /// Provenance of the run (host, threads, commit) — the schema block
-    /// shared with `BENCH_parallel.json`.
+    /// shared with the bench-parallel baseline.
     pub meta: BenchMeta,
     /// Seed the synthetic workload ran with.
     pub seed: u64,

@@ -71,6 +71,18 @@ cargo run --release --offline --quiet -- bench --smoke --out "$bench_current" >/
 cargo run --release --offline --quiet -- bench diff baselines/ci.json \
   --current "$bench_current" --noise 75
 
+echo "== multi-core speedup gate (np bench diff + speedup) =="
+# Mirrors the multicore-speedup CI job. The diff pins the deterministic
+# half against the committed baseline on any machine; the speedup gate
+# judges measured wall time within this run's own report and prints
+# SKIP (still passing) on hosts without at least 2 hardware threads.
+bench_multicore="$(mktemp -t np-bench-multicore.XXXXXX.json)"
+cargo run --release --offline --quiet -- bench --smoke \
+  --config baselines/ci-multicore.toml --out "$bench_multicore" >/dev/null
+cargo run --release --offline --quiet -- bench diff baselines/ci-multicore.json \
+  --current "$bench_multicore" --noise 150
+cargo run --release --offline --quiet -- bench speedup --current "$bench_multicore"
+
 if [[ "$quick" -eq 0 ]]; then
   echo "== nightly: fault-injection matrix (release) =="
   cargo test --release --offline --test integration_resilience

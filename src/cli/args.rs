@@ -236,7 +236,7 @@ impl Cli {
             smoke: false,
             // `--out` default tracks the command's baseline file.
             out: match command {
-                Command::BenchParallel => "BENCH_parallel.json",
+                Command::BenchParallel => "baselines/bench-parallel.json",
                 Command::Bench => "BENCH_matrix.json",
                 Command::Run => "CAPTURE.json",
                 Command::Report => "REPORT.html",
@@ -607,7 +607,7 @@ mod tests {
         assert_eq!(cli.out, "bp.json");
         // The default baseline path is per-command.
         let cli = parse(&["bench-parallel"]).unwrap();
-        assert_eq!(cli.out, "BENCH_parallel.json");
+        assert_eq!(cli.out, "baselines/bench-parallel.json");
         assert!(!cli.smoke);
     }
 

@@ -441,8 +441,9 @@ fn bench_cmd(cli: &Cli) -> Result<String, String> {
         "diff" => bench_diff(cli),
         "migrate" => bench_migrate(cli),
         "trend" => bench_trend(cli),
+        "speedup" => bench_speedup(cli),
         other => Err(format!(
-            "bench: unknown mode '{other}' (run | diff | migrate | trend)"
+            "bench: unknown mode '{other}' (run | diff | migrate | trend | speedup)"
         )),
     }
 }
@@ -537,6 +538,41 @@ fn bench_diff(cli: &Cli) -> Result<String, String> {
     // the CI contract.
     match np_bench::harness::gate(&d) {
         Ok(()) => Ok(format!("{out}\ngate: OK ({} cell(s))\n", d.cells.len())),
+        Err(e) => Err(format!("{out}\n{e}")),
+    }
+}
+
+/// `np bench speedup [report.json]`: the measured-speedup gate. Judges
+/// every multi-threaded cell of one report against its *own*
+/// single-thread cell — no cross-host baseline, so wall-clock noise
+/// between machines cannot fake or mask a result. Cells whose driver
+/// publishes a modeled speedup (the pooled compute paths) must measure
+/// strictly above 1.0; a pool slower than its sequential baseline exits
+/// 2. On hosts with fewer than two hardware threads the gate reports
+/// and skips — measured parallel speedup is physically impossible there.
+fn bench_speedup(cli: &Cli) -> Result<String, String> {
+    let report = match cli
+        .current
+        .clone()
+        .or_else(|| cli.positional.get(1).cloned())
+    {
+        Some(path) => bench_read_report(&path)?,
+        None => bench_execute(cli)?,
+    };
+    let rows = np_bench::harness::speedup_rows(&report);
+    let mut out = np_bench::harness::speedup::render(&report, &rows);
+    if !np_bench::harness::speedup::host_can_speed_up(&report) {
+        out.push_str(
+            "speedup: SKIP (recorded on a host with < 2 hardware threads; \
+             the gate needs real parallelism)\n",
+        );
+        return Ok(out);
+    }
+    match np_bench::harness::gate_speedup(&rows) {
+        Ok(()) => {
+            let gated = rows.iter().filter(|r| r.gated).count();
+            Ok(format!("{out}\nspeedup gate: OK ({gated} gated cell(s))\n"))
+        }
         Err(e) => Err(format!("{out}\n{e}")),
     }
 }
@@ -1709,6 +1745,76 @@ mod tests {
             .filter(|c| c.id.starts_with("campaign/") || c.id.starts_with("analysis-sweep/"))
             .all(|c| c.metrics.contains_key("modeled_speedup")));
         std::fs::remove_file(&out_path).unwrap();
+    }
+
+    /// Builds an np-bench/1 report file with one campaign t1/t2 pair and
+    /// a controlled host_threads, for the speedup-gate tests.
+    fn write_speedup_report(host_threads: u64, t1_ns: f64, t2_ns: f64) -> std::path::PathBuf {
+        use np_bench::harness::{BenchCell, BenchReport, BENCH_SCHEMA};
+        let cell = |threads: u64, mean_ns: f64| {
+            let mut metrics = std::collections::BTreeMap::new();
+            metrics.insert("modeled_speedup".to_string(), 1.8);
+            let mut c = BenchCell {
+                id: format!("campaign/t{threads}/s48"),
+                workload: "campaign".to_string(),
+                threads,
+                size: 48,
+                samples_ns: vec![mean_ns as u64],
+                mean_ns: 0.0,
+                stddev_ns: 0.0,
+                digest: "same".to_string(),
+                audit_ok: true,
+                metrics,
+            };
+            c.finalize();
+            c
+        };
+        let mut meta = np_serve::BenchMeta::collect("np-bench", 1, 1);
+        meta.host_threads = host_threads;
+        let report = BenchReport {
+            schema: BENCH_SCHEMA.to_string(),
+            bench_meta: meta,
+            machine: "two-socket".to_string(),
+            warmup: 1,
+            repeats: 1,
+            cells: vec![cell(1, t1_ns), cell(2, t2_ns)],
+        };
+        let path = std::env::temp_dir().join(format!(
+            "np-speedup-{}-{host_threads}-{t1_ns}.json",
+            std::process::id()
+        ));
+        std::fs::write(&path, report.to_json_pretty().unwrap()).unwrap();
+        path
+    }
+
+    #[test]
+    fn bench_speedup_gates_a_multicore_report() {
+        // Faster at 2 threads: gate OK.
+        let good = write_speedup_report(4, 10e6, 6e6);
+        let out = run(&["bench", "speedup", good.to_str().unwrap()]).unwrap();
+        assert!(out.contains("speedup gate: OK"), "{out}");
+        assert!(out.contains("1.67x"), "{out}");
+        std::fs::remove_file(&good).unwrap();
+
+        // Slower at 2 threads on a multi-core host: exit-2 regression.
+        let bad = write_speedup_report(4, 10e6, 15e6);
+        let err = run(&["bench", "speedup", "--current", bad.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("campaign/t2/s48"), "{err}");
+        assert!(
+            err.contains("slower than its own sequential baseline"),
+            "{err}"
+        );
+        std::fs::remove_file(&bad).unwrap();
+    }
+
+    #[test]
+    fn bench_speedup_skips_on_single_core_hosts() {
+        // Same slow pool, but recorded on a 1-thread host: the gate
+        // reports and passes — measured parallel speedup is impossible.
+        let single = write_speedup_report(1, 10e6, 15e6);
+        let out = run(&["bench", "speedup", single.to_str().unwrap()]).unwrap();
+        assert!(out.contains("speedup: SKIP"), "{out}");
+        std::fs::remove_file(&single).unwrap();
     }
 
     #[test]

@@ -90,7 +90,8 @@ COMMANDS:
                 committed baseline (Welch t-test inside a noise band,
                 regressions exit 2); `bench migrate FILE` converts
                 legacy BENCH_* artifacts; `bench trend HISTORY` renders
-                a JSONL run history
+                a JSONL run history; `bench speedup [REPORT]` gates
+                measured multi-core speedup within one report
     run         sampled measurement campaign: per-node time-series
                 capture with phase attribution (needs --sample; writes
                 CAPTURE.json, --timeline FILE for the pool gantt)
@@ -147,11 +148,11 @@ OPTIONS:
                        bench-parallel / bench: fail unless every cell
                        audit (bit-equality vs sequential) held
     --out FILE         loadgen / bench-parallel / bench: artifact path
-                       (defaults BENCH_serve.json / BENCH_parallel.json /
-                       BENCH_matrix.json)
+                       (defaults BENCH_serve.json / BENCH_matrix.json /
+                       baselines/bench-parallel.json)
     --config FILE      bench: matrix config, TOML subset or JSON
     --baseline FILE    bench diff: baseline report (or first positional)
-    --current FILE     bench diff/trend: pre-recorded current report
+    --current FILE     bench diff/trend/speedup: pre-recorded report
                        (default: run the configured matrix)
     --noise PCT        bench diff: noise band in percent (default 15)
     --alpha P          bench diff: Welch significance level (default 0.01)
@@ -565,7 +566,8 @@ BENCHMARK:
     numa-perf-tools bench-parallel [--smoke] [--out FILE]
     runs every pooled path at 1/2/4/N threads through the `np bench`
     matrix harness and writes the unified np-bench/1 artifact (default
-    BENCH_parallel.json): per cell, wall-time samples, a modeled
+    baselines/bench-parallel.json, the committed baseline): per cell,
+    wall-time samples, a modeled
     speedup (greedy makespan of the sequential chunk costs —
     meaningful even on a single-core CI host), and a bit-equality
     audit. --smoke gates ONLY the audit; speedups are reported, never
@@ -596,6 +598,7 @@ reads every era (legacy artifacts via `bench migrate`).
                           [--noise PCT] [--alpha P] [--md FILE]
     numa-perf-tools bench migrate LEGACY.json [--out FILE]
     numa-perf-tools bench trend HISTORY.jsonl | --append HISTORY.jsonl
+    numa-perf-tools bench speedup [REPORT.json] [--current FILE]
 
 CONFIG (TOML subset or JSON):
     machine = \"two-socket\"        # dl580 | two-socket | ring | file.json
@@ -630,6 +633,16 @@ THE DIFF GATE (CI):
     legacy artifacts) gate on the band alone. Regressions exit 2;
     improvements and new cells pass. Committed baselines live under
     baselines/ (see EXPERIMENTS.md for the recording procedure).
+
+THE SPEEDUP GATE (multi-core CI):
+    `bench speedup` compares every multi-threaded cell of one report to
+    its own single-thread cell: measured speedup = mean(t1)/mean(tk).
+    Cells that publish a modeled_speedup metric (campaign,
+    analysis-sweep — the pooled simulator paths) are gated: measured
+    must exceed 1.0x or the command exits 2. Self-contained within one
+    run, so cross-host clock noise can neither fake nor mask a result;
+    on hosts with < 2 hardware threads it prints SKIP and passes, which
+    keeps the gate meaningful exactly where parallelism exists.
 
 TREND:
     `bench trend --append HISTORY.jsonl` appends the current run as one
@@ -832,7 +845,7 @@ mod tests {
             "submission order",
             "Seeded",
             "Replay",
-            "BENCH_parallel.json",
+            "baselines/bench-parallel.json",
             "par.steal",
             "no-wall-clock",
         ] {

@@ -172,6 +172,95 @@ fn analysis_sweep_matrix_is_bit_identical() {
     }
 }
 
+/// Deterministic compute with no wall-clock dependence in the *work*:
+/// a fixed-iteration LCG spin, so each item costs the same counted effort
+/// on every run.
+fn spin(item: usize, rounds: u64) -> u64 {
+    let mut acc = item as u64;
+    for i in 0..rounds {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+#[test]
+fn queue_wakeups_stay_proportional_to_traffic() {
+    // The counted-work storm guard: a reintroduced thundering herd (every
+    // push waking every worker, each finding the queue already drained)
+    // scales consumer waits with workers × pushes, while the healthy
+    // single-notify queue stays proportional to traffic alone. Counts,
+    // not wall-clock, so this cannot flake on a loaded CI runner.
+    for threads in [2usize, 8] {
+        let pool = Pool::new(threads);
+        let report = pool.run_report(512, |i| spin(i, 2_000), &np_parallel::Schedule::Free);
+        assert_eq!(report.results.len(), 512, "{threads} threads");
+        let q = report.queue;
+        let chunks = report.trace.steps.len() as u64;
+        assert_eq!(
+            q.pushes, chunks,
+            "{threads} threads: every chunk pushed once"
+        );
+        assert_eq!(q.pops, chunks, "{threads} threads: every chunk popped once");
+        let budget = 3 * (q.pops + threads as u64) + 16;
+        assert!(
+            q.consumer_waits <= budget,
+            "{threads} threads: wakeup storm — {} consumer waits for {} pops (budget {budget})",
+            q.consumer_waits,
+            q.pops
+        );
+        assert!(
+            q.producer_waits <= q.pushes,
+            "{threads} threads: producer blocked {} times for {} pushes",
+            q.producer_waits,
+            q.pushes
+        );
+    }
+}
+
+#[test]
+fn idle_wait_stays_bounded_by_useful_work() {
+    // The serialization guard, as a *ratio* with deliberate headroom: the
+    // idle time workers spend blocked on the queue must stay within a
+    // workers-sized multiple of the useful chunk time plus a fixed
+    // allowance for scheduler noise. Accidental serialization — a lock
+    // held across user work, a producer that feeds one chunk at a time
+    // and waits for it to finish — makes idle time scale with *total*
+    // runtime times workers and blows through the bound by orders of
+    // magnitude; legitimate contention on a saturated runner does not.
+    for threads in [2usize, 8] {
+        let pool = Pool::new(threads);
+        let report = pool.run_report(64, |i| spin(i, 200_000), &np_parallel::Schedule::Free);
+        assert_eq!(report.results.len(), 64, "{threads} threads");
+        let busy: u64 = report.chunk_ns.iter().sum();
+        let idle: u64 = report.profile.iter().map(|p| p.wait_ns).sum();
+        let bound = threads as u64 * busy + 50_000_000;
+        assert!(
+            idle <= bound,
+            "{threads} threads: {idle} ns idle vs {busy} ns useful (bound {bound})"
+        );
+    }
+}
+
+#[test]
+fn auto_granularity_amortises_cheap_items() {
+    // With no explicit chunk size, the pool probes per-item cost and
+    // sizes chunks toward the ~1 ms work floor; for thousands of cheap
+    // items that must collapse the chunk count far below item count —
+    // the per-chunk deposit/merge overhead the profile measured.
+    let pool = Pool::new(4);
+    let report = pool.run_report(4096, |i| spin(i, 500), &np_parallel::Schedule::Free);
+    assert_eq!(report.results.len(), 4096);
+    let chunks = report.trace.steps.len();
+    assert!(
+        chunks < 4096 / 4,
+        "auto-granularity regressed: {chunks} chunks for 4096 cheap items"
+    );
+    // The merged output is still the identity mapping of the input order.
+    for (i, v) in report.results.iter().enumerate() {
+        assert_eq!(*v, spin(i, 500));
+    }
+}
+
 #[test]
 fn replayed_campaign_schedule_reproduces_the_run() {
     // Record a seeded campaign-shaped run, then replay its trace: both
